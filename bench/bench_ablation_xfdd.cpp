@@ -1,0 +1,67 @@
+// Ablation: xFDD composition order (§6.2.1 notes the cost of composition
+// depends on operand sizes and composition order is left to future work).
+// We compose the app suite left-to-right vs balanced-tree and report the
+// resulting diagram sizes and times.
+#include "bench_common.h"
+#include "util/timer.h"
+
+using namespace snap;
+
+namespace {
+
+PolPtr guard_app(const apps::AppSpec& app, const std::string& subnet,
+                 const std::string& prefix) {
+  return dsl::ite(dsl::test_cidr("dstip", subnet), app.build(prefix),
+                  dsl::filter(dsl::id()));
+}
+
+PolPtr compose_left(const std::vector<PolPtr>& parts) {
+  PolPtr p = parts[0];
+  for (std::size_t i = 1; i < parts.size(); ++i) p = p + parts[i];
+  return p;
+}
+
+PolPtr compose_balanced(std::vector<PolPtr> parts) {
+  while (parts.size() > 1) {
+    std::vector<PolPtr> next;
+    for (std::size_t i = 0; i + 1 < parts.size(); i += 2) {
+      next.push_back(parts[i] + parts[i + 1]);
+    }
+    if (parts.size() % 2) next.push_back(parts.back());
+    parts = std::move(next);
+  }
+  return parts[0];
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: xFDD composition order (left-deep vs balanced)",
+      "§6.2.1's composition-order discussion");
+  Topology topo = make_igen(50, 42);
+  auto subnets = apps::default_subnets(topo.ports());
+  const auto& reg = apps::registry();
+
+  std::printf("%-10s %-12s %12s %12s\n", "#Policies", "Order", "xFDD nodes",
+              "Time(s)");
+  for (std::size_t count : {4u, 8u, 12u, 16u, 20u}) {
+    std::vector<PolPtr> parts;
+    for (std::size_t i = 0; i < count && i < reg.size(); ++i) {
+      parts.push_back(guard_app(reg[i], subnets[i % subnets.size()].first,
+                                "ax" + std::to_string(i)));
+    }
+    for (bool balanced : {false, true}) {
+      PolPtr p = balanced ? compose_balanced(parts) : compose_left(parts);
+      DependencyGraph deps = DependencyGraph::build(p);
+      TestOrder order = deps.test_order();
+      XfddStore store;
+      Timer t;
+      XfddId root = to_xfdd(store, order, p);
+      std::printf("%-10zu %-12s %12zu %12.3f\n", parts.size(),
+                  balanced ? "balanced" : "left-deep",
+                  store.reachable_size(root), t.seconds());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared helpers for the table/figure benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "compiler/pipeline.h"
+#include "topo/gen.h"
+#include "topo/traffic.h"
+
+namespace snap {
+namespace bench {
+
+// The paper's evaluation program: the operator assumption (§4.3), DNS
+// tunnel detection (Figure 1) on the highest-numbered port's subnet, and
+// assign-egress for every port.
+inline PolPtr dns_tunnel_with_routing(const Topology& topo) {
+  auto subnets = apps::default_subnets(topo.ports());
+  PortId cs_port = topo.ports().back();
+  std::string cs_subnet;
+  for (const auto& [subnet, port] : subnets) {
+    if (port == cs_port) cs_subnet = subnet;
+  }
+  return dsl::filter(apps::assumption(subnets)) >>
+         (apps::dns_tunnel_detect("dns", cs_subnet, 10) >>
+          apps::assign_egress(subnets));
+}
+
+// A traffic matrix at 20% of aggregate edge capacity.
+inline TrafficMatrix default_traffic(const Topology& topo,
+                                     std::uint64_t seed) {
+  double edge_capacity = 10.0 * static_cast<double>(topo.ports().size());
+  return gravity_traffic(topo, 0.2 * edge_capacity, seed);
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("(reproduces %s of the SNAP paper; absolute times differ from\n",
+              paper_ref.c_str());
+  std::printf(" the paper's PyPy/Gurobi setup — compare shapes and ratios)\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace snap

@@ -1,0 +1,26 @@
+// Figure 10: compilation time of DNS-tunnel-detect with routing on
+// IGen-style topologies of 10-180 switches, per scenario. The policy grows
+// with the topology (assign-egress and the assumption cover every port),
+// exactly as the paper notes.
+#include "bench_common.h"
+
+int main() {
+  using namespace snap;
+  bench::print_header(
+      "Figure 10: compilation time vs topology size (IGen networks)",
+      "Figure 10");
+  std::printf("%-10s %8s %16s %18s %18s\n", "#Switches", "#Ports",
+              "ColdStart(s)", "PolicyChange(s)", "Topo/TMChange(s)");
+  for (int n = 10; n <= 180; n += 17) {
+    Topology topo = make_igen(n, 42);
+    TrafficMatrix tm = bench::default_traffic(topo, 7);
+    Compiler compiler(topo, tm);
+    CompileResult r = compiler.compile(bench::dns_tunnel_with_routing(topo));
+    TrafficMatrix shifted = bench::default_traffic(topo, 8);
+    PhaseTimes te = compiler.reoptimize_te(r, shifted);
+    std::printf("%-10d %8zu %16.3f %18.3f %18.3f\n", n, topo.ports().size(),
+                r.times.cold_start(), r.times.policy_change(),
+                te.topo_change());
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 9: total compilation time of DNS-tunnel-detect with routing on the
+// enterprise/ISP networks, per scenario (Table 4):
+//   cold start      = P1+P2+P3+P4+P5(ST)+P6
+//   policy change   = P1+P2+P3+P5(ST)+P6
+//   topology/TM chg = P5(TE)+P6
+#include "bench_common.h"
+
+int main() {
+  using namespace snap;
+  bench::print_header(
+      "Figure 9: compilation time per scenario on enterprise/ISP networks",
+      "Figure 9");
+  std::printf("%-10s %16s %18s %18s\n", "Topology", "ColdStart(s)",
+              "PolicyChange(s)", "Topo/TMChange(s)");
+  for (const auto& spec : table5_specs()) {
+    Topology topo = make_table5_topology(spec, 42);
+    TrafficMatrix tm = bench::default_traffic(topo, 7);
+    Compiler compiler(topo, tm);
+    CompileResult r = compiler.compile(bench::dns_tunnel_with_routing(topo));
+    TrafficMatrix shifted = bench::default_traffic(topo, 8);
+    PhaseTimes te = compiler.reoptimize_te(r, shifted);
+    std::printf("%-10s %16.3f %18.3f %18.3f\n", spec.name,
+                r.times.cold_start(), r.times.policy_change(),
+                te.topo_change());
+  }
+  return 0;
+}

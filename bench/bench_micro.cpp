@@ -1,0 +1,129 @@
+// Micro-benchmarks (google-benchmark): the building blocks behind the
+// table/figure harnesses — eval throughput, xFDD construction and
+// evaluation, simplex pivoting, placement solving, and data-plane packet
+// processing.
+#include <benchmark/benchmark.h>
+
+#include "apps/apps.h"
+#include "compiler/pipeline.h"
+#include "dataplane/network.h"
+#include "lang/eval.h"
+#include "milp/simplex.h"
+#include "topo/gen.h"
+
+namespace snap {
+namespace {
+
+using namespace snap::dsl;
+
+Value ip(std::uint32_t a, std::uint32_t b, std::uint32_t c,
+         std::uint32_t d) {
+  return static_cast<Value>((a << 24) | (b << 16) | (c << 8) | d);
+}
+
+PolPtr bench_program() {
+  return apps::dns_tunnel_detect("mb", "10.0.6.0/24", 10) >>
+         apps::assign_egress({{"10.0.1.0/24", 1}, {"10.0.6.0/24", 6}});
+}
+
+Packet dns_packet() {
+  return Packet{{"dstip", ip(10, 0, 6, 50)},
+                {"srcip", ip(10, 0, 1, 9)},
+                {"srcport", 53},
+                {"dns.rdata", ip(10, 0, 2, 1)},
+                {"inport", 1}};
+}
+
+void BM_EvalOracle(benchmark::State& state) {
+  PolPtr p = bench_program();
+  Store st;
+  Packet pkt = dns_packet();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval(p, st, pkt));
+  }
+}
+BENCHMARK(BM_EvalOracle);
+
+void BM_XfddConstruction(benchmark::State& state) {
+  PolPtr p = bench_program();
+  DependencyGraph deps = DependencyGraph::build(p);
+  TestOrder order = deps.test_order();
+  for (auto _ : state) {
+    XfddStore s;
+    benchmark::DoNotOptimize(to_xfdd(s, order, p));
+  }
+}
+BENCHMARK(BM_XfddConstruction);
+
+void BM_XfddEvaluation(benchmark::State& state) {
+  PolPtr p = bench_program();
+  DependencyGraph deps = DependencyGraph::build(p);
+  TestOrder order = deps.test_order();
+  XfddStore s;
+  XfddId d = to_xfdd(s, order, p);
+  Store st;
+  Packet pkt = dns_packet();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval_xfdd(s, d, st, pkt));
+  }
+}
+BENCHMARK(BM_XfddEvaluation);
+
+void BM_SimplexMcf(benchmark::State& state) {
+  // A multicommodity-flow LP of parameterized size.
+  int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    LpModel m;
+    std::vector<int> f1(k), f2(k);
+    for (int i = 0; i < k; ++i) {
+      f1[i] = m.add_var(0, 5, 1.0 + i % 3);
+      f2[i] = m.add_var(0, 10, 2.0 + i % 2);
+      m.add_row({{f1[i], 1}, {f2[i], 1}}, 8, 8);
+    }
+    std::vector<LinTerm> shared;
+    for (int i = 0; i < k; ++i) shared.push_back({f1[i], 1.0});
+    m.add_row(std::move(shared), -kLpInf, 3.0 * k);
+    benchmark::DoNotOptimize(solve_lp(m));
+  }
+}
+BENCHMARK(BM_SimplexMcf)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ScalablePlacement(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Topology topo = make_igen(n, 42);
+  auto subnets = apps::default_subnets(topo.ports());
+  PolPtr prog = apps::heavy_hitter("mbp", 5) >> apps::assign_egress(subnets);
+  DependencyGraph deps = DependencyGraph::build(prog);
+  TestOrder order = deps.test_order();
+  XfddStore s;
+  XfddId d = to_xfdd(s, order, prog);
+  auto psmap = packet_state_map(s, d, topo.ports(), order);
+  TrafficMatrix tm = gravity_traffic(topo, 5.0, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_scalable(topo, tm, psmap, deps));
+  }
+}
+BENCHMARK(BM_ScalablePlacement)->Arg(20)->Arg(60);
+
+void BM_DataplaneInject(benchmark::State& state) {
+  Topology topo = make_figure2_campus();
+  PolPtr prog = bench_program();
+  DependencyGraph deps = DependencyGraph::build(prog);
+  TestOrder order = deps.test_order();
+  auto store = std::make_shared<XfddStore>();
+  XfddId root = to_xfdd(*store, order, prog);
+  auto psmap = packet_state_map(*store, root, topo.ports(), order);
+  TrafficMatrix tm = gravity_traffic(topo, 5.0, 3);
+  auto pr = solve_scalable(topo, tm, psmap, deps);
+  Network net(topo, *store, root, pr.placement, pr.routing, order);
+  Packet pkt = dns_packet();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.inject(1, pkt));
+  }
+}
+BENCHMARK(BM_DataplaneInject);
+
+}  // namespace
+}  // namespace snap
+
+BENCHMARK_MAIN();

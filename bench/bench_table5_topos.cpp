@@ -1,0 +1,20 @@
+// Table 5: statistics of the evaluated enterprise/ISP topologies.
+// Prints switch, directed-link and OBS-demand counts for our synthetic
+// equivalents, next to the numbers published in the paper.
+#include "bench_common.h"
+
+int main() {
+  using namespace snap;
+  bench::print_header("Table 5: topology statistics", "Table 5");
+  std::printf("%-10s %10s %8s %10s %16s\n", "Topology", "#Switches",
+              "#Edges", "#Demands", "#Demands(paper)");
+  const int paper_demands[] = {20736, 34225, 24336, 3600, 5184, 9216, 12544};
+  int i = 0;
+  for (const auto& spec : table5_specs()) {
+    Topology t = make_table5_topology(spec, 42);
+    std::size_t ports = t.ports().size();
+    std::printf("%-10s %10d %8zu %10zu %16d\n", spec.name, t.num_switches(),
+                t.links().size(), ports * ports, paper_demands[i++]);
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Table 6: runtime of the compiler phases when compiling DNS-tunnel-detect
+// with routing on the enterprise/ISP topologies.
+//
+// Columns mirror the paper: P1-P3 (analysis), P5 ST (joint placement +
+// routing), P5 TE (routing re-optimization), P6 (rule generation), and P4
+// (optimization model creation).
+#include "bench_common.h"
+
+int main() {
+  using namespace snap;
+  bench::print_header(
+      "Table 6: per-phase compile times for DNS-tunnel-detect + routing",
+      "Table 6");
+  std::printf("%-10s %12s %10s %10s %10s %10s\n", "Topology", "P1-P2-P3(s)",
+              "P5 ST(s)", "P5 TE(s)", "P6(s)", "P4(s)");
+  for (const auto& spec : table5_specs()) {
+    Topology topo = make_table5_topology(spec, 42);
+    TrafficMatrix tm = bench::default_traffic(topo, 7);
+    Compiler compiler(topo, tm);
+    PolPtr prog = bench::dns_tunnel_with_routing(topo);
+    CompileResult r = compiler.compile(prog);
+    TrafficMatrix shifted = bench::default_traffic(topo, 8);
+    PhaseTimes te = compiler.reoptimize_te(r, shifted);
+    std::printf("%-10s %12.3f %10.3f %10.3f %10.3f %10.3f\n", spec.name,
+                r.times.p1_dependency + r.times.p2_xfdd + r.times.p3_psmap,
+                r.times.p5_solve_st, te.p5_solve_te, r.times.p6_rulegen,
+                r.times.p4_model);
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Quickstart: write a stateful one-big-switch program, compile it onto a
+// physical topology, and watch packets flow through the distributed data
+// plane.
+//
+//   $ ./quickstart
+//
+// The program is the paper's §2.1 monitoring example — a per-port packet
+// counter composed in parallel with a stateful firewall — written against
+// the public builder API, then parsed again from its textual form to show
+// the parser round-trip.
+#include <cstdio>
+
+#include "apps/apps.h"
+#include "compiler/pipeline.h"
+#include "dataplane/network.h"
+#include "lang/parser.h"
+#include "lang/printer.h"
+#include "topo/gen.h"
+
+using namespace snap;
+using namespace snap::dsl;
+
+int main() {
+  // --- 1. the one-big-switch program ------------------------------------
+  // Count every packet per ingress port, then allow only connections
+  // initiated from 10.0.1.0/24, then forward by destination subnet. The
+  // counter is sequential: it observes every packet but the firewall still
+  // gates all forwarding. (Composing with `+` instead would fork a second,
+  // unfiltered copy — SNAP's parallel composition copies packets.)
+  PolPtr firewall = apps::stateful_firewall("fw", "10.0.1.0/24");
+  PolPtr counter = apps::per_port_counter("mon");
+  PolPtr egress = apps::assign_egress({{"10.0.1.0/24", 1},
+                                       {"10.0.2.0/24", 2}});
+  PolPtr program = counter >> (firewall >> egress);
+
+  std::printf("SNAP program:\n%s\n\n", to_string(program).c_str());
+
+  // The same program can be written as text and parsed:
+  PolPtr parsed = parse_policy(
+      "(if srcip = 10.0.1.0/24 then fw2.established[srcip][dstip] <- True\n"
+      " else (if dstip = 10.0.1.0/24\n"
+      "       then fw2.established[dstip][srcip] = True else id)\n"
+      " + mon2.count[inport]++);\n"
+      "if dstip = 10.0.1.0/24 then outport <- 1\n"
+      "else (if dstip = 10.0.2.0/24 then outport <- 2 else drop)");
+  std::printf("parsed text form has %zu AST nodes\n\n", ast_size(parsed));
+
+  // --- 2. compile onto a physical network --------------------------------
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 20.0, 1);
+  Compiler compiler(topo, tm);
+  CompileResult result = compiler.compile(program);
+
+  std::printf("compiled in %.3fs: xFDD has %zu nodes\n",
+              result.times.cold_start(), result.xfdd_nodes);
+  for (const auto& [var, sw] : result.pr.placement.switch_of) {
+    std::printf("  state '%s' placed on switch %d\n",
+                state_var_name(var).c_str(), sw);
+  }
+
+  // --- 3. run packets through the data plane ------------------------------
+  Network net(topo, *result.store, result.root, result.pr.placement,
+              result.pr.routing, result.order);
+
+  Value inside = 0x0a000105;   // 10.0.1.5
+  Value outside = 0x0a000207;  // 10.0.2.7
+
+  // Outbound packet opens the firewall hole and is delivered at port 2.
+  Packet out_pkt{{"srcip", inside}, {"dstip", outside}, {"inport", 1}};
+  auto d1 = net.inject(1, out_pkt);
+  std::printf("\noutbound packet -> %zu delivery(ies), egress port %d\n",
+              d1.size(), d1.empty() ? -1 : d1[0].outport);
+
+  // The response now passes the stateful firewall.
+  Packet back{{"srcip", outside}, {"dstip", inside}, {"inport", 2}};
+  auto d2 = net.inject(2, back);
+  std::printf("response packet -> %zu delivery(ies)\n", d2.size());
+
+  // An unsolicited probe is dropped in the data plane.
+  Packet probe{{"srcip", 0x08080808}, {"dstip", inside}, {"inport", 2}};
+  auto d3 = net.inject(2, probe);
+  std::printf("unsolicited probe -> %zu delivery(ies) (dropped)\n",
+              d3.size());
+
+  std::printf("\ndistributed state after the exchange:\n%s",
+              net.merged_state().to_string().c_str());
+  return 0;
+}

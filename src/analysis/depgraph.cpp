@@ -1,0 +1,223 @@
+#include "analysis/depgraph.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/status.h"
+
+namespace snap {
+namespace {
+
+// Read/write sets for dependency purposes: ++/-- count as read AND write.
+struct RwSets {
+  std::set<StateVarId> reads;
+  std::set<StateVarId> writes;
+
+  std::set<StateVarId> all() const {
+    std::set<StateVarId> out = reads;
+    out.insert(writes.begin(), writes.end());
+    return out;
+  }
+};
+
+void pred_reads(const PredPtr& x, std::set<StateVarId>& out) {
+  std::visit(
+      [&](const auto& n) {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, PredNot>) {
+          pred_reads(n.x, out);
+        } else if constexpr (std::is_same_v<T, PredOr> ||
+                             std::is_same_v<T, PredAnd>) {
+          pred_reads(n.x, out);
+          pred_reads(n.y, out);
+        } else if constexpr (std::is_same_v<T, PredStateTest>) {
+          out.insert(n.var);
+        }
+      },
+      x->node);
+}
+
+void cross(const std::set<StateVarId>& from, const std::set<StateVarId>& to,
+           std::set<std::pair<StateVarId, StateVarId>>& edges) {
+  for (StateVarId s : from) {
+    for (StateVarId t : to) edges.insert({s, t});
+  }
+}
+
+RwSets walk(const PolPtr& p,
+            std::set<std::pair<StateVarId, StateVarId>>& edges,
+            std::set<StateVarId>& vars) {
+  return std::visit(
+      [&](const auto& n) -> RwSets {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, PolFilter>) {
+          RwSets rw;
+          pred_reads(n.pred, rw.reads);
+          vars.insert(rw.reads.begin(), rw.reads.end());
+          return rw;
+        } else if constexpr (std::is_same_v<T, PolMod>) {
+          return {};
+        } else if constexpr (std::is_same_v<T, PolStateSet>) {
+          vars.insert(n.var);
+          RwSets rw;
+          rw.writes.insert(n.var);
+          return rw;
+        } else if constexpr (std::is_same_v<T, PolStateInc> ||
+                             std::is_same_v<T, PolStateDec>) {
+          vars.insert(n.var);
+          RwSets rw;
+          rw.reads.insert(n.var);
+          rw.writes.insert(n.var);
+          return rw;
+        } else if constexpr (std::is_same_v<T, PolSeq>) {
+          RwSets a = walk(n.p, edges, vars);
+          RwSets b = walk(n.q, edges, vars);
+          cross(a.reads, b.writes, edges);
+          RwSets out;
+          out.reads = a.reads;
+          out.reads.insert(b.reads.begin(), b.reads.end());
+          out.writes = a.writes;
+          out.writes.insert(b.writes.begin(), b.writes.end());
+          return out;
+        } else if constexpr (std::is_same_v<T, PolPar>) {
+          RwSets a = walk(n.p, edges, vars);
+          RwSets b = walk(n.q, edges, vars);
+          RwSets out;
+          out.reads = a.reads;
+          out.reads.insert(b.reads.begin(), b.reads.end());
+          out.writes = a.writes;
+          out.writes.insert(b.writes.begin(), b.writes.end());
+          return out;
+        } else if constexpr (std::is_same_v<T, PolIf>) {
+          std::set<StateVarId> cond_reads;
+          pred_reads(n.cond, cond_reads);
+          vars.insert(cond_reads.begin(), cond_reads.end());
+          RwSets a = walk(n.then_p, edges, vars);
+          RwSets b = walk(n.else_p, edges, vars);
+          std::set<StateVarId> branch_writes = a.writes;
+          branch_writes.insert(b.writes.begin(), b.writes.end());
+          cross(cond_reads, branch_writes, edges);
+          RwSets out;
+          out.reads = cond_reads;
+          out.reads.insert(a.reads.begin(), a.reads.end());
+          out.reads.insert(b.reads.begin(), b.reads.end());
+          out.writes = branch_writes;
+          return out;
+        } else {
+          static_assert(std::is_same_v<T, PolAtomic>);
+          RwSets inner = walk(n.p, edges, vars);
+          auto all = inner.all();
+          cross(all, all, edges);
+          return inner;
+        }
+      },
+      p->node);
+}
+
+}  // namespace
+
+DependencyGraph DependencyGraph::build(const PolPtr& p) {
+  DependencyGraph g;
+  walk(p, g.edges_, g.vars_);
+  g.condense();
+  return g;
+}
+
+void DependencyGraph::condense() {
+  // Tarjan's SCC over vars_ with edges_.
+  std::map<StateVarId, std::vector<StateVarId>> adj;
+  for (const auto& [s, t] : edges_) {
+    if (s != t) adj[s].push_back(t);
+  }
+  std::map<StateVarId, int> index, lowlink;
+  std::vector<StateVarId> stack;
+  std::set<StateVarId> on_stack;
+  int next_index = 0;
+  std::vector<std::vector<StateVarId>> sccs;  // reverse topological order
+
+  std::function<void(StateVarId)> strongconnect = [&](StateVarId v) {
+    index[v] = lowlink[v] = next_index++;
+    stack.push_back(v);
+    on_stack.insert(v);
+    auto it = adj.find(v);
+    if (it != adj.end()) {
+      for (StateVarId w : it->second) {
+        if (!index.count(w)) {
+          strongconnect(w);
+          lowlink[v] = std::min(lowlink[v], lowlink[w]);
+        } else if (on_stack.count(w)) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      }
+    }
+    if (lowlink[v] == index[v]) {
+      std::vector<StateVarId> scc;
+      for (;;) {
+        StateVarId w = stack.back();
+        stack.pop_back();
+        on_stack.erase(w);
+        scc.push_back(w);
+        if (w == v) break;
+      }
+      std::sort(scc.begin(), scc.end());
+      sccs.push_back(std::move(scc));
+    }
+  };
+  for (StateVarId v : vars_) {
+    if (!index.count(v)) strongconnect(v);
+  }
+
+  // Tarjan emits SCCs in reverse topological order of the condensation.
+  std::reverse(sccs.begin(), sccs.end());
+  components_ = std::move(sccs);
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    for (StateVarId v : components_[i]) {
+      component_of_[v] = static_cast<int>(i);
+    }
+  }
+}
+
+std::vector<std::pair<StateVarId, StateVarId>> DependencyGraph::tied_pairs()
+    const {
+  std::vector<std::pair<StateVarId, StateVarId>> out;
+  for (const auto& scc : components_) {
+    for (std::size_t i = 0; i < scc.size(); ++i) {
+      for (std::size_t j = i + 1; j < scc.size(); ++j) {
+        out.emplace_back(scc[i], scc[j]);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<StateVarId, StateVarId>> DependencyGraph::dep_pairs()
+    const {
+  std::vector<std::pair<StateVarId, StateVarId>> out;
+  for (const auto& [s, t] : edges_) {
+    if (s != t && component_of_.at(s) != component_of_.at(t)) {
+      out.emplace_back(s, t);
+    }
+  }
+  return out;
+}
+
+int DependencyGraph::component(StateVarId s) const {
+  auto it = component_of_.find(s);
+  SNAP_CHECK(it != component_of_.end(), "unknown state variable");
+  return it->second;
+}
+
+int DependencyGraph::rank(StateVarId s) const { return component(s); }
+
+TestOrder DependencyGraph::test_order() const {
+  std::size_t n = state_var_count();
+  std::vector<int> ranks(n);
+  // Variables not in this program keep a stable order after the program's.
+  for (std::size_t i = 0; i < n; ++i) {
+    ranks[i] = static_cast<int>(components_.size() + i);
+  }
+  for (const auto& [v, c] : component_of_) ranks[v] = c;
+  return TestOrder(std::move(ranks));
+}
+
+}  // namespace snap

@@ -1,0 +1,73 @@
+// State dependency analysis (§4.1, Appendix B Figure 14).
+//
+// A state variable t depends on s when the program may write t after reading
+// s; any realization must route packets through s's switch before t's.
+// The st-dep relation:
+//
+//   st-dep(p + q)              = st-dep(p) ∪ st-dep(q)
+//   st-dep(p ; q)              = r(p) × w(q) ∪ st-dep(p) ∪ st-dep(q)
+//   st-dep(if a then p else q) = r(a) × (w(p) ∪ w(q)) ∪ st-dep(p) ∪ st-dep(q)
+//   st-dep(atomic(p))          = (r(p) ∪ w(p)) × (r(p) ∪ w(p))
+//
+// For dependency purposes increments/decrements both read and write their
+// variable (they are read-modify-write), giving self-loops that are
+// harmless. The dependency graph is condensed into SCCs (Tarjan); variables
+// in one SCC are `tied` (must be co-located, §4.4), and the condensation's
+// topological order yields the total order on state variables used by the
+// xFDD (§4.2) and the MILP's `dep` pairs.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "lang/ast.h"
+#include "xfdd/order.h"
+
+namespace snap {
+
+class DependencyGraph {
+ public:
+  // Analyzes a policy.
+  static DependencyGraph build(const PolPtr& p);
+
+  // All state variables appearing in the policy.
+  const std::set<StateVarId>& vars() const { return vars_; }
+
+  // Directed edges s -> t: "t written after reading s".
+  const std::set<std::pair<StateVarId, StateVarId>>& edges() const {
+    return edges_;
+  }
+
+  // Pairs that must be co-located (same SCC, distinct variables). Symmetric
+  // closure is implied; each unordered pair is reported once (a < b).
+  std::vector<std::pair<StateVarId, StateVarId>> tied_pairs() const;
+
+  // Ordered dependency pairs across SCCs: s must be visited before t.
+  std::vector<std::pair<StateVarId, StateVarId>> dep_pairs() const;
+
+  // Rank of each variable: SCCs in topological order; variables in the same
+  // SCC share a rank. Suitable for TestOrder.
+  int rank(StateVarId s) const;
+
+  // The SCC id of a variable (dense, 0-based, topologically ordered).
+  int component(StateVarId s) const;
+
+  // Groups of co-located variables (one per SCC), topologically ordered.
+  const std::vector<std::vector<StateVarId>>& components() const {
+    return components_;
+  }
+
+  // Builds the xFDD test order induced by this graph.
+  TestOrder test_order() const;
+
+ private:
+  void condense();
+
+  std::set<StateVarId> vars_;
+  std::set<std::pair<StateVarId, StateVarId>> edges_;
+  std::map<StateVarId, int> component_of_;
+  std::vector<std::vector<StateVarId>> components_;  // topological order
+};
+
+}  // namespace snap

@@ -1,0 +1,123 @@
+#include "analysis/psmap.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace snap {
+namespace {
+
+struct Traversal {
+  const XfddStore& store;
+  const std::vector<PortId>& ports;
+  const TestOrder& order;
+  PacketStateMap out;
+
+  void sort_by_rank(std::vector<StateVarId>& vars) const {
+    std::sort(vars.begin(), vars.end(), [&](StateVarId a, StateVarId b) {
+      int ra = order.state_rank(a);
+      int rb = order.state_rank(b);
+      return ra != rb ? ra < rb : a < b;
+    });
+    vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  }
+
+  void record(const std::set<PortId>& inports, PortId egress,
+              std::vector<StateVarId> vars) {
+    if (vars.empty()) return;
+    sort_by_rank(vars);
+    out.all_vars.insert(vars.begin(), vars.end());
+    for (StateVarId v : vars) out.ranks[v] = order.state_rank(v);
+    for (PortId u : inports) {
+      auto& entry = out.flow_states[{u, egress}];
+      std::vector<StateVarId> merged = entry;
+      merged.insert(merged.end(), vars.begin(), vars.end());
+      sort_by_rank(merged);
+      entry = std::move(merged);
+    }
+  }
+
+  void leaf(const ActionSet& actions, const std::set<PortId>& inports,
+            const std::vector<StateVarId>& reads) {
+    std::vector<StateVarId> vars = reads;
+    for (StateVarId w : actions.written_vars()) vars.push_back(w);
+    if (vars.empty()) return;
+
+    const FieldId outport = fields::outport();
+    std::set<PortId> egresses;
+    bool any_unresolved = false;
+    for (const ActionSeq& seq : actions.seqs()) {
+      if (seq.is_drop()) continue;
+      auto it = std::find_if(seq.mods().begin(), seq.mods().end(),
+                             [&](const auto& m) { return m.first == outport; });
+      if (it != seq.mods().end()) {
+        egresses.insert(static_cast<PortId>(it->second));
+      } else {
+        any_unresolved = true;
+      }
+    }
+    // Dropped copies (or copies with undetermined egress) still must reach
+    // the state they touch: attach them to every egress of these inports.
+    if (egresses.empty() || any_unresolved) {
+      record(inports, kPortAny, vars);
+    }
+    for (PortId v : egresses) {
+      record(inports, v, vars);
+    }
+  }
+
+  void walk(XfddId node, std::set<PortId> inports,
+            std::vector<StateVarId> reads) {
+    if (inports.empty()) return;  // unreachable from any port
+    if (store.is_leaf(node)) {
+      leaf(store.leaf_actions(node), inports, reads);
+      return;
+    }
+    const BranchNode& b = store.branch_node(node);
+    if (const auto* st = std::get_if<TestState>(&b.test)) {
+      std::vector<StateVarId> with = reads;
+      with.push_back(st->var);
+      walk(b.hi, inports, with);
+      walk(b.lo, inports, std::move(with));  // a read happens either way
+      return;
+    }
+    if (const auto* fv = std::get_if<TestFV>(&b.test)) {
+      if (fv->field == fields::inport() && fv->prefix_len == kExactMatch) {
+        auto port = static_cast<PortId>(fv->value);
+        std::set<PortId> hi_ports;
+        if (inports.count(port)) hi_ports.insert(port);
+        std::set<PortId> lo_ports = inports;
+        lo_ports.erase(port);
+        walk(b.hi, std::move(hi_ports), reads);
+        walk(b.lo, std::move(lo_ports), std::move(reads));
+        return;
+      }
+    }
+    walk(b.hi, inports, reads);
+    walk(b.lo, std::move(inports), std::move(reads));
+  }
+};
+
+}  // namespace
+
+std::vector<StateVarId> PacketStateMap::states_for(PortId u, PortId v) const {
+  auto exact = flow_states.find({u, v});
+  return exact == flow_states.end() ? std::vector<StateVarId>{}
+                                    : exact->second;
+}
+
+std::vector<StateVarId> PacketStateMap::any_states(PortId u) const {
+  auto any = flow_states.find({u, kPortAny});
+  return any == flow_states.end() ? std::vector<StateVarId>{} : any->second;
+}
+
+PacketStateMap packet_state_map(const XfddStore& store, XfddId root,
+                                const std::vector<PortId>& ports,
+                                const TestOrder& order) {
+  Traversal t{store, ports, order, {}};
+  std::set<PortId> all(ports.begin(), ports.end());
+  t.walk(root, std::move(all), {});
+  return std::move(t.out);
+}
+
+}  // namespace snap

@@ -1,0 +1,56 @@
+// Packet-state mapping (§4.3, Appendix E).
+//
+// Traverses the program's xFDD from root to every leaf, tracking which OBS
+// inports can reach each path (from tests on the `inport` field, including
+// those contributed by an operator assumption policy) and which egress the
+// leaf assigns (`outport` modifications). Every state test on the path is a
+// read; every state operation in the leaf is a write. The result maps each
+// (ingress, egress) OBS port pair to the ordered set of state variables its
+// packets need — the S_uv input of the MILP (Table 1).
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "xfdd/order.h"
+#include "xfdd/xfdd.h"
+
+namespace snap {
+
+using PortId = int;
+
+// Egress value for leaves that drop every copy (packets still must traverse
+// their state variables' switches) or never set outport.
+inline constexpr PortId kPortAny = -1;
+
+struct PacketStateMap {
+  // For each (u, v): state variables the flow needs, in dependency order.
+  // v == kPortAny means "any egress of u" (stateful drop paths).
+  std::map<std::pair<PortId, PortId>, std::vector<StateVarId>> flow_states;
+
+  // All state variables seen anywhere in the diagram.
+  std::set<StateVarId> all_vars;
+
+  // Dependency rank of each variable (snapshot of the TestOrder used).
+  std::map<StateVarId, int> ranks;
+
+  // The variables flow (u, v) needs (the exact (u,v) entry),
+  // dependency-ordered. Drop-path requirements are deliberately *not*
+  // merged in: dropped packets carry negligible volume and are routed
+  // post-hoc through their states (Appendix D's stuck-packet walk), so they
+  // must not constrain the placement of every (u,v) flow.
+  std::vector<StateVarId> states_for(PortId u, PortId v) const;
+
+  // State variables needed by packets entering at u whose egress is
+  // unresolved (dropped after touching state, or state-dependent egress).
+  std::vector<StateVarId> any_states(PortId u) const;
+};
+
+// `ports` lists the OBS external ports. Inport tests must be exact
+// field-value tests on the "inport" field.
+PacketStateMap packet_state_map(const XfddStore& store, XfddId root,
+                                const std::vector<PortId>& ports,
+                                const TestOrder& order);
+
+}  // namespace snap

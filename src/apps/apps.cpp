@@ -1,0 +1,474 @@
+#include "apps/apps.h"
+
+#include "util/status.h"
+
+namespace snap {
+namespace apps {
+
+using namespace snap::dsl;
+
+namespace consts {
+// tcp.flags values
+constexpr Value kSyn = 2;
+constexpr Value kAck = 16;
+constexpr Value kFin = 1;
+constexpr Value kSynAck = 18;
+constexpr Value kFinAck = 17;
+constexpr Value kRst = 4;
+// tcp-state machine states
+constexpr Value kClosed = 0;
+constexpr Value kSynSent = 1;
+constexpr Value kSynReceived = 2;
+constexpr Value kEstablished = 3;
+constexpr Value kFinWait = 4;
+constexpr Value kFinWait2 = 5;
+// MTA classification
+constexpr Value kUnknown = 0;
+constexpr Value kTracked = 1;
+constexpr Value kSpammer = 2;
+// flow sizes
+constexpr Value kSmall = 1;
+constexpr Value kMedium = 2;
+constexpr Value kLarge = 3;
+// protocols / frame types
+constexpr Value kUdp = 17;
+constexpr Value kTcp = 6;
+constexpr Value kIframe = 1;
+}  // namespace consts
+
+const ConstTable& protocol_constants() {
+  static const ConstTable table{
+      {"SYN", consts::kSyn},           {"ACK", consts::kAck},
+      {"FIN", consts::kFin},           {"SYN-ACK", consts::kSynAck},
+      {"FIN-ACK", consts::kFinAck},    {"RST", consts::kRst},
+      {"CLOSED", consts::kClosed},     {"SYN-SENT", consts::kSynSent},
+      {"SYN-RECEIVED", consts::kSynReceived},
+      {"ESTABLISHED", consts::kEstablished},
+      {"FIN-WAIT", consts::kFinWait},  {"FIN-WAIT2", consts::kFinWait2},
+      {"Unknown", consts::kUnknown},   {"Tracked", consts::kTracked},
+      {"Spammer", consts::kSpammer},   {"SMALL", consts::kSmall},
+      {"MEDIUM", consts::kMedium},     {"LARGE", consts::kLarge},
+      {"UDP", consts::kUdp},           {"TCP", consts::kTcp},
+      {"Iframe", consts::kIframe},
+  };
+  return table;
+}
+
+namespace {
+
+std::string var(const std::string& prefix, const std::string& name) {
+  return prefix.empty() ? name : prefix + "." + name;
+}
+
+// The five-tuple index [srcip][dstip][srcport][dstport][proto].
+Expr five_tuple() {
+  return idx("srcip", "dstip", "srcport", "dstport", "proto");
+}
+
+// The reversed five-tuple (the other direction of a connection).
+Expr five_tuple_rev() {
+  return idx("dstip", "srcip", "dstport", "srcport", "proto");
+}
+
+// The four-tuple [srcip][dstip][srcport][dstport].
+Expr four_tuple() { return idx("srcip", "dstip", "srcport", "dstport"); }
+
+}  // namespace
+
+PolPtr assign_egress(
+    const std::vector<std::pair<std::string, PortId>>& subnet_ports) {
+  PolPtr p = filter(drop());
+  for (auto it = subnet_ports.rbegin(); it != subnet_ports.rend(); ++it) {
+    p = ite(test_cidr("dstip", it->first), mod("outport", it->second),
+            std::move(p));
+  }
+  return p;
+}
+
+PredPtr assumption(
+    const std::vector<std::pair<std::string, PortId>>& subnet_ports) {
+  PredPtr x = drop();
+  for (const auto& [subnet, port] : subnet_ports) {
+    x = lor(std::move(x),
+            land(test_cidr("srcip", subnet), test("inport", port)));
+  }
+  return x;
+}
+
+std::vector<std::pair<std::string, PortId>> default_subnets(
+    const std::vector<PortId>& ports) {
+  std::vector<std::pair<std::string, PortId>> out;
+  out.reserve(ports.size());
+  for (PortId p : ports) {
+    out.emplace_back("10." + std::to_string(p / 256) + "." +
+                         std::to_string(p % 256) + ".0/24",
+                     p);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- Chimera
+
+// SNAP-Policy 1: detect IPs advertised under many different domain names.
+PolPtr many_ip_domains(const std::string& prefix, Value threshold) {
+  auto pair_seen = var(prefix, "domain-ip-pair");
+  auto num = var(prefix, "num-of-domains");
+  auto mal = var(prefix, "mal-ip-list");
+  return ite(
+      test("srcport", 53),
+      ite(lnot(stest(pair_seen, idx("dns.rdata", "dns.qname"), lit(kTrue))),
+          sinc(num, idx("dns.rdata")) >>
+              (sset(pair_seen, idx("dns.rdata", "dns.qname"), lit(kTrue)) >>
+               ite(stest(num, idx("dns.rdata"), lit(threshold)),
+                   sset(mal, idx("dns.rdata"), lit(kTrue)), filter(id()))),
+          filter(id())),
+      filter(id()));
+}
+
+// SNAP-Policy 2: detect domains resolving to many distinct IPs.
+PolPtr many_domain_ips(const std::string& prefix, Value threshold) {
+  auto pair_seen = var(prefix, "ip-domain-pair");
+  auto num = var(prefix, "num-of-ips");
+  auto mal = var(prefix, "mal-domain-list");
+  return ite(
+      test("srcport", 53),
+      ite(lnot(stest(pair_seen, idx("dns.qname", "dns.rdata"), lit(kTrue))),
+          sinc(num, idx("dns.qname")) >>
+              (sset(pair_seen, idx("dns.qname", "dns.rdata"), lit(kTrue)) >>
+               ite(stest(num, idx("dns.qname"), lit(threshold)),
+                   sset(mal, idx("dns.qname"), lit(kTrue)), filter(id()))),
+          filter(id())),
+      filter(id()));
+}
+
+// SNAP-Policy 4: track announced-TTL changes per domain.
+PolPtr dns_ttl_change(const std::string& prefix, Value /*threshold*/) {
+  auto seen = var(prefix, "seen");
+  auto last = var(prefix, "last-ttl");
+  auto changes = var(prefix, "ttl-change");
+  return ite(
+      test("srcport", 53),
+      ite(lnot(stest(seen, idx("dns.rdata"), lit(kTrue))),
+          sset(seen, idx("dns.rdata"), lit(kTrue)) >>
+              (sset(last, idx("dns.rdata"), fld("dns.ttl")) >>
+               sset(changes, idx("dns.rdata"), lit(0))),
+          ite(stest(last, idx("dns.rdata"), fld("dns.ttl")), filter(id()),
+              sset(last, idx("dns.rdata"), fld("dns.ttl")) >>
+                  sinc(changes, idx("dns.rdata")))),
+      filter(id()));
+}
+
+// Figure 1: DNS tunnel detection for `subnet`.
+PolPtr dns_tunnel_detect(const std::string& prefix, const std::string& subnet,
+                         Value threshold) {
+  auto orphan = var(prefix, "orphan");
+  auto susp = var(prefix, "susp-client");
+  auto blacklist = var(prefix, "blacklist");
+  auto dns_response = land(test_cidr("dstip", subnet), test("srcport", 53));
+  return ite(
+      dns_response,
+      sset(orphan, idx("dstip", "dns.rdata"), lit(kTrue)) >>
+          (sinc(susp, idx("dstip")) >>
+           ite(stest(susp, idx("dstip"), lit(threshold)),
+               sset(blacklist, idx("dstip"), lit(kTrue)), filter(id()))),
+      ite(land(test_cidr("srcip", subnet),
+               stest(orphan, idx("srcip", "dstip"), lit(kTrue))),
+          sset(orphan, idx("srcip", "dstip"), lit(kFalse)) >>
+              sdec(susp, idx("srcip")),
+          filter(id())));
+}
+
+// SNAP-Policy 8: flag session cookies reused from another client.
+PolPtr sidejack_detect(const std::string& prefix, const std::string& server) {
+  auto active = var(prefix, "active-session");
+  auto sid2ip = var(prefix, "sid2ip");
+  auto sid2agent = var(prefix, "sid2agent");
+  return ite(
+      land(test_cidr("dstip", server), lnot(test("sid", 0))),
+      ite(lnot(stest(active, idx("sid"), lit(kTrue))),
+          atomic(sset(active, idx("sid"), lit(kTrue)) >>
+                 (sset(sid2ip, idx("sid"), fld("srcip")) >>
+                  sset(sid2agent, idx("sid"), fld("http.user-agent")))),
+          ite(land(stest(sid2ip, idx("sid"), fld("srcip")),
+                   stest(sid2agent, idx("sid"), fld("http.user-agent"))),
+              filter(id()), filter(drop()))),
+      filter(id()));
+}
+
+// SNAP-Policy 6: flag new mail transfer agents that burst mail.
+PolPtr spam_detect(const std::string& prefix, Value threshold) {
+  auto dir = var(prefix, "MTA-dir");
+  auto counter = var(prefix, "mail-counter");
+  return ite(stest(dir, idx("smtp.MTA"), lit(consts::kUnknown)),
+             sset(dir, idx("smtp.MTA"), lit(consts::kTracked)) >>
+                 sset(counter, idx("smtp.MTA"), lit(0)),
+             filter(id())) >>
+         ite(stest(dir, idx("smtp.MTA"), lit(consts::kTracked)),
+             sinc(counter, idx("smtp.MTA")) >>
+                 ite(stest(counter, idx("smtp.MTA"), lit(threshold)),
+                     sset(dir, idx("smtp.MTA"), lit(consts::kSpammer)),
+                     filter(id())),
+             filter(id()));
+}
+
+// ------------------------------------------------------------------- FAST
+
+// SNAP-Policy 3: allow only connections initiated inside `inside_subnet`.
+PolPtr stateful_firewall(const std::string& prefix,
+                         const std::string& inside_subnet) {
+  auto est = var(prefix, "established");
+  return ite(test_cidr("srcip", inside_subnet),
+             sset(est, idx("srcip", "dstip"), lit(kTrue)),
+             ite(test_cidr("dstip", inside_subnet),
+                 filter(stest(est, idx("dstip", "srcip"), lit(kTrue))),
+                 filter(id())));
+}
+
+// SNAP-Policy 5: admit FTP data connections announced on the control channel.
+PolPtr ftp_monitoring(const std::string& prefix) {
+  auto chan = var(prefix, "ftp-data-chan");
+  return ite(test("dstport", 21),
+             sset(chan, idx("srcip", "dstip", "ftp.PORT"), lit(kTrue)),
+             ite(test("srcport", 20),
+                 filter(stest(chan, idx("dstip", "srcip", "ftp.PORT"),
+                              lit(kTrue))),
+                 filter(id())));
+}
+
+// SNAP-Policy 7: per-source SYN counting.
+PolPtr heavy_hitter(const std::string& prefix, Value threshold) {
+  auto counter = var(prefix, "hh-counter");
+  auto hh = var(prefix, "heavy-hitter");
+  return ite(land(test("tcp.flags", consts::kSyn),
+                  lnot(stest(hh, idx("srcip"), lit(kTrue)))),
+             sinc(counter, idx("srcip")) >>
+                 ite(stest(counter, idx("srcip"), lit(threshold)),
+                     sset(hh, idx("srcip"), lit(kTrue)), filter(id())),
+             filter(id()));
+}
+
+// SNAP-Policy 9: SYN up / FIN down per source.
+PolPtr super_spreader(const std::string& prefix, Value threshold) {
+  auto spreader = var(prefix, "spreader");
+  auto super = var(prefix, "super-spreader");
+  return ite(test("tcp.flags", consts::kSyn),
+             sinc(spreader, idx("srcip")) >>
+                 ite(stest(spreader, idx("srcip"), lit(threshold)),
+                     sset(super, idx("srcip"), lit(kTrue)), filter(id())),
+             ite(test("tcp.flags", consts::kFin),
+                 sdec(spreader, idx("srcip")), filter(id())));
+}
+
+namespace {
+
+// SNAP-Policy 10: classify flows by size.
+PolPtr flow_size_detect(const std::string& prefix) {
+  auto size = var(prefix, "flow-size");
+  auto type = var(prefix, "flow-type");
+  return sinc(size, five_tuple()) >>
+         ite(stest(size, five_tuple(), lit(1)),
+             sset(type, five_tuple(), lit(consts::kSmall)),
+             ite(stest(size, five_tuple(), lit(100)),
+                 sset(type, five_tuple(), lit(consts::kMedium)),
+                 ite(stest(size, five_tuple(), lit(1000)),
+                     sset(type, five_tuple(), lit(consts::kLarge)),
+                     filter(id()))));
+}
+
+// SNAP-Policies 12-14: keep every k-th packet of a class.
+PolPtr sampler(const std::string& counter_var, Value period) {
+  return sinc(counter_var, five_tuple()) >>
+         ite(stest(counter_var, five_tuple(), lit(period)),
+             sset(counter_var, five_tuple(), lit(0)), filter(drop()));
+}
+
+}  // namespace
+
+// SNAP-Policy 11: sampling rate keyed by detected flow size.
+PolPtr sampling_by_flow_size(const std::string& prefix) {
+  auto type = var(prefix, "flow-type");
+  return flow_size_detect(prefix) >>
+         ite(stest(type, five_tuple(), lit(consts::kSmall)),
+             sampler(var(prefix, "small-sampler"), 5),
+             ite(stest(type, five_tuple(), lit(consts::kMedium)),
+                 sampler(var(prefix, "medium-sampler"), 50),
+                 sampler(var(prefix, "large-sampler"), 500)));
+}
+
+// SNAP-Policy 15: drop MPEG B-frames whose I-frame was dropped.
+PolPtr selective_packet_dropping(const std::string& prefix) {
+  auto dep_count = var(prefix, "dep-count");
+  return ite(test("mpeg.frame-type", consts::kIframe),
+             sset(dep_count, four_tuple(), lit(14)),
+             ite(stest(dep_count, four_tuple(), lit(0)), filter(drop()),
+                 sdec(dep_count, four_tuple())));
+}
+
+// SNAP-Policy 16: per-connection load-balancer stickiness.
+PolPtr connection_affinity(const std::string& prefix, PolPtr lb) {
+  auto st = var(prefix, "tcp-state");
+  return ite(lor(stest(st, five_tuple_rev(), lit(consts::kEstablished)),
+                 stest(st, five_tuple(), lit(consts::kEstablished))),
+             std::move(lb), filter(id()));
+}
+
+// ----------------------------------------------------------------- Bohatei
+
+// SYN floods: SYNs without matching ACKs from the initiator side.
+PolPtr syn_flood_detect(const std::string& prefix, Value threshold) {
+  auto pending = var(prefix, "syn-pending");
+  auto flooder = var(prefix, "syn-flooder");
+  return ite(test("tcp.flags", consts::kSyn),
+             sinc(pending, idx("srcip")) >>
+                 ite(stest(pending, idx("srcip"), lit(threshold)),
+                     sset(flooder, idx("srcip"), lit(kTrue)), filter(id())),
+             ite(test("tcp.flags", consts::kAck),
+                 sdec(pending, idx("srcip")), filter(id())));
+}
+
+// SNAP-Policy 17: drop DNS answers nobody asked for.
+PolPtr dns_amplification(const std::string& prefix) {
+  auto benign = var(prefix, "benign-request");
+  return ite(test("dstport", 53),
+             sset(benign, idx("srcip", "dstip"), lit(kTrue)),
+             ite(land(test("srcport", 53),
+                      lnot(stest(benign, idx("dstip", "srcip"), lit(kTrue)))),
+                 filter(drop()), filter(id())));
+}
+
+// SNAP-Policy 18: classify and drop UDP flooders.
+PolPtr udp_flood(const std::string& prefix, Value threshold) {
+  auto counter = var(prefix, "udp-counter");
+  auto flooder = var(prefix, "udp-flooder");
+  return ite(land(test("proto", consts::kUdp),
+                  lnot(stest(flooder, idx("srcip"), lit(kTrue)))),
+             sinc(counter, idx("srcip")) >>
+                 ite(stest(counter, idx("srcip"), lit(threshold)),
+                     sset(flooder, idx("srcip"), lit(kTrue)) >>
+                         filter(drop()),
+                     filter(id())),
+             filter(id()));
+}
+
+// Elephant flows: flow-size detection followed by large-flow sampling (§F).
+PolPtr elephant_flows(const std::string& prefix) {
+  return flow_size_detect(prefix) >> sampler(var(prefix, "large-sampler"),
+                                             500);
+}
+
+// ------------------------------------------------------------------ others
+
+// SNAP-Policy 20: bump-on-the-wire TCP state machine.
+PolPtr tcp_state_machine(const std::string& prefix) {
+  auto st = var(prefix, "tcp-state");
+  auto fwd = five_tuple();
+  auto rev = five_tuple_rev();
+  auto in_state = [&](const Expr& dir, Value v) {
+    return stest(st, dir, lit(v));
+  };
+  auto to_state = [&](const Expr& dir, Value v) {
+    return sset(st, dir, lit(v));
+  };
+  auto flags = [&](Value v) { return test("tcp.flags", v); };
+  return ite(
+      land(flags(consts::kSyn), in_state(fwd, consts::kClosed)),
+      to_state(fwd, consts::kSynSent),
+      ite(land(flags(consts::kSynAck), in_state(rev, consts::kSynSent)),
+          to_state(rev, consts::kSynReceived),
+          ite(land(flags(consts::kAck), in_state(fwd, consts::kSynReceived)),
+              to_state(fwd, consts::kEstablished),
+              ite(land(flags(consts::kFin),
+                       in_state(fwd, consts::kEstablished)),
+                  to_state(fwd, consts::kFinWait),
+                  ite(land(flags(consts::kFinAck),
+                           in_state(rev, consts::kFinWait)),
+                      to_state(rev, consts::kFinWait2),
+                      ite(land(flags(consts::kAck),
+                               in_state(fwd, consts::kFinWait2)),
+                          to_state(fwd, consts::kClosed),
+                          ite(land(flags(consts::kRst),
+                                   in_state(rev, consts::kEstablished)),
+                              to_state(rev, consts::kClosed),
+                              filter(lor(
+                                  in_state(rev, consts::kEstablished),
+                                  in_state(fwd,
+                                           consts::kEstablished))))))))));
+}
+
+// SNAP-Policy 19: Snort flowbits — tag established Kindle web traffic.
+PolPtr snort_flowbits(const std::string& prefix, const std::string& home,
+                      const std::string& external, Value content_pattern) {
+  auto est = var(prefix, "established");
+  auto kindle = var(prefix, "kindle");
+  return filter(test_cidr("srcip", home)) >>
+         (filter(test_cidr("dstip", external)) >>
+          (filter(test("dstport", 80)) >>
+           (filter(stest(est, five_tuple(), lit(kTrue))) >>
+            (filter(test("content", content_pattern)) >>
+             sset(kindle, five_tuple(), lit(kTrue))))));
+}
+
+// §2.1 monitoring: per-ingress packet counter.
+PolPtr per_port_counter(const std::string& prefix) {
+  return sinc(var(prefix, "count"), idx("inport"));
+}
+
+const std::vector<AppSpec>& registry() {
+  static const std::vector<AppSpec> apps = [] {
+    std::vector<AppSpec> v;
+    auto add = [&](std::string name, std::string source,
+                   std::function<PolPtr(const std::string&)> build) {
+      v.push_back({std::move(name), std::move(source), std::move(build)});
+    };
+    add("many-ip-domains", "Chimera",
+        [](const std::string& p) { return many_ip_domains(p, 10); });
+    add("many-domain-ips", "Chimera",
+        [](const std::string& p) { return many_domain_ips(p, 10); });
+    add("dns-ttl-change", "Chimera",
+        [](const std::string& p) { return dns_ttl_change(p, 10); });
+    add("dns-tunnel-detect", "Chimera", [](const std::string& p) {
+      return dns_tunnel_detect(p, "10.0.6.0/24", 10);
+    });
+    add("sidejack-detect", "Chimera", [](const std::string& p) {
+      return sidejack_detect(p, "10.0.6.10/32");
+    });
+    add("spam-detect", "Chimera",
+        [](const std::string& p) { return spam_detect(p, 20); });
+    add("stateful-firewall", "FAST", [](const std::string& p) {
+      return stateful_firewall(p, "10.0.6.0/24");
+    });
+    add("ftp-monitoring", "FAST",
+        [](const std::string& p) { return ftp_monitoring(p); });
+    add("heavy-hitter", "FAST",
+        [](const std::string& p) { return heavy_hitter(p, 10); });
+    add("super-spreader", "FAST",
+        [](const std::string& p) { return super_spreader(p, 10); });
+    add("sampling-by-flow-size", "FAST",
+        [](const std::string& p) { return sampling_by_flow_size(p); });
+    add("selective-packet-dropping", "FAST",
+        [](const std::string& p) { return selective_packet_dropping(p); });
+    add("connection-affinity", "FAST", [](const std::string& p) {
+      return connection_affinity(p, dsl::mod("outport", 1));
+    });
+    add("syn-flood-detect", "Bohatei",
+        [](const std::string& p) { return syn_flood_detect(p, 10); });
+    add("dns-amplification", "Bohatei",
+        [](const std::string& p) { return dns_amplification(p); });
+    add("udp-flood", "Bohatei",
+        [](const std::string& p) { return udp_flood(p, 10); });
+    add("elephant-flows", "Bohatei",
+        [](const std::string& p) { return elephant_flows(p); });
+    add("snort-flowbits", "Others", [](const std::string& p) {
+      return snort_flowbits(p, "10.0.0.0/8", "128.0.0.0/8", 7);
+    });
+    add("per-port-counter", "Others",
+        [](const std::string& p) { return per_port_counter(p); });
+    add("tcp-state-machine", "Others",
+        [](const std::string& p) { return tcp_state_machine(p); });
+    return v;
+  }();
+  return apps;
+}
+
+}  // namespace apps
+}  // namespace snap

@@ -1,0 +1,87 @@
+// The SNAP application suite (Table 3 / Appendix F): the stateful network
+// functions the paper expresses in SNAP, drawn from Chimera, FAST and
+// Bohatei plus the paper's own examples.
+//
+// Every builder takes a `prefix` so state variables from different
+// applications never collide when policies are composed in parallel (the
+// Figure-11 experiment composes all of them), and a `threshold` where the
+// paper's pseudo-code has one. Protocol constants (TCP flags, TCP states,
+// MTA classes, ...) are the `consts` table, also usable with the parser.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/psmap.h"
+#include "lang/ast.h"
+#include "lang/parser.h"
+
+namespace snap {
+namespace apps {
+
+// Protocol constants used by the applications (SYN, ESTABLISHED, ...).
+const ConstTable& protocol_constants();
+
+// ---- building blocks -----------------------------------------------------
+
+// assign-egress (§2.1): dstip prefix -> outport, unmatched traffic dropped.
+PolPtr assign_egress(
+    const std::vector<std::pair<std::string, PortId>>& subnet_ports);
+
+// The operator assumption predicate (§4.3): srcip in subnet <-> inport.
+PredPtr assumption(
+    const std::vector<std::pair<std::string, PortId>>& subnet_ports);
+
+// Port i owns 10.0.i.0/24, for every port of `ports` (the paper's campus
+// convention).
+std::vector<std::pair<std::string, PortId>> default_subnets(
+    const std::vector<PortId>& ports);
+
+// ---- Table 3 applications --------------------------------------------------
+
+// Chimera [5]
+PolPtr many_ip_domains(const std::string& prefix, Value threshold);
+PolPtr many_domain_ips(const std::string& prefix, Value threshold);
+PolPtr dns_ttl_change(const std::string& prefix, Value threshold);
+PolPtr dns_tunnel_detect(const std::string& prefix, const std::string& subnet,
+                         Value threshold);
+PolPtr sidejack_detect(const std::string& prefix, const std::string& server);
+PolPtr spam_detect(const std::string& prefix, Value threshold);
+
+// FAST [21]
+PolPtr stateful_firewall(const std::string& prefix,
+                         const std::string& inside_subnet);
+PolPtr ftp_monitoring(const std::string& prefix);
+PolPtr heavy_hitter(const std::string& prefix, Value threshold);
+PolPtr super_spreader(const std::string& prefix, Value threshold);
+PolPtr sampling_by_flow_size(const std::string& prefix);
+PolPtr selective_packet_dropping(const std::string& prefix);
+PolPtr connection_affinity(const std::string& prefix, PolPtr lb);
+
+// Bohatei [8]
+PolPtr syn_flood_detect(const std::string& prefix, Value threshold);
+PolPtr dns_amplification(const std::string& prefix);
+PolPtr udp_flood(const std::string& prefix, Value threshold);
+PolPtr elephant_flows(const std::string& prefix);
+
+// Others
+PolPtr tcp_state_machine(const std::string& prefix);
+PolPtr snort_flowbits(const std::string& prefix, const std::string& home,
+                      const std::string& external, Value content_pattern);
+PolPtr per_port_counter(const std::string& prefix);  // §2.1 monitoring
+
+// ---- registry ---------------------------------------------------------------
+
+struct AppSpec {
+  std::string name;
+  std::string source;  // Chimera / FAST / Bohatei / Others
+  // Builds the app with a given prefix (threshold fixed per app).
+  std::function<PolPtr(const std::string& prefix)> build;
+};
+
+// All Table-3 applications in the paper's order.
+const std::vector<AppSpec>& registry();
+
+}  // namespace apps
+}  // namespace snap

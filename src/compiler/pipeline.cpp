@@ -1,0 +1,143 @@
+#include "compiler/pipeline.h"
+
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace snap {
+
+Compiler::Compiler(const Topology& topo, TrafficMatrix tm,
+                   CompilerOptions opts)
+    : topo_(topo), tm_(std::move(tm)), opts_(std::move(opts)) {}
+
+bool Compiler::choose_exact(const PacketStateMap& psmap) const {
+  if (opts_.solver == SolverKind::kExact) return true;
+  if (opts_.solver == SolverKind::kScalable) return false;
+  // Estimate the arc model size: R variables per commodity and link, plus
+  // Ps variables per stateful commodity, group and link.
+  std::size_t commodities = 0;
+  std::size_t stateful = 0;
+  for (const auto& [uv, d] : tm_.demands()) {
+    if (d <= 0) continue;
+    ++commodities;
+    if (!psmap.states_for(uv.first, uv.second).empty()) ++stateful;
+  }
+  std::size_t links = topo_.links().size();
+  std::size_t est =
+      commodities * links + stateful * links * (psmap.all_vars.size() + 1);
+  return est <= opts_.exact_var_limit;
+}
+
+CompileResult Compiler::compile(const PolPtr& program) {
+  CompileResult out;
+  Timer t;
+
+  // P1: state dependency analysis.
+  out.deps = DependencyGraph::build(program);
+  out.order = out.deps.test_order();
+  out.times.p1_dependency = t.seconds();
+
+  // P2: xFDD generation.
+  t.reset();
+  out.store = std::make_shared<XfddStore>();
+  out.root = to_xfdd(*out.store, out.order, program);
+  out.xfdd_nodes = out.store->reachable_size(out.root);
+  out.times.p2_xfdd = t.seconds();
+
+  // P3: packet-state mapping.
+  t.reset();
+  out.psmap =
+      packet_state_map(*out.store, out.root, topo_.ports(), out.order);
+  out.times.p3_psmap = t.seconds();
+
+  // P4 + P5 (ST): model creation and joint placement/routing.
+  out.used_exact_milp = choose_exact(out.psmap);
+  if (!opts_.stateful_switches.empty() &&
+      opts_.scalable.stateful_switches.empty()) {
+    opts_.scalable.stateful_switches = opts_.stateful_switches;
+  }
+  if (opts_.state_capacity > 0 && opts_.scalable.state_capacity == 0) {
+    opts_.scalable.state_capacity = opts_.state_capacity;
+  }
+  if (out.used_exact_milp) {
+    try {
+      t.reset();
+      StModelOptions st_opts;
+      st_opts.stateful_switches = opts_.stateful_switches;
+      st_opts.state_capacity = std::max(opts_.state_capacity,
+                                        opts_.scalable.state_capacity);
+      StModel model = StModel::build(topo_, tm_, out.psmap, out.deps,
+                                     st_opts);
+      out.times.p4_model = t.seconds();
+      t.reset();
+      out.pr = model.solve(opts_.bnb);
+      out.times.p5_solve_st = t.seconds();
+      // Keep a scalable model around for fast TE re-optimization.
+      model_.emplace(topo_, tm_, out.psmap, out.deps, opts_.scalable);
+    } catch (const InternalError&) {
+      // The dense solver refused the instance; fall back.
+      out.used_exact_milp = false;
+    }
+  }
+  if (!out.used_exact_milp) {
+    t.reset();
+    model_.emplace(topo_, tm_, out.psmap, out.deps, opts_.scalable);
+    out.times.p4_model = t.seconds();
+    t.reset();
+    out.pr = model_->solve_joint();
+    out.times.p5_solve_st = t.seconds();
+  }
+
+  // P6: rule generation (per-switch NetASM programs + routing rules).
+  t.reset();
+  out.slices =
+      split_stats(*out.store, out.root, out.pr.placement,
+                  topo_.num_switches());
+  RoutingTables tables = RoutingTables::build(topo_, out.pr.routing);
+  out.path_rules = tables.path_rule_count();
+  out.times.p6_rulegen = t.seconds();
+  return out;
+}
+
+RecoveryResult recover_from_switch_failure(const Topology& topo,
+                                           const TrafficMatrix& tm,
+                                           const PolPtr& program, int failed,
+                                           CompilerOptions opts) {
+  RecoveryResult out{without_switch(topo, failed), {}};
+  // Placement must avoid the failed switch.
+  for (int n = 0; n < out.degraded.num_switches(); ++n) {
+    if (n != failed) opts.stateful_switches.insert(n);
+  }
+  // Demands involving ports of the failed switch are gone.
+  TrafficMatrix degraded_tm;
+  std::set<PortId> alive(out.degraded.ports().begin(),
+                         out.degraded.ports().end());
+  for (const auto& [uv, d] : tm.demands()) {
+    if (alive.count(uv.first) && alive.count(uv.second)) {
+      degraded_tm.set_demand(uv.first, uv.second, d);
+    }
+  }
+  Compiler compiler(out.degraded, std::move(degraded_tm), std::move(opts));
+  out.result = compiler.compile(program);
+  return out;
+}
+
+PhaseTimes Compiler::reoptimize_te(CompileResult& result,
+                                   const TrafficMatrix& new_tm) {
+  SNAP_CHECK(model_.has_value(), "reoptimize_te before compile");
+  PhaseTimes times;
+  Timer t;
+  result.pr = model_->solve_te(result.pr.placement, new_tm);
+  times.p5_solve_te = t.seconds();
+
+  t.reset();
+  result.slices = split_stats(*result.store, result.root,
+                              result.pr.placement, topo_.num_switches());
+  RoutingTables tables = RoutingTables::build(topo_, result.pr.routing);
+  result.path_rules = tables.path_rule_count();
+  times.p6_rulegen = t.seconds();
+
+  result.times.p5_solve_te = times.p5_solve_te;
+  return times;
+}
+
+}  // namespace snap

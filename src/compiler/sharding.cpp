@@ -1,0 +1,121 @@
+#include "compiler/sharding.h"
+
+#include <functional>
+
+#include "util/status.h"
+
+namespace snap {
+namespace {
+
+using namespace snap::dsl;
+
+void check_index_leads_with_inport(const Expr& index,
+                                   const std::string& var) {
+  if (index.empty() || !index.atoms()[0].is_field() ||
+      index.atoms()[0].field() != fields::inport()) {
+    throw CompileError("cannot shard '" + var +
+                       "' by inport: its index is not led by the inport "
+                       "field");
+  }
+}
+
+// Builds the inport dispatch chain over `make(port)`.
+PolPtr dispatch(const std::vector<PortId>& ports,
+                const std::function<PolPtr(PortId)>& make) {
+  PolPtr chain = filter(drop());
+  for (auto it = ports.rbegin(); it != ports.rend(); ++it) {
+    chain = ite(test(fields::inport(), *it), make(*it), std::move(chain));
+  }
+  return chain;
+}
+
+PredPtr rewrite_pred(const PredPtr& x, StateVarId var,
+                     const std::vector<PortId>& ports) {
+  return std::visit(
+      [&](const auto& n) -> PredPtr {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, PredNot>) {
+          return lnot(rewrite_pred(n.x, var, ports));
+        } else if constexpr (std::is_same_v<T, PredOr>) {
+          return lor(rewrite_pred(n.x, var, ports),
+                     rewrite_pred(n.y, var, ports));
+        } else if constexpr (std::is_same_v<T, PredAnd>) {
+          return land(rewrite_pred(n.x, var, ports),
+                      rewrite_pred(n.y, var, ports));
+        } else if constexpr (std::is_same_v<T, PredStateTest>) {
+          if (n.var != var) return std::make_shared<Pred>(Pred{n});
+          check_index_leads_with_inport(n.index, state_var_name(var));
+          // inport = p & s#p[...] = e, joined by |.
+          PredPtr out = drop();
+          for (PortId p : ports) {
+            out = lor(std::move(out),
+                      land(test(fields::inport(), p),
+                           stest(shard_name(state_var_name(var), p), n.index,
+                                 n.value)));
+          }
+          return out;
+        } else {
+          return std::make_shared<Pred>(Pred{n});
+        }
+      },
+      x->node);
+}
+
+PolPtr rewrite_pol(const PolPtr& p, StateVarId var,
+                   const std::vector<PortId>& ports) {
+  return std::visit(
+      [&](const auto& n) -> PolPtr {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, PolFilter>) {
+          return filter(rewrite_pred(n.pred, var, ports));
+        } else if constexpr (std::is_same_v<T, PolSeq>) {
+          return seq(rewrite_pol(n.p, var, ports),
+                     rewrite_pol(n.q, var, ports));
+        } else if constexpr (std::is_same_v<T, PolPar>) {
+          return par(rewrite_pol(n.p, var, ports),
+                     rewrite_pol(n.q, var, ports));
+        } else if constexpr (std::is_same_v<T, PolIf>) {
+          return ite(rewrite_pred(n.cond, var, ports),
+                     rewrite_pol(n.then_p, var, ports),
+                     rewrite_pol(n.else_p, var, ports));
+        } else if constexpr (std::is_same_v<T, PolAtomic>) {
+          return atomic(rewrite_pol(n.p, var, ports));
+        } else if constexpr (std::is_same_v<T, PolStateSet>) {
+          if (n.var != var) return std::make_shared<Pol>(Pol{n});
+          check_index_leads_with_inport(n.index, state_var_name(var));
+          return dispatch(ports, [&](PortId port) {
+            return sset(shard_name(state_var_name(var), port), n.index,
+                        n.value);
+          });
+        } else if constexpr (std::is_same_v<T, PolStateInc>) {
+          if (n.var != var) return std::make_shared<Pol>(Pol{n});
+          check_index_leads_with_inport(n.index, state_var_name(var));
+          return dispatch(ports, [&](PortId port) {
+            return sinc(shard_name(state_var_name(var), port), n.index);
+          });
+        } else if constexpr (std::is_same_v<T, PolStateDec>) {
+          if (n.var != var) return std::make_shared<Pol>(Pol{n});
+          check_index_leads_with_inport(n.index, state_var_name(var));
+          return dispatch(ports, [&](PortId port) {
+            return sdec(shard_name(state_var_name(var), port), n.index);
+          });
+        } else {
+          return std::make_shared<Pol>(Pol{n});
+        }
+      },
+      p->node);
+}
+
+}  // namespace
+
+std::string shard_name(const std::string& var, PortId port) {
+  return var + "#" + std::to_string(port);
+}
+
+PolPtr shard_by_inport(const PolPtr& p, const std::string& var,
+                       const std::vector<PortId>& ports) {
+  SNAP_CHECK(!ports.empty(), "sharding over an empty port set");
+  return rewrite_pol(p, state_var_id(var), ports);
+}
+
+}  // namespace snap

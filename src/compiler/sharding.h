@@ -1,0 +1,35 @@
+// State sharding (§7.3, Appendix C — the paper's proposed extension).
+//
+// A state variable indexed by inport, like s[inport], can be partitioned
+// into k disjoint shards s#p (one per OBS port): the shards store disjoint
+// slices of s, so the optimizer may place them on different switches with
+// no synchronization concerns. This module rewrites a policy accordingly:
+// every read or write of `var` becomes an inport-dispatched access to the
+// per-port shard,
+//
+//   s[inport][e]++   =>   if inport = 1 then s#1[inport][e]++
+//                         else if inport = 2 then s#2[inport][e]++ ...
+//
+// which is observationally equivalent whenever packets enter through one of
+// the given ports. The rewritten program compiles through the ordinary
+// pipeline; the MILP then places each shard independently (Appendix C).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/psmap.h"
+#include "lang/ast.h"
+
+namespace snap {
+
+// The shard of `var` for port p is named "<var>#<p>".
+std::string shard_name(const std::string& var, PortId port);
+
+// Rewrites every access to `var` (whose index must start with the inport
+// field) into per-port shard accesses. Throws CompileError if `var` is used
+// with an index not led by inport.
+PolPtr shard_by_inport(const PolPtr& p, const std::string& var,
+                       const std::vector<PortId>& ports);
+
+}  // namespace snap

@@ -1,0 +1,158 @@
+#include "dataplane/network.h"
+
+#include <algorithm>
+
+#include "netasm/assembler.h"
+#include "util/status.h"
+
+namespace snap {
+
+Network::Network(const Topology& topo, const XfddStore& store, XfddId root,
+                 Placement placement, const Routing& routing,
+                 const TestOrder& order)
+    : topo_(topo),
+      store_(store),
+      root_(root),
+      placement_(std::move(placement)),
+      routing_(routing),
+      tables_(RoutingTables::build(topo, routing)),
+      order_(order),
+      link_packets_(topo.links().size(), 0) {
+  for (int sw = 0; sw < topo.num_switches(); ++sw) {
+    switches_.push_back(std::make_unique<SoftwareSwitch>(
+        sw, netasm::assemble(store, root, placement_, sw)));
+  }
+}
+
+SoftwareSwitch& Network::switch_at(int sw) {
+  SNAP_CHECK(sw >= 0 && sw < static_cast<int>(switches_.size()),
+             "switch id out of range");
+  return *switches_[sw];
+}
+
+const SoftwareSwitch& Network::switch_at(int sw) const {
+  SNAP_CHECK(sw >= 0 && sw < static_cast<int>(switches_.size()),
+             "switch id out of range");
+  return *switches_[sw];
+}
+
+void Network::hop(int from, int to) {
+  int l = topo_.link_index(from, to);
+  SNAP_CHECK(l >= 0, "forwarding over a missing link");
+  ++hops_;
+  ++link_packets_[l];
+}
+
+int Network::next_hop(int sw, int target, PortId u,
+                      std::optional<PortId> v) const {
+  if (v) {
+    // Prefer the optimizer's (u,v) path when it applies here and still
+    // leads to the target.
+    int nxt = tables_.path_next(sw, u, *v);
+    if (nxt >= 0) {
+      // Check the target is downstream on this path.
+      auto it = routing_.paths.find({u, *v});
+      if (it != routing_.paths.end()) {
+        const auto& p = it->second;
+        auto here = std::find(p.begin(), p.end(), sw);
+        auto there = std::find(p.begin(), p.end(), target);
+        if (here != p.end() && there != p.end() && here < there) return nxt;
+      }
+    }
+  }
+  int nxt = tables_.dest_next(sw, target);
+  SNAP_CHECK(nxt >= 0, "no route toward state switch");
+  return nxt;
+}
+
+std::vector<Network::Delivery> Network::inject(PortId inport,
+                                               const Packet& pkt) {
+  int sw = topo_.port_switch(inport);
+  XfddId node = root_;
+
+  // Phase 1: resolve the diagram, walking to foreign state as needed.
+  SoftwareSwitch::Outcome outcome = switch_at(sw).run(node, pkt);
+  int guard = topo_.num_switches() * 4 + 16;
+  while (outcome.kind == SoftwareSwitch::Outcome::kStuck) {
+    SNAP_CHECK(--guard > 0, "packet walked too long while resolving state");
+    int target = placement_.at(outcome.stuck_var);
+    SNAP_CHECK(target >= 0, "stuck on an unplaced state variable");
+    while (sw != target) {
+      int nxt = next_hop(sw, target, inport, std::nullopt);
+      hop(sw, nxt);
+      sw = nxt;
+      SNAP_CHECK(--guard > 0, "packet walked too long while resolving state");
+    }
+    outcome = switch_at(sw).run(outcome.node, pkt);
+  }
+
+  // Phase 2: apply remaining leaf writes in dependency order. The switch
+  // that resolved the leaf already applied its own.
+  XfddId leaf = outcome.node;
+  const ActionSet& actions = store_.leaf_actions(leaf);
+  std::vector<StateVarId> vars;
+  for (const auto& [var, ops] : actions.state_programs()) vars.push_back(var);
+  std::sort(vars.begin(), vars.end(), [&](StateVarId a, StateVarId b) {
+    int ra = order_.state_rank(a), rb = order_.state_rank(b);
+    return ra != rb ? ra < rb : a < b;
+  });
+  std::set<int> applied{sw};
+  for (StateVarId var : vars) {
+    int owner = placement_.at(var);
+    SNAP_CHECK(owner >= 0, "leaf writes an unplaced state variable");
+    if (applied.count(owner)) continue;  // its run() applied all local vars
+    while (sw != owner) {
+      int nxt = next_hop(sw, owner, inport, std::nullopt);
+      hop(sw, nxt);
+      sw = nxt;
+      SNAP_CHECK(--guard > 0, "packet walked too long while writing state");
+    }
+    auto o = switch_at(sw).run(leaf, pkt);
+    SNAP_CHECK(o.kind == SoftwareSwitch::Outcome::kLeaf &&
+                   o.node == leaf,
+               "leaf resume diverged");
+    applied.insert(owner);
+  }
+
+  // Phase 3: emit surviving copies at their egress ports.
+  std::vector<Delivery> out;
+  const FieldId outport_f = fields::outport();
+  for (const ActionSeq& seq : actions.seqs()) {
+    if (seq.is_drop()) continue;
+    Packet copy = pkt;
+    for (const auto& [f, val] : seq.mods()) copy.set(f, val);
+    auto v = copy.get(outport_f);
+    if (!v) continue;  // no egress assigned: dropped at the edge
+    auto egress = static_cast<PortId>(*v);
+    int esw;
+    try {
+      esw = topo_.port_switch(egress);
+    } catch (const InternalError&) {
+      continue;  // egress port does not exist: dropped
+    }
+    int cur = sw;
+    int copy_guard = topo_.num_switches() * 4 + 16;
+    while (cur != esw) {
+      int nxt = next_hop(cur, esw, inport, egress);
+      hop(cur, nxt);
+      cur = nxt;
+      SNAP_CHECK(--copy_guard > 0, "packet walked too long to egress");
+    }
+    out.push_back({egress, std::move(copy)});
+  }
+  return out;
+}
+
+Store Network::merged_state() const {
+  Store merged;
+  for (const auto& sw : switches_) {
+    for (const auto& [var, loc] : placement_.switch_of) {
+      if (loc == sw->id()) {
+        merged.set_table(var, sw->state().table(var));
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace snap

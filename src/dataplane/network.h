@@ -1,0 +1,77 @@
+// The distributed data plane: software switches wired by the topology,
+// driven by the compiler's placement, routing and per-switch NetASM
+// programs (§4.5, §5).
+//
+// Packet life cycle (the SNAP-header carries (inport, xFDD node)):
+//   1. The ingress switch runs its program from the xFDD root.
+//   2. Stuck on a foreign state test, the packet walks to that variable's
+//      switch — along the (u,v) path chosen by the optimizer when the pair
+//      is known and the target is downstream, otherwise via next-hop rules
+//      (Appendix D's stuck-packet forwarding) — and resumes there.
+//   3. At a resolved leaf, each switch holding written variables applies
+//      its writes once (atomic region), in dependency order.
+//   4. Each surviving packet copy gets its field modifications, travels to
+//      its egress switch and is emitted at the OBS port; the header is
+//      stripped.
+//
+// The network also records per-link packet counts and hop totals so tests
+// and benchmarks can verify that traffic follows the optimizer's paths.
+#pragma once
+
+#include <memory>
+
+#include "dataplane/switch.h"
+#include "milp/result.h"
+#include "rulegen/rules.h"
+#include "topo/graph.h"
+#include "xfdd/order.h"
+#include "xfdd/xfdd.h"
+
+namespace snap {
+
+class Network {
+ public:
+  Network(const Topology& topo, const XfddStore& store, XfddId root,
+          Placement placement, const Routing& routing,
+          const TestOrder& order);
+
+  struct Delivery {
+    PortId outport;
+    Packet packet;
+  };
+
+  // Processes one packet entering at `inport`; updates distributed state
+  // and returns the packets emitted at OBS ports.
+  std::vector<Delivery> inject(PortId inport, const Packet& pkt);
+
+  // Union of all switches' state (placement makes variables disjoint).
+  Store merged_state() const;
+
+  SoftwareSwitch& switch_at(int sw);
+  const SoftwareSwitch& switch_at(int sw) const;
+
+  std::uint64_t total_hops() const { return hops_; }
+  const std::vector<std::uint64_t>& link_packets() const {
+    return link_packets_;
+  }
+
+ private:
+  // One forwarding step toward `target`; prefers the (u,v) path when the
+  // current switch lies on it with `target` downstream.
+  int next_hop(int sw, int target, PortId u, std::optional<PortId> v) const;
+
+  void hop(int from, int to);
+
+  const Topology& topo_;
+  const XfddStore& store_;
+  XfddId root_;
+  Placement placement_;
+  Routing routing_;
+  RoutingTables tables_;
+  TestOrder order_;
+  std::vector<std::unique_ptr<SoftwareSwitch>> switches_;
+  std::uint64_t hops_ = 0;
+  std::vector<std::uint64_t> link_packets_;
+};
+
+}  // namespace snap

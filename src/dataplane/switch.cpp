@@ -1,0 +1,72 @@
+#include "dataplane/switch.h"
+
+#include "util/status.h"
+
+namespace snap {
+
+SoftwareSwitch::Outcome SoftwareSwitch::run(XfddId node, const Packet& pkt) {
+  netasm::Pc pc = program_.entry_for(node);
+  const auto& code = program_.code;
+  for (;;) {
+    SNAP_CHECK(pc >= 0 && pc < static_cast<netasm::Pc>(code.size()),
+               "program counter out of range");
+    ++executed_;
+    const netasm::Instr& instr = code[pc];
+    std::optional<Outcome> done;
+    std::visit(
+        [&](const auto& i) {
+          using T = std::decay_t<decltype(i)>;
+          if constexpr (std::is_same_v<T, netasm::IBranchFieldValue>) {
+            pc = field_test_passes(pkt, i.field, i.value, i.prefix_len)
+                     ? i.on_true
+                     : i.on_false;
+          } else if constexpr (std::is_same_v<T, netasm::IBranchFieldField>) {
+            auto v1 = pkt.get(i.f1);
+            auto v2 = pkt.get(i.f2);
+            pc = (v1 && v2 && *v1 == *v2) ? i.on_true : i.on_false;
+          } else if constexpr (std::is_same_v<T, netasm::IBranchState>) {
+            auto index = i.index.eval(pkt);
+            auto value = i.value.eval(pkt);
+            bool pass = index && value && value->size() == 1 &&
+                        state_.get(i.var, *index) == (*value)[0];
+            pc = pass ? i.on_true : i.on_false;
+          } else if constexpr (std::is_same_v<T, netasm::IEscape>) {
+            done = Outcome{Outcome::kStuck, i.node, i.var};
+          } else if constexpr (std::is_same_v<T, netasm::IStateSet>) {
+            auto index = i.index.eval(pkt);
+            auto value = i.value.eval(pkt);
+            if (!index || !value || value->size() != 1) {
+              throw CompileError("state update on " + state_var_name(i.var) +
+                                 " references an absent field");
+            }
+            state_.set(i.var, *index, (*value)[0]);
+            ++pc;
+          } else if constexpr (std::is_same_v<T, netasm::IStateInc> ||
+                               std::is_same_v<T, netasm::IStateDec>) {
+            auto index = i.index.eval(pkt);
+            if (!index) {
+              throw CompileError("state increment on " +
+                                 state_var_name(i.var) +
+                                 " references an absent field");
+            }
+            Value cur = state_.get(i.var, *index);
+            state_.set(i.var, *index,
+                       std::is_same_v<T, netasm::IStateInc> ? cur + 1
+                                                            : cur - 1);
+            ++pc;
+          } else if constexpr (std::is_same_v<T, netasm::IAtomBegin> ||
+                               std::is_same_v<T, netasm::IAtomEnd>) {
+            // Single-threaded execution is trivially atomic; the markers
+            // delimit the region a hardware target must make atomic.
+            ++pc;
+          } else {
+            static_assert(std::is_same_v<T, netasm::ILeafDone>);
+            done = Outcome{Outcome::kLeaf, i.leaf, 0};
+          }
+        },
+        instr);
+    if (done) return *done;
+  }
+}
+
+}  // namespace snap

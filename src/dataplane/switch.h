@@ -1,0 +1,47 @@
+// A software switch executing NetASM programs (§5).
+//
+// The switch holds the state tables of the variables placed on it and runs
+// its program from any xFDD entry point (the SNAP-header's node id). State
+// expressions are input-relative, so programs evaluate them against the
+// packet as it entered the OBS. Execution ends in one of two outcomes:
+// stuck on a foreign state variable (the forwarding layer carries the
+// packet to that variable's switch) or a resolved leaf (local writes were
+// applied atomically; the forwarding layer completes remaining writes and
+// egress).
+#pragma once
+
+#include "lang/eval.h"
+#include "netasm/isa.h"
+
+namespace snap {
+
+class SoftwareSwitch {
+ public:
+  SoftwareSwitch(int id, netasm::Program program)
+      : id_(id), program_(std::move(program)) {}
+
+  struct Outcome {
+    enum Kind { kStuck, kLeaf } kind;
+    XfddId node = 0;          // stuck node (kStuck) or leaf id (kLeaf)
+    StateVarId stuck_var = 0; // kStuck only
+  };
+
+  // Resumes processing at the entry for `node`.
+  Outcome run(XfddId node, const Packet& pkt);
+
+  int id() const { return id_; }
+  const netasm::Program& program() const { return program_; }
+  Store& state() { return state_; }
+  const Store& state() const { return state_; }
+
+  // Number of instructions executed since construction (statistics).
+  std::uint64_t instructions_executed() const { return executed_; }
+
+ private:
+  int id_;
+  netasm::Program program_;
+  Store state_;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace snap

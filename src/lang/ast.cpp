@@ -1,0 +1,228 @@
+#include "lang/ast.h"
+
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace snap {
+namespace dsl {
+
+PredPtr id() { return std::make_shared<Pred>(Pred{PredId{}}); }
+PredPtr drop() { return std::make_shared<Pred>(Pred{PredDrop{}}); }
+
+PredPtr test(FieldId f, Value v, int prefix_len) {
+  return std::make_shared<Pred>(Pred{PredTest{f, v, prefix_len}});
+}
+
+PredPtr test(const std::string& f, Value v, int prefix_len) {
+  return test(field_id(f), v, prefix_len);
+}
+
+PredPtr test_cidr(const std::string& f, const std::string& cidr) {
+  auto [addr, len] = cidr_from_string(cidr);
+  return test(field_id(f), static_cast<Value>(addr),
+              len == 32 ? kExactMatch : len);
+}
+
+PredPtr lnot(PredPtr x) {
+  return std::make_shared<Pred>(Pred{PredNot{std::move(x)}});
+}
+
+PredPtr lor(PredPtr x, PredPtr y) {
+  return std::make_shared<Pred>(Pred{PredOr{std::move(x), std::move(y)}});
+}
+
+PredPtr land(PredPtr x, PredPtr y) {
+  return std::make_shared<Pred>(Pred{PredAnd{std::move(x), std::move(y)}});
+}
+
+PredPtr stest(StateVarId var, Expr index, Expr value) {
+  return std::make_shared<Pred>(
+      Pred{PredStateTest{var, std::move(index), std::move(value)}});
+}
+
+PredPtr stest(const std::string& var, Expr index, Expr value) {
+  return stest(state_var_id(var), std::move(index), std::move(value));
+}
+
+PolPtr filter(PredPtr x) {
+  return std::make_shared<Pol>(Pol{PolFilter{std::move(x)}});
+}
+
+PolPtr mod(FieldId f, Value v) {
+  return std::make_shared<Pol>(Pol{PolMod{f, v}});
+}
+
+PolPtr mod(const std::string& f, Value v) { return mod(field_id(f), v); }
+
+PolPtr seq(PolPtr p, PolPtr q) {
+  return std::make_shared<Pol>(Pol{PolSeq{std::move(p), std::move(q)}});
+}
+
+PolPtr par(PolPtr p, PolPtr q) {
+  return std::make_shared<Pol>(Pol{PolPar{std::move(p), std::move(q)}});
+}
+
+PolPtr sset(StateVarId var, Expr index, Expr value) {
+  return std::make_shared<Pol>(
+      Pol{PolStateSet{var, std::move(index), std::move(value)}});
+}
+
+PolPtr sset(const std::string& var, Expr index, Expr value) {
+  return sset(state_var_id(var), std::move(index), std::move(value));
+}
+
+PolPtr sinc(StateVarId var, Expr index) {
+  return std::make_shared<Pol>(Pol{PolStateInc{var, std::move(index)}});
+}
+
+PolPtr sinc(const std::string& var, Expr index) {
+  return sinc(state_var_id(var), std::move(index));
+}
+
+PolPtr sdec(StateVarId var, Expr index) {
+  return std::make_shared<Pol>(Pol{PolStateDec{var, std::move(index)}});
+}
+
+PolPtr sdec(const std::string& var, Expr index) {
+  return sdec(state_var_id(var), std::move(index));
+}
+
+PolPtr ite(PredPtr cond, PolPtr then_p, PolPtr else_p) {
+  return std::make_shared<Pol>(
+      Pol{PolIf{std::move(cond), std::move(then_p), std::move(else_p)}});
+}
+
+PolPtr atomic(PolPtr p) {
+  return std::make_shared<Pol>(Pol{PolAtomic{std::move(p)}});
+}
+
+Expr lit(Value v) { return Expr::of_value(v); }
+Expr fld(const std::string& name) { return Expr::of_field(name); }
+
+}  // namespace dsl
+
+PolPtr operator>>(PolPtr p, PolPtr q) {
+  return dsl::seq(std::move(p), std::move(q));
+}
+
+PolPtr operator+(PolPtr p, PolPtr q) {
+  return dsl::par(std::move(p), std::move(q));
+}
+
+PredPtr operator&(PredPtr x, PredPtr y) {
+  return dsl::land(std::move(x), std::move(y));
+}
+
+PredPtr operator|(PredPtr x, PredPtr y) {
+  return dsl::lor(std::move(x), std::move(y));
+}
+
+std::size_t ast_size(const PredPtr& x) {
+  SNAP_CHECK(x != nullptr, "null predicate");
+  return std::visit(
+      [](const auto& n) -> std::size_t {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, PredNot>) {
+          return 1 + ast_size(n.x);
+        } else if constexpr (std::is_same_v<T, PredOr> ||
+                             std::is_same_v<T, PredAnd>) {
+          return 1 + ast_size(n.x) + ast_size(n.y);
+        } else {
+          return 1;
+        }
+      },
+      x->node);
+}
+
+std::set<StateVarId> state_reads(const PredPtr& x) {
+  SNAP_CHECK(x != nullptr, "null predicate");
+  std::set<StateVarId> out;
+  std::visit(
+      [&](const auto& n) {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, PredNot>) {
+          auto r = state_reads(n.x);
+          out.insert(r.begin(), r.end());
+        } else if constexpr (std::is_same_v<T, PredOr> ||
+                             std::is_same_v<T, PredAnd>) {
+          auto r1 = state_reads(n.x);
+          auto r2 = state_reads(n.y);
+          out.insert(r1.begin(), r1.end());
+          out.insert(r2.begin(), r2.end());
+        } else if constexpr (std::is_same_v<T, PredStateTest>) {
+          out.insert(n.var);
+        }
+      },
+      x->node);
+  return out;
+}
+
+namespace {
+
+void collect_rw(const PolPtr& p, std::set<StateVarId>& reads,
+                std::set<StateVarId>& writes) {
+  std::visit(
+      [&](const auto& n) {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, PolFilter>) {
+          auto r = state_reads(n.pred);
+          reads.insert(r.begin(), r.end());
+        } else if constexpr (std::is_same_v<T, PolSeq> ||
+                             std::is_same_v<T, PolPar>) {
+          collect_rw(n.p, reads, writes);
+          collect_rw(n.q, reads, writes);
+        } else if constexpr (std::is_same_v<T, PolStateSet> ||
+                             std::is_same_v<T, PolStateInc> ||
+                             std::is_same_v<T, PolStateDec>) {
+          writes.insert(n.var);
+        } else if constexpr (std::is_same_v<T, PolIf>) {
+          auto r = state_reads(n.cond);
+          reads.insert(r.begin(), r.end());
+          collect_rw(n.then_p, reads, writes);
+          collect_rw(n.else_p, reads, writes);
+        } else if constexpr (std::is_same_v<T, PolAtomic>) {
+          collect_rw(n.p, reads, writes);
+        }
+      },
+      p->node);
+}
+
+}  // namespace
+
+std::set<StateVarId> state_reads(const PolPtr& p) {
+  SNAP_CHECK(p != nullptr, "null policy");
+  std::set<StateVarId> reads, writes;
+  collect_rw(p, reads, writes);
+  return reads;
+}
+
+std::set<StateVarId> state_writes(const PolPtr& p) {
+  SNAP_CHECK(p != nullptr, "null policy");
+  std::set<StateVarId> reads, writes;
+  collect_rw(p, reads, writes);
+  return writes;
+}
+
+std::size_t ast_size(const PolPtr& p) {
+  SNAP_CHECK(p != nullptr, "null policy");
+  return std::visit(
+      [](const auto& n) -> std::size_t {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, PolFilter>) {
+          return ast_size(n.pred);
+        } else if constexpr (std::is_same_v<T, PolSeq> ||
+                             std::is_same_v<T, PolPar>) {
+          return 1 + ast_size(n.p) + ast_size(n.q);
+        } else if constexpr (std::is_same_v<T, PolIf>) {
+          return 1 + ast_size(n.cond) + ast_size(n.then_p) +
+                 ast_size(n.else_p);
+        } else if constexpr (std::is_same_v<T, PolAtomic>) {
+          return 1 + ast_size(n.p);
+        } else {
+          return 1;
+        }
+      },
+      p->node);
+}
+
+}  // namespace snap

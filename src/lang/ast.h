@@ -1,0 +1,180 @@
+// Abstract syntax of SNAP (Figure 4).
+//
+//   x, y in Pred ::= id | drop | f = v | !x | x | y | x & y | s[e] = e
+//   p, q in Pol  ::= x | f <- v | p + q | p ; q | s[e] <- e
+//                  | s[e]++ | s[e]-- | if x then p else q | atomic(p)
+//
+// Field tests carry an optional CIDR prefix length so the examples from the
+// paper (dstip = 10.0.6.0/24) are first-class; an exact test is the special
+// case prefix_len == kExactMatch.
+//
+// AST nodes are immutable and shared (shared_ptr<const>); programs compose
+// structurally without copying, mirroring how operators combine policies in
+// the paper's examples (DNS-tunnel-detect ; assign-egress).
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <variant>
+
+#include "lang/expr.h"
+#include "lang/field.h"
+#include "lang/value.h"
+
+namespace snap {
+
+struct Pred;
+struct Pol;
+using PredPtr = std::shared_ptr<const Pred>;
+using PolPtr = std::shared_ptr<const Pol>;
+
+// prefix_len semantics: kExactMatch compares the whole 64-bit value;
+// 0..32 masks the low 32 bits as an IPv4 CIDR prefix.
+inline constexpr int kExactMatch = -1;
+
+// ---------------------------------------------------------------- predicates
+
+struct PredId {};
+struct PredDrop {};
+struct PredTest {
+  FieldId field;
+  Value value;
+  int prefix_len;  // kExactMatch or 0..32
+};
+struct PredNot {
+  PredPtr x;
+};
+struct PredOr {
+  PredPtr x, y;
+};
+struct PredAnd {
+  PredPtr x, y;
+};
+// State test s[e1] = e2 — the novel stateful predicate (§3).
+struct PredStateTest {
+  StateVarId var;
+  Expr index;
+  Expr value;
+};
+
+struct Pred {
+  std::variant<PredId, PredDrop, PredTest, PredNot, PredOr, PredAnd,
+               PredStateTest>
+      node;
+};
+
+// ------------------------------------------------------------------ policies
+
+struct PolFilter {
+  PredPtr pred;
+};
+struct PolMod {
+  FieldId field;
+  Value value;
+};
+struct PolSeq {
+  PolPtr p, q;
+};
+struct PolPar {
+  PolPtr p, q;
+};
+struct PolStateSet {
+  StateVarId var;
+  Expr index;
+  Expr value;
+};
+struct PolStateInc {
+  StateVarId var;
+  Expr index;
+};
+struct PolStateDec {
+  StateVarId var;
+  Expr index;
+};
+struct PolIf {
+  PredPtr cond;
+  PolPtr then_p, else_p;
+};
+struct PolAtomic {
+  PolPtr p;
+};
+
+struct Pol {
+  std::variant<PolFilter, PolMod, PolSeq, PolPar, PolStateSet, PolStateInc,
+               PolStateDec, PolIf, PolAtomic>
+      node;
+};
+
+// ------------------------------------------------------------------- builder
+//
+// A small DSL so C++ programs read close to the paper's pseudo-code:
+//
+//   auto p = ite(test("dstip", cidr("10.0.6.0/24")) & test("srcport", 53),
+//                sset("orphan", idx("dstip", "dns.rdata"), lit(kTrue))
+//                    >> sinc("susp-client", idx("dstip")),
+//                id());
+
+namespace dsl {
+
+PredPtr id();
+PredPtr drop();
+PredPtr test(FieldId f, Value v, int prefix_len = kExactMatch);
+PredPtr test(const std::string& f, Value v, int prefix_len = kExactMatch);
+// Accepts "10.0.6.0/24" or "10.0.6.6".
+PredPtr test_cidr(const std::string& f, const std::string& cidr);
+PredPtr lnot(PredPtr x);
+PredPtr lor(PredPtr x, PredPtr y);
+PredPtr land(PredPtr x, PredPtr y);
+PredPtr stest(const std::string& var, Expr index, Expr value);
+PredPtr stest(StateVarId var, Expr index, Expr value);
+
+PolPtr filter(PredPtr x);
+PolPtr mod(FieldId f, Value v);
+PolPtr mod(const std::string& f, Value v);
+PolPtr seq(PolPtr p, PolPtr q);
+PolPtr par(PolPtr p, PolPtr q);
+PolPtr sset(const std::string& var, Expr index, Expr value);
+PolPtr sset(StateVarId var, Expr index, Expr value);
+PolPtr sinc(const std::string& var, Expr index);
+PolPtr sinc(StateVarId var, Expr index);
+PolPtr sdec(const std::string& var, Expr index);
+PolPtr sdec(StateVarId var, Expr index);
+PolPtr ite(PredPtr cond, PolPtr then_p, PolPtr else_p);
+PolPtr atomic(PolPtr p);
+
+// Expression helpers.
+Expr lit(Value v);
+Expr fld(const std::string& name);
+// idx("srcip", "dstip") builds a multi-dimensional index expression.
+template <typename... Names>
+Expr idx(Names&&... names) {
+  Expr e;
+  (e.append_field(field_id(std::string(names))), ...);
+  return e;
+}
+
+}  // namespace dsl
+
+// Operator sugar: p >> q is sequential, p + q parallel, x & y / x | y on
+// predicates. (No operator! — overloading it on shared_ptr breaks the
+// standard library's own null checks via ADL; use dsl::lnot.)
+PolPtr operator>>(PolPtr p, PolPtr q);
+PolPtr operator+(PolPtr p, PolPtr q);
+PredPtr operator&(PredPtr x, PredPtr y);
+PredPtr operator|(PredPtr x, PredPtr y);
+
+// Number of AST nodes, used by benchmarks to report policy sizes.
+std::size_t ast_size(const PredPtr& x);
+std::size_t ast_size(const PolPtr& p);
+
+// Syntactic over-approximations of the state variables a program reads and
+// writes (the r(p) / w(p) sets of Appendix B, Figure 14). Conditionals
+// contribute both branches. Increments and decrements count as writes, as in
+// the paper's log semantics; dependency analysis additionally treats them as
+// reads.
+std::set<StateVarId> state_reads(const PredPtr& x);
+std::set<StateVarId> state_reads(const PolPtr& p);
+std::set<StateVarId> state_writes(const PolPtr& p);
+
+}  // namespace snap

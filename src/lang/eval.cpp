@@ -1,0 +1,258 @@
+#include "lang/eval.h"
+
+#include <sstream>
+
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace snap {
+
+std::set<StateVarId> Store::changed_vars(const Store& base) const {
+  std::set<StateVarId> out;
+  for (const auto& [s, table] : vars_) {
+    if (!(base.table(s) == table)) out.insert(s);
+  }
+  for (const auto& [s, table] : base.vars_) {
+    if (!(this->table(s) == table)) out.insert(s);
+  }
+  return out;
+}
+
+bool Store::operator==(const Store& o) const {
+  // Compare modulo empty tables: a var with no non-default entries equals an
+  // absent var.
+  for (const auto& [s, table] : vars_) {
+    if (!(o.table(s) == table)) return false;
+  }
+  for (const auto& [s, table] : o.vars_) {
+    if (!(this->table(s) == table)) return false;
+  }
+  return true;
+}
+
+std::string Store::to_string() const {
+  std::ostringstream os;
+  for (const auto& [s, table] : vars_) {
+    if (table.entries().empty()) continue;
+    os << state_var_name(s) << ": {";
+    bool first = true;
+    for (const auto& [idx, v] : table.entries()) {
+      if (!first) os << ", ";
+      first = false;
+      os << '[';
+      for (std::size_t i = 0; i < idx.size(); ++i) {
+        if (i) os << ',';
+        os << idx[i];
+      }
+      os << "]=" << v;
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+void Log::merge(const Log& o) {
+  reads.insert(o.reads.begin(), o.reads.end());
+  writes.insert(o.writes.begin(), o.writes.end());
+}
+
+bool consistent(const Log& a, const Log& b) {
+  for (StateVarId s : a.writes) {
+    if (b.reads.count(s) || b.writes.count(s)) return false;
+  }
+  for (StateVarId s : b.writes) {
+    if (a.reads.count(s) || a.writes.count(s)) return false;
+  }
+  return true;
+}
+
+bool field_test_passes(const Packet& pkt, FieldId f, Value v, int prefix_len) {
+  auto actual = pkt.get(f);
+  if (!actual) return false;
+  if (prefix_len == kExactMatch) return *actual == v;
+  if (prefix_len == 0) return true;
+  const auto mask = prefix_len >= 32
+                        ? 0xffffffffu
+                        : ~((1u << (32 - prefix_len)) - 1u);
+  return (static_cast<std::uint32_t>(*actual) & mask) ==
+         (static_cast<std::uint32_t>(v) & mask);
+}
+
+PredResult eval_pred(const PredPtr& x, const Store& store, const Packet& pkt) {
+  SNAP_CHECK(x != nullptr, "null predicate");
+  return std::visit(
+      [&](const auto& n) -> PredResult {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, PredId>) {
+          return {true, {}};
+        } else if constexpr (std::is_same_v<T, PredDrop>) {
+          return {false, {}};
+        } else if constexpr (std::is_same_v<T, PredTest>) {
+          return {field_test_passes(pkt, n.field, n.value, n.prefix_len), {}};
+        } else if constexpr (std::is_same_v<T, PredNot>) {
+          PredResult r = eval_pred(n.x, store, pkt);
+          return {!r.pass, r.log};
+        } else if constexpr (std::is_same_v<T, PredOr>) {
+          PredResult a = eval_pred(n.x, store, pkt);
+          PredResult b = eval_pred(n.y, store, pkt);
+          a.log.merge(b.log);
+          return {a.pass || b.pass, a.log};
+        } else if constexpr (std::is_same_v<T, PredAnd>) {
+          PredResult a = eval_pred(n.x, store, pkt);
+          PredResult b = eval_pred(n.y, store, pkt);
+          a.log.merge(b.log);
+          return {a.pass && b.pass, a.log};
+        } else {
+          static_assert(std::is_same_v<T, PredStateTest>);
+          Log log;
+          log.add_read(n.var);
+          auto index = n.index.eval(pkt);
+          auto value = n.value.eval(pkt);
+          // A packet lacking a referenced field cannot pass the test.
+          if (!index || !value || value->size() != 1) return {false, log};
+          return {store.get(n.var, *index) == (*value)[0], log};
+        }
+      },
+      x->node);
+}
+
+namespace {
+
+// merge for parallel composition (base = store both branches started from):
+// consistency guarantees branches changing the same variable changed it
+// identically.
+Store merge_stores(const Store& base, const Store& m1, const Store& m2) {
+  Store out = base;
+  for (StateVarId s : m1.changed_vars(base)) out.set_table(s, m1.table(s));
+  for (StateVarId s : m2.changed_vars(base)) out.set_table(s, m2.table(s));
+  return out;
+}
+
+// Conflict rules for parallel runs. Read/write overlaps are rejected from
+// the logs exactly as in the paper. For write/write overlaps we are slightly
+// more permissive than the paper's undefined-on-any-overlap rule: if both
+// runs produced the *identical* table for the variable (which happens when a
+// shared sequential prefix performed the write) the outcome is unambiguous
+// and we accept it. This keeps eval aligned with the xFDD translation, where
+// a common prefix's writes are factored across packet copies.
+void check_parallel_runs(const EvalResult& a, const EvalResult& b,
+                         const Store& base, const char* what) {
+  for (StateVarId s : a.log.writes) {
+    if (b.log.reads.count(s)) {
+      throw CompileError(std::string(what) +
+                         " races on state variable '" + state_var_name(s) +
+                         "': one copy reads it while another writes it");
+    }
+  }
+  for (StateVarId s : b.log.writes) {
+    if (a.log.reads.count(s)) {
+      throw CompileError(std::string(what) +
+                         " races on state variable '" + state_var_name(s) +
+                         "': one copy reads it while another writes it");
+    }
+  }
+  (void)base;
+  for (StateVarId s : a.log.writes) {
+    if (b.log.writes.count(s) && !(a.store.table(s) == b.store.table(s))) {
+      throw CompileError(std::string(what) +
+                         " races on state variable '" + state_var_name(s) +
+                         "': two copies write different values");
+    }
+  }
+}
+
+}  // namespace
+
+EvalResult eval(const PolPtr& p, const Store& store, const Packet& pkt) {
+  SNAP_CHECK(p != nullptr, "null policy");
+  return std::visit(
+      [&](const auto& n) -> EvalResult {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, PolFilter>) {
+          PredResult r = eval_pred(n.pred, store, pkt);
+          EvalResult out{store, {}, r.log};
+          if (r.pass) out.packets.insert(pkt);
+          return out;
+        } else if constexpr (std::is_same_v<T, PolMod>) {
+          Packet out = pkt;
+          out.set(n.field, n.value);
+          return {store, {out}, {}};
+        } else if constexpr (std::is_same_v<T, PolStateSet>) {
+          Log log;
+          log.add_write(n.var);
+          auto index = n.index.eval(pkt);
+          auto value = n.value.eval(pkt);
+          if (!index || !value || value->size() != 1) {
+            throw CompileError(
+                "state update on " + state_var_name(n.var) +
+                " references a field absent from packet " + pkt.to_string());
+          }
+          Store out = store;
+          out.set(n.var, *index, (*value)[0]);
+          return {std::move(out), {pkt}, log};
+        } else if constexpr (std::is_same_v<T, PolStateInc> ||
+                             std::is_same_v<T, PolStateDec>) {
+          Log log;
+          log.add_write(n.var);
+          auto index = n.index.eval(pkt);
+          if (!index) {
+            throw CompileError(
+                "state increment on " + state_var_name(n.var) +
+                " references a field absent from packet " + pkt.to_string());
+          }
+          Store out = store;
+          Value cur = out.get(n.var, *index);
+          out.set(n.var, *index,
+                  std::is_same_v<T, PolStateInc> ? cur + 1 : cur - 1);
+          return {std::move(out), {pkt}, log};
+        } else if constexpr (std::is_same_v<T, PolIf>) {
+          PredResult c = eval_pred(n.cond, store, pkt);
+          EvalResult r = eval(c.pass ? n.then_p : n.else_p, store, pkt);
+          r.log.merge(c.log);
+          return r;
+        } else if constexpr (std::is_same_v<T, PolAtomic>) {
+          return eval(n.p, store, pkt);
+        } else if constexpr (std::is_same_v<T, PolPar>) {
+          EvalResult a = eval(n.p, store, pkt);
+          EvalResult b = eval(n.q, store, pkt);
+          check_parallel_runs(a, b, store, "parallel composition");
+          EvalResult out;
+          out.store = merge_stores(store, a.store, b.store);
+          out.packets = a.packets;
+          out.packets.insert(b.packets.begin(), b.packets.end());
+          out.log = a.log;
+          out.log.merge(b.log);
+          return out;
+        } else {
+          static_assert(std::is_same_v<T, PolSeq>);
+          EvalResult first = eval(n.p, store, pkt);
+          EvalResult out;
+          out.store = first.store;
+          out.log = first.log;
+          std::vector<EvalResult> runs;
+          for (const Packet& mid : first.packets) {
+            runs.push_back(eval(n.q, first.store, mid));
+          }
+          for (std::size_t i = 0; i < runs.size(); ++i) {
+            for (std::size_t j = i + 1; j < runs.size(); ++j) {
+              check_parallel_runs(runs[i], runs[j], first.store,
+                                  "sequential composition");
+            }
+          }
+          // Merge relative to the store the q-runs started from.
+          Store merged = first.store;
+          for (const EvalResult& r : runs) {
+            for (StateVarId s : r.store.changed_vars(first.store)) {
+              merged.set_table(s, r.store.table(s));
+            }
+            out.packets.insert(r.packets.begin(), r.packets.end());
+            out.log.merge(r.log);
+          }
+          out.store = std::move(merged);
+          return out;
+        }
+      },
+      p->node);
+}
+
+}  // namespace snap

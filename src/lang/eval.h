@@ -1,0 +1,117 @@
+// Denotational semantics of SNAP (Appendix A, Figure 13).
+//
+// eval takes a policy, a store (the global state: every state variable's
+// key->value mapping) and a packet, and returns the updated store, the set
+// of output packets, and a log of state variables read/written. The log
+// drives the consistency checks that reject programs whose parallel or
+// sequential composition would race on state (§3).
+//
+// This module is the *specification* of the language: the xFDD translation
+// (src/xfdd) and the distributed data plane (src/dataplane) are both tested
+// against it.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "lang/ast.h"
+#include "lang/packet.h"
+
+namespace snap {
+
+// One state variable's contents: a total mapping from index vectors to
+// values, all entries defaulting to 0 (False). Only non-default entries are
+// stored.
+class StateTable {
+ public:
+  Value get(const ValueVec& index) const {
+    auto it = entries_.find(index);
+    return it == entries_.end() ? 0 : it->second;
+  }
+
+  void set(const ValueVec& index, Value v) {
+    if (v == 0) {
+      entries_.erase(index);
+    } else {
+      entries_[index] = v;
+    }
+  }
+
+  const std::map<ValueVec, Value>& entries() const { return entries_; }
+
+  bool operator==(const StateTable& o) const { return entries_ == o.entries_; }
+
+ private:
+  std::map<ValueVec, Value> entries_;
+};
+
+// The program state: state variable -> StateTable.
+class Store {
+ public:
+  Value get(StateVarId s, const ValueVec& index) const {
+    auto it = vars_.find(s);
+    return it == vars_.end() ? 0 : it->second.get(index);
+  }
+
+  void set(StateVarId s, const ValueVec& index, Value v) {
+    vars_[s].set(index, v);
+  }
+
+  const StateTable& table(StateVarId s) const {
+    static const StateTable kEmpty;
+    auto it = vars_.find(s);
+    return it == vars_.end() ? kEmpty : it->second;
+  }
+
+  void set_table(StateVarId s, StateTable t) { vars_[s] = std::move(t); }
+
+  // State variables whose table differs from `base`.
+  std::set<StateVarId> changed_vars(const Store& base) const;
+
+  bool operator==(const Store& o) const;
+
+  std::string to_string() const;
+
+ private:
+  std::map<StateVarId, StateTable> vars_;
+};
+
+// Read/write log (Appendix A). The paper logs the order-insensitive set of
+// R s / W s events; set semantics suffice for the consistent() check.
+struct Log {
+  std::set<StateVarId> reads;
+  std::set<StateVarId> writes;
+
+  void add_read(StateVarId s) { reads.insert(s); }
+  void add_write(StateVarId s) { writes.insert(s); }
+  void merge(const Log& o);
+};
+
+// consistent(l1, l2): no write in one log overlaps a read or write in the
+// other (Appendix A).
+bool consistent(const Log& a, const Log& b);
+
+struct EvalResult {
+  Store store;
+  std::set<Packet> packets;
+  Log log;
+};
+
+struct PredResult {
+  bool pass = false;
+  Log log;
+};
+
+// Evaluates a predicate; predicates never modify state but may read it.
+// Throws InternalError on a null predicate.
+PredResult eval_pred(const PredPtr& x, const Store& store, const Packet& pkt);
+
+// Evaluates a policy per Figure 13. Throws CompileError when composition is
+// inconsistent (the paper's "undefined" semantics / bottom).
+EvalResult eval(const PolPtr& p, const Store& store, const Packet& pkt);
+
+// True if a field test (field, value, prefix_len) passes for `pkt`.
+bool field_test_passes(const Packet& pkt, FieldId f, Value v, int prefix_len);
+
+}  // namespace snap

@@ -1,0 +1,64 @@
+#include "lang/expr.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace snap {
+
+std::optional<ValueVec> Expr::eval(const Packet& pkt) const {
+  ValueVec out;
+  out.reserve(atoms_.size());
+  for (const Atom& a : atoms_) {
+    if (a.is_value()) {
+      out.push_back(a.value());
+    } else {
+      auto v = pkt.get(a.field());
+      if (!v) return std::nullopt;
+      out.push_back(*v);
+    }
+  }
+  return out;
+}
+
+Expr Expr::substituted(
+    const std::vector<std::pair<FieldId, Value>>& subst) const {
+  std::vector<Atom> out = atoms_;
+  for (Atom& a : out) {
+    if (!a.is_field()) continue;
+    for (const auto& [f, v] : subst) {
+      if (a.field() == f) {
+        a = Atom{v};
+        break;
+      }
+    }
+  }
+  return Expr(std::move(out));
+}
+
+std::vector<FieldId> Expr::referenced_fields() const {
+  std::vector<FieldId> out;
+  for (const Atom& a : atoms_) {
+    if (a.is_field() &&
+        std::find(out.begin(), out.end(), a.field()) == out.end()) {
+      out.push_back(a.field());
+    }
+  }
+  return out;
+}
+
+std::string Expr::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const Atom& a : atoms_) {
+    if (!first) os << ", ";
+    first = false;
+    if (a.is_value()) {
+      os << a.value();
+    } else {
+      os << field_name(a.field());
+    }
+  }
+  return os.str();
+}
+
+}  // namespace snap

@@ -1,0 +1,77 @@
+// Expressions (Figure 4): e ::= v | f | vector of e.
+//
+// Expressions appear as state-variable indices (s[srcip][dstip]) and as the
+// tested/assigned value (s[e1] = e2, s[e1] <- e2). We flatten the vector
+// structure: an Expr is a sequence of atoms, each atom a literal value or a
+// packet field. Evaluating an Expr against a packet yields a ValueVec.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "lang/field.h"
+#include "lang/packet.h"
+#include "lang/value.h"
+
+namespace snap {
+
+struct Atom {
+  // Either a literal value or a field reference.
+  std::variant<Value, FieldId> v;
+
+  bool is_value() const { return std::holds_alternative<Value>(v); }
+  bool is_field() const { return std::holds_alternative<FieldId>(v); }
+  Value value() const { return std::get<Value>(v); }
+  FieldId field() const { return std::get<FieldId>(v); }
+
+  bool operator==(const Atom& o) const { return v == o.v; }
+  bool operator<(const Atom& o) const { return v < o.v; }
+};
+
+class Expr {
+ public:
+  Expr() = default;
+  explicit Expr(std::vector<Atom> atoms) : atoms_(std::move(atoms)) {}
+
+  static Expr of_value(Value v) { return Expr({Atom{v}}); }
+  static Expr of_field(FieldId f) { return Expr({Atom{f}}); }
+  static Expr of_field(const std::string& name) {
+    return of_field(field_id(name));
+  }
+
+  Expr& append_value(Value v) {
+    atoms_.push_back(Atom{v});
+    return *this;
+  }
+  Expr& append_field(FieldId f) {
+    atoms_.push_back(Atom{f});
+    return *this;
+  }
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  std::size_t size() const { return atoms_.size(); }
+  bool empty() const { return atoms_.empty(); }
+
+  // Evaluates against a packet (Appendix A's eval_e). Returns nullopt if the
+  // packet lacks a referenced field.
+  std::optional<ValueVec> eval(const Packet& pkt) const;
+
+  // Replaces every field atom that `subst` maps with its literal value;
+  // used by sequential xFDD composition (Algorithm 3's substitution step).
+  Expr substituted(const std::vector<std::pair<FieldId, Value>>& subst) const;
+
+  // Set of fields this expression reads.
+  std::vector<FieldId> referenced_fields() const;
+
+  bool operator==(const Expr& o) const { return atoms_ == o.atoms_; }
+  bool operator<(const Expr& o) const { return atoms_ < o.atoms_; }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Atom> atoms_;
+};
+
+}  // namespace snap

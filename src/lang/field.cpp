@@ -1,0 +1,98 @@
+#include "lang/field.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace snap {
+namespace {
+
+struct InternTable {
+  std::unordered_map<std::string, std::uint16_t> by_name;
+  std::vector<std::string> by_id;
+
+  std::uint16_t intern(const std::string& name) {
+    auto it = by_name.find(name);
+    if (it != by_name.end()) return it->second;
+    SNAP_CHECK(by_id.size() < 0xffff, "intern table overflow");
+    auto id = static_cast<std::uint16_t>(by_id.size());
+    by_id.push_back(name);
+    by_name.emplace(name, id);
+    return id;
+  }
+
+  const std::string& name(std::uint16_t id) const {
+    SNAP_CHECK(id < by_id.size(), "unknown interned id");
+    return by_id[id];
+  }
+};
+
+InternTable& field_table() {
+  static InternTable t;
+  return t;
+}
+
+InternTable& state_table() {
+  static InternTable t;
+  return t;
+}
+
+}  // namespace
+
+FieldId field_id(const std::string& name) { return field_table().intern(name); }
+
+const std::string& field_name(FieldId id) { return field_table().name(id); }
+
+bool is_known_field(const std::string& name) {
+  return field_table().by_name.count(name) > 0;
+}
+
+std::size_t field_count() { return field_table().by_id.size(); }
+
+StateVarId state_var_id(const std::string& name) {
+  return state_table().intern(name);
+}
+
+const std::string& state_var_name(StateVarId id) {
+  return state_table().name(id);
+}
+
+bool is_known_state_var(const std::string& name) {
+  return state_table().by_name.count(name) > 0;
+}
+
+std::size_t state_var_count() { return state_table().by_id.size(); }
+
+namespace fields {
+FieldId inport() {
+  static FieldId id = field_id("inport");
+  return id;
+}
+FieldId outport() {
+  static FieldId id = field_id("outport");
+  return id;
+}
+FieldId srcip() {
+  static FieldId id = field_id("srcip");
+  return id;
+}
+FieldId dstip() {
+  static FieldId id = field_id("dstip");
+  return id;
+}
+FieldId srcport() {
+  static FieldId id = field_id("srcport");
+  return id;
+}
+FieldId dstport() {
+  static FieldId id = field_id("dstport");
+  return id;
+}
+FieldId proto() {
+  static FieldId id = field_id("proto");
+  return id;
+}
+}  // namespace fields
+
+}  // namespace snap

@@ -1,0 +1,48 @@
+// Packet header fields and state-variable names.
+//
+// The SNAP language is agnostic to the concrete set of header fields (§2.1,
+// footnote 1): new architectures with programmable parsers can expose
+// arbitrary fields. We therefore keep a process-wide interning table mapping
+// field names ("dstip", "dns.rdata", ...) to dense ids, and a second table
+// for state-variable names ("orphan", "susp-client", ...). Dense ids keep
+// packets, tests and the xFDD total order cheap to compare.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace snap {
+
+using FieldId = std::uint16_t;
+using StateVarId = std::uint16_t;
+
+// Interns `name`, returning a stable dense id. Idempotent.
+FieldId field_id(const std::string& name);
+
+// Returns the name for an interned field id; throws InternalError if unknown.
+const std::string& field_name(FieldId id);
+
+// True if `name` has already been interned as a field.
+bool is_known_field(const std::string& name);
+
+// Number of interned fields (ids are 0..count-1).
+std::size_t field_count();
+
+// Same interface for state variables.
+StateVarId state_var_id(const std::string& name);
+const std::string& state_var_name(StateVarId id);
+bool is_known_state_var(const std::string& name);
+std::size_t state_var_count();
+
+// Commonly used fields, interned on first use.
+namespace fields {
+FieldId inport();
+FieldId outport();
+FieldId srcip();
+FieldId dstip();
+FieldId srcport();
+FieldId dstport();
+FieldId proto();
+}  // namespace fields
+
+}  // namespace snap

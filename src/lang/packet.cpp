@@ -1,0 +1,29 @@
+#include "lang/packet.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace snap {
+
+std::string Packet::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const auto& [f, v] : fields_) {
+    if (!first) os << ", ";
+    first = false;
+    os << field_name(f) << '=';
+    const std::string& name = field_name(f);
+    // Render IP-like fields as dotted quads for readability.
+    if (name == "srcip" || name == "dstip" || name == "dns.rdata") {
+      os << ipv4_to_string(static_cast<std::uint32_t>(v));
+    } else {
+      os << v;
+    }
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace snap

@@ -1,0 +1,77 @@
+// Packets as field -> value records.
+//
+// A packet is a partial record: fields a given packet does not carry (e.g.
+// dns.rdata on a TCP segment) are simply absent, and a test on an absent
+// field fails. Internally the record is a sorted vector so packets order and
+// compare cheaply; the eval oracle keeps sets of packets.
+#pragma once
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lang/field.h"
+#include "lang/value.h"
+
+namespace snap {
+
+class Packet {
+ public:
+  Packet() = default;
+
+  // Convenience constructor from (field name, value) pairs.
+  Packet(std::initializer_list<std::pair<std::string, Value>> fields) {
+    for (const auto& [name, v] : fields) set(field_id(name), v);
+  }
+
+  std::optional<Value> get(FieldId f) const {
+    auto it = lower_bound(f);
+    if (it != fields_.end() && it->first == f) return it->second;
+    return std::nullopt;
+  }
+
+  std::optional<Value> get(const std::string& name) const {
+    return get(field_id(name));
+  }
+
+  bool has(FieldId f) const { return get(f).has_value(); }
+
+  void set(FieldId f, Value v) {
+    auto it = lower_bound(f);
+    if (it != fields_.end() && it->first == f) {
+      it->second = v;
+    } else {
+      fields_.insert(it, {f, v});
+    }
+  }
+
+  void set(const std::string& name, Value v) { set(field_id(name), v); }
+
+  const std::vector<std::pair<FieldId, Value>>& entries() const {
+    return fields_;
+  }
+
+  bool operator==(const Packet& o) const { return fields_ == o.fields_; }
+  bool operator<(const Packet& o) const { return fields_ < o.fields_; }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::pair<FieldId, Value>>::iterator lower_bound(FieldId f) {
+    return std::lower_bound(
+        fields_.begin(), fields_.end(), f,
+        [](const auto& e, FieldId id) { return e.first < id; });
+  }
+  std::vector<std::pair<FieldId, Value>>::const_iterator lower_bound(
+      FieldId f) const {
+    return std::lower_bound(
+        fields_.begin(), fields_.end(), f,
+        [](const auto& e, FieldId id) { return e.first < id; });
+  }
+
+  std::vector<std::pair<FieldId, Value>> fields_;
+};
+
+}  // namespace snap

@@ -1,0 +1,511 @@
+#include "lang/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace snap {
+namespace {
+
+enum class Tok {
+  kIdent,
+  kInt,
+  kIp,      // dotted quad, optional /len (text kept verbatim)
+  kEq,      // =
+  kArrow,   // <-
+  kInc,     // ++
+  kDec,     // --
+  kSemi,    // ;
+  kPlus,    // +
+  kAmp,     // &
+  kPipe,    // |
+  kBang,    // !
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kEof,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  std::vector<Token> lex() {
+    std::vector<Token> out;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (c == '#') {  // comment to end of line
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        out.push_back(lex_number());
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        out.push_back(lex_ident());
+        continue;
+      }
+      out.push_back(lex_symbol());
+    }
+    out.push_back({Tok::kEof, "", line_});
+    return out;
+  }
+
+ private:
+  Token lex_number() {
+    std::size_t start = pos_;
+    int dots = 0;
+    while (pos_ < src_.size() &&
+           (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '.')) {
+      if (src_[pos_] == '.') {
+        // Don't consume a trailing '.' that isn't part of a dotted quad.
+        if (pos_ + 1 >= src_.size() ||
+            !std::isdigit(static_cast<unsigned char>(src_[pos_ + 1]))) {
+          break;
+        }
+        ++dots;
+      }
+      ++pos_;
+    }
+    std::string text = src_.substr(start, pos_ - start);
+    if (dots == 0) return {Tok::kInt, text, line_};
+    if (dots != 3) throw ParseError("malformed IP literal: " + text, line_);
+    // Optional /prefix
+    if (pos_ < src_.size() && src_[pos_] == '/') {
+      std::size_t p = pos_ + 1;
+      while (p < src_.size() &&
+             std::isdigit(static_cast<unsigned char>(src_[p]))) {
+        ++p;
+      }
+      text += src_.substr(pos_, p - pos_);
+      pos_ = p;
+    }
+    return {Tok::kIp, text, line_};
+  }
+
+  Token lex_ident() {
+    std::size_t start = pos_;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.') {
+        ++pos_;
+        continue;
+      }
+      // '-' stays inside an identifier (susp-client) unless it begins the
+      // decrement operator '--'.
+      if (c == '-' && pos_ + 1 < src_.size() && src_[pos_ + 1] != '-' &&
+          (std::isalnum(static_cast<unsigned char>(src_[pos_ + 1])) ||
+           src_[pos_ + 1] == '_')) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return {Tok::kIdent, src_.substr(start, pos_ - start), line_};
+  }
+
+  Token lex_symbol() {
+    auto two = [&](char a, char b) {
+      return pos_ + 1 < src_.size() && src_[pos_] == a && src_[pos_ + 1] == b;
+    };
+    if (two('<', '-')) {
+      pos_ += 2;
+      return {Tok::kArrow, "<-", line_};
+    }
+    if (two('+', '+')) {
+      pos_ += 2;
+      return {Tok::kInc, "++", line_};
+    }
+    if (two('-', '-')) {
+      pos_ += 2;
+      return {Tok::kDec, "--", line_};
+    }
+    char c = src_[pos_++];
+    switch (c) {
+      case '=':
+        return {Tok::kEq, "=", line_};
+      case ';':
+        return {Tok::kSemi, ";", line_};
+      case '+':
+        return {Tok::kPlus, "+", line_};
+      case '&':
+        return {Tok::kAmp, "&", line_};
+      case '|':
+        return {Tok::kPipe, "|", line_};
+      case '!':
+        return {Tok::kBang, "!", line_};
+      case '(':
+        return {Tok::kLParen, "(", line_};
+      case ')':
+        return {Tok::kRParen, ")", line_};
+      case '[':
+        return {Tok::kLBracket, "[", line_};
+      case ']':
+        return {Tok::kRBracket, "]", line_};
+      default:
+        throw ParseError(std::string("unexpected character '") + c + "'",
+                         line_);
+    }
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const ConstTable& consts)
+      : tokens_(std::move(tokens)), consts_(consts) {}
+
+  PolPtr parse_policy() {
+    PolPtr p = policy();
+    expect(Tok::kEof, "end of input");
+    return p;
+  }
+
+  PredPtr parse_predicate() {
+    PredPtr x = pred();
+    expect(Tok::kEof, "end of input");
+    return x;
+  }
+
+ private:
+  const Token& peek(int ahead = 0) const {
+    std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  const Token& advance() { return tokens_[pos_++]; }
+
+  bool accept(Tok k) {
+    if (peek().kind == k) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool accept_keyword(const std::string& kw) {
+    if (peek().kind == Tok::kIdent && peek().text == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool at_keyword(const std::string& kw) const {
+    return peek().kind == Tok::kIdent && peek().text == kw;
+  }
+
+  void expect(Tok k, const std::string& what) {
+    if (!accept(k)) {
+      throw ParseError("expected " + what + ", found '" + peek().text + "'",
+                       peek().line);
+    }
+  }
+
+  void expect_keyword(const std::string& kw) {
+    if (!accept_keyword(kw)) {
+      throw ParseError("expected '" + kw + "', found '" + peek().text + "'",
+                       peek().line);
+    }
+  }
+
+  // policy := par ( ';' par )*
+  PolPtr policy() {
+    PolPtr p = par_policy();
+    while (accept(Tok::kSemi)) {
+      p = dsl::seq(std::move(p), par_policy());
+    }
+    return p;
+  }
+
+  // par := primary ( '+' primary )*
+  PolPtr par_policy() {
+    PolPtr p = primary_policy();
+    while (accept(Tok::kPlus)) {
+      p = dsl::par(std::move(p), primary_policy());
+    }
+    return p;
+  }
+
+  // True if the current token may legally follow a complete policy term.
+  bool at_policy_terminator() const {
+    switch (peek().kind) {
+      case Tok::kSemi:
+      case Tok::kPlus:
+      case Tok::kRParen:
+      case Tok::kEof:
+        return true;
+      case Tok::kIdent:
+        return peek().text == "else" || peek().text == "then";
+      default:
+        return false;
+    }
+  }
+
+  PolPtr primary_policy() {
+    // A bare predicate (possibly parenthesized, with & and |) is a valid
+    // policy — a filter. Try that reading first; if the predicate parse
+    // fails or stops before a policy boundary (e.g. `f <- 1`, `s[e]++`),
+    // fall back to the policy-specific forms.
+    {
+      std::size_t save = pos_;
+      try {
+        PredPtr x = pred();
+        if (at_policy_terminator()) {
+          return dsl::filter(std::move(x));
+        }
+      } catch (const ParseError&) {
+      }
+      pos_ = save;
+    }
+    if (accept_keyword("if")) {
+      PredPtr cond = pred();
+      expect_keyword("then");
+      PolPtr then_p = policy();  // extends to the matching 'else'
+      expect_keyword("else");
+      PolPtr else_p = par_policy();  // parenthesize for a sequential else
+      return dsl::ite(std::move(cond), std::move(then_p), std::move(else_p));
+    }
+    if (accept_keyword("atomic")) {
+      expect(Tok::kLParen, "'('");
+      PolPtr p = policy();
+      expect(Tok::kRParen, "')'");
+      return dsl::atomic(std::move(p));
+    }
+    if (accept(Tok::kLParen)) {
+      PolPtr p = policy();
+      expect(Tok::kRParen, "')'");
+      return p;
+    }
+    if (accept(Tok::kBang)) {
+      // A negated predicate used as a policy.
+      return dsl::filter(dsl::lnot(pred_atom()));
+    }
+    if (at_keyword("id")) {
+      advance();
+      return dsl::filter(dsl::id());
+    }
+    if (at_keyword("drop")) {
+      advance();
+      return dsl::filter(dsl::drop());
+    }
+    if (peek().kind == Tok::kIdent) {
+      return ident_policy();
+    }
+    throw ParseError("expected a policy, found '" + peek().text + "'",
+                     peek().line);
+  }
+
+  // Disambiguates: state ops (ident '['), field mods (ident '<-') and field
+  // tests (ident '=').
+  PolPtr ident_policy() {
+    std::string name = advance().text;
+    if (peek().kind == Tok::kLBracket) {
+      Expr index = bracketed_indices();
+      if (accept(Tok::kArrow)) {
+        return dsl::sset(name, std::move(index), value_expr());
+      }
+      if (accept(Tok::kInc)) {
+        return dsl::sinc(name, std::move(index));
+      }
+      if (accept(Tok::kDec)) {
+        return dsl::sdec(name, std::move(index));
+      }
+      if (accept(Tok::kEq)) {
+        return dsl::filter(dsl::stest(name, std::move(index), value_expr()));
+      }
+      // Bare state reference is boolean sugar: s[e] means s[e] = True.
+      return dsl::filter(
+          dsl::stest(name, std::move(index), Expr::of_value(kTrue)));
+    }
+    if (accept(Tok::kArrow)) {
+      Expr v = value_expr();
+      SNAP_CHECK(v.size() == 1, "field modification takes a scalar");
+      const Atom& a = v.atoms()[0];
+      if (!a.is_value()) {
+        throw ParseError("field modification must assign a constant",
+                         peek().line);
+      }
+      return dsl::mod(name, a.value());
+    }
+    if (accept(Tok::kEq)) {
+      return dsl::filter(field_test(name));
+    }
+    throw ParseError("cannot parse statement starting with '" + name + "'",
+                     peek().line);
+  }
+
+  // pred := conj ( '|' conj )*
+  PredPtr pred() {
+    PredPtr x = pred_conj();
+    while (accept(Tok::kPipe)) {
+      x = dsl::lor(std::move(x), pred_conj());
+    }
+    return x;
+  }
+
+  // conj := atom ( '&' atom )*
+  PredPtr pred_conj() {
+    PredPtr x = pred_atom();
+    while (accept(Tok::kAmp)) {
+      x = dsl::land(std::move(x), pred_atom());
+    }
+    return x;
+  }
+
+  PredPtr pred_atom() {
+    if (accept(Tok::kBang)) {
+      return dsl::lnot(pred_atom());
+    }
+    if (accept(Tok::kLParen)) {
+      PredPtr x = pred();
+      expect(Tok::kRParen, "')'");
+      return x;
+    }
+    if (at_keyword("id")) {
+      advance();
+      return dsl::id();
+    }
+    if (at_keyword("drop")) {
+      advance();
+      return dsl::drop();
+    }
+    if (peek().kind != Tok::kIdent) {
+      throw ParseError("expected a predicate, found '" + peek().text + "'",
+                       peek().line);
+    }
+    std::string name = advance().text;
+    if (peek().kind == Tok::kLBracket) {
+      Expr index = bracketed_indices();
+      if (accept(Tok::kEq)) {
+        return dsl::stest(name, std::move(index), value_expr());
+      }
+      return dsl::stest(name, std::move(index), Expr::of_value(kTrue));
+    }
+    expect(Tok::kEq, "'=' in field test");
+    return field_test(name);
+  }
+
+  // Having consumed `name =`, parses the right-hand side of a field test.
+  PredPtr field_test(const std::string& name) {
+    const Token& t = peek();
+    if (t.kind == Tok::kIp) {
+      advance();
+      auto [addr, len] = cidr_from_string(t.text);
+      return dsl::test(name, static_cast<Value>(addr),
+                       len == 32 ? kExactMatch : len);
+    }
+    return dsl::test(name, scalar_value());
+  }
+
+  Expr bracketed_indices() {
+    Expr e;
+    while (accept(Tok::kLBracket)) {
+      const Token& t = peek();
+      if (t.kind == Tok::kInt) {
+        advance();
+        e.append_value(std::stoll(t.text));
+      } else if (t.kind == Tok::kIp) {
+        advance();
+        e.append_value(static_cast<Value>(ipv4_from_string(t.text)));
+      } else if (t.kind == Tok::kIdent) {
+        advance();
+        if (auto c = lookup_const(t.text)) {
+          e.append_value(*c);
+        } else {
+          e.append_field(field_id(t.text));
+        }
+      } else {
+        throw ParseError("expected an index expression", t.line);
+      }
+      expect(Tok::kRBracket, "']'");
+    }
+    if (e.empty()) {
+      throw ParseError("expected at least one index", peek().line);
+    }
+    return e;
+  }
+
+  // A scalar expression: constant, field, True/False, int or IP.
+  Expr value_expr() {
+    const Token& t = peek();
+    if (t.kind == Tok::kInt) {
+      advance();
+      return Expr::of_value(std::stoll(t.text));
+    }
+    if (t.kind == Tok::kIp) {
+      advance();
+      return Expr::of_value(static_cast<Value>(ipv4_from_string(t.text)));
+    }
+    if (t.kind == Tok::kIdent) {
+      advance();
+      if (t.text == "True") return Expr::of_value(kTrue);
+      if (t.text == "False") return Expr::of_value(kFalse);
+      if (auto c = lookup_const(t.text)) return Expr::of_value(*c);
+      return Expr::of_field(t.text);
+    }
+    throw ParseError("expected a value, found '" + t.text + "'", t.line);
+  }
+
+  Value scalar_value() {
+    Expr e = value_expr();
+    const Atom& a = e.atoms()[0];
+    if (!a.is_value()) {
+      throw ParseError("expected a constant value, found field '" +
+                           field_name(a.field()) + "'",
+                       peek().line);
+    }
+    return a.value();
+  }
+
+  std::optional<Value> lookup_const(const std::string& name) const {
+    if (name == "True") return kTrue;
+    if (name == "False") return kFalse;
+    auto it = consts_.find(name);
+    if (it != consts_.end()) return it->second;
+    return std::nullopt;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  const ConstTable& consts_;
+};
+
+}  // namespace
+
+PolPtr parse_policy(const std::string& text, const ConstTable& consts) {
+  Parser parser(Lexer(text).lex(), consts);
+  return parser.parse_policy();
+}
+
+PredPtr parse_predicate(const std::string& text, const ConstTable& consts) {
+  Parser parser(Lexer(text).lex(), consts);
+  return parser.parse_predicate();
+}
+
+}  // namespace snap

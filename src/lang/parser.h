@@ -1,0 +1,39 @@
+// Recursive-descent parser for the concrete SNAP syntax of Figures 1 and 4.
+//
+//   if dstip = 10.0.6.0/24 & srcport = 53 then
+//     orphan[dstip][dns.rdata] <- True;
+//     susp-client[dstip]++;
+//     if susp-client[dstip] = threshold then
+//       blacklist[dstip] <- True
+//     else id
+//   else id
+//
+// Notes on binding, matching the paper's examples:
+//   * ';' (sequential) binds loosest, then '+' (parallel).
+//   * A then-branch extends to the matching 'else'; an else-branch binds at
+//     the parallel level, so write `else (p; q)` for a sequential else.
+//   * Identifiers may contain '-' (susp-client); '--' always lexes as the
+//     decrement operator.
+//   * Symbolic constants (threshold, SYN, ...) are resolved through the
+//     `consts` table supplied by the caller.
+//   * An identifier followed by '[' is a state variable; 'f = v' is a field
+//     test; 'f <- v' a field modification.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "lang/ast.h"
+
+namespace snap {
+
+using ConstTable = std::map<std::string, Value>;
+
+// Parses a policy. Throws ParseError on malformed input.
+PolPtr parse_policy(const std::string& text, const ConstTable& consts = {});
+
+// Parses a bare predicate (e.g. an assumption policy).
+PredPtr parse_predicate(const std::string& text,
+                        const ConstTable& consts = {});
+
+}  // namespace snap

@@ -1,0 +1,190 @@
+#include "lang/printer.h"
+
+#include <sstream>
+
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace snap {
+namespace {
+
+bool looks_like_ip_field(FieldId f) {
+  const std::string& name = field_name(f);
+  return name.find("ip") != std::string::npos ||
+         name.find("rdata") != std::string::npos;
+}
+
+void print_expr_indices(std::ostringstream& os, const Expr& e) {
+  for (const Atom& a : e.atoms()) {
+    os << '[';
+    if (a.is_value()) {
+      os << a.value();
+    } else {
+      os << field_name(a.field());
+    }
+    os << ']';
+  }
+}
+
+void print_value_expr(std::ostringstream& os, const Expr& e) {
+  SNAP_CHECK(e.size() == 1, "value expression must be scalar");
+  const Atom& a = e.atoms()[0];
+  if (a.is_value()) {
+    os << a.value();
+  } else {
+    os << field_name(a.field());
+  }
+}
+
+void print_pred(std::ostringstream& os, const PredPtr& x);
+
+void print_pred_atom(std::ostringstream& os, const PredPtr& x) {
+  std::visit(
+      [&](const auto& n) {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, PredId>) {
+          os << "id";
+        } else if constexpr (std::is_same_v<T, PredDrop>) {
+          os << "drop";
+        } else if constexpr (std::is_same_v<T, PredTest>) {
+          os << field_name(n.field) << " = ";
+          if (n.prefix_len != kExactMatch) {
+            os << ipv4_to_string(static_cast<std::uint32_t>(n.value)) << '/'
+               << n.prefix_len;
+          } else if (looks_like_ip_field(n.field)) {
+            os << ipv4_to_string(static_cast<std::uint32_t>(n.value));
+          } else {
+            os << n.value;
+          }
+        } else if constexpr (std::is_same_v<T, PredNot>) {
+          os << '!';
+          print_pred_atom(os, n.x);
+        } else if constexpr (std::is_same_v<T, PredStateTest>) {
+          os << state_var_name(n.var);
+          print_expr_indices(os, n.index);
+          os << " = ";
+          print_value_expr(os, n.value);
+        } else {
+          os << '(';
+          print_pred(os, std::make_shared<Pred>(Pred{n}));
+          os << ')';
+        }
+      },
+      x->node);
+}
+
+void print_pred(std::ostringstream& os, const PredPtr& x) {
+  std::visit(
+      [&](const auto& n) {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, PredOr>) {
+          print_pred(os, n.x);
+          os << " | ";
+          print_pred(os, n.y);
+        } else if constexpr (std::is_same_v<T, PredAnd>) {
+          print_pred_atom(os, n.x);
+          os << " & ";
+          print_pred_atom(os, n.y);
+        } else {
+          print_pred_atom(os, x);
+        }
+      },
+      x->node);
+}
+
+void print_pol(std::ostringstream& os, const PolPtr& p, int indent);
+
+void print_indent(std::ostringstream& os, int indent) {
+  for (int i = 0; i < indent; ++i) os << "  ";
+}
+
+void print_pol(std::ostringstream& os, const PolPtr& p, int indent) {
+  std::visit(
+      [&](const auto& n) {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, PolFilter>) {
+          print_indent(os, indent);
+          print_pred(os, n.pred);
+        } else if constexpr (std::is_same_v<T, PolMod>) {
+          print_indent(os, indent);
+          os << field_name(n.field) << " <- " << n.value;
+        } else if constexpr (std::is_same_v<T, PolSeq>) {
+          print_pol(os, n.p, indent);
+          os << ";\n";
+          print_pol(os, n.q, indent);
+        } else if constexpr (std::is_same_v<T, PolPar>) {
+          print_indent(os, indent);
+          os << "(\n";
+          print_pol(os, n.p, indent + 1);
+          os << "\n";
+          print_indent(os, indent);
+          os << "+\n";
+          print_pol(os, n.q, indent + 1);
+          os << "\n";
+          print_indent(os, indent);
+          os << ")";
+        } else if constexpr (std::is_same_v<T, PolStateSet>) {
+          print_indent(os, indent);
+          os << state_var_name(n.var);
+          print_expr_indices(os, n.index);
+          os << " <- ";
+          print_value_expr(os, n.value);
+        } else if constexpr (std::is_same_v<T, PolStateInc>) {
+          print_indent(os, indent);
+          os << state_var_name(n.var);
+          print_expr_indices(os, n.index);
+          os << "++";
+        } else if constexpr (std::is_same_v<T, PolStateDec>) {
+          print_indent(os, indent);
+          os << state_var_name(n.var);
+          print_expr_indices(os, n.index);
+          os << "--";
+        } else if constexpr (std::is_same_v<T, PolIf>) {
+          print_indent(os, indent);
+          os << "if ";
+          print_pred(os, n.cond);
+          os << " then\n";
+          print_pol(os, n.then_p, indent + 1);
+          os << "\n";
+          print_indent(os, indent);
+          os << "else\n";
+          // The parser binds an else-branch at the parallel level; wrap
+          // sequential else-branches in parentheses so output re-parses.
+          if (std::holds_alternative<PolSeq>(n.else_p->node)) {
+            print_indent(os, indent + 1);
+            os << "(\n";
+            print_pol(os, n.else_p, indent + 2);
+            os << "\n";
+            print_indent(os, indent + 1);
+            os << ")";
+          } else {
+            print_pol(os, n.else_p, indent + 1);
+          }
+        } else {
+          static_assert(std::is_same_v<T, PolAtomic>);
+          print_indent(os, indent);
+          os << "atomic(\n";
+          print_pol(os, n.p, indent + 1);
+          os << "\n";
+          print_indent(os, indent);
+          os << ")";
+        }
+      },
+      p->node);
+}
+
+}  // namespace
+
+std::string to_string(const PredPtr& x) {
+  std::ostringstream os;
+  print_pred(os, x);
+  return os.str();
+}
+
+std::string to_string(const PolPtr& p) {
+  std::ostringstream os;
+  print_pol(os, p, 0);
+  return os.str();
+}
+
+}  // namespace snap

@@ -1,0 +1,14 @@
+// Pretty-printer producing the concrete syntax accepted by lang/parser.h,
+// in the style of the paper's Figure 1.
+#pragma once
+
+#include <string>
+
+#include "lang/ast.h"
+
+namespace snap {
+
+std::string to_string(const PredPtr& x);
+std::string to_string(const PolPtr& p);
+
+}  // namespace snap

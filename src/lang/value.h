@@ -1,0 +1,26 @@
+// Values manipulated by SNAP programs.
+//
+// The paper's value domain (Appendix A) covers IP addresses, TCP ports, MAC
+// addresses, DNS names, integers, booleans and vectors of these. We encode
+// every scalar as a 64-bit signed integer: IPv4 addresses live in the low 32
+// bits, booleans are 0/1, and symbolic protocol constants (SYN, ESTABLISHED,
+// ...) are small integers interned by the application layer. Vectors of
+// values appear as state-variable indices (s[srcip][dstip]) and are
+// represented as std::vector<Value>.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace snap {
+
+using Value = std::int64_t;
+
+// A (possibly multi-dimensional) state-variable index, e.g. the evaluated
+// form of [srcip][dstip].
+using ValueVec = std::vector<Value>;
+
+inline constexpr Value kTrue = 1;
+inline constexpr Value kFalse = 0;
+
+}  // namespace snap

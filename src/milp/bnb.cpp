@@ -1,0 +1,129 @@
+#include "milp/bnb.h"
+
+#include <cmath>
+#include <map>
+#include <queue>
+
+#include "util/status.h"
+
+namespace snap {
+namespace {
+
+struct Node {
+  double bound;  // parent LP objective (lower bound for minimization)
+  std::map<int, std::pair<double, double>> var_bounds;  // overrides
+
+  bool operator>(const Node& o) const { return bound > o.bound; }
+};
+
+// Most fractional integer variable, or -1 if integral.
+int pick_branch_var(const LpModel& model, const std::vector<double>& x,
+                    double tol) {
+  int best = -1;
+  double best_frac = tol;
+  for (int j = 0; j < model.num_vars(); ++j) {
+    if (!model.var(j).integer) continue;
+    double frac = std::fabs(x[j] - std::round(x[j]));
+    if (frac > best_frac) {
+      best_frac = frac;
+      best = j;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MilpSolution solve_milp(const LpModel& model, const BnbOptions& opts) {
+  Timer timer;
+  MilpSolution out;
+
+  std::priority_queue<Node, std::vector<Node>, std::greater<>> open;
+  open.push({-kLpInf, {}});
+
+  double incumbent_obj = kLpInf;
+  std::vector<double> incumbent_x;
+  bool hit_limit = false;
+
+  LpModel scratch = model;
+  while (!open.empty()) {
+    if (out.nodes_explored >= opts.max_nodes ||
+        timer.seconds() > opts.time_limit_seconds) {
+      hit_limit = true;
+      break;
+    }
+    Node node = open.top();
+    open.pop();
+    if (node.bound >= incumbent_obj - 1e-12) continue;  // pruned
+
+    // Apply bound overrides.
+    for (int j = 0; j < scratch.num_vars(); ++j) {
+      scratch.var(j).lo = model.var(j).lo;
+      scratch.var(j).hi = model.var(j).hi;
+    }
+    bool inconsistent = false;
+    for (const auto& [j, b] : node.var_bounds) {
+      scratch.var(j).lo = std::max(scratch.var(j).lo, b.first);
+      scratch.var(j).hi = std::min(scratch.var(j).hi, b.second);
+      if (scratch.var(j).lo > scratch.var(j).hi) inconsistent = true;
+    }
+    ++out.nodes_explored;
+    if (inconsistent) continue;
+
+    LpSolution lp = solve_lp(scratch, opts.lp);
+    if (lp.status == LpStatus::kInfeasible) continue;
+    if (lp.status == LpStatus::kUnbounded) {
+      out.status = LpStatus::kUnbounded;
+      return out;
+    }
+    if (lp.status == LpStatus::kLimit) {
+      hit_limit = true;
+      continue;
+    }
+    if (lp.objective >= incumbent_obj - 1e-12) continue;
+
+    int branch = pick_branch_var(model, lp.x, opts.integrality_tol);
+    if (branch < 0) {
+      // Integer feasible.
+      incumbent_obj = lp.objective;
+      incumbent_x = lp.x;
+      continue;
+    }
+    double v = lp.x[branch];
+    Node down = node;
+    down.bound = lp.objective;
+    down.var_bounds[branch] = {model.var(branch).lo, std::floor(v)};
+    // Merge with any existing override.
+    if (auto it = node.var_bounds.find(branch); it != node.var_bounds.end()) {
+      down.var_bounds[branch] = {it->second.first,
+                                 std::min(it->second.second, std::floor(v))};
+    }
+    Node up = node;
+    up.bound = lp.objective;
+    up.var_bounds[branch] = {std::ceil(v), model.var(branch).hi};
+    if (auto it = node.var_bounds.find(branch); it != node.var_bounds.end()) {
+      up.var_bounds[branch] = {std::max(it->second.first, std::ceil(v)),
+                               it->second.second};
+    }
+    open.push(std::move(down));
+    open.push(std::move(up));
+  }
+
+  out.best_bound = open.empty() ? incumbent_obj : open.top().bound;
+  if (incumbent_x.empty()) {
+    out.status = hit_limit ? LpStatus::kLimit : LpStatus::kInfeasible;
+    return out;
+  }
+  out.status = (hit_limit || !open.empty()) && incumbent_obj > out.best_bound + 1e-9
+                   ? LpStatus::kLimit
+                   : LpStatus::kOptimal;
+  // Round integer variables exactly.
+  for (int j = 0; j < model.num_vars(); ++j) {
+    if (model.var(j).integer) incumbent_x[j] = std::round(incumbent_x[j]);
+  }
+  out.x = std::move(incumbent_x);
+  out.objective = incumbent_obj;
+  return out;
+}
+
+}  // namespace snap

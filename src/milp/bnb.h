@@ -1,0 +1,32 @@
+// Branch & bound for mixed-integer programs over the simplex LP solver.
+//
+// Best-first search on the LP relaxation bound, branching on the most
+// fractional integer variable. Node and time limits make the solver return
+// the best incumbent found (status kLimit) rather than running forever —
+// the paper's ST MILP is NP-hard and Gurobi, too, is effectively a
+// bounded-effort solver on large instances.
+#pragma once
+
+#include "milp/simplex.h"
+#include "util/timer.h"
+
+namespace snap {
+
+struct BnbOptions {
+  SimplexOptions lp;
+  int max_nodes = 50000;
+  double time_limit_seconds = 120.0;
+  double integrality_tol = 1e-6;
+};
+
+struct MilpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  std::vector<double> x;
+  double objective = 0.0;
+  int nodes_explored = 0;
+  double best_bound = 0.0;  // LP lower bound at termination
+};
+
+MilpSolution solve_milp(const LpModel& model, const BnbOptions& opts = {});
+
+}  // namespace snap

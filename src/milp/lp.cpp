@@ -1,0 +1,23 @@
+#include "milp/lp.h"
+
+#include "util/status.h"
+
+namespace snap {
+
+int LpModel::add_var(double lo, double hi, double obj, bool integer,
+                     std::string name) {
+  SNAP_CHECK(lo <= hi, "variable bounds inverted");
+  vars_.push_back({lo, hi, obj, integer, std::move(name)});
+  return static_cast<int>(vars_.size()) - 1;
+}
+
+int LpModel::add_row(std::vector<LinTerm> terms, double lo, double hi) {
+  SNAP_CHECK(lo <= hi, "row bounds inverted");
+  for (const LinTerm& t : terms) {
+    SNAP_CHECK(t.var >= 0 && t.var < num_vars(), "row references unknown var");
+  }
+  rows_.push_back({std::move(terms), lo, hi});
+  return static_cast<int>(rows_.size()) - 1;
+}
+
+}  // namespace snap

@@ -1,0 +1,76 @@
+// Linear / mixed-integer program representation.
+//
+// The paper solves its joint placement-and-routing model (§4.4, Tables 1-2)
+// with Gurobi; no MILP solver is available offline, so src/milp contains a
+// self-contained substrate: this model layer, a two-phase primal simplex
+// (simplex.h) and branch & bound over integer variables (bnb.h).
+//
+// Conventions: minimize c'x subject to per-row lower/upper bounds on a'x and
+// per-variable bounds. Integer variables are declared as such and only
+// enforced by the branch & bound layer.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace snap {
+
+inline constexpr double kLpInf = std::numeric_limits<double>::infinity();
+
+struct LinTerm {
+  int var;
+  double coef;
+};
+
+struct LpRow {
+  std::vector<LinTerm> terms;
+  double lo;
+  double hi;
+};
+
+struct LpVar {
+  double lo;
+  double hi;
+  double obj;
+  bool integer;
+  std::string name;
+};
+
+class LpModel {
+ public:
+  int add_var(double lo, double hi, double obj, bool integer = false,
+              std::string name = {});
+
+  // lo <= terms . x <= hi; use kLpInf / -kLpInf for one-sided rows.
+  int add_row(std::vector<LinTerm> terms, double lo, double hi);
+
+  int num_vars() const { return static_cast<int>(vars_.size()); }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  const std::vector<LpVar>& vars() const { return vars_; }
+  const std::vector<LpRow>& rows() const { return rows_; }
+
+  LpVar& var(int i) { return vars_[i]; }
+  const LpVar& var(int i) const { return vars_[i]; }
+
+  // Rough density measure used to guard the dense solver.
+  std::size_t tableau_cells() const {
+    return static_cast<std::size_t>(num_rows() + num_vars()) *
+           static_cast<std::size_t>(num_rows() + 2 * num_vars());
+  }
+
+ private:
+  std::vector<LpVar> vars_;
+  std::vector<LpRow> rows_;
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  std::vector<double> x;
+  double objective = 0.0;
+  int iterations = 0;
+};
+
+}  // namespace snap

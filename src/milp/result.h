@@ -1,0 +1,36 @@
+// Shared result types for the placement-and-routing optimizers.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "analysis/psmap.h"
+#include "lang/field.h"
+
+namespace snap {
+
+// Where each state variable lives (one switch per variable, §4.4).
+struct Placement {
+  std::map<StateVarId, int> switch_of;
+
+  int at(StateVarId s) const {
+    auto it = switch_of.find(s);
+    return it == switch_of.end() ? -1 : it->second;
+  }
+};
+
+// One path (switch sequence, ingress switch first) per OBS port pair.
+struct Routing {
+  std::map<std::pair<PortId, PortId>, std::vector<int>> paths;
+  std::vector<double> link_load;  // absolute load per directed link
+  double objective = 0.0;         // sum of link utilizations
+};
+
+struct PlacementAndRouting {
+  Placement placement;
+  Routing routing;
+  bool optimal = false;  // proven optimal (exact solver, gap closed)
+  double solve_seconds = 0.0;
+};
+
+}  // namespace snap

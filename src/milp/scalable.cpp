@@ -1,0 +1,387 @@
+#include "milp/scalable.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace snap {
+namespace {
+
+struct Flow {
+  PortId u, v;
+  int su, sv;
+  double demand;
+  std::vector<int> groups;  // ordered group ids
+};
+
+struct Problem {
+  const Topology& topo;
+  std::vector<std::vector<StateVarId>> groups;
+  std::vector<Flow> flows;
+  std::vector<int> stateful;
+};
+
+Problem build_problem(const Topology& topo, const TrafficMatrix& tm,
+                      const PacketStateMap& psmap,
+                      const DependencyGraph& deps,
+                      const std::set<int>& stateful_opt) {
+  Problem pb{topo, {}, {}, {}};
+  std::map<StateVarId, int> group_of;
+  for (const auto& scc : deps.components()) {
+    std::vector<StateVarId> used;
+    for (StateVarId v : scc) {
+      if (psmap.all_vars.count(v)) used.push_back(v);
+    }
+    if (used.empty()) continue;
+    for (StateVarId v : used) {
+      group_of[v] = static_cast<int>(pb.groups.size());
+    }
+    pb.groups.push_back(std::move(used));
+  }
+  for (StateVarId v : psmap.all_vars) {
+    if (!group_of.count(v)) {
+      group_of[v] = static_cast<int>(pb.groups.size());
+      pb.groups.push_back({v});
+    }
+  }
+  for (const auto& [uv, demand] : tm.demands()) {
+    if (demand <= 0) continue;
+    Flow f;
+    f.u = uv.first;
+    f.v = uv.second;
+    f.su = topo.port_switch(f.u);
+    f.sv = topo.port_switch(f.v);
+    f.demand = demand;
+    for (StateVarId s : psmap.states_for(f.u, f.v)) {
+      int g = group_of.at(s);
+      if (std::find(f.groups.begin(), f.groups.end(), g) == f.groups.end()) {
+        f.groups.push_back(g);
+      }
+    }
+    pb.flows.push_back(std::move(f));
+  }
+  if (stateful_opt.empty()) {
+    for (int n = 0; n < topo.num_switches(); ++n) pb.stateful.push_back(n);
+  } else {
+    pb.stateful.assign(stateful_opt.begin(), stateful_opt.end());
+  }
+  return pb;
+}
+
+// All-pairs shortest distances under 1/capacity weights (the uncongested
+// marginal cost of carrying one unit over a link).
+std::vector<std::vector<double>> apsp(const Topology& topo) {
+  std::vector<double> w;
+  w.reserve(topo.links().size());
+  for (const Link& l : topo.links()) w.push_back(1.0 / l.capacity);
+  std::vector<std::vector<double>> dist(topo.num_switches());
+  for (int n = 0; n < topo.num_switches(); ++n) dist[n] = topo.dijkstra(n, w);
+  return dist;
+}
+
+// Demand-weighted cost of a placement tuple under uncongested distances.
+double proxy_cost(const Problem& pb,
+                  const std::vector<std::vector<double>>& dist,
+                  const std::vector<int>& tuple) {
+  double cost = 0;
+  for (const Flow& f : pb.flows) {
+    double len = 0;
+    int cur = f.su;
+    for (int g : f.groups) {
+      len += dist[cur][tuple[g]];
+      cur = tuple[g];
+    }
+    len += dist[cur][f.sv];
+    if (len == kInf) return kInf;
+    cost += f.demand * len;
+  }
+  return cost;
+}
+
+// True if no switch hosts more than `capacity` groups (0 = unlimited).
+bool capacity_ok(const std::vector<int>& tuple, int capacity) {
+  if (capacity <= 0) return true;
+  std::map<int, int> count;
+  for (int n : tuple) {
+    if (++count[n] > capacity) return false;
+  }
+  return true;
+}
+
+// Keeps the K lowest-cost tuples.
+struct TopK {
+  std::size_t k;
+  int capacity;  // per-switch group capacity (0 = unlimited)
+  std::vector<std::pair<double, std::vector<int>>> entries;
+
+  void offer(double cost, const std::vector<int>& tuple) {
+    if (cost == kInf || !capacity_ok(tuple, capacity)) return;
+    entries.emplace_back(cost, tuple);
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (entries.size() > k) entries.resize(k);
+  }
+};
+
+void enumerate_rec(const Problem& pb,
+                   const std::vector<std::vector<double>>& dist,
+                   std::vector<int>& tuple, std::size_t g, TopK& top) {
+  if (g == pb.groups.size()) {
+    top.offer(proxy_cost(pb, dist, tuple), tuple);
+    return;
+  }
+  for (int n : pb.stateful) {
+    tuple[g] = n;
+    enumerate_rec(pb, dist, tuple, g + 1, top);
+  }
+}
+
+// Greedy sequential placement: place groups one at a time minimizing the
+// proxy cost with later groups ignored. Honors the per-switch capacity.
+std::vector<int> greedy_tuple(const Problem& pb,
+                              const std::vector<std::vector<double>>& dist,
+                              int capacity) {
+  std::vector<int> tuple(pb.groups.size(), pb.stateful.front());
+  std::map<int, int> used;
+  for (std::size_t g = 0; g < pb.groups.size(); ++g) {
+    double best = kInf;
+    int best_n = pb.stateful.front();
+    for (int n : pb.stateful) {
+      if (capacity > 0 && used[n] >= capacity) continue;
+      tuple[g] = n;
+      double cost = 0;
+      for (const Flow& f : pb.flows) {
+        double len = 0;
+        int cur = f.su;
+        for (int fg : f.groups) {
+          if (static_cast<std::size_t>(fg) > g) continue;  // not placed yet
+          len += dist[cur][tuple[fg]];
+          cur = tuple[fg];
+        }
+        len += dist[cur][f.sv];
+        cost += f.demand * len;
+      }
+      if (cost < best) {
+        best = cost;
+        best_n = n;
+      }
+    }
+    tuple[g] = best_n;
+    ++used[best_n];
+  }
+  return tuple;
+}
+
+// Routes every flow through its ordered waypoints under link weights; fills
+// loads and returns the utilization objective.
+double route_all(const Problem& pb, const std::vector<int>& tuple,
+                 const std::vector<double>& weights,
+                 std::map<std::pair<PortId, PortId>, std::vector<int>>& paths,
+                 std::vector<double>& load) {
+  const Topology& topo = pb.topo;
+  load.assign(topo.links().size(), 0.0);
+  for (const Flow& f : pb.flows) {
+    // Waypoints in order, collapsing repeats.
+    std::vector<int> stops{f.su};
+    for (int g : f.groups) {
+      if (tuple[g] != stops.back()) stops.push_back(tuple[g]);
+    }
+    if (f.sv != stops.back()) stops.push_back(f.sv);
+    std::vector<int> full{f.su};
+    for (std::size_t i = 0; i + 1 < stops.size(); ++i) {
+      auto seg = topo.weighted_path(stops[i], stops[i + 1], weights);
+      if (seg.empty()) return kInf;  // disconnected
+      full.insert(full.end(), seg.begin() + 1, seg.end());
+    }
+    for (std::size_t i = 0; i + 1 < full.size(); ++i) {
+      int l = topo.link_index(full[i], full[i + 1]);
+      SNAP_CHECK(l >= 0, "segment uses a missing link");
+      load[l] += f.demand;
+    }
+    paths[{f.u, f.v}] = std::move(full);
+  }
+  double objective = 0;
+  for (std::size_t l = 0; l < load.size(); ++l) {
+    objective += load[l] / topo.links()[l].capacity;
+  }
+  return objective;
+}
+
+// Iteratively re-weighted waypoint routing.
+Routing congestion_route(const Problem& pb, const std::vector<int>& tuple,
+                         const ScalableOptions& opts) {
+  const Topology& topo = pb.topo;
+  std::vector<double> weights(topo.links().size());
+  for (std::size_t l = 0; l < weights.size(); ++l) {
+    weights[l] = 1.0 / topo.links()[l].capacity;
+  }
+  Routing best;
+  best.objective = kInf;
+  for (int iter = 0; iter < opts.routing_iterations; ++iter) {
+    std::map<std::pair<PortId, PortId>, std::vector<int>> paths;
+    std::vector<double> load;
+    double obj = route_all(pb, tuple, weights, paths, load);
+    if (obj < best.objective) {
+      best.objective = obj;
+      best.paths = std::move(paths);
+      best.link_load = load;
+    }
+    if (obj == kInf) break;
+    // Penalize utilized links so subsequent rounds spread the load.
+    for (std::size_t l = 0; l < weights.size(); ++l) {
+      double util = load[l] / topo.links()[l].capacity;
+      weights[l] = (1.0 + opts.congestion_weight * util) /
+                   topo.links()[l].capacity;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+struct ScalableSolver::Impl {
+  const Topology& topo;
+  ScalableOptions opts;
+  Problem pb;
+  std::vector<std::vector<double>> dist;
+
+  Impl(const Topology& t, const TrafficMatrix& tm,
+       const PacketStateMap& psmap, const DependencyGraph& deps,
+       const ScalableOptions& o)
+      : topo(t),
+        opts(o),
+        pb(build_problem(t, tm, psmap, deps, o.stateful_switches)),
+        dist(apsp(t)) {}
+};
+
+ScalableSolver::ScalableSolver(const Topology& topo, const TrafficMatrix& tm,
+                               const PacketStateMap& psmap,
+                               const DependencyGraph& deps,
+                               const ScalableOptions& opts)
+    : impl_(std::make_unique<Impl>(topo, tm, psmap, deps, opts)) {}
+
+ScalableSolver::~ScalableSolver() = default;
+ScalableSolver::ScalableSolver(ScalableSolver&&) noexcept = default;
+ScalableSolver& ScalableSolver::operator=(ScalableSolver&&) noexcept =
+    default;
+
+PlacementAndRouting ScalableSolver::solve_joint() const {
+  Timer timer;
+  const Problem& pb = impl_->pb;
+  const ScalableOptions& opts = impl_->opts;
+  const auto& dist = impl_->dist;
+
+  TopK top{static_cast<std::size_t>(opts.placement_candidates),
+           opts.state_capacity,
+           {}};
+  if (pb.groups.empty()) {
+    top.offer(0.0, {});
+  } else {
+    double combos = std::pow(static_cast<double>(pb.stateful.size()),
+                             static_cast<double>(pb.groups.size()));
+    if (combos <= static_cast<double>(opts.max_enumeration)) {
+      std::vector<int> tuple(pb.groups.size(), 0);
+      enumerate_rec(pb, dist, tuple, 0, top);
+    } else {
+      std::vector<int> g = greedy_tuple(pb, dist, opts.state_capacity);
+      top.offer(proxy_cost(pb, dist, g), g);
+      // Perturb the greedy solution: move each group to its runner-up
+      // locations to diversify candidates.
+      for (std::size_t gi = 0; gi < pb.groups.size(); ++gi) {
+        std::vector<int> t = g;
+        for (int n : pb.stateful) {
+          if (n == g[gi]) continue;
+          t[gi] = n;
+          top.offer(proxy_cost(pb, dist, t), t);
+        }
+      }
+    }
+  }
+  if (top.entries.empty()) {
+    throw InfeasibleError("no feasible state placement (disconnected "
+                          "topology?)");
+  }
+
+  PlacementAndRouting out;
+  double best_obj = kInf;
+  std::vector<int> best_tuple;
+  for (const auto& [proxy, tuple] : top.entries) {
+    Routing r = congestion_route(pb, tuple, opts);
+    if (r.objective < best_obj) {
+      best_obj = r.objective;
+      out.routing = std::move(r);
+      best_tuple = tuple;
+    }
+  }
+  if (best_obj == kInf) {
+    throw InfeasibleError("waypoint routing found no feasible paths");
+  }
+  for (std::size_t g = 0; g < pb.groups.size(); ++g) {
+    for (StateVarId s : pb.groups[g]) {
+      out.placement.switch_of[s] = best_tuple[g];
+    }
+  }
+  out.optimal = false;
+  out.solve_seconds = timer.seconds();
+  return out;
+}
+
+namespace {
+
+PlacementAndRouting te_with_problem(const Problem& pb,
+                                    const ScalableOptions& opts,
+                                    const Placement& placement) {
+  Timer timer;
+  std::vector<int> tuple(pb.groups.size(), 0);
+  for (std::size_t g = 0; g < pb.groups.size(); ++g) {
+    int loc = placement.at(pb.groups[g][0]);
+    SNAP_CHECK(loc >= 0, "TE requires a placement for every state group");
+    tuple[g] = loc;
+  }
+  PlacementAndRouting out;
+  out.placement = placement;
+  out.routing = congestion_route(pb, tuple, opts);
+  if (out.routing.objective == kInf) {
+    throw InfeasibleError("TE routing found no feasible paths");
+  }
+  out.optimal = false;
+  out.solve_seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace
+
+PlacementAndRouting ScalableSolver::solve_te(
+    const Placement& placement) const {
+  return te_with_problem(impl_->pb, impl_->opts, placement);
+}
+
+PlacementAndRouting ScalableSolver::solve_te(
+    const Placement& placement, const TrafficMatrix& new_tm) const {
+  // Rebuild demands in the existing problem shape (the flows' state needs
+  // are traffic-independent).
+  Problem pb = impl_->pb;
+  for (Flow& f : pb.flows) f.demand = new_tm.demand(f.u, f.v);
+  return te_with_problem(pb, impl_->opts, placement);
+}
+
+PlacementAndRouting solve_scalable(const Topology& topo,
+                                   const TrafficMatrix& tm,
+                                   const PacketStateMap& psmap,
+                                   const DependencyGraph& deps,
+                                   const ScalableOptions& opts) {
+  return ScalableSolver(topo, tm, psmap, deps, opts).solve_joint();
+}
+
+PlacementAndRouting solve_scalable_te(const Topology& topo,
+                                      const TrafficMatrix& tm,
+                                      const PacketStateMap& psmap,
+                                      const DependencyGraph& deps,
+                                      const Placement& placement,
+                                      const ScalableOptions& opts) {
+  return ScalableSolver(topo, tm, psmap, deps, opts).solve_te(placement);
+}
+
+}  // namespace snap

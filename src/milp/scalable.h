@@ -1,0 +1,89 @@
+// Scalable placement + routing (the heuristic companion to the exact MILP).
+//
+// The paper solves the Table-2 model with Gurobi, which handles instances
+// with tens of thousands of commodities. Our self-contained dense simplex
+// cannot, so for large topologies the pipeline uses this two-stage
+// decomposition, which preserves the model's semantics (state visit order,
+// congestion objective) while scaling to hundreds of switches:
+//
+//  1. Placement enumeration. State groups must be visited in dependency
+//     order, so a flow's ideal route is ingress -> g1's switch -> ... ->
+//     egress. Using all-pairs shortest distances we score every candidate
+//     placement tuple by the total demand-weighted detour (exact when links
+//     are uncongested) and keep the best K tuples; when the tuple space is
+//     too big, a greedy sequential placement seeds the candidate set.
+//
+//  2. Congestion-aware routing. For each candidate placement, commodities
+//     are routed on shortest paths through their ordered waypoints under
+//     iteratively re-weighted link costs (weight grows with utilization,
+//     a standard multiplicative-weights treatment of the min-congestion
+//     objective). The candidate with the lowest total utilization wins.
+//
+// The same routine with a frozen placement implements the fast TE
+// re-optimization (Table 4's topology/TM-change scenario).
+#pragma once
+
+#include <memory>
+
+#include "analysis/depgraph.h"
+#include "milp/result.h"
+#include "topo/graph.h"
+#include "topo/traffic.h"
+
+namespace snap {
+
+struct ScalableOptions {
+  int placement_candidates = 6;  // K tuples evaluated with full routing
+  int routing_iterations = 6;    // congestion re-weighting rounds
+  double congestion_weight = 4.0;
+  // Enumerate tuples exhaustively up to this many combinations; beyond it,
+  // greedy sequential placement (plus single-group perturbations) generates
+  // candidates. Kept modest so the enumeration→greedy switchover happens
+  // while both are fast, avoiding a discontinuity in scaling curves.
+  long long max_enumeration = 50000;
+  std::set<int> stateful_switches;  // empty = all switches
+  // Per-switch limit on hosted state groups (§7.3; 0 = unlimited).
+  int state_capacity = 0;
+};
+
+// Two-stage interface so the compiler pipeline can report model creation
+// (Table 4's P4) separately from solving (P5).
+class ScalableSolver {
+ public:
+  // Stage 1 (P4): extracts flows/groups and computes all-pairs distances.
+  ScalableSolver(const Topology& topo, const TrafficMatrix& tm,
+                 const PacketStateMap& psmap, const DependencyGraph& deps,
+                 const ScalableOptions& opts = {});
+  ~ScalableSolver();
+  ScalableSolver(ScalableSolver&&) noexcept;
+  ScalableSolver& operator=(ScalableSolver&&) noexcept;
+
+  // Stage 2, ST role (P5): joint placement + routing.
+  PlacementAndRouting solve_joint() const;
+
+  // Stage 2, TE role (P5): routing for a fixed placement; pass a new
+  // traffic matrix to re-optimize after a traffic shift.
+  PlacementAndRouting solve_te(const Placement& placement) const;
+  PlacementAndRouting solve_te(const Placement& placement,
+                               const TrafficMatrix& new_tm) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Convenience wrappers (single shot).
+PlacementAndRouting solve_scalable(const Topology& topo,
+                                   const TrafficMatrix& tm,
+                                   const PacketStateMap& psmap,
+                                   const DependencyGraph& deps,
+                                   const ScalableOptions& opts = {});
+
+PlacementAndRouting solve_scalable_te(const Topology& topo,
+                                      const TrafficMatrix& tm,
+                                      const PacketStateMap& psmap,
+                                      const DependencyGraph& deps,
+                                      const Placement& placement,
+                                      const ScalableOptions& opts = {});
+
+}  // namespace snap

@@ -1,0 +1,287 @@
+#include "milp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace snap {
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr double kFeasTol = 1e-7;
+
+// A row in ≤ / ≥ / = form over the shifted variables.
+struct NormRow {
+  std::vector<LinTerm> terms;
+  double rhs;
+  int sense;  // -1: <=, 0: ==, +1: >=
+};
+
+struct Tableau {
+  int m = 0;                     // rows
+  int n = 0;                     // columns (excluding RHS)
+  std::vector<double> a;         // m x (n+1), row-major; last col = RHS
+  std::vector<int> basis;        // basis[i] = column basic in row i
+  std::vector<double> cost;      // current objective row (size n+1)
+
+  double& at(int i, int j) { return a[static_cast<std::size_t>(i) * (n + 1) + j]; }
+  double at(int i, int j) const {
+    return a[static_cast<std::size_t>(i) * (n + 1) + j];
+  }
+
+  void pivot(int row, int col) {
+    double p = at(row, col);
+    SNAP_CHECK(std::fabs(p) > kEps, "pivot on (near-)zero element");
+    double inv = 1.0 / p;
+    for (int j = 0; j <= n; ++j) at(row, j) *= inv;
+    for (int i = 0; i < m; ++i) {
+      if (i == row) continue;
+      double f = at(i, col);
+      if (std::fabs(f) < kEps) continue;
+      for (int j = 0; j <= n; ++j) at(i, j) -= f * at(row, j);
+    }
+    double f = cost[col];
+    if (std::fabs(f) > kEps) {
+      for (int j = 0; j <= n; ++j) cost[j] -= f * at(row, j);
+    }
+    basis[row] = col;
+  }
+
+  // Returns kOptimal, kUnbounded or kLimit.
+  LpStatus iterate(const SimplexOptions& opts, int& iters,
+                   int allowed_cols /* columns < allowed_cols may enter */) {
+    Timer timer;
+    for (;;) {
+      if (iters >= opts.max_iterations) return LpStatus::kLimit;
+      if ((iters & 0x3f) == 0 &&
+          timer.seconds() > opts.time_limit_seconds) {
+        return LpStatus::kLimit;
+      }
+      bool bland = iters >= opts.bland_after;
+      // Pricing.
+      int col = -1;
+      double best = -kEps;
+      for (int j = 0; j < allowed_cols; ++j) {
+        double c = cost[j];
+        if (c < -kEps) {
+          if (bland) {
+            col = j;
+            break;
+          }
+          if (c < best) {
+            best = c;
+            col = j;
+          }
+        }
+      }
+      if (col < 0) return LpStatus::kOptimal;
+      // Ratio test.
+      int row = -1;
+      double best_ratio = 0;
+      for (int i = 0; i < m; ++i) {
+        double aij = at(i, col);
+        if (aij > kEps) {
+          double ratio = at(i, n) / aij;
+          if (row < 0 || ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps && basis[i] < basis[row])) {
+            row = i;
+            best_ratio = ratio;
+          }
+        }
+      }
+      if (row < 0) return LpStatus::kUnbounded;
+      pivot(row, col);
+      ++iters;
+    }
+  }
+};
+
+}  // namespace
+
+LpSolution solve_lp(const LpModel& model, const SimplexOptions& opts) {
+  const int nv = model.num_vars();
+  LpSolution out;
+
+  // --- shift variables to y = x - lo >= 0 -------------------------------
+  std::vector<double> shift(nv), upper(nv);
+  for (int j = 0; j < nv; ++j) {
+    const LpVar& v = model.var(j);
+    SNAP_CHECK(v.lo > -kLpInf, "free variables unsupported");
+    shift[j] = v.lo;
+    upper[j] = v.hi - v.lo;
+  }
+  double obj_const = 0;
+  for (int j = 0; j < nv; ++j) obj_const += model.var(j).obj * shift[j];
+
+  // --- normalized rows ---------------------------------------------------
+  std::vector<NormRow> rows;
+  for (const LpRow& r : model.rows()) {
+    double adjust = 0;
+    for (const LinTerm& t : r.terms) adjust += t.coef * shift[t.var];
+    double lo = r.lo == -kLpInf ? -kLpInf : r.lo - adjust;
+    double hi = r.hi == kLpInf ? kLpInf : r.hi - adjust;
+    if (lo == hi) {
+      rows.push_back({r.terms, lo, 0});
+      continue;
+    }
+    if (hi < kLpInf) rows.push_back({r.terms, hi, -1});
+    if (lo > -kLpInf) rows.push_back({r.terms, lo, +1});
+  }
+  // Finite upper bounds as rows.
+  for (int j = 0; j < nv; ++j) {
+    if (upper[j] < kLpInf) {
+      rows.push_back({{{j, 1.0}}, upper[j], -1});
+    }
+  }
+
+  const int m = static_cast<int>(rows.size());
+  // Column layout: [structural nv][slack/surplus per ineq][artificials].
+  int num_slack = 0;
+  for (const NormRow& r : rows) {
+    if (r.sense != 0) ++num_slack;
+  }
+  int slack_base = nv;
+  int art_base = nv + num_slack;
+  // Artificials: for = rows and >= rows, and for <= rows with negative rhs.
+  // We determine per-row whether the slack can serve as the initial basis.
+  int num_art = 0;
+  std::vector<int> row_slack(m, -1), row_art(m, -1);
+  {
+    int s = 0;
+    for (int i = 0; i < m; ++i) {
+      if (rows[i].sense != 0) row_slack[i] = slack_base + s++;
+    }
+    for (int i = 0; i < m; ++i) {
+      bool needs_art;
+      double rhs = rows[i].rhs;
+      if (rows[i].sense == 0) {
+        needs_art = true;
+      } else if (rows[i].sense < 0) {
+        needs_art = rhs < -kEps;  // slack coef +1, rhs must be >= 0
+      } else {
+        // Surplus has coefficient -1 and cannot start basic unless the row
+        // is flipped (rhs < 0); any rhs >= 0 needs an artificial.
+        needs_art = rhs > -kEps;
+      }
+      if (needs_art) row_art[i] = art_base + num_art++;
+    }
+  }
+  const int n = nv + num_slack + num_art;
+
+  std::size_t cells = static_cast<std::size_t>(m) * (n + 1);
+  if (cells > opts.max_cells) {
+    throw InternalError("LP too large for the dense simplex (" +
+                        std::to_string(cells) + " cells); use the "
+                        "decomposition solver");
+  }
+
+  Tableau t;
+  t.m = m;
+  t.n = n;
+  t.a.assign(static_cast<std::size_t>(m) * (n + 1), 0.0);
+  t.basis.assign(m, -1);
+
+  for (int i = 0; i < m; ++i) {
+    double sign = 1.0;
+    double rhs = rows[i].rhs;
+    // Normalize so rhs >= 0.
+    bool flip = rhs < 0;
+    if (flip) {
+      sign = -1.0;
+      rhs = -rhs;
+    }
+    for (const LinTerm& term : rows[i].terms) {
+      t.at(i, term.var) += sign * term.coef;
+    }
+    if (row_slack[i] >= 0) {
+      double coef = rows[i].sense < 0 ? 1.0 : -1.0;
+      t.at(i, row_slack[i]) = sign * coef;
+    }
+    t.at(i, n) = rhs;
+    if (row_art[i] >= 0) {
+      t.at(i, row_art[i]) = 1.0;
+      t.basis[i] = row_art[i];
+    } else {
+      // Slack is basic (coefficient +1 after normalization).
+      SNAP_CHECK(row_slack[i] >= 0, "row without slack or artificial");
+      SNAP_CHECK(std::fabs(t.at(i, row_slack[i]) - 1.0) < kEps,
+                 "initial slack basis is not identity");
+      t.basis[i] = row_slack[i];
+    }
+  }
+
+  int iters = 0;
+
+  // --- phase 1 ------------------------------------------------------------
+  if (num_art > 0) {
+    t.cost.assign(n + 1, 0.0);
+    for (int j = art_base; j < n; ++j) t.cost[j] = 1.0;
+    // Reduce cost row by basic artificial rows.
+    for (int i = 0; i < m; ++i) {
+      if (t.basis[i] >= art_base) {
+        for (int j = 0; j <= n; ++j) t.cost[j] -= t.at(i, j);
+      }
+    }
+    LpStatus st = t.iterate(opts, iters, art_base);  // artificials never re-enter
+    if (st == LpStatus::kLimit) {
+      out.status = LpStatus::kLimit;
+      out.iterations = iters;
+      return out;
+    }
+    double infeas = -t.cost[n];
+    if (infeas > kFeasTol) {
+      out.status = LpStatus::kInfeasible;
+      out.iterations = iters;
+      return out;
+    }
+    // Pivot lingering artificials out of the basis when possible.
+    for (int i = 0; i < m; ++i) {
+      if (t.basis[i] < art_base) continue;
+      int col = -1;
+      for (int j = 0; j < art_base; ++j) {
+        if (std::fabs(t.at(i, j)) > kFeasTol) {
+          col = j;
+          break;
+        }
+      }
+      if (col >= 0) {
+        t.pivot(i, col);
+      }
+      // Otherwise the row is redundant (all-zero over real columns).
+    }
+  }
+
+  // --- phase 2 ------------------------------------------------------------
+  t.cost.assign(n + 1, 0.0);
+  for (int j = 0; j < nv; ++j) t.cost[j] = model.var(j).obj;
+  for (int i = 0; i < m; ++i) {
+    int b = t.basis[i];
+    if (b < n && std::fabs(t.cost[b]) > kEps) {
+      double f = t.cost[b];
+      for (int j = 0; j <= n; ++j) t.cost[j] -= f * t.at(i, j);
+    }
+  }
+  LpStatus st = t.iterate(opts, iters, art_base);
+  out.iterations = iters;
+  if (st != LpStatus::kOptimal) {
+    out.status = st;
+    return out;
+  }
+
+  out.status = LpStatus::kOptimal;
+  out.x.assign(nv, 0.0);
+  for (int i = 0; i < m; ++i) {
+    if (t.basis[i] < nv) out.x[t.basis[i]] = t.at(i, n);
+  }
+  for (int j = 0; j < nv; ++j) out.x[j] += shift[j];
+  out.objective = obj_const;
+  for (int j = 0; j < nv; ++j) {
+    out.objective += model.var(j).obj * (out.x[j] - shift[j]);
+  }
+  return out;
+}
+
+}  // namespace snap

@@ -1,0 +1,31 @@
+// Dense two-phase primal simplex for LpModel.
+//
+// Variables are shifted to be nonnegative (general lower bounds), finite
+// upper bounds become explicit rows, ranged rows split into two inequality
+// rows. Phase 1 minimizes artificial infeasibility; phase 2 the model
+// objective. Dantzig pricing with a Bland's-rule fallback guards against
+// cycling. Suitable for the small-to-medium exact instances used in tests
+// and ablations; the pipeline's default for large topologies is the
+// decomposition solver (scalable.h).
+#pragma once
+
+#include "milp/lp.h"
+
+namespace snap {
+
+struct SimplexOptions {
+  int max_iterations = 200000;
+  // Switch to Bland's rule after this many Dantzig iterations.
+  int bland_after = 20000;
+  // Refuse models whose dense tableau would exceed this many cells.
+  std::size_t max_cells = 200u * 1000u * 1000u;
+  // Wall-clock limit per solve (seconds); exceeded -> kLimit. Dense pivots
+  // are expensive, so branch & bound relies on this to honor its own
+  // deadline.
+  double time_limit_seconds = 30.0;
+};
+
+// Solves the LP relaxation (integrality flags ignored).
+LpSolution solve_lp(const LpModel& model, const SimplexOptions& opts = {});
+
+}  // namespace snap

@@ -1,0 +1,338 @@
+#include "milp/stmodel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace snap {
+namespace {
+
+constexpr double kFracTol = 1e-4;
+
+}  // namespace
+
+StModel StModel::build(const Topology& topo, const TrafficMatrix& tm,
+                       const PacketStateMap& psmap,
+                       const DependencyGraph& deps,
+                       const StModelOptions& opts) {
+  StModel m;
+  m.topo_ = &topo;
+  m.fixed_placement_ = opts.fixed_placement.has_value();
+
+  // ---- state groups (tied variables share one placement) -----------------
+  std::map<StateVarId, int> group_of;
+  for (const auto& scc : deps.components()) {
+    std::vector<StateVarId> used;
+    for (StateVarId v : scc) {
+      if (psmap.all_vars.count(v)) used.push_back(v);
+    }
+    if (used.empty()) continue;
+    int gid = static_cast<int>(m.groups_.size());
+    for (StateVarId v : used) group_of[v] = gid;
+    m.groups_.push_back(std::move(used));
+  }
+  // Any psmap var not in the dependency graph forms its own group.
+  for (StateVarId v : psmap.all_vars) {
+    if (!group_of.count(v)) {
+      group_of[v] = static_cast<int>(m.groups_.size());
+      m.groups_.push_back({v});
+    }
+  }
+  for (const auto& [s, t] : deps.dep_pairs()) {
+    auto is_ = group_of.find(s);
+    auto it_ = group_of.find(t);
+    if (is_ == group_of.end() || it_ == group_of.end()) continue;
+    std::pair<int, int> e{is_->second, it_->second};
+    if (e.first != e.second &&
+        std::find(m.group_deps_.begin(), m.group_deps_.end(), e) ==
+            m.group_deps_.end()) {
+      m.group_deps_.push_back(e);
+    }
+  }
+
+  // ---- stateful switches --------------------------------------------------
+  if (opts.stateful_switches.empty()) {
+    for (int n = 0; n < topo.num_switches(); ++n) m.stateful_.push_back(n);
+  } else {
+    m.stateful_.assign(opts.stateful_switches.begin(),
+                       opts.stateful_switches.end());
+  }
+
+  const int L = static_cast<int>(topo.links().size());
+  const int N = topo.num_switches();
+  LpModel& lp = m.lp_;
+
+  // ---- placement variables P_gn ------------------------------------------
+  m.p_base_.resize(m.groups_.size());
+  for (std::size_t g = 0; g < m.groups_.size(); ++g) {
+    m.p_base_[g] = lp.num_vars();
+    for (int n : m.stateful_) {
+      double lo = 0.0, hi = 1.0;
+      if (opts.fixed_placement) {
+        int fixed = opts.fixed_placement->at(m.groups_[g][0]);
+        SNAP_CHECK(fixed >= 0, "TE mode requires a full placement");
+        lo = hi = (fixed == n) ? 1.0 : 0.0;
+      }
+      lp.add_var(lo, hi, 0.0, !opts.fixed_placement,
+                 "P_g" + std::to_string(g) + "_n" + std::to_string(n));
+    }
+    // Exactly one location per group.
+    std::vector<LinTerm> sum;
+    for (std::size_t k = 0; k < m.stateful_.size(); ++k) {
+      sum.push_back({m.p_base_[g] + static_cast<int>(k), 1.0});
+    }
+    lp.add_row(std::move(sum), 1.0, 1.0);
+  }
+  // Optional per-switch state capacity (§7.3): sum_g P_gn <= cap.
+  if (opts.state_capacity > 0 && !m.groups_.empty()) {
+    for (std::size_t k = 0; k < m.stateful_.size(); ++k) {
+      std::vector<LinTerm> row;
+      for (std::size_t g = 0; g < m.groups_.size(); ++g) {
+        row.push_back({m.p_base_[g] + static_cast<int>(k), 1.0});
+      }
+      lp.add_row(std::move(row), -kLpInf,
+                 static_cast<double>(opts.state_capacity));
+    }
+  }
+
+  auto p_var = [&](int g, int n) {
+    auto it = std::find(m.stateful_.begin(), m.stateful_.end(), n);
+    if (it == m.stateful_.end()) return -1;
+    return m.p_base_[g] +
+           static_cast<int>(std::distance(m.stateful_.begin(), it));
+  };
+
+  // ---- commodities ---------------------------------------------------------
+  for (const auto& [uv, demand] : tm.demands()) {
+    if (demand <= 0) continue;
+    Commodity c;
+    c.u = uv.first;
+    c.v = uv.second;
+    c.su = topo.port_switch(c.u);
+    c.sv = topo.port_switch(c.v);
+    c.demand = demand;
+    for (StateVarId s : psmap.states_for(c.u, c.v)) {
+      int g = group_of.at(s);
+      if (std::find(c.groups.begin(), c.groups.end(), g) == c.groups.end()) {
+        c.groups.push_back(g);
+      }
+    }
+    m.commodities_.push_back(std::move(c));
+  }
+
+  // ---- per-commodity variables & constraints -------------------------------
+  for (Commodity& c : m.commodities_) {
+    if (c.su == c.sv) {
+      // Degenerate flow: any state it needs must live on its switch.
+      for (int g : c.groups) {
+        int pv = p_var(g, c.su);
+        if (pv < 0) {
+          throw InfeasibleError(
+              "flow between co-located ports needs state on a non-stateful "
+              "switch");
+        }
+        lp.add_row({{pv, 1.0}}, 1.0, 1.0);
+      }
+      continue;
+    }
+    c.r_base = lp.num_vars();
+    for (int l = 0; l < L; ++l) {
+      lp.add_var(0.0, 1.0, c.demand / topo.links()[l].capacity, false,
+                 "R_" + std::to_string(c.u) + "_" + std::to_string(c.v) +
+                     "_l" + std::to_string(l));
+    }
+    for (int g : c.groups) {
+      c.ps_base[g] = lp.num_vars();
+      for (int l = 0; l < L; ++l) {
+        lp.add_var(0.0, 1.0, 0.0, false,
+                   "Ps_g" + std::to_string(g) + "_" + std::to_string(c.u) +
+                       "_" + std::to_string(c.v) + "_l" + std::to_string(l));
+      }
+    }
+
+    auto in_terms = [&](int n, int base, double coef) {
+      std::vector<LinTerm> t;
+      for (int l = 0; l < L; ++l) {
+        if (topo.links()[l].dst == n) t.push_back({base + l, coef});
+      }
+      return t;
+    };
+    auto out_terms = [&](int n, int base, double coef) {
+      std::vector<LinTerm> t;
+      for (int l = 0; l < L; ++l) {
+        if (topo.links()[l].src == n) t.push_back({base + l, coef});
+      }
+      return t;
+    };
+    auto append = [](std::vector<LinTerm> a, std::vector<LinTerm> b) {
+      a.insert(a.end(), b.begin(), b.end());
+      return a;
+    };
+
+    // Flow conservation with unit source/sink; no re-entry at the source,
+    // no departure from the sink (Table 2, routing column).
+    for (int n = 0; n < N; ++n) {
+      double b = n == c.su ? 1.0 : (n == c.sv ? -1.0 : 0.0);
+      lp.add_row(append(out_terms(n, c.r_base, 1.0),
+                        in_terms(n, c.r_base, -1.0)),
+                 b, b);
+      // Single visit.
+      if (n != c.su) {
+        lp.add_row(in_terms(n, c.r_base, 1.0), -kLpInf, 1.0);
+      }
+    }
+    lp.add_row(in_terms(c.su, c.r_base, 1.0), 0.0, 0.0);
+    lp.add_row(out_terms(c.sv, c.r_base, 1.0), 0.0, 0.0);
+
+    for (int g : c.groups) {
+      int ps = c.ps_base[g];
+      // Visit: if g is on n, the flow must enter n (Table 2: sum_i R_uvin
+      // >= P_gn). The source switch hosts the flow trivially.
+      for (int n : m.stateful_) {
+        if (n == c.su || n == c.sv) continue;
+        auto row = in_terms(n, c.r_base, 1.0);
+        row.push_back({p_var(g, n), -1.0});
+        lp.add_row(std::move(row), 0.0, kLpInf);
+      }
+      // Ps <= R per link.
+      for (int l = 0; l < L; ++l) {
+        lp.add_row({{ps + l, 1.0}, {c.r_base + l, -1.0}}, -kLpInf, 0.0);
+      }
+      // Ps propagation: P_gn + sum_in Ps = sum_out Ps at n != sv;
+      // at the sink: P_g,sv + sum_in Ps = 1.
+      for (int n = 0; n < N; ++n) {
+        int pv = p_var(g, n);
+        if (n == c.sv) {
+          auto row = in_terms(n, ps, 1.0);
+          if (pv >= 0) row.push_back({pv, 1.0});
+          lp.add_row(std::move(row), 1.0, 1.0);
+        } else {
+          auto row = append(out_terms(n, ps, 1.0), in_terms(n, ps, -1.0));
+          if (pv >= 0) row.push_back({pv, -1.0});
+          lp.add_row(std::move(row), 0.0, 0.0);
+        }
+      }
+    }
+    // Ordering: for (g1 before g2), flow may sit at g2's switch only having
+    // passed g1 (or g1 co-located): P_g2,n <= P_g1,n + sum_in Ps_g1.
+    for (const auto& [g1, g2] : m.group_deps_) {
+      if (!c.ps_base.count(g1) || !c.ps_base.count(g2)) continue;
+      for (int n : m.stateful_) {
+        std::vector<LinTerm> row;
+        row.push_back({p_var(g2, n), -1.0});
+        row.push_back({p_var(g1, n), 1.0});
+        if (n != c.su) {
+          auto in_ps = in_terms(n, c.ps_base[g1], 1.0);
+          row.insert(row.end(), in_ps.begin(), in_ps.end());
+        }
+        lp.add_row(std::move(row), 0.0, kLpInf);
+      }
+    }
+  }
+
+  // ---- link capacities ------------------------------------------------------
+  for (int l = 0; l < L; ++l) {
+    std::vector<LinTerm> row;
+    for (const Commodity& c : m.commodities_) {
+      if (c.r_base >= 0) row.push_back({c.r_base + l, c.demand});
+    }
+    if (!row.empty()) {
+      lp.add_row(std::move(row), -kLpInf, topo.links()[l].capacity);
+    }
+  }
+  return m;
+}
+
+PlacementAndRouting StModel::solve(const BnbOptions& opts) const {
+  Timer timer;
+  std::vector<double> x;
+  bool optimal = false;
+  if (has_integers()) {
+    MilpSolution sol = solve_milp(lp_, opts);
+    if (sol.status == LpStatus::kInfeasible ||
+        sol.status == LpStatus::kUnbounded || sol.x.empty()) {
+      throw InfeasibleError("ST MILP has no feasible placement/routing");
+    }
+    optimal = sol.status == LpStatus::kOptimal;
+    x = std::move(sol.x);
+  } else {
+    LpSolution sol = solve_lp(lp_, opts.lp);
+    if (sol.status != LpStatus::kOptimal) {
+      throw InfeasibleError("TE LP infeasible for the fixed placement");
+    }
+    optimal = true;
+    x = std::move(sol.x);
+  }
+  PlacementAndRouting out = decode(x);
+  out.optimal = optimal;
+  out.solve_seconds = timer.seconds();
+  return out;
+}
+
+PlacementAndRouting StModel::decode(const std::vector<double>& x) const {
+  const Topology& topo = *topo_;
+  const int L = static_cast<int>(topo.links().size());
+  PlacementAndRouting out;
+
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    int best_n = stateful_[0];
+    double best = -1;
+    for (std::size_t k = 0; k < stateful_.size(); ++k) {
+      double v = x[p_base_[g] + k];
+      if (v > best) {
+        best = v;
+        best_n = stateful_[k];
+      }
+    }
+    for (StateVarId s : groups_[g]) out.placement.switch_of[s] = best_n;
+  }
+
+  out.routing.link_load.assign(L, 0.0);
+  for (const Commodity& c : commodities_) {
+    std::vector<int> path;
+    if (c.su == c.sv) {
+      path = {c.su};
+    } else {
+      // Follow the largest remaining flow fraction hop by hop.
+      std::vector<bool> visited(topo.num_switches(), false);
+      int cur = c.su;
+      path.push_back(cur);
+      visited[cur] = true;
+      while (cur != c.sv) {
+        int best_l = -1;
+        double best_v = kFracTol;
+        for (const auto& [nbr, l] : topo.out_links(cur)) {
+          if (visited[nbr] && nbr != c.sv) continue;
+          double v = x[c.r_base + l];
+          if (v > best_v) {
+            best_v = v;
+            best_l = l;
+          }
+        }
+        if (best_l < 0) {
+          throw InternalError("could not extract a path for commodity " +
+                              std::to_string(c.u) + "->" +
+                              std::to_string(c.v));
+        }
+        cur = topo.links()[best_l].dst;
+        path.push_back(cur);
+        if (cur != c.sv) visited[cur] = true;
+      }
+    }
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      int l = topo.link_index(path[i], path[i + 1]);
+      SNAP_CHECK(l >= 0, "extracted path uses a missing link");
+      out.routing.link_load[l] += c.demand;
+    }
+    out.routing.paths[{c.u, c.v}] = std::move(path);
+  }
+  out.routing.objective = 0.0;
+  for (int l = 0; l < L; ++l) {
+    out.routing.objective +=
+        out.routing.link_load[l] / topo.links()[l].capacity;
+  }
+  return out;
+}
+
+}  // namespace snap

@@ -1,0 +1,84 @@
+// The joint state-placement + routing optimization (§4.4, Tables 1-2).
+//
+// Exact arc-based formulation:
+//   inputs : topology (nodes, link capacities c_ij), traffic demands d_uv,
+//            packet-state mapping S_uv, dependency graph (tied + dep).
+//   outputs: R_uvij   - fraction of (u,v) demand on link (i,j)   [0,1]
+//            P_gn     - state group g placed on switch n         {0,1}
+//            Ps_guvij - (u,v) fraction on (i,j) having passed g  [0,1]
+//
+// State variables tied together (same SCC) are modeled as one group sharing
+// a placement variable. Constraints follow Table 2: flow conservation,
+// single visit per switch, link capacity, exactly-one placement, state
+// visit (flows needing g traverse its switch), Ps flow propagation, and
+// ordering (flows reach t's switch only after s's for (s,t) in dep).
+// Port pairs attached to the same switch route trivially; their state must
+// sit on that switch.
+//
+// ST mode decides placement and routing jointly (MILP, branch & bound).
+// TE mode (§6.2, Table 4) re-optimizes routing for a *given* placement in
+// response to topology/traffic changes: placement variables are frozen and
+// the model becomes a pure LP.
+#pragma once
+
+#include <optional>
+#include <set>
+
+#include "analysis/depgraph.h"
+#include "milp/bnb.h"
+#include "milp/result.h"
+#include "topo/graph.h"
+#include "topo/traffic.h"
+
+namespace snap {
+
+struct StModelOptions {
+  // TE mode: freeze placement to this value.
+  std::optional<Placement> fixed_placement;
+  // Switches allowed to hold state (empty = all).
+  std::set<int> stateful_switches;
+  // Per-switch limit on the number of state groups it may host (§7.3's
+  // switch-memory resource constraint; 0 = unlimited).
+  int state_capacity = 0;
+};
+
+class StModel {
+ public:
+  static StModel build(const Topology& topo, const TrafficMatrix& tm,
+                       const PacketStateMap& psmap,
+                       const DependencyGraph& deps,
+                       const StModelOptions& opts = {});
+
+  const LpModel& lp() const { return lp_; }
+  bool has_integers() const { return !fixed_placement_; }
+
+  // Solves (MILP in ST mode, LP in TE mode) and decodes the result.
+  PlacementAndRouting solve(const BnbOptions& opts = {}) const;
+
+  // Decodes a raw solution vector (exposed for tests).
+  PlacementAndRouting decode(const std::vector<double>& x) const;
+
+  int num_commodities() const { return static_cast<int>(commodities_.size()); }
+  int num_groups() const { return static_cast<int>(groups_.size()); }
+
+ private:
+  struct Commodity {
+    PortId u, v;
+    int su, sv;
+    double demand;
+    std::vector<int> groups;  // dependency-ordered group ids
+    int r_base = -1;          // first R var index (one per link)
+    std::map<int, int> ps_base;  // group id -> first Ps var index
+  };
+
+  const Topology* topo_ = nullptr;
+  LpModel lp_;
+  bool fixed_placement_ = false;
+  std::vector<std::vector<StateVarId>> groups_;  // group id -> variables
+  std::vector<std::pair<int, int>> group_deps_;  // (g1 before g2)
+  std::vector<Commodity> commodities_;
+  std::vector<int> p_base_;  // group id -> first P var (one per switch)
+  std::vector<int> stateful_;  // switches allowed to hold state
+};
+
+}  // namespace snap

@@ -1,0 +1,108 @@
+#include "netasm/assembler.h"
+
+#include <set>
+
+#include "util/status.h"
+
+namespace snap {
+namespace netasm {
+namespace {
+
+struct Assembler {
+  const XfddStore& store;
+  const Placement& pl;
+  int sw;
+  Program prog;
+  std::map<XfddId, Pc> emitted;
+
+  Pc emit(Instr i) {
+    prog.code.push_back(std::move(i));
+    return static_cast<Pc>(prog.code.size()) - 1;
+  }
+
+  // Emits code for `node`, returning its pc. Children are emitted first so
+  // branch targets are known (the diagram is acyclic).
+  Pc compile(XfddId node) {
+    auto it = emitted.find(node);
+    if (it != emitted.end()) return it->second;
+
+    Pc pc;
+    if (store.is_leaf(node)) {
+      pc = compile_leaf(node);
+    } else {
+      const BranchNode b = store.branch_node(node);  // copy (store stable,
+                                                     // but keep the idiom)
+      if (const auto* st = std::get_if<TestState>(&b.test);
+          st && pl.at(st->var) != sw) {
+        // Foreign state: record progress and escape to the forwarding
+        // layer. The subtrees below still need entry points — the packet
+        // resumes deeper in the diagram when it comes back through this
+        // switch after other switches resolved their tests.
+        compile(b.hi);
+        compile(b.lo);
+        pc = emit(IEscape{node, st->var});
+      } else {
+        Pc t = compile(b.hi);
+        Pc f = compile(b.lo);
+        if (const auto* fv = std::get_if<TestFV>(&b.test)) {
+          pc = emit(IBranchFieldValue{fv->field, fv->value, fv->prefix_len,
+                                      t, f});
+        } else if (const auto* ff = std::get_if<TestFF>(&b.test)) {
+          pc = emit(IBranchFieldField{ff->f1, ff->f2, t, f});
+        } else {
+          const auto& stt = std::get<TestState>(b.test);
+          pc = emit(IBranchState{stt.var, stt.index, stt.value, t, f});
+        }
+      }
+    }
+    emitted[node] = pc;
+    prog.entry[node] = pc;
+    return pc;
+  }
+
+  Pc compile_leaf(XfddId leaf) {
+    const ActionSet& actions = store.leaf_actions(leaf);
+    // Local writes, atomically, then hand off.
+    std::vector<std::pair<StateVarId, std::vector<Action>>> local;
+    for (const auto& [var, ops] : actions.state_programs()) {
+      if (pl.at(var) == sw) local.emplace_back(var, ops);
+    }
+    Pc pc = -1;
+    if (!local.empty()) {
+      pc = emit(IAtomBegin{});
+      for (const auto& [var, ops] : local) {
+        for (const Action& op : ops) {
+          std::visit(
+              [&](const auto& a) {
+                using T = std::decay_t<decltype(a)>;
+                if constexpr (std::is_same_v<T, ActStateSet>) {
+                  emit(IStateSet{a.var, a.index, a.value});
+                } else if constexpr (std::is_same_v<T, ActStateInc>) {
+                  emit(IStateInc{a.var, a.index});
+                } else if constexpr (std::is_same_v<T, ActStateDec>) {
+                  emit(IStateDec{a.var, a.index});
+                } else {
+                  throw InternalError("field mod among state programs");
+                }
+              },
+              op);
+        }
+      }
+      emit(IAtomEnd{});
+    }
+    Pc leaf_pc = emit(ILeafDone{leaf});
+    return pc >= 0 ? pc : leaf_pc;
+  }
+};
+
+}  // namespace
+
+Program assemble(const XfddStore& store, XfddId root, const Placement& pl,
+                 int sw) {
+  Assembler a{store, pl, sw, {}, {}};
+  a.compile(root);
+  return std::move(a.prog);
+}
+
+}  // namespace netasm
+}  // namespace snap

@@ -1,0 +1,22 @@
+// Assembles a switch's slice of the policy xFDD into a NetASM program
+// (§4.5 phase 2 / §5).
+//
+// Every switch receives entry points for all xFDD nodes, but only resolves
+// state tests whose variable it stores; foreign state tests compile to an
+// ESC instruction that records the node in the SNAP-header. Leaves compile
+// to this switch's local state writes (inside an atomic region) followed by
+// LEAF, handing control to the forwarding layer.
+#pragma once
+
+#include "milp/result.h"
+#include "netasm/isa.h"
+
+namespace snap {
+namespace netasm {
+
+// `sw` is the switch the program runs on.
+Program assemble(const XfddStore& store, XfddId root, const Placement& pl,
+                 int sw);
+
+}  // namespace netasm
+}  // namespace snap

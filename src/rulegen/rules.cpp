@@ -1,0 +1,55 @@
+#include "rulegen/rules.h"
+
+#include <queue>
+
+#include "util/status.h"
+
+namespace snap {
+
+RoutingTables RoutingTables::build(const Topology& topo,
+                                   const Routing& routing) {
+  RoutingTables rt;
+  for (const auto& [uv, path] : routing.paths) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      rt.path_next_[{path[i], uv.first, uv.second}] = path[i + 1];
+      ++rt.path_rules_;
+    }
+  }
+  // Per-destination next hops from reverse BFS (hop metric).
+  int n = topo.num_switches();
+  rt.dest_next_.assign(n, std::vector<int>(n, -1));
+  for (int dest = 0; dest < n; ++dest) {
+    // BFS over reversed links from dest; dist and first hop toward dest.
+    std::vector<int> dist(n, -1);
+    std::queue<int> q;
+    dist[dest] = 0;
+    q.push(dest);
+    while (!q.empty()) {
+      int x = q.front();
+      q.pop();
+      for (const Link& l : topo.links()) {
+        if (l.dst == x && dist[l.src] < 0) {
+          dist[l.src] = dist[x] + 1;
+          rt.dest_next_[l.src][dest] = x;
+          q.push(l.src);
+        }
+      }
+    }
+  }
+  return rt;
+}
+
+int RoutingTables::path_next(int sw, PortId u, PortId v) const {
+  auto it = path_next_.find({sw, u, v});
+  return it == path_next_.end() ? -1 : it->second;
+}
+
+int RoutingTables::dest_next(int sw, int dest) const {
+  SNAP_CHECK(sw >= 0 && sw < static_cast<int>(dest_next_.size()),
+             "switch out of range");
+  SNAP_CHECK(dest >= 0 && dest < static_cast<int>(dest_next_[sw].size()),
+             "destination out of range");
+  return dest_next_[sw][dest];
+}
+
+}  // namespace snap

@@ -1,0 +1,37 @@
+// Data-plane routing rules (§4.5 phase 2).
+//
+// The MILP chooses one path per OBS port pair; packets carry the pair in
+// their SNAP-header and switches forward by matching it ("routing"
+// match-action rules). Packets whose processing gets stuck on a remote
+// state variable — or whose egress is not yet determined — walk toward the
+// variable's switch using a destination-switch next-hop table (Appendix D).
+#pragma once
+
+#include <map>
+
+#include "milp/result.h"
+#include "topo/graph.h"
+
+namespace snap {
+
+class RoutingTables {
+ public:
+  static RoutingTables build(const Topology& topo, const Routing& routing);
+
+  // Next switch for flow (u,v) at switch `sw`; -1 if sw is not on the path
+  // or is its last hop.
+  int path_next(int sw, PortId u, PortId v) const;
+
+  // Next switch toward `dest` (hop-count shortest paths); -1 at dest.
+  int dest_next(int sw, int dest) const;
+
+  // Total number of installed path match-action rules (for statistics).
+  std::size_t path_rule_count() const { return path_rules_; }
+
+ private:
+  std::map<std::tuple<int, PortId, PortId>, int> path_next_;
+  std::vector<std::vector<int>> dest_next_;  // [sw][dest]
+  std::size_t path_rules_ = 0;
+};
+
+}  // namespace snap

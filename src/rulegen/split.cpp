@@ -1,0 +1,32 @@
+#include "rulegen/split.h"
+
+#include "netasm/assembler.h"
+
+namespace snap {
+
+std::vector<SwitchSlice> split_stats(const XfddStore& store, XfddId root,
+                                     const Placement& pl, int num_switches) {
+  std::vector<SwitchSlice> out;
+  out.reserve(num_switches);
+  for (int sw = 0; sw < num_switches; ++sw) {
+    netasm::Program prog = netasm::assemble(store, root, pl, sw);
+    SwitchSlice slice;
+    slice.sw = sw;
+    slice.instructions = prog.code.size();
+    for (const netasm::Instr& i : prog.code) {
+      if (std::holds_alternative<netasm::IBranchState>(i)) {
+        ++slice.state_tests;
+      } else if (std::holds_alternative<netasm::IEscape>(i)) {
+        ++slice.escapes;
+      } else if (std::holds_alternative<netasm::IStateSet>(i) ||
+                 std::holds_alternative<netasm::IStateInc>(i) ||
+                 std::holds_alternative<netasm::IStateDec>(i)) {
+        ++slice.state_writes;
+      }
+    }
+    out.push_back(slice);
+  }
+  return out;
+}
+
+}  // namespace snap

@@ -1,0 +1,28 @@
+// Per-switch xFDD splitting statistics (§4.5 phase 1).
+//
+// Every switch's NetASM program covers the slice of the policy xFDD it can
+// process: all stateless tests plus the state tests and leaf writes of
+// variables placed on it. This module reports, per switch, how many xFDD
+// nodes it resolves locally and how many instructions its program has —
+// the "rule count" statistics of a deployment.
+#pragma once
+
+#include <vector>
+
+#include "milp/result.h"
+#include "netasm/isa.h"
+
+namespace snap {
+
+struct SwitchSlice {
+  int sw = 0;
+  std::size_t instructions = 0;    // NetASM program length
+  std::size_t state_tests = 0;     // state tests resolved locally
+  std::size_t escapes = 0;         // foreign state tests (stuck points)
+  std::size_t state_writes = 0;    // local leaf write instructions
+};
+
+std::vector<SwitchSlice> split_stats(const XfddStore& store, XfddId root,
+                                     const Placement& pl, int num_switches);
+
+}  // namespace snap

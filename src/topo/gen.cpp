@@ -1,0 +1,228 @@
+#include "topo/gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace snap {
+namespace {
+
+constexpr double kEdgeCapacity = 10.0;   // Gb/s
+constexpr double kCoreCapacity = 40.0;
+
+// Adds `extra` random duplex chords between distinct unlinked pairs.
+void add_random_chords(Topology& topo, int extra, Rng& rng, double capacity) {
+  std::set<std::pair<int, int>> existing;
+  for (const Link& l : topo.links()) existing.insert({l.src, l.dst});
+  int guard = extra * 200 + 1000;
+  while (extra > 0 && guard-- > 0) {
+    int a = static_cast<int>(rng.uniform(0, topo.num_switches() - 1));
+    int b = static_cast<int>(rng.uniform(0, topo.num_switches() - 1));
+    if (a == b || existing.count({a, b})) continue;
+    topo.add_duplex(a, b, capacity);
+    existing.insert({a, b});
+    existing.insert({b, a});
+    --extra;
+  }
+  SNAP_CHECK(extra == 0, "could not place requested number of chords");
+}
+
+// The 70%-lowest-degree switches, one OBS port each (ports numbered from 1).
+void attach_ports_to_low_degree(Topology& topo) {
+  std::vector<int> order(topo.num_switches());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return topo.degree(a) < topo.degree(b);
+  });
+  int edges = static_cast<int>(topo.num_switches() * 0.7);
+  for (int i = 0; i < edges; ++i) {
+    topo.attach_port(i + 1, order[i]);
+  }
+}
+
+}  // namespace
+
+Topology make_campus(const std::string& name, int num_switches,
+                     int num_directed_links, int num_ports,
+                     std::uint64_t seed) {
+  SNAP_CHECK(num_directed_links % 2 == 0, "campus links must be duplex");
+  Rng rng(seed);
+  Topology topo(name, num_switches);
+  int core = std::max(4, num_switches / 5);
+  int edge = num_switches - core;
+  int target_duplex = num_directed_links / 2;
+  // Core ring (switches 0..core-1), one uplink per edge switch.
+  SNAP_CHECK(target_duplex >= core + edge,
+             "link budget too small for a connected campus");
+  for (int i = 0; i < core; ++i) {
+    topo.add_duplex(i, (i + 1) % core, kCoreCapacity);
+  }
+  for (int e = 0; e < edge; ++e) {
+    topo.add_duplex(core + e, e % core, kEdgeCapacity);
+  }
+  int budget = target_duplex - core - edge;
+  // Second core uplinks for resilience, then random core chords.
+  for (int e = 0; e < edge && budget > 0; ++e, --budget) {
+    topo.add_duplex(core + e, (e + 1 + e / core) % core, kEdgeCapacity);
+  }
+  add_random_chords(topo, budget, rng, kCoreCapacity);
+  SNAP_CHECK(static_cast<int>(topo.links().size()) == num_directed_links,
+             "campus link count mismatch");
+  // Ports round-robin over edge switches, numbered from 1.
+  for (int p = 0; p < num_ports; ++p) {
+    topo.attach_port(p + 1, core + (p % edge));
+  }
+  return topo;
+}
+
+Topology make_isp(const std::string& name, int num_switches,
+                  int num_directed_links, std::uint64_t seed) {
+  SNAP_CHECK(num_directed_links % 2 == 0, "ISP links must be duplex");
+  Rng rng(seed);
+  Topology topo(name, num_switches);
+  int target_duplex = num_directed_links / 2;
+  // Preferential attachment from a triangle seed.
+  std::vector<int> degree(num_switches, 0);
+  auto add = [&](int a, int b, double cap) {
+    topo.add_duplex(a, b, cap);
+    ++degree[a];
+    ++degree[b];
+  };
+  SNAP_CHECK(num_switches >= 3, "ISP needs at least 3 switches");
+  add(0, 1, kCoreCapacity);
+  add(1, 2, kCoreCapacity);
+  add(2, 0, kCoreCapacity);
+  int attach_twice =
+      std::clamp(target_duplex - 3 - (num_switches - 3), 0, num_switches - 3);
+  for (int v = 3; v < num_switches; ++v) {
+    int attachments = (v - 3 < attach_twice) ? 2 : 1;
+    std::set<int> chosen;
+    while (static_cast<int>(chosen.size()) < attachments) {
+      // Degree-weighted sampling over existing nodes.
+      long long total = 0;
+      for (int u = 0; u < v; ++u) total += degree[u] + 1;
+      long long pick = rng.uniform(0, total - 1);
+      int u = 0;
+      for (; u < v; ++u) {
+        pick -= degree[u] + 1;
+        if (pick < 0) break;
+      }
+      if (u < v && !chosen.count(u)) {
+        chosen.insert(u);
+        add(v, u, kEdgeCapacity);
+      }
+    }
+  }
+  int placed = static_cast<int>(topo.links().size()) / 2;
+  add_random_chords(topo, target_duplex - placed, rng, kCoreCapacity);
+  SNAP_CHECK(static_cast<int>(topo.links().size()) == num_directed_links,
+             "ISP link count mismatch");
+  attach_ports_to_low_degree(topo);
+  return topo;
+}
+
+Topology make_igen(int num_switches, std::uint64_t seed, int k_nearest) {
+  Rng rng(seed);
+  Topology topo("igen-" + std::to_string(num_switches), num_switches);
+  std::vector<std::pair<double, double>> pos(num_switches);
+  for (auto& [x, y] : pos) {
+    x = rng.uniform01();
+    y = rng.uniform01();
+  }
+  auto dist2 = [&](int a, int b) {
+    double dx = pos[a].first - pos[b].first;
+    double dy = pos[a].second - pos[b].second;
+    return dx * dx + dy * dy;
+  };
+  std::set<std::pair<int, int>> existing;
+  auto connect = [&](int a, int b, double cap) {
+    if (a == b || existing.count({a, b})) return;
+    topo.add_duplex(a, b, cap);
+    existing.insert({a, b});
+    existing.insert({b, a});
+  };
+  // Sequential nearest-connect yields a connected backbone (IGen's design
+  // heuristic of building from geographic proximity).
+  for (int v = 1; v < num_switches; ++v) {
+    int best = 0;
+    for (int u = 1; u < v; ++u) {
+      if (dist2(v, u) < dist2(v, best)) best = u;
+    }
+    connect(v, best, kCoreCapacity);
+  }
+  // k nearest neighbors per switch.
+  for (int v = 0; v < num_switches; ++v) {
+    std::vector<int> others;
+    for (int u = 0; u < num_switches; ++u) {
+      if (u != v) others.push_back(u);
+    }
+    std::sort(others.begin(), others.end(),
+              [&](int a, int b) { return dist2(v, a) < dist2(v, b); });
+    for (int i = 0; i < k_nearest && i < static_cast<int>(others.size());
+         ++i) {
+      connect(v, others[i], kEdgeCapacity);
+    }
+  }
+  attach_ports_to_low_degree(topo);
+  return topo;
+}
+
+Topology make_figure2_campus() {
+  // Switches: 0=I1 1=I2 2=D1 3=D2 4=D3 5=D4 6..11=C1..C6.
+  Topology topo("figure2-campus", 12);
+  const int I1 = 0, I2 = 1, D1 = 2, D2 = 3, D3 = 4, D4 = 5;
+  const int C1 = 6, C2 = 7, C3 = 8, C4 = 9, C5 = 10, C6 = 11;
+  // Edge-to-core uplinks.
+  topo.add_duplex(I1, C1, kEdgeCapacity);
+  topo.add_duplex(I1, C3, kEdgeCapacity);
+  topo.add_duplex(I2, C2, kEdgeCapacity);
+  topo.add_duplex(I2, C4, kEdgeCapacity);
+  topo.add_duplex(D1, C1, kEdgeCapacity);
+  topo.add_duplex(D1, C3, kEdgeCapacity);
+  topo.add_duplex(D2, C2, kEdgeCapacity);
+  topo.add_duplex(D2, C4, kEdgeCapacity);
+  topo.add_duplex(D3, C3, kEdgeCapacity);
+  topo.add_duplex(D3, C5, kEdgeCapacity);
+  topo.add_duplex(D4, C5, kEdgeCapacity);
+  topo.add_duplex(D4, C6, kEdgeCapacity);
+  // Core mesh.
+  topo.add_duplex(C1, C2, kCoreCapacity);
+  topo.add_duplex(C1, C5, kCoreCapacity);
+  topo.add_duplex(C2, C6, kCoreCapacity);
+  topo.add_duplex(C3, C4, kCoreCapacity);
+  topo.add_duplex(C3, C5, kCoreCapacity);
+  topo.add_duplex(C4, C6, kCoreCapacity);
+  topo.add_duplex(C5, C6, kCoreCapacity);
+  // External ports 1-6 (10.0.i.0/24 behind port i).
+  topo.attach_port(1, I1);
+  topo.attach_port(2, I2);
+  topo.attach_port(3, D1);
+  topo.attach_port(4, D2);
+  topo.attach_port(5, D3);
+  topo.attach_port(6, D4);
+  return topo;
+}
+
+const std::vector<NamedTopology>& table5_specs() {
+  static const std::vector<NamedTopology> specs{
+      {"Stanford", 26, 92, 144, true},   {"Berkeley", 25, 96, 185, true},
+      {"Purdue", 98, 232, 156, true},    {"AS 1755", 87, 322, 0, false},
+      {"AS 1221", 104, 302, 0, false},   {"AS 6461", 138, 744, 0, false},
+      {"AS 3257", 161, 656, 0, false},
+  };
+  return specs;
+}
+
+Topology make_table5_topology(const NamedTopology& spec, std::uint64_t seed) {
+  if (spec.campus) {
+    return make_campus(spec.name, spec.switches, spec.directed_links,
+                       spec.ports, seed);
+  }
+  return make_isp(spec.name, spec.switches, spec.directed_links, seed);
+}
+
+}  // namespace snap

@@ -1,0 +1,53 @@
+// Topology generators.
+//
+// The paper evaluates on three campus networks (Stanford, Berkeley, Purdue),
+// four RocketFuel-inferred ISP backbones, and IGen-synthesized networks of
+// 10-180 switches (§6.2, Table 5). The campus/ISP datasets are not
+// redistributable, so we generate deterministic synthetic equivalents that
+// match the published statistics exactly: switch count, directed-link count,
+// and number of OBS demands (via the ports / 70%-lowest-degree-edge rule).
+// See DESIGN.md §2 for the substitution argument.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/graph.h"
+
+namespace snap {
+
+// A two-tier campus-style network: a meshed core plus edge switches, with
+// `num_ports` OBS ports spread round-robin over the edge switches.
+Topology make_campus(const std::string& name, int num_switches,
+                     int num_directed_links, int num_ports,
+                     std::uint64_t seed);
+
+// An ISP-style backbone with heterogeneous degrees (preferential
+// attachment); the 70% lowest-degree switches become edges, one OBS port
+// each (the paper's RocketFuel setup).
+Topology make_isp(const std::string& name, int num_switches,
+                  int num_directed_links, std::uint64_t seed);
+
+// IGen-style generator: switches placed in the plane, connected to their k
+// nearest neighbors plus a spanning backbone (IGen's design heuristics);
+// 70% lowest-degree switches become edges with one port each.
+Topology make_igen(int num_switches, std::uint64_t seed, int k_nearest = 3);
+
+// The paper's running-example topology (Figure 2): 6 core routers C1-C6,
+// edge switches I1, I2, D1-D4, external ports 1-6 with subnets 10.0.i.0/24.
+Topology make_figure2_campus();
+
+// The seven evaluation topologies of Table 5, with their published switch,
+// link and demand counts.
+struct NamedTopology {
+  const char* name;
+  int switches;
+  int directed_links;
+  int ports;  // sqrt(#demands)
+  bool campus;
+};
+
+const std::vector<NamedTopology>& table5_specs();
+Topology make_table5_topology(const NamedTopology& spec, std::uint64_t seed);
+
+}  // namespace snap

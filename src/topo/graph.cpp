@@ -1,0 +1,153 @@
+#include "topo/graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "util/status.h"
+
+namespace snap {
+
+int Topology::add_link(int src, int dst, double capacity) {
+  SNAP_CHECK(src >= 0 && src < num_switches_, "link src out of range");
+  SNAP_CHECK(dst >= 0 && dst < num_switches_, "link dst out of range");
+  SNAP_CHECK(src != dst, "self-loop link");
+  links_.push_back({src, dst, capacity});
+  adj_valid_ = false;
+  return static_cast<int>(links_.size()) - 1;
+}
+
+void Topology::add_duplex(int a, int b, double capacity) {
+  add_link(a, b, capacity);
+  add_link(b, a, capacity);
+}
+
+void Topology::attach_port(PortId port, int sw) {
+  SNAP_CHECK(sw >= 0 && sw < num_switches_, "port switch out of range");
+  SNAP_CHECK(!port_switch_.count(port), "port already attached");
+  ports_.push_back(port);
+  port_switch_[port] = sw;
+}
+
+int Topology::port_switch(PortId port) const {
+  auto it = port_switch_.find(port);
+  SNAP_CHECK(it != port_switch_.end(), "unknown OBS port");
+  return it->second;
+}
+
+void Topology::ensure_adj() const {
+  if (adj_valid_) return;
+  adj_.assign(num_switches_, {});
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    adj_[links_[i].src].emplace_back(links_[i].dst, static_cast<int>(i));
+  }
+  adj_valid_ = true;
+}
+
+int Topology::link_index(int i, int j) const {
+  ensure_adj();
+  for (const auto& [nbr, idx] : adj_[i]) {
+    if (nbr == j) return idx;
+  }
+  return -1;
+}
+
+const std::vector<std::pair<int, int>>& Topology::out_links(int i) const {
+  ensure_adj();
+  return adj_[i];
+}
+
+int Topology::degree(int sw) const {
+  int d = 0;
+  for (const Link& l : links_) {
+    if (l.src == sw || l.dst == sw) ++d;
+  }
+  return d;
+}
+
+std::vector<double> Topology::dijkstra(
+    int src, const std::vector<double>& weights) const {
+  SNAP_CHECK(weights.size() == links_.size(), "weight vector size mismatch");
+  ensure_adj();
+  std::vector<double> dist(num_switches_, kInf);
+  dist[src] = 0;
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  pq.push({0, src});
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    for (const auto& [v, idx] : adj_[u]) {
+      double nd = d + weights[idx];
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        pq.push({nd, v});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int> Topology::shortest_path(int i, int j) const {
+  std::vector<double> unit(links_.size(), 1.0);
+  return weighted_path(i, j, unit);
+}
+
+std::vector<int> Topology::weighted_path(
+    int i, int j, const std::vector<double>& weights) const {
+  SNAP_CHECK(weights.size() == links_.size(), "weight vector size mismatch");
+  if (i == j) return {i};
+  ensure_adj();
+  std::vector<double> dist(num_switches_, kInf);
+  std::vector<int> prev(num_switches_, -1);
+  dist[i] = 0;
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  pq.push({0, i});
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    if (u == j) break;
+    for (const auto& [v, idx] : adj_[u]) {
+      double nd = d + weights[idx];
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        prev[v] = u;
+        pq.push({nd, v});
+      }
+    }
+  }
+  if (dist[j] == kInf) return {};
+  std::vector<int> path;
+  for (int cur = j; cur != -1; cur = prev[cur]) path.push_back(cur);
+  std::reverse(path.begin(), path.end());
+  SNAP_CHECK(path.front() == i, "path reconstruction failed");
+  return path;
+}
+
+Topology without_switch(const Topology& topo, int failed) {
+  Topology out(topo.name() + "-minus-" + std::to_string(failed),
+               topo.num_switches());
+  for (const Link& l : topo.links()) {
+    if (l.src != failed && l.dst != failed) {
+      out.add_link(l.src, l.dst, l.capacity);
+    }
+  }
+  for (PortId p : topo.ports()) {
+    if (topo.port_switch(p) != failed) {
+      out.attach_port(p, topo.port_switch(p));
+    }
+  }
+  return out;
+}
+
+std::string Topology::to_string() const {
+  std::ostringstream os;
+  os << name_ << ": " << num_switches_ << " switches, " << links_.size()
+     << " directed links, " << ports_.size() << " OBS ports";
+  return os.str();
+}
+
+}  // namespace snap

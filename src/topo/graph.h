@@ -1,0 +1,87 @@
+// Physical network topology: switches, directed capacitated links, and OBS
+// external ports attached to edge switches (§2's one-big-switch model: the
+// ports are what the programmer sees; the compiler sees the whole graph).
+#pragma once
+
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/psmap.h"  // PortId
+
+namespace snap {
+
+struct Link {
+  int src;
+  int dst;
+  double capacity;
+};
+
+class Topology {
+ public:
+  Topology() = default;
+  Topology(std::string name, int num_switches)
+      : name_(std::move(name)), num_switches_(num_switches) {}
+
+  const std::string& name() const { return name_; }
+  int num_switches() const { return num_switches_; }
+  const std::vector<Link>& links() const { return links_; }
+
+  // Adds a directed link; returns its index.
+  int add_link(int src, int dst, double capacity);
+
+  // Adds both directions with the same capacity.
+  void add_duplex(int a, int b, double capacity);
+
+  // Attaches OBS port `port` to switch `sw`.
+  void attach_port(PortId port, int sw);
+
+  const std::vector<PortId>& ports() const { return ports_; }
+  int port_switch(PortId port) const;
+
+  // Index of the directed link i->j, or -1.
+  int link_index(int i, int j) const;
+
+  // Outgoing (neighbor switch, link index) pairs of switch i.
+  const std::vector<std::pair<int, int>>& out_links(int i) const;
+
+  // Degree counting both directions (used for the 70%-lowest-degree edge
+  // rule of §6.2).
+  int degree(int sw) const;
+
+  // Single-source shortest path lengths over switches with per-link weights
+  // (size = links().size()). Unreachable nodes get +inf.
+  std::vector<double> dijkstra(int src,
+                               const std::vector<double>& weights) const;
+
+  // Hop-count shortest path i -> j as a switch sequence (BFS); empty if
+  // unreachable, {i} if i == j.
+  std::vector<int> shortest_path(int i, int j) const;
+
+  // Shortest path under per-link weights; empty if unreachable.
+  std::vector<int> weighted_path(int i, int j,
+                                 const std::vector<double>& weights) const;
+
+  std::string to_string() const;
+
+ private:
+  std::string name_;
+  int num_switches_ = 0;
+  std::vector<Link> links_;
+  std::vector<PortId> ports_;
+  std::map<PortId, int> port_switch_;
+  mutable std::vector<std::vector<std::pair<int, int>>> adj_;
+  mutable bool adj_valid_ = false;
+
+  void ensure_adj() const;
+};
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// The topology after switch `failed` dies: same switch ids, but every link
+// touching it is gone, as are any OBS ports attached to it. Used by the
+// failure-recovery path (§7.3's fault-tolerance discussion).
+Topology without_switch(const Topology& topo, int failed);
+
+}  // namespace snap

@@ -1,0 +1,83 @@
+#include "topo/parse.h"
+
+#include <sstream>
+
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace snap {
+
+Topology parse_topology(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  int num_switches = -1;
+  std::string name = "topology";
+  struct PendingLink {
+    int a, b;
+    double cap;
+  };
+  std::vector<PendingLink> links;
+  std::vector<std::pair<PortId, int>> ports;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind)) continue;  // blank line
+    if (kind == "switches") {
+      if (!(ls >> num_switches) || num_switches <= 0) {
+        throw ParseError("bad switch count", line_no);
+      }
+    } else if (kind == "link") {
+      PendingLink l{};
+      if (!(ls >> l.a >> l.b >> l.cap) || l.cap <= 0) {
+        throw ParseError("bad link line", line_no);
+      }
+      links.push_back(l);
+    } else if (kind == "port") {
+      PortId p;
+      int sw;
+      if (!(ls >> p >> sw)) {
+        throw ParseError("bad port line", line_no);
+      }
+      ports.emplace_back(p, sw);
+    } else if (kind == "name") {
+      if (!(ls >> name)) {
+        throw ParseError("bad name line", line_no);
+      }
+    } else {
+      throw ParseError("unknown directive '" + kind + "'", line_no);
+    }
+  }
+  if (num_switches < 0) {
+    throw ParseError("missing 'switches N' directive");
+  }
+  Topology topo(name, num_switches);
+  try {
+    for (const auto& l : links) topo.add_duplex(l.a, l.b, l.cap);
+    for (const auto& [p, sw] : ports) topo.attach_port(p, sw);
+  } catch (const InternalError& e) {
+    throw ParseError(std::string("invalid topology: ") + e.what());
+  }
+  return topo;
+}
+
+std::string topology_to_text(const Topology& topo) {
+  std::ostringstream os;
+  os << "name " << topo.name() << "\n";
+  os << "switches " << topo.num_switches() << "\n";
+  for (const Link& l : topo.links()) {
+    if (l.src < l.dst) {  // emit each duplex pair once
+      os << "link " << l.src << " " << l.dst << " " << l.capacity << "\n";
+    }
+  }
+  for (PortId p : topo.ports()) {
+    os << "port " << p << " " << topo.port_switch(p) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace snap

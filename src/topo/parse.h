@@ -1,0 +1,24 @@
+// A small textual topology format for the snapc command-line compiler:
+//
+//   # comment
+//   switches 12
+//   link 0 6 10        # duplex link between switches 0 and 6, 10 Gb/s
+//   port 1 0           # OBS port 1 attached to switch 0
+//   name my-campus     # optional
+//
+// Lines are whitespace-separated; links are duplex (two directed links).
+#pragma once
+
+#include <string>
+
+#include "topo/graph.h"
+
+namespace snap {
+
+// Parses the format above; throws ParseError on malformed input.
+Topology parse_topology(const std::string& text);
+
+// Serializes back to the same format.
+std::string topology_to_text(const Topology& topo);
+
+}  // namespace snap

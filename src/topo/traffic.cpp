@@ -1,0 +1,44 @@
+#include "topo/traffic.h"
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace snap {
+
+double TrafficMatrix::total() const {
+  double t = 0;
+  for (const auto& [uv, d] : demands_) t += d;
+  return t;
+}
+
+TrafficMatrix gravity_traffic(const Topology& topo, double total_load,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  const auto& ports = topo.ports();
+  SNAP_CHECK(ports.size() >= 2, "gravity model needs at least two ports");
+  std::map<PortId, double> weight;
+  double sum = 0;
+  for (PortId p : ports) {
+    double w = rng.exponential(1.0);
+    weight[p] = w;
+    sum += w;
+  }
+  // Pair weight normalization excludes the diagonal.
+  double pair_sum = 0;
+  for (PortId u : ports) {
+    for (PortId v : ports) {
+      if (u != v) pair_sum += weight[u] * weight[v];
+    }
+  }
+  TrafficMatrix tm;
+  for (PortId u : ports) {
+    for (PortId v : ports) {
+      if (u == v) continue;
+      tm.set_demand(u, v, total_load * weight[u] * weight[v] / pair_sum);
+    }
+  }
+  (void)sum;
+  return tm;
+}
+
+}  // namespace snap

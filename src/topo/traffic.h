@@ -1,0 +1,39 @@
+// Synthetic traffic matrices via the gravity model (Roughan [31], as used in
+// §6.2): each OBS port gets an activity weight drawn from an exponential
+// distribution, and the demand between ports u != v is proportional to
+// w_u * w_v, scaled so the total offered load is a chosen fraction of the
+// network's edge capacity.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "topo/graph.h"
+
+namespace snap {
+
+class TrafficMatrix {
+ public:
+  double demand(PortId u, PortId v) const {
+    auto it = demands_.find({u, v});
+    return it == demands_.end() ? 0.0 : it->second;
+  }
+
+  void set_demand(PortId u, PortId v, double d) { demands_[{u, v}] = d; }
+
+  const std::map<std::pair<PortId, PortId>, double>& demands() const {
+    return demands_;
+  }
+
+  double total() const;
+
+ private:
+  std::map<std::pair<PortId, PortId>, double> demands_;
+};
+
+// `total_load` is the sum of all demands (e.g. a fraction of aggregate edge
+// capacity so routing stays feasible).
+TrafficMatrix gravity_traffic(const Topology& topo, double total_load,
+                              std::uint64_t seed);
+
+}  // namespace snap

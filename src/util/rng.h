@@ -1,0 +1,43 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic pieces of the library (topology generators, traffic
+// matrices, property-test program generators) draw from this seeded engine
+// so that every experiment in bench/ is exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace snap {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform01() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  // Exponential with the given mean (used by gravity-model traffic).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  // True with probability p.
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace snap

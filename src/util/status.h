@@ -1,0 +1,60 @@
+// Error reporting for the SNAP compiler.
+//
+// SNAP rejects ill-formed programs (e.g. parallel writes to the same state
+// variable, §3/§4.2 of the paper) at compile time. We model those rejections
+// as exceptions derived from snap::Error so callers can distinguish
+// user-program errors from internal invariant violations.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace snap {
+
+// Base class for all errors raised by the SNAP library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string msg) : std::runtime_error(std::move(msg)) {}
+};
+
+// A user program is ill-formed: races, inconsistent parallel writes,
+// unsupported constructs. Corresponds to the paper's "compile error".
+class CompileError : public Error {
+ public:
+  explicit CompileError(std::string msg) : Error(std::move(msg)) {}
+};
+
+// A SNAP source text failed to parse.
+class ParseError : public Error {
+ public:
+  explicit ParseError(std::string msg, int line = -1)
+      : Error(line >= 0 ? "parse error at line " + std::to_string(line) +
+                              ": " + msg
+                        : "parse error: " + msg),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+// The optimizer could not find a feasible placement/routing.
+class InfeasibleError : public Error {
+ public:
+  explicit InfeasibleError(std::string msg) : Error(std::move(msg)) {}
+};
+
+// Internal invariant violation; indicates a bug in the library itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(std::string msg)
+      : Error("internal error: " + std::move(msg)) {}
+};
+
+#define SNAP_CHECK(cond, msg)                 \
+  do {                                        \
+    if (!(cond)) throw ::snap::InternalError( \
+        std::string(msg) + " (" #cond ")");   \
+  } while (0)
+
+}  // namespace snap

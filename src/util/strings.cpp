@@ -1,0 +1,78 @@
+#include "util/strings.h"
+
+#include <sstream>
+
+#include "util/status.h"
+
+namespace snap {
+
+std::string ipv4_to_string(std::uint32_t ip) {
+  std::ostringstream os;
+  os << ((ip >> 24) & 0xff) << '.' << ((ip >> 16) & 0xff) << '.'
+     << ((ip >> 8) & 0xff) << '.' << (ip & 0xff);
+  return os.str();
+}
+
+std::uint32_t ipv4_from_string(const std::string& s) {
+  std::uint32_t parts[4] = {0, 0, 0, 0};
+  int idx = 0;
+  std::uint32_t cur = 0;
+  bool any = false;
+  for (char c : s) {
+    if (c == '.') {
+      if (!any || idx >= 3) throw ParseError("bad IPv4 address: " + s);
+      parts[idx++] = cur;
+      cur = 0;
+      any = false;
+    } else if (c >= '0' && c <= '9') {
+      cur = cur * 10 + static_cast<std::uint32_t>(c - '0');
+      if (cur > 255) throw ParseError("bad IPv4 octet in: " + s);
+      any = true;
+    } else {
+      throw ParseError("bad character in IPv4 address: " + s);
+    }
+  }
+  if (!any || idx != 3) throw ParseError("bad IPv4 address: " + s);
+  parts[3] = cur;
+  return (parts[0] << 24) | (parts[1] << 16) | (parts[2] << 8) | parts[3];
+}
+
+std::pair<std::uint32_t, int> cidr_from_string(const std::string& s) {
+  auto slash = s.find('/');
+  if (slash == std::string::npos) return {ipv4_from_string(s), 32};
+  std::uint32_t addr = ipv4_from_string(s.substr(0, slash));
+  int len = 0;
+  for (char c : s.substr(slash + 1)) {
+    if (c < '0' || c > '9') throw ParseError("bad prefix length in: " + s);
+    len = len * 10 + (c - '0');
+  }
+  if (len < 0 || len > 32) throw ParseError("prefix length out of range: " + s);
+  return {addr, len};
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace snap

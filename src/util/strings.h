@@ -1,0 +1,24 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snap {
+
+// Formats an IPv4 address stored in the low 32 bits of a value.
+std::string ipv4_to_string(std::uint32_t ip);
+
+// Parses dotted-quad "a.b.c.d"; throws ParseError on malformed input.
+std::uint32_t ipv4_from_string(const std::string& s);
+
+// "10.0.6.0/24" -> (value, prefix_len). A bare address gets prefix 32.
+std::pair<std::uint32_t, int> cidr_from_string(const std::string& s);
+
+std::vector<std::string> split(const std::string& s, char sep);
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+}  // namespace snap

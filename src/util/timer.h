@@ -1,0 +1,27 @@
+// Wall-clock timing used by the compiler pipeline to report per-phase
+// runtimes (Table 6 / Figures 9-11 of the paper).
+#pragma once
+
+#include <chrono>
+
+namespace snap {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace snap

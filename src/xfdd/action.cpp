@@ -1,0 +1,287 @@
+#include "xfdd/action.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/status.h"
+
+namespace snap {
+
+bool operator==(const Action& a, const Action& b) {
+  if (a.index() != b.index()) return false;
+  return std::visit(
+      [&](const auto& x) {
+        using T = std::decay_t<decltype(x)>;
+        return x == std::get<T>(b);
+      },
+      a);
+}
+
+bool operator<(const Action& a, const Action& b) {
+  if (a.index() != b.index()) return a.index() < b.index();
+  return std::visit(
+      [&](const auto& x) {
+        using T = std::decay_t<decltype(x)>;
+        return x < std::get<T>(b);
+      },
+      a);
+}
+
+std::optional<StateVarId> written_var(const Action& a) {
+  return std::visit(
+      [](const auto& x) -> std::optional<StateVarId> {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, ActMod>) {
+          return std::nullopt;
+        } else {
+          return x.var;
+        }
+      },
+      a);
+}
+
+void ActionSeq::set_mod(FieldId f, Value v) {
+  auto it = std::lower_bound(
+      mods_.begin(), mods_.end(), f,
+      [](const auto& e, FieldId id) { return e.first < id; });
+  if (it != mods_.end() && it->first == f) {
+    it->second = v;
+  } else {
+    mods_.insert(it, {f, v});
+  }
+}
+
+Expr ActionSeq::rewrite(const Expr& e) const { return e.substituted(mods_); }
+
+ActionSeq ActionSeq::of(const std::vector<Action>& actions) {
+  ActionSeq out;
+  for (const Action& a : actions) {
+    std::visit(
+        [&](const auto& x) {
+          using T = std::decay_t<decltype(x)>;
+          if constexpr (std::is_same_v<T, ActMod>) {
+            out.set_mod(x.field, x.value);
+          } else if constexpr (std::is_same_v<T, ActStateSet>) {
+            out.state_ops_.push_back(ActStateSet{
+                x.var, out.rewrite(x.index), out.rewrite(x.value)});
+          } else if constexpr (std::is_same_v<T, ActStateInc>) {
+            out.state_ops_.push_back(
+                ActStateInc{x.var, out.rewrite(x.index)});
+          } else {
+            out.state_ops_.push_back(
+                ActStateDec{x.var, out.rewrite(x.index)});
+          }
+        },
+        a);
+  }
+  return out;
+}
+
+ActionSeq ActionSeq::then(const ActionSeq& next) const {
+  // A dropped packet never reaches `next`; its state effects stand.
+  if (drop_) return *this;
+  ActionSeq out = *this;
+  for (const Action& a : next.state_ops_) {
+    std::visit(
+        [&](const auto& x) {
+          using T = std::decay_t<decltype(x)>;
+          if constexpr (std::is_same_v<T, ActStateSet>) {
+            out.state_ops_.push_back(
+                ActStateSet{x.var, rewrite(x.index), rewrite(x.value)});
+          } else if constexpr (std::is_same_v<T, ActStateInc>) {
+            out.state_ops_.push_back(ActStateInc{x.var, rewrite(x.index)});
+          } else if constexpr (std::is_same_v<T, ActStateDec>) {
+            out.state_ops_.push_back(ActStateDec{x.var, rewrite(x.index)});
+          }
+        },
+        a);
+  }
+  if (next.drop_) {
+    // The packet is dropped downstream: keep accumulated state effects,
+    // discard field modifications (no packet is emitted).
+    out.drop_ = true;
+    out.mods_.clear();
+  } else {
+    for (const auto& [f, v] : next.mods_) out.set_mod(f, v);
+  }
+  return out;
+}
+
+std::set<StateVarId> ActionSeq::written_vars() const {
+  std::set<StateVarId> out;
+  for (const Action& a : state_ops_) {
+    if (auto v = written_var(a)) out.insert(*v);
+  }
+  return out;
+}
+
+std::vector<Action> ActionSeq::ops_for(StateVarId var) const {
+  std::vector<Action> out;
+  for (const Action& a : state_ops_) {
+    if (written_var(a) == std::optional<StateVarId>(var)) out.push_back(a);
+  }
+  return out;
+}
+
+void apply_state_op(const Action& a, const Packet& pkt, Store& store) {
+  std::visit(
+      [&](const auto& x) {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, ActMod>) {
+          throw InternalError("apply_state_op on a field modification");
+        } else if constexpr (std::is_same_v<T, ActStateSet>) {
+          auto index = x.index.eval(pkt);
+          auto value = x.value.eval(pkt);
+          if (!index || !value || value->size() != 1) {
+            throw CompileError("state update on " + state_var_name(x.var) +
+                               " references an absent field");
+          }
+          store.set(x.var, *index, (*value)[0]);
+        } else {
+          auto index = x.index.eval(pkt);
+          if (!index) {
+            throw CompileError("state increment on " + state_var_name(x.var) +
+                               " references an absent field");
+          }
+          Value cur = store.get(x.var, *index);
+          store.set(x.var, *index,
+                    std::is_same_v<T, ActStateInc> ? cur + 1 : cur - 1);
+        }
+      },
+      a);
+}
+
+std::optional<Packet> ActionSeq::apply(const Packet& pkt, Store& store) const {
+  // State expressions are input-relative by construction; run them against
+  // the incoming packet, then apply field modifications. A dropped packet
+  // still applies its state writes (they happened before the drop).
+  for (const Action& a : state_ops_) apply_state_op(a, pkt, store);
+  if (drop_) return std::nullopt;
+  Packet out = pkt;
+  for (const auto& [f, v] : mods_) out.set(f, v);
+  return out;
+}
+
+std::string ActionSeq::to_string() const {
+  if (drop_ && state_ops_.empty()) return "drop";
+  if (is_id()) return "id";
+  std::ostringstream os;
+  bool first = true;
+  for (const Action& a : state_ops_) {
+    if (!first) os << "; ";
+    first = false;
+    std::visit(
+        [&](const auto& x) {
+          using T = std::decay_t<decltype(x)>;
+          if constexpr (std::is_same_v<T, ActMod>) {
+          } else if constexpr (std::is_same_v<T, ActStateSet>) {
+            os << state_var_name(x.var) << '[' << x.index.to_string()
+               << "] <- " << x.value.to_string();
+          } else if constexpr (std::is_same_v<T, ActStateInc>) {
+            os << state_var_name(x.var) << '[' << x.index.to_string() << "]++";
+          } else {
+            os << state_var_name(x.var) << '[' << x.index.to_string() << "]--";
+          }
+        },
+        a);
+  }
+  for (const auto& [f, v] : mods_) {
+    if (!first) os << "; ";
+    first = false;
+    os << field_name(f) << " <- " << v;
+  }
+  if (drop_) {
+    if (!first) os << "; ";
+    os << "drop";
+  }
+  return os.str();
+}
+
+ActionSet ActionSet::of(std::vector<ActionSeq> seqs) {
+  // Pure drop sequences are absorbed: a packet copy dropped without state
+  // effects contributes nothing. Drop sequences *with* state writes stay.
+  std::erase_if(seqs, [](const ActionSeq& s) {
+    return s.is_drop() && s.state_ops().empty();
+  });
+  std::sort(seqs.begin(), seqs.end());
+  seqs.erase(std::unique(seqs.begin(), seqs.end()), seqs.end());
+  ActionSet out;
+  out.seqs_ = std::move(seqs);
+  return out;
+}
+
+ActionSet ActionSet::unite(const ActionSet& o) const {
+  std::vector<ActionSeq> all = seqs_;
+  all.insert(all.end(), o.seqs_.begin(), o.seqs_.end());
+  ActionSet merged = of(std::move(all));
+  check_leaf_races(merged);
+  return merged;
+}
+
+std::set<StateVarId> ActionSet::written_vars() const {
+  std::set<StateVarId> out;
+  for (const ActionSeq& s : seqs_) {
+    auto w = s.written_vars();
+    out.insert(w.begin(), w.end());
+  }
+  return out;
+}
+
+std::vector<std::pair<StateVarId, std::vector<Action>>>
+ActionSet::state_programs() const {
+  std::vector<std::pair<StateVarId, std::vector<Action>>> out;
+  for (StateVarId v : written_vars()) {
+    for (const ActionSeq& s : seqs_) {
+      auto ops = s.ops_for(v);
+      if (!ops.empty()) {
+        out.emplace_back(v, std::move(ops));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string ActionSet::to_string() const {
+  if (is_drop()) return "{drop}";
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < seqs_.size(); ++i) {
+    if (i) os << " | ";
+    os << seqs_[i].to_string();
+  }
+  os << '}';
+  return os.str();
+}
+
+std::size_t ActionSet::hash() const {
+  std::size_t h = 0x1234567;
+  std::hash<std::string> hs;
+  for (const ActionSeq& s : seqs_) {
+    h ^= hs(s.to_string()) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+void check_leaf_races(const ActionSet& s) {
+  const auto& seqs = s.seqs();
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    auto wi = seqs[i].written_vars();
+    if (wi.empty()) continue;
+    for (std::size_t j = i + 1; j < seqs.size(); ++j) {
+      for (StateVarId v : seqs[j].written_vars()) {
+        if (!wi.count(v)) continue;
+        // A common sequential prefix leaves identical subsequences; those
+        // are fine (executed once). Anything else is an ambiguous parallel
+        // update.
+        if (!(seqs[i].ops_for(v) == seqs[j].ops_for(v))) {
+          throw CompileError(
+              "parallel composition races on state variable '" +
+              state_var_name(v) + "': two packet copies update it");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace snap

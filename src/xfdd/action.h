@@ -1,0 +1,187 @@
+// xFDD leaf actions (Figure 6):
+//
+//   a  ::= id | drop | f <- v | s[e1] <- e2 | s[e1]++ | s[e1]--
+//   as ::= a | a; a
+//
+// A leaf is a *set* of action sequences: each sequence processes its own
+// copy of the packet (parallel composition makes copies).
+//
+// Normal form. Field modifications assign constants, so we keep every
+// sequence in a canonical shape: (1) the ordered list of state operations,
+// with their index/value expressions rewritten to refer to the *input*
+// packet (substituting any field modification that preceded them), and
+// (2) the final value of every modified field. This makes sequential
+// concatenation, the Figure 15 analysis, and leaf execution straightforward:
+// state operations from a common sequential prefix are syntactically
+// identical across copies and can be executed once.
+//
+// Sets are normalized: drop sequences are removed whenever a non-drop
+// sequence is present; the empty set denotes drop.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "lang/eval.h"
+#include "lang/expr.h"
+
+namespace snap {
+
+struct ActMod {
+  FieldId field;
+  Value value;
+
+  auto key() const { return std::tuple(field, value); }
+  bool operator==(const ActMod& o) const { return key() == o.key(); }
+  bool operator<(const ActMod& o) const { return key() < o.key(); }
+};
+
+struct ActStateSet {
+  StateVarId var;
+  Expr index;
+  Expr value;
+
+  auto key() const { return std::tie(var, index, value); }
+  bool operator==(const ActStateSet& o) const { return key() == o.key(); }
+  bool operator<(const ActStateSet& o) const { return key() < o.key(); }
+};
+
+struct ActStateInc {
+  StateVarId var;
+  Expr index;
+
+  auto key() const { return std::tie(var, index); }
+  bool operator==(const ActStateInc& o) const { return key() == o.key(); }
+  bool operator<(const ActStateInc& o) const { return key() < o.key(); }
+};
+
+struct ActStateDec {
+  StateVarId var;
+  Expr index;
+
+  auto key() const { return std::tie(var, index); }
+  bool operator==(const ActStateDec& o) const { return key() == o.key(); }
+  bool operator<(const ActStateDec& o) const { return key() < o.key(); }
+};
+
+using Action = std::variant<ActMod, ActStateSet, ActStateInc, ActStateDec>;
+
+bool operator==(const Action& a, const Action& b);
+bool operator<(const Action& a, const Action& b);
+
+// The state variable an action writes, if any.
+std::optional<StateVarId> written_var(const Action& a);
+
+// Note on drop: a sequence may perform state writes *and then* drop the
+// packet (e.g. `udp-counter[srcip]++; drop` in the UDP-flood policy). Such a
+// sequence keeps its state operations and emits no packet. The pure drop
+// sequence has no operations.
+class ActionSeq {
+ public:
+  // The identity sequence.
+  ActionSeq() = default;
+
+  static ActionSeq make_drop() {
+    ActionSeq s;
+    s.drop_ = true;
+    return s;
+  }
+
+  // Builds the normal form of an arbitrary action list, simulating field
+  // modifications so state expressions become input-relative.
+  static ActionSeq of(const std::vector<Action>& actions);
+
+  bool is_drop() const { return drop_; }
+  bool is_id() const { return !drop_ && state_ops_.empty() && mods_.empty(); }
+
+  // State operations in program order, expressions input-relative.
+  const std::vector<Action>& state_ops() const { return state_ops_; }
+
+  // Final field assignments, sorted by field.
+  const std::vector<std::pair<FieldId, Value>>& mods() const { return mods_; }
+
+  // Sequential concatenation; drop absorbs. `next`'s state expressions are
+  // rewritten through this sequence's field map.
+  ActionSeq then(const ActionSeq& next) const;
+
+  // State variables this sequence writes.
+  std::set<StateVarId> written_vars() const;
+
+  // The subsequence of state operations touching `var`.
+  std::vector<Action> ops_for(StateVarId var) const;
+
+  // Applies the sequence to a packet and store. Returns the output packet,
+  // or nullopt for drop. Throws CompileError if an expression references an
+  // absent field, matching the eval oracle.
+  std::optional<Packet> apply(const Packet& pkt, Store& store) const;
+
+  auto key() const { return std::tie(drop_, state_ops_, mods_); }
+  bool operator==(const ActionSeq& o) const { return key() == o.key(); }
+  bool operator<(const ActionSeq& o) const { return key() < o.key(); }
+
+  std::string to_string() const;
+
+ private:
+  bool drop_ = false;
+  std::vector<Action> state_ops_;
+  std::vector<std::pair<FieldId, Value>> mods_;  // sorted by field
+
+  void set_mod(FieldId f, Value v);
+  Expr rewrite(const Expr& e) const;  // substitute mods_ into e
+};
+
+// Executes a single state operation (expressions evaluated against `pkt`).
+void apply_state_op(const Action& a, const Packet& pkt, Store& store);
+
+// A normalized leaf: sorted, deduplicated, drop-eliminated.
+class ActionSet {
+ public:
+  ActionSet() = default;
+
+  static ActionSet make_drop() { return ActionSet(); }
+  static ActionSet make_id() {
+    ActionSet s;
+    s.seqs_.push_back(ActionSeq());
+    return s;
+  }
+  static ActionSet of(std::vector<ActionSeq> seqs);
+
+  // Empty means drop (no packet copies survive).
+  bool is_drop() const { return seqs_.empty(); }
+  bool is_id() const { return seqs_.size() == 1 && seqs_[0].is_id(); }
+
+  const std::vector<ActionSeq>& seqs() const { return seqs_; }
+
+  // Union (parallel composition of leaves). Throws CompileError on races.
+  ActionSet unite(const ActionSet& o) const;
+
+  // Every state variable written by any sequence.
+  std::set<StateVarId> written_vars() const;
+
+  // The per-variable state programs of this leaf: for each written variable,
+  // the (identical across sequences) operation subsequence. Race checking
+  // guarantees uniqueness.
+  std::vector<std::pair<StateVarId, std::vector<Action>>> state_programs()
+      const;
+
+  bool operator==(const ActionSet& o) const { return seqs_ == o.seqs_; }
+  bool operator<(const ActionSet& o) const { return seqs_ < o.seqs_; }
+
+  std::string to_string() const;
+
+  std::size_t hash() const;
+
+ private:
+  std::vector<ActionSeq> seqs_;  // sorted, unique, no drop entries
+};
+
+// Raises CompileError if two sequences in `s` write the same state variable
+// through *different* operation subsequences (ambiguous parallel update).
+// Identical subsequences arise from a shared sequential prefix and are
+// executed once.
+void check_leaf_races(const ActionSet& s);
+
+}  // namespace snap

@@ -1,0 +1,52 @@
+// xFDD composition (⊕ parallel, ⊖ negation, ⊙ sequential) and the
+// policy-to-xFDD translation (Figure 6's to-xfdd), following Figures 7, 8
+// and the Appendix B/E algorithms.
+//
+// Well-formedness: every emitted diagram respects the TestOrder and contains
+// no test contradicting or repeating an ancestor. We guarantee this by (a)
+// passing a Context down every recursion and refining operands against it
+// (Figure 8's refine), and (b) inserting tests discovered mid-composition
+// (the field-field and shifted state tests of Figure 15) with an
+// order-preserving graft (`|t` of Figure 7) rather than plain stacking.
+//
+// Extension beyond the paper's pseudo-code: sequential composition resolves
+// s[e]++ / s[e]-- preceding a state test on the same variable by shifting
+// the tested constant (susp-client[dstip]++ ; susp-client[dstip] = k
+// becomes a pre-state test susp-client[dstip] = k-1). Figure 3 of the paper
+// shows exactly this shape for DNS-tunnel-detect. Non-constant comparisons
+// against an incremented variable are rejected with CompileError.
+#pragma once
+
+#include "lang/ast.h"
+#include "xfdd/context.h"
+#include "xfdd/order.h"
+#include "xfdd/xfdd.h"
+
+namespace snap {
+
+// d1 ⊕ d2 (Figure 8). Throws CompileError on leaf-level state races.
+XfddId xfdd_par(XfddStore& s, const TestOrder& order, XfddId a, XfddId b,
+                const Context& ctx = {});
+
+// ⊖d: complement of a predicate diagram (leaves must be {id}/{drop}).
+XfddId xfdd_neg(XfddStore& s, XfddId d);
+
+// d1 ⊙ d2 (Figure 7 + Figure 15).
+XfddId xfdd_seq(XfddStore& s, const TestOrder& order, XfddId a, XfddId b,
+                const Context& ctx = {});
+
+// d|t (Figure 7): restricts d to the paths where t has the given outcome,
+// grafting t at its ordered position.
+XfddId xfdd_restrict(XfddStore& s, const TestOrder& order, XfddId d,
+                     const Test& t, bool polarity);
+
+// Builds (t ? hi : lo) while preserving the global test order even when hi
+// or lo contain tests ordered before t.
+XfddId ordered_branch(XfddStore& s, const TestOrder& order, const Test& t,
+                      XfddId hi, XfddId lo, const Context& ctx);
+
+// to-xfdd (Figure 6).
+XfddId pred_to_xfdd(XfddStore& s, const TestOrder& order, const PredPtr& x);
+XfddId to_xfdd(XfddStore& s, const TestOrder& order, const PolPtr& p);
+
+}  // namespace snap

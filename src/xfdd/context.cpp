@@ -1,0 +1,259 @@
+#include "xfdd/context.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace snap {
+namespace {
+
+std::uint32_t prefix_mask(int len) {
+  if (len <= 0) return 0;
+  if (len >= 32) return 0xffffffffu;
+  return ~((1u << (32 - len)) - 1u);
+}
+
+}  // namespace
+
+bool value_in_prefix(Value v, Value pv, int plen) {
+  if (plen == kExactMatch) return v == pv;
+  std::uint32_t m = prefix_mask(plen);
+  return (static_cast<std::uint32_t>(v) & m) ==
+         (static_cast<std::uint32_t>(pv) & m);
+}
+
+bool prefix_contains(Value v1, int l1, Value v2, int l2) {
+  // Exact "prefixes" are length-32 over the low bits for containment logic;
+  // an exact match is contained in prefix P iff the value lies in P.
+  int e1 = l1 == kExactMatch ? 32 : l1;
+  int e2 = l2 == kExactMatch ? 32 : l2;
+  if (e1 > e2) return false;
+  std::uint32_t m = prefix_mask(e1);
+  return (static_cast<std::uint32_t>(v1) & m) ==
+         (static_cast<std::uint32_t>(v2) & m);
+}
+
+bool prefix_disjoint(Value v1, int l1, Value v2, int l2) {
+  int e = std::min(l1 == kExactMatch ? 32 : l1, l2 == kExactMatch ? 32 : l2);
+  std::uint32_t m = prefix_mask(e);
+  return (static_cast<std::uint32_t>(v1) & m) !=
+         (static_cast<std::uint32_t>(v2) & m);
+}
+
+Context::FieldFacts* Context::facts_for(FieldId f) {
+  for (auto& ff : fields_) {
+    if (ff.field == f) return &ff;
+  }
+  return nullptr;
+}
+
+const Context::FieldFacts* Context::facts_for(FieldId f) const {
+  for (const auto& ff : fields_) {
+    if (ff.field == f) return &ff;
+  }
+  return nullptr;
+}
+
+std::vector<FieldId> Context::eq_class(FieldId f) const {
+  std::vector<FieldId> cls{f};
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const auto& [a, b] : equal_) {
+      bool has_a = std::find(cls.begin(), cls.end(), a) != cls.end();
+      bool has_b = std::find(cls.begin(), cls.end(), b) != cls.end();
+      if (has_a != has_b) {
+        cls.push_back(has_a ? b : a);
+        grew = true;
+      }
+    }
+  }
+  return cls;
+}
+
+FieldId Context::representative(FieldId f) const {
+  auto cls = eq_class(f);
+  return *std::min_element(cls.begin(), cls.end());
+}
+
+bool Context::known_equal(FieldId f1, FieldId f2) const {
+  if (f1 == f2) return true;
+  auto cls = eq_class(f1);
+  return std::find(cls.begin(), cls.end(), f2) != cls.end();
+}
+
+std::optional<Value> Context::field_value(FieldId f) const {
+  for (FieldId g : eq_class(f)) {
+    if (const auto* ff = facts_for(g); ff && ff->exact) return ff->exact;
+  }
+  return std::nullopt;
+}
+
+std::optional<bool> Context::implies_fv(const TestFV& t) const {
+  // An exact value anywhere in the equality class decides the test.
+  if (auto v = field_value(t.field)) {
+    return value_in_prefix(*v, t.value, t.prefix_len);
+  }
+  for (FieldId g : eq_class(t.field)) {
+    const auto* ff = facts_for(g);
+    if (!ff) continue;
+    if (t.prefix_len == kExactMatch) {
+      if (std::find(ff->excluded.begin(), ff->excluded.end(), t.value) !=
+          ff->excluded.end()) {
+        return false;
+      }
+      for (const auto& [pv, pl, holds] : ff->prefixes) {
+        if (holds && !value_in_prefix(t.value, pv, pl)) return false;
+        if (!holds && value_in_prefix(t.value, pv, pl)) return false;
+      }
+    } else {
+      for (const auto& [pv, pl, holds] : ff->prefixes) {
+        if (holds && prefix_contains(t.value, t.prefix_len, pv, pl)) {
+          return true;  // known-true prefix is inside the tested one
+        }
+        if (holds && prefix_disjoint(t.value, t.prefix_len, pv, pl)) {
+          return false;
+        }
+        if (!holds && prefix_contains(pv, pl, t.value, t.prefix_len)) {
+          return false;  // tested prefix inside a known-false one
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<bool> Context::implies_ff(const TestFF& t) const {
+  if (known_equal(t.f1, t.f2)) return true;
+  auto c1 = eq_class(t.f1);
+  auto c2 = eq_class(t.f2);
+  for (const auto& [a, b] : not_equal_) {
+    bool a1 = std::find(c1.begin(), c1.end(), a) != c1.end();
+    bool b2 = std::find(c2.begin(), c2.end(), b) != c2.end();
+    bool a2 = std::find(c2.begin(), c2.end(), a) != c2.end();
+    bool b1 = std::find(c1.begin(), c1.end(), b) != c1.end();
+    if ((a1 && b2) || (a2 && b1)) return false;
+  }
+  auto v1 = field_value(t.f1);
+  auto v2 = field_value(t.f2);
+  if (v1 && v2) return *v1 == *v2;
+  // Disjoint known-true prefixes imply inequality.
+  auto true_prefixes = [&](const std::vector<FieldId>& cls) {
+    std::vector<std::pair<Value, int>> out;
+    for (FieldId g : cls) {
+      if (const auto* ff = facts_for(g)) {
+        for (const auto& [pv, pl, holds] : ff->prefixes) {
+          if (holds) out.emplace_back(pv, pl);
+        }
+      }
+    }
+    return out;
+  };
+  for (const auto& [p1v, p1l] : true_prefixes(c1)) {
+    for (const auto& [p2v, p2l] : true_prefixes(c2)) {
+      if (prefix_disjoint(p1v, p1l, p2v, p2l)) return false;
+    }
+  }
+  // A known exact value on one side excluded on the other implies inequality.
+  if (v1) {
+    for (FieldId g : c2) {
+      const auto* ff = facts_for(g);
+      if (ff && std::find(ff->excluded.begin(), ff->excluded.end(), *v1) !=
+                    ff->excluded.end()) {
+        return false;
+      }
+    }
+  }
+  if (v2) {
+    for (FieldId g : c1) {
+      const auto* ff = facts_for(g);
+      if (ff && std::find(ff->excluded.begin(), ff->excluded.end(), *v2) !=
+                    ff->excluded.end()) {
+        return false;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Expr Context::normalize(const Expr& e) const {
+  std::vector<Atom> atoms = e.atoms();
+  for (Atom& a : atoms) {
+    if (!a.is_field()) continue;
+    if (auto v = field_value(a.field())) {
+      a = Atom{*v};
+    } else {
+      a = Atom{representative(a.field())};
+    }
+  }
+  return Expr(std::move(atoms));
+}
+
+std::optional<bool> Context::implies_state(const TestState& t) const {
+  Expr index = normalize(t.index);
+  Expr value = normalize(t.value);
+  for (const StateFact& f : state_) {
+    if (f.test.var != t.var) continue;
+    if (!(f.test.index == index)) continue;
+    if (f.test.value == value) return f.holds;
+    // s[i] = v1 known true and both values constant: s[i] = v2 is false for
+    // v2 != v1.
+    if (f.holds && f.test.value.size() == 1 && value.size() == 1 &&
+        f.test.value.atoms()[0].is_value() && value.atoms()[0].is_value()) {
+      return false;  // values differ structurally and both are constants
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<bool> Context::implies(const Test& t) const {
+  return std::visit(
+      [&](const auto& x) -> std::optional<bool> {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, TestFV>) {
+          return implies_fv(x);
+        } else if constexpr (std::is_same_v<T, TestFF>) {
+          return implies_ff(x);
+        } else {
+          return implies_state(x);
+        }
+      },
+      t);
+}
+
+Context Context::with(const Test& t, bool holds) const {
+  Context out = *this;
+  std::visit(
+      [&](const auto& x) {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, TestFV>) {
+          FieldFacts* ff = out.facts_for(x.field);
+          if (!ff) {
+            out.fields_.push_back(FieldFacts{x.field, {}, {}, {}});
+            ff = &out.fields_.back();
+          }
+          if (x.prefix_len == kExactMatch) {
+            if (holds) {
+              ff->exact = x.value;
+            } else {
+              ff->excluded.push_back(x.value);
+            }
+          } else {
+            ff->prefixes.emplace_back(x.value, x.prefix_len, holds);
+          }
+        } else if constexpr (std::is_same_v<T, TestFF>) {
+          if (holds) {
+            out.equal_.emplace_back(x.f1, x.f2);
+          } else {
+            out.not_equal_.emplace_back(x.f1, x.f2);
+          }
+        } else {
+          TestState norm{x.var, normalize(x.index), normalize(x.value)};
+          out.state_.push_back(StateFact{std::move(norm), holds});
+        }
+      },
+      t);
+  return out;
+}
+
+}  // namespace snap

@@ -1,0 +1,84 @@
+// Path context for xFDD composition (Figure 8's `context` argument and the
+// `T` set of Figure 15).
+//
+// While composing diagrams we accumulate the outcome of every test on the
+// current path. The context answers "does this new test already follow from
+// (or contradict) what we know?" so the composition never emits redundant or
+// contradictory tests — that is the paper's well-formedness requirement.
+//
+// Knowledge tracked:
+//   * per field: an exact value, excluded values, and CIDR prefix facts;
+//   * equalities and inequalities between fields (from field-field tests);
+//   * recorded outcomes of state tests (structural, after normalization).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "xfdd/test.h"
+
+namespace snap {
+
+class Context {
+ public:
+  Context() = default;
+
+  // Extends the context with "test t evaluated to `holds`". The caller must
+  // only add tests that are not already decided the other way (checked).
+  Context with(const Test& t, bool holds) const;
+
+  // Returns the truth value of `t` if it is implied by the context.
+  std::optional<bool> implies(const Test& t) const;
+
+  // Exact value of field f if known (directly or through an equal field).
+  std::optional<Value> field_value(FieldId f) const;
+
+  // True if the context knows f1 == f2 (transitively).
+  bool known_equal(FieldId f1, FieldId f2) const;
+
+  // Normalizes an expression: substitutes known exact values and replaces
+  // fields by their equality-class representative, so structural comparison
+  // of expressions respects the context.
+  Expr normalize(const Expr& e) const;
+
+ private:
+  struct FieldFacts {
+    FieldId field;
+    std::optional<Value> exact;
+    std::vector<Value> excluded;                      // known != values
+    std::vector<std::tuple<Value, int, bool>> prefixes;  // (value, len, holds)
+  };
+
+  struct StateFact {
+    TestState test;  // with normalized expressions
+    bool holds;
+  };
+
+  FieldFacts* facts_for(FieldId f);
+  const FieldFacts* facts_for(FieldId f) const;
+
+  // All fields transitively known equal to f (including f).
+  std::vector<FieldId> eq_class(FieldId f) const;
+  FieldId representative(FieldId f) const;
+
+  std::optional<bool> implies_fv(const TestFV& t) const;
+  std::optional<bool> implies_ff(const TestFF& t) const;
+  std::optional<bool> implies_state(const TestState& t) const;
+
+  std::vector<FieldFacts> fields_;
+  std::vector<std::pair<FieldId, FieldId>> equal_;
+  std::vector<std::pair<FieldId, FieldId>> not_equal_;
+  std::vector<StateFact> state_;
+};
+
+// True if CIDR prefix (v1,l1) contains (v2,l2), i.e. every address matching
+// the second also matches the first.
+bool prefix_contains(Value v1, int l1, Value v2, int l2);
+
+// True if the two prefixes share no address.
+bool prefix_disjoint(Value v1, int l1, Value v2, int l2);
+
+// True if value v matches prefix (pv, plen).
+bool value_in_prefix(Value v, Value pv, int plen);
+
+}  // namespace snap

@@ -1,0 +1,34 @@
+#include "xfdd/dot.h"
+
+#include <set>
+#include <sstream>
+
+namespace snap {
+
+std::string xfdd_to_dot(const XfddStore& store, XfddId root) {
+  std::ostringstream os;
+  os << "digraph xfdd {\n  node [fontname=\"monospace\"];\n";
+  std::set<XfddId> seen;
+  std::vector<XfddId> stack{root};
+  while (!stack.empty()) {
+    XfddId id = stack.back();
+    stack.pop_back();
+    if (!seen.insert(id).second) continue;
+    if (store.is_leaf(id)) {
+      os << "  n" << id << " [shape=box,label=\""
+         << store.leaf_actions(id).to_string() << "\"];\n";
+    } else {
+      const auto& b = store.branch_node(id);
+      os << "  n" << id << " [shape=ellipse,label=\"" << to_string(b.test)
+         << "\"];\n";
+      os << "  n" << id << " -> n" << b.hi << " [style=solid];\n";
+      os << "  n" << id << " -> n" << b.lo << " [style=dashed];\n";
+      stack.push_back(b.hi);
+      stack.push_back(b.lo);
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace snap

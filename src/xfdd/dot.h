@@ -1,0 +1,15 @@
+// Graphviz export of xFDDs (used to render diagrams like the paper's
+// Figure 3).
+#pragma once
+
+#include <string>
+
+#include "xfdd/xfdd.h"
+
+namespace snap {
+
+// Returns a dot(1) digraph: solid edges for true branches, dashed for false,
+// boxes for leaves.
+std::string xfdd_to_dot(const XfddStore& store, XfddId root);
+
+}  // namespace snap

@@ -1,0 +1,22 @@
+#include "xfdd/order.h"
+
+namespace snap {
+
+bool TestOrder::before(const Test& a, const Test& b) const {
+  // Kind order: field-value < field-field < state (§4.2).
+  if (a.index() != b.index()) return a.index() < b.index();
+  if (const auto* av = std::get_if<TestFV>(&a)) {
+    return *av < std::get<TestFV>(b);
+  }
+  if (const auto* aff = std::get_if<TestFF>(&a)) {
+    return *aff < std::get<TestFF>(b);
+  }
+  const auto& as = std::get<TestState>(a);
+  const auto& bs = std::get<TestState>(b);
+  int ra = state_rank(as.var);
+  int rb = state_rank(bs.var);
+  if (ra != rb) return ra < rb;
+  return as < bs;
+}
+
+}  // namespace snap

@@ -1,0 +1,41 @@
+// The total order on xFDD tests (§4.2).
+//
+// All field-value tests precede all field-field tests, which precede all
+// state tests. Field tests are ordered by a fixed arbitrary order on
+// (field, value); state tests follow the order of their state variables,
+// which is derived from the state dependency graph: break the graph into
+// SCCs, topologically order the condensation, and order variables within an
+// SCC arbitrarily (analysis/depgraph computes the ranks).
+#pragma once
+
+#include <vector>
+
+#include "xfdd/test.h"
+
+namespace snap {
+
+class TestOrder {
+ public:
+  // Default: state variables ordered by id (valid when there are no
+  // dependencies, e.g. in unit tests).
+  TestOrder() = default;
+
+  // `rank[s]` is the position of state variable s in the dependency order;
+  // variables in the same SCC share a rank.
+  explicit TestOrder(std::vector<int> state_ranks)
+      : state_ranks_(std::move(state_ranks)) {}
+
+  int state_rank(StateVarId s) const {
+    return s < state_ranks_.size() ? state_ranks_[s] : static_cast<int>(s);
+  }
+
+  // Strict weak ordering; returns true if a must be tested before b.
+  bool before(const Test& a, const Test& b) const;
+
+  bool equal(const Test& a, const Test& b) const { return a == b; }
+
+ private:
+  std::vector<int> state_ranks_;
+};
+
+}  // namespace snap

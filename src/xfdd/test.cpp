@@ -1,0 +1,95 @@
+#include "xfdd/test.h"
+
+#include <sstream>
+
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace snap {
+namespace {
+
+std::size_t hash_combine(std::size_t h, std::size_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+}
+
+std::size_t hash_expr(const Expr& e) {
+  std::size_t h = 0x45d9f3b;
+  for (const Atom& a : e.atoms()) {
+    h = hash_combine(h, a.is_value() ? 0x11 : 0x22);
+    h = hash_combine(h, a.is_value()
+                            ? std::hash<Value>{}(a.value())
+                            : std::hash<FieldId>{}(a.field()));
+  }
+  return h;
+}
+
+}  // namespace
+
+Test make_ff(FieldId a, FieldId b) {
+  SNAP_CHECK(a != b, "field-field test on identical fields");
+  if (a > b) std::swap(a, b);
+  return TestFF{a, b};
+}
+
+bool operator==(const Test& a, const Test& b) {
+  if (a.index() != b.index()) return false;
+  return std::visit(
+      [&](const auto& x) {
+        using T = std::decay_t<decltype(x)>;
+        return x == std::get<T>(b);
+      },
+      a);
+}
+
+std::string to_string(const Test& t) {
+  std::ostringstream os;
+  std::visit(
+      [&](const auto& x) {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, TestFV>) {
+          os << field_name(x.field) << " = ";
+          if (x.prefix_len != kExactMatch) {
+            os << ipv4_to_string(static_cast<std::uint32_t>(x.value)) << '/'
+               << x.prefix_len;
+          } else {
+            os << x.value;
+          }
+        } else if constexpr (std::is_same_v<T, TestFF>) {
+          os << field_name(x.f1) << " = " << field_name(x.f2);
+        } else {
+          os << state_var_name(x.var);
+          for (const Atom& a : x.index.atoms()) {
+            os << '[' << (a.is_value() ? std::to_string(a.value())
+                                       : field_name(a.field()))
+               << ']';
+          }
+          os << " = " << x.value.to_string();
+        }
+      },
+      t);
+  return os.str();
+}
+
+std::size_t hash_value(const Test& t) {
+  return std::visit(
+      [&](const auto& x) -> std::size_t {
+        using T = std::decay_t<decltype(x)>;
+        std::size_t h = t.index() * 0x9e3779b9;
+        if constexpr (std::is_same_v<T, TestFV>) {
+          h = hash_combine(h, x.field);
+          h = hash_combine(h, std::hash<Value>{}(x.value));
+          h = hash_combine(h, static_cast<std::size_t>(x.prefix_len + 2));
+        } else if constexpr (std::is_same_v<T, TestFF>) {
+          h = hash_combine(h, x.f1);
+          h = hash_combine(h, x.f2);
+        } else {
+          h = hash_combine(h, x.var);
+          h = hash_combine(h, hash_expr(x.index));
+          h = hash_combine(h, hash_expr(x.value));
+        }
+        return h;
+      },
+      t);
+}
+
+}  // namespace snap

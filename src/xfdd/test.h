@@ -1,0 +1,59 @@
+// xFDD interior-node tests (Figure 6):
+//
+//   t ::= f = v  |  f1 = f2  |  s[e1] = e2
+//
+// Field-value tests optionally carry a CIDR prefix length (the paper's
+// examples test dstip = 10.0.6.0/24). Field-field tests are the paper's
+// extension needed for correct sequential composition (§4.2); we canonicalize
+// them so f1 < f2. State tests compare a state variable at an index
+// expression with a value expression.
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "lang/ast.h"
+#include "lang/expr.h"
+
+namespace snap {
+
+struct TestFV {
+  FieldId field;
+  Value value;
+  int prefix_len;  // kExactMatch or 0..32
+
+  auto key() const { return std::tuple(field, value, prefix_len); }
+  bool operator==(const TestFV& o) const { return key() == o.key(); }
+  bool operator<(const TestFV& o) const { return key() < o.key(); }
+};
+
+struct TestFF {
+  FieldId f1, f2;  // invariant: f1 < f2
+
+  auto key() const { return std::tuple(f1, f2); }
+  bool operator==(const TestFF& o) const { return key() == o.key(); }
+  bool operator<(const TestFF& o) const { return key() < o.key(); }
+};
+
+struct TestState {
+  StateVarId var;
+  Expr index;
+  Expr value;
+
+  auto key() const { return std::tie(var, index, value); }
+  bool operator==(const TestState& o) const { return key() == o.key(); }
+  bool operator<(const TestState& o) const { return key() < o.key(); }
+};
+
+using Test = std::variant<TestFV, TestFF, TestState>;
+
+// Canonicalizing constructor for field-field tests.
+Test make_ff(FieldId a, FieldId b);
+
+bool operator==(const Test& a, const Test& b);
+
+std::string to_string(const Test& t);
+
+std::size_t hash_value(const Test& t);
+
+}  // namespace snap

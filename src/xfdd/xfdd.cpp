@@ -1,0 +1,170 @@
+#include "xfdd/xfdd.h"
+
+#include <set>
+#include <sstream>
+
+#include "util/status.h"
+
+namespace snap {
+namespace {
+
+std::size_t hash_node(const XfddNode& n) {
+  if (const auto* b = std::get_if<BranchNode>(&n)) {
+    std::size_t h = hash_value(b->test);
+    h ^= std::hash<XfddId>{}(b->hi) + 0x9e3779b97f4a7c15ull + (h << 6);
+    h ^= std::hash<XfddId>{}(b->lo) + 0x517cc1b727220a95ull + (h >> 2);
+    return h;
+  }
+  return std::get<ActionSet>(n).hash();
+}
+
+bool node_equal(const XfddNode& a, const XfddNode& b) {
+  if (a.index() != b.index()) return false;
+  if (const auto* ab = std::get_if<BranchNode>(&a)) {
+    const auto& bb = std::get<BranchNode>(b);
+    return ab->hi == bb.hi && ab->lo == bb.lo && ab->test == bb.test;
+  }
+  return std::get<ActionSet>(a) == std::get<ActionSet>(b);
+}
+
+}  // namespace
+
+XfddStore::XfddStore() {
+  drop_leaf_ = leaf(ActionSet::make_drop());
+  id_leaf_ = leaf(ActionSet::make_id());
+}
+
+XfddId XfddStore::intern(XfddNode node, std::size_t hash) {
+  auto [lo, hi] = dedup_.equal_range(hash);
+  for (auto it = lo; it != hi; ++it) {
+    if (node_equal(nodes_[it->second], node)) return it->second;
+  }
+  SNAP_CHECK(nodes_.size() < 0xffffffffu, "xFDD store overflow");
+  auto id = static_cast<XfddId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  dedup_.emplace(hash, id);
+  return id;
+}
+
+XfddId XfddStore::leaf(ActionSet as) {
+  XfddNode node{std::move(as)};
+  std::size_t h = hash_node(node);
+  return intern(std::move(node), h);
+}
+
+XfddId XfddStore::branch(Test t, XfddId hi, XfddId lo) {
+  if (hi == lo) return hi;  // redundant test
+  XfddNode node{BranchNode{std::move(t), hi, lo}};
+  std::size_t h = hash_node(node);
+  return intern(std::move(node), h);
+}
+
+const XfddNode& XfddStore::node(XfddId id) const {
+  SNAP_CHECK(id < nodes_.size(), "xFDD id out of range");
+  return nodes_[id];
+}
+
+bool XfddStore::is_leaf(XfddId id) const {
+  return std::holds_alternative<ActionSet>(node(id));
+}
+
+const ActionSet& XfddStore::leaf_actions(XfddId id) const {
+  return std::get<ActionSet>(node(id));
+}
+
+const BranchNode& XfddStore::branch_node(XfddId id) const {
+  return std::get<BranchNode>(node(id));
+}
+
+std::size_t XfddStore::reachable_size(XfddId root) const {
+  std::set<XfddId> seen;
+  std::vector<XfddId> stack{root};
+  while (!stack.empty()) {
+    XfddId id = stack.back();
+    stack.pop_back();
+    if (!seen.insert(id).second) continue;
+    if (!is_leaf(id)) {
+      const auto& b = branch_node(id);
+      stack.push_back(b.hi);
+      stack.push_back(b.lo);
+    }
+  }
+  return seen.size();
+}
+
+std::string XfddStore::to_string(XfddId root) const {
+  std::ostringstream os;
+  // Depth-first textual rendering with indentation.
+  struct Frame {
+    XfddId id;
+    int depth;
+    char tag;
+  };
+  std::vector<Frame> stack{{root, 0, '*'}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    for (int i = 0; i < f.depth; ++i) os << "  ";
+    os << f.tag << ' ';
+    if (is_leaf(f.id)) {
+      os << leaf_actions(f.id).to_string() << '\n';
+    } else {
+      const auto& b = branch_node(f.id);
+      os << snap::to_string(b.test) << " ?\n";
+      stack.push_back({b.lo, f.depth + 1, 'F'});
+      stack.push_back({b.hi, f.depth + 1, 'T'});
+    }
+  }
+  return os.str();
+}
+
+bool eval_test(const Test& t, const Store& st, const Packet& pkt) {
+  return std::visit(
+      [&](const auto& x) -> bool {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, TestFV>) {
+          return field_test_passes(pkt, x.field, x.value, x.prefix_len);
+        } else if constexpr (std::is_same_v<T, TestFF>) {
+          auto v1 = pkt.get(x.f1);
+          auto v2 = pkt.get(x.f2);
+          return v1 && v2 && *v1 == *v2;
+        } else {
+          auto index = x.index.eval(pkt);
+          auto value = x.value.eval(pkt);
+          if (!index || !value || value->size() != 1) return false;
+          return st.get(x.var, *index) == (*value)[0];
+        }
+      },
+      t);
+}
+
+EvalResult eval_xfdd(const XfddStore& store, XfddId root, const Store& st,
+                     const Packet& pkt) {
+  XfddId cur = root;
+  EvalResult out;
+  out.store = st;
+  while (!store.is_leaf(cur)) {
+    const auto& b = store.branch_node(cur);
+    if (const auto* s = std::get_if<TestState>(&b.test)) {
+      out.log.add_read(s->var);
+    }
+    cur = eval_test(b.test, st, pkt) ? b.hi : b.lo;
+  }
+  // Execute the leaf's factored state programs once (race checking
+  // guarantees each written variable has a single, unambiguous operation
+  // subsequence), then emit one output packet per surviving copy.
+  const ActionSet& leaf = store.leaf_actions(cur);
+  for (const auto& [var, ops] : leaf.state_programs()) {
+    for (const Action& op : ops) apply_state_op(op, pkt, out.store);
+    out.log.add_write(var);
+  }
+  for (const ActionSeq& seq : leaf.seqs()) {
+    if (seq.is_drop()) continue;  // state effects applied above
+    Packet p = pkt;
+    for (const auto& [f, v] : seq.mods()) p.set(f, v);
+    out.packets.insert(p);
+  }
+  return out;
+}
+
+}  // namespace snap

@@ -1,0 +1,79 @@
+// The xFDD arena: immutable, hash-consed decision-diagram nodes.
+//
+// An xFDD (Figure 6) is either a branch (t ? d1 : d2) or a leaf holding a
+// set of action sequences. Nodes are interned in an XfddStore so structural
+// equality is pointer (index) equality, recursion is cheap, and per-switch
+// splits can reference shared subtrees by id. The special leaves {id} and
+// {drop} have fixed ids.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "lang/eval.h"
+#include "xfdd/action.h"
+#include "xfdd/test.h"
+
+namespace snap {
+
+using XfddId = std::uint32_t;
+
+struct BranchNode {
+  Test test;
+  XfddId hi;  // taken when the test holds
+  XfddId lo;  // taken when it fails
+};
+
+using XfddNode = std::variant<BranchNode, ActionSet>;
+
+class XfddStore {
+ public:
+  XfddStore();
+
+  // Interns a leaf (already-normalized ActionSet).
+  XfddId leaf(ActionSet as);
+
+  // Interns a branch; collapses (t ? d : d) to d.
+  XfddId branch(Test t, XfddId hi, XfddId lo);
+
+  XfddId id_leaf() const { return id_leaf_; }
+  XfddId drop_leaf() const { return drop_leaf_; }
+
+  const XfddNode& node(XfddId id) const;
+  bool is_leaf(XfddId id) const;
+  const ActionSet& leaf_actions(XfddId id) const;
+  const BranchNode& branch_node(XfddId id) const;
+
+  std::size_t size() const { return nodes_.size(); }
+
+  // Number of nodes reachable from `root` (distinct subtrees).
+  std::size_t reachable_size(XfddId root) const;
+
+  std::string to_string(XfddId root) const;
+
+ private:
+  struct NodeKey {
+    std::size_t hash;
+    XfddId id;  // index of an equal existing node, used during lookup
+  };
+
+  std::vector<XfddNode> nodes_;
+  std::unordered_multimap<std::size_t, XfddId> dedup_;
+  XfddId id_leaf_;
+  XfddId drop_leaf_;
+
+  XfddId intern(XfddNode node, std::size_t hash);
+};
+
+// The result of running an xFDD on a packet against a store: like
+// EvalResult, produced by applying each surviving action sequence of the
+// reached leaf to its own packet copy and merging state writes.
+EvalResult eval_xfdd(const XfddStore& store, XfddId root, const Store& st,
+                     const Packet& pkt);
+
+// Evaluates a single test against packet and store (shared with dataplane).
+bool eval_test(const Test& t, const Store& st, const Packet& pkt);
+
+}  // namespace snap

@@ -1,0 +1,235 @@
+// Algebraic laws of the policy combinators (SNAP inherits NetCore/NetKAT's
+// equational structure, §3). Each law is verified two ways on randomized
+// programs: semantically (eval on random packets/stores) and, for
+// stateless diagrams, structurally — hash-consing makes equal xFDDs have
+// equal ids, so the compiler literally canonicalizes both sides to the
+// same diagram.
+#include <gtest/gtest.h>
+
+#include "lang/eval.h"
+#include "lang/printer.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "xfdd/compose.h"
+
+namespace snap {
+namespace {
+
+using namespace snap::dsl;
+
+const char* kFields[] = {"ga", "gb", "gc"};
+
+PredPtr rand_pred(Rng& rng, int depth) {
+  if (depth <= 0 || rng.bernoulli(0.5)) {
+    switch (rng.uniform(0, 2)) {
+      case 0:
+        return test(kFields[rng.uniform(0, 2)], rng.uniform(0, 2));
+      case 1:
+        return id();
+      default:
+        return drop();
+    }
+  }
+  switch (rng.uniform(0, 2)) {
+    case 0:
+      return land(rand_pred(rng, depth - 1), rand_pred(rng, depth - 1));
+    case 1:
+      return lor(rand_pred(rng, depth - 1), rand_pred(rng, depth - 1));
+    default:
+      return lnot(rand_pred(rng, depth - 1));
+  }
+}
+
+// Stateless random policy (for structural identity checks).
+PolPtr rand_stateless(Rng& rng, int depth) {
+  if (depth <= 0 || rng.bernoulli(0.4)) {
+    if (rng.bernoulli(0.5)) return filter(rand_pred(rng, 1));
+    return mod(kFields[rng.uniform(0, 2)], rng.uniform(0, 2));
+  }
+  switch (rng.uniform(0, 2)) {
+    case 0:
+      return seq(rand_stateless(rng, depth - 1),
+                 rand_stateless(rng, depth - 1));
+    case 1:
+      return par(rand_stateless(rng, depth - 1),
+                 rand_stateless(rng, depth - 1));
+    default:
+      return ite(rand_pred(rng, depth - 1), rand_stateless(rng, depth - 1),
+                 rand_stateless(rng, depth - 1));
+  }
+}
+
+// Stateful random policy (semantic checks only).
+PolPtr rand_stateful(Rng& rng, int depth) {
+  if (depth <= 0 || rng.bernoulli(0.4)) {
+    switch (rng.uniform(0, 2)) {
+      case 0:
+        return sinc("gv" + std::to_string(rng.uniform(0, 1)),
+                    idx(kFields[rng.uniform(0, 2)]));
+      case 1:
+        return filter(stest("gv" + std::to_string(rng.uniform(0, 1)),
+                            idx(kFields[rng.uniform(0, 2)]),
+                            Expr::of_value(rng.uniform(0, 1))));
+      default:
+        return mod(kFields[rng.uniform(0, 2)], rng.uniform(0, 2));
+    }
+  }
+  return seq(rand_stateful(rng, depth - 1), rand_stateful(rng, depth - 1));
+}
+
+Packet rand_packet(Rng& rng) {
+  Packet p;
+  for (const char* f : kFields) p.set(f, rng.uniform(0, 2));
+  return p;
+}
+
+Store rand_store(Rng& rng) {
+  Store st;
+  for (int v = 0; v < 2; ++v) {
+    for (int i = 0; i < 2; ++i) {
+      st.set(state_var_id("gv" + std::to_string(v)),
+             {rng.uniform(0, 2)}, rng.uniform(0, 2));
+    }
+  }
+  return st;
+}
+
+// Semantic equivalence on random inputs; both sides must agree including
+// on whether they reject the input (races).
+void expect_sem_equal(const PolPtr& a, const PolPtr& b, Rng& rng,
+                      int probes = 8) {
+  for (int i = 0; i < probes; ++i) {
+    Packet pkt = rand_packet(rng);
+    Store st = rand_store(rng);
+    EvalResult ra, rb;
+    bool threw_a = false, threw_b = false;
+    try {
+      ra = eval(a, st, pkt);
+    } catch (const CompileError&) {
+      threw_a = true;
+    }
+    try {
+      rb = eval(b, st, pkt);
+    } catch (const CompileError&) {
+      threw_b = true;
+    }
+    ASSERT_EQ(threw_a, threw_b)
+        << "one side raced:\n" << to_string(a) << "\nvs\n" << to_string(b);
+    if (threw_a) continue;
+    ASSERT_EQ(ra.packets, rb.packets)
+        << to_string(a) << "\nvs\n" << to_string(b);
+    ASSERT_TRUE(ra.store == rb.store)
+        << to_string(a) << "\nvs\n" << to_string(b);
+  }
+}
+
+// Structural identity for stateless programs: same xFDD id.
+void expect_same_diagram(const PolPtr& a, const PolPtr& b) {
+  XfddStore s;
+  TestOrder order;
+  EXPECT_EQ(to_xfdd(s, order, a), to_xfdd(s, order, b))
+      << to_string(a) << "\nvs\n" << to_string(b);
+}
+
+class AlgebraLaws : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AlgebraLaws, ParallelIsCommutativeAndAssociative) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 15; ++i) {
+    PolPtr p = rand_stateless(rng, 2);
+    PolPtr q = rand_stateless(rng, 2);
+    PolPtr r = rand_stateless(rng, 2);
+    expect_same_diagram(p + q, q + p);
+    expect_same_diagram((p + q) + r, p + (q + r));
+    expect_sem_equal(p + q, q + p, rng, 4);
+  }
+}
+
+TEST_P(AlgebraLaws, SequentialIsAssociative) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 15; ++i) {
+    PolPtr p = rand_stateless(rng, 2);
+    PolPtr q = rand_stateless(rng, 2);
+    PolPtr r = rand_stateless(rng, 2);
+    expect_same_diagram(seq(seq(p, q), r), seq(p, seq(q, r)));
+  }
+  // And semantically, with state.
+  for (int i = 0; i < 10; ++i) {
+    PolPtr p = rand_stateful(rng, 1);
+    PolPtr q = rand_stateful(rng, 1);
+    PolPtr r = rand_stateful(rng, 1);
+    expect_sem_equal(seq(seq(p, q), r), seq(p, seq(q, r)), rng, 4);
+  }
+}
+
+TEST_P(AlgebraLaws, IdentityAndAnnihilator) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 15; ++i) {
+    PolPtr p = rand_stateless(rng, 2);
+    expect_same_diagram(seq(filter(id()), p), p);
+    expect_same_diagram(seq(p, filter(id())), p);
+    expect_same_diagram(seq(filter(drop()), p), filter(drop()));
+    expect_same_diagram(par(p, filter(drop())), p);
+  }
+  // drop after a stateful p retains p's writes — the annihilator law
+  // p; drop = drop holds only for stateless p (documented in DESIGN.md).
+  PolPtr w = sinc("gv0", idx("ga"));
+  Packet pkt{{"ga", 1}};
+  Store st;
+  auto r = eval(seq(w, filter(drop())), st, pkt);
+  EXPECT_TRUE(r.packets.empty());
+  EXPECT_EQ(r.store.get(state_var_id("gv0"), {1}), 1);
+}
+
+TEST_P(AlgebraLaws, ConditionalDesugaring) {
+  // if a then p else q  ==  (a; p) + (!a; q)
+  Rng rng(GetParam());
+  for (int i = 0; i < 15; ++i) {
+    PredPtr a = rand_pred(rng, 2);
+    PolPtr p = rand_stateless(rng, 2);
+    PolPtr q = rand_stateless(rng, 2);
+    expect_same_diagram(ite(a, p, q),
+                        par(seq(filter(a), p), seq(filter(lnot(a)), q)));
+  }
+}
+
+TEST_P(AlgebraLaws, SequentialDistributesOverParallelOnTheLeft) {
+  // (p + q); r == p;r + q;r for stateless programs (copies are
+  // independent). Right distribution r;(p+q) == r;p + r;q also holds
+  // statelessly.
+  Rng rng(GetParam());
+  for (int i = 0; i < 15; ++i) {
+    PolPtr p = rand_stateless(rng, 2);
+    PolPtr q = rand_stateless(rng, 2);
+    PolPtr r = rand_stateless(rng, 2);
+    expect_sem_equal(seq(par(p, q), r), par(seq(p, r), seq(q, r)), rng, 4);
+    expect_sem_equal(seq(r, par(p, q)), par(seq(r, p), seq(r, q)), rng, 4);
+  }
+}
+
+TEST_P(AlgebraLaws, PredicateBooleanAlgebra) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    PredPtr a = rand_pred(rng, 2);
+    PredPtr b = rand_pred(rng, 2);
+    // De Morgan holds semantically. (Not necessarily structurally: xFDDs
+    // are well-formed — ordered, contradiction-free — but not fully
+    // canonical, so the two sides may keep different redundant tests.)
+    expect_sem_equal(filter(lnot(land(a, b))),
+                     filter(lor(lnot(a), lnot(b))), rng, 5);
+    // Double negation and idempotence are structural: negation is a
+    // node-wise involution, and re-filtering resolves every test against
+    // the path context.
+    expect_same_diagram(filter(lnot(lnot(a))), filter(a));
+    expect_same_diagram(filter(land(a, a)), filter(a));
+    // Filters are idempotent policies: a; a == a.
+    expect_same_diagram(seq(filter(a), filter(a)), filter(a));
+    expect_sem_equal(filter(lor(a, a)), filter(a), rng, 5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraLaws,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace snap

@@ -1,0 +1,170 @@
+// State dependency analysis (§4.1) and packet-state mapping (§4.3).
+#include <gtest/gtest.h>
+
+#include "analysis/depgraph.h"
+#include "analysis/psmap.h"
+#include "xfdd/compose.h"
+
+namespace snap {
+namespace {
+
+using namespace snap::dsl;
+
+PolPtr dns_tunnel(Value threshold) {
+  auto dns = land(test_cidr("dstip", "10.0.6.0/24"), test("srcport", 53));
+  return ite(dns,
+             sset("a-orphan", idx("dstip", "dns.rdata"), lit(kTrue)) >>
+                 (sinc("a-susp", idx("dstip")) >>
+                  ite(stest("a-susp", idx("dstip"), lit(threshold)),
+                      sset("a-blacklist", idx("dstip"), lit(kTrue)),
+                      filter(id()))),
+             ite(land(test_cidr("srcip", "10.0.6.0/24"),
+                      stest("a-orphan", idx("srcip", "dstip"), lit(kTrue))),
+                 sset("a-orphan", idx("srcip", "dstip"), lit(kFalse)) >>
+                     sdec("a-susp", idx("srcip")),
+                 filter(id())));
+}
+
+TEST(DepGraph, DnsTunnelOrdering) {
+  auto g = DependencyGraph::build(dns_tunnel(2));
+  StateVarId orphan = state_var_id("a-orphan");
+  StateVarId susp = state_var_id("a-susp");
+  StateVarId blacklist = state_var_id("a-blacklist");
+  EXPECT_EQ(g.vars().size(), 3u);
+  // The paper: blacklist depends on susp-client, itself dependent on orphan.
+  EXPECT_LT(g.rank(orphan), g.rank(susp));
+  EXPECT_LT(g.rank(susp), g.rank(blacklist));
+  // Self-loops (orphan test guards orphan write) do not tie distinct vars.
+  EXPECT_TRUE(g.tied_pairs().empty());
+  auto deps = g.dep_pairs();
+  EXPECT_TRUE(std::count(deps.begin(), deps.end(),
+                         std::pair<StateVarId, StateVarId>(orphan, susp)));
+  EXPECT_TRUE(std::count(deps.begin(), deps.end(),
+                         std::pair<StateVarId, StateVarId>(susp, blacklist)));
+}
+
+TEST(DepGraph, ParallelIntroducesNoDependencies) {
+  auto p = par(sinc("b-x", idx("srcip")), sinc("b-y", idx("srcip")));
+  auto g = DependencyGraph::build(p);
+  EXPECT_TRUE(g.dep_pairs().empty());
+  EXPECT_TRUE(g.tied_pairs().empty());
+}
+
+TEST(DepGraph, SequentialReadThenWrite) {
+  auto p = filter(stest("c-r", idx("srcip"), lit(1))) >>
+           sset("c-w", idx("srcip"), lit(1));
+  auto g = DependencyGraph::build(p);
+  StateVarId r = state_var_id("c-r");
+  StateVarId w = state_var_id("c-w");
+  EXPECT_LT(g.rank(r), g.rank(w));
+}
+
+TEST(DepGraph, AtomicTiesVariables) {
+  auto p = atomic(sset("d-ip", idx("inport"), fld("srcip")) >>
+                  sset("d-port", idx("inport"), fld("dstport")));
+  auto g = DependencyGraph::build(p);
+  auto tied = g.tied_pairs();
+  ASSERT_EQ(tied.size(), 1u);
+  EXPECT_EQ(g.rank(state_var_id("d-ip")), g.rank(state_var_id("d-port")));
+}
+
+TEST(DepGraph, MutualDependencyFormsScc) {
+  // x read before y write, and y read before x write -> one SCC.
+  auto p = ite(stest("e-x", idx("a"), lit(1)), sinc("e-y", idx("a")),
+               filter(id())) >>
+           ite(stest("e-y", idx("a"), lit(1)), sinc("e-x", idx("a")),
+               filter(id()));
+  auto g = DependencyGraph::build(p);
+  EXPECT_EQ(g.component(state_var_id("e-x")),
+            g.component(state_var_id("e-y")));
+  EXPECT_FALSE(g.tied_pairs().empty());
+}
+
+TEST(DepGraph, TestOrderFollowsRanks) {
+  auto g = DependencyGraph::build(dns_tunnel(2));
+  TestOrder order = g.test_order();
+  TestState t_orphan{state_var_id("a-orphan"), dsl::idx("dstip"),
+                     Expr::of_value(1)};
+  TestState t_black{state_var_id("a-blacklist"), dsl::idx("dstip"),
+                    Expr::of_value(1)};
+  EXPECT_TRUE(order.before(snap::Test{t_orphan}, snap::Test{t_black}));
+  EXPECT_FALSE(order.before(snap::Test{t_black}, snap::Test{t_orphan}));
+}
+
+// ------------------------------------------------------------ psmap
+
+PolPtr assign_egress_2ports() {
+  return ite(test_cidr("dstip", "10.0.1.0/24"), mod("outport", 1),
+             ite(test_cidr("dstip", "10.0.2.0/24"), mod("outport", 2),
+                 filter(drop())));
+}
+
+TEST(PsMap, StatesMappedToEgressPorts) {
+  // Count packets toward port 1 only.
+  auto p = ite(test_cidr("dstip", "10.0.1.0/24"), sinc("f-cnt", idx("srcip")),
+               filter(id())) >>
+           assign_egress_2ports();
+  auto g = DependencyGraph::build(p);
+  TestOrder order = g.test_order();
+  XfddStore s;
+  XfddId d = to_xfdd(s, order, p);
+  auto map = packet_state_map(s, d, {1, 2}, order);
+  StateVarId cnt = state_var_id("f-cnt");
+  EXPECT_TRUE(map.all_vars.count(cnt));
+  // Flows to port 1 need the counter; flows to port 2 do not.
+  auto to1 = map.states_for(1, 1);
+  auto to1b = map.states_for(2, 1);
+  auto to2 = map.states_for(1, 2);
+  EXPECT_TRUE(std::count(to1b.begin(), to1b.end(), cnt));
+  EXPECT_TRUE(std::count(to1.begin(), to1.end(), cnt));
+  EXPECT_TRUE(to2.empty());
+}
+
+TEST(PsMap, InportTestsNarrowIngress) {
+  // Only packets entering at port 3 touch the state.
+  auto p = ite(test("inport", 3), sinc("g-cnt", idx("srcip")), filter(id())) >>
+           assign_egress_2ports();
+  auto g = DependencyGraph::build(p);
+  TestOrder order = g.test_order();
+  XfddStore s;
+  XfddId d = to_xfdd(s, order, p);
+  auto map = packet_state_map(s, d, {1, 2, 3}, order);
+  StateVarId cnt = state_var_id("g-cnt");
+  auto from3 = map.states_for(3, 1);
+  EXPECT_TRUE(std::count(from3.begin(), from3.end(), cnt));
+  EXPECT_TRUE(map.states_for(1, 2).empty());
+  EXPECT_TRUE(map.states_for(2, 1).empty());
+}
+
+TEST(PsMap, StateReadOnDropPathStillCounts) {
+  // A stateful firewall drop decision requires reaching the state.
+  auto p = ite(stest("h-est", idx("dstip", "srcip"), lit(kTrue)),
+               assign_egress_2ports(), filter(drop()));
+  auto g = DependencyGraph::build(p);
+  TestOrder order = g.test_order();
+  XfddStore s;
+  XfddId d = to_xfdd(s, order, p);
+  auto map = packet_state_map(s, d, {1, 2}, order);
+  StateVarId est = state_var_id("h-est");
+  // Both the pass (to each egress) and the drop path need the variable.
+  auto s12 = map.states_for(1, 2);
+  EXPECT_TRUE(std::count(s12.begin(), s12.end(), est));
+  EXPECT_TRUE(map.flow_states.count({1, kPortAny}));
+}
+
+TEST(PsMap, OrderedByDependencyRank) {
+  auto p = dns_tunnel(2) >> assign_egress_2ports();
+  auto g = DependencyGraph::build(p);
+  TestOrder order = g.test_order();
+  XfddStore s;
+  XfddId d = to_xfdd(s, order, p);
+  auto map = packet_state_map(s, d, {1, 2}, order);
+  for (const auto& [uv, states] : map.flow_states) {
+    for (std::size_t i = 0; i + 1 < states.size(); ++i) {
+      EXPECT_LE(order.state_rank(states[i]), order.state_rank(states[i + 1]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snap

@@ -1,0 +1,436 @@
+// Behavioral tests for every Table-3 application: each app's detection /
+// mitigation logic is exercised packet-by-packet through the eval oracle,
+// and every trace is replayed against the app's xFDD translation to confirm
+// the compiler preserves its semantics.
+#include <gtest/gtest.h>
+
+#include "analysis/depgraph.h"
+#include "apps/apps.h"
+#include "lang/eval.h"
+#include "util/status.h"
+#include "xfdd/compose.h"
+
+namespace snap {
+namespace {
+
+using namespace snap::dsl;
+
+constexpr Value kSyn = 2, kAck = 16, kFin = 1, kSynAck = 18, kFinAck = 17;
+constexpr Value kEstablished = 3, kClosed = 0;
+constexpr Value kTracked = 1, kSpammer = 2;
+constexpr Value kUdp = 17;
+
+Value ip(std::uint32_t a, std::uint32_t b, std::uint32_t c,
+         std::uint32_t d) {
+  return static_cast<Value>((a << 24) | (b << 16) | (c << 8) | d);
+}
+
+// Runs a trace through eval, asserting xFDD agreement at every step, and
+// returns the final store.
+Store run_trace(const PolPtr& p, const std::vector<Packet>& trace) {
+  DependencyGraph deps = DependencyGraph::build(p);
+  TestOrder order = deps.test_order();
+  XfddStore s;
+  XfddId d = to_xfdd(s, order, p);
+  Store st_eval, st_xfdd;
+  for (const Packet& pkt : trace) {
+    EvalResult r1 = eval(p, st_eval, pkt);
+    EvalResult r2 = eval_xfdd(s, d, st_xfdd, pkt);
+    EXPECT_EQ(r1.packets, r2.packets) << "xFDD diverged on " << pkt.to_string();
+    EXPECT_TRUE(r1.store == r2.store) << "state diverged on "
+                                      << pkt.to_string();
+    st_eval = r1.store;
+    st_xfdd = r2.store;
+  }
+  return st_eval;
+}
+
+// Number of packets the policy emits for `pkt` under `st`.
+std::size_t emits(const PolPtr& p, const Store& st, const Packet& pkt) {
+  return eval(p, st, pkt).packets.size();
+}
+
+TEST(Apps, RegistryCoversTable3) {
+  const auto& reg = apps::registry();
+  EXPECT_EQ(reg.size(), 20u);
+  std::set<std::string> sources;
+  for (const auto& a : reg) sources.insert(a.source);
+  EXPECT_TRUE(sources.count("Chimera"));
+  EXPECT_TRUE(sources.count("FAST"));
+  EXPECT_TRUE(sources.count("Bohatei"));
+  EXPECT_TRUE(sources.count("Others"));
+}
+
+TEST(Apps, AllAppsCompileToXfdd) {
+  for (const auto& app : apps::registry()) {
+    PolPtr p = app.build("t0." + app.name);
+    DependencyGraph deps = DependencyGraph::build(p);
+    TestOrder order = deps.test_order();
+    XfddStore s;
+    EXPECT_NO_THROW({
+      XfddId d = to_xfdd(s, order, p);
+      EXPECT_GT(s.reachable_size(d), 0u);
+    }) << app.name;
+  }
+}
+
+TEST(Apps, ManyIpDomains) {
+  auto p = apps::many_ip_domains("t1", 3);
+  Value bad_ip = ip(6, 6, 6, 6);
+  std::vector<Packet> trace;
+  for (int q = 1; q <= 3; ++q) {
+    trace.push_back(Packet{{"srcport", 53},
+                           {"dns.rdata", bad_ip},
+                           {"dns.qname", 1000 + q}});
+  }
+  // A repeated (ip, domain) pair must not count twice.
+  trace.push_back(Packet{{"srcport", 53},
+                         {"dns.rdata", bad_ip},
+                         {"dns.qname", 1001}});
+  Store st = run_trace(p, trace);
+  EXPECT_EQ(st.get(state_var_id("t1.num-of-domains"), {bad_ip}), 3);
+  EXPECT_EQ(st.get(state_var_id("t1.mal-ip-list"), {bad_ip}), kTrue);
+}
+
+TEST(Apps, ManyDomainIps) {
+  auto p = apps::many_domain_ips("t2", 2);
+  Value domain = 777;
+  Store st = run_trace(
+      p, {Packet{{"srcport", 53}, {"dns.qname", domain}, {"dns.rdata", 1}},
+          Packet{{"srcport", 53}, {"dns.qname", domain}, {"dns.rdata", 2}}});
+  EXPECT_EQ(st.get(state_var_id("t2.mal-domain-list"), {domain}), kTrue);
+  // Non-DNS traffic is untouched.
+  EXPECT_EQ(emits(p, st, Packet{{"srcport", 80}, {"dns.qname", domain}}), 1u);
+}
+
+TEST(Apps, DnsTtlChange) {
+  auto p = apps::dns_ttl_change("t3", 0);
+  Value host = ip(1, 2, 3, 4);
+  Store st = run_trace(
+      p, {Packet{{"srcport", 53}, {"dns.rdata", host}, {"dns.ttl", 300}},
+          Packet{{"srcport", 53}, {"dns.rdata", host}, {"dns.ttl", 300}},
+          Packet{{"srcport", 53}, {"dns.rdata", host}, {"dns.ttl", 60}},
+          Packet{{"srcport", 53}, {"dns.rdata", host}, {"dns.ttl", 30}}});
+  EXPECT_EQ(st.get(state_var_id("t3.ttl-change"), {host}), 2);
+  EXPECT_EQ(st.get(state_var_id("t3.last-ttl"), {host}), 30);
+}
+
+TEST(Apps, DnsTunnelDetect) {
+  auto p = apps::dns_tunnel_detect("t4", "10.0.6.0/24", 2);
+  Value client = ip(10, 0, 6, 50);
+  Store st = run_trace(
+      p,
+      {Packet{{"dstip", client}, {"srcport", 53}, {"dns.rdata", 91}},
+       Packet{{"dstip", client}, {"srcport", 53}, {"dns.rdata", 92}}});
+  EXPECT_EQ(st.get(state_var_id("t4.blacklist"), {client}), kTrue);
+  // A client that uses its resolutions is never blacklisted.
+  auto q = apps::dns_tunnel_detect("t4b", "10.0.6.0/24", 2);
+  Store st2 = run_trace(
+      q, {Packet{{"dstip", client}, {"srcport", 53}, {"dns.rdata", 91}},
+          Packet{{"srcip", client}, {"dstip", 91}, {"srcport", 1234}},
+          Packet{{"dstip", client}, {"srcport", 53}, {"dns.rdata", 92}}});
+  EXPECT_EQ(st2.get(state_var_id("t4b.blacklist"), {client}), kFalse);
+  EXPECT_EQ(st2.get(state_var_id("t4b.susp-client"), {client}), 1);
+}
+
+TEST(Apps, SidejackDetect) {
+  auto p = apps::sidejack_detect("t5", "10.0.6.10/32");
+  Value server = ip(10, 0, 6, 10);
+  Packet login{{"dstip", server}, {"sid", 42}, {"srcip", 1},
+               {"http.user-agent", 7}};
+  Store st = run_trace(p, {login});
+  // Same session from the same client+agent passes.
+  EXPECT_EQ(emits(p, st, login), 1u);
+  // Hijacker with a different source IP is dropped.
+  Packet hijack{{"dstip", server}, {"sid", 42}, {"srcip", 2},
+                {"http.user-agent", 7}};
+  EXPECT_EQ(emits(p, st, hijack), 0u);
+  // Different agent, same IP: also dropped.
+  Packet agent{{"dstip", server}, {"sid", 42}, {"srcip", 1},
+               {"http.user-agent", 8}};
+  EXPECT_EQ(emits(p, st, agent), 0u);
+  // Sessions with a null sid bypass the check.
+  Packet nosid{{"dstip", server}, {"sid", 0}, {"srcip", 2}};
+  EXPECT_EQ(emits(p, st, nosid), 1u);
+}
+
+TEST(Apps, SpamDetect) {
+  auto p = apps::spam_detect("t6", 3);
+  Value mta = 555;
+  std::vector<Packet> mails(3, Packet{{"smtp.MTA", mta}});
+  Store st = run_trace(p, mails);
+  EXPECT_EQ(st.get(state_var_id("t6.MTA-dir"), {mta}), kSpammer);
+  // A quieter MTA stays Tracked.
+  auto q = apps::spam_detect("t6b", 3);
+  Store st2 = run_trace(q, {Packet{{"smtp.MTA", mta}}});
+  EXPECT_EQ(st2.get(state_var_id("t6b.MTA-dir"), {mta}), kTracked);
+}
+
+TEST(Apps, StatefulFirewall) {
+  auto p = apps::stateful_firewall("t7", "10.0.6.0/24");
+  Value inside = ip(10, 0, 6, 5);
+  Value outside = ip(8, 8, 8, 8);
+  Store st;
+  // Unsolicited inbound: dropped.
+  EXPECT_EQ(emits(p, st, Packet{{"srcip", outside}, {"dstip", inside}}), 0u);
+  // Outbound opens the hole...
+  st = run_trace(p, {Packet{{"srcip", inside}, {"dstip", outside}}});
+  // ...and the response passes.
+  EXPECT_EQ(emits(p, st, Packet{{"srcip", outside}, {"dstip", inside}}), 1u);
+  // Unrelated outside pair still blocked.
+  EXPECT_EQ(emits(p, st, Packet{{"srcip", ip(9, 9, 9, 9)},
+                                {"dstip", inside}}),
+            0u);
+}
+
+TEST(Apps, FtpMonitoring) {
+  auto p = apps::ftp_monitoring("t8");
+  Value client = 100, server = 200, port = 3456;
+  Store st;
+  // Data connection before control announcement: dropped.
+  EXPECT_EQ(emits(p, st, Packet{{"srcip", server}, {"dstip", client},
+                                {"srcport", 20}, {"ftp.PORT", port}}),
+            0u);
+  st = run_trace(p, {Packet{{"srcip", client}, {"dstip", server},
+                            {"dstport", 21}, {"ftp.PORT", port}}});
+  EXPECT_EQ(emits(p, st, Packet{{"srcip", server}, {"dstip", client},
+                                {"srcport", 20}, {"ftp.PORT", port}}),
+            1u);
+}
+
+TEST(Apps, HeavyHitter) {
+  auto p = apps::heavy_hitter("t9", 3);
+  Value attacker = 13;
+  std::vector<Packet> syns(3, Packet{{"tcp.flags", kSyn},
+                                     {"srcip", attacker}});
+  Store st = run_trace(p, syns);
+  EXPECT_EQ(st.get(state_var_id("t9.heavy-hitter"), {attacker}), kTrue);
+  // Once flagged, the counter freezes (the guard fails).
+  Store st2 = eval(p, st, syns[0]).store;
+  EXPECT_EQ(st2.get(state_var_id("t9.hh-counter"), {attacker}), 3);
+}
+
+TEST(Apps, SuperSpreader) {
+  auto p = apps::super_spreader("t10", 2);
+  Value src = 77;
+  // SYN, SYN -> flagged at 2.
+  Store st = run_trace(p, {Packet{{"tcp.flags", kSyn}, {"srcip", src}},
+                           Packet{{"tcp.flags", kSyn}, {"srcip", src}}});
+  EXPECT_EQ(st.get(state_var_id("t10.super-spreader"), {src}), kTrue);
+  // FIN decrements: SYN, FIN, SYN never reaches 2.
+  auto q = apps::super_spreader("t10b", 2);
+  Store st2 = run_trace(q, {Packet{{"tcp.flags", kSyn}, {"srcip", src}},
+                            Packet{{"tcp.flags", kFin}, {"srcip", src}},
+                            Packet{{"tcp.flags", kSyn}, {"srcip", src}}});
+  EXPECT_EQ(st2.get(state_var_id("t10b.super-spreader"), {src}), kFalse);
+}
+
+TEST(Apps, SamplingByFlowSize) {
+  auto p = apps::sampling_by_flow_size("t11");
+  Packet flow{{"srcip", 1}, {"dstip", 2}, {"srcport", 3}, {"dstport", 4},
+              {"proto", 6}};
+  Store st;
+  int passed = 0;
+  for (int i = 0; i < 10; ++i) {
+    EvalResult r = eval(p, st, flow);
+    st = r.store;
+    passed += static_cast<int>(r.packets.size());
+  }
+  // A small flow is sampled 1-in-5: 10 packets -> 2 samples.
+  EXPECT_EQ(passed, 2);
+}
+
+TEST(Apps, SelectivePacketDropping) {
+  auto p = apps::selective_packet_dropping("t12");
+  Packet iframe{{"mpeg.frame-type", 1}, {"srcip", 1}, {"dstip", 2},
+                {"srcport", 3}, {"dstport", 4}};
+  Packet bframe{{"mpeg.frame-type", 2}, {"srcip", 1}, {"dstip", 2},
+                {"srcport", 3}, {"dstport", 4}};
+  Store st;
+  // Without a preceding I-frame the dependent frame is dropped.
+  EXPECT_EQ(emits(p, st, bframe), 0u);
+  st = run_trace(p, {iframe});
+  // After the I-frame, 14 dependent frames pass.
+  int passed = 0;
+  for (int i = 0; i < 16; ++i) {
+    EvalResult r = eval(p, st, bframe);
+    st = r.store;
+    passed += static_cast<int>(r.packets.size());
+  }
+  EXPECT_EQ(passed, 14);
+}
+
+TEST(Apps, ConnectionAffinity) {
+  auto lb = mod("outport", 9);
+  auto p = apps::connection_affinity("t13", lb);
+  Packet pkt{{"srcip", 1}, {"dstip", 2}, {"srcport", 3}, {"dstport", 4},
+             {"proto", 6}};
+  Store st;
+  // New connection: load balancer not applied (id).
+  auto r = eval(p, st, pkt);
+  EXPECT_FALSE(r.packets.begin()->get("outport").has_value());
+  // Established (either direction): the sticky choice applies.
+  st.set(state_var_id("t13.tcp-state"), {1, 2, 3, 4, 6}, kEstablished);
+  r = eval(p, st, pkt);
+  EXPECT_EQ(r.packets.begin()->get("outport"), 9);
+}
+
+TEST(Apps, SynFloodDetect) {
+  auto p = apps::syn_flood_detect("t14", 2);
+  Value src = 31;
+  // Two SYNs, no ACK: flagged.
+  Store st = run_trace(p, {Packet{{"tcp.flags", kSyn}, {"srcip", src}},
+                           Packet{{"tcp.flags", kSyn}, {"srcip", src}}});
+  EXPECT_EQ(st.get(state_var_id("t14.syn-flooder"), {src}), kTrue);
+  // Completed handshakes balance out.
+  auto q = apps::syn_flood_detect("t14b", 2);
+  Store st2 = run_trace(q, {Packet{{"tcp.flags", kSyn}, {"srcip", src}},
+                            Packet{{"tcp.flags", kAck}, {"srcip", src}},
+                            Packet{{"tcp.flags", kSyn}, {"srcip", src}}});
+  EXPECT_EQ(st2.get(state_var_id("t14b.syn-flooder"), {src}), kFalse);
+}
+
+TEST(Apps, DnsAmplification) {
+  auto p = apps::dns_amplification("t15");
+  Value victim = 50, resolver = 60;
+  Store st;
+  // Unsolicited DNS response to the victim: dropped.
+  EXPECT_EQ(emits(p, st, Packet{{"srcip", resolver}, {"dstip", victim},
+                                {"srcport", 53}}),
+            0u);
+  // After a genuine request, the response passes.
+  st = run_trace(p, {Packet{{"srcip", victim}, {"dstip", resolver},
+                            {"dstport", 53}}});
+  EXPECT_EQ(emits(p, st, Packet{{"srcip", resolver}, {"dstip", victim},
+                                {"srcport", 53}}),
+            1u);
+}
+
+TEST(Apps, UdpFlood) {
+  auto p = apps::udp_flood("t16", 3);
+  Value src = 99;
+  Packet udp{{"proto", kUdp}, {"srcip", src}};
+  Store st;
+  int passed = 0;
+  for (int i = 0; i < 3; ++i) {
+    EvalResult r = eval(p, st, udp);
+    st = r.store;
+    passed += static_cast<int>(r.packets.size());
+  }
+  // The threshold-hitting packet is dropped and the source flagged.
+  EXPECT_EQ(passed, 2);
+  EXPECT_EQ(st.get(state_var_id("t16.udp-flooder"), {src}), kTrue);
+  // Non-UDP traffic is unaffected.
+  EXPECT_EQ(emits(p, st, Packet{{"proto", 6}, {"srcip", src}}), 1u);
+}
+
+TEST(Apps, ElephantFlows) {
+  auto p = apps::elephant_flows("t17");
+  Packet flow{{"srcip", 1}, {"dstip", 2}, {"srcport", 3}, {"dstport", 4},
+              {"proto", 6}};
+  Store st;
+  // Large-flow sampling keeps one packet in 500.
+  int passed = 0;
+  for (int i = 0; i < 500; ++i) {
+    EvalResult r = eval(p, st, flow);
+    st = r.store;
+    passed += static_cast<int>(r.packets.size());
+  }
+  EXPECT_EQ(passed, 1);
+  EXPECT_EQ(st.get(state_var_id("t17.flow-size"), {1, 2, 3, 4, 6}), 500);
+}
+
+TEST(Apps, TcpStateMachine) {
+  auto p = apps::tcp_state_machine("t18");
+  StateVarId st_var = state_var_id("t18.tcp-state");
+  ValueVec fwd{1, 2, 10, 80, 6};  // client -> server
+  // Handshake: client SYN, server SYN-ACK, client ACK.
+  Packet syn{{"srcip", 1}, {"dstip", 2}, {"srcport", 10}, {"dstport", 80},
+             {"proto", 6}, {"tcp.flags", kSyn}};
+  Packet synack{{"srcip", 2}, {"dstip", 1}, {"srcport", 80}, {"dstport", 10},
+                {"proto", 6}, {"tcp.flags", kSynAck}};
+  Packet ack{{"srcip", 1}, {"dstip", 2}, {"srcport", 10}, {"dstport", 80},
+             {"proto", 6}, {"tcp.flags", kAck}};
+  Store st = run_trace(p, {syn, synack, ack});
+  EXPECT_EQ(st.get(st_var, fwd), kEstablished);
+  // Teardown: FIN, FIN-ACK, ACK back to closed.
+  Packet fin = syn;
+  fin.set("tcp.flags", kFin);
+  Packet finack = synack;
+  finack.set("tcp.flags", kFinAck);
+  st = run_trace(p, {syn, synack, ack, fin, finack, ack});
+  EXPECT_EQ(st.get(st_var, fwd), kClosed);
+}
+
+TEST(Apps, SnortFlowbits) {
+  auto p = apps::snort_flowbits("t19", "10.0.0.0/8", "128.0.0.0/8", 7);
+  Packet kindle{{"srcip", ip(10, 1, 1, 1)}, {"dstip", ip(128, 1, 1, 1)},
+                {"srcport", 1000}, {"dstport", 80}, {"proto", 6},
+                {"content", 7}};
+  Store st;
+  // Not established: no flowbit.
+  st = eval(p, st, kindle).store;
+  EXPECT_EQ(st.get(state_var_id("t19.kindle"),
+                   {ip(10, 1, 1, 1), ip(128, 1, 1, 1), 1000, 80, 6}),
+            kFalse);
+  // Established flow with matching content sets the bit.
+  st.set(state_var_id("t19.established"),
+         {ip(10, 1, 1, 1), ip(128, 1, 1, 1), 1000, 80, 6}, kTrue);
+  st = eval(p, st, kindle).store;
+  EXPECT_EQ(st.get(state_var_id("t19.kindle"),
+                   {ip(10, 1, 1, 1), ip(128, 1, 1, 1), 1000, 80, 6}),
+            kTrue);
+}
+
+TEST(Apps, PerPortCounter) {
+  auto p = apps::per_port_counter("t20");
+  Store st = run_trace(p, {Packet{{"inport", 1}}, Packet{{"inport", 1}},
+                           Packet{{"inport", 4}}});
+  EXPECT_EQ(st.get(state_var_id("t20.count"), {1}), 2);
+  EXPECT_EQ(st.get(state_var_id("t20.count"), {4}), 1);
+}
+
+TEST(Apps, AssignEgressAndAssumption) {
+  auto egress = apps::assign_egress({{"10.0.1.0/24", 1}, {"10.0.2.0/24", 2}});
+  Store st;
+  auto r = eval(egress, st, Packet{{"dstip", ip(10, 0, 2, 7)}});
+  ASSERT_EQ(r.packets.size(), 1u);
+  EXPECT_EQ(r.packets.begin()->get("outport"), 2);
+  EXPECT_TRUE(eval(egress, st, Packet{{"dstip", ip(10, 0, 9, 7)}})
+                  .packets.empty());
+
+  auto assume = apps::assumption({{"10.0.1.0/24", 1}, {"10.0.2.0/24", 2}});
+  EXPECT_TRUE(eval_pred(assume, st,
+                        Packet{{"srcip", ip(10, 0, 1, 5)}, {"inport", 1}})
+                  .pass);
+  EXPECT_FALSE(eval_pred(assume, st,
+                         Packet{{"srcip", ip(10, 0, 1, 5)}, {"inport", 2}})
+                   .pass);
+}
+
+TEST(Apps, ParallelCompositionOfAllAppsIsRaceFree) {
+  // The Figure-11 experiment composes the whole suite in parallel, each
+  // component guarded to a separate egress's traffic (unguarded, the
+  // product of all test spaces makes the diagram blow up — which is
+  // exactly why the paper scopes each policy to its own traffic).
+  // Distinct prefixes keep state disjoint, so this must compile.
+  const auto& reg = apps::registry();
+  PolPtr all;
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    std::string subnet = "10.0." + std::to_string(i + 1) + ".0/24";
+    PolPtr guarded =
+        ite(test_cidr("dstip", subnet),
+            reg[i].build("pc" + std::to_string(i) + "." + reg[i].name),
+            filter(id()));
+    all = all ? all + guarded : guarded;
+  }
+  DependencyGraph deps = DependencyGraph::build(all);
+  TestOrder order = deps.test_order();
+  XfddStore s;
+  XfddId d = 0;
+  EXPECT_NO_THROW(d = to_xfdd(s, order, all));
+  EXPECT_GT(s.reachable_size(d), 100u);
+}
+
+}  // namespace
+}  // namespace snap

@@ -1,0 +1,183 @@
+// The end-to-end compiler pipeline: phase composition (Table 4), solver
+// selection, TE re-optimization, and full OBS-to-dataplane integration.
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "compiler/pipeline.h"
+#include "dataplane/network.h"
+#include "lang/eval.h"
+#include "topo/gen.h"
+
+namespace snap {
+namespace {
+
+using namespace snap::dsl;
+
+Value ip(std::uint32_t a, std::uint32_t b, std::uint32_t c,
+         std::uint32_t d) {
+  return static_cast<Value>((a << 24) | (b << 16) | (c << 8) | d);
+}
+
+PolPtr figure2_program(const std::string& prefix) {
+  std::vector<std::pair<std::string, PortId>> subnets;
+  for (int i = 1; i <= 6; ++i) {
+    subnets.emplace_back("10.0." + std::to_string(i) + ".0/24", i);
+  }
+  return filter(apps::assumption(subnets)) >>
+         (apps::dns_tunnel_detect(prefix, "10.0.6.0/24", 2) >>
+          apps::assign_egress(subnets));
+}
+
+TEST(Pipeline, ColdStartRunsAllPhases) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 20.0, 1);
+  Compiler compiler(topo, tm);
+  CompileResult r = compiler.compile(figure2_program("cc1"));
+  EXPECT_GT(r.xfdd_nodes, 5u);
+  EXPECT_FALSE(r.psmap.all_vars.empty());
+  EXPECT_EQ(r.pr.placement.switch_of.size(), 3u);
+  EXPECT_GT(r.path_rules, 0u);
+  EXPECT_EQ(r.slices.size(), static_cast<std::size_t>(topo.num_switches()));
+  // Phase times are populated and compose per Table 4.
+  EXPECT_GT(r.times.cold_start(), 0.0);
+  EXPECT_LE(r.times.policy_change(), r.times.cold_start());
+  EXPECT_NEAR(r.times.cold_start() - r.times.policy_change(),
+              r.times.p4_model, 1e-12);
+}
+
+TEST(Pipeline, DnsTunnelStateLandsAtCsEdge) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 20.0, 2);
+  Compiler compiler(topo, tm);
+  CompileResult r = compiler.compile(figure2_program("cc2"));
+  // §2.2: the optimal location for all three variables is D4 (switch 5).
+  EXPECT_EQ(r.pr.placement.at(state_var_id("cc2.orphan")), 5);
+  EXPECT_EQ(r.pr.placement.at(state_var_id("cc2.susp-client")), 5);
+  EXPECT_EQ(r.pr.placement.at(state_var_id("cc2.blacklist")), 5);
+}
+
+TEST(Pipeline, TeReoptimizationKeepsPlacementAndIsFaster) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 20.0, 3);
+  Compiler compiler(topo, tm);
+  CompileResult r = compiler.compile(figure2_program("cc3"));
+  Placement before = r.pr.placement;
+
+  TrafficMatrix shifted = gravity_traffic(topo, 20.0, 33);
+  PhaseTimes te = compiler.reoptimize_te(r, shifted);
+  EXPECT_EQ(r.pr.placement.switch_of, before.switch_of);
+  EXPECT_GT(te.p5_solve_te, 0.0);
+  EXPECT_GT(te.topo_change(), 0.0);
+  // TE must not run the analysis phases.
+  EXPECT_EQ(te.p1_dependency, 0.0);
+  EXPECT_EQ(te.p2_xfdd, 0.0);
+}
+
+TEST(Pipeline, ExactSolverChosenForTinyInstances) {
+  Topology topo("pair", 2);
+  topo.add_duplex(0, 1, 10);
+  topo.attach_port(1, 0);
+  topo.attach_port(2, 1);
+  TrafficMatrix tm;
+  tm.set_demand(1, 2, 1.0);
+  tm.set_demand(2, 1, 1.0);
+  auto prog = sinc("cc4.cnt", idx("inport")) >>
+              apps::assign_egress({{"10.0.1.0/24", 1}, {"10.0.2.0/24", 2}});
+  Compiler compiler(topo, tm);
+  CompileResult r = compiler.compile(prog);
+  EXPECT_TRUE(r.used_exact_milp);
+  EXPECT_GE(r.pr.placement.at(state_var_id("cc4.cnt")), 0);
+}
+
+TEST(Pipeline, ScalableSolverChosenForLargeInstances) {
+  Topology topo = make_igen(60, 9);
+  TrafficMatrix tm = gravity_traffic(topo, 10.0, 4);
+  auto subnets = apps::default_subnets(topo.ports());
+  auto prog = apps::heavy_hitter("cc5", 5) >> apps::assign_egress(subnets);
+  Compiler compiler(topo, tm);
+  CompileResult r = compiler.compile(prog);
+  EXPECT_FALSE(r.used_exact_milp);
+  EXPECT_GE(r.pr.placement.at(state_var_id("cc5.heavy-hitter")), 0);
+}
+
+TEST(Pipeline, CompiledNetworkDetectsDnsTunnel) {
+  // Full integration: compile, deploy, attack, observe blacklisting and
+  // subsequent state on the data plane.
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 20.0, 5);
+  Compiler compiler(topo, tm);
+  PolPtr prog = figure2_program("cc6");
+  CompileResult r = compiler.compile(prog);
+  Network net(topo, *r.store, r.root, r.pr.placement, r.pr.routing, r.order);
+
+  Value client = ip(10, 0, 6, 50);
+  auto dns_response = [&](Value rdata) {
+    return Packet{{"srcip", ip(10, 0, 1, 9)}, {"dstip", client},
+                  {"srcport", 53}, {"dns.rdata", rdata}, {"inport", 1}};
+  };
+  // Two unused resolutions: delivered to port 6, then client blacklisted.
+  auto d1 = net.inject(1, dns_response(ip(10, 0, 2, 1)));
+  ASSERT_EQ(d1.size(), 1u);
+  EXPECT_EQ(d1[0].outport, 6);
+  net.inject(1, dns_response(ip(10, 0, 2, 2)));
+
+  StateVarId blacklist = state_var_id("cc6.blacklist");
+  int owner = r.pr.placement.at(blacklist);
+  EXPECT_EQ(net.switch_at(owner).state().get(blacklist, {client}), kTrue);
+
+  // Lock-step with the oracle across the attack trace.
+  Store oracle;
+  Network net2(topo, *r.store, r.root, r.pr.placement, r.pr.routing,
+               r.order);
+  for (int i = 0; i < 4; ++i) {
+    Packet pkt = dns_response(ip(10, 0, 2, static_cast<std::uint32_t>(i)));
+    oracle = eval(prog, oracle, pkt).store;
+    net2.inject(1, pkt);
+    EXPECT_TRUE(net2.merged_state() == oracle);
+  }
+}
+
+TEST(Pipeline, AllTable3AppsCompileOnCampus) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 20.0, 6);
+  std::vector<std::pair<std::string, PortId>> subnets;
+  for (int i = 1; i <= 6; ++i) {
+    subnets.emplace_back("10.0." + std::to_string(i) + ".0/24", i);
+  }
+  for (const auto& app : apps::registry()) {
+    Compiler compiler(topo, tm);
+    PolPtr prog =
+        app.build("ct." + app.name) >> apps::assign_egress(subnets);
+    CompileResult r;
+    ASSERT_NO_THROW(r = compiler.compile(prog)) << app.name;
+    // Every state variable must be placed.
+    for (StateVarId v : r.psmap.all_vars) {
+      EXPECT_GE(r.pr.placement.at(v), 0) << app.name;
+    }
+  }
+}
+
+TEST(Pipeline, IncrementalParallelCompositionScales) {
+  // Figure-11 shape: compose more and more apps; compilation stays
+  // functional and xFDD size grows monotonically.
+  Topology topo = make_igen(20, 12);
+  TrafficMatrix tm = gravity_traffic(topo, 5.0, 7);
+  auto subnets = apps::default_subnets(topo.ports());
+  const auto& reg = apps::registry();
+  PolPtr composed;
+  std::size_t last_nodes = 0;
+  for (std::size_t k = 0; k < 6; ++k) {
+    PolPtr guarded = dsl::ite(
+        dsl::test_cidr("dstip", subnets[k % subnets.size()].first),
+        reg[k].build("inc" + std::to_string(k)), dsl::filter(dsl::id()));
+    composed = composed ? composed + guarded : guarded;
+    Compiler compiler(topo, tm);
+    CompileResult r =
+        compiler.compile(composed >> apps::assign_egress(subnets));
+    EXPECT_GE(r.xfdd_nodes, last_nodes) << "k=" << k;
+    last_nodes = r.xfdd_nodes;
+  }
+}
+
+}  // namespace
+}  // namespace snap

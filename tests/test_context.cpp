@@ -1,0 +1,164 @@
+// Direct tests of the composition path-context (xfdd/context.h): field
+// facts, CIDR prefix reasoning, equality classes, and state-test facts.
+#include <gtest/gtest.h>
+
+#include "xfdd/context.h"
+
+namespace snap {
+namespace {
+
+Value ip(std::uint32_t a, std::uint32_t b, std::uint32_t c,
+         std::uint32_t d) {
+  return static_cast<Value>((a << 24) | (b << 16) | (c << 8) | d);
+}
+
+snap::Test fv(const char* f, Value v) {
+  return TestFV{field_id(f), v, kExactMatch};
+}
+
+snap::Test prefix(const char* f, Value v, int len) {
+  return TestFV{field_id(f), v, len};
+}
+
+TEST(Context, ExactValueDecidesTests) {
+  Context ctx = Context().with(fv("cx-a", 5), true);
+  EXPECT_EQ(ctx.implies(fv("cx-a", 5)), std::optional<bool>(true));
+  EXPECT_EQ(ctx.implies(fv("cx-a", 6)), std::optional<bool>(false));
+  EXPECT_EQ(ctx.implies(fv("cx-b", 5)), std::nullopt);
+}
+
+TEST(Context, ExcludedValuesOnlyRefute) {
+  Context ctx = Context().with(fv("cx-c", 5), false);
+  EXPECT_EQ(ctx.implies(fv("cx-c", 5)), std::optional<bool>(false));
+  EXPECT_EQ(ctx.implies(fv("cx-c", 6)), std::nullopt);
+}
+
+TEST(Context, PrefixContainment) {
+  // dstip in 10.0.6.0/24 ...
+  Context ctx =
+      Context().with(prefix("cx-ip", ip(10, 0, 6, 0), 24), true);
+  // ... implies membership in the wider /16 and /8.
+  EXPECT_EQ(ctx.implies(prefix("cx-ip", ip(10, 0, 0, 0), 16)),
+            std::optional<bool>(true));
+  EXPECT_EQ(ctx.implies(prefix("cx-ip", ip(10, 0, 0, 0), 8)),
+            std::optional<bool>(true));
+  // ... refutes disjoint prefixes.
+  EXPECT_EQ(ctx.implies(prefix("cx-ip", ip(10, 0, 7, 0), 24)),
+            std::optional<bool>(false));
+  EXPECT_EQ(ctx.implies(prefix("cx-ip", ip(192, 168, 0, 0), 16)),
+            std::optional<bool>(false));
+  // ... says nothing about narrower prefixes.
+  EXPECT_EQ(ctx.implies(prefix("cx-ip", ip(10, 0, 6, 0), 25)),
+            std::nullopt);
+  // Exact values outside the prefix are refuted.
+  EXPECT_EQ(ctx.implies(fv("cx-ip", ip(10, 0, 7, 1))),
+            std::optional<bool>(false));
+  EXPECT_EQ(ctx.implies(fv("cx-ip", ip(10, 0, 6, 1))), std::nullopt);
+}
+
+TEST(Context, NegativePrefixFacts) {
+  Context ctx =
+      Context().with(prefix("cx-np", ip(10, 0, 0, 0), 8), false);
+  // Anything inside the refuted /8 is false.
+  EXPECT_EQ(ctx.implies(prefix("cx-np", ip(10, 0, 6, 0), 24)),
+            std::optional<bool>(false));
+  EXPECT_EQ(ctx.implies(fv("cx-np", ip(10, 1, 2, 3))),
+            std::optional<bool>(false));
+  EXPECT_EQ(ctx.implies(fv("cx-np", ip(11, 1, 2, 3))), std::nullopt);
+}
+
+TEST(Context, EqualityClassesPropagateValues) {
+  FieldId a = field_id("cx-e1");
+  FieldId b = field_id("cx-e2");
+  FieldId c = field_id("cx-e3");
+  Context ctx = Context()
+                    .with(make_ff(a, b), true)
+                    .with(make_ff(b, c), true)
+                    .with(fv("cx-e3", 9), true);
+  // Transitively, e1 = 9.
+  EXPECT_EQ(ctx.implies(fv("cx-e1", 9)), std::optional<bool>(true));
+  EXPECT_EQ(ctx.implies(fv("cx-e1", 8)), std::optional<bool>(false));
+  EXPECT_TRUE(ctx.known_equal(a, c));
+  EXPECT_EQ(ctx.field_value(a), std::optional<Value>(9));
+}
+
+TEST(Context, InequalityRefutesFieldField) {
+  FieldId a = field_id("cx-n1");
+  FieldId b = field_id("cx-n2");
+  Context ctx = Context().with(make_ff(a, b), false);
+  EXPECT_EQ(ctx.implies(make_ff(a, b)), std::optional<bool>(false));
+  FieldId c = field_id("cx-n3");
+  EXPECT_EQ(ctx.implies(make_ff(a, c)), std::nullopt);
+}
+
+TEST(Context, DistinctValuesImplyFieldInequality) {
+  Context ctx = Context()
+                    .with(fv("cx-d1", 1), true)
+                    .with(fv("cx-d2", 2), true);
+  EXPECT_EQ(ctx.implies(make_ff(field_id("cx-d1"), field_id("cx-d2"))),
+            std::optional<bool>(false));
+  Context ctx2 = Context()
+                     .with(fv("cx-d3", 4), true)
+                     .with(fv("cx-d4", 4), true);
+  EXPECT_EQ(ctx2.implies(make_ff(field_id("cx-d3"), field_id("cx-d4"))),
+            std::optional<bool>(true));
+}
+
+TEST(Context, DisjointPrefixesImplyFieldInequality) {
+  FieldId a = field_id("cx-p1");
+  FieldId b = field_id("cx-p2");
+  Context ctx = Context()
+                    .with(prefix("cx-p1", ip(10, 0, 0, 0), 8), true)
+                    .with(prefix("cx-p2", ip(192, 168, 0, 0), 16), true);
+  EXPECT_EQ(ctx.implies(make_ff(a, b)), std::optional<bool>(false));
+}
+
+TEST(Context, StateFactsRecordedStructurally) {
+  StateVarId s = state_var_id("cx-s");
+  TestState t{s, Expr::of_field("cx-f"), Expr::of_value(1)};
+  Context ctx = Context().with(snap::Test{t}, true);
+  EXPECT_EQ(ctx.implies(snap::Test{t}), std::optional<bool>(true));
+  // Same index, different constant value: refuted.
+  TestState t2{s, Expr::of_field("cx-f"), Expr::of_value(2)};
+  EXPECT_EQ(ctx.implies(snap::Test{t2}), std::optional<bool>(false));
+  // Different index expression: unknown.
+  TestState t3{s, Expr::of_field("cx-g"), Expr::of_value(1)};
+  EXPECT_EQ(ctx.implies(snap::Test{t3}), std::nullopt);
+}
+
+TEST(Context, StateFactsNormalizeThroughKnownValues) {
+  StateVarId s = state_var_id("cx-s2");
+  // Knowing f = 7 makes s[f]=1 and s[7]=1 the same fact.
+  Context ctx = Context().with(fv("cx-h", 7), true);
+  TestState by_field{s, Expr::of_field("cx-h"), Expr::of_value(1)};
+  TestState by_value{s, Expr::of_value(7), Expr::of_value(1)};
+  ctx = ctx.with(snap::Test{by_field}, true);
+  EXPECT_EQ(ctx.implies(snap::Test{by_value}), std::optional<bool>(true));
+}
+
+// Parameterized sweep: for every prefix length, a true /len fact implies
+// all shorter (wider) prefixes with the same masked bits and refutes the
+// sibling prefix at the same length.
+class PrefixSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixSweep, ContainmentAndSiblingExclusion) {
+  int len = GetParam();
+  Value base = ip(10, 32, 16, 8) &
+               static_cast<Value>(~((1ull << (32 - len)) - 1));
+  Context ctx = Context().with(prefix("cx-sweep", base, len), true);
+  for (int wider = 1; wider < len; ++wider) {
+    EXPECT_EQ(ctx.implies(prefix("cx-sweep", base, wider)),
+              std::optional<bool>(true))
+        << "len=" << len << " wider=" << wider;
+  }
+  // The sibling flips the last prefix bit: disjoint, hence false.
+  Value sibling = base ^ (1ll << (32 - len));
+  EXPECT_EQ(ctx.implies(prefix("cx-sweep", sibling, len)),
+            std::optional<bool>(false));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLengths, PrefixSweep,
+                         ::testing::Values(1, 4, 8, 12, 16, 20, 24, 28, 31));
+
+}  // namespace
+}  // namespace snap

@@ -1,0 +1,262 @@
+// Tests of the Appendix-A eval semantics: predicates, state operations,
+// composition, conflicts, and the DNS-tunnel-detect example of Figure 1.
+#include <gtest/gtest.h>
+
+#include "lang/eval.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace snap {
+namespace {
+
+using namespace snap::dsl;
+
+Value ip(const std::string& s) {
+  return static_cast<Value>(ipv4_from_string(s));
+}
+
+TEST(Eval, IdAndDrop) {
+  Packet p{{"srcip", 1}};
+  Store st;
+  auto r = eval(filter(id()), st, p);
+  EXPECT_EQ(r.packets.size(), 1u);
+  auto r2 = eval(filter(drop()), st, p);
+  EXPECT_TRUE(r2.packets.empty());
+}
+
+TEST(Eval, FieldTestExactAndPrefix) {
+  Packet p{{"dstip", ip("10.0.6.99")}};
+  Store st;
+  EXPECT_EQ(eval(filter(test("dstip", ip("10.0.6.99"))), st, p).packets.size(),
+            1u);
+  EXPECT_TRUE(
+      eval(filter(test("dstip", ip("10.0.6.98"))), st, p).packets.empty());
+  EXPECT_EQ(
+      eval(filter(test_cidr("dstip", "10.0.6.0/24")), st, p).packets.size(),
+      1u);
+  EXPECT_TRUE(
+      eval(filter(test_cidr("dstip", "10.0.7.0/24")), st, p).packets.empty());
+}
+
+TEST(Eval, TestOnAbsentFieldFails) {
+  Packet p;
+  Store st;
+  EXPECT_TRUE(eval(filter(test("dstip", 5)), st, p).packets.empty());
+  // Negation of a failing test passes.
+  EXPECT_EQ(eval(filter(lnot(test("dstip", 5))), st, p).packets.size(), 1u);
+}
+
+TEST(Eval, BooleanConnectives) {
+  Packet p{{"a", 1}, {"b", 2}};
+  Store st;
+  auto t = [&](PredPtr x) { return !eval(filter(x), st, p).packets.empty(); };
+  EXPECT_TRUE(t(land(test("a", 1), test("b", 2))));
+  EXPECT_FALSE(t(land(test("a", 1), test("b", 3))));
+  EXPECT_TRUE(t(lor(test("a", 9), test("b", 2))));
+  EXPECT_FALSE(t(lor(test("a", 9), test("b", 9))));
+  EXPECT_TRUE(t(lnot(test("a", 9))));
+}
+
+TEST(Eval, StateTestReadsStore) {
+  Packet p{{"srcip", 7}};
+  Store st;
+  st.set(state_var_id("seen"), {7}, kTrue);
+  auto pass = eval(filter(stest("seen", idx("srcip"), lit(kTrue))), st, p);
+  EXPECT_EQ(pass.packets.size(), 1u);
+  EXPECT_TRUE(pass.log.reads.count(state_var_id("seen")));
+
+  Packet q{{"srcip", 8}};
+  auto fail = eval(filter(stest("seen", idx("srcip"), lit(kTrue))), st, q);
+  EXPECT_TRUE(fail.packets.empty());
+}
+
+TEST(Eval, StateSetIncDec) {
+  Packet p{{"srcip", 7}};
+  Store st;
+  StateVarId c = state_var_id("counter");
+  auto r1 = eval(sinc("counter", idx("srcip")), st, p);
+  EXPECT_EQ(r1.store.get(c, {7}), 1);
+  EXPECT_TRUE(r1.log.writes.count(c));
+  auto r2 = eval(sinc("counter", idx("srcip")), r1.store, p);
+  EXPECT_EQ(r2.store.get(c, {7}), 2);
+  auto r3 = eval(sdec("counter", idx("srcip")), r2.store, p);
+  EXPECT_EQ(r3.store.get(c, {7}), 1);
+  auto r4 = eval(sset("counter", idx("srcip"), lit(99)), r3.store, p);
+  EXPECT_EQ(r4.store.get(c, {7}), 99);
+}
+
+TEST(Eval, StateUpdateOnAbsentFieldThrows) {
+  Packet p;  // no srcip
+  Store st;
+  EXPECT_THROW(eval(sinc("counter", idx("srcip")), st, p), CompileError);
+}
+
+TEST(Eval, SequentialThreadsStateAndPackets) {
+  Packet p{{"srcip", 7}};
+  Store st;
+  StateVarId c = state_var_id("c2");
+  auto prog = sinc("c2", idx("srcip")) >>
+              ite(stest("c2", idx("srcip"), lit(1)), mod("outport", 1),
+                  mod("outport", 2));
+  auto r = eval(prog, st, p);
+  EXPECT_EQ(r.store.get(c, {7}), 1);
+  ASSERT_EQ(r.packets.size(), 1u);
+  EXPECT_EQ(r.packets.begin()->get("outport"), 1);
+}
+
+TEST(Eval, ParallelCopiesPackets) {
+  Packet p{{"srcip", 7}};
+  Store st;
+  auto prog = mod("outport", 1) + mod("outport", 2);
+  auto r = eval(prog, st, p);
+  EXPECT_EQ(r.packets.size(), 2u);
+}
+
+TEST(Eval, ConsistentLogRule) {
+  // The paper's literal consistency rule on logs (Appendix A).
+  StateVarId s = state_var_id("log-s");
+  StateVarId t = state_var_id("log-t");
+  Log reads_s, writes_s, writes_t;
+  reads_s.add_read(s);
+  writes_s.add_write(s);
+  writes_t.add_write(t);
+  EXPECT_FALSE(consistent(reads_s, writes_s));
+  EXPECT_FALSE(consistent(writes_s, writes_s));
+  EXPECT_TRUE(consistent(reads_s, writes_t));
+  EXPECT_TRUE(consistent(reads_s, reads_s));
+  EXPECT_TRUE(consistent(Log{}, writes_s));
+}
+
+TEST(Eval, ParallelReadWriteConflictThrows) {
+  Packet p{{"srcip", 7}};
+  Store st;
+  auto prog = par(filter(stest("rw", idx("srcip"), lit(kTrue))),
+                  sset("rw", idx("srcip"), lit(kTrue)));
+  EXPECT_THROW(eval(prog, st, p), CompileError);
+}
+
+TEST(Eval, ParallelDivergentWritesThrow) {
+  Packet p{{"srcip", 7}};
+  Store st;
+  auto prog = par(sset("ww", idx("srcip"), lit(1)),
+                  sset("ww", idx("srcip"), lit(2)));
+  EXPECT_THROW(eval(prog, st, p), CompileError);
+}
+
+TEST(Eval, ParallelIdenticalWritesMerge) {
+  // A shared write through both branches is unambiguous; our semantics (and
+  // the xFDD translation) accept it.
+  Packet p{{"srcip", 7}};
+  Store st;
+  auto prog = par(sset("same", idx("srcip"), lit(5)),
+                  sset("same", idx("srcip"), lit(5)));
+  auto r = eval(prog, st, p);
+  EXPECT_EQ(r.store.get(state_var_id("same"), {7}), 5);
+}
+
+TEST(Eval, ParallelDisjointWritesMerge) {
+  Packet p{{"srcip", 7}};
+  Store st;
+  auto prog = par(sset("wa", idx("srcip"), lit(1)),
+                  sset("wb", idx("srcip"), lit(2)));
+  auto r = eval(prog, st, p);
+  EXPECT_EQ(r.store.get(state_var_id("wa"), {7}), 1);
+  EXPECT_EQ(r.store.get(state_var_id("wb"), {7}), 2);
+}
+
+TEST(Eval, SequentialDivergentWritesAcrossCopiesThrow) {
+  // p produces two packets that then write different values to s[0]:
+  // (f<-1 + f<-2); s[0] <- f  must be rejected (the paper's example).
+  Packet p{{"f", 0}};
+  Store st;
+  auto prog = (mod("f", 1) + mod("f", 2)) >>
+              sset("sdiv", Expr::of_value(0), fld("f"));
+  EXPECT_THROW(eval(prog, st, p), CompileError);
+}
+
+TEST(Eval, SequentialSameWritesAcrossCopiesOk) {
+  // (f<-1 + g<-2); s[0] <- 7 is fine: both copies write the same value.
+  Packet p{{"f", 0}, {"g", 0}};
+  Store st;
+  auto prog =
+      (mod("f", 1) + mod("g", 2)) >> sset("ssame", Expr::of_value(0), lit(7));
+  auto r = eval(prog, st, p);
+  EXPECT_EQ(r.store.get(state_var_id("ssame"), {0}), 7);
+  EXPECT_EQ(r.packets.size(), 2u);
+}
+
+TEST(Eval, ConditionReadsStateAndBranches) {
+  Packet p{{"srcip", 7}};
+  Store st;
+  st.set(state_var_id("blk"), {7}, kTrue);
+  auto prog = ite(stest("blk", idx("srcip"), lit(kTrue)), filter(drop()),
+                  filter(id()));
+  EXPECT_TRUE(eval(prog, st, p).packets.empty());
+  Store st2;
+  EXPECT_EQ(eval(prog, st2, p).packets.size(), 1u);
+}
+
+// --- the paper's running example (Figure 1), exercised packet by packet ---
+
+PolPtr dns_tunnel_detect(Value threshold) {
+  auto dns_response =
+      land(test_cidr("dstip", "10.0.6.0/24"), test("srcport", 53));
+  auto then_branch =
+      sset("orphan", idx("dstip", "dns.rdata"), lit(kTrue)) >>
+      (sinc("susp-client", idx("dstip")) >>
+       ite(stest("susp-client", idx("dstip"), lit(threshold)),
+           sset("blacklist", idx("dstip"), lit(kTrue)), filter(id())));
+  auto else_branch =
+      ite(land(test_cidr("srcip", "10.0.6.0/24"),
+               stest("orphan", idx("srcip", "dstip"), lit(kTrue))),
+          sset("orphan", idx("srcip", "dstip"), lit(kFalse)) >>
+              sdec("susp-client", idx("srcip")),
+          filter(id()));
+  return ite(dns_response, then_branch, else_branch);
+}
+
+TEST(Eval, DnsTunnelDetectTracksOrphansAndBlacklists) {
+  auto prog = dns_tunnel_detect(2);
+  StateVarId orphan = state_var_id("orphan");
+  StateVarId susp = state_var_id("susp-client");
+  StateVarId blacklist = state_var_id("blacklist");
+
+  Value client = ip("10.0.6.50");
+  Value server1 = ip("93.184.216.34");
+  Value server2 = ip("93.184.216.35");
+
+  Store st;
+  // DNS response resolving server1 for client.
+  Packet dns1{{"dstip", client}, {"srcport", 53}, {"dns.rdata", server1}};
+  st = eval(prog, st, dns1).store;
+  EXPECT_EQ(st.get(orphan, {client, server1}), kTrue);
+  EXPECT_EQ(st.get(susp, {client}), 1);
+  EXPECT_EQ(st.get(blacklist, {client}), kFalse);
+
+  // Client actually contacts server1: counter decremented.
+  Packet use1{{"srcip", client}, {"dstip", server1}, {"srcport", 1234}};
+  st = eval(prog, st, use1).store;
+  EXPECT_EQ(st.get(orphan, {client, server1}), kFalse);
+  EXPECT_EQ(st.get(susp, {client}), 0);
+
+  // Two unused resolutions push the client over the threshold.
+  st = eval(prog, st, dns1).store;
+  Packet dns2{{"dstip", client}, {"srcport", 53}, {"dns.rdata", server2}};
+  st = eval(prog, st, dns2).store;
+  EXPECT_EQ(st.get(susp, {client}), 2);
+  EXPECT_EQ(st.get(blacklist, {client}), kTrue);
+}
+
+TEST(Eval, DnsTunnelIgnoresUnrelatedTraffic) {
+  auto prog = dns_tunnel_detect(2);
+  Store st;
+  Packet other{{"srcip", ip("10.0.1.1")},
+               {"dstip", ip("10.0.2.2")},
+               {"srcport", 80}};
+  auto r = eval(prog, st, other);
+  EXPECT_EQ(r.packets.size(), 1u);
+  EXPECT_TRUE(r.store == st);
+}
+
+}  // namespace
+}  // namespace snap

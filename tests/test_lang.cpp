@@ -1,0 +1,96 @@
+// Unit tests for the language core: fields, packets, expressions, AST
+// construction and sizes.
+#include <gtest/gtest.h>
+
+#include "lang/ast.h"
+#include "lang/expr.h"
+#include "lang/packet.h"
+#include "lang/printer.h"
+
+namespace snap {
+namespace {
+
+using namespace snap::dsl;
+
+TEST(Field, InterningIsStable) {
+  FieldId a = field_id("dstip");
+  FieldId b = field_id("dstip");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(field_name(a), "dstip");
+  EXPECT_TRUE(is_known_field("dstip"));
+  EXPECT_NE(field_id("srcip"), field_id("dstip"));
+}
+
+TEST(Field, StateVarsAreSeparateNamespace) {
+  StateVarId s = state_var_id("orphan");
+  EXPECT_EQ(state_var_name(s), "orphan");
+  EXPECT_TRUE(is_known_state_var("orphan"));
+}
+
+TEST(Packet, SetGetOverwrite) {
+  Packet p;
+  EXPECT_FALSE(p.get("dstip").has_value());
+  p.set("dstip", 42);
+  EXPECT_EQ(p.get("dstip"), 42);
+  p.set("dstip", 43);
+  EXPECT_EQ(p.get("dstip"), 43);
+  p.set("srcip", 1);
+  EXPECT_EQ(p.get("srcip"), 1);
+  EXPECT_EQ(p.entries().size(), 2u);
+}
+
+TEST(Packet, OrderingAndEquality) {
+  Packet a{{"srcip", 1}, {"dstip", 2}};
+  Packet b{{"dstip", 2}, {"srcip", 1}};
+  EXPECT_EQ(a, b);
+  Packet c{{"srcip", 1}, {"dstip", 3}};
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a < c || c < a);
+}
+
+TEST(Expr, EvalAgainstPacket) {
+  Packet p{{"srcip", 7}, {"dstip", 9}};
+  Expr e = dsl::idx("srcip", "dstip");
+  auto v = e.eval(p);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, (ValueVec{7, 9}));
+
+  Expr lit5 = Expr::of_value(5);
+  EXPECT_EQ(*lit5.eval(p), (ValueVec{5}));
+
+  Expr missing = Expr::of_field("dns.rdata");
+  EXPECT_FALSE(missing.eval(p).has_value());
+}
+
+TEST(Expr, Substitution) {
+  Expr e = dsl::idx("srcip", "dstip");
+  Expr sub = e.substituted({{field_id("srcip"), 99}});
+  Packet p{{"dstip", 9}};
+  EXPECT_EQ(*sub.eval(p), (ValueVec{99, 9}));
+  EXPECT_EQ(sub.referenced_fields().size(), 1u);
+}
+
+TEST(Ast, SizesCountNodes) {
+  auto p = ite(test("srcport", 53) & test_cidr("dstip", "10.0.6.0/24"),
+               sset("orphan", idx("dstip"), lit(kTrue)) >>
+                   sinc("susp", idx("dstip")),
+               filter(id()));
+  // if-node + (and + 2 tests) + (seq + 2 state ops) + id
+  EXPECT_EQ(ast_size(p), 8u);
+}
+
+TEST(Ast, PrinterProducesReadableSyntax) {
+  auto p = ite(test("srcport", 53), mod("outport", 6), filter(drop()));
+  std::string s = to_string(p);
+  EXPECT_NE(s.find("if srcport = 53 then"), std::string::npos);
+  EXPECT_NE(s.find("outport <- 6"), std::string::npos);
+  EXPECT_NE(s.find("else"), std::string::npos);
+}
+
+TEST(Ast, CidrTestPrints) {
+  auto x = test_cidr("dstip", "10.0.6.0/24");
+  EXPECT_EQ(to_string(x), "dstip = 10.0.6.0/24");
+}
+
+}  // namespace
+}  // namespace snap

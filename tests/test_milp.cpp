@@ -1,0 +1,188 @@
+// The LP/MILP substrate: simplex on classic instances, branch & bound on
+// small integer programs, degenerate/infeasible/unbounded cases.
+#include <gtest/gtest.h>
+
+#include "milp/bnb.h"
+#include "milp/simplex.h"
+
+namespace snap {
+namespace {
+
+TEST(Simplex, TextbookMaximization) {
+  // max 3x + 5y st x<=4, 2y<=12, 3x+2y<=18  (min -3x -5y), opt at (2,6)=36.
+  LpModel m;
+  int x = m.add_var(0, kLpInf, -3);
+  int y = m.add_var(0, kLpInf, -5);
+  m.add_row({{x, 1}}, -kLpInf, 4);
+  m.add_row({{y, 2}}, -kLpInf, 12);
+  m.add_row({{x, 3}, {y, 2}}, -kLpInf, 18);
+  auto s = solve_lp(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -36.0, 1e-6);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-6);
+  EXPECT_NEAR(s.x[y], 6.0, 1e-6);
+}
+
+TEST(Simplex, EqualityAndGeqRows) {
+  // min x + 2y st x + y = 10, x >= 3, y >= 2 -> x=8, y=2, obj 12.
+  LpModel m;
+  int x = m.add_var(0, kLpInf, 1);
+  int y = m.add_var(0, kLpInf, 2);
+  m.add_row({{x, 1}, {y, 1}}, 10, 10);
+  m.add_row({{x, 1}}, 3, kLpInf);
+  m.add_row({{y, 1}}, 2, kLpInf);
+  auto s = solve_lp(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 12.0, 1e-6);
+  EXPECT_NEAR(s.x[x], 8.0, 1e-6);
+}
+
+TEST(Simplex, VariableBoundsHandled) {
+  // min -x - y with x in [1, 3], y in [2, 5], x + y <= 6 -> (3, 3) obj -6
+  // or (1,5)... -x-y so maximize sum: best sum = 6 -> obj -6.
+  LpModel m;
+  int x = m.add_var(1, 3, -1);
+  int y = m.add_var(2, 5, -1);
+  m.add_row({{x, 1}, {y, 1}}, -kLpInf, 6);
+  auto s = solve_lp(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -6.0, 1e-6);
+  EXPECT_GE(s.x[x], 1 - 1e-9);
+  EXPECT_LE(s.x[y], 5 + 1e-9);
+}
+
+TEST(Simplex, NegativeRhsRows) {
+  // min x st x >= -2 (trivially x=0), plus -x <= -1 i.e. x >= 1.
+  LpModel m;
+  int x = m.add_var(0, kLpInf, 1);
+  m.add_row({{x, -1}}, -kLpInf, -1);
+  auto s = solve_lp(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[x], 1.0, 1e-6);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  LpModel m;
+  int x = m.add_var(0, kLpInf, 1);
+  m.add_row({{x, 1}}, -kLpInf, 1);
+  m.add_row({{x, 1}}, 3, kLpInf);
+  auto s = solve_lp(m);
+  EXPECT_EQ(s.status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  LpModel m;
+  int x = m.add_var(0, kLpInf, -1);
+  m.add_row({{x, -1}}, -kLpInf, 0);  // -x <= 0, no upper bound
+  auto s = solve_lp(m);
+  EXPECT_EQ(s.status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, FixedVariables) {
+  LpModel m;
+  int x = m.add_var(2, 2, 1);
+  int y = m.add_var(0, kLpInf, 1);
+  m.add_row({{x, 1}, {y, 1}}, 5, kLpInf);
+  auto s = solve_lp(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[y], 3.0, 1e-6);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through one vertex.
+  LpModel m;
+  int x = m.add_var(0, kLpInf, -1);
+  int y = m.add_var(0, kLpInf, -1);
+  for (int k = 1; k <= 6; ++k) {
+    m.add_row({{x, static_cast<double>(k)}, {y, static_cast<double>(k)}},
+              -kLpInf, 10.0 * k);
+  }
+  auto s = solve_lp(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[x] + s.x[y], 10.0, 1e-6);
+}
+
+TEST(Simplex, MinCostFlowAsLp) {
+  // Two paths of capacity 5 and 10; route 12 units, cheap path first.
+  // Vars: f1 (cost 1), f2 (cost 3).
+  LpModel m;
+  int f1 = m.add_var(0, 5, 1);
+  int f2 = m.add_var(0, 10, 3);
+  m.add_row({{f1, 1}, {f2, 1}}, 12, 12);
+  auto s = solve_lp(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[f1], 5.0, 1e-6);
+  EXPECT_NEAR(s.x[f2], 7.0, 1e-6);
+  EXPECT_NEAR(s.objective, 26.0, 1e-6);
+}
+
+// ------------------------------------------------------------ branch & bound
+
+TEST(Bnb, KnapsackSmall) {
+  // max 8a + 11b + 6c + 4d st 5a+7b+4c+3d <= 14, binary -> opt 21 (b,c,d).
+  LpModel m;
+  int a = m.add_var(0, 1, -8, true);
+  int b = m.add_var(0, 1, -11, true);
+  int c = m.add_var(0, 1, -6, true);
+  int d = m.add_var(0, 1, -4, true);
+  m.add_row({{a, 5}, {b, 7}, {c, 4}, {d, 3}}, -kLpInf, 14);
+  auto s = solve_milp(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -21.0, 1e-6);
+  EXPECT_NEAR(s.x[b], 1.0, 1e-9);
+  EXPECT_NEAR(s.x[c], 1.0, 1e-9);
+  EXPECT_NEAR(s.x[d], 1.0, 1e-9);
+}
+
+TEST(Bnb, IntegerRoundingMatters) {
+  // min y st 2y >= 3, y integer -> y = 2 (LP gives 1.5).
+  LpModel m;
+  int y = m.add_var(0, kLpInf, 1, true);
+  m.add_row({{y, 2}}, 3, kLpInf);
+  auto s = solve_milp(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[y], 2.0, 1e-9);
+}
+
+TEST(Bnb, MixedIntegerFacilityChoice) {
+  // Open one of two facilities (binary), serve demand 1 through continuous
+  // flow bounded by the open facility: classic linking constraints.
+  LpModel m;
+  int open1 = m.add_var(0, 1, 5, true);
+  int open2 = m.add_var(0, 1, 3, true);
+  int f1 = m.add_var(0, 1, 1);
+  int f2 = m.add_var(0, 1, 2);
+  m.add_row({{f1, 1}, {f2, 1}}, 1, 1);
+  m.add_row({{f1, 1}, {open1, -1}}, -kLpInf, 0);
+  m.add_row({{f2, 1}, {open2, -1}}, -kLpInf, 0);
+  auto s = solve_milp(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  // Facility 2: cost 3 + flow cost 2 = 5; facility 1: 5 + 1 = 6.
+  EXPECT_NEAR(s.objective, 5.0, 1e-6);
+  EXPECT_NEAR(s.x[open2], 1.0, 1e-9);
+}
+
+TEST(Bnb, InfeasibleIntegerProgram) {
+  // 0.4 <= x <= 0.6 with x integer.
+  LpModel m;
+  int x = m.add_var(0, 1, 1, true);
+  m.add_row({{x, 1}}, 0.4, 0.6);
+  auto s = solve_milp(m);
+  EXPECT_EQ(s.status, LpStatus::kInfeasible);
+}
+
+TEST(Bnb, EqualitySplitAcrossIntegers) {
+  // x + y = 7, |obj| prefers x, x <= 4 -> x=4, y=3.
+  LpModel m;
+  int x = m.add_var(0, 4, -2, true);
+  int y = m.add_var(0, kLpInf, -1, true);
+  m.add_row({{x, 1}, {y, 1}}, 7, 7);
+  auto s = solve_milp(m);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[x], 4.0, 1e-9);
+  EXPECT_NEAR(s.x[y], 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace snap

@@ -1,0 +1,205 @@
+// Parser tests: the paper's Figure 1 program, operator binding, error
+// handling, and print/parse round-trips.
+#include <gtest/gtest.h>
+
+#include "lang/eval.h"
+#include "lang/parser.h"
+#include "lang/printer.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace snap {
+namespace {
+
+Value ip(const std::string& s) {
+  return static_cast<Value>(ipv4_from_string(s));
+}
+
+TEST(Parser, FieldTestAndMod) {
+  auto p = parse_policy("if srcport = 53 then outport <- 6 else drop");
+  Packet pkt{{"srcport", 53}};
+  Store st;
+  auto r = eval(p, st, pkt);
+  ASSERT_EQ(r.packets.size(), 1u);
+  EXPECT_EQ(r.packets.begin()->get("outport"), 6);
+  Packet other{{"srcport", 80}};
+  EXPECT_TRUE(eval(p, st, other).packets.empty());
+}
+
+TEST(Parser, CidrLiteral) {
+  auto p = parse_policy("dstip = 10.0.6.0/24");
+  Store st;
+  Packet in{{"dstip", ip("10.0.6.77")}};
+  EXPECT_EQ(eval(p, st, in).packets.size(), 1u);
+  Packet out{{"dstip", ip("10.0.7.77")}};
+  EXPECT_TRUE(eval(p, st, out).packets.empty());
+}
+
+TEST(Parser, StateOperations) {
+  auto p = parse_policy(
+      "seen[srcip] <- True; cnt[srcip]++; cnt[srcip]++; cnt[srcip]--");
+  Packet pkt{{"srcip", 9}};
+  Store st;
+  auto r = eval(p, st, pkt);
+  EXPECT_EQ(r.store.get(state_var_id("seen"), {9}), kTrue);
+  EXPECT_EQ(r.store.get(state_var_id("cnt"), {9}), 1);
+}
+
+TEST(Parser, StateTestSugar) {
+  // A bare state reference means "= True".
+  auto p = parse_policy("if seen2[srcip] then drop else id");
+  Store st;
+  st.set(state_var_id("seen2"), {9}, kTrue);
+  Packet pkt{{"srcip", 9}};
+  EXPECT_TRUE(eval(p, st, pkt).packets.empty());
+  Packet fresh{{"srcip", 10}};
+  EXPECT_EQ(eval(p, st, fresh).packets.size(), 1u);
+}
+
+TEST(Parser, HyphenatedIdentifiersAndDecrement) {
+  auto p = parse_policy("susp-client[srcip]--");
+  Packet pkt{{"srcip", 9}};
+  Store st;
+  auto r = eval(p, st, pkt);
+  EXPECT_EQ(r.store.get(state_var_id("susp-client"), {9}), -1);
+}
+
+TEST(Parser, ConstantsTable) {
+  ConstTable consts{{"threshold", 10}, {"SYN", 2}};
+  auto p = parse_policy("if tcp.flags = SYN then cnt3[srcip]++ else id",
+                        consts);
+  Packet pkt{{"srcip", 9}, {"tcp.flags", 2}};
+  Store st;
+  auto r = eval(p, st, pkt);
+  EXPECT_EQ(r.store.get(state_var_id("cnt3"), {9}), 1);
+  EXPECT_THROW(parse_policy("x = unknown-const"), ParseError);
+}
+
+TEST(Parser, ParallelAndSequentialBinding) {
+  // ';' binds looser than '+': a ; b + c parses as a ; (b + c).
+  auto p = parse_policy("outport <- 1 ; outport <- 2 + outport <- 3");
+  Packet pkt;
+  Store st;
+  auto r = eval(p, st, pkt);
+  EXPECT_EQ(r.packets.size(), 2u);  // outport 2 and outport 3
+}
+
+TEST(Parser, MultiIndexState) {
+  auto p = parse_policy("orphan2[srcip][dstip] <- True");
+  Packet pkt{{"srcip", 3}, {"dstip", 4}};
+  Store st;
+  auto r = eval(p, st, pkt);
+  EXPECT_EQ(r.store.get(state_var_id("orphan2"), {3, 4}), kTrue);
+}
+
+TEST(Parser, Figure1Program) {
+  ConstTable consts{{"threshold", 2}};
+  const char* text = R"(
+    if dstip = 10.0.6.0/24 & srcport = 53 then
+      orphan[dstip][dns.rdata] <- True;
+      susp-client[dstip]++;
+      if susp-client[dstip] = threshold then
+        blacklist[dstip] <- True
+      else id
+    else
+      if srcip = 10.0.6.0/24 & orphan[srcip][dstip] then
+        (orphan[srcip][dstip] <- False;
+         susp-client[srcip]--)
+      else id
+  )";
+  auto p = parse_policy(text, consts);
+
+  Value client = ip("10.0.6.50");
+  Value server = ip("93.184.216.34");
+  Store st;
+  Packet dns{{"dstip", client}, {"srcport", 53}, {"dns.rdata", server}};
+  st = eval(p, st, dns).store;
+  EXPECT_EQ(st.get(state_var_id("orphan"), {client, server}), kTrue);
+  EXPECT_EQ(st.get(state_var_id("susp-client"), {client}), 1);
+
+  Packet use{{"srcip", client}, {"dstip", server}, {"srcport", 5000}};
+  st = eval(p, st, use).store;
+  EXPECT_EQ(st.get(state_var_id("susp-client"), {client}), 0);
+  EXPECT_EQ(st.get(state_var_id("orphan"), {client, server}), kFalse);
+}
+
+TEST(Parser, AtomicBlocks) {
+  auto p = parse_policy(
+      "atomic(hon-ip[inport] <- srcip; hon-port[inport] <- dstport)");
+  Packet pkt{{"inport", 1}, {"srcip", 42}, {"dstport", 80}};
+  Store st;
+  auto r = eval(p, st, pkt);
+  EXPECT_EQ(r.store.get(state_var_id("hon-ip"), {1}), 42);
+  EXPECT_EQ(r.store.get(state_var_id("hon-port"), {1}), 80);
+}
+
+TEST(Parser, PredicateEntryPoint) {
+  auto x = parse_predicate(
+      "(srcip = 10.0.1.0/24 & inport = 1) | (srcip = 10.0.2.0/24 & "
+      "inport = 2)");
+  Store st;
+  Packet ok{{"srcip", ip("10.0.2.9")}, {"inport", 2}};
+  EXPECT_TRUE(eval_pred(x, st, ok).pass);
+  Packet bad{{"srcip", ip("10.0.2.9")}, {"inport", 1}};
+  EXPECT_FALSE(eval_pred(x, st, bad).pass);
+}
+
+TEST(Parser, BarePredicateAsPolicy) {
+  // A conjunction/disjunction (parenthesized or not) is a valid policy
+  // term — this is how assumption policies are written (§4.3).
+  auto p = parse_policy(
+      "((srcip = 10.0.1.0/24 & inport = 1) | (srcip = 10.0.2.0/24 & "
+      "inport = 2)); outport <- 9");
+  Store st;
+  Packet ok{{"srcip", ip("10.0.1.5")}, {"inport", 1}};
+  auto r = eval(p, st, ok);
+  ASSERT_EQ(r.packets.size(), 1u);
+  EXPECT_EQ(r.packets.begin()->get("outport"), 9);
+  Packet bad{{"srcip", ip("10.0.1.5")}, {"inport", 2}};
+  EXPECT_TRUE(eval(p, st, bad).packets.empty());
+
+  // Unparenthesized conjunction at statement level.
+  auto q = parse_policy("srcport = 53 & dstport = 53; outport <- 1");
+  Packet both{{"srcport", 53}, {"dstport", 53}};
+  EXPECT_EQ(eval(q, st, both).packets.size(), 1u);
+  Packet one{{"srcport", 53}, {"dstport", 80}};
+  EXPECT_TRUE(eval(q, st, one).packets.empty());
+}
+
+TEST(Parser, Comments) {
+  auto p = parse_policy("# a comment\nid # trailing\n");
+  Store st;
+  EXPECT_EQ(eval(p, st, Packet{}).packets.size(), 1u);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(parse_policy("if srcport = 53 then id"), ParseError);
+  EXPECT_THROW(parse_policy("srcport <- "), ParseError);
+  EXPECT_THROW(parse_policy("s[srcip"), ParseError);
+  EXPECT_THROW(parse_policy("(id"), ParseError);
+  EXPECT_THROW(parse_policy("id id"), ParseError);
+  EXPECT_THROW(parse_policy("@"), ParseError);
+}
+
+TEST(Parser, PrintParseRoundTrip) {
+  ConstTable consts{{"threshold", 2}};
+  const char* text = R"(
+    if dstip = 10.0.6.0/24 & srcport = 53 then
+      orphan[dstip][dns.rdata] <- True;
+      susp-client[dstip]++
+    else id
+  )";
+  auto p1 = parse_policy(text, consts);
+  auto p2 = parse_policy(to_string(p1), consts);
+  // Semantic round-trip: same behaviour on a probe packet.
+  Value client = ip("10.0.6.50");
+  Packet dns{{"dstip", client}, {"srcport", 53}, {"dns.rdata", 7}};
+  Store st;
+  auto r1 = eval(p1, st, dns);
+  auto r2 = eval(p2, st, dns);
+  EXPECT_TRUE(r1.store == r2.store);
+  EXPECT_EQ(r1.packets, r2.packets);
+}
+
+}  // namespace
+}  // namespace snap

@@ -1,0 +1,96 @@
+// Parameterized integration sweep: compile the paper's evaluation program
+// (assumption + DNS-tunnel-detect + assign-egress) on each ISP topology of
+// Table 5 and check the structural invariants the compiler must guarantee:
+// every stateful flow's path visits its state variables' switches in
+// dependency order, placements are deterministic, and TE re-optimization
+// preserves them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/apps.h"
+#include "compiler/pipeline.h"
+#include "topo/gen.h"
+
+namespace snap {
+namespace {
+
+PolPtr evaluation_program(const Topology& topo, const std::string& prefix) {
+  auto subnets = apps::default_subnets(topo.ports());
+  PortId cs_port = topo.ports().back();
+  std::string cs_subnet;
+  for (const auto& [subnet, port] : subnets) {
+    if (port == cs_port) cs_subnet = subnet;
+  }
+  return dsl::filter(apps::assumption(subnets)) >>
+         (apps::dns_tunnel_detect(prefix, cs_subnet, 10) >>
+          apps::assign_egress(subnets));
+}
+
+class IspSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IspSweep, StateVisitOrderInvariantHolds) {
+  const auto& spec = table5_specs()[static_cast<std::size_t>(GetParam())];
+  ASSERT_FALSE(spec.campus);
+  Topology topo = make_table5_topology(spec, 42);
+  TrafficMatrix tm = gravity_traffic(topo, 30.0, 5);
+  std::string prefix = std::string("sw-") + spec.name;
+  PolPtr prog = evaluation_program(topo, prefix);
+
+  Compiler compiler(topo, tm);
+  CompileResult r = compiler.compile(prog);
+
+  // Every variable placed on a real switch.
+  ASSERT_EQ(r.pr.placement.switch_of.size(), 3u);
+  for (const auto& [var, sw] : r.pr.placement.switch_of) {
+    EXPECT_GE(sw, 0);
+    EXPECT_LT(sw, topo.num_switches());
+  }
+
+  // Flows needing state must traverse the placed switches in rank order.
+  int stateful_flows = 0;
+  for (const auto& [uv, path] : r.pr.routing.paths) {
+    auto states = r.psmap.states_for(uv.first, uv.second);
+    if (states.empty()) continue;
+    ++stateful_flows;
+    long long last_pos = -1;
+    for (StateVarId s : states) {
+      int sw = r.pr.placement.at(s);
+      auto it = std::find(path.begin(), path.end(), sw);
+      ASSERT_NE(it, path.end())
+          << spec.name << ": flow (" << uv.first << "," << uv.second
+          << ") misses " << state_var_name(s);
+      long long pos = it - path.begin();
+      EXPECT_GE(pos, last_pos) << spec.name << ": out-of-order state visit";
+      last_pos = std::max(last_pos, pos);
+    }
+  }
+  EXPECT_GT(stateful_flows, 0) << spec.name;
+
+  // Determinism: recompiling yields the identical placement.
+  Compiler compiler2(topo, tm);
+  CompileResult r2 = compiler2.compile(prog);
+  EXPECT_EQ(r.pr.placement.switch_of, r2.pr.placement.switch_of);
+
+  // TE after a traffic shift keeps the placement and the invariant.
+  TrafficMatrix shifted = gravity_traffic(topo, 30.0, 55);
+  compiler.reoptimize_te(r, shifted);
+  for (const auto& [uv, path] : r.pr.routing.paths) {
+    for (StateVarId s : r.psmap.states_for(uv.first, uv.second)) {
+      EXPECT_NE(std::find(path.begin(), path.end(), r.pr.placement.at(s)),
+                path.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table5Isps, IspSweep,
+                         ::testing::Values(3, 4, 5, 6),  // the 4 AS entries
+                         [](const auto& info) {
+                           std::string n =
+                               table5_specs()[info.param].name;
+                           std::replace(n.begin(), n.end(), ' ', '_');
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace snap

@@ -1,0 +1,129 @@
+// The textual policy corpus (policies/*.snap): each Appendix-F policy in
+// concrete syntax must parse and behave identically to its builder-API
+// twin across randomized and hand-written traces.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "apps/apps.h"
+#include "lang/eval.h"
+#include "lang/parser.h"
+#include "util/rng.h"
+
+#ifndef SNAP_POLICY_DIR
+#define SNAP_POLICY_DIR "policies"
+#endif
+
+namespace snap {
+namespace {
+
+using namespace snap::dsl;
+
+std::string read_policy(const std::string& name) {
+  std::string path = std::string(SNAP_POLICY_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+ConstTable consts_with_threshold(Value threshold) {
+  ConstTable consts = apps::protocol_constants();
+  consts["threshold"] = threshold;
+  return consts;
+}
+
+// Replays `trace` through both policies in lock step.
+void expect_equivalent(const PolPtr& a, const PolPtr& b,
+                       const std::vector<Packet>& trace) {
+  Store sa, sb;
+  for (const Packet& pkt : trace) {
+    EvalResult ra = eval(a, sa, pkt);
+    EvalResult rb = eval(b, sb, pkt);
+    ASSERT_EQ(ra.packets, rb.packets) << "on " << pkt.to_string();
+    ASSERT_TRUE(ra.store == rb.store) << "on " << pkt.to_string();
+    sa = ra.store;
+    sb = rb.store;
+  }
+}
+
+// A generic random trace over the fields the corpus policies touch.
+std::vector<Packet> random_trace(std::uint64_t seed, int n) {
+  Rng rng(seed);
+  std::vector<Packet> out;
+  for (int i = 0; i < n; ++i) {
+    Packet p;
+    p.set("srcip", 0x0a000600 + rng.uniform(0, 3));  // around 10.0.6.x
+    p.set("dstip", 0x0a000600 + rng.uniform(0, 3));
+    p.set("srcport", rng.bernoulli(0.4) ? 53 : rng.uniform(20, 25));
+    p.set("dstport", rng.bernoulli(0.4) ? 53 : rng.uniform(20, 25));
+    p.set("proto", rng.bernoulli(0.5) ? 17 : 6);
+    p.set("tcp.flags", std::vector<Value>{1, 2, 16}[rng.uniform(0, 2)]);
+    p.set("dns.rdata", rng.uniform(0, 3));
+    p.set("dns.qname", rng.uniform(0, 2));
+    p.set("ftp.PORT", rng.uniform(1000, 1002));
+    p.set("mpeg.frame-type", rng.uniform(1, 3));
+    p.set("sid", rng.uniform(0, 2));
+    p.set("http.user-agent", rng.uniform(0, 1));
+    p.set("smtp.MTA", rng.uniform(0, 2));
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+struct CorpusCase {
+  const char* file;
+  PolPtr builder;
+  Value threshold;
+};
+
+class PolicyCorpus : public ::testing::TestWithParam<int> {};
+
+std::vector<CorpusCase> corpus() {
+  return {
+      {"dns_tunnel_detect.snap",
+       apps::dns_tunnel_detect("dttxt", "10.0.6.0/24", 2), 2},
+      {"stateful_firewall.snap",
+       apps::stateful_firewall("fwtxt", "10.0.6.0/24"), 0},
+      {"heavy_hitter.snap", apps::heavy_hitter("hhtxt", 2), 2},
+      {"super_spreader.snap", apps::super_spreader("ssptxt", 2), 2},
+      {"dns_amplification.snap", apps::dns_amplification("amtxt"), 0},
+      {"udp_flood.snap", apps::udp_flood("uftxt", 2), 2},
+      {"ftp_monitoring.snap", apps::ftp_monitoring("ftptxt"), 0},
+      {"selective_dropping.snap", apps::selective_packet_dropping("seltxt"),
+       0},
+      {"many_ip_domains.snap", apps::many_ip_domains("midtxt", 2), 2},
+      {"sidejacking.snap", apps::sidejack_detect("sjtxt", "10.0.6.10/32"),
+       0},
+      {"spam_detection.snap", apps::spam_detect("smtxt", 2), 2},
+  };
+}
+
+TEST_P(PolicyCorpus, TextMatchesBuilderOnRandomTraces) {
+  const CorpusCase c = corpus()[static_cast<std::size_t>(GetParam())];
+  PolPtr parsed =
+      parse_policy(read_policy(c.file), consts_with_threshold(c.threshold));
+  for (std::uint64_t seed : {1u, 7u, 23u}) {
+    expect_equivalent(parsed, c.builder, random_trace(seed, 40));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFiles, PolicyCorpus,
+                         ::testing::Range(0, 11),
+                         [](const auto& info) {
+                           std::string n = corpus()[info.param].file;
+                           return n.substr(0, n.find('.'));
+                         });
+
+TEST(PolicyCorpus, EveryFileParses) {
+  for (const auto& c : corpus()) {
+    EXPECT_NO_THROW(parse_policy(read_policy(c.file),
+                                 consts_with_threshold(2)))
+        << c.file;
+  }
+}
+
+}  // namespace
+}  // namespace snap

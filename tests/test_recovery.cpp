@@ -1,0 +1,171 @@
+// §7.3 extensions: per-switch state capacity (resource constraints) and
+// switch-failure recovery (fault tolerance).
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "compiler/pipeline.h"
+#include "dataplane/network.h"
+#include "milp/stmodel.h"
+#include "topo/gen.h"
+#include "util/status.h"
+
+namespace snap {
+namespace {
+
+using namespace snap::dsl;
+
+struct Compiled {
+  XfddStore store;
+  XfddId root;
+  DependencyGraph deps;
+  TestOrder order;
+  PacketStateMap psmap;
+
+  Compiled(const PolPtr& p, const std::vector<PortId>& ports)
+      : deps(DependencyGraph::build(p)), order(deps.test_order()) {
+    root = to_xfdd(store, order, p);
+    psmap = packet_state_map(store, root, ports, order);
+  }
+};
+
+// Two independent counters; with capacity 1 they cannot share a switch.
+PolPtr two_counters(const std::string& prefix) {
+  return sinc(prefix + ".a", idx("srcip")) +
+         sinc(prefix + ".b", idx("dstip"));
+}
+
+TEST(Capacity, ScalableSolverRespectsPerSwitchLimit) {
+  Topology topo = make_figure2_campus();
+  auto prog = two_counters("cap1") >>
+              apps::assign_egress({{"10.0.1.0/24", 1}, {"10.0.6.0/24", 6}});
+  Compiled c(prog, {1, 6});
+  TrafficMatrix tm;
+  tm.set_demand(1, 6, 1.0);
+  tm.set_demand(6, 1, 1.0);
+
+  ScalableOptions unconstrained;
+  auto free = solve_scalable(topo, tm, c.psmap, c.deps, unconstrained);
+
+  ScalableOptions limited;
+  limited.state_capacity = 1;
+  auto capped = solve_scalable(topo, tm, c.psmap, c.deps, limited);
+  EXPECT_NE(capped.placement.at(state_var_id("cap1.a")),
+            capped.placement.at(state_var_id("cap1.b")));
+  // The capped solution can only be worse or equal.
+  EXPECT_GE(capped.routing.objective, free.routing.objective - 1e-9);
+}
+
+TEST(Capacity, ExactMilpRespectsPerSwitchLimit) {
+  Topology topo("line3", 3);
+  topo.add_duplex(0, 1, 10);
+  topo.add_duplex(1, 2, 10);
+  topo.attach_port(1, 0);
+  topo.attach_port(2, 2);
+  auto prog = two_counters("cap2") >>
+              apps::assign_egress({{"10.0.1.0/24", 1}, {"10.0.2.0/24", 2}});
+  Compiled c(prog, {1, 2});
+  TrafficMatrix tm;
+  tm.set_demand(1, 2, 1.0);
+  tm.set_demand(2, 1, 1.0);
+
+  StModelOptions opts;
+  opts.state_capacity = 1;
+  StModel model = StModel::build(topo, tm, c.psmap, c.deps, opts);
+  auto r = model.solve();
+  EXPECT_NE(r.placement.at(state_var_id("cap2.a")),
+            r.placement.at(state_var_id("cap2.b")));
+}
+
+TEST(Capacity, GreedyPathHonorsCapacityOnLargeInstances) {
+  Topology topo = make_igen(40, 3);
+  // Five independent counters force spreading with capacity 1; the tuple
+  // space (40^5) exceeds exhaustive enumeration, exercising the greedy
+  // path.
+  PolPtr prog = sinc("cap3.v0", idx("srcip"));
+  for (int i = 1; i < 5; ++i) {
+    prog = prog + sinc("cap3.v" + std::to_string(i), idx("dstip"));
+  }
+  auto subnets = apps::default_subnets(topo.ports());
+  prog = prog >> apps::assign_egress(subnets);
+  Compiled c(prog, topo.ports());
+  TrafficMatrix tm = gravity_traffic(topo, 5.0, 6);
+  ScalableOptions opts;
+  opts.state_capacity = 1;
+  opts.max_enumeration = 1000;  // force the greedy path
+  auto r = solve_scalable(topo, tm, c.psmap, c.deps, opts);
+  std::map<int, int> per_switch;
+  for (int i = 0; i < 5; ++i) {
+    ++per_switch[r.placement.at(state_var_id("cap3.v" + std::to_string(i)))];
+  }
+  for (const auto& [sw, count] : per_switch) {
+    EXPECT_LE(count, 1) << "switch " << sw;
+  }
+}
+
+TEST(Recovery, StateMovesOffFailedSwitch) {
+  // A ring so every failure leaves the network connected.
+  Topology topo("ring6", 6);
+  for (int i = 0; i < 6; ++i) topo.add_duplex(i, (i + 1) % 6, 10);
+  topo.attach_port(1, 0);
+  topo.attach_port(2, 3);
+  TrafficMatrix tm;
+  tm.set_demand(1, 2, 1.0);
+  tm.set_demand(2, 1, 1.0);
+  auto prog = sinc("rec1.cnt", idx("srcip")) >>
+              apps::assign_egress({{"10.0.1.0/24", 1}, {"10.0.2.0/24", 2}});
+
+  Compiler compiler(topo, tm);
+  CompileResult before = compiler.compile(prog);
+  int loc = before.pr.placement.at(state_var_id("rec1.cnt"));
+
+  auto rec = recover_from_switch_failure(topo, tm, prog, loc);
+  int new_loc = rec.result.pr.placement.at(state_var_id("rec1.cnt"));
+  EXPECT_NE(new_loc, loc);
+  // No path may traverse the failed switch.
+  for (const auto& [uv, path] : rec.result.pr.routing.paths) {
+    EXPECT_EQ(std::find(path.begin(), path.end(), loc), path.end());
+  }
+  // The recovered deployment still works end to end.
+  Network net(rec.degraded, *rec.result.store, rec.result.root,
+              rec.result.pr.placement, rec.result.pr.routing,
+              rec.result.order);
+  Packet pkt{{"srcip", 7}, {"dstip", 0x0a000205}, {"inport", 1}};
+  auto out = net.inject(1, pkt);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].outport, 2);
+  EXPECT_EQ(net.switch_at(new_loc).state().get(state_var_id("rec1.cnt"), {7}),
+            1);
+}
+
+TEST(Recovery, DemandsOfFailedEdgeSwitchDisappear) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 20.0, 17);
+  auto prog = sinc("rec2.cnt", idx("inport")) >>
+              apps::assign_egress({{"10.0.1.0/24", 1}, {"10.0.2.0/24", 2}});
+  // Fail D1 (switch 2), which hosts port 3.
+  auto rec = recover_from_switch_failure(topo, tm, prog, 2);
+  EXPECT_EQ(rec.degraded.ports().size(), 5u);
+  for (const auto& [uv, path] : rec.result.pr.routing.paths) {
+    EXPECT_NE(uv.first, 3);
+    EXPECT_NE(uv.second, 3);
+    EXPECT_EQ(std::find(path.begin(), path.end(), 2), path.end());
+  }
+}
+
+TEST(Recovery, FailingDisconnectingSwitchIsInfeasible) {
+  // On a line, the middle switch is a cut vertex: recovery must fail
+  // loudly, not silently misroute.
+  Topology topo("line3b", 3);
+  topo.add_duplex(0, 1, 10);
+  topo.add_duplex(1, 2, 10);
+  topo.attach_port(1, 0);
+  topo.attach_port(2, 2);
+  TrafficMatrix tm;
+  tm.set_demand(1, 2, 1.0);
+  auto prog = apps::assign_egress({{"10.0.1.0/24", 1}, {"10.0.2.0/24", 2}});
+  EXPECT_THROW(recover_from_switch_failure(topo, tm, prog, 1),
+               InfeasibleError);
+}
+
+}  // namespace
+}  // namespace snap

@@ -1,0 +1,50 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace snap {
+namespace {
+
+TEST(Strings, Ipv4RoundTrip) {
+  EXPECT_EQ(ipv4_to_string(ipv4_from_string("10.0.6.0")), "10.0.6.0");
+  EXPECT_EQ(ipv4_to_string(ipv4_from_string("255.255.255.255")),
+            "255.255.255.255");
+  EXPECT_EQ(ipv4_to_string(ipv4_from_string("0.0.0.0")), "0.0.0.0");
+  EXPECT_EQ(ipv4_from_string("10.0.6.1"), 0x0a000601u);
+}
+
+TEST(Strings, Ipv4Malformed) {
+  EXPECT_THROW(ipv4_from_string("10.0.6"), ParseError);
+  EXPECT_THROW(ipv4_from_string("10.0.6.256"), ParseError);
+  EXPECT_THROW(ipv4_from_string("10.0.6.0.1"), ParseError);
+  EXPECT_THROW(ipv4_from_string("a.b.c.d"), ParseError);
+  EXPECT_THROW(ipv4_from_string(""), ParseError);
+}
+
+TEST(Strings, CidrParsing) {
+  auto [addr, len] = cidr_from_string("10.0.6.0/24");
+  EXPECT_EQ(addr, 0x0a000600u);
+  EXPECT_EQ(len, 24);
+  auto [a2, l2] = cidr_from_string("10.0.3.0/25");
+  EXPECT_EQ(a2, 0x0a000300u);
+  EXPECT_EQ(l2, 25);
+  auto [a3, l3] = cidr_from_string("192.168.1.1");
+  EXPECT_EQ(a3, 0xc0a80101u);
+  EXPECT_EQ(l3, 32);
+  EXPECT_THROW(cidr_from_string("10.0.0.0/33"), ParseError);
+  EXPECT_THROW(cidr_from_string("10.0.0.0/x"), ParseError);
+}
+
+TEST(Strings, SplitJoin) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join({"x", "y", "z"}, "-"), "x-y-z");
+  EXPECT_EQ(join({}, "-"), "");
+}
+
+}  // namespace
+}  // namespace snap

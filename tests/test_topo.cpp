@@ -1,0 +1,144 @@
+// Topology generators (Table 5 statistics), graph algorithms, and the
+// gravity traffic model.
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "topo/gen.h"
+#include "topo/traffic.h"
+
+namespace snap {
+namespace {
+
+bool strongly_connected(const Topology& t) {
+  // BFS out from 0 and over reversed links.
+  auto bfs = [&](bool reversed) {
+    std::vector<bool> seen(t.num_switches(), false);
+    std::queue<int> q;
+    q.push(0);
+    seen[0] = true;
+    int count = 1;
+    while (!q.empty()) {
+      int u = q.front();
+      q.pop();
+      for (const Link& l : t.links()) {
+        int from = reversed ? l.dst : l.src;
+        int to = reversed ? l.src : l.dst;
+        if (from == u && !seen[to]) {
+          seen[to] = true;
+          ++count;
+          q.push(to);
+        }
+      }
+    }
+    return count == t.num_switches();
+  };
+  return bfs(false) && bfs(true);
+}
+
+TEST(Topo, Figure2CampusShape) {
+  Topology t = make_figure2_campus();
+  EXPECT_EQ(t.num_switches(), 12);
+  EXPECT_EQ(t.ports().size(), 6u);
+  EXPECT_TRUE(strongly_connected(t));
+  // Port 6 is the CS department's edge (D4 = switch 5).
+  EXPECT_EQ(t.port_switch(6), 5);
+}
+
+TEST(Topo, Table5StatisticsMatchThePaper) {
+  for (const auto& spec : table5_specs()) {
+    Topology t = make_table5_topology(spec, 42);
+    EXPECT_EQ(t.num_switches(), spec.switches) << spec.name;
+    EXPECT_EQ(static_cast<int>(t.links().size()), spec.directed_links)
+        << spec.name;
+    int expected_ports =
+        spec.campus ? spec.ports : static_cast<int>(spec.switches * 0.7);
+    EXPECT_EQ(static_cast<int>(t.ports().size()), expected_ports) << spec.name;
+    EXPECT_TRUE(strongly_connected(t)) << spec.name;
+  }
+}
+
+TEST(Topo, Table5DemandCountsMatchThePaper) {
+  // #Demands in Table 5 equals (#ports)^2 including the diagonal the paper
+  // counts: Stanford 144^2 = 20736, AS 1755: 60^2 = 3600.
+  const std::map<std::string, int> expected{
+      {"Stanford", 20736}, {"Berkeley", 34225}, {"Purdue", 24336},
+      {"AS 1755", 3600},   {"AS 1221", 5184},   {"AS 6461", 9216},
+      {"AS 3257", 12544},
+  };
+  for (const auto& spec : table5_specs()) {
+    Topology t = make_table5_topology(spec, 1);
+    int p = static_cast<int>(t.ports().size());
+    EXPECT_EQ(p * p, expected.at(spec.name)) << spec.name;
+  }
+}
+
+TEST(Topo, IgenIsConnectedAcrossSizes) {
+  for (int n : {10, 50, 120}) {
+    Topology t = make_igen(n, 7);
+    EXPECT_EQ(t.num_switches(), n);
+    EXPECT_TRUE(strongly_connected(t));
+    EXPECT_EQ(static_cast<int>(t.ports().size()),
+              static_cast<int>(n * 0.7));
+  }
+}
+
+TEST(Topo, GeneratorsAreDeterministic) {
+  Topology a = make_igen(30, 5);
+  Topology b = make_igen(30, 5);
+  EXPECT_EQ(a.links().size(), b.links().size());
+  for (std::size_t i = 0; i < a.links().size(); ++i) {
+    EXPECT_EQ(a.links()[i].src, b.links()[i].src);
+    EXPECT_EQ(a.links()[i].dst, b.links()[i].dst);
+  }
+}
+
+TEST(Topo, ShortestPathsAreSane) {
+  Topology t = make_figure2_campus();
+  auto path = t.shortest_path(0, 5);  // I1 -> D4
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 5);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_GE(t.link_index(path[i], path[i + 1]), 0);
+  }
+  EXPECT_EQ(t.shortest_path(3, 3), std::vector<int>{3});
+}
+
+TEST(Topo, DijkstraRespectsWeights) {
+  Topology t("tri", 3);
+  t.add_duplex(0, 1, 10);
+  t.add_duplex(1, 2, 10);
+  t.add_duplex(0, 2, 10);
+  std::vector<double> w(t.links().size(), 1.0);
+  // Make the direct 0->2 link expensive.
+  w[static_cast<std::size_t>(t.link_index(0, 2))] = 10.0;
+  auto path = t.weighted_path(0, 2, w);
+  ASSERT_EQ(path.size(), 3u);  // detour via 1
+  EXPECT_EQ(path[1], 1);
+}
+
+TEST(Traffic, GravityModelSumsToTotal) {
+  Topology t = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(t, 100.0, 3);
+  EXPECT_NEAR(tm.total(), 100.0, 1e-6);
+  // No self-demand, all entries nonnegative.
+  for (const auto& [uv, d] : tm.demands()) {
+    EXPECT_NE(uv.first, uv.second);
+    EXPECT_GE(d, 0.0);
+  }
+  // All ordered pairs present.
+  EXPECT_EQ(tm.demands().size(), 6u * 5u);
+}
+
+TEST(Traffic, DeterministicPerSeed) {
+  Topology t = make_figure2_campus();
+  TrafficMatrix a = gravity_traffic(t, 10.0, 9);
+  TrafficMatrix b = gravity_traffic(t, 10.0, 9);
+  EXPECT_EQ(a.demands(), b.demands());
+  TrafficMatrix c = gravity_traffic(t, 10.0, 10);
+  EXPECT_NE(a.demands(), c.demands());
+}
+
+}  // namespace
+}  // namespace snap

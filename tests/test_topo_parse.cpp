@@ -1,0 +1,51 @@
+// The textual topology format used by the snapc CLI.
+#include <gtest/gtest.h>
+
+#include "topo/parse.h"
+#include "util/status.h"
+
+namespace snap {
+namespace {
+
+TEST(TopoParse, RoundTrip) {
+  const char* text = R"(
+    name tiny
+    switches 3
+    link 0 1 10
+    link 1 2 40
+    port 1 0
+    port 2 2
+  )";
+  Topology t = parse_topology(text);
+  EXPECT_EQ(t.name(), "tiny");
+  EXPECT_EQ(t.num_switches(), 3);
+  EXPECT_EQ(t.links().size(), 4u);  // duplex
+  EXPECT_EQ(t.port_switch(1), 0);
+  EXPECT_EQ(t.port_switch(2), 2);
+  // Serialize and re-parse.
+  Topology t2 = parse_topology(topology_to_text(t));
+  EXPECT_EQ(t2.num_switches(), t.num_switches());
+  EXPECT_EQ(t2.links().size(), t.links().size());
+  EXPECT_EQ(t2.ports(), t.ports());
+}
+
+TEST(TopoParse, CommentsAndBlankLines) {
+  const char* text =
+      "# header\n\nswitches 2\nlink 0 1 10  # a link\n\nport 1 0\n";
+  Topology t = parse_topology(text);
+  EXPECT_EQ(t.num_switches(), 2);
+  EXPECT_EQ(t.links().size(), 2u);
+}
+
+TEST(TopoParse, Errors) {
+  EXPECT_THROW(parse_topology("link 0 1 10\n"), ParseError);  // no switches
+  EXPECT_THROW(parse_topology("switches 0\n"), ParseError);
+  EXPECT_THROW(parse_topology("switches 2\nlink 0 5 10\n"), ParseError);
+  EXPECT_THROW(parse_topology("switches 2\nlink 0 1 -1\n"), ParseError);
+  EXPECT_THROW(parse_topology("switches 2\nbogus 1\n"), ParseError);
+  EXPECT_THROW(parse_topology("switches 2\nport 1 0\nport 1 1\n"),
+               ParseError);  // duplicate port
+}
+
+}  // namespace
+}  // namespace snap

@@ -1,0 +1,228 @@
+// xFDD core tests: hash-consing, leaf normalization, parallel composition,
+// negation, restriction, ordering, race detection.
+#include <gtest/gtest.h>
+
+#include "lang/eval.h"
+#include "util/status.h"
+#include "xfdd/compose.h"
+#include "xfdd/dot.h"
+#include "xfdd/xfdd.h"
+
+namespace snap {
+namespace {
+
+using namespace snap::dsl;
+
+TEST(XfddStore, HashConsingDeduplicates) {
+  XfddStore s;
+  snap::Test t = TestFV{field_id("a"), 1, kExactMatch};
+  XfddId d1 = s.branch(t, s.id_leaf(), s.drop_leaf());
+  XfddId d2 = s.branch(t, s.id_leaf(), s.drop_leaf());
+  EXPECT_EQ(d1, d2);
+  XfddId d3 = s.branch(t, s.drop_leaf(), s.id_leaf());
+  EXPECT_NE(d1, d3);
+}
+
+TEST(XfddStore, RedundantBranchCollapses) {
+  XfddStore s;
+  snap::Test t = TestFV{field_id("a"), 1, kExactMatch};
+  EXPECT_EQ(s.branch(t, s.id_leaf(), s.id_leaf()), s.id_leaf());
+}
+
+TEST(ActionSetNorm, DropEliminated) {
+  auto set = ActionSet::of({ActionSeq::make_drop(), ActionSeq()});
+  EXPECT_TRUE(set.is_id());
+  auto only_drop = ActionSet::of({ActionSeq::make_drop()});
+  EXPECT_TRUE(only_drop.is_drop());
+}
+
+TEST(ActionSeqNorm, FieldModsCompressAndSubstitute) {
+  FieldId f = field_id("f");
+  StateVarId sv = state_var_id("xs");
+  // f <- 1 ; xs[f] <- 2 ; f <- 3  =>  state op sees f=1, final mod f=3.
+  auto seq = ActionSeq::of({ActMod{f, 1},
+                            ActStateSet{sv, Expr::of_field(f), Expr::of_value(2)},
+                            ActMod{f, 3}});
+  ASSERT_EQ(seq.state_ops().size(), 1u);
+  const auto& op = std::get<ActStateSet>(seq.state_ops()[0]);
+  ASSERT_EQ(op.index.size(), 1u);
+  EXPECT_TRUE(op.index.atoms()[0].is_value());
+  EXPECT_EQ(op.index.atoms()[0].value(), 1);
+  ASSERT_EQ(seq.mods().size(), 1u);
+  EXPECT_EQ(seq.mods()[0].second, 3);
+}
+
+TEST(ActionSeqNorm, ThenRewritesThroughMods) {
+  FieldId f = field_id("g");
+  StateVarId sv = state_var_id("ys");
+  auto first = ActionSeq::of({ActMod{f, 7}});
+  auto second =
+      ActionSeq::of({ActStateSet{sv, Expr::of_field(f), Expr::of_value(1)}});
+  auto combined = first.then(second);
+  const auto& op = std::get<ActStateSet>(combined.state_ops()[0]);
+  EXPECT_EQ(op.index.atoms()[0].value(), 7);
+}
+
+TEST(Races, DivergentParallelWritesRejected) {
+  StateVarId sv = state_var_id("race1");
+  auto a = ActionSeq::of({ActStateSet{sv, Expr::of_value(0), Expr::of_value(1)}});
+  auto b = ActionSeq::of({ActStateSet{sv, Expr::of_value(0), Expr::of_value(2)}});
+  auto set_a = ActionSet::of({a});
+  auto set_b = ActionSet::of({b});
+  EXPECT_THROW(set_a.unite(set_b), CompileError);
+}
+
+TEST(Races, IdenticalFactoredWritesAccepted) {
+  StateVarId sv = state_var_id("race2");
+  FieldId f = field_id("h");
+  auto w = ActStateSet{sv, Expr::of_value(0), Expr::of_value(1)};
+  auto a = ActionSeq::of({Action{w}, Action{ActMod{f, 1}}});
+  auto b = ActionSeq::of({Action{w}, Action{ActMod{f, 2}}});
+  auto set = ActionSet::of({a}).unite(ActionSet::of({b}));
+  EXPECT_EQ(set.seqs().size(), 2u);
+  EXPECT_EQ(set.state_programs().size(), 1u);
+}
+
+TEST(Compose, PredicatesAsDiagrams) {
+  XfddStore s;
+  TestOrder order;
+  Store st;
+  Packet in{{"a", 1}, {"b", 2}};
+
+  auto d_and = pred_to_xfdd(s, order, land(test("a", 1), test("b", 2)));
+  EXPECT_EQ(eval_xfdd(s, d_and, st, in).packets.size(), 1u);
+  auto d_and2 = pred_to_xfdd(s, order, land(test("a", 1), test("b", 3)));
+  EXPECT_TRUE(eval_xfdd(s, d_and2, st, in).packets.empty());
+
+  auto d_or = pred_to_xfdd(s, order, lor(test("a", 9), test("b", 2)));
+  EXPECT_EQ(eval_xfdd(s, d_or, st, in).packets.size(), 1u);
+
+  auto d_not = pred_to_xfdd(s, order, lnot(test("a", 1)));
+  EXPECT_TRUE(eval_xfdd(s, d_not, st, in).packets.empty());
+}
+
+TEST(Compose, NegationIsInvolutive) {
+  XfddStore s;
+  TestOrder order;
+  auto x = lor(test("a", 1), land(test("b", 2), lnot(test("c", 3))));
+  XfddId d = pred_to_xfdd(s, order, x);
+  EXPECT_EQ(xfdd_neg(s, xfdd_neg(s, d)), d);
+}
+
+TEST(Compose, NegationOfNonPredicateThrows) {
+  XfddStore s;
+  TestOrder order;
+  XfddId d = to_xfdd(s, order, mod("a", 5));
+  EXPECT_THROW(xfdd_neg(s, d), CompileError);
+}
+
+TEST(Compose, ParallelMakesCopies) {
+  XfddStore s;
+  TestOrder order;
+  Store st;
+  Packet in;
+  XfddId d = to_xfdd(s, order, mod("o", 1) + mod("o", 2));
+  auto r = eval_xfdd(s, d, st, in);
+  EXPECT_EQ(r.packets.size(), 2u);
+}
+
+TEST(Compose, ParallelReadWriteRaceRejected) {
+  XfddStore s;
+  TestOrder order;
+  auto p = par(filter(stest("rw2", idx("a"), lit(kTrue))),
+               sset("rw2", idx("a"), lit(kTrue)));
+  EXPECT_THROW(to_xfdd(s, order, p), CompileError);
+}
+
+TEST(Compose, ParallelDivergentWriteRaceRejected) {
+  XfddStore s;
+  TestOrder order;
+  auto p = par(sset("ww2", idx("a"), lit(1)), sset("ww2", idx("a"), lit(2)));
+  EXPECT_THROW(to_xfdd(s, order, p), CompileError);
+}
+
+TEST(Compose, TestOrderRespectedInMergedDiagram) {
+  XfddStore s;
+  TestOrder order;
+  // Compose two predicates in either order; hash-consing must yield the
+  // same diagram because tests are globally ordered.
+  auto x = test("a", 1);
+  auto y = test("b", 2);
+  XfddId d1 = xfdd_par(s, order, pred_to_xfdd(s, order, x),
+                       pred_to_xfdd(s, order, y));
+  XfddId d2 = xfdd_par(s, order, pred_to_xfdd(s, order, y),
+                       pred_to_xfdd(s, order, x));
+  EXPECT_EQ(d1, d2);
+}
+
+TEST(Compose, RestrictGraftsAtOrderedPosition) {
+  XfddStore s;
+  TestOrder order;
+  // Build a diagram testing field "b", then restrict on "a" (ordered
+  // before): the result must have "a" at the root.
+  XfddId d = s.branch(TestFV{field_id("b"), 2, kExactMatch}, s.id_leaf(),
+                      s.drop_leaf());
+  XfddId r = xfdd_restrict(s, order, d, TestFV{field_id("a"), 1, kExactMatch},
+                           true);
+  const auto& root = s.branch_node(r);
+  EXPECT_EQ(std::get<TestFV>(root.test).field,
+            std::min(field_id("a"), field_id("b")));
+}
+
+TEST(Compose, IfTranslatesToGuardedUnion) {
+  XfddStore s;
+  TestOrder order;
+  Store st;
+  auto p = ite(test("a", 1), mod("o", 10), mod("o", 20));
+  XfddId d = to_xfdd(s, order, p);
+  Packet yes{{"a", 1}};
+  Packet no{{"a", 2}};
+  EXPECT_EQ(eval_xfdd(s, d, st, yes).packets.begin()->get("o"), 10);
+  EXPECT_EQ(eval_xfdd(s, d, st, no).packets.begin()->get("o"), 20);
+}
+
+TEST(Compose, ContextPrunesContradictions) {
+  XfddStore s;
+  TestOrder order;
+  // (a=1 & a=2) is unsatisfiable: the diagram must be the drop leaf.
+  XfddId d = pred_to_xfdd(s, order, land(test("a", 1), test("a", 2)));
+  EXPECT_EQ(d, s.drop_leaf());
+  // (a=1 | !(a=1)) is a tautology... modulo absent fields: a=1 fails and
+  // !(a=1) passes on packets lacking `a`, so the diagram is not the id leaf
+  // but must pass every packet that has `a`.
+  XfddId d2 = pred_to_xfdd(s, order, lor(test("a", 1), lnot(test("a", 1))));
+  Store st;
+  Packet p1{{"a", 1}};
+  Packet p2{{"a", 2}};
+  EXPECT_EQ(eval_xfdd(s, d2, st, p1).packets.size(), 1u);
+  EXPECT_EQ(eval_xfdd(s, d2, st, p2).packets.size(), 1u);
+}
+
+TEST(Compose, PrefixTestsInteract) {
+  XfddStore s;
+  TestOrder order;
+  Store st;
+  // dstip=10.0.6.0/24 & dstip=10.0.0.0/8 : the /8 is implied inside /24.
+  auto x = land(test_cidr("dstip", "10.0.6.0/24"),
+                test_cidr("dstip", "10.0.0.0/8"));
+  XfddId d = pred_to_xfdd(s, order, x);
+  // Only one test should remain (the /8 is implied by the /24).
+  EXPECT_EQ(s.reachable_size(d), 3u);  // one branch + id + drop
+  // Disjoint prefixes are unsatisfiable.
+  auto y = land(test_cidr("dstip", "10.0.6.0/24"),
+                test_cidr("dstip", "10.0.7.0/24"));
+  EXPECT_EQ(pred_to_xfdd(s, order, y), s.drop_leaf());
+}
+
+TEST(Dot, ExportContainsNodes) {
+  XfddStore s;
+  TestOrder order;
+  XfddId d = to_xfdd(s, order, ite(test("a", 1), mod("o", 1), filter(drop())));
+  std::string dot = xfdd_to_dot(s, d);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("a = 1"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snap

@@ -1,0 +1,176 @@
+// Property-based testing: for randomly generated SNAP programs, packets and
+// stores, the xFDD translation must agree with the Appendix-A eval oracle on
+// both output packets and the final store. Programs the compiler rejects
+// (races) are skipped; programs it accepts must never make eval race.
+#include <gtest/gtest.h>
+
+#include "lang/eval.h"
+#include "lang/printer.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "xfdd/compose.h"
+#include "xfdd/xfdd.h"
+
+namespace snap {
+namespace {
+
+using namespace snap::dsl;
+
+// A small universe keeps collision probability high (interesting cases).
+const char* kFields[] = {"pa", "pb", "pc"};
+const char* kVars[] = {"va", "vb"};
+constexpr Value kMaxVal = 2;
+
+Expr random_index(Rng& rng) {
+  Expr e;
+  int n = static_cast<int>(rng.uniform(1, 2));
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.6)) {
+      e.append_field(field_id(kFields[rng.uniform(0, 2)]));
+    } else {
+      e.append_value(rng.uniform(0, kMaxVal));
+    }
+  }
+  return e;
+}
+
+Expr random_scalar(Rng& rng) {
+  if (rng.bernoulli(0.5)) return Expr::of_field(field_id(kFields[rng.uniform(0, 2)]));
+  return Expr::of_value(rng.uniform(0, kMaxVal));
+}
+
+PredPtr random_pred(Rng& rng, int depth) {
+  if (depth <= 0 || rng.bernoulli(0.4)) {
+    switch (rng.uniform(0, 3)) {
+      case 0:
+        return id();
+      case 1:
+        return test(kFields[rng.uniform(0, 2)], rng.uniform(0, kMaxVal));
+      case 2:
+        return stest(kVars[rng.uniform(0, 1)], random_index(rng),
+                     random_scalar(rng));
+      default:
+        return drop();
+    }
+  }
+  switch (rng.uniform(0, 2)) {
+    case 0:
+      return land(random_pred(rng, depth - 1), random_pred(rng, depth - 1));
+    case 1:
+      return lor(random_pred(rng, depth - 1), random_pred(rng, depth - 1));
+    default:
+      return lnot(random_pred(rng, depth - 1));
+  }
+}
+
+PolPtr random_pol(Rng& rng, int depth) {
+  if (depth <= 0 || rng.bernoulli(0.3)) {
+    switch (rng.uniform(0, 4)) {
+      case 0:
+        return filter(random_pred(rng, 1));
+      case 1:
+        return mod(kFields[rng.uniform(0, 2)], rng.uniform(0, kMaxVal));
+      case 2:
+        return sset(kVars[rng.uniform(0, 1)], random_index(rng),
+                    random_scalar(rng));
+      case 3:
+        return sinc(kVars[rng.uniform(0, 1)], random_index(rng));
+      default:
+        return sdec(kVars[rng.uniform(0, 1)], random_index(rng));
+    }
+  }
+  switch (rng.uniform(0, 3)) {
+    case 0:
+      return seq(random_pol(rng, depth - 1), random_pol(rng, depth - 1));
+    case 1:
+      return par(random_pol(rng, depth - 1), random_pol(rng, depth - 1));
+    case 2:
+      return ite(random_pred(rng, depth - 1), random_pol(rng, depth - 1),
+                 random_pol(rng, depth - 1));
+    default:
+      return atomic(random_pol(rng, depth - 1));
+  }
+}
+
+// Packets always carry every field of the universe so state expressions are
+// evaluable (the oracle throws on absent fields, by design).
+Packet random_packet(Rng& rng) {
+  Packet p;
+  for (const char* f : kFields) p.set(f, rng.uniform(0, kMaxVal));
+  return p;
+}
+
+Store random_store(Rng& rng) {
+  Store st;
+  for (const char* v : kVars) {
+    int entries = static_cast<int>(rng.uniform(0, 4));
+    for (int i = 0; i < entries; ++i) {
+      ValueVec index;
+      int dims = static_cast<int>(rng.uniform(1, 2));
+      for (int d = 0; d < dims; ++d) index.push_back(rng.uniform(0, kMaxVal));
+      st.set(state_var_id(v), index, rng.uniform(0, kMaxVal));
+    }
+  }
+  return st;
+}
+
+struct PropertyStats {
+  int compiled = 0;
+  int rejected = 0;
+  int checked = 0;
+};
+
+class XfddPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XfddPropertyTest, XfddAgreesWithEvalOracle) {
+  Rng rng(GetParam());
+  PropertyStats stats;
+  for (int iter = 0; iter < 120; ++iter) {
+    PolPtr p = random_pol(rng, static_cast<int>(rng.uniform(1, 4)));
+    XfddStore s;
+    TestOrder order;
+    XfddId d;
+    try {
+      d = to_xfdd(s, order, p);
+    } catch (const CompileError&) {
+      ++stats.rejected;  // racy program: correctly rejected, skip
+      continue;
+    }
+    ++stats.compiled;
+    for (int probe = 0; probe < 6; ++probe) {
+      Packet pkt = random_packet(rng);
+      Store st = random_store(rng);
+      EvalResult r_eval;
+      try {
+        r_eval = eval(p, st, pkt);
+      } catch (const CompileError& e) {
+        // The compiler accepted this program, so the oracle must too.
+        ADD_FAILURE() << "oracle raced on accepted program: " << e.what();
+        break;
+      }
+      EvalResult r_xfdd = eval_xfdd(s, d, st, pkt);
+      ASSERT_EQ(r_eval.packets, r_xfdd.packets)
+          << "packet disagreement, seed=" << GetParam() << " iter=" << iter
+          << "\nprogram:\n" << snap::to_string(p) << "\npacket: "
+          << pkt.to_string() << "\nstore:\n" << st.to_string() << "\n"
+          << s.to_string(d);
+      ASSERT_TRUE(r_eval.store == r_xfdd.store)
+          << "store disagreement, seed=" << GetParam() << " iter=" << iter
+          << "\nprogram:\n" << snap::to_string(p) << "\npacket: "
+          << pkt.to_string() << "\ninput store:\n" << st.to_string()
+          << "\neval:\n" << r_eval.store.to_string() << "xfdd:\n"
+          << r_xfdd.store.to_string() << s.to_string(d);
+      ++stats.checked;
+    }
+  }
+  // The generator must produce a healthy mix of accepted and rejected
+  // programs for the test to be meaningful.
+  EXPECT_GT(stats.compiled, 20);
+  EXPECT_GT(stats.checked, 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XfddPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace snap

@@ -1,0 +1,285 @@
+// Sequential xFDD composition (Figure 15 / Appendix E): the hard cases.
+// Field modifications flowing into tests, state writes flowing into state
+// tests, field-field test generation, and increment resolution.
+#include <gtest/gtest.h>
+
+#include "lang/eval.h"
+#include "util/status.h"
+#include "xfdd/compose.h"
+#include "xfdd/xfdd.h"
+
+namespace snap {
+namespace {
+
+using namespace snap::dsl;
+
+// Compiles and checks xFDD-vs-eval agreement on one packet + store.
+void expect_agree(const PolPtr& p, const Packet& pkt, const Store& st) {
+  XfddStore s;
+  TestOrder order;
+  XfddId d = to_xfdd(s, order, p);
+  auto r_eval = eval(p, st, pkt);
+  auto r_xfdd = eval_xfdd(s, d, st, pkt);
+  EXPECT_EQ(r_eval.packets, r_xfdd.packets) << s.to_string(d);
+  EXPECT_TRUE(r_eval.store == r_xfdd.store)
+      << "eval store:\n" << r_eval.store.to_string() << "xfdd store:\n"
+      << r_xfdd.store.to_string() << s.to_string(d);
+}
+
+TEST(SeqCompose, ModThenTestSameFieldResolvesStatically) {
+  XfddStore s;
+  TestOrder order;
+  // f <- 1 ; f = 1  is id-with-mod; f <- 1 ; f = 2 is drop.
+  XfddId d1 = to_xfdd(s, order, mod("f", 1) >> filter(test("f", 1)));
+  EXPECT_TRUE(s.is_leaf(d1));
+  XfddId d2 = to_xfdd(s, order, mod("f", 1) >> filter(test("f", 2)));
+  EXPECT_EQ(d2, s.drop_leaf());
+}
+
+TEST(SeqCompose, ModThenTestOtherFieldKeepsTest) {
+  Packet pkt{{"f", 5}, {"g", 7}};
+  Store st;
+  expect_agree(mod("f", 1) >> filter(test("g", 7)), pkt, st);
+  expect_agree(mod("f", 1) >> filter(test("g", 8)), pkt, st);
+}
+
+TEST(SeqCompose, ModThenPrefixTestResolves) {
+  XfddStore s;
+  TestOrder order;
+  Value inside = 0x0a000601;  // 10.0.6.1
+  XfddId d = to_xfdd(
+      s, order, mod("dstip", inside) >> filter(test_cidr("dstip", "10.0.6.0/24")));
+  EXPECT_TRUE(s.is_leaf(d));
+  XfddId d2 = to_xfdd(
+      s, order, mod("dstip", inside) >> filter(test_cidr("dstip", "10.0.7.0/24")));
+  EXPECT_EQ(d2, s.drop_leaf());
+}
+
+TEST(SeqCompose, WriteThenStateTestSameIndexResolves) {
+  XfddStore s;
+  TestOrder order;
+  // s[0] <- 1 ; (s[0]=1 ? drop) — composes to an unconditional leaf.
+  auto p = sset("sq1", lit(0), lit(1)) >>
+           ite(stest("sq1", lit(0), lit(1)), mod("o", 1), mod("o", 2));
+  XfddId d = to_xfdd(s, order, p);
+  EXPECT_TRUE(s.is_leaf(d)) << s.to_string(d);
+  Store st;
+  Packet pkt;
+  auto r = eval_xfdd(s, d, st, pkt);
+  EXPECT_EQ(r.packets.begin()->get("o"), 1);
+  expect_agree(p, pkt, st);
+}
+
+TEST(SeqCompose, WriteThenStateTestDifferentConstantIndexKeepsTest) {
+  // s[0] <- 1 ; s[1] = 1 : indices differ statically, pre-state test stays.
+  auto p = sset("sq2", lit(0), lit(1)) >>
+           ite(stest("sq2", lit(1), lit(1)), mod("o", 1), mod("o", 2));
+  Store st_hit;
+  st_hit.set(state_var_id("sq2"), {1}, 1);
+  Packet pkt;
+  expect_agree(p, pkt, st_hit);
+  Store st_miss;
+  expect_agree(p, pkt, st_miss);
+}
+
+TEST(SeqCompose, WriteThenTestFieldIndicesEmitsFieldFieldTest) {
+  // s[srcip] <- 1 ; s[dstip] = 1 : requires a srcip=dstip field-field test.
+  auto p = sset("sq3", idx("srcip"), lit(1)) >>
+           ite(stest("sq3", idx("dstip"), lit(1)), mod("o", 1), mod("o", 2));
+  XfddStore s;
+  TestOrder order;
+  XfddId d = to_xfdd(s, order, p);
+  // The diagram must contain a field-field test node.
+  bool found_ff = false;
+  for (XfddId i = 0; i < s.size(); ++i) {
+    if (!s.is_leaf(i) && std::holds_alternative<TestFF>(s.branch_node(i).test)) {
+      found_ff = true;
+    }
+  }
+  EXPECT_TRUE(found_ff) << s.to_string(d);
+
+  // Behaviour matches eval whether or not the fields coincide.
+  Store st;
+  Packet equal_fields{{"srcip", 7}, {"dstip", 7}};
+  expect_agree(p, equal_fields, st);
+  Packet diff_fields{{"srcip", 7}, {"dstip", 8}};
+  expect_agree(p, diff_fields, st);
+  Store st2;
+  st2.set(state_var_id("sq3"), {8}, 1);
+  expect_agree(p, diff_fields, st2);
+}
+
+TEST(SeqCompose, IncrementThenConstantTestShiftsThreshold) {
+  // c[srcip]++ ; c[srcip] = 3  must become a pre-state test c[srcip] = 2.
+  auto p = sinc("sq4", idx("srcip")) >>
+           ite(stest("sq4", idx("srcip"), lit(3)), mod("o", 1), mod("o", 2));
+  XfddStore s;
+  TestOrder order;
+  XfddId d = to_xfdd(s, order, p);
+  bool found_shifted = false;
+  for (XfddId i = 0; i < s.size(); ++i) {
+    if (s.is_leaf(i)) continue;
+    const auto* ts = std::get_if<TestState>(&s.branch_node(i).test);
+    if (ts && ts->value.size() == 1 && ts->value.atoms()[0].is_value() &&
+        ts->value.atoms()[0].value() == 2) {
+      found_shifted = true;
+    }
+  }
+  EXPECT_TRUE(found_shifted) << s.to_string(d);
+
+  Packet pkt{{"srcip", 5}};
+  Store at2;
+  at2.set(state_var_id("sq4"), {5}, 2);
+  expect_agree(p, pkt, at2);
+  Store at1;
+  at1.set(state_var_id("sq4"), {5}, 1);
+  expect_agree(p, pkt, at1);
+}
+
+TEST(SeqCompose, DoubleIncrementShiftsByTwo) {
+  auto p = sinc("sq5", idx("srcip")) >>
+           (sinc("sq5", idx("srcip")) >>
+            ite(stest("sq5", idx("srcip"), lit(2)), mod("o", 1), mod("o", 2)));
+  Packet pkt{{"srcip", 5}};
+  Store empty;
+  expect_agree(p, pkt, empty);  // 0+2 = 2 -> o=1
+  Store at1;
+  at1.set(state_var_id("sq5"), {5}, 1);
+  expect_agree(p, pkt, at1);  // 1+2 = 3 -> o=2
+}
+
+TEST(SeqCompose, SetThenIncrementThenTest) {
+  // s[0] <- 3 ; s[0]++ ; s[0] = 4 resolves statically to true.
+  auto p = sset("sq6", lit(0), lit(3)) >>
+           (sinc("sq6", lit(0)) >>
+            ite(stest("sq6", lit(0), lit(4)), mod("o", 1), mod("o", 2)));
+  XfddStore s;
+  TestOrder order;
+  XfddId d = to_xfdd(s, order, p);
+  EXPECT_TRUE(s.is_leaf(d)) << s.to_string(d);
+  Packet pkt;
+  Store st;
+  expect_agree(p, pkt, st);
+}
+
+TEST(SeqCompose, WriteFieldValueThenConstantTestEmitsFieldTest) {
+  // s[0] <- f ; s[0] = 5 becomes the field test f = 5.
+  auto p = sset("sq7", lit(0), fld("f")) >>
+           ite(stest("sq7", lit(0), lit(5)), mod("o", 1), mod("o", 2));
+  Packet hit{{"f", 5}};
+  Packet miss{{"f", 6}};
+  Store st;
+  expect_agree(p, hit, st);
+  expect_agree(p, miss, st);
+}
+
+TEST(SeqCompose, IncrementAgainstFieldComparisonRejected) {
+  // c[0]++ ; c[0] = f cannot be compiled (threshold is not constant).
+  auto p = sinc("sq8", lit(0)) >>
+           ite(stest("sq8", lit(0), fld("f")), mod("o", 1), mod("o", 2));
+  XfddStore s;
+  TestOrder order;
+  EXPECT_THROW(to_xfdd(s, order, p), CompileError);
+}
+
+TEST(SeqCompose, MaybeEqualIndexWithIncrement) {
+  // c[srcip]++ ; c[dstip] = 1 : needs srcip=dstip disambiguation and then a
+  // shifted threshold on the true side.
+  auto p = sinc("sq9", idx("srcip")) >>
+           ite(stest("sq9", idx("dstip"), lit(1)), mod("o", 1), mod("o", 2));
+  Store st;
+  Packet same{{"srcip", 4}, {"dstip", 4}};
+  expect_agree(p, same, st);
+  Packet diff{{"srcip", 4}, {"dstip", 5}};
+  expect_agree(p, diff, st);
+  Store st_d5;
+  st_d5.set(state_var_id("sq9"), {5}, 1);
+  expect_agree(p, diff, st_d5);
+}
+
+TEST(SeqCompose, DropAbsorbs) {
+  XfddStore s;
+  TestOrder order;
+  XfddId d = to_xfdd(s, order, filter(drop()) >> mod("f", 1));
+  EXPECT_EQ(d, s.drop_leaf());
+  XfddId d2 = to_xfdd(s, order, mod("f", 1) >> filter(drop()));
+  EXPECT_EQ(d2, s.drop_leaf());
+}
+
+TEST(SeqCompose, SequentialWritesToSameVarAllowed) {
+  auto p = sset("sq10", lit(0), lit(1)) >> sset("sq10", lit(0), lit(2));
+  Packet pkt;
+  Store st;
+  expect_agree(p, pkt, st);
+  XfddStore s;
+  TestOrder order;
+  XfddId d = to_xfdd(s, order, p);
+  auto r = eval_xfdd(s, d, st, pkt);
+  EXPECT_EQ(r.store.get(state_var_id("sq10"), {0}), 2);
+}
+
+TEST(SeqCompose, ParallelThenSequentialSharedPrefixFactoring) {
+  // c[0]++ ; (o<-1 + o<-2): the increment must happen once even though both
+  // copies carry it.
+  auto p = sinc("sq11", lit(0)) >> (mod("o", 1) + mod("o", 2));
+  XfddStore s;
+  TestOrder order;
+  XfddId d = to_xfdd(s, order, p);
+  Store st;
+  Packet pkt;
+  auto r = eval_xfdd(s, d, st, pkt);
+  EXPECT_EQ(r.packets.size(), 2u);
+  EXPECT_EQ(r.store.get(state_var_id("sq11"), {0}), 1);
+  expect_agree(p, pkt, st);
+}
+
+TEST(SeqCompose, DnsTunnelEndToEndAgainstOracle) {
+  // The full Figure 1 program composed with a 2-port assign-egress.
+  auto dns = land(test_cidr("dstip", "10.0.6.0/24"), test("srcport", 53));
+  auto prog =
+      ite(dns,
+          sset("orphan", idx("dstip", "dns.rdata"), lit(kTrue)) >>
+              (sinc("susp-client", idx("dstip")) >>
+               ite(stest("susp-client", idx("dstip"), lit(2)),
+                   sset("blacklist", idx("dstip"), lit(kTrue)), filter(id()))),
+          ite(land(test_cidr("srcip", "10.0.6.0/24"),
+                   stest("orphan", idx("srcip", "dstip"), lit(kTrue))),
+              sset("orphan", idx("srcip", "dstip"), lit(kFalse)) >>
+                  sdec("susp-client", idx("srcip")),
+              filter(id()))) >>
+      ite(test_cidr("dstip", "10.0.6.0/24"), mod("outport", 6),
+          mod("outport", 1));
+
+  Value client = 0x0a000632;  // 10.0.6.50
+  Value server = 0x5db8d822;  // 93.184.216.34
+
+  XfddStore s;
+  TestOrder order;
+  XfddId d = to_xfdd(s, order, prog);
+
+  // Run a small packet trace through both semantics in lockstep.
+  std::vector<Packet> trace{
+      Packet{{"dstip", client}, {"srcport", 53}, {"dns.rdata", server},
+             {"srcip", 99}},
+      Packet{{"srcip", client}, {"dstip", server}, {"srcport", 1000}},
+      Packet{{"dstip", client}, {"srcport", 53}, {"dns.rdata", server},
+             {"srcip", 99}},
+      Packet{{"dstip", client}, {"srcport", 53}, {"dns.rdata", server + 1},
+             {"srcip", 99}},
+      Packet{{"srcip", 5}, {"dstip", 6}, {"srcport", 80}},
+  };
+  Store st_eval, st_xfdd;
+  for (const Packet& pkt : trace) {
+    auto r1 = eval(prog, st_eval, pkt);
+    auto r2 = eval_xfdd(s, d, st_xfdd, pkt);
+    EXPECT_EQ(r1.packets, r2.packets);
+    EXPECT_TRUE(r1.store == r2.store);
+    st_eval = r1.store;
+    st_xfdd = r2.store;
+  }
+  // After two unused resolutions the client is blacklisted.
+  EXPECT_EQ(st_eval.get(state_var_id("blacklist"), {client}), kTrue);
+}
+
+}  // namespace
+}  // namespace snap

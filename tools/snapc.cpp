@@ -1,0 +1,162 @@
+// snapc — the SNAP command-line compiler.
+//
+// Usage:
+//   snapc --policy prog.snap --topology net.topo [options]
+//
+// Options:
+//   --policy FILE      SNAP policy in the concrete syntax of Figure 1
+//   --topology FILE    topology (see src/topo/parse.h for the format)
+//   --const NAME=VAL   define a symbolic constant (repeatable)
+//   --traffic SEED     gravity-model traffic seed (default 1)
+//   --load GBPS        total offered load (default 20% of edge capacity)
+//   --solver MODE      auto | exact | scalable (default auto)
+//   --dot FILE         write the policy xFDD as Graphviz
+//   --rules            print per-switch NetASM programs
+//   --quiet            only placement and timing summary
+//
+// Compiles the one-big-switch policy for the given network, prints the
+// per-phase times (Table 4's P1-P6), the state placement, the chosen
+// paths, and optionally the per-switch data-plane programs.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "apps/apps.h"
+#include "compiler/pipeline.h"
+#include "netasm/assembler.h"
+#include "topo/parse.h"
+#include "util/status.h"
+#include "xfdd/dot.h"
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    throw snap::Error("cannot open " + path);
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: snapc --policy FILE --topology FILE"
+               " [--const NAME=VAL]... [--traffic SEED] [--load GBPS]"
+               " [--solver auto|exact|scalable] [--dot FILE] [--rules]"
+               " [--quiet]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace snap;
+  std::string policy_file, topo_file, dot_file;
+  ConstTable consts = apps::protocol_constants();
+  std::uint64_t seed = 1;
+  double load = -1;
+  bool print_rules = false, quiet = false;
+  CompilerOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing argument for %s\n", flag);
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--policy")) {
+      policy_file = need("--policy");
+    } else if (!std::strcmp(argv[i], "--topology")) {
+      topo_file = need("--topology");
+    } else if (!std::strcmp(argv[i], "--const")) {
+      std::string def = need("--const");
+      auto eq = def.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "bad --const '%s' (want NAME=VAL)\n",
+                     def.c_str());
+        return 2;
+      }
+      consts[def.substr(0, eq)] = std::stoll(def.substr(eq + 1));
+    } else if (!std::strcmp(argv[i], "--traffic")) {
+      seed = std::stoull(need("--traffic"));
+    } else if (!std::strcmp(argv[i], "--load")) {
+      load = std::stod(need("--load"));
+    } else if (!std::strcmp(argv[i], "--solver")) {
+      std::string mode = need("--solver");
+      opts.solver = mode == "exact"      ? SolverKind::kExact
+                    : mode == "scalable" ? SolverKind::kScalable
+                                         : SolverKind::kAuto;
+    } else if (!std::strcmp(argv[i], "--dot")) {
+      dot_file = need("--dot");
+    } else if (!std::strcmp(argv[i], "--rules")) {
+      print_rules = true;
+    } else if (!std::strcmp(argv[i], "--quiet")) {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      usage();
+      return 2;
+    }
+  }
+  if (policy_file.empty() || topo_file.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    Topology topo = parse_topology(slurp(topo_file));
+    PolPtr program = parse_policy(slurp(policy_file), consts);
+    if (load < 0) load = 2.0 * static_cast<double>(topo.ports().size());
+    TrafficMatrix tm = gravity_traffic(topo, load, seed);
+
+    Compiler compiler(topo, tm, opts);
+    CompileResult r = compiler.compile(program);
+
+    std::printf("%s: compiled '%s'\n", topo.to_string().c_str(),
+                policy_file.c_str());
+    std::printf(
+        "phases (s): P1 dep=%.4f  P2 xfdd=%.4f  P3 psmap=%.4f  "
+        "P4 model=%.4f  P5 solve=%.4f  P6 rules=%.4f\n",
+        r.times.p1_dependency, r.times.p2_xfdd, r.times.p3_psmap,
+        r.times.p4_model, r.times.p5_solve_st, r.times.p6_rulegen);
+    std::printf("xFDD: %zu nodes; solver: %s; objective: %.4f\n",
+                r.xfdd_nodes, r.used_exact_milp ? "exact MILP" : "scalable",
+                r.pr.routing.objective);
+
+    std::printf("\nstate placement:\n");
+    for (const auto& [var, sw] : r.pr.placement.switch_of) {
+      std::printf("  %-24s -> switch %d\n", state_var_name(var).c_str(), sw);
+    }
+    if (!quiet) {
+      std::printf("\npaths:\n");
+      for (const auto& [uv, path] : r.pr.routing.paths) {
+        std::printf("  %3d -> %3d : ", uv.first, uv.second);
+        for (std::size_t i = 0; i < path.size(); ++i) {
+          std::printf("%s%d", i ? "-" : "", path[i]);
+        }
+        std::printf("\n");
+      }
+    }
+    if (!dot_file.empty()) {
+      std::ofstream(dot_file) << xfdd_to_dot(*r.store, r.root);
+      std::printf("\nwrote xFDD to %s\n", dot_file.c_str());
+    }
+    if (print_rules) {
+      for (int sw = 0; sw < topo.num_switches(); ++sw) {
+        netasm::Program prog =
+            netasm::assemble(*r.store, r.root, r.pr.placement, sw);
+        std::printf("\n--- switch %d program (%zu instructions) ---\n%s", sw,
+                    prog.code.size(), prog.disassemble().c_str());
+      }
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "snapc: %s\n", e.what());
+    return 1;
+  }
+}
