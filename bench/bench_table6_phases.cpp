@@ -4,27 +4,93 @@
 // Columns mirror the paper: P1-P3 (analysis), P5 ST (joint placement +
 // routing), P5 TE (routing re-optimization), P6 (rule generation), and P4
 // (optimization model creation).
+//
+// --threads N compiles with the parallel P2/P6 paths (0 = all cores). With
+// N > 1 each row also reports the serial baseline's P2+P6 and the speedup,
+// after checking the two runs produced identical placements, rule counts
+// and xFDD shapes (the determinism contract of CompilerOptions::threads).
+#include <cstdlib>
+#include <cstring>
+
 #include "bench_common.h"
 
-int main() {
+namespace {
+
+// Byte-comparable digest of everything P2/P6 produce.
+std::string output_digest(const snap::CompileResult& r) {
+  std::string d = r.store->to_string(r.root);
+  d += '|';
+  d += std::to_string(r.xfdd_nodes);
+  for (const snap::SwitchSlice& s : r.slices) {
+    d += '|';
+    d += std::to_string(s.sw) + ',' + std::to_string(s.instructions) + ',' +
+         std::to_string(s.state_tests) + ',' + std::to_string(s.escapes) +
+         ',' + std::to_string(s.state_writes);
+  }
+  for (const auto& [var, sw] : r.pr.placement.switch_of) {
+    d += '|';
+    d += snap::state_var_name(var) + '@' + std::to_string(sw);
+  }
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace snap;
+  int threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      const char* arg = argv[++i];
+      char* end = nullptr;
+      long n = std::strtol(arg, &end, 10);
+      if (end == arg || *end != '\0' || n < 0 || n > 4096) {
+        std::fprintf(stderr, "bad --threads '%s' (want 0..4096)\n", arg);
+        return 2;
+      }
+      threads = static_cast<int>(n);
+    } else {
+      std::fprintf(stderr, "usage: %s [--threads N]\n", argv[0]);
+      return 2;
+    }
+  }
   bench::print_header(
       "Table 6: per-phase compile times for DNS-tunnel-detect + routing",
       "Table 6");
-  std::printf("%-10s %12s %10s %10s %10s %10s\n", "Topology", "P1-P2-P3(s)",
+  std::printf("%-10s %12s %10s %10s %10s %10s", "Topology", "P1-P2-P3(s)",
               "P5 ST(s)", "P5 TE(s)", "P6(s)", "P4(s)");
+  if (threads != 1) {
+    std::printf("  [threads=%d] %12s %10s", threads, "ser P2+P6(s)",
+                "speedup");
+  }
+  std::printf("\n");
   for (const auto& spec : table5_specs()) {
     Topology topo = make_table5_topology(spec, 42);
     TrafficMatrix tm = bench::default_traffic(topo, 7);
-    Compiler compiler(topo, tm);
     PolPtr prog = bench::dns_tunnel_with_routing(topo);
+
+    CompilerOptions opts;
+    opts.threads = threads;
+    Compiler compiler(topo, tm, opts);
     CompileResult r = compiler.compile(prog);
     TrafficMatrix shifted = bench::default_traffic(topo, 8);
     PhaseTimes te = compiler.reoptimize_te(r, shifted);
-    std::printf("%-10s %12.3f %10.3f %10.3f %10.3f %10.3f\n", spec.name,
+    std::printf("%-10s %12.3f %10.3f %10.3f %10.3f %10.3f", spec.name,
                 r.times.p1_dependency + r.times.p2_xfdd + r.times.p3_psmap,
                 r.times.p5_solve_st, te.p5_solve_te, r.times.p6_rulegen,
                 r.times.p4_model);
+    if (threads != 1) {
+      Compiler serial(topo, tm, CompilerOptions{});
+      CompileResult rs = serial.compile(prog);
+      double par = r.times.p2_xfdd + r.times.p6_rulegen;
+      double ser = rs.times.p2_xfdd + rs.times.p6_rulegen;
+      std::printf(" %12.3f %9.2fx", ser, par > 0 ? ser / par : 0.0);
+      if (output_digest(r) != output_digest(rs)) {
+        std::printf("  OUTPUT MISMATCH vs serial!\n");
+        return 1;
+      }
+    }
+    std::printf("\n");
   }
   return 0;
 }

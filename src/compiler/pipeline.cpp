@@ -1,13 +1,25 @@
 #include "compiler/pipeline.h"
 
+#include <thread>
+
 #include "util/status.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace snap {
 
 Compiler::Compiler(const Topology& topo, TrafficMatrix tm,
                    CompilerOptions opts)
-    : topo_(topo), tm_(std::move(tm)), opts_(std::move(opts)) {}
+    : topo_(topo), tm_(std::move(tm)), opts_(std::move(opts)) {
+  int threads = opts_.threads;
+  if (threads == 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads < 1) threads = 1;
+  }
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+Compiler::~Compiler() = default;
 
 bool Compiler::choose_exact(const PacketStateMap& psmap) const {
   if (opts_.solver == SolverKind::kExact) return true;
@@ -36,10 +48,20 @@ CompileResult Compiler::compile(const PolPtr& program) {
   out.order = out.deps.test_order();
   out.times.p1_dependency = t.seconds();
 
-  // P2: xFDD generation.
+  // P2: xFDD generation. Both paths intern the final diagram into a fresh
+  // store in first-visit DFS order (xfdd_import), so node ids are a
+  // canonical function of the diagram shape: serial and parallel runs (and
+  // any thread count) number identically, and the composition's garbage
+  // nodes are dropped before the later phases walk the store.
   t.reset();
   out.store = std::make_shared<XfddStore>();
-  out.root = to_xfdd(*out.store, out.order, program);
+  if (pool_) {
+    out.root = to_xfdd_parallel(*out.store, out.order, program, *pool_);
+  } else {
+    XfddStore scratch;
+    XfddId raw = to_xfdd(scratch, out.order, program);
+    out.root = xfdd_import(*out.store, scratch, raw);
+  }
   out.xfdd_nodes = out.store->reachable_size(out.root);
   out.times.p2_xfdd = t.seconds();
 
@@ -91,7 +113,7 @@ CompileResult Compiler::compile(const PolPtr& program) {
   t.reset();
   out.slices =
       split_stats(*out.store, out.root, out.pr.placement,
-                  topo_.num_switches());
+                  topo_.num_switches(), pool_.get());
   RoutingTables tables = RoutingTables::build(topo_, out.pr.routing);
   out.path_rules = tables.path_rule_count();
   out.times.p6_rulegen = t.seconds();
@@ -130,8 +152,9 @@ PhaseTimes Compiler::reoptimize_te(CompileResult& result,
   times.p5_solve_te = t.seconds();
 
   t.reset();
-  result.slices = split_stats(*result.store, result.root,
-                              result.pr.placement, topo_.num_switches());
+  result.slices =
+      split_stats(*result.store, result.root, result.pr.placement,
+                  topo_.num_switches(), pool_.get());
   RoutingTables tables = RoutingTables::build(topo_, result.pr.routing);
   result.path_rules = tables.path_rule_count();
   times.p6_rulegen = t.seconds();

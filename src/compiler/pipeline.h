@@ -49,6 +49,23 @@ struct CompilerOptions {
   // only genuinely small instances are worth it; everything else goes to
   // the decomposition solver.
   std::size_t exact_var_limit = 600;
+  // DESIGN: compiler parallelism. `threads` sizes a work-stealing pool
+  // (util/thread_pool.h) used by the two phases that dominate Table 4 and
+  // decompose into independent units:
+  //   P2  xFDD generation — the operands of every +, ;, and if policy node
+  //       are composed in private stores by pool tasks, then imported in a
+  //       fixed left-to-right order and combined (xfdd/compose.h,
+  //       to_xfdd_parallel);
+  //   P6  rule generation — after placement, each switch's NetASM program
+  //       depends only on the shared read-only xFDD and the placement, so
+  //       switches are assembled fully in parallel (rulegen/split.h).
+  // 1 (default) runs serially with no pool; 0 means one thread per
+  // hardware core; N > 1 spawns N workers. Every thread count produces
+  // byte-identical output: after P2 the diagram is re-interned in
+  // first-visit DFS order (xfdd_import), which canonicalizes node ids
+  // regardless of construction history, and P6 writes into per-switch
+  // slots. tests/test_determinism.cpp holds this invariant.
+  int threads = 1;
 };
 
 struct PhaseTimes {
@@ -85,10 +102,13 @@ struct CompileResult {
   PhaseTimes times;
 };
 
+class ThreadPool;
+
 class Compiler {
  public:
   Compiler(const Topology& topo, TrafficMatrix tm,
            CompilerOptions opts = {});
+  ~Compiler();
 
   // Cold start / policy change: all analysis phases plus ST solving and
   // rule generation. (The cold-start scenario additionally charges P4; the
@@ -114,6 +134,9 @@ class Compiler {
   // re-optimization only pays routing (the paper keeps the Gurobi model and
   // edits it incrementally).
   std::optional<ScalableSolver> model_;
+  // Lazily-built worker pool for the parallel P2/P6 paths (null when
+  // opts_.threads == 1).
+  std::unique_ptr<ThreadPool> pool_;
 
   bool choose_exact(const PacketStateMap& psmap) const;
 };

@@ -1,18 +1,25 @@
 #include "lang/field.h"
 
+#include <deque>
+#include <mutex>
 #include <unordered_map>
-#include <vector>
 
 #include "util/status.h"
 
 namespace snap {
 namespace {
 
+// Guarded by a mutex so the compiler's parallel phases (which may intern a
+// well-known field lazily or format an error message) can run concurrently.
+// `by_id` is a deque: insertion never moves existing strings, so the
+// references handed out by name() stay valid without holding the lock.
 struct InternTable {
+  mutable std::mutex mu;
   std::unordered_map<std::string, std::uint16_t> by_name;
-  std::vector<std::string> by_id;
+  std::deque<std::string> by_id;
 
   std::uint16_t intern(const std::string& name) {
+    std::lock_guard<std::mutex> lk(mu);
     auto it = by_name.find(name);
     if (it != by_name.end()) return it->second;
     SNAP_CHECK(by_id.size() < 0xffff, "intern table overflow");
@@ -23,8 +30,19 @@ struct InternTable {
   }
 
   const std::string& name(std::uint16_t id) const {
+    std::lock_guard<std::mutex> lk(mu);
     SNAP_CHECK(id < by_id.size(), "unknown interned id");
     return by_id[id];
+  }
+
+  bool contains(const std::string& name) const {
+    std::lock_guard<std::mutex> lk(mu);
+    return by_name.count(name) > 0;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu);
+    return by_id.size();
   }
 };
 
@@ -45,10 +63,10 @@ FieldId field_id(const std::string& name) { return field_table().intern(name); }
 const std::string& field_name(FieldId id) { return field_table().name(id); }
 
 bool is_known_field(const std::string& name) {
-  return field_table().by_name.count(name) > 0;
+  return field_table().contains(name);
 }
 
-std::size_t field_count() { return field_table().by_id.size(); }
+std::size_t field_count() { return field_table().size(); }
 
 StateVarId state_var_id(const std::string& name) {
   return state_table().intern(name);
@@ -59,10 +77,10 @@ const std::string& state_var_name(StateVarId id) {
 }
 
 bool is_known_state_var(const std::string& name) {
-  return state_table().by_name.count(name) > 0;
+  return state_table().contains(name);
 }
 
-std::size_t state_var_count() { return state_table().by_id.size(); }
+std::size_t state_var_count() { return state_table().size(); }
 
 namespace fields {
 FieldId inport() {

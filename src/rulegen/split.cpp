@@ -1,30 +1,45 @@
 #include "rulegen/split.h"
 
 #include "netasm/assembler.h"
+#include "util/thread_pool.h"
 
 namespace snap {
+namespace {
+
+SwitchSlice slice_for(const XfddStore& store, XfddId root, const Placement& pl,
+                      int sw) {
+  netasm::Program prog = netasm::assemble(store, root, pl, sw);
+  SwitchSlice slice;
+  slice.sw = sw;
+  slice.instructions = prog.code.size();
+  for (const netasm::Instr& i : prog.code) {
+    if (std::holds_alternative<netasm::IBranchState>(i)) {
+      ++slice.state_tests;
+    } else if (std::holds_alternative<netasm::IEscape>(i)) {
+      ++slice.escapes;
+    } else if (std::holds_alternative<netasm::IStateSet>(i) ||
+               std::holds_alternative<netasm::IStateInc>(i) ||
+               std::holds_alternative<netasm::IStateDec>(i)) {
+      ++slice.state_writes;
+    }
+  }
+  return slice;
+}
+
+}  // namespace
 
 std::vector<SwitchSlice> split_stats(const XfddStore& store, XfddId root,
-                                     const Placement& pl, int num_switches) {
-  std::vector<SwitchSlice> out;
-  out.reserve(num_switches);
-  for (int sw = 0; sw < num_switches; ++sw) {
-    netasm::Program prog = netasm::assemble(store, root, pl, sw);
-    SwitchSlice slice;
-    slice.sw = sw;
-    slice.instructions = prog.code.size();
-    for (const netasm::Instr& i : prog.code) {
-      if (std::holds_alternative<netasm::IBranchState>(i)) {
-        ++slice.state_tests;
-      } else if (std::holds_alternative<netasm::IEscape>(i)) {
-        ++slice.escapes;
-      } else if (std::holds_alternative<netasm::IStateSet>(i) ||
-                 std::holds_alternative<netasm::IStateInc>(i) ||
-                 std::holds_alternative<netasm::IStateDec>(i)) {
-        ++slice.state_writes;
-      }
-    }
-    out.push_back(slice);
+                                     const Placement& pl, int num_switches,
+                                     ThreadPool* pool) {
+  std::vector<SwitchSlice> out(static_cast<std::size_t>(
+      num_switches < 0 ? 0 : num_switches));
+  auto one = [&](std::size_t sw) {
+    out[sw] = slice_for(store, root, pl, static_cast<int>(sw));
+  };
+  if (pool) {
+    pool->parallel_for(out.size(), one);
+  } else {
+    for (std::size_t sw = 0; sw < out.size(); ++sw) one(sw);
   }
   return out;
 }

@@ -22,7 +22,13 @@ struct SwitchSlice {
   std::size_t state_writes = 0;    // local leaf write instructions
 };
 
+class ThreadPool;
+
+// With a pool, switches are assembled in parallel: the store is read-only
+// after P2 and every switch writes only its own slot, so the result is
+// identical to the serial loop.
 std::vector<SwitchSlice> split_stats(const XfddStore& store, XfddId root,
-                                     const Placement& pl, int num_switches);
+                                     const Placement& pl, int num_switches,
+                                     ThreadPool* pool = nullptr);
 
 }  // namespace snap

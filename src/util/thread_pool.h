@@ -1,0 +1,241 @@
+// A small work-stealing thread pool for the compiler's parallel phases.
+//
+// Each worker owns a deque: it pushes and pops its own work LIFO (good
+// locality for the fork-join recursion in xfdd/compose) and steals FIFO
+// from the other workers when its deque runs dry (oldest tasks are the
+// biggest subtrees, so a thief picks up coarse work). External threads
+// submit round-robin across the worker deques.
+//
+// Blocking waits never sleep on a task: `help_until` and `wait` run queued
+// tasks while waiting, so nested fork-joins (a task that itself forks and
+// joins subtasks) cannot deadlock even when every worker is inside a join.
+//
+// A pool constructed with `threads <= 0` runs every task inline on the
+// calling thread; the compiler uses that as the serial path, so
+// `CompilerOptions::threads = 1` and the pool-free code are byte-identical.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace snap {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (0 or negative: no workers, inline execution).
+  explicit ThreadPool(int threads) {
+    if (threads < 0) threads = 0;
+    queues_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      queues_.push_back(std::make_unique<Queue>());
+    }
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+      workers_.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  // Schedules `f` and returns its future. With no workers the task runs
+  // inline before returning (the future is already ready).
+  template <typename F, typename R = std::invoke_result_t<std::decay_t<F>>>
+  std::future<R> submit(F&& f) {
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    if (workers_.empty()) {
+      (*task)();
+      return fut;
+    }
+    enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+  // Runs one queued task if any is available. Returns whether one ran.
+  bool run_one() {
+    int here = local_index();
+    std::function<void()> task;
+    if (try_pop(here, &task)) {
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      task();
+      return true;
+    }
+    return false;
+  }
+
+  // Spin-helps until `ready()` holds: runs queued tasks, yielding only when
+  // the queues are empty.
+  template <typename Pred>
+  void help_until(Pred ready) {
+    while (!ready()) {
+      if (!run_one()) std::this_thread::yield();
+    }
+  }
+
+  // Joins a future, executing queued tasks while it is not ready.
+  template <typename T>
+  T wait(std::future<T>& fut) {
+    help_until([&] {
+      return fut.wait_for(std::chrono::seconds(0)) ==
+             std::future_status::ready;
+    });
+    return fut.get();
+  }
+
+  // Runs body(i) for i in [0, n). The calling thread participates; workers
+  // claim indices from a shared counter. Blocks until every index has run.
+  // The first exception (if any) is rethrown on the caller; later indices
+  // are skipped once an exception is recorded.
+  template <typename F>
+  void parallel_for(std::size_t n, F&& body) {
+    if (n == 0) return;
+    if (workers_.empty() || n == 1) {
+      for (std::size_t i = 0; i < n; ++i) body(i);
+      return;
+    }
+    struct ForState {
+      std::atomic<std::size_t> next{0};
+      std::atomic<std::size_t> remaining;
+      std::atomic<bool> failed{false};
+      std::mutex err_mu;
+      std::exception_ptr err;
+    };
+    auto st = std::make_shared<ForState>();
+    st->remaining.store(n, std::memory_order_relaxed);
+    auto run = [st, &body, n] {
+      std::size_t i;
+      while ((i = st->next.fetch_add(1, std::memory_order_relaxed)) < n) {
+        if (!st->failed.load(std::memory_order_relaxed)) {
+          try {
+            body(i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lk(st->err_mu);
+            if (!st->err) st->err = std::current_exception();
+            st->failed.store(true, std::memory_order_relaxed);
+          }
+        }
+        st->remaining.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    };
+    // The workers' copies capture `body` by reference: they only touch it
+    // while `remaining > 0`, and the caller does not return before then.
+    std::size_t helpers =
+        std::min(n - 1, static_cast<std::size_t>(workers_.size()));
+    for (std::size_t i = 0; i < helpers; ++i) enqueue(run);
+    run();
+    help_until(
+        [&] { return st->remaining.load(std::memory_order_acquire) == 0; });
+    if (st->err) std::rethrow_exception(st->err);
+  }
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  // Index of the worker running the current thread, -1 for external threads.
+  int local_index() const {
+    return (tls_pool == this) ? tls_index : -1;
+  }
+
+  void enqueue(std::function<void()> task) {
+    int here = local_index();
+    std::size_t q = here >= 0
+                        ? static_cast<std::size_t>(here)
+                        : rr_.fetch_add(1, std::memory_order_relaxed) %
+                              queues_.size();
+    {
+      std::lock_guard<std::mutex> lk(queues_[q]->mu);
+      queues_[q]->tasks.push_back(std::move(task));
+    }
+    {
+      // Publish under the sleep mutex: a worker checking the wait
+      // predicate either sees the new count or is already blocked and
+      // receives the notify — no lost wakeup.
+      std::lock_guard<std::mutex> lk(mu_);
+      pending_.fetch_add(1, std::memory_order_relaxed);
+    }
+    cv_.notify_one();
+  }
+
+  // Pops own work LIFO, then steals FIFO starting from the next worker.
+  bool try_pop(int here, std::function<void()>* out) {
+    std::size_t nq = queues_.size();
+    if (here >= 0) {
+      Queue& own = *queues_[static_cast<std::size_t>(here)];
+      std::lock_guard<std::mutex> lk(own.mu);
+      if (!own.tasks.empty()) {
+        *out = std::move(own.tasks.back());
+        own.tasks.pop_back();
+        return true;
+      }
+    }
+    std::size_t start = here >= 0 ? static_cast<std::size_t>(here) + 1 : 0;
+    for (std::size_t k = 0; k < nq; ++k) {
+      Queue& victim = *queues_[(start + k) % nq];
+      std::lock_guard<std::mutex> lk(victim.mu);
+      if (!victim.tasks.empty()) {
+        *out = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void worker_loop(int index) {
+    tls_pool = this;
+    tls_index = index;
+    for (;;) {
+      std::function<void()> task;
+      if (try_pop(index, &task)) {
+        pending_.fetch_sub(1, std::memory_order_relaxed);
+        task();
+        continue;
+      }
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] {
+        return stop_ || pending_.load(std::memory_order_relaxed) > 0;
+      });
+      if (stop_ && pending_.load(std::memory_order_relaxed) == 0) return;
+    }
+  }
+
+  static thread_local const ThreadPool* tls_pool;
+  static thread_local int tls_index;
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::size_t> rr_{0};
+  std::atomic<long> pending_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+inline thread_local const ThreadPool* ThreadPool::tls_pool = nullptr;
+inline thread_local int ThreadPool::tls_index = -1;
+
+}  // namespace snap

@@ -1,11 +1,38 @@
 #include "xfdd/compose.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace snap {
 namespace {
+
+// Static read/write race rejection for parallel composition (§3): one side
+// writing a variable the other reads is ambiguous. Write/write overlaps are
+// handled precisely at leaf level, where identical factored writes are
+// permitted.
+void check_par_races(const PolPtr& p, const PolPtr& q) {
+  auto wp = state_writes(p);
+  auto wq = state_writes(q);
+  auto rp = state_reads(p);
+  auto rq = state_reads(q);
+  for (StateVarId v : wp) {
+    if (rq.count(v)) {
+      throw CompileError("parallel composition races on state variable '" +
+                         state_var_name(v) +
+                         "': one side writes it, the other reads it");
+    }
+  }
+  for (StateVarId v : wq) {
+    if (rp.count(v)) {
+      throw CompileError("parallel composition races on state variable '" +
+                         state_var_name(v) +
+                         "': one side writes it, the other reads it");
+    }
+  }
+}
 
 // Follows branches whose outcome the context already knows (Figure 8's
 // refine).
@@ -401,6 +428,119 @@ XfddId pred_to_xfdd(XfddStore& s, const TestOrder& order, const PredPtr& x) {
       x->node);
 }
 
+namespace {
+
+XfddId import_rec(XfddStore& dst, const XfddStore& src, XfddId d,
+                  std::unordered_map<XfddId, XfddId>& memo) {
+  auto it = memo.find(d);
+  if (it != memo.end()) return it->second;
+  XfddId out;
+  if (src.is_leaf(d)) {
+    out = dst.leaf(src.leaf_actions(d));
+  } else {
+    const BranchNode& b = src.branch_node(d);
+    XfddId hi = import_rec(dst, src, b.hi, memo);
+    XfddId lo = import_rec(dst, src, b.lo, memo);
+    out = dst.branch(b.test, hi, lo);
+  }
+  memo.emplace(d, out);
+  return out;
+}
+
+// A policy subtree's diagram, built in a private store by one pool task.
+struct SubDiagram {
+  std::unique_ptr<XfddStore> store;
+  XfddId root = 0;
+};
+
+SubDiagram build_sub(const TestOrder& order, const PolPtr& p,
+                     ThreadPool& pool, int depth);
+
+// Forks the right-hand policy onto the pool, builds the left inline, then
+// imports left-before-right into a fresh store and hands both local roots
+// to `combine`. The fixed import order keeps node numbering independent of
+// which task finishes first.
+SubDiagram fork_join(const TestOrder& order, const PolPtr& left,
+                     const PolPtr& right, ThreadPool& pool, int depth,
+                     const std::function<XfddId(XfddStore&, XfddId, XfddId)>&
+                         combine) {
+  std::future<SubDiagram> rhs = pool.submit(
+      [&order, &right, &pool, depth] {
+        return build_sub(order, right, pool, depth - 1);
+      });
+  SubDiagram lhs;
+  try {
+    lhs = build_sub(order, left, pool, depth - 1);
+  } catch (...) {
+    // Drain the forked task before unwinding so it cannot outlive the
+    // operands it references.
+    try {
+      pool.wait(rhs);
+    } catch (...) {
+    }
+    throw;
+  }
+  SubDiagram rhs_done = pool.wait(rhs);
+  SubDiagram out{std::make_unique<XfddStore>(), 0};
+  XfddId a = xfdd_import(*out.store, *lhs.store, lhs.root);
+  XfddId b = xfdd_import(*out.store, *rhs_done.store, rhs_done.root);
+  out.root = combine(*out.store, a, b);
+  return out;
+}
+
+SubDiagram build_sub(const TestOrder& order, const PolPtr& p,
+                     ThreadPool& pool, int depth) {
+  SNAP_CHECK(p != nullptr, "null policy");
+  if (depth > 0) {
+    if (const auto* seq = std::get_if<PolSeq>(&p->node)) {
+      return fork_join(order, seq->p, seq->q, pool, depth,
+                       [&order](XfddStore& s, XfddId a, XfddId b) {
+                         return xfdd_seq(s, order, a, b);
+                       });
+    }
+    if (const auto* par = std::get_if<PolPar>(&p->node)) {
+      check_par_races(par->p, par->q);
+      return fork_join(order, par->p, par->q, pool, depth,
+                       [&order](XfddStore& s, XfddId a, XfddId b) {
+                         return xfdd_par(s, order, a, b);
+                       });
+    }
+    if (const auto* pif = std::get_if<PolIf>(&p->node)) {
+      // Both arms in parallel; the (typically small) condition diagram is
+      // rebuilt in the combining store, where hash-consing makes the
+      // duplicate construction structurally irrelevant.
+      const PredPtr& cond = pif->cond;
+      return fork_join(
+          order, pif->then_p, pif->else_p, pool, depth,
+          [&order, &cond](XfddStore& s, XfddId a, XfddId b) {
+            XfddId cond_d = pred_to_xfdd(s, order, cond);
+            XfddId then_d = xfdd_seq(s, order, cond_d, a);
+            XfddId else_d = xfdd_seq(s, order, xfdd_neg(s, cond_d), b);
+            return xfdd_par(s, order, then_d, else_d);
+          });
+    }
+    if (const auto* atomic = std::get_if<PolAtomic>(&p->node)) {
+      return build_sub(order, atomic->p, pool, depth);
+    }
+  }
+  SubDiagram out{std::make_unique<XfddStore>(), 0};
+  out.root = to_xfdd(*out.store, order, p);
+  return out;
+}
+
+}  // namespace
+
+XfddId xfdd_import(XfddStore& dst, const XfddStore& src, XfddId d) {
+  std::unordered_map<XfddId, XfddId> memo;
+  return import_rec(dst, src, d, memo);
+}
+
+XfddId to_xfdd_parallel(XfddStore& s, const TestOrder& order, const PolPtr& p,
+                        ThreadPool& pool, int fork_depth) {
+  SubDiagram sub = build_sub(order, p, pool, fork_depth);
+  return xfdd_import(s, *sub.store, sub.root);
+}
+
 XfddId to_xfdd(XfddStore& s, const TestOrder& order, const PolPtr& p) {
   SNAP_CHECK(p != nullptr, "null policy");
   return std::visit(
@@ -424,30 +564,7 @@ XfddId to_xfdd(XfddStore& s, const TestOrder& order, const PolPtr& p) {
           return xfdd_seq(s, order, to_xfdd(s, order, n.p),
                           to_xfdd(s, order, n.q));
         } else if constexpr (std::is_same_v<T, PolPar>) {
-          // Static read/write race rejection for parallel composition (§3):
-          // one side writing a variable the other reads is ambiguous.
-          // Write/write overlaps are handled precisely at leaf level, where
-          // identical factored writes are permitted.
-          auto wp = state_writes(n.p);
-          auto wq = state_writes(n.q);
-          auto rp = state_reads(n.p);
-          auto rq = state_reads(n.q);
-          for (StateVarId v : wp) {
-            if (rq.count(v)) {
-              throw CompileError(
-                  "parallel composition races on state variable '" +
-                  state_var_name(v) + "': one side writes it, the other "
-                  "reads it");
-            }
-          }
-          for (StateVarId v : wq) {
-            if (rp.count(v)) {
-              throw CompileError(
-                  "parallel composition races on state variable '" +
-                  state_var_name(v) + "': one side writes it, the other "
-                  "reads it");
-            }
-          }
+          check_par_races(n.p, n.q);
           return xfdd_par(s, order, to_xfdd(s, order, n.p),
                           to_xfdd(s, order, n.q));
         } else if constexpr (std::is_same_v<T, PolIf>) {

@@ -49,4 +49,26 @@ XfddId ordered_branch(XfddStore& s, const TestOrder& order, const Test& t,
 XfddId pred_to_xfdd(XfddStore& s, const TestOrder& order, const PredPtr& x);
 XfddId to_xfdd(XfddStore& s, const TestOrder& order, const PolPtr& p);
 
+class ThreadPool;
+
+// Rebuilds the diagram `d` of `src` inside `dst`, preserving structure.
+// Nodes are interned in first-visit DFS order (hi before lo), so for a
+// given diagram shape the ids assigned in a fresh `dst` are canonical —
+// independent of the construction history that produced `src`. The
+// compiler imports every policy diagram through this after P2, which both
+// drops composition garbage and makes ids reproducible across thread
+// counts.
+XfddId xfdd_import(XfddStore& dst, const XfddStore& src, XfddId d);
+
+// to-xfdd with independent subtrees composed in parallel: the two sides of
+// each +, ;, and if policy node (down to `fork_depth` levels) are built in
+// private stores by pool tasks, then imported left-to-right into the
+// parent store and combined there. Composition is a pure function of
+// operand structure and hash-consing canonicalizes each store, so the
+// result is structurally identical to the serial to_xfdd — the import
+// order (not task completion order) fixes the numbering, keeping the
+// output deterministic for any pool size.
+XfddId to_xfdd_parallel(XfddStore& s, const TestOrder& order, const PolPtr& p,
+                        ThreadPool& pool, int fork_depth = 6);
+
 }  // namespace snap

@@ -1,0 +1,128 @@
+# Script-driven end-to-end smoke test for the snapc CLI.
+#
+# Invoked by CTest as:
+#   cmake -DSNAPC=<path-to-snapc> -DWORK_DIR=<scratch dir> -P snapc_smoke.cmake
+#
+# Writes an examples-style policy + topology pair, compiles it with every
+# surface the CLI exposes (--dot, --rules, --threads, --solver), and checks
+# exit codes and output shape. Also exercises the error paths (missing file,
+# bad flag) which must fail with the documented non-zero codes.
+
+if(NOT DEFINED SNAPC OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DSNAPC=... -DWORK_DIR=... -P snapc_smoke.cmake")
+endif()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+# A DNS-tunnel-detect policy in the concrete syntax of Figure 1, guarded by
+# routing for a 4-port line topology (same shape as examples/quickstart).
+file(WRITE ${WORK_DIR}/policy.snap
+"if dstip = 10.0.4.0/24 & srcport = 53 then
+  smoke.orphan[dstip][dns.rdata] <- 1;
+  smoke.susp-client[dstip]++;
+  if smoke.susp-client[dstip] = threshold then
+    smoke.blacklist[dstip] <- 1
+  else
+    id
+else
+  id;
+if dstip = 10.0.1.0/24 then outport <- 1
+else if dstip = 10.0.2.0/24 then outport <- 2
+else if dstip = 10.0.3.0/24 then outport <- 3
+else if dstip = 10.0.4.0/24 then outport <- 4
+else drop
+")
+
+file(WRITE ${WORK_DIR}/net.topo
+"# 4 switches in a line, one OBS port per switch
+switches 4
+link 0 1 10
+link 1 2 10
+link 2 3 10
+port 1 0
+port 2 1
+port 3 2
+port 4 3
+name smoke-line
+")
+
+function(run_snapc expect_rc out_var)
+  execute_process(COMMAND ${SNAPC} ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err
+                  WORKING_DIRECTORY ${WORK_DIR})
+  if(NOT rc EQUAL ${expect_rc})
+    message(FATAL_ERROR "snapc ${ARGN}: expected exit ${expect_rc}, got ${rc}\n"
+                        "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+# 1. Plain compile succeeds and reports phases + placement.
+run_snapc(0 out
+          --policy ${WORK_DIR}/policy.snap --topology ${WORK_DIR}/net.topo
+          --const threshold=10)
+foreach(needle "phases \\(s\\):" "state placement:" "smoke.susp-client" "paths:")
+  if(NOT out MATCHES "${needle}")
+    message(FATAL_ERROR "plain compile output missing '${needle}':\n${out}")
+  endif()
+endforeach()
+
+# 2. --dot writes a Graphviz file with at least one xFDD branch.
+run_snapc(0 out
+          --policy ${WORK_DIR}/policy.snap --topology ${WORK_DIR}/net.topo
+          --const threshold=10 --dot ${WORK_DIR}/policy.dot --quiet)
+if(NOT EXISTS ${WORK_DIR}/policy.dot)
+  message(FATAL_ERROR "--dot did not create the output file")
+endif()
+file(READ ${WORK_DIR}/policy.dot dot)
+if(NOT dot MATCHES "digraph" OR NOT dot MATCHES "->")
+  message(FATAL_ERROR "--dot output is not a Graphviz digraph:\n${dot}")
+endif()
+
+# 3. --rules prints one NetASM program per switch.
+run_snapc(0 out
+          --policy ${WORK_DIR}/policy.snap --topology ${WORK_DIR}/net.topo
+          --const threshold=10 --rules --quiet)
+foreach(sw 0 1 2 3)
+  if(NOT out MATCHES "switch ${sw} program")
+    message(FATAL_ERROR "--rules output missing switch ${sw} program:\n${out}")
+  endif()
+endforeach()
+
+# 4. --threads: parallel compile agrees with serial on placement and rules.
+run_snapc(0 serial_out
+          --policy ${WORK_DIR}/policy.snap --topology ${WORK_DIR}/net.topo
+          --const threshold=10 --threads 1 --rules --quiet)
+run_snapc(0 parallel_out
+          --policy ${WORK_DIR}/policy.snap --topology ${WORK_DIR}/net.topo
+          --const threshold=10 --threads 4 --rules --quiet)
+string(REGEX REPLACE "phases \\(s\\):[^\n]*" "" serial_norm "${serial_out}")
+string(REGEX REPLACE "phases \\(s\\):[^\n]*" "" parallel_norm "${parallel_out}")
+if(NOT serial_norm STREQUAL parallel_norm)
+  message(FATAL_ERROR "--threads 4 output differs from --threads 1:\n"
+                      "serial:\n${serial_norm}\nparallel:\n${parallel_norm}")
+endif()
+
+# 5. --solver exact on this small instance still succeeds.
+run_snapc(0 out
+          --policy ${WORK_DIR}/policy.snap --topology ${WORK_DIR}/net.topo
+          --const threshold=10 --solver exact --quiet)
+if(NOT out MATCHES "exact MILP")
+  message(FATAL_ERROR "--solver exact did not use the exact MILP:\n${out}")
+endif()
+
+# 6. Error paths: missing input file -> 1, bad usage -> 2.
+run_snapc(1 out
+          --policy ${WORK_DIR}/no_such.snap --topology ${WORK_DIR}/net.topo)
+run_snapc(2 out --policy ${WORK_DIR}/policy.snap)
+run_snapc(2 out --bogus-flag)
+
+# 7. A malformed policy fails with the compile-error exit code.
+file(WRITE ${WORK_DIR}/bad.snap "if dstip then else nonsense")
+run_snapc(1 out
+          --policy ${WORK_DIR}/bad.snap --topology ${WORK_DIR}/net.topo)
+
+message(STATUS "snapc smoke test passed")

@@ -1,0 +1,150 @@
+// The parallelism contract of CompilerOptions::threads: any thread count
+// produces byte-identical compiler output. P2's parallel composition is
+// canonicalized by xfdd_import (first-visit DFS numbering in a fresh
+// store), and P6 assembles switches into per-switch slots, so xFDD node
+// ids, per-switch NetASM programs, slice statistics and placements must
+// match the serial path exactly across --threads 1/2/8.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "compiler/pipeline.h"
+#include "netasm/assembler.h"
+#include "topo/gen.h"
+#include "topo/traffic.h"
+#include "util/thread_pool.h"
+#include "xfdd/compose.h"
+
+namespace snap {
+namespace {
+
+using namespace snap::dsl;
+
+PolPtr evaluation_policy(const Topology& topo) {
+  auto subnets = apps::default_subnets(topo.ports());
+  PortId cs_port = topo.ports().back();
+  std::string cs_subnet;
+  for (const auto& [subnet, port] : subnets) {
+    if (port == cs_port) cs_subnet = subnet;
+  }
+  return dsl::filter(apps::assumption(subnets)) >>
+         (apps::dns_tunnel_detect("det", cs_subnet, 10) >>
+          apps::assign_egress(subnets));
+}
+
+// Everything P2 and P6 produce, byte for byte: canonical root id, the full
+// diagram serialization (node ids included), slice statistics, placement,
+// and each switch's disassembled NetASM program.
+std::string full_digest(const Topology& topo, const CompileResult& r) {
+  std::string d = "root=" + std::to_string(r.root) + '\n';
+  d += r.store->to_string(r.root);
+  d += "nodes=" + std::to_string(r.xfdd_nodes) + '\n';
+  for (const SwitchSlice& s : r.slices) {
+    d += "slice " + std::to_string(s.sw) + ' ' +
+         std::to_string(s.instructions) + ' ' +
+         std::to_string(s.state_tests) + ' ' + std::to_string(s.escapes) +
+         ' ' + std::to_string(s.state_writes) + '\n';
+  }
+  for (const auto& [var, sw] : r.pr.placement.switch_of) {
+    d += state_var_name(var) + " -> " + std::to_string(sw) + '\n';
+  }
+  for (int sw = 0; sw < topo.num_switches(); ++sw) {
+    netasm::Program prog =
+        netasm::assemble(*r.store, r.root, r.pr.placement, sw);
+    d += "== switch " + std::to_string(sw) + '\n';
+    d += prog.disassemble();
+  }
+  return d;
+}
+
+TEST(Determinism, CompilerOutputIdenticalAcrossThreadCounts) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 12.0, 7);
+  PolPtr prog = evaluation_policy(topo);
+
+  std::string baseline;
+  for (int threads : {1, 2, 8}) {
+    CompilerOptions opts;
+    opts.threads = threads;
+    Compiler compiler(topo, tm, opts);
+    CompileResult r = compiler.compile(prog);
+    std::string digest = full_digest(topo, r);
+    if (threads == 1) {
+      baseline = digest;
+      ASSERT_FALSE(baseline.empty());
+    } else {
+      EXPECT_EQ(digest, baseline) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(Determinism, IspTopologyRulesIdenticalAcrossThreadCounts) {
+  Topology topo = make_isp("det-isp", 30, 110, 3);
+  TrafficMatrix tm = gravity_traffic(
+      topo, 2.0 * static_cast<double>(topo.ports().size()), 5);
+  PolPtr prog = evaluation_policy(topo);
+
+  std::string baseline;
+  for (int threads : {1, 8}) {
+    CompilerOptions opts;
+    opts.threads = threads;
+    Compiler compiler(topo, tm, opts);
+    CompileResult r = compiler.compile(prog);
+    std::string digest = full_digest(topo, r);
+    if (baseline.empty()) {
+      baseline = digest;
+    } else {
+      EXPECT_EQ(digest, baseline) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(Determinism, ParallelComposeMatchesSerialAtComposeLevel) {
+  Topology topo = make_figure2_campus();
+  PolPtr prog = evaluation_policy(topo);
+  DependencyGraph deps = DependencyGraph::build(prog);
+  TestOrder order = deps.test_order();
+
+  XfddStore serial_store;
+  XfddId serial_root;
+  {
+    XfddStore scratch;
+    XfddId raw = to_xfdd(scratch, order, prog);
+    serial_root = xfdd_import(serial_store, scratch, raw);
+  }
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    XfddStore par_store;
+    XfddId par_root = to_xfdd_parallel(par_store, order, prog, pool);
+    EXPECT_EQ(par_root, serial_root) << "threads=" << threads;
+    EXPECT_EQ(par_store.to_string(par_root),
+              serial_store.to_string(serial_root))
+        << "threads=" << threads;
+  }
+}
+
+TEST(Determinism, ImportIsIdempotentAndCanonical) {
+  Topology topo = make_figure2_campus();
+  PolPtr prog = evaluation_policy(topo);
+  DependencyGraph deps = DependencyGraph::build(prog);
+  TestOrder order = deps.test_order();
+
+  XfddStore scratch;
+  XfddId raw = to_xfdd(scratch, order, prog);
+  XfddStore once, twice;
+  XfddId r1 = xfdd_import(once, scratch, raw);
+  XfddId r2 = xfdd_import(twice, once, r1);
+  // Re-importing a canonical store is the identity on ids and drops
+  // nothing: the canonical store holds exactly the reachable nodes.
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(once.to_string(r1), twice.to_string(r2));
+  // The canonical store holds only the reachable diagram (plus the two
+  // pre-interned {id}/{drop} leaves, which may be unreachable).
+  EXPECT_LE(once.size(), once.reachable_size(r1) + 2);
+  EXPECT_GE(once.size(), once.reachable_size(r1));
+}
+
+}  // namespace
+}  // namespace snap

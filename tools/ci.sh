@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build (library warnings are errors), run the full
+# CTest suite, then one quick benchmark sanity pass.
+#
+#   tools/ci.sh [build-dir]     (default: build-ci)
+#
+# Exits non-zero on the first failing step.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-ci}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== configure (${BUILD_DIR}, -Werror for src/) =="
+cmake -B "${BUILD_DIR}" -S . -DSNAP_WERROR=ON -DCMAKE_BUILD_TYPE=Release
+
+echo "== build =="
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+echo "== ctest =="
+ctest --test-dir "${BUILD_DIR}" -j "${JOBS}" --output-on-failure
+
+echo "== bench sanity =="
+if [[ -x "${BUILD_DIR}/bench_micro" ]]; then
+  "${BUILD_DIR}/bench_micro" --benchmark_min_time=0.01
+else
+  # google-benchmark was unavailable at configure time; the phase bench is
+  # a plain binary and doubles as a serial-vs-parallel consistency check.
+  "${BUILD_DIR}/bench_table6_phases" --threads 2
+fi
+
+echo "== tier-1 gate passed =="

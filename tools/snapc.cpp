@@ -10,6 +10,7 @@
 //   --traffic SEED     gravity-model traffic seed (default 1)
 //   --load GBPS        total offered load (default 20% of edge capacity)
 //   --solver MODE      auto | exact | scalable (default auto)
+//   --threads N        parallel P2/P6 workers (1 = serial, 0 = all cores)
 //   --dot FILE         write the policy xFDD as Graphviz
 //   --rules            print per-switch NetASM programs
 //   --quiet            only placement and timing summary
@@ -18,6 +19,7 @@
 // per-phase times (Table 4's P1-P6), the state placement, the chosen
 // paths, and optionally the per-switch data-plane programs.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -45,8 +47,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: snapc --policy FILE --topology FILE"
                " [--const NAME=VAL]... [--traffic SEED] [--load GBPS]"
-               " [--solver auto|exact|scalable] [--dot FILE] [--rules]"
-               " [--quiet]\n");
+               " [--solver auto|exact|scalable] [--threads N] [--dot FILE]"
+               " [--rules] [--quiet]\n");
 }
 
 }  // namespace
@@ -91,6 +93,15 @@ int main(int argc, char** argv) {
       opts.solver = mode == "exact"      ? SolverKind::kExact
                     : mode == "scalable" ? SolverKind::kScalable
                                          : SolverKind::kAuto;
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      const char* arg = need("--threads");
+      char* end = nullptr;
+      long n = std::strtol(arg, &end, 10);
+      if (end == arg || *end != '\0' || n < 0 || n > 4096) {
+        std::fprintf(stderr, "bad --threads '%s' (want 0..4096)\n", arg);
+        return 2;
+      }
+      opts.threads = static_cast<int>(n);
     } else if (!std::strcmp(argv[i], "--dot")) {
       dot_file = need("--dot");
     } else if (!std::strcmp(argv[i], "--rules")) {
