@@ -1,0 +1,126 @@
+// Table 4 operational scenarios as *events* on a live snap::Session:
+//   cold start      full_compile   P1+P2+P3+P4+P5(ST)+P6
+//   policy change   set_policy     P1+P2+P3+   P5(ST)+P6  (retained model)
+//   traffic change  set_traffic                P5(TE)+P6  (kept placement)
+//
+// Unlike bench_fig9_scenarios, which *accounts* the scenario subsets from
+// one cold compile's phase times, this harness measures the wall-clock
+// latency of the real incremental events across the policy corpus and
+// checks that phase skipping pays: each event must be strictly faster than
+// its session's cold start. Exit code 1 if any scenario fails the check.
+//
+// Usage: bench_table4_scenarios [--switches N] [--reps R]
+#include <cstring>
+
+#include "bench_common.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace snap;
+
+struct Scenario {
+  const char* name;
+  // Builds the corpus policy under a given state prefix (prefixes vary
+  // across repetitions so set_policy sees a genuinely new policy).
+  PolPtr (*build)(const std::string& prefix);
+};
+
+PolPtr b_dns(const std::string& p) {
+  return apps::dns_tunnel_detect(p, "10.0.1.0/24", 10);
+}
+PolPtr b_fw(const std::string& p) {
+  return apps::stateful_firewall(p, "10.0.1.0/24");
+}
+PolPtr b_hh(const std::string& p) { return apps::heavy_hitter(p, 5); }
+PolPtr b_ss(const std::string& p) { return apps::super_spreader(p, 5); }
+PolPtr b_amp(const std::string& p) { return apps::dns_amplification(p); }
+PolPtr b_udp(const std::string& p) { return apps::udp_flood(p, 5); }
+PolPtr b_ftp(const std::string& p) { return apps::ftp_monitoring(p); }
+PolPtr b_sel(const std::string& p) {
+  return apps::selective_packet_dropping(p);
+}
+PolPtr b_mid(const std::string& p) { return apps::many_ip_domains(p, 5); }
+PolPtr b_sj(const std::string& p) {
+  return apps::sidejack_detect(p, "10.0.1.10/32");
+}
+PolPtr b_spam(const std::string& p) { return apps::spam_detect(p, 5); }
+
+const Scenario kCorpus[] = {
+    {"dns-tunnel", b_dns},     {"firewall", b_fw},
+    {"heavy-hitter", b_hh},    {"super-spreader", b_ss},
+    {"dns-amplif", b_amp},     {"udp-flood", b_udp},
+    {"ftp-monitor", b_ftp},    {"selective-drop", b_sel},
+    {"many-ip-dom", b_mid},    {"sidejacking", b_sj},
+    {"spam-detect", b_spam},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace snap;
+  int switches = 40;
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--switches") && i + 1 < argc) {
+      switches = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    }
+  }
+
+  bench::print_header(
+      "Table 4 scenarios as live Session events (incremental recompilation)",
+      "Table 4");
+  Topology topo = make_igen(switches, 21);
+  TrafficMatrix tm = bench::default_traffic(topo, 7);
+  auto subnets = apps::default_subnets(topo.ports());
+  std::printf("topology: %s; best of %d repetitions per scenario\n\n",
+              topo.to_string().c_str(), reps);
+  std::printf("%-15s %12s %14s %7s %14s %7s\n", "Policy", "Cold(ms)",
+              "PolicyChg(ms)", "ratio", "TrafficChg(ms)", "ratio");
+
+  int violations = 0;
+  for (const Scenario& sc : kCorpus) {
+    auto program = [&](int rep) {
+      return sc.build(std::string(sc.name) + std::to_string(rep)) >>
+             apps::assign_egress(subnets);
+    };
+    double cold = 1e100, policy = 1e100, traffic = 1e100;
+    for (int rep = 0; rep < reps; ++rep) {
+      Session session(topo, tm);
+      Timer t;
+      session.full_compile(program(rep));
+      cold = std::min(cold, t.seconds());
+
+      // A genuinely different policy (fresh state prefix): P1-P3 and
+      // P5(ST) re-run against the retained model; P4 is skipped.
+      t.reset();
+      EventResult pc = session.set_policy(program(rep + 100));
+      policy = std::min(policy, t.seconds());
+      if (pc.ran(PhaseId::kP4Model)) {
+        std::printf("ERROR: set_policy ran P4\n");
+        return 1;
+      }
+
+      // A shifted traffic matrix: P5(TE)+P6 only.
+      t.reset();
+      EventResult tc = session.set_traffic(
+          bench::default_traffic(topo, 8 + static_cast<std::uint64_t>(rep)));
+      traffic = std::min(traffic, t.seconds());
+      if (tc.phases_run.size() != 2) {
+        std::printf("ERROR: set_traffic ran extra phases\n");
+        return 1;
+      }
+    }
+    bool ok = policy < cold && traffic < cold;
+    if (!ok) ++violations;
+    std::printf("%-15s %12.2f %14.2f %6.2fx %14.2f %6.2fx%s\n", sc.name,
+                cold * 1e3, policy * 1e3, policy / cold, traffic * 1e3,
+                traffic / cold, ok ? "" : "  VIOLATION");
+  }
+  std::printf(
+      "\nscenario check (event latency strictly below cold start): %s\n",
+      violations == 0 ? "PASS" : "FAIL");
+  return violations == 0 ? 0 : 1;
+}

@@ -1,123 +1,28 @@
 #include "compiler/pipeline.h"
 
-#include <thread>
-
 #include "util/status.h"
-#include "util/thread_pool.h"
-#include "util/timer.h"
 
 namespace snap {
 
 Compiler::Compiler(const Topology& topo, TrafficMatrix tm,
                    CompilerOptions opts)
-    : topo_(topo), tm_(std::move(tm)), opts_(std::move(opts)) {
-  int threads = opts_.threads;
-  if (threads == 0) {
-    threads = static_cast<int>(std::thread::hardware_concurrency());
-    if (threads < 1) threads = 1;
-  }
-  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
-}
-
-Compiler::~Compiler() = default;
-
-bool Compiler::choose_exact(const PacketStateMap& psmap) const {
-  if (opts_.solver == SolverKind::kExact) return true;
-  if (opts_.solver == SolverKind::kScalable) return false;
-  // Estimate the arc model size: R variables per commodity and link, plus
-  // Ps variables per stateful commodity, group and link.
-  std::size_t commodities = 0;
-  std::size_t stateful = 0;
-  for (const auto& [uv, d] : tm_.demands()) {
-    if (d <= 0) continue;
-    ++commodities;
-    if (!psmap.states_for(uv.first, uv.second).empty()) ++stateful;
-  }
-  std::size_t links = topo_.links().size();
-  std::size_t est =
-      commodities * links + stateful * links * (psmap.all_vars.size() + 1);
-  return est <= opts_.exact_var_limit;
-}
+    : session_(topo, std::move(tm), std::move(opts)) {}
 
 CompileResult Compiler::compile(const PolPtr& program) {
-  CompileResult out;
-  Timer t;
+  session_.full_compile(program);
+  return session_.result();
+}
 
-  // P1: state dependency analysis.
-  out.deps = DependencyGraph::build(program);
-  out.order = out.deps.test_order();
-  out.times.p1_dependency = t.seconds();
-
-  // P2: xFDD generation. Both paths intern the final diagram into a fresh
-  // store in first-visit DFS order (xfdd_import), so node ids are a
-  // canonical function of the diagram shape: serial and parallel runs (and
-  // any thread count) number identically, and the composition's garbage
-  // nodes are dropped before the later phases walk the store.
-  t.reset();
-  out.store = std::make_shared<XfddStore>();
-  if (pool_) {
-    out.root = to_xfdd_parallel(*out.store, out.order, program, *pool_);
-  } else {
-    XfddStore scratch;
-    XfddId raw = to_xfdd(scratch, out.order, program);
-    out.root = xfdd_import(*out.store, scratch, raw);
-  }
-  out.xfdd_nodes = out.store->reachable_size(out.root);
-  out.times.p2_xfdd = t.seconds();
-
-  // P3: packet-state mapping.
-  t.reset();
-  out.psmap =
-      packet_state_map(*out.store, out.root, topo_.ports(), out.order);
-  out.times.p3_psmap = t.seconds();
-
-  // P4 + P5 (ST): model creation and joint placement/routing.
-  out.used_exact_milp = choose_exact(out.psmap);
-  if (!opts_.stateful_switches.empty() &&
-      opts_.scalable.stateful_switches.empty()) {
-    opts_.scalable.stateful_switches = opts_.stateful_switches;
-  }
-  if (opts_.state_capacity > 0 && opts_.scalable.state_capacity == 0) {
-    opts_.scalable.state_capacity = opts_.state_capacity;
-  }
-  if (out.used_exact_milp) {
-    try {
-      t.reset();
-      StModelOptions st_opts;
-      st_opts.stateful_switches = opts_.stateful_switches;
-      st_opts.state_capacity = std::max(opts_.state_capacity,
-                                        opts_.scalable.state_capacity);
-      StModel model = StModel::build(topo_, tm_, out.psmap, out.deps,
-                                     st_opts);
-      out.times.p4_model = t.seconds();
-      t.reset();
-      out.pr = model.solve(opts_.bnb);
-      out.times.p5_solve_st = t.seconds();
-      // Keep a scalable model around for fast TE re-optimization.
-      model_.emplace(topo_, tm_, out.psmap, out.deps, opts_.scalable);
-    } catch (const InternalError&) {
-      // The dense solver refused the instance; fall back.
-      out.used_exact_milp = false;
-    }
-  }
-  if (!out.used_exact_milp) {
-    t.reset();
-    model_.emplace(topo_, tm_, out.psmap, out.deps, opts_.scalable);
-    out.times.p4_model = t.seconds();
-    t.reset();
-    out.pr = model_->solve_joint();
-    out.times.p5_solve_st = t.seconds();
-  }
-
-  // P6: rule generation (per-switch NetASM programs + routing rules).
-  t.reset();
-  out.slices =
-      split_stats(*out.store, out.root, out.pr.placement,
-                  topo_.num_switches(), pool_.get());
-  RoutingTables tables = RoutingTables::build(topo_, out.pr.routing);
-  out.path_rules = tables.path_rule_count();
-  out.times.p6_rulegen = t.seconds();
-  return out;
+PhaseTimes Compiler::reoptimize_te(CompileResult& result,
+                                   const TrafficMatrix& new_tm) {
+  SNAP_CHECK(session_.compiled(), "reoptimize_te before compile");
+  EventResult ev = session_.set_traffic(new_tm);
+  const CompileResult& cached = session_.result();
+  result.pr = cached.pr;
+  result.slices = cached.slices;
+  result.path_rules = cached.path_rules;
+  result.times.p5_solve_te = ev.times.p5_solve_te;
+  return ev.times;
 }
 
 RecoveryResult recover_from_switch_failure(const Topology& topo,
@@ -138,29 +43,10 @@ RecoveryResult recover_from_switch_failure(const Topology& topo,
       degraded_tm.set_demand(uv.first, uv.second, d);
     }
   }
-  Compiler compiler(out.degraded, std::move(degraded_tm), std::move(opts));
-  out.result = compiler.compile(program);
+  Session session(out.degraded, std::move(degraded_tm), std::move(opts));
+  session.full_compile(program);
+  out.result = session.result();
   return out;
-}
-
-PhaseTimes Compiler::reoptimize_te(CompileResult& result,
-                                   const TrafficMatrix& new_tm) {
-  SNAP_CHECK(model_.has_value(), "reoptimize_te before compile");
-  PhaseTimes times;
-  Timer t;
-  result.pr = model_->solve_te(result.pr.placement, new_tm);
-  times.p5_solve_te = t.seconds();
-
-  t.reset();
-  result.slices =
-      split_stats(*result.store, result.root, result.pr.placement,
-                  topo_.num_switches(), pool_.get());
-  RoutingTables tables = RoutingTables::build(topo_, result.pr.routing);
-  result.path_rules = tables.path_rule_count();
-  times.p6_rulegen = t.seconds();
-
-  result.times.p5_solve_te = times.p5_solve_te;
-  return times;
 }
 
 }  // namespace snap

@@ -1,114 +1,27 @@
-// The end-to-end SNAP compiler (Figure 5) with per-phase timing.
+// The original one-shot compiler surface, now a thin shim over the
+// long-lived snap::Session (compiler/session.h) — **Session is the entry
+// point for new code**: it owns its inputs by value, caches every per-phase
+// artifact, re-runs only the phases an event invalidates (Table 4's cold
+// start / policy change / topology-TM change scenarios), and returns
+// per-switch RuleDeltas a live dataplane::Network applies in place.
 //
-// Phases (Table 4):
-//   P1  state dependency analysis          (analysis/depgraph)
-//   P2  xFDD generation                    (xfdd/compose)
-//   P3  packet-state mapping               (analysis/psmap)
-//   P4  optimization model creation        (milp/stmodel or milp/scalable)
-//   P5  solving — ST (placement+routing) or TE (routing only)
-//   P6  data-plane rule generation         (netasm + rulegen)
-//
-// Scenario composition follows Table 4: a cold start runs P1-P6; a policy
-// change re-runs P1-P3, P5(ST) and P6 against the existing model
-// infrastructure; a topology/traffic change runs P5(TE) and P6 only.
-//
-// Solver selection: the exact Table-2 MILP (branch & bound over our
-// simplex) is used when the estimated model fits the dense solver;
-// otherwise the scalable decomposition solver stands in for Gurobi
-// (see DESIGN.md on this substitution).
+// Compiler is kept so existing callers and the test suite keep compiling:
+//   Compiler::compile        == Session::full_compile
+//   Compiler::reoptimize_te  == Session::set_traffic
+//   recover_from_switch_failure == a fresh Session on the degraded network
+// Unlike the original, the shim no longer stores a caller-owned
+// `const Topology&` — the Session inside owns a copy, so compiling against
+// a temporary topology is safe.
 #pragma once
 
-#include <memory>
-#include <optional>
-
-#include "analysis/depgraph.h"
-#include "analysis/psmap.h"
-#include "milp/scalable.h"
-#include "milp/stmodel.h"
-#include "rulegen/rules.h"
-#include "rulegen/split.h"
-#include "topo/graph.h"
-#include "topo/traffic.h"
-#include "xfdd/compose.h"
+#include "compiler/session.h"
 
 namespace snap {
-
-enum class SolverKind { kAuto, kExact, kScalable };
-
-struct CompilerOptions {
-  SolverKind solver = SolverKind::kAuto;
-  BnbOptions bnb;
-  ScalableOptions scalable;
-  // Switches allowed to hold state (empty = all); applied to whichever
-  // solver runs.
-  std::set<int> stateful_switches;
-  // Per-switch state-group capacity (0 = unlimited; §7.3).
-  int state_capacity = 0;
-  // Auto mode picks the exact MILP when its estimated variable count stays
-  // below this bound. The dense simplex costs O(rows x cols) per pivot, so
-  // only genuinely small instances are worth it; everything else goes to
-  // the decomposition solver.
-  std::size_t exact_var_limit = 600;
-  // DESIGN: compiler parallelism. `threads` sizes a work-stealing pool
-  // (util/thread_pool.h) used by the two phases that dominate Table 4 and
-  // decompose into independent units:
-  //   P2  xFDD generation — the operands of every +, ;, and if policy node
-  //       are composed in private stores by pool tasks, then imported in a
-  //       fixed left-to-right order and combined (xfdd/compose.h,
-  //       to_xfdd_parallel);
-  //   P6  rule generation — after placement, each switch's NetASM program
-  //       depends only on the shared read-only xFDD and the placement, so
-  //       switches are assembled fully in parallel (rulegen/split.h).
-  // 1 (default) runs serially with no pool; 0 means one thread per
-  // hardware core; N > 1 spawns N workers. Every thread count produces
-  // byte-identical output: after P2 the diagram is re-interned in
-  // first-visit DFS order (xfdd_import), which canonicalizes node ids
-  // regardless of construction history, and P6 writes into per-switch
-  // slots. tests/test_determinism.cpp holds this invariant.
-  int threads = 1;
-};
-
-struct PhaseTimes {
-  double p1_dependency = 0;
-  double p2_xfdd = 0;
-  double p3_psmap = 0;
-  double p4_model = 0;
-  double p5_solve_st = 0;
-  double p5_solve_te = 0;
-  double p6_rulegen = 0;
-
-  // Scenario totals per Table 4.
-  double cold_start() const {
-    return p1_dependency + p2_xfdd + p3_psmap + p4_model + p5_solve_st +
-           p6_rulegen;
-  }
-  double policy_change() const {
-    return p1_dependency + p2_xfdd + p3_psmap + p5_solve_st + p6_rulegen;
-  }
-  double topo_change() const { return p5_solve_te + p6_rulegen; }
-};
-
-struct CompileResult {
-  std::shared_ptr<XfddStore> store;
-  XfddId root = 0;
-  DependencyGraph deps;
-  TestOrder order;
-  PacketStateMap psmap;
-  PlacementAndRouting pr;
-  std::vector<SwitchSlice> slices;
-  std::size_t path_rules = 0;
-  std::size_t xfdd_nodes = 0;
-  bool used_exact_milp = false;
-  PhaseTimes times;
-};
-
-class ThreadPool;
 
 class Compiler {
  public:
   Compiler(const Topology& topo, TrafficMatrix tm,
            CompilerOptions opts = {});
-  ~Compiler();
 
   // Cold start / policy change: all analysis phases plus ST solving and
   // rule generation. (The cold-start scenario additionally charges P4; the
@@ -121,24 +34,16 @@ class Compiler {
   PhaseTimes reoptimize_te(CompileResult& result,
                            const TrafficMatrix& new_tm);
 
-  const Topology& topology() const { return topo_; }
-  const TrafficMatrix& traffic() const { return tm_; }
+  const Topology& topology() const { return session_.topology(); }
+  const TrafficMatrix& traffic() const { return session_.traffic(); }
+
+  // The underlying event-driven session (for callers migrating to the
+  // incremental API without rebuilding their Compiler plumbing).
+  Session& session() { return session_; }
+  const Session& session() const { return session_; }
 
  private:
-  friend struct RecoveryResult;
-
-  const Topology& topo_;
-  TrafficMatrix tm_;
-  CompilerOptions opts_;
-  // The scalable solver's model survives across compilations so TE
-  // re-optimization only pays routing (the paper keeps the Gurobi model and
-  // edits it incrementally).
-  std::optional<ScalableSolver> model_;
-  // Lazily-built worker pool for the parallel P2/P6 paths (null when
-  // opts_.threads == 1).
-  std::unique_ptr<ThreadPool> pool_;
-
-  bool choose_exact(const PacketStateMap& psmap) const;
+  Session session_;
 };
 
 // Fault tolerance (§7.3): when a switch fails, its state is lost and the
@@ -147,6 +52,9 @@ class Compiler {
 // attached to the failed switch disappear with it. Returns the degraded
 // topology (the Network must be built against it) together with the fresh
 // compilation.
+//
+// Session::fail_switch is the incremental successor: it reuses the P1/P2
+// artifacts and hands back a RuleDelta instead of a full redeployment.
 struct RecoveryResult {
   Topology degraded;
   CompileResult result;

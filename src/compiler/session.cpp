@@ -1,0 +1,420 @@
+#include "compiler/session.h"
+
+#include <thread>
+
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace snap {
+
+const char* to_string(PhaseId phase) {
+  switch (phase) {
+    case PhaseId::kP1Dependency: return "P1";
+    case PhaseId::kP2Xfdd: return "P2";
+    case PhaseId::kP3Psmap: return "P3";
+    case PhaseId::kP4Model: return "P4";
+    case PhaseId::kP5SolveSt: return "P5(ST)";
+    case PhaseId::kP5SolveTe: return "P5(TE)";
+    case PhaseId::kP6Rulegen: return "P6";
+  }
+  return "?";
+}
+
+bool EventResult::ran(PhaseId p) const {
+  for (PhaseId q : phases_run) {
+    if (q == p) return true;
+  }
+  return false;
+}
+
+// Times one phase and records it in the event's execution log.
+struct Session::PhaseRecorder {
+  EventResult& ev;
+  Timer t;
+
+  void start() { t.reset(); }
+  void finish(PhaseId phase, double& slot) {
+    slot = t.seconds();
+    ev.phases_run.push_back(phase);
+  }
+};
+
+namespace {
+
+// Demands whose endpoints both survive in `topo` (§7.3: traffic to/from a
+// failed switch's ports disappears with it).
+TrafficMatrix surviving_demands(const TrafficMatrix& tm,
+                                const Topology& topo) {
+  std::set<PortId> alive(topo.ports().begin(), topo.ports().end());
+  TrafficMatrix out;
+  for (const auto& [uv, d] : tm.demands()) {
+    if (alive.count(uv.first) && alive.count(uv.second)) {
+      out.set_demand(uv.first, uv.second, d);
+    }
+  }
+  return out;
+}
+
+Topology degrade(const Topology& base, const std::set<int>& failed) {
+  Topology out = base;
+  for (int f : failed) out = without_switch(out, f);
+  return out;
+}
+
+}  // namespace
+
+Session::Session(Topology topo, TrafficMatrix tm, CompilerOptions opts)
+    : base_topo_(std::move(topo)),
+      base_tm_(std::move(tm)),
+      topo_(std::make_shared<const Topology>(base_topo_)),
+      tm_(base_tm_),
+      opts_(std::move(opts)) {
+  int threads = opts_.threads;
+  if (threads == 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads < 1) threads = 1;
+  }
+  if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+Session::~Session() = default;
+
+void Session::require_compiled(const char* what) const {
+  if (!compiled_) {
+    throw Error(std::string(what) + " requires a prior full_compile");
+  }
+}
+
+const CompileResult& Session::result() const {
+  require_compiled("result()");
+  return cache_;
+}
+
+bool Session::choose_exact(const Topology& topo, const TrafficMatrix& tm,
+                           const PacketStateMap& psmap) const {
+  if (opts_.solver == SolverKind::kExact) return true;
+  if (opts_.solver == SolverKind::kScalable) return false;
+  // Estimate the arc model size: R variables per commodity and link, plus
+  // Ps variables per stateful commodity, group and link.
+  std::size_t commodities = 0;
+  std::size_t stateful = 0;
+  for (const auto& [uv, d] : tm.demands()) {
+    if (d <= 0) continue;
+    ++commodities;
+    if (!psmap.states_for(uv.first, uv.second).empty()) ++stateful;
+  }
+  std::size_t links = topo.links().size();
+  std::size_t est =
+      commodities * links + stateful * links * (psmap.all_vars.size() + 1);
+  return est <= opts_.exact_var_limit;
+}
+
+ScalableOptions Session::scalable_opts_for(const Topology& topo,
+                                           const std::set<int>& failed) const {
+  ScalableOptions s = opts_.scalable;
+  if (s.stateful_switches.empty()) s.stateful_switches = opts_.stateful_switches;
+  if (s.state_capacity == 0) s.state_capacity = opts_.state_capacity;
+  if (!failed.empty()) {
+    std::set<int> allowed;
+    if (s.stateful_switches.empty()) {
+      for (int n = 0; n < topo.num_switches(); ++n) allowed.insert(n);
+    } else {
+      allowed = s.stateful_switches;
+    }
+    for (int f : failed) allowed.erase(f);
+    s.stateful_switches = std::move(allowed);
+  }
+  return s;
+}
+
+void Session::solve_st(const Topology& topo, const TrafficMatrix& tm,
+                       const PacketStateMap& psmap,
+                       const DependencyGraph& deps,
+                       const std::set<int>& failed,
+                       std::optional<ScalableSolver>& model,
+                       CompileResult& out, EventResult& ev) {
+  Timer t;
+  ScalableOptions sopts = scalable_opts_for(topo, failed);
+  out.used_exact_milp = choose_exact(topo, tm, psmap);
+  if (out.used_exact_milp) {
+    try {
+      t.reset();
+      StModelOptions st_opts;
+      st_opts.stateful_switches = sopts.stateful_switches;
+      st_opts.state_capacity =
+          std::max(opts_.state_capacity, opts_.scalable.state_capacity);
+      StModel exact = StModel::build(topo, tm, psmap, deps, st_opts);
+      ev.times.p4_model = t.seconds();
+      t.reset();
+      out.pr = exact.solve(opts_.bnb);
+      ev.times.p5_solve_st = t.seconds();
+      // Keep a scalable model around for fast TE re-optimization and
+      // policy-change rebinds.
+      model.emplace(topo, tm, psmap, deps, sopts);
+    } catch (const InternalError&) {
+      // The dense solver refused the instance; fall back.
+      out.used_exact_milp = false;
+    }
+  }
+  if (!out.used_exact_milp) {
+    t.reset();
+    model.emplace(topo, tm, psmap, deps, sopts);
+    ev.times.p4_model = t.seconds();
+    t.reset();
+    out.pr = model->solve_joint();
+    ev.times.p5_solve_st = t.seconds();
+  }
+  ev.phases_run.push_back(PhaseId::kP4Model);
+  ev.phases_run.push_back(PhaseId::kP5SolveSt);
+}
+
+void Session::fill_delta_context(RuleDelta& delta, const Topology& topo,
+                                 const CompileResult& out) const {
+  delta.store = out.store;
+  delta.root = out.root;
+  delta.topo = topo;
+  delta.placement = out.pr.placement;
+  delta.routing = out.pr.routing;
+  delta.order = out.order;
+  delta.path_rules_before = compiled_ ? cache_.path_rules : 0;
+  delta.path_rules_after = out.path_rules;
+  delta.routing_changed =
+      !compiled_ || cache_.pr.routing.paths != out.pr.routing.paths;
+}
+
+std::pair<RuleDelta, std::map<int, netasm::Program>> Session::rulegen(
+    const Topology& topo, const std::set<int>& failed, CompileResult& out,
+    EventResult& ev) const {
+  PhaseRecorder rec{ev, {}};
+  rec.start();
+  std::map<int, netasm::Program> fresh =
+      assemble_programs(*out.store, out.root, out.pr.placement,
+                        topo.num_switches(), failed, pool_.get());
+  out.slices.assign(static_cast<std::size_t>(topo.num_switches()),
+                    SwitchSlice{});
+  for (int sw = 0; sw < topo.num_switches(); ++sw) out.slices[sw].sw = sw;
+  for (const auto& [sw, prog] : fresh) {
+    out.slices[sw] = slice_of_program(prog, sw);
+  }
+  RoutingTables tables = RoutingTables::build(topo, out.pr.routing);
+  out.path_rules = tables.path_rule_count();
+  RuleDelta delta = diff_programs(deployed_, fresh);
+  rec.finish(PhaseId::kP6Rulegen, ev.times.p6_rulegen);
+  fill_delta_context(delta, topo, out);
+  return {std::move(delta), std::move(fresh)};
+}
+
+void Session::analyze(const PolPtr& program, CompileResult& out,
+                      EventResult& ev) const {
+  PhaseRecorder rec{ev, {}};
+
+  // P1: state dependency analysis.
+  rec.start();
+  out.deps = DependencyGraph::build(program);
+  out.order = out.deps.test_order();
+  rec.finish(PhaseId::kP1Dependency, ev.times.p1_dependency);
+
+  // P2: xFDD generation. Both paths intern the final diagram into a fresh
+  // store in first-visit DFS order (xfdd_import), so node ids are a
+  // canonical function of the diagram shape: serial and parallel runs (and
+  // any thread count) number identically, and the composition's garbage
+  // nodes are dropped before the later phases walk the store.
+  rec.start();
+  out.store = std::make_shared<XfddStore>();
+  if (pool_) {
+    out.root = to_xfdd_parallel(*out.store, out.order, program, *pool_);
+  } else {
+    XfddStore scratch;
+    XfddId raw = to_xfdd(scratch, out.order, program);
+    out.root = xfdd_import(*out.store, scratch, raw);
+  }
+  out.xfdd_nodes = out.store->reachable_size(out.root);
+  rec.finish(PhaseId::kP2Xfdd, ev.times.p2_xfdd);
+
+  // P3: packet-state mapping.
+  rec.start();
+  out.psmap = packet_state_map(*out.store, out.root, topo_->ports(),
+                               out.order);
+  rec.finish(PhaseId::kP3Psmap, ev.times.p3_psmap);
+}
+
+EventResult Session::full_compile(const PolPtr& program) {
+  EventResult ev;
+  CompileResult out;
+  analyze(program, out, ev);
+
+  // P4 + P5 (ST): model creation and joint placement/routing.
+  std::optional<ScalableSolver> model;
+  solve_st(*topo_, tm_, out.psmap, out.deps, failed_, model, out, ev);
+
+  // P6: rule generation + delta vs whatever is currently deployed.
+  auto [delta, fresh] = rulegen(*topo_, failed_, out, ev);
+
+  // Commit.
+  program_ = program;
+  out.times = ev.times;
+  cache_ = std::move(out);
+  model_ = std::move(model);
+  deployed_ = std::move(fresh);
+  compiled_ = true;
+  ev.delta = std::move(delta);
+  return ev;
+}
+
+EventResult Session::set_policy(const PolPtr& program) {
+  require_compiled("set_policy");
+  EventResult ev;
+  PhaseRecorder rec{ev, {}};
+  CompileResult out;
+  analyze(program, out, ev);
+
+  // P5 (ST) against the retained model: rebinding the solver to the new
+  // workload is the incremental model edit (the topology artifacts inside
+  // it are reused) and the re-solve takes the warm fast path, so the whole
+  // cost is charged to P5 — P4 never runs. Note the retained model is the
+  // scalable one even when the cold start used the exact MILP (the same
+  // substitution DESIGN.md makes for Gurobi). The rebind touches model_
+  // before commit, so on any failure it is rebound back to the committed
+  // workload — the session must stay usable after an infeasible policy.
+  std::pair<RuleDelta, std::map<int, netasm::Program>> p6;
+  try {
+    rec.start();
+    model_->rebind(tm_, out.psmap, out.deps);
+    out.pr = model_->solve_joint_incremental();
+    rec.finish(PhaseId::kP5SolveSt, ev.times.p5_solve_st);
+    out.used_exact_milp = false;
+    p6 = rulegen(*topo_, failed_, out, ev);
+  } catch (...) {
+    model_->rebind(tm_, cache_.psmap, cache_.deps);
+    throw;
+  }
+
+  // Commit.
+  program_ = program;
+  out.times = ev.times;
+  cache_ = std::move(out);
+  deployed_ = std::move(p6.second);
+  ev.delta = std::move(p6.first);
+  return ev;
+}
+
+EventResult Session::set_traffic(TrafficMatrix tm) {
+  require_compiled("set_traffic");
+  EventResult ev;
+  PhaseRecorder rec{ev, {}};
+  TrafficMatrix current =
+      failed_.empty() ? tm : surviving_demands(tm, *topo_);
+
+  // The analysis artifacts and the placement are untouched: start from the
+  // cached compile and re-run P5(TE) + P6 only. The model is rebound to
+  // the new matrix first (not just re-weighted): port pairs whose demand
+  // was zero at model creation have no flow in the retained problem, and a
+  // pure re-weight would silently leave them unrouted. On failure the
+  // model is rebound back to the committed traffic.
+  CompileResult out = cache_;
+  out.times = PhaseTimes{};
+
+  rec.start();
+  try {
+    model_->rebind(current, cache_.psmap, cache_.deps);
+    out.pr = model_->solve_te(cache_.pr.placement);
+  } catch (...) {
+    model_->rebind(tm_, cache_.psmap, cache_.deps);
+    throw;
+  }
+  rec.finish(PhaseId::kP5SolveTe, ev.times.p5_solve_te);
+
+  // P6: the per-switch programs depend only on the diagram and the
+  // placement, both untouched by a TE-only event — the deployed set is
+  // provably identical, so rule generation reduces to the routing rules
+  // (path tables) and an all-unchanged delta; nothing is reassembled.
+  rec.start();
+  RoutingTables tables = RoutingTables::build(*topo_, out.pr.routing);
+  out.path_rules = tables.path_rule_count();
+  RuleDelta delta;
+  for (const auto& [sw, prog] : deployed_) delta.unchanged.push_back(sw);
+  rec.finish(PhaseId::kP6Rulegen, ev.times.p6_rulegen);
+  fill_delta_context(delta, *topo_, out);
+
+  // Commit (deployed_ and the slices in `out` carry over from cache_).
+  base_tm_ = std::move(tm);
+  tm_ = std::move(current);
+  out.times = ev.times;
+  cache_ = std::move(out);
+  ev.delta = std::move(delta);
+  return ev;
+}
+
+EventResult Session::fail_switch(int sw) {
+  require_compiled("fail_switch");
+  if (sw < 0 || sw >= base_topo_.num_switches()) {
+    throw Error("fail_switch: no such switch " + std::to_string(sw));
+  }
+  if (failed_.count(sw)) {
+    throw Error("fail_switch: switch " + std::to_string(sw) +
+                " is already failed");
+  }
+  std::set<int> failed = failed_;
+  failed.insert(sw);
+  return recompile_for_failures(std::move(failed));
+}
+
+EventResult Session::restore_switch(int sw) {
+  require_compiled("restore_switch");
+  if (!failed_.count(sw)) {
+    throw Error("restore_switch: switch " + std::to_string(sw) +
+                " is not failed");
+  }
+  std::set<int> failed = failed_;
+  failed.erase(sw);
+  return recompile_for_failures(std::move(failed));
+}
+
+EventResult Session::recompile_for_failures(std::set<int> failed) {
+  EventResult ev;
+  PhaseRecorder rec{ev, {}};
+  auto topo = std::make_shared<const Topology>(degrade(base_topo_, failed));
+  TrafficMatrix tm = surviving_demands(base_tm_, *topo);
+
+  // The policy is unchanged, so the P1/P2 artifacts (dependency graph,
+  // xFDD) are reused; P3 re-maps against the surviving ports.
+  CompileResult out;
+  out.deps = cache_.deps;
+  out.order = cache_.order;
+  out.store = cache_.store;
+  out.root = cache_.root;
+  out.xfdd_nodes = cache_.xfdd_nodes;
+
+  rec.start();
+  out.psmap = packet_state_map(*out.store, out.root, topo->ports(),
+                               out.order);
+  rec.finish(PhaseId::kP3Psmap, ev.times.p3_psmap);
+
+  // P4 + P5 (ST): the distance matrix is topology-dependent, so the model
+  // must be rebuilt against the degraded network (unlike set_policy, which
+  // keeps it). solve_st honors the configured solver choice — a forced or
+  // auto-chosen exact MILP stays exact across failure events — and bars
+  // placement from every failed switch. InfeasibleError (a cut-vertex
+  // failure disconnected the network) propagates before anything is
+  // committed.
+  std::optional<ScalableSolver> model;
+  solve_st(*topo, tm, out.psmap, out.deps, failed, model, out, ev);
+
+  // P6: failed switches host no program (they appear as `removed` in the
+  // delta; restored ones come back as `added`).
+  auto [delta, fresh] = rulegen(*topo, failed, out, ev);
+
+  // Commit.
+  failed_ = std::move(failed);
+  topo_ = std::move(topo);
+  tm_ = std::move(tm);
+  out.times = ev.times;
+  cache_ = std::move(out);
+  model_ = std::move(model);
+  deployed_ = std::move(fresh);
+  ev.delta = std::move(delta);
+  return ev;
+}
+
+}  // namespace snap

@@ -1,0 +1,260 @@
+// The long-lived compiler session — the event-driven entry point to SNAP.
+//
+// Table 4 defines three operational scenarios (cold start, policy change,
+// topology/TM change), each a different subset of the pipeline phases:
+//   P1  state dependency analysis          (analysis/depgraph)
+//   P2  xFDD generation                    (xfdd/compose)
+//   P3  packet-state mapping               (analysis/psmap)
+//   P4  optimization model creation        (milp/stmodel or milp/scalable)
+//   P5  solving — ST (placement+routing) or TE (routing only)
+//   P6  data-plane rule generation         (netasm + rulegen)
+//
+// A Session owns its Topology, TrafficMatrix and policy by value and caches
+// every per-phase artifact: the dependency graph, the xFDD store, the
+// packet-state map, the solver model (kept alive across events, like the
+// paper keeps its Gurobi model), and the per-switch NetASM programs last
+// deployed. Each event method re-runs exactly the phases the event
+// invalidates and returns a RuleDelta — the per-switch program diff a live
+// Network applies in place (Network::apply) instead of being rebuilt:
+//
+//   full_compile(p)     P1 P2 P3 P4 P5(ST) P6      (cold start)
+//   set_policy(p)       P1 P2 P3    P5(ST) P6      (retained model, no P4)
+//   set_traffic(tm)                 P5(TE) P6      (placement kept)
+//   fail_switch(sw)        P3 P4    P5(ST) P6      (policy analysis kept)
+//   restore_switch(sw)     P3 P4    P5(ST) P6
+//
+// Phase skipping is structural, not accounting: EventResult::phases_run
+// records what actually executed, and tests assert the subsets above.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <set>
+
+#include "analysis/depgraph.h"
+#include "analysis/psmap.h"
+#include "milp/scalable.h"
+#include "milp/stmodel.h"
+#include "rulegen/delta.h"
+#include "rulegen/rules.h"
+#include "rulegen/split.h"
+#include "topo/graph.h"
+#include "topo/traffic.h"
+#include "xfdd/compose.h"
+
+namespace snap {
+
+enum class SolverKind { kAuto, kExact, kScalable };
+
+struct CompilerOptions {
+  SolverKind solver = SolverKind::kAuto;
+  BnbOptions bnb;
+  ScalableOptions scalable;
+  // Switches allowed to hold state (empty = all); applied to whichever
+  // solver runs.
+  std::set<int> stateful_switches;
+  // Per-switch state-group capacity (0 = unlimited; §7.3).
+  int state_capacity = 0;
+  // Auto mode picks the exact MILP when its estimated variable count stays
+  // below this bound. The dense simplex costs O(rows x cols) per pivot, so
+  // only genuinely small instances are worth it; everything else goes to
+  // the decomposition solver.
+  std::size_t exact_var_limit = 600;
+  // DESIGN: compiler parallelism. `threads` sizes a work-stealing pool
+  // (util/thread_pool.h) used by the two phases that dominate Table 4 and
+  // decompose into independent units:
+  //   P2  xFDD generation — the operands of every +, ;, and if policy node
+  //       are composed in private stores by pool tasks, then imported in a
+  //       fixed left-to-right order and combined (xfdd/compose.h,
+  //       to_xfdd_parallel);
+  //   P6  rule generation — after placement, each switch's NetASM program
+  //       depends only on the shared read-only xFDD and the placement, so
+  //       switches are assembled fully in parallel (rulegen/delta.h).
+  // 1 (default) runs serially with no pool; 0 means one thread per
+  // hardware core; N > 1 spawns N workers. Every thread count produces
+  // byte-identical output: after P2 the diagram is re-interned in
+  // first-visit DFS order (xfdd_import), which canonicalizes node ids
+  // regardless of construction history, and P6 writes into per-switch
+  // slots. tests/test_determinism.cpp holds this invariant.
+  int threads = 1;
+};
+
+struct PhaseTimes {
+  double p1_dependency = 0;
+  double p2_xfdd = 0;
+  double p3_psmap = 0;
+  double p4_model = 0;
+  double p5_solve_st = 0;
+  double p5_solve_te = 0;
+  double p6_rulegen = 0;
+
+  // Scenario totals per Table 4.
+  double cold_start() const {
+    return p1_dependency + p2_xfdd + p3_psmap + p4_model + p5_solve_st +
+           p6_rulegen;
+  }
+  double policy_change() const {
+    return p1_dependency + p2_xfdd + p3_psmap + p5_solve_st + p6_rulegen;
+  }
+  double topo_change() const { return p5_solve_te + p6_rulegen; }
+};
+
+struct CompileResult {
+  std::shared_ptr<XfddStore> store;
+  XfddId root = 0;
+  DependencyGraph deps;
+  TestOrder order;
+  PacketStateMap psmap;
+  PlacementAndRouting pr;
+  std::vector<SwitchSlice> slices;
+  std::size_t path_rules = 0;
+  std::size_t xfdd_nodes = 0;
+  bool used_exact_milp = false;
+  PhaseTimes times;
+};
+
+// The pipeline phases, for per-event execution records.
+enum class PhaseId {
+  kP1Dependency,
+  kP2Xfdd,
+  kP3Psmap,
+  kP4Model,
+  kP5SolveSt,
+  kP5SolveTe,
+  kP6Rulegen,
+};
+
+const char* to_string(PhaseId phase);
+
+// What one event did: the phases that actually executed (in order), their
+// times, and the per-switch rule delta to push to the data plane.
+struct EventResult {
+  PhaseTimes times;
+  std::vector<PhaseId> phases_run;
+  RuleDelta delta;
+
+  bool ran(PhaseId p) const;
+};
+
+class ThreadPool;
+
+class Session {
+ public:
+  // Owns copies of the topology and traffic matrix — callers may pass
+  // temporaries (the old Compiler stored a const Topology& and dangled).
+  Session(Topology topo, TrafficMatrix tm, CompilerOptions opts = {});
+  ~Session();
+
+  // The retained solver model references the session-owned topology, so a
+  // Session is not copyable; it lives where the controller lives.
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // Cold start: all phases. Also (re)sets the policy. Against a degraded
+  // session (failed switches) it compiles for the surviving network.
+  EventResult full_compile(const PolPtr& program);
+
+  // Policy change: re-analyzes (P1-P3) and re-solves placement/routing
+  // (P5 ST) against the retained model — P4 never runs; the model is
+  // rebound to the new workload, keeping its topology artifacts — then
+  // regenerates rules (P6).
+  EventResult set_policy(const PolPtr& program);
+
+  // Traffic change: P5(TE) + P6 only. Placement is kept (§2.2, §6.2); only
+  // routing and the path rules change, so the program diff is empty.
+  EventResult set_traffic(TrafficMatrix tm);
+
+  // Fault tolerance (§7.3): the switch's links, ports and state disappear;
+  // placement re-solves off the failed set and routing avoids it. The
+  // policy did not change, so P1/P2 artifacts are reused; P3 re-maps
+  // against the surviving ports and P4 must rebuild (the distance matrix is
+  // topology-dependent). Throws InfeasibleError — leaving the session
+  // unchanged — when the failure disconnects the network.
+  EventResult fail_switch(int sw);
+  EventResult restore_switch(int sw);
+
+  bool compiled() const { return compiled_; }
+  const Topology& topology() const { return *topo_; }  // current (degraded)
+  const Topology& base_topology() const { return base_topo_; }
+  const TrafficMatrix& traffic() const { return tm_; }
+  const std::set<int>& failed_switches() const { return failed_; }
+  const PolPtr& policy() const { return program_; }
+  const CompilerOptions& options() const { return opts_; }
+
+  // The cached artifacts of the last event (phase outputs, placement,
+  // routing, slices, per-event phase times).
+  const CompileResult& result() const;
+
+  // The per-switch NetASM programs currently deployed (P6 cache).
+  const std::map<int, netasm::Program>& deployed_programs() const {
+    return deployed_;
+  }
+
+ private:
+  struct PhaseRecorder;
+
+  // Recomputes the degraded topology/TM from the base pair and `failed`,
+  // runs P3-P6 (P1/P2 artifacts are policy-only and reused) and commits —
+  // or throws with the session unchanged.
+  EventResult recompile_for_failures(std::set<int> failed);
+
+  // P4+P5(ST) with the exact/scalable choice of CompilerOptions::solver;
+  // fills pr/used_exact_milp and always leaves a retained scalable model
+  // bound to `topo` in `model` (uncommitted until the caller swaps it in).
+  void solve_st(const Topology& topo, const TrafficMatrix& tm,
+                const PacketStateMap& psmap, const DependencyGraph& deps,
+                const std::set<int>& failed,
+                std::optional<ScalableSolver>& model, CompileResult& out,
+                EventResult& ev);
+
+  // P6 + delta: assembles every surviving switch's program, diffs against
+  // deployed_, computes slices and routing tables. Returns the delta and
+  // the full fresh program map (the next deployed_). Does not commit.
+  std::pair<RuleDelta, std::map<int, netasm::Program>> rulegen(
+      const Topology& topo, const std::set<int>& failed, CompileResult& out,
+      EventResult& ev) const;
+
+  // P1-P3 for a (new) policy: dependency analysis, xFDD generation (pooled
+  // when threads > 1), packet-state mapping against the current ports.
+  void analyze(const PolPtr& program, CompileResult& out,
+               EventResult& ev) const;
+
+  // Fills a delta's deployment context (diagram, topology, placement,
+  // routing, path-rule accounting) from a yet-uncommitted compile.
+  void fill_delta_context(RuleDelta& delta, const Topology& topo,
+                          const CompileResult& out) const;
+
+  void require_compiled(const char* what) const;
+
+  bool choose_exact(const Topology& topo, const TrafficMatrix& tm,
+                    const PacketStateMap& psmap) const;
+
+  // The effective scalable-solver options: the top-level stateful-switch /
+  // capacity knobs folded in, and every failed switch barred from hosting
+  // state.
+  ScalableOptions scalable_opts_for(const Topology& topo,
+                                    const std::set<int>& failed) const;
+
+  Topology base_topo_;  // as constructed (failures are subtracted from it)
+  TrafficMatrix base_tm_;  // as constructed / last set_traffic
+  // Current (possibly degraded) topology, heap-held so the retained model's
+  // reference survives commits: a failure event builds the new model
+  // against the new heap topology, then both are swapped in together.
+  std::shared_ptr<const Topology> topo_;
+  TrafficMatrix tm_;  // current (demands via failed ports removed)
+  CompilerOptions opts_;
+  PolPtr program_;
+  std::set<int> failed_;
+  bool compiled_ = false;
+
+  // Cached per-phase artifacts (see header comment).
+  CompileResult cache_;
+  std::optional<ScalableSolver> model_;
+  std::map<int, netasm::Program> deployed_;
+
+  // Lazily-built worker pool for the parallel P2/P6 paths (null when
+  // opts_.threads == 1).
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace snap

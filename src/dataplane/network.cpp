@@ -11,7 +11,7 @@ Network::Network(const Topology& topo, const XfddStore& store, XfddId root,
                  Placement placement, const Routing& routing,
                  const TestOrder& order)
     : topo_(topo),
-      store_(store),
+      store_(&store),
       root_(root),
       placement_(std::move(placement)),
       routing_(routing),
@@ -22,6 +22,70 @@ Network::Network(const Topology& topo, const XfddStore& store, XfddId root,
     switches_.push_back(std::make_unique<SoftwareSwitch>(
         sw, netasm::assemble(store, root, placement_, sw)));
   }
+}
+
+Network::Network(const RuleDelta& delta)
+    : topo_(delta.topo),
+      owned_store_(delta.store),
+      store_(delta.store.get()),
+      root_(delta.root),
+      placement_(delta.placement),
+      routing_(delta.routing),
+      tables_(RoutingTables::build(delta.topo, delta.routing)),
+      order_(delta.order),
+      link_packets_(delta.topo.links().size(), 0) {
+  SNAP_CHECK(store_ != nullptr, "delta carries no xFDD store");
+  for (int sw = 0; sw < topo_.num_switches(); ++sw) {
+    auto it = delta.programs.find(sw);
+    switches_.push_back(std::make_unique<SoftwareSwitch>(
+        sw, it != delta.programs.end() ? it->second : netasm::Program{}));
+  }
+}
+
+void Network::prune_foreign_state() {
+  for (const auto& sw : switches_) {
+    for (StateVarId var : sw->state().var_ids()) {
+      if (placement_.at(var) != sw->id()) sw->state().erase_table(var);
+    }
+  }
+}
+
+void Network::apply(const RuleDelta& delta) {
+  SNAP_CHECK(delta.store != nullptr, "delta carries no xFDD store");
+  topo_ = delta.topo;
+  owned_store_ = delta.store;
+  store_ = owned_store_.get();
+  root_ = delta.root;
+  placement_ = delta.placement;
+  routing_ = delta.routing;
+  tables_ = RoutingTables::build(topo_, routing_);
+  order_ = delta.order;
+  if (link_packets_.size() != topo_.links().size()) {
+    link_packets_.assign(topo_.links().size(), 0);
+  }
+  // Events never renumber switches, but a delta for a larger topology
+  // (e.g. applied to a network built before ports were attached) may
+  // introduce ids we have no object for yet.
+  while (static_cast<int>(switches_.size()) < topo_.num_switches()) {
+    switches_.push_back(std::make_unique<SoftwareSwitch>(
+        static_cast<int>(switches_.size()), netasm::Program{}));
+  }
+  for (int sw : delta.removed) {
+    // The switch died: program gone, state lost (§7.3).
+    switch_at(sw).install(netasm::Program{});
+    switch_at(sw).state().clear();
+  }
+  for (int sw : delta.added) {
+    // Restored or newly deployed: fresh program, fresh state.
+    switch_at(sw).install(delta.programs.at(sw));
+    switch_at(sw).state().clear();
+  }
+  for (int sw : delta.changed) {
+    // Updated in place; local tables survive unless re-placed away (the
+    // prune below).
+    switch_at(sw).install(delta.programs.at(sw));
+  }
+  prune_foreign_state();
 }
 
 SoftwareSwitch& Network::switch_at(int sw) {
@@ -89,7 +153,7 @@ std::vector<Network::Delivery> Network::inject(PortId inport,
   // Phase 2: apply remaining leaf writes in dependency order. The switch
   // that resolved the leaf already applied its own.
   XfddId leaf = outcome.node;
-  const ActionSet& actions = store_.leaf_actions(leaf);
+  const ActionSet& actions = store_->leaf_actions(leaf);
   std::vector<StateVarId> vars;
   for (const auto& [var, ops] : actions.state_programs()) vars.push_back(var);
   std::sort(vars.begin(), vars.end(), [&](StateVarId a, StateVarId b) {

@@ -22,6 +22,7 @@
 
 #include "dataplane/switch.h"
 #include "milp/result.h"
+#include "rulegen/delta.h"
 #include "rulegen/rules.h"
 #include "topo/graph.h"
 #include "xfdd/order.h"
@@ -31,9 +32,25 @@ namespace snap {
 
 class Network {
  public:
+  // Assembles every switch's program from scratch (cold-start deployment).
+  // The caller keeps `store` alive for the network's lifetime; the topology
+  // is copied (events can later replace it via apply()).
   Network(const Topology& topo, const XfddStore& store, XfddId root,
           Placement placement, const Routing& routing,
           const TestOrder& order);
+
+  // Cold-start deployment straight from a Session event's delta (shares
+  // ownership of the delta's xFDD store).
+  explicit Network(const RuleDelta& delta);
+
+  // Patches the live data plane in place from a Session event's RuleDelta:
+  // switches with an unchanged program are untouched (their state tables
+  // survive), changed/added switches get the new program installed, removed
+  // (failed) switches lose program and state (§7.3: failure loses state),
+  // and every switch drops the tables of variables the new placement moved
+  // elsewhere. Routing tables and the diagram context are swapped to the
+  // delta's. No switch object is reconstructed.
+  void apply(const RuleDelta& delta);
 
   struct Delivery {
     PortId outport;
@@ -62,8 +79,17 @@ class Network {
 
   void hop(int from, int to);
 
-  const Topology& topo_;
-  const XfddStore& store_;
+  // Drops every switch's tables for variables the placement locates
+  // elsewhere (stale after a re-placement; their owners start fresh).
+  void prune_foreign_state();
+
+  Topology topo_;  // owned: apply() can swap in a degraded topology
+  // Set when constructed from / patched by a delta: keeps the diagram alive
+  // without the producing Session. The raw pointer is what inject() reads —
+  // it refers either to owned_store_ or to the caller-owned store of the
+  // legacy constructor.
+  std::shared_ptr<const XfddStore> owned_store_;
+  const XfddStore* store_;
   XfddId root_;
   Placement placement_;
   Routing routing_;

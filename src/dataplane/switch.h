@@ -29,6 +29,10 @@ class SoftwareSwitch {
   // Resumes processing at the entry for `node`.
   Outcome run(XfddId node, const Packet& pkt);
 
+  // Replaces the program in place (a rule-delta update). State tables are
+  // left alone — the caller decides what survives re-placement.
+  void install(netasm::Program program) { program_ = std::move(program); }
+
   int id() const { return id_; }
   const netasm::Program& program() const { return program_; }
   Store& state() { return state_; }

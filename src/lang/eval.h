@@ -14,6 +14,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "lang/ast.h"
 #include "lang/packet.h"
@@ -65,6 +66,19 @@ class Store {
   }
 
   void set_table(StateVarId s, StateTable t) { vars_[s] = std::move(t); }
+
+  // Drops one variable's table / all tables (a switch losing a variable to
+  // re-placement, or losing all state to a failure).
+  void erase_table(StateVarId s) { vars_.erase(s); }
+  void clear() { vars_.clear(); }
+
+  // The variables with a (non-empty) table.
+  std::vector<StateVarId> var_ids() const {
+    std::vector<StateVarId> out;
+    out.reserve(vars_.size());
+    for (const auto& [s, t] : vars_) out.push_back(s);
+    return out;
+  }
 
   // State variables whose table differs from `base`.
   std::set<StateVarId> changed_vars(const Store& base) const;

@@ -16,8 +16,10 @@ struct Flow {
   std::vector<int> groups;  // ordered group ids
 };
 
+// Holds the topology by pointer (not reference) so a Problem can be
+// re-assigned when the solver is rebound to a new workload.
 struct Problem {
-  const Topology& topo;
+  const Topology* topo;
   std::vector<std::vector<StateVarId>> groups;
   std::vector<Flow> flows;
   std::vector<int> stateful;
@@ -27,7 +29,7 @@ Problem build_problem(const Topology& topo, const TrafficMatrix& tm,
                       const PacketStateMap& psmap,
                       const DependencyGraph& deps,
                       const std::set<int>& stateful_opt) {
-  Problem pb{topo, {}, {}, {}};
+  Problem pb{&topo, {}, {}, {}};
   std::map<StateVarId, int> group_of;
   for (const auto& scc : deps.components()) {
     std::vector<StateVarId> used;
@@ -180,7 +182,7 @@ double route_all(const Problem& pb, const std::vector<int>& tuple,
                  const std::vector<double>& weights,
                  std::map<std::pair<PortId, PortId>, std::vector<int>>& paths,
                  std::vector<double>& load) {
-  const Topology& topo = pb.topo;
+  const Topology& topo = *pb.topo;
   load.assign(topo.links().size(), 0.0);
   for (const Flow& f : pb.flows) {
     // Waypoints in order, collapsing repeats.
@@ -212,7 +214,7 @@ double route_all(const Problem& pb, const std::vector<int>& tuple,
 // Iteratively re-weighted waypoint routing.
 Routing congestion_route(const Problem& pb, const std::vector<int>& tuple,
                          const ScalableOptions& opts) {
-  const Topology& topo = pb.topo;
+  const Topology& topo = *pb.topo;
   std::vector<double> weights(topo.links().size());
   for (std::size_t l = 0; l < weights.size(); ++l) {
     weights[l] = 1.0 / topo.links()[l].capacity;
@@ -263,19 +265,26 @@ ScalableSolver::ScalableSolver(const Topology& topo, const TrafficMatrix& tm,
     : impl_(std::make_unique<Impl>(topo, tm, psmap, deps, opts)) {}
 
 ScalableSolver::~ScalableSolver() = default;
+
+void ScalableSolver::rebind(const TrafficMatrix& tm,
+                            const PacketStateMap& psmap,
+                            const DependencyGraph& deps) {
+  // Workload extraction only; impl_->dist (the stage-1 distance matrix) is
+  // deliberately retained — it depends on the topology alone.
+  impl_->pb = build_problem(impl_->topo, tm, psmap, deps,
+                            impl_->opts.stateful_switches);
+}
 ScalableSolver::ScalableSolver(ScalableSolver&&) noexcept = default;
 ScalableSolver& ScalableSolver::operator=(ScalableSolver&&) noexcept =
     default;
 
-PlacementAndRouting ScalableSolver::solve_joint() const {
-  Timer timer;
-  const Problem& pb = impl_->pb;
-  const ScalableOptions& opts = impl_->opts;
-  const auto& dist = impl_->dist;
+namespace {
 
-  TopK top{static_cast<std::size_t>(opts.placement_candidates),
-           opts.state_capacity,
-           {}};
+PlacementAndRouting joint_with_candidates(
+    const Problem& pb, const ScalableOptions& opts,
+    const std::vector<std::vector<double>>& dist, std::size_t candidates) {
+  Timer timer;
+  TopK top{candidates, opts.state_capacity, {}};
   if (pb.groups.empty()) {
     top.offer(0.0, {});
   } else {
@@ -326,6 +335,20 @@ PlacementAndRouting ScalableSolver::solve_joint() const {
   out.optimal = false;
   out.solve_seconds = timer.seconds();
   return out;
+}
+
+}  // namespace
+
+PlacementAndRouting ScalableSolver::solve_joint() const {
+  return joint_with_candidates(
+      impl_->pb, impl_->opts, impl_->dist,
+      static_cast<std::size_t>(impl_->opts.placement_candidates));
+}
+
+PlacementAndRouting ScalableSolver::solve_joint_incremental() const {
+  std::size_t k = static_cast<std::size_t>(
+      std::max(1, impl_->opts.placement_candidates / 3));
+  return joint_with_candidates(impl_->pb, impl_->opts, impl_->dist, k);
 }
 
 namespace {

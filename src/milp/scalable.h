@@ -51,6 +51,8 @@ struct ScalableOptions {
 class ScalableSolver {
  public:
   // Stage 1 (P4): extracts flows/groups and computes all-pairs distances.
+  // The solver keeps a reference to `topo`; the caller must keep it alive
+  // (and unchanged) for the solver's lifetime — snap::Session owns both.
   ScalableSolver(const Topology& topo, const TrafficMatrix& tm,
                  const PacketStateMap& psmap, const DependencyGraph& deps,
                  const ScalableOptions& opts = {});
@@ -58,8 +60,24 @@ class ScalableSolver {
   ScalableSolver(ScalableSolver&&) noexcept;
   ScalableSolver& operator=(ScalableSolver&&) noexcept;
 
+  // Model-retention hook (Table 4's policy-change scenario): rebinds the
+  // solver to a new workload — the flows/groups extracted from a changed
+  // policy's packet-state map and/or a new traffic matrix — while keeping
+  // the topology-dependent artifacts (the all-pairs distance matrix, the
+  // dominant cost of stage 1) computed at construction. This is the paper's
+  // keep-the-Gurobi-model-alive trick: edit the model, don't recreate it.
+  void rebind(const TrafficMatrix& tm, const PacketStateMap& psmap,
+              const DependencyGraph& deps);
+
   // Stage 2, ST role (P5): joint placement + routing.
   PlacementAndRouting solve_joint() const;
+
+  // The retained-model fast path (P5 after rebind): same two-stage shape,
+  // but only the best third of the proxy-ranked placement candidates get
+  // the expensive congestion routing — the decomposition analogue of a
+  // Gurobi warm start, where the incumbent makes a re-solve much cheaper
+  // than the cold solve. Used by Session::set_policy.
+  PlacementAndRouting solve_joint_incremental() const;
 
   // Stage 2, TE role (P5): routing for a fixed placement; pass a new
   // traffic matrix to re-optimize after a traffic shift.

@@ -23,18 +23,22 @@ namespace netasm {
 // Jump targets are instruction indices within the program.
 using Pc = std::int32_t;
 
+// Instructions are equality-comparable so rule deltas (rulegen/delta.h) can
+// tell changed programs from redeployments of the identical program.
 struct IBranchFieldValue {
   FieldId field;
   Value value;
   int prefix_len;
   Pc on_true;
   Pc on_false;
+  bool operator==(const IBranchFieldValue&) const = default;
 };
 
 struct IBranchFieldField {
   FieldId f1, f2;
   Pc on_true;
   Pc on_false;
+  bool operator==(const IBranchFieldField&) const = default;
 };
 
 // Look up the local table of `var` at the evaluated index and compare.
@@ -44,6 +48,7 @@ struct IBranchState {
   Expr value;
   Pc on_true;
   Pc on_false;
+  bool operator==(const IBranchState&) const = default;
 };
 
 // Processing is stuck on a state variable stored on another switch: record
@@ -52,32 +57,41 @@ struct IBranchState {
 struct IEscape {
   XfddId node;
   StateVarId var;
+  bool operator==(const IEscape&) const = default;
 };
 
 struct IStateSet {
   StateVarId var;
   Expr index;
   Expr value;
+  bool operator==(const IStateSet&) const = default;
 };
 struct IStateInc {
   StateVarId var;
   Expr index;
+  bool operator==(const IStateInc&) const = default;
 };
 struct IStateDec {
   StateVarId var;
   Expr index;
+  bool operator==(const IStateDec&) const = default;
 };
 
 // Atomic region delimiters around multi-table updates (NetASM supports
 // atomic execution of instruction blocks; our single-threaded switch makes
 // these annotations, but they are emitted and checked for balance).
-struct IAtomBegin {};
-struct IAtomEnd {};
+struct IAtomBegin {
+  bool operator==(const IAtomBegin&) const = default;
+};
+struct IAtomEnd {
+  bool operator==(const IAtomEnd&) const = default;
+};
 
 // Evaluation reached leaf `leaf` and this switch has applied its local
 // writes; the forwarding layer takes over (remaining writes, then egress).
 struct ILeafDone {
   XfddId leaf;
+  bool operator==(const ILeafDone&) const = default;
 };
 
 using Instr =
@@ -92,6 +106,10 @@ struct Program {
 
   Pc entry_for(XfddId node) const;
   std::string disassemble() const;
+
+  // Deterministic compilation makes identical deployments bitwise equal, so
+  // structural equality is exactly "this switch needs no update".
+  bool operator==(const Program&) const = default;
 };
 
 std::string to_string(const Instr& instr);

@@ -1,0 +1,52 @@
+#include "rulegen/delta.h"
+
+#include "netasm/assembler.h"
+#include "util/thread_pool.h"
+
+namespace snap {
+
+std::map<int, netasm::Program> assemble_programs(
+    const XfddStore& store, XfddId root, const Placement& pl,
+    int num_switches, const std::set<int>& skip, ThreadPool* pool) {
+  std::vector<int> targets;
+  for (int sw = 0; sw < num_switches; ++sw) {
+    if (!skip.count(sw)) targets.push_back(sw);
+  }
+  std::vector<netasm::Program> built(targets.size());
+  auto one = [&](std::size_t i) {
+    built[i] = netasm::assemble(store, root, pl, targets[i]);
+  };
+  if (pool) {
+    pool->parallel_for(targets.size(), one);
+  } else {
+    for (std::size_t i = 0; i < targets.size(); ++i) one(i);
+  }
+  std::map<int, netasm::Program> out;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    out.emplace(targets[i], std::move(built[i]));
+  }
+  return out;
+}
+
+RuleDelta diff_programs(const std::map<int, netasm::Program>& deployed,
+                        const std::map<int, netasm::Program>& fresh) {
+  RuleDelta delta;
+  for (const auto& [sw, prog] : deployed) {
+    if (!fresh.count(sw)) delta.removed.push_back(sw);
+  }
+  for (const auto& [sw, prog] : fresh) {
+    auto it = deployed.find(sw);
+    if (it == deployed.end()) {
+      delta.added.push_back(sw);
+      delta.programs.emplace(sw, prog);
+    } else if (it->second == prog) {
+      delta.unchanged.push_back(sw);
+    } else {
+      delta.changed.push_back(sw);
+      delta.programs.emplace(sw, prog);
+    }
+  }
+  return delta;
+}
+
+}  // namespace snap

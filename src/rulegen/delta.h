@@ -1,0 +1,75 @@
+// Per-switch rule deltas (the incremental half of §4.5's rule generation).
+//
+// A long-lived snap::Session caches the per-switch NetASM programs it last
+// deployed. After an event re-runs P6, the fresh programs are diffed against
+// the cached ones: switches whose program is bitwise identical need no
+// update (their state tables survive untouched), switches whose program
+// differs get a replacement, switches that left the topology (failures)
+// lose their program, and restored switches gain one. A live
+// dataplane::Network consumes the delta via Network::apply(), patching
+// itself in place instead of being rebuilt — the incremental-model trick
+// the paper applies to the Gurobi model, extended to the deployed rules.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "milp/result.h"
+#include "netasm/isa.h"
+#include "topo/graph.h"
+#include "xfdd/order.h"
+#include "xfdd/xfdd.h"
+
+namespace snap {
+
+class ThreadPool;
+
+struct RuleDelta {
+  // Context the new programs run against. The store is shared so the delta
+  // (and any Network it is applied to) keeps the diagram alive after the
+  // producing Session recompiles or dies.
+  std::shared_ptr<const XfddStore> store;
+  XfddId root = 0;
+  Topology topo;
+  Placement placement;
+  Routing routing;
+  TestOrder order;
+
+  // The program diff, as switch ids (each switch appears in exactly one).
+  std::vector<int> added;      // had no program, now has one (restored)
+  std::vector<int> removed;    // had a program, now has none (failed)
+  std::vector<int> changed;    // program differs from the deployed one
+  std::vector<int> unchanged;  // identical program: switch state preserved
+  // Replacement programs for every switch in added ∪ changed.
+  std::map<int, netasm::Program> programs;
+
+  // Routing-rule delta (the match-action path rules of Appendix D).
+  std::size_t path_rules_before = 0;
+  std::size_t path_rules_after = 0;
+  bool routing_changed = false;
+
+  // Number of switches whose rules must be touched to apply this delta.
+  std::size_t programs_touched() const {
+    return added.size() + removed.size() + changed.size();
+  }
+};
+
+// P6 for a whole deployment: one program per switch id in [0, num_switches)
+// except the ids in `skip` (failed switches host nothing). With a pool the
+// switches assemble in parallel (same argument as split_stats: the store is
+// read-only and every switch writes its own slot).
+std::map<int, netasm::Program> assemble_programs(
+    const XfddStore& store, XfddId root, const Placement& pl,
+    int num_switches, const std::set<int>& skip = {},
+    ThreadPool* pool = nullptr);
+
+// Diffs freshly assembled programs against the previously deployed set,
+// filling the added/removed/changed/unchanged partition and the replacement
+// programs (only added/changed programs are copied; unchanged ones are
+// not). The caller fills the context fields (store/topo/placement/...).
+RuleDelta diff_programs(const std::map<int, netasm::Program>& deployed,
+                        const std::map<int, netasm::Program>& fresh);
+
+}  // namespace snap

@@ -4,11 +4,8 @@
 #include "util/thread_pool.h"
 
 namespace snap {
-namespace {
 
-SwitchSlice slice_for(const XfddStore& store, XfddId root, const Placement& pl,
-                      int sw) {
-  netasm::Program prog = netasm::assemble(store, root, pl, sw);
+SwitchSlice slice_of_program(const netasm::Program& prog, int sw) {
   SwitchSlice slice;
   slice.sw = sw;
   slice.instructions = prog.code.size();
@@ -24,6 +21,13 @@ SwitchSlice slice_for(const XfddStore& store, XfddId root, const Placement& pl,
     }
   }
   return slice;
+}
+
+namespace {
+
+SwitchSlice slice_for(const XfddStore& store, XfddId root, const Placement& pl,
+                      int sw) {
+  return slice_of_program(netasm::assemble(store, root, pl, sw), sw);
 }
 
 }  // namespace

@@ -24,6 +24,10 @@ struct SwitchSlice {
 
 class ThreadPool;
 
+// Statistics of one already-assembled program (the Session path assembles
+// programs once for delta computation and derives the slices from them).
+SwitchSlice slice_of_program(const netasm::Program& prog, int sw);
+
 // With a pool, switches are assembled in parallel: the store is read-only
 // after P2 and every switch writes only its own slot, so the result is
 // identical to the serial loop.

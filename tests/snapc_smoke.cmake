@@ -120,9 +120,81 @@ run_snapc(1 out
 run_snapc(2 out --policy ${WORK_DIR}/policy.snap)
 run_snapc(2 out --bogus-flag)
 
-# 7. A malformed policy fails with the compile-error exit code.
+# 7. The documented error taxonomy: ParseError -> 2, CompileError -> 3,
+#    InfeasibleError -> 4.
 file(WRITE ${WORK_DIR}/bad.snap "if dstip then else nonsense")
-run_snapc(1 out
+run_snapc(2 out
           --policy ${WORK_DIR}/bad.snap --topology ${WORK_DIR}/net.topo)
+# Parallel writes to one state variable race: rejected at xFDD composition.
+file(WRITE ${WORK_DIR}/race.snap
+     "race.s[srcip] <- 1 + race.s[srcip] <- 2")
+run_snapc(3 out
+          --policy ${WORK_DIR}/race.snap --topology ${WORK_DIR}/net.topo)
+# Two switches with no link between them: routing is infeasible.
+file(WRITE ${WORK_DIR}/split.topo
+"switches 2
+port 1 0
+port 2 1
+name split
+")
+run_snapc(4 out
+          --policy ${WORK_DIR}/policy.snap --topology ${WORK_DIR}/split.topo
+          --const threshold=10)
+
+# 8. --script drives the live Session: a traffic shift, an edge-switch
+#    failure + restore, and a policy change, each reporting its phase
+#    subset and rule delta.
+file(WRITE ${WORK_DIR}/scenario.txt
+"# Table-4 scenario script
+traffic 9
+fail 0       # switch 0 is an endpoint: the line stays connected
+restore 0
+policy ${WORK_DIR}/policy.snap
+")
+run_snapc(0 out
+          --policy ${WORK_DIR}/policy.snap --topology ${WORK_DIR}/net.topo
+          --const threshold=10 --script ${WORK_DIR}/scenario.txt --quiet)
+foreach(needle
+        "event traffic 9"
+        "phases run: P5\\(TE\\) P6"
+        "event fail 0"
+        "phases run: P3 P4 P5\\(ST\\) P6"
+        "-1 removed"
+        "event restore 0"
+        "\\+1 added"
+        "event policy")
+  if(NOT out MATCHES "${needle}")
+    message(FATAL_ERROR "--script output missing '${needle}':\n${out}")
+  endif()
+endforeach()
+# A failure that disconnects the line is infeasible even mid-script.
+file(WRITE ${WORK_DIR}/cut.txt "fail 1\n")
+run_snapc(4 out
+          --policy ${WORK_DIR}/policy.snap --topology ${WORK_DIR}/net.topo
+          --const threshold=10 --script ${WORK_DIR}/cut.txt --quiet)
+# Malformed script arguments are parse errors (exit 2), not crashes.
+file(WRITE ${WORK_DIR}/badev.txt "fail abc\n")
+run_snapc(2 out
+          --policy ${WORK_DIR}/policy.snap --topology ${WORK_DIR}/net.topo
+          --const threshold=10 --script ${WORK_DIR}/badev.txt --quiet)
+
+# 9. --json emits the machine-readable report (events, phase times, delta
+#    sizes, slices).
+run_snapc(0 out
+          --policy ${WORK_DIR}/policy.snap --topology ${WORK_DIR}/net.topo
+          --const threshold=10 --script ${WORK_DIR}/scenario.txt --json)
+foreach(needle
+        "\"events\":"
+        "\"event\":\"cold_start\""
+        "\"event\":\"traffic\""
+        "\"phases_run\":\\[\"P5\\(TE\\)\",\"P6\"\\]"
+        "\"delta\":"
+        "\"removed\":1"
+        "\"placement\":"
+        "\"slices\":")
+  if(NOT out MATCHES "${needle}")
+    message(FATAL_ERROR "--json output missing '${needle}':\n${out}")
+  endif()
+endforeach()
 
 message(STATUS "snapc smoke test passed")

@@ -1,0 +1,414 @@
+// The event-driven Session API: per-event phase subsets (Table 4), value
+// ownership of the inputs (the old Compiler dangled on temporaries), and
+// delta-patched Network equivalence with cold-start deployments across the
+// 11-policy corpus.
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "compiler/pipeline.h"
+#include "compiler/session.h"
+#include "dataplane/network.h"
+#include "topo/gen.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace snap {
+namespace {
+
+using namespace snap::dsl;
+
+Value ip(std::uint32_t a, std::uint32_t b, std::uint32_t c,
+         std::uint32_t d) {
+  return static_cast<Value>((a << 24) | (b << 16) | (c << 8) | d);
+}
+
+std::vector<std::pair<std::string, PortId>> campus_subnets() {
+  std::vector<std::pair<std::string, PortId>> subnets;
+  for (int i = 1; i <= 6; ++i) {
+    subnets.emplace_back("10.0." + std::to_string(i) + ".0/24", i);
+  }
+  return subnets;
+}
+
+PolPtr tunnel_program(const std::string& prefix) {
+  return apps::dns_tunnel_detect(prefix, "10.0.6.0/24", 2) >>
+         apps::assign_egress(campus_subnets());
+}
+
+// ---- ownership ------------------------------------------------------------
+
+TEST(Session, OwnsCopiesOfTemporaryInputs) {
+  // Both arguments are temporaries: the pre-Session Compiler kept a
+  // const Topology& and read it after the temporary died. The Session (and
+  // the Compiler shim over it) own copies, so this is now well-defined —
+  // the CI_SANITIZE=1 ASan pass of tools/ci.sh guards the regression.
+  Session s(make_figure2_campus(),
+            gravity_traffic(make_figure2_campus(), 20.0, 1));
+  EventResult ev = s.full_compile(tunnel_program("own1"));
+  EXPECT_EQ(s.topology().num_switches(), 12);
+  EXPECT_EQ(ev.delta.added.size(), 12u);  // cold start deploys everything
+  EXPECT_GT(s.result().path_rules, 0u);
+
+  Compiler shim(make_figure2_campus(),
+                gravity_traffic(make_figure2_campus(), 20.0, 1));
+  CompileResult r = shim.compile(tunnel_program("own2"));
+  EXPECT_EQ(shim.topology().num_switches(), 12);
+  EXPECT_EQ(r.slices.size(), 12u);
+}
+
+TEST(Session, EventsBeforeFullCompileThrow) {
+  Session s(make_figure2_campus(),
+            gravity_traffic(make_figure2_campus(), 20.0, 1));
+  EXPECT_FALSE(s.compiled());
+  EXPECT_THROW(s.set_policy(tunnel_program("pre")), Error);
+  EXPECT_THROW(s.set_traffic(TrafficMatrix{}), Error);
+  EXPECT_THROW(s.fail_switch(6), Error);
+  EXPECT_THROW(s.result(), Error);
+}
+
+// ---- phase subsets (Table 4) ----------------------------------------------
+
+TEST(Session, ColdStartRunsAllSixPhases) {
+  Session s(make_figure2_campus(),
+            gravity_traffic(make_figure2_campus(), 20.0, 3));
+  EventResult ev = s.full_compile(tunnel_program("cs1"));
+  for (PhaseId p :
+       {PhaseId::kP1Dependency, PhaseId::kP2Xfdd, PhaseId::kP3Psmap,
+        PhaseId::kP4Model, PhaseId::kP5SolveSt, PhaseId::kP6Rulegen}) {
+    EXPECT_TRUE(ev.ran(p)) << to_string(p);
+  }
+  EXPECT_FALSE(ev.ran(PhaseId::kP5SolveTe));
+  EXPECT_GT(ev.times.cold_start(), 0.0);
+}
+
+TEST(Session, SetTrafficRunsOnlyTeSolveAndRulegen) {
+  Topology topo = make_figure2_campus();
+  Session s(topo, gravity_traffic(topo, 20.0, 3));
+  s.full_compile(tunnel_program("te1"));
+  Placement before = s.result().pr.placement;
+
+  EventResult ev = s.set_traffic(gravity_traffic(topo, 20.0, 33));
+  EXPECT_EQ(ev.phases_run,
+            (std::vector<PhaseId>{PhaseId::kP5SolveTe, PhaseId::kP6Rulegen}));
+  EXPECT_EQ(ev.times.p1_dependency, 0.0);
+  EXPECT_EQ(ev.times.p2_xfdd, 0.0);
+  EXPECT_EQ(ev.times.p3_psmap, 0.0);
+  EXPECT_EQ(ev.times.p4_model, 0.0);
+  EXPECT_EQ(ev.times.p5_solve_st, 0.0);
+  EXPECT_GT(ev.times.topo_change(), 0.0);
+  // Placement is kept, so every program is bitwise identical: the delta
+  // touches no switch.
+  EXPECT_EQ(s.result().pr.placement.switch_of, before.switch_of);
+  EXPECT_TRUE(ev.delta.changed.empty());
+  EXPECT_TRUE(ev.delta.added.empty());
+  EXPECT_TRUE(ev.delta.removed.empty());
+  EXPECT_EQ(ev.delta.unchanged.size(), 12u);
+  EXPECT_EQ(ev.delta.programs_touched(), 0u);
+}
+
+TEST(Session, SetPolicyNeverRunsModelCreation) {
+  Topology topo = make_figure2_campus();
+  Session s(topo, gravity_traffic(topo, 20.0, 4));
+  s.full_compile(tunnel_program("pc1"));
+
+  EventResult ev = s.set_policy(
+      apps::heavy_hitter("pc2", 5) >> apps::assign_egress(campus_subnets()));
+  EXPECT_TRUE(ev.ran(PhaseId::kP1Dependency));
+  EXPECT_TRUE(ev.ran(PhaseId::kP2Xfdd));
+  EXPECT_TRUE(ev.ran(PhaseId::kP3Psmap));
+  EXPECT_FALSE(ev.ran(PhaseId::kP4Model));
+  EXPECT_TRUE(ev.ran(PhaseId::kP5SolveSt));
+  EXPECT_FALSE(ev.ran(PhaseId::kP5SolveTe));
+  EXPECT_TRUE(ev.ran(PhaseId::kP6Rulegen));
+  EXPECT_EQ(ev.times.p4_model, 0.0);
+  EXPECT_GT(ev.times.policy_change(), 0.0);
+  // The new policy reaches the cache and the deployed programs.
+  EXPECT_TRUE(
+      s.result().pr.placement.at(state_var_id("pc2.heavy-hitter")) >= 0);
+  EXPECT_GT(ev.delta.programs_touched(), 0u);
+}
+
+TEST(Session, FailureReusesPolicyAnalysisAndRestoreUndoesIt) {
+  Topology topo = make_figure2_campus();
+  Session s(topo, gravity_traffic(topo, 20.0, 5));
+  s.full_compile(tunnel_program("fr1"));
+  const XfddStore* store_before = s.result().store.get();
+
+  // Fail core switch C1 (id 6, hosts no OBS port; the mesh stays
+  // connected).
+  EventResult ev = s.fail_switch(6);
+  EXPECT_FALSE(ev.ran(PhaseId::kP1Dependency));
+  EXPECT_FALSE(ev.ran(PhaseId::kP2Xfdd));
+  EXPECT_TRUE(ev.ran(PhaseId::kP3Psmap));
+  EXPECT_TRUE(ev.ran(PhaseId::kP4Model));
+  EXPECT_TRUE(ev.ran(PhaseId::kP5SolveSt));
+  EXPECT_TRUE(ev.ran(PhaseId::kP6Rulegen));
+  // The xFDD artifacts are literally reused, not rebuilt.
+  EXPECT_EQ(s.result().store.get(), store_before);
+  // The failed switch lost its program; no placement or path touches it.
+  EXPECT_EQ(ev.delta.removed, std::vector<int>{6});
+  EXPECT_EQ(s.failed_switches(), std::set<int>{6});
+  for (const auto& [var, sw] : s.result().pr.placement.switch_of) {
+    EXPECT_NE(sw, 6);
+  }
+  for (const auto& [uv, path] : s.result().pr.routing.paths) {
+    EXPECT_EQ(std::find(path.begin(), path.end(), 6), path.end());
+  }
+
+  EventResult back = s.restore_switch(6);
+  EXPECT_EQ(back.delta.added, std::vector<int>{6});
+  EXPECT_TRUE(s.failed_switches().empty());
+  EXPECT_EQ(s.topology().links().size(), s.base_topology().links().size());
+}
+
+TEST(Session, InfeasibleFailureLeavesSessionUntouched) {
+  // On a line the middle switch is a cut vertex: failing it must throw and
+  // roll back completely.
+  Topology topo("line3s", 3);
+  topo.add_duplex(0, 1, 10);
+  topo.add_duplex(1, 2, 10);
+  topo.attach_port(1, 0);
+  topo.attach_port(2, 2);
+  TrafficMatrix tm;
+  tm.set_demand(1, 2, 1.0);
+  tm.set_demand(2, 1, 1.0);
+  Session s(topo, tm);
+  s.full_compile(sinc("inf1.cnt", idx("srcip")) >>
+                 apps::assign_egress({{"10.0.1.0/24", 1},
+                                      {"10.0.2.0/24", 2}}));
+  auto deployed_before = s.deployed_programs();
+  EXPECT_THROW(s.fail_switch(1), InfeasibleError);
+  // Nothing committed: topology, failure set and deployment are unchanged,
+  // and the session still serves events.
+  EXPECT_TRUE(s.failed_switches().empty());
+  EXPECT_EQ(s.topology().links().size(), 4u);
+  EXPECT_EQ(s.deployed_programs(), deployed_before);
+  EXPECT_NO_THROW(s.set_traffic(tm));
+}
+
+TEST(Session, InfeasiblePolicyChangeRollsBackTheRetainedModel) {
+  // One allowed stateful switch with capacity 1: a one-group policy fits,
+  // a two-group policy is infeasible. The failed set_policy must leave the
+  // session fully usable (the retained model was rebound mid-event and has
+  // to be rebound back).
+  Topology topo("line3p", 3);
+  topo.add_duplex(0, 1, 10);
+  topo.add_duplex(1, 2, 10);
+  topo.attach_port(1, 0);
+  topo.attach_port(2, 2);
+  TrafficMatrix tm;
+  tm.set_demand(1, 2, 1.0);
+  tm.set_demand(2, 1, 1.0);
+  CompilerOptions opts;
+  opts.stateful_switches = {1};
+  opts.state_capacity = 1;
+  Session s(topo, tm, opts);
+  auto egress =
+      apps::assign_egress({{"10.0.1.0/24", 1}, {"10.0.2.0/24", 2}});
+  s.full_compile(sinc("ro1.a", idx("srcip")) >> egress);
+
+  // Two independent counters are two state groups: over capacity.
+  EXPECT_THROW(s.set_policy((sinc("ro2.a", idx("srcip")) +
+                             sinc("ro2.b", idx("dstip"))) >>
+                            egress),
+               InfeasibleError);
+  // Committed state is the old policy...
+  EXPECT_EQ(s.result().pr.placement.at(state_var_id("ro1.a")), 1);
+  // ...and both re-solve paths still work against the restored model.
+  EXPECT_NO_THROW(s.set_traffic(tm));
+  EXPECT_NO_THROW(s.set_policy(sinc("ro3.a", idx("dstip")) >> egress));
+}
+
+TEST(Session, SetTrafficRoutesDemandPairsUnseenAtColdStart) {
+  // Pair (3,4) had zero demand when the model was created; a traffic
+  // change that introduces it must still get it a path (the model is
+  // rebound, not just re-weighted).
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm;
+  tm.set_demand(1, 2, 1.0);
+  Session s(topo, tm);
+  s.full_compile(tunnel_program("nd1"));
+  EXPECT_EQ(s.result().pr.routing.paths.count({3, 4}), 0u);
+
+  TrafficMatrix shifted;
+  shifted.set_demand(1, 2, 1.0);
+  shifted.set_demand(3, 4, 2.0);
+  EventResult ev = s.set_traffic(shifted);
+  EXPECT_EQ(ev.phases_run,
+            (std::vector<PhaseId>{PhaseId::kP5SolveTe, PhaseId::kP6Rulegen}));
+  EXPECT_EQ(s.result().pr.routing.paths.count({3, 4}), 1u);
+}
+
+TEST(Session, RepeatedFullCompileYieldsEmptyDelta) {
+  // Deterministic compilation makes the second deployment bitwise equal to
+  // the first, so the diff reports every switch unchanged.
+  Topology topo = make_figure2_campus();
+  Session s(topo, gravity_traffic(topo, 20.0, 6));
+  s.full_compile(tunnel_program("rep1"));
+  EventResult again = s.full_compile(tunnel_program("rep1"));
+  EXPECT_EQ(again.delta.programs_touched(), 0u);
+  EXPECT_EQ(again.delta.unchanged.size(), 12u);
+}
+
+// ---- live patching --------------------------------------------------------
+
+TEST(Session, ApplyPreservesStateOnUnchangedSwitches) {
+  Topology topo = make_figure2_campus();
+  Session s(topo, gravity_traffic(topo, 20.0, 7));
+  EventResult cold = s.full_compile(tunnel_program("live1"));
+  Network net(cold.delta);
+
+  // One suspicious DNS resolution lands in the orphan table.
+  Value client = ip(10, 0, 6, 50);
+  Packet pkt{{"srcip", ip(10, 0, 1, 9)}, {"dstip", client},
+             {"srcport", 53}, {"dns.rdata", ip(10, 0, 2, 1)}, {"inport", 1}};
+  net.inject(1, pkt);
+  StateVarId orphan = state_var_id("live1.orphan");
+  int owner = cold.delta.placement.at(orphan);
+  ASSERT_GE(owner, 0);
+  EXPECT_EQ(net.switch_at(owner).state().get(
+                orphan, {client, ip(10, 0, 2, 1)}),
+            kTrue);
+
+  // A traffic shift changes no program: patching must keep the state.
+  EventResult te = s.set_traffic(gravity_traffic(topo, 20.0, 77));
+  net.apply(te.delta);
+  EXPECT_EQ(net.switch_at(owner).state().get(
+                orphan, {client, ip(10, 0, 2, 1)}),
+            kTrue);
+
+  // Failing the owner loses the state with the switch (§7.3).
+  if (s.topology().port_switch(1) != owner) {
+    EventResult fail = s.fail_switch(owner);
+    net.apply(fail.delta);
+    Store merged = net.merged_state();
+    EXPECT_EQ(merged.get(orphan, {client, ip(10, 0, 2, 1)}), 0);
+  }
+}
+
+// ---- delta correctness over the corpus ------------------------------------
+
+// The 11-policy corpus (the builder twins of policies/*.snap).
+std::vector<std::pair<std::string, std::function<PolPtr(std::string)>>>
+corpus() {
+  return {
+      {"dns_tunnel_detect",
+       [](std::string p) {
+         return apps::dns_tunnel_detect(p, "10.0.6.0/24", 2);
+       }},
+      {"stateful_firewall",
+       [](std::string p) {
+         return apps::stateful_firewall(p, "10.0.6.0/24");
+       }},
+      {"heavy_hitter",
+       [](std::string p) { return apps::heavy_hitter(p, 2); }},
+      {"super_spreader",
+       [](std::string p) { return apps::super_spreader(p, 2); }},
+      {"dns_amplification",
+       [](std::string p) { return apps::dns_amplification(p); }},
+      {"udp_flood", [](std::string p) { return apps::udp_flood(p, 2); }},
+      {"ftp_monitoring",
+       [](std::string p) { return apps::ftp_monitoring(p); }},
+      {"selective_dropping",
+       [](std::string p) { return apps::selective_packet_dropping(p); }},
+      {"many_ip_domains",
+       [](std::string p) { return apps::many_ip_domains(p, 2); }},
+      {"sidejacking",
+       [](std::string p) { return apps::sidejack_detect(p, "10.0.6.10/32"); }},
+      {"spam_detection",
+       [](std::string p) { return apps::spam_detect(p, 2); }},
+  };
+}
+
+// A probe trace across the campus OBS ports over the fields the corpus
+// policies touch.
+std::vector<std::pair<PortId, Packet>> probe_trace(std::uint64_t seed,
+                                                   int n) {
+  Rng rng(seed);
+  std::vector<std::pair<PortId, Packet>> out;
+  for (int i = 0; i < n; ++i) {
+    PortId in = static_cast<PortId>(rng.uniform(1, 6));
+    Packet p;
+    p.set("inport", in);
+    p.set("srcip", ip(10, 0, static_cast<std::uint32_t>(rng.uniform(1, 6)),
+                      static_cast<std::uint32_t>(rng.uniform(1, 3))));
+    p.set("dstip", ip(10, 0, static_cast<std::uint32_t>(rng.uniform(1, 6)),
+                      static_cast<std::uint32_t>(rng.uniform(1, 3))));
+    p.set("srcport", rng.bernoulli(0.4) ? 53 : rng.uniform(20, 25));
+    p.set("dstport", rng.bernoulli(0.4) ? 53 : rng.uniform(20, 25));
+    p.set("proto", rng.bernoulli(0.5) ? 17 : 6);
+    p.set("tcp.flags", std::vector<Value>{1, 2, 16}[rng.uniform(0, 2)]);
+    p.set("dns.rdata", rng.uniform(0, 3));
+    p.set("dns.qname", rng.uniform(0, 2));
+    p.set("ftp.PORT", rng.uniform(1000, 1002));
+    p.set("sid", rng.uniform(0, 2));
+    p.set("http.user-agent", rng.uniform(0, 1));
+    p.set("smtp.MTA", rng.uniform(0, 2));
+    out.emplace_back(in, std::move(p));
+  }
+  return out;
+}
+
+// The patched live network must be indistinguishable from a cold-start
+// deployment built fresh from the session's artifacts: seed the cold
+// network with the live state (per the current placement) and replay a
+// probe trace through both in lock step.
+void expect_equivalent_to_cold_start(Network& live, Session& s,
+                                     std::uint64_t seed,
+                                     const std::string& label) {
+  const CompileResult& r = s.result();
+  Network cold(s.topology(), *r.store, r.root, r.pr.placement, r.pr.routing,
+               r.order);
+  for (const auto& [var, sw] : r.pr.placement.switch_of) {
+    cold.switch_at(sw).state().set_table(
+        var, live.switch_at(sw).state().table(var));
+  }
+  for (const auto& [in, pkt] : probe_trace(seed, 25)) {
+    auto dl = live.inject(in, pkt);
+    auto dc = cold.inject(in, pkt);
+    ASSERT_EQ(dl.size(), dc.size()) << label << " on " << pkt.to_string();
+    for (std::size_t i = 0; i < dl.size(); ++i) {
+      EXPECT_EQ(dl[i].outport, dc[i].outport) << label;
+      EXPECT_TRUE(dl[i].packet == dc[i].packet) << label;
+    }
+    ASSERT_TRUE(live.merged_state() == cold.merged_state())
+        << label << ": state digests diverged on " << pkt.to_string();
+  }
+}
+
+class DeltaCorpus : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeltaCorpus, PatchedNetworkMatchesColdStartAfterEveryEvent) {
+  const auto c = corpus()[static_cast<std::size_t>(GetParam())];
+  Topology topo = make_figure2_campus();
+  auto egress = apps::assign_egress(campus_subnets());
+  Session s(topo, gravity_traffic(topo, 20.0, 11));
+
+  EventResult ev = s.full_compile(c.second("dc1." + c.first) >> egress);
+  Network live(ev.delta);
+  expect_equivalent_to_cold_start(live, s, 100, c.first + "/cold");
+
+  ev = s.set_traffic(gravity_traffic(topo, 20.0, 12));
+  live.apply(ev.delta);
+  expect_equivalent_to_cold_start(live, s, 200, c.first + "/traffic");
+
+  ev = s.set_policy(c.second("dc2." + c.first) >> egress);
+  live.apply(ev.delta);
+  expect_equivalent_to_cold_start(live, s, 300, c.first + "/policy");
+
+  ev = s.fail_switch(6);  // core switch; campus mesh stays connected
+  live.apply(ev.delta);
+  expect_equivalent_to_cold_start(live, s, 400, c.first + "/fail");
+
+  ev = s.restore_switch(6);
+  live.apply(ev.delta);
+  expect_equivalent_to_cold_start(live, s, 500, c.first + "/restore");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, DeltaCorpus, ::testing::Range(0, 11),
+                         [](const auto& info) {
+                           return corpus()[info.param].first;
+                         });
+
+}  // namespace
+}  // namespace snap

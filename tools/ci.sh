@@ -4,6 +4,9 @@
 #
 #   tools/ci.sh [build-dir]     (default: build-ci)
 #
+# CI_SANITIZE=1 appends a second configure/build/ctest pass with ASan+UBSan
+# (catches lifetime bugs like the pre-Session dangling-topology hazard).
+#
 # Exits non-zero on the first failing step.
 set -euo pipefail
 
@@ -27,6 +30,21 @@ else
   # google-benchmark was unavailable at configure time; the phase bench is
   # a plain binary and doubles as a serial-vs-parallel consistency check.
   "${BUILD_DIR}/bench_table6_phases" --threads 2
+fi
+
+echo "== scenario bench (event latency < cold start) =="
+"${BUILD_DIR}/bench_table4_scenarios" --switches 24 --reps 2
+
+if [[ "${CI_SANITIZE:-0}" == "1" ]]; then
+  SAN_DIR="${BUILD_DIR}-asan"
+  echo "== sanitize configure (${SAN_DIR}, ASan+UBSan) =="
+  cmake -B "${SAN_DIR}" -S . -DSNAP_SANITIZE=ON \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  echo "== sanitize build =="
+  cmake --build "${SAN_DIR}" -j "${JOBS}"
+  echo "== sanitize ctest =="
+  UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=0 \
+    ctest --test-dir "${SAN_DIR}" -j "${JOBS}" --output-on-failure
 fi
 
 echo "== tier-1 gate passed =="

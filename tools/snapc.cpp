@@ -11,32 +11,43 @@
 //   --load GBPS        total offered load (default 20% of edge capacity)
 //   --solver MODE      auto | exact | scalable (default auto)
 //   --threads N        parallel P2/P6 workers (1 = serial, 0 = all cores)
+//   --script FILE      after the cold start, drive the Session with a
+//                      scenario script: one event per line,
+//                        policy FILE        re-runs P1-P3, P5(ST), P6
+//                        traffic SEED [GBPS] re-runs P5(TE), P6
+//                        fail SW            degraded re-solve (P3-P6)
+//                        restore SW
+//                      '#' starts a comment; blank lines are skipped
+//   --json             machine-readable output: phase times, phases run,
+//                      slice stats and rule-delta sizes per event
 //   --dot FILE         write the policy xFDD as Graphviz
 //   --rules            print per-switch NetASM programs
 //   --quiet            only placement and timing summary
 //
-// Compiles the one-big-switch policy for the given network, prints the
-// per-phase times (Table 4's P1-P6), the state placement, the chosen
-// paths, and optionally the per-switch data-plane programs.
+// Exit codes: 0 success; 2 usage or ParseError; 3 CompileError;
+// 4 InfeasibleError; 1 anything else (including internal errors).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <vector>
 
 #include "apps/apps.h"
-#include "compiler/pipeline.h"
-#include "netasm/assembler.h"
+#include "compiler/session.h"
 #include "topo/parse.h"
 #include "util/status.h"
 #include "xfdd/dot.h"
 
 namespace {
 
+using namespace snap;
+
 std::string slurp(const std::string& path) {
   std::ifstream in(path);
   if (!in.good()) {
-    throw snap::Error("cannot open " + path);
+    throw Error("cannot open " + path);
   }
   std::ostringstream os;
   os << in.rdbuf();
@@ -47,19 +58,176 @@ void usage() {
   std::fprintf(stderr,
                "usage: snapc --policy FILE --topology FILE"
                " [--const NAME=VAL]... [--traffic SEED] [--load GBPS]"
-               " [--solver auto|exact|scalable] [--threads N] [--dot FILE]"
-               " [--rules] [--quiet]\n");
+               " [--solver auto|exact|scalable] [--threads N]"
+               " [--script FILE] [--json] [--dot FILE] [--rules]"
+               " [--quiet]\n");
 }
 
-}  // namespace
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
-int main(int argc, char** argv) {
-  using namespace snap;
-  std::string policy_file, topo_file, dot_file;
+// One executed event, remembered for the final report.
+struct EventRow {
+  std::string event;  // cold_start | policy | traffic | fail | restore
+  std::string arg;
+  EventResult ev;
+  std::size_t xfdd_nodes = 0;
+  double objective = 0.0;
+  bool exact = false;
+};
+
+std::string phases_json(const EventResult& ev) {
+  std::ostringstream os;
+  os << "{\"p1_dependency\":" << ev.times.p1_dependency
+     << ",\"p2_xfdd\":" << ev.times.p2_xfdd
+     << ",\"p3_psmap\":" << ev.times.p3_psmap
+     << ",\"p4_model\":" << ev.times.p4_model
+     << ",\"p5_solve_st\":" << ev.times.p5_solve_st
+     << ",\"p5_solve_te\":" << ev.times.p5_solve_te
+     << ",\"p6_rulegen\":" << ev.times.p6_rulegen << "}";
+  return os.str();
+}
+
+std::string row_json(const EventRow& row) {
+  std::ostringstream os;
+  os << "{\"event\":\"" << json_escape(row.event) << "\"";
+  if (!row.arg.empty()) os << ",\"arg\":\"" << json_escape(row.arg) << "\"";
+  os << ",\"phases\":" << phases_json(row.ev) << ",\"phases_run\":[";
+  for (std::size_t i = 0; i < row.ev.phases_run.size(); ++i) {
+    os << (i ? "," : "") << "\"" << to_string(row.ev.phases_run[i]) << "\"";
+  }
+  const RuleDelta& d = row.ev.delta;
+  os << "],\"total_seconds\":"
+     << (row.ev.times.cold_start() + row.ev.times.p5_solve_te)
+     << ",\"xfdd_nodes\":" << row.xfdd_nodes
+     << ",\"solver\":\"" << (row.exact ? "exact" : "scalable") << "\""
+     << ",\"objective\":" << row.objective << ",\"delta\":{"
+     << "\"added\":" << d.added.size()
+     << ",\"removed\":" << d.removed.size()
+     << ",\"changed\":" << d.changed.size()
+     << ",\"unchanged\":" << d.unchanged.size()
+     << ",\"programs_touched\":" << d.programs_touched()
+     << ",\"path_rules_before\":" << d.path_rules_before
+     << ",\"path_rules_after\":" << d.path_rules_after
+     << ",\"routing_changed\":" << (d.routing_changed ? "true" : "false")
+     << "}}";
+  return os.str();
+}
+
+void print_event_human(const EventRow& row) {
+  std::printf("event %s%s%s:\n", row.event.c_str(),
+              row.arg.empty() ? "" : " ", row.arg.c_str());
+  std::printf("  phases run:");
+  for (PhaseId p : row.ev.phases_run) std::printf(" %s", to_string(p));
+  std::printf("\n");
+  const PhaseTimes& t = row.ev.times;
+  std::printf(
+      "  times (s): P1=%.4f P2=%.4f P3=%.4f P4=%.4f P5(ST)=%.4f"
+      " P5(TE)=%.4f P6=%.4f\n",
+      t.p1_dependency, t.p2_xfdd, t.p3_psmap, t.p4_model, t.p5_solve_st,
+      t.p5_solve_te, t.p6_rulegen);
+  const RuleDelta& d = row.ev.delta;
+  std::printf(
+      "  delta: +%zu added, -%zu removed, ~%zu changed, =%zu unchanged;"
+      " path rules %zu -> %zu%s\n",
+      d.added.size(), d.removed.size(), d.changed.size(),
+      d.unchanged.size(), d.path_rules_before, d.path_rules_after,
+      d.routing_changed ? " (routing changed)" : "");
+}
+
+struct ScriptEvent {
+  std::string kind;  // policy | traffic | fail | restore
+  std::string arg1;  // policy file / original first argument text
+  long long num = 0;  // validated switch id or traffic seed
+  double load = -1;   // traffic load override (< 0: the CLI default)
+};
+
+// Whole-string bounded numeric parse; malformed or out-of-range input is a
+// script ParseError (exit 2), never an uncaught std exception. The parsed
+// value is carried on the event so dispatch never re-parses.
+long long script_number(const std::string& s, const char* what, int lineno,
+                        long long lo, long long hi) {
+  std::size_t pos = 0;
+  long long v = 0;
+  try {
+    v = std::stoll(s, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  if (pos != s.size() || v < lo || v > hi) {
+    throw ParseError("bad " + std::string(what) + " '" + s + "'", lineno);
+  }
+  return v;
+}
+
+std::vector<ScriptEvent> parse_script(const std::string& text) {
+  std::vector<ScriptEvent> events;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    ScriptEvent e;
+    std::string arg2;
+    if (!(ls >> e.kind)) continue;  // blank / comment-only line
+    ls >> e.arg1 >> arg2;
+    if (e.kind != "policy" && e.kind != "traffic" && e.kind != "fail" &&
+        e.kind != "restore") {
+      throw ParseError("unknown script event '" + e.kind + "'", lineno);
+    }
+    if (e.arg1.empty()) {
+      throw ParseError("script event '" + e.kind + "' needs an argument",
+                       lineno);
+    }
+    if (e.kind == "fail" || e.kind == "restore") {
+      e.num = script_number(e.arg1, "switch id", lineno, 0, 1 << 20);
+    } else if (e.kind == "traffic") {
+      e.num = script_number(e.arg1, "traffic seed", lineno, 0,
+                            std::numeric_limits<long long>::max());
+      if (!arg2.empty()) {
+        std::size_t pos = 0;
+        try {
+          e.load = std::stod(arg2, &pos);
+        } catch (const std::exception&) {
+          pos = std::string::npos;
+        }
+        if (pos != arg2.size() || e.load < 0) {
+          throw ParseError("bad traffic load '" + arg2 + "'", lineno);
+        }
+      }
+    }
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+int run(int argc, char** argv) {
+  std::string policy_file, topo_file, dot_file, script_file;
   ConstTable consts = apps::protocol_constants();
   std::uint64_t seed = 1;
   double load = -1;
-  bool print_rules = false, quiet = false;
+  bool print_rules = false, quiet = false, json = false;
   CompilerOptions opts;
 
   for (int i = 1; i < argc; ++i) {
@@ -102,6 +270,10 @@ int main(int argc, char** argv) {
         return 2;
       }
       opts.threads = static_cast<int>(n);
+    } else if (!std::strcmp(argv[i], "--script")) {
+      script_file = need("--script");
+    } else if (!std::strcmp(argv[i], "--json")) {
+      json = true;
     } else if (!std::strcmp(argv[i], "--dot")) {
       dot_file = need("--dot");
     } else if (!std::strcmp(argv[i], "--rules")) {
@@ -119,25 +291,82 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  try {
-    Topology topo = parse_topology(slurp(topo_file));
-    PolPtr program = parse_policy(slurp(policy_file), consts);
-    if (load < 0) load = 2.0 * static_cast<double>(topo.ports().size());
-    TrafficMatrix tm = gravity_traffic(topo, load, seed);
+  Topology topo = parse_topology(slurp(topo_file));
+  PolPtr program = parse_policy(slurp(policy_file), consts);
+  if (load < 0) load = 2.0 * static_cast<double>(topo.ports().size());
+  TrafficMatrix tm = gravity_traffic(topo, load, seed);
+  std::vector<ScriptEvent> script;
+  if (!script_file.empty()) script = parse_script(slurp(script_file));
 
-    Compiler compiler(topo, tm, opts);
-    CompileResult r = compiler.compile(program);
+  Session session(topo, std::move(tm), opts);
+  std::vector<EventRow> rows;
+  auto record = [&](std::string event, std::string arg, EventResult ev) {
+    const CompileResult& r = session.result();
+    rows.push_back({std::move(event), std::move(arg), std::move(ev),
+                    r.xfdd_nodes, r.pr.routing.objective,
+                    r.used_exact_milp});
+  };
 
-    std::printf("%s: compiled '%s'\n", topo.to_string().c_str(),
+  record("cold_start", policy_file, session.full_compile(program));
+  for (const ScriptEvent& e : script) {
+    if (e.kind == "policy") {
+      record("policy", e.arg1,
+             session.set_policy(parse_policy(slurp(e.arg1), consts)));
+    } else if (e.kind == "traffic") {
+      double l = e.load < 0 ? load : e.load;
+      record("traffic", e.arg1,
+             session.set_traffic(gravity_traffic(
+                 topo, l, static_cast<std::uint64_t>(e.num))));
+    } else if (e.kind == "fail") {
+      record("fail", e.arg1,
+             session.fail_switch(static_cast<int>(e.num)));
+    } else {
+      record("restore", e.arg1,
+             session.restore_switch(static_cast<int>(e.num)));
+    }
+  }
+
+  const CompileResult& r = session.result();
+  if (json) {
+    std::printf("{\"topology\":{\"name\":\"%s\",\"switches\":%d,"
+                "\"links\":%zu,\"ports\":%zu},\n \"events\":[",
+                json_escape(session.base_topology().name()).c_str(),
+                session.base_topology().num_switches(),
+                session.base_topology().links().size(),
+                session.base_topology().ports().size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::printf("%s\n  %s", i ? "," : "", row_json(rows[i]).c_str());
+    }
+    std::printf("],\n \"placement\":{");
+    bool first = true;
+    for (const auto& [var, sw] : r.pr.placement.switch_of) {
+      std::printf("%s\"%s\":%d", first ? "" : ",",
+                  json_escape(state_var_name(var)).c_str(), sw);
+      first = false;
+    }
+    std::printf("},\n \"slices\":[");
+    for (std::size_t i = 0; i < r.slices.size(); ++i) {
+      const SwitchSlice& s = r.slices[i];
+      std::printf("%s{\"sw\":%d,\"instructions\":%zu,\"state_tests\":%zu,"
+                  "\"escapes\":%zu,\"state_writes\":%zu}",
+                  i ? "," : "", s.sw, s.instructions, s.state_tests,
+                  s.escapes, s.state_writes);
+    }
+    std::printf("]}\n");
+  } else {
+    std::printf("%s: compiled '%s'\n",
+                session.topology().to_string().c_str(),
                 policy_file.c_str());
     std::printf(
         "phases (s): P1 dep=%.4f  P2 xfdd=%.4f  P3 psmap=%.4f  "
         "P4 model=%.4f  P5 solve=%.4f  P6 rules=%.4f\n",
-        r.times.p1_dependency, r.times.p2_xfdd, r.times.p3_psmap,
-        r.times.p4_model, r.times.p5_solve_st, r.times.p6_rulegen);
+        rows[0].ev.times.p1_dependency, rows[0].ev.times.p2_xfdd,
+        rows[0].ev.times.p3_psmap, rows[0].ev.times.p4_model,
+        rows[0].ev.times.p5_solve_st, rows[0].ev.times.p6_rulegen);
     std::printf("xFDD: %zu nodes; solver: %s; objective: %.4f\n",
                 r.xfdd_nodes, r.used_exact_milp ? "exact MILP" : "scalable",
                 r.pr.routing.objective);
+    for (std::size_t i = 1; i < rows.size(); ++i) print_event_human(rows[i]);
 
     std::printf("\nstate placement:\n");
     for (const auto& [var, sw] : r.pr.placement.switch_of) {
@@ -153,20 +382,39 @@ int main(int argc, char** argv) {
         std::printf("\n");
       }
     }
-    if (!dot_file.empty()) {
-      std::ofstream(dot_file) << xfdd_to_dot(*r.store, r.root);
-      std::printf("\nwrote xFDD to %s\n", dot_file.c_str());
+  }
+  if (!dot_file.empty()) {
+    std::ofstream(dot_file) << xfdd_to_dot(*r.store, r.root);
+    if (!json) std::printf("\nwrote xFDD to %s\n", dot_file.c_str());
+  }
+  if (print_rules && !json) {
+    for (const auto& [sw, prog] : session.deployed_programs()) {
+      std::printf("\n--- switch %d program (%zu instructions) ---\n%s", sw,
+                  prog.code.size(), prog.disassemble().c_str());
     }
-    if (print_rules) {
-      for (int sw = 0; sw < topo.num_switches(); ++sw) {
-        netasm::Program prog =
-            netasm::assemble(*r.store, r.root, r.pr.placement, sw);
-        std::printf("\n--- switch %d program (%zu instructions) ---\n%s", sw,
-                    prog.code.size(), prog.disassemble().c_str());
-      }
-    }
-    return 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const ParseError& e) {
+    std::fprintf(stderr, "snapc: %s\n", e.what());
+    return 2;
+  } catch (const InfeasibleError& e) {
+    std::fprintf(stderr, "snapc: infeasible: %s\n", e.what());
+    return 4;
+  } catch (const CompileError& e) {
+    std::fprintf(stderr, "snapc: compile error: %s\n", e.what());
+    return 3;
   } catch (const Error& e) {
+    std::fprintf(stderr, "snapc: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    // Backstop (e.g. std::stoull on a malformed --traffic): never abort.
     std::fprintf(stderr, "snapc: %s\n", e.what());
     return 1;
   }
