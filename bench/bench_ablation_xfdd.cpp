@@ -1,67 +1,215 @@
-// Ablation: xFDD composition order (§6.2.1 notes the cost of composition
-// depends on operand sizes and composition order is left to future work).
-// We compose the app suite left-to-right vs balanced-tree and report the
-// resulting diagram sizes and times.
+// Ablation: memoized vs cache-disabled xFDD composition.
+//
+// The XfddEngine's computed tables (xfdd/engine.h) are the paper's P2 lever:
+// without them, shared subtrees are re-expanded as trees and worst-case
+// work is exponential in diagram depth. Two workloads make that visible:
+//
+//   1. A deep-chain/diamond stress policy: and-of-ors over per-level
+//      distinct fields, whose diagram is a depth-N diamond DAG with 2^N
+//      root-to-leaf paths but only ~2N nodes, wrapped in an `if` so the
+//      translation exercises seq, par, neg and the computed tables'
+//      support-based context pruning. Work is measured in *node
+//      expansions* (recursion bodies executed) — counter-based, so the
+//      comparison holds on a 1-core container where wall-clock does not.
+//
+//   2. The 11-policy evaluation corpus (apps::registry), compiled cold and
+//      then recompiled on the warm engine — the Session::set_policy path.
+//
+// --check turns the two ISSUE gates into exit codes for tools/ci.sh:
+//   (a) stress: memoized expansions * 5 <= naive expansions, with
+//       byte-identical canonical digests across memoized/naive and
+//       serial/parallel runs;
+//   (b) corpus: total cache hits > 0 and warm recompiles strictly cheaper.
+//
+// Usage: bench_ablation_xfdd [--depth N] [--check]
+#include <cstring>
+#include <string>
+
 #include "bench_common.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
+#include "xfdd/engine.h"
 
 using namespace snap;
 
 namespace {
 
-PolPtr guard_app(const apps::AppSpec& app, const std::string& subnet,
-                 const std::string& prefix) {
-  return dsl::ite(dsl::test_cidr("dstip", subnet), app.build(prefix),
-                  dsl::filter(dsl::id()));
-}
-
-PolPtr compose_left(const std::vector<PolPtr>& parts) {
-  PolPtr p = parts[0];
-  for (std::size_t i = 1; i < parts.size(); ++i) p = p + parts[i];
+// and_{i<depth} (xf<i> = 0 | xf<i> = 1): each level's two tests rejoin on
+// the next level's subdiagram, so the xFDD is a diamond chain — per-level
+// distinct fields keep every path context prunable against the remaining
+// support, which is exactly the shape the computed tables collapse.
+PredPtr diamond_pred(int depth) {
+  using namespace snap::dsl;
+  PredPtr p;
+  for (int i = 0; i < depth; ++i) {
+    std::string f = "xf" + std::to_string(i);
+    PredPtr level = lor(test(f, 0), test(f, 1));
+    p = p ? land(p, level) : level;
+  }
   return p;
 }
 
-PolPtr compose_balanced(std::vector<PolPtr> parts) {
-  while (parts.size() > 1) {
-    std::vector<PolPtr> next;
-    for (std::size_t i = 0; i + 1 < parts.size(); i += 2) {
-      next.push_back(parts[i] + parts[i + 1]);
-    }
-    if (parts.size() % 2) next.push_back(parts.back());
-    parts = std::move(next);
-  }
-  return parts[0];
+PolPtr stress_policy(int depth) {
+  using namespace snap::dsl;
+  return ite(diamond_pred(depth), mod("outport", 1), mod("outport", 2));
+}
+
+struct Run {
+  XfddId root = 0;
+  std::string digest;  // canonical: import into a fresh store, serialize
+  EngineStats stats;
+  double seconds = 0;
+};
+
+Run run_engine(const PolPtr& p, const TestOrder& order,
+               XfddEngineOptions opts) {
+  Timer t;
+  XfddEngine e(order, opts);
+  Run out;
+  out.root = e.policy(p);
+  out.seconds = t.seconds();
+  out.stats = e.stats();
+  XfddStore canon;
+  XfddId r = xfdd_import(canon, e.store(), out.root);
+  out.digest = "root=" + std::to_string(r) + "\n" + canon.to_string(r);
+  return out;
+}
+
+Run run_parallel(const PolPtr& p, const TestOrder& order, int threads) {
+  Timer t;
+  ThreadPool pool(threads);
+  XfddStore store;
+  Run out;
+  out.root =
+      to_xfdd_parallel(store, order, p, pool, kDefaultForkDepth, &out.stats);
+  out.seconds = t.seconds();
+  XfddStore canon;
+  XfddId r = xfdd_import(canon, store, out.root);
+  out.digest = "root=" + std::to_string(r) + "\n" + canon.to_string(r);
+  return out;
+}
+
+bool check_failed = false;
+
+void gate(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+  if (!ok) check_failed = true;
 }
 
 }  // namespace
 
-int main() {
-  bench::print_header(
-      "Ablation: xFDD composition order (left-deep vs balanced)",
-      "§6.2.1's composition-order discussion");
-  Topology topo = make_igen(50, 42);
-  auto subnets = apps::default_subnets(topo.ports());
-  const auto& reg = apps::registry();
+int main(int argc, char** argv) {
+  int depth = 12;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--depth") && i + 1 < argc) {
+      depth = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--check")) {
+      check = true;
+    }
+  }
 
-  std::printf("%-10s %-12s %12s %12s\n", "#Policies", "Order", "xFDD nodes",
-              "Time(s)");
-  for (std::size_t count : {4u, 8u, 12u, 16u, 20u}) {
-    std::vector<PolPtr> parts;
-    for (std::size_t i = 0; i < count && i < reg.size(); ++i) {
-      parts.push_back(guard_app(reg[i], subnets[i % subnets.size()].first,
-                                "ax" + std::to_string(i)));
+  bench::print_header(
+      "Ablation: memoized vs cache-disabled xFDD composition",
+      "§6.2.1's composition-cost discussion (P2, Table 6)");
+
+  // ---------------------------------------------------------------- stress
+  std::printf("stress policy: if (diamond depth N) then ... else ...\n");
+  std::printf("%-6s %12s %12s %8s %10s %10s\n", "Depth", "naive exp",
+              "memo exp", "ratio", "naive(s)", "memo(s)");
+  std::uint64_t naive_exp = 0, memo_exp = 0;
+  bool digests_equal = true;
+  for (int d : {depth / 2, depth}) {
+    if (d <= 0) continue;
+    PolPtr p = stress_policy(d);
+    TestOrder order = DependencyGraph::build(p).test_order();
+    Run naive = run_engine(p, order, {.memoize = false});
+    Run memo = run_engine(p, order, {.memoize = true});
+    Run par2 = run_parallel(p, order, 2);
+    digests_equal = digests_equal && naive.digest == memo.digest &&
+                    memo.digest == par2.digest;
+    std::printf("%-6d %12llu %12llu %7.1fx %10.4f %10.4f\n", d,
+                static_cast<unsigned long long>(naive.stats.expansions),
+                static_cast<unsigned long long>(memo.stats.expansions),
+                static_cast<double>(naive.stats.expansions) /
+                    static_cast<double>(memo.stats.expansions ? memo.stats.expansions : 1),
+                naive.seconds, memo.seconds);
+    if (d == depth) {
+      naive_exp = naive.stats.expansions;
+      memo_exp = memo.stats.expansions;
     }
-    for (bool balanced : {false, true}) {
-      PolPtr p = balanced ? compose_balanced(parts) : compose_left(parts);
-      DependencyGraph deps = DependencyGraph::build(p);
-      TestOrder order = deps.test_order();
-      XfddStore store;
-      Timer t;
-      XfddId root = to_xfdd(store, order, p);
-      std::printf("%-10zu %-12s %12zu %12.3f\n", parts.size(),
-                  balanced ? "balanced" : "left-deep",
-                  store.reachable_size(root), t.seconds());
+  }
+
+  // ---------------------------------------------------------------- corpus
+  std::printf("\n11-policy corpus: cold compile + warm recompile"
+              " (Session::set_policy path)\n");
+  std::printf("%-18s %10s %10s %8s %10s %10s\n", "Policy", "cold exp",
+              "cold hits", "hit%", "warm exp", "warm hits");
+  std::uint64_t corpus_hits = 0, cold_total = 0, warm_total = 0;
+  // The same 11 policies as policies/ and bench_table4_scenarios.
+  const char* kCorpus[] = {
+      "dns-tunnel-detect", "stateful-firewall", "heavy-hitter",
+      "super-spreader",    "dns-amplification", "udp-flood",
+      "ftp-monitoring",    "selective-packet-dropping",
+      "many-ip-domains",   "sidejack-detect",   "spam-detect",
+  };
+  std::vector<apps::AppSpec> corpus;
+  for (const auto& app : apps::registry()) {
+    for (const char* name : kCorpus) {
+      if (app.name == name) corpus.push_back(app);
     }
+  }
+  if (corpus.size() != std::size(kCorpus)) {
+    // Registry-name drift must not silently shrink what the gate covers.
+    std::printf("!! corpus selection found %zu of %zu policies\n",
+                corpus.size(), std::size(kCorpus));
+    check_failed = true;
+  }
+  for (const auto& app : corpus) {
+    PolPtr p = app.build(std::string("ab_") + app.name);
+    TestOrder order = DependencyGraph::build(p).test_order();
+    XfddEngine e(order);
+    XfddId cold_root = e.policy(p);
+    EngineStats cold = e.stats();
+    XfddId warm_root = e.policy(p);  // same diagram, now from the tables
+    EngineStats warm = e.stats().since(cold);
+    if (warm_root != cold_root) {
+      std::printf("!! warm recompile diverged on %s\n", app.name.c_str());
+      check_failed = true;
+    }
+    double rate = cold.hits() + cold.misses()
+                      ? 100.0 * static_cast<double>(cold.hits()) /
+                            static_cast<double>(cold.hits() + cold.misses())
+                      : 0.0;
+    std::printf("%-18s %10llu %10llu %7.1f%% %10llu %10llu\n",
+                app.name.c_str(),
+                static_cast<unsigned long long>(cold.expansions),
+                static_cast<unsigned long long>(cold.hits()), rate,
+                static_cast<unsigned long long>(warm.expansions),
+                static_cast<unsigned long long>(warm.hits()));
+    corpus_hits += cold.hits();
+    cold_total += cold.expansions;
+    warm_total += warm.expansions;
+  }
+  std::printf("%-18s %10llu %10llu %8s %10llu\n", "total",
+              static_cast<unsigned long long>(cold_total),
+              static_cast<unsigned long long>(corpus_hits), "",
+              static_cast<unsigned long long>(warm_total));
+
+  if (check) {
+    std::printf("\ncache-effectiveness gates:\n");
+    gate(memo_exp > 0 && memo_exp * 5 <= naive_exp,
+         "stress: memoized >= 5x fewer node expansions than naive");
+    gate(digests_equal,
+         "stress: byte-identical digests (memoized/naive/parallel)");
+    gate(corpus_hits > 0, "corpus: nonzero cache hits across the 11 policies");
+    gate(warm_total < cold_total,
+         "corpus: warm recompile strictly cheaper than cold");
+    if (check_failed) {
+      std::printf("FAILED\n");
+      return 1;
+    }
+    std::printf("OK\n");
   }
   return 0;
 }

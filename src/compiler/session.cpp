@@ -206,7 +206,7 @@ std::pair<RuleDelta, std::map<int, netasm::Program>> Session::rulegen(
 }
 
 void Session::analyze(const PolPtr& program, CompileResult& out,
-                      EventResult& ev) const {
+                      EventResult& ev) {
   PhaseRecorder rec{ev, {}};
 
   // P1: state dependency analysis.
@@ -219,15 +219,27 @@ void Session::analyze(const PolPtr& program, CompileResult& out,
   // store in first-visit DFS order (xfdd_import), so node ids are a
   // canonical function of the diagram shape: serial and parallel runs (and
   // any thread count) number identically, and the composition's garbage
-  // nodes are dropped before the later phases walk the store.
+  // nodes are dropped before the later phases walk the store. The serial
+  // path composes on the retained engine so repeat events hit warm caches;
+  // the memory valve below caps the retained store's growth across events.
   rec.start();
   out.store = std::make_shared<XfddStore>();
   if (pool_) {
-    out.root = to_xfdd_parallel(*out.store, out.order, program, *pool_);
+    EngineStats pstats;
+    out.root = to_xfdd_parallel(*out.store, out.order, program, *pool_,
+                                kDefaultForkDepth, &pstats);
+    ev.engine = pstats;
   } else {
-    XfddStore scratch;
-    XfddId raw = to_xfdd(scratch, out.order, program);
-    out.root = xfdd_import(*out.store, scratch, raw);
+    constexpr std::size_t kEngineResetNodes = 1u << 20;
+    if (!engine_ || engine_->store().size() > kEngineResetNodes) {
+      engine_ = std::make_unique<XfddEngine>(out.order);
+    } else {
+      engine_->set_order(out.order);  // keeps caches when ranks match
+    }
+    EngineStats before = engine_->stats();
+    XfddId raw = engine_->policy(program);
+    out.root = xfdd_import(*out.store, engine_->store(), raw);
+    ev.engine = engine_->stats().since(before);
   }
   out.xfdd_nodes = out.store->reachable_size(out.root);
   rec.finish(PhaseId::kP2Xfdd, ev.times.p2_xfdd);

@@ -41,6 +41,7 @@
 #include "topo/graph.h"
 #include "topo/traffic.h"
 #include "xfdd/compose.h"
+#include "xfdd/engine.h"
 
 namespace snap {
 
@@ -127,10 +128,13 @@ enum class PhaseId {
 const char* to_string(PhaseId phase);
 
 // What one event did: the phases that actually executed (in order), their
-// times, and the per-switch rule delta to push to the data plane.
+// times, the xFDD engine's cache counters for the event's P2 work (zeros
+// when the event skipped P2), and the per-switch rule delta to push to the
+// data plane.
 struct EventResult {
   PhaseTimes times;
   std::vector<PhaseId> phases_run;
+  EngineStats engine;
   RuleDelta delta;
 
   bool ran(PhaseId p) const;
@@ -214,10 +218,15 @@ class Session {
       const Topology& topo, const std::set<int>& failed, CompileResult& out,
       EventResult& ev) const;
 
-  // P1-P3 for a (new) policy: dependency analysis, xFDD generation (pooled
-  // when threads > 1), packet-state mapping against the current ports.
-  void analyze(const PolPtr& program, CompileResult& out,
-               EventResult& ev) const;
+  // P1-P3 for a (new) policy: dependency analysis, xFDD generation, packet-
+  // state mapping against the current ports. Serial P2 runs on the
+  // session-retained XfddEngine, so a set_policy event warm-starts against
+  // the computed tables the previous compile filled (subdiagrams shared
+  // with the old policy are cache hits); the pooled path uses one private
+  // engine per worker and merges their counters. Either way the final
+  // diagram is re-interned canonically (xfdd_import), so node ids — and all
+  // downstream output — are independent of cache state and thread count.
+  void analyze(const PolPtr& program, CompileResult& out, EventResult& ev);
 
   // Fills a delta's deployment context (diagram, topology, placement,
   // routing, path-rule accounting) from a yet-uncommitted compile.
@@ -255,6 +264,12 @@ class Session {
   // Lazily-built worker pool for the parallel P2/P6 paths (null when
   // opts_.threads == 1).
   std::unique_ptr<ThreadPool> pool_;
+
+  // The retained serial-P2 engine (see analyze). Reset when the policy's
+  // test order changes ranks or the accumulated store crosses the memory
+  // valve below; hash-consing re-derives identical subdiagram ids across
+  // events, which is what makes the retained caches hit.
+  std::unique_ptr<XfddEngine> engine_;
 };
 
 }  // namespace snap

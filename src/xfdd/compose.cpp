@@ -1,431 +1,56 @@
 #include "xfdd/compose.h"
 
-#include <algorithm>
 #include <unordered_map>
 
 #include "util/status.h"
 #include "util/thread_pool.h"
+#include "xfdd/engine.h"
 
 namespace snap {
-namespace {
 
-// Static read/write race rejection for parallel composition (§3): one side
-// writing a variable the other reads is ambiguous. Write/write overlaps are
-// handled precisely at leaf level, where identical factored writes are
-// permitted.
-void check_par_races(const PolPtr& p, const PolPtr& q) {
-  auto wp = state_writes(p);
-  auto wq = state_writes(q);
-  auto rp = state_reads(p);
-  auto rq = state_reads(q);
-  for (StateVarId v : wp) {
-    if (rq.count(v)) {
-      throw CompileError("parallel composition races on state variable '" +
-                         state_var_name(v) +
-                         "': one side writes it, the other reads it");
-    }
-  }
-  for (StateVarId v : wq) {
-    if (rp.count(v)) {
-      throw CompileError("parallel composition races on state variable '" +
-                         state_var_name(v) +
-                         "': one side writes it, the other reads it");
-    }
-  }
-}
-
-// Follows branches whose outcome the context already knows (Figure 8's
-// refine).
-XfddId refine(XfddStore& s, const Context& ctx, XfddId d) {
-  while (!s.is_leaf(d)) {
-    const BranchNode& b = s.branch_node(d);
-    auto known = ctx.implies(b.test);
-    if (!known) break;
-    d = *known ? b.hi : b.lo;
-  }
-  return d;
-}
-
-// ------------------------------------------------------------ Figure 15 ⊙
-//
-// Helpers mirroring Algorithms 2-4 of the appendix. ActionSeq's normal form
-// already performs Algorithm 2/3's progressive field substitution, so the
-// field map is simply as.mods() and state-op expressions are input-relative.
-
-// A write to the state variable of interest, expressions input-relative and
-// normalized against the path context.
-struct StateWrite {
-  enum Kind { kSet, kInc, kDec } kind;
-  Expr index;
-  Expr value;  // only for kSet
-};
-
-// filter (Algorithm 3): collects the sequence's writes to `var`.
-std::vector<StateWrite> filter_writes(const ActionSeq& as, StateVarId var,
-                                      const Context& ctx) {
-  std::vector<StateWrite> out;
-  for (const Action& a : as.state_ops()) {
-    std::visit(
-        [&](const auto& x) {
-          using T = std::decay_t<decltype(x)>;
-          if constexpr (std::is_same_v<T, ActStateSet>) {
-            if (x.var == var) {
-              out.push_back({StateWrite::kSet, ctx.normalize(x.index),
-                             ctx.normalize(x.value)});
-            }
-          } else if constexpr (std::is_same_v<T, ActStateInc>) {
-            if (x.var == var) {
-              out.push_back({StateWrite::kInc, ctx.normalize(x.index), Expr()});
-            }
-          } else if constexpr (std::is_same_v<T, ActStateDec>) {
-            if (x.var == var) {
-              out.push_back({StateWrite::kDec, ctx.normalize(x.index), Expr()});
-            }
-          }
-        },
-        a);
-  }
-  return out;
-}
-
-// eequal (Algorithm 4) outcome for a pair of expressions.
-struct EqOutcome {
-  enum Kind { kYes, kNo, kUnknown } kind;
-  Test test;  // the disambiguating test when kUnknown
-};
-
-// Compares two atoms already normalized against the context.
-EqOutcome atom_equal(const Atom& a, const Atom& b, const Context& ctx) {
-  if (a.is_value() && b.is_value()) {
-    return {a.value() == b.value() ? EqOutcome::kYes : EqOutcome::kNo, {}};
-  }
-  if (a.is_field() && b.is_field()) {
-    if (a.field() == b.field()) return {EqOutcome::kYes, {}};
-    Test t = make_ff(a.field(), b.field());
-    if (auto known = ctx.implies(t)) {
-      return {*known ? EqOutcome::kYes : EqOutcome::kNo, {}};
-    }
-    return {EqOutcome::kUnknown, t};
-  }
-  FieldId f = a.is_field() ? a.field() : b.field();
-  Value v = a.is_value() ? a.value() : b.value();
-  Test t = TestFV{f, v, kExactMatch};
-  if (auto known = ctx.implies(t)) {
-    return {*known ? EqOutcome::kYes : EqOutcome::kNo, {}};
-  }
-  return {EqOutcome::kUnknown, t};
-}
-
-EqOutcome expr_equal(const Expr& e1, const Expr& e2, const Context& ctx) {
-  if (e1.size() != e2.size()) return {EqOutcome::kNo, {}};
-  for (std::size_t i = 0; i < e1.size(); ++i) {
-    EqOutcome o = atom_equal(e1.atoms()[i], e2.atoms()[i], ctx);
-    if (o.kind != EqOutcome::kYes) return o;
-  }
-  return {EqOutcome::kYes, {}};
-}
-
-XfddId seq_action(XfddStore& s, const TestOrder& order, const ActionSeq& as,
-                  XfddId d, const Context& ctx);
-
-XfddId seq_rec(XfddStore& s, const TestOrder& order, XfddId a, XfddId b,
-               const Context& ctx);
-
-// Resolves a state test in `d`'s root against the writes `as` performs
-// (Algorithm 1's state case, extended with increment deltas).
-XfddId seq_action_state(XfddStore& s, const TestOrder& order,
-                        const ActionSeq& as, XfddId d, const Context& ctx,
-                        const TestState& t,
-                        const std::vector<std::pair<FieldId, Value>>& fmap) {
-  const BranchNode root = s.branch_node(d);  // copy: the store may grow
-  // The test's expressions refer to the post-`as` packet: substitute final
-  // field values, then context knowledge.
-  Expr index = ctx.normalize(t.index.substituted(fmap));
-  Expr value = ctx.normalize(t.value.substituted(fmap));
-
-  // For a test that is *not yet known* to the context and whose outcome
-  // re-derives the whole composition (index disambiguation).
-  auto branch_on = [&](const Test& bt) {
-    XfddId hi = seq_action(s, order, as, d, ctx.with(bt, true));
-    XfddId lo = seq_action(s, order, as, d, ctx.with(bt, false));
-    return ordered_branch(s, order, bt, hi, lo, ctx);
-  };
-
-  // For a test that fully decides the state test's outcome (value
-  // comparison against the decisive write): consult the context first —
-  // re-deriving under a context that already knows the answer would loop.
-  auto decide_on = [&](const Test& bt) {
-    if (auto known = ctx.implies(bt)) {
-      return seq_action(s, order, as, *known ? root.hi : root.lo, ctx);
-    }
-    XfddId hi = seq_action(s, order, as, root.hi, ctx.with(bt, true));
-    XfddId lo = seq_action(s, order, as, root.lo, ctx.with(bt, false));
-    return ordered_branch(s, order, bt, hi, lo, ctx);
-  };
-
-  std::vector<StateWrite> writes = filter_writes(as, t.var, ctx);
-  long long delta = 0;  // increments applied after the decisive write
-  for (auto it = writes.rbegin(); it != writes.rend(); ++it) {
-    EqOutcome idx_eq = expr_equal(index, it->index, ctx);
-    if (idx_eq.kind == EqOutcome::kUnknown) return branch_on(idx_eq.test);
-    if (idx_eq.kind == EqOutcome::kNo) continue;
-    if (it->kind == StateWrite::kInc) {
-      ++delta;
-      continue;
-    }
-    if (it->kind == StateWrite::kDec) {
-      --delta;
-      continue;
-    }
-    // Decisive assignment: the post-state value is (written value + delta).
-    const Expr& wv = it->value;
-    SNAP_CHECK(wv.size() == 1 && value.size() == 1,
-               "state values must be scalars");
-    const Atom& w = wv.atoms()[0];
-    const Atom& q = value.atoms()[0];
-    if (w.is_value() && q.is_value()) {
-      bool holds = w.value() + delta == q.value();
-      return seq_action(s, order, as, holds ? root.hi : root.lo, ctx);
-    }
-    if (w.is_field() && q.is_value()) {
-      return decide_on(TestFV{w.field(), q.value() - delta, kExactMatch});
-    }
-    if (w.is_value() && q.is_field()) {
-      return decide_on(TestFV{q.field(), w.value() + delta, kExactMatch});
-    }
-    if (w.field() == q.field() && delta == 0) {
-      return seq_action(s, order, as, root.hi, ctx);
-    }
-    if (delta == 0) return decide_on(make_ff(w.field(), q.field()));
-    throw CompileError(
-        "cannot compose an increment of '" + state_var_name(t.var) +
-        "' with a test comparing it to field '" +
-        field_name(q.field()) + "'");
-  }
-
-  // No decisive write: the test reads the pre-`as` state, shifted by any
-  // increments that definitely hit the same index.
-  TestState pre{t.var, index, value};
-  if (delta != 0) {
-    const Atom& q = value.atoms()[0];
-    if (!q.is_value()) {
-      throw CompileError(
-          "cannot compose an increment of '" + state_var_name(t.var) +
-          "' with a test comparing it to field '" + field_name(q.field()) +
-          "'");
-    }
-    pre.value = Expr::of_value(q.value() - delta);
-  }
-  Test pre_test{pre};
-  if (auto known = ctx.implies(pre_test)) {
-    return seq_action(s, order, as, *known ? root.hi : root.lo, ctx);
-  }
-  XfddId hi = seq_action(s, order, as, root.hi, ctx.with(pre_test, true));
-  XfddId lo = seq_action(s, order, as, root.lo, ctx.with(pre_test, false));
-  return ordered_branch(s, order, pre_test, hi, lo, ctx);
-}
-
-// as ⊙ d (Algorithm 1 / Figure 15).
-XfddId seq_action(XfddStore& s, const TestOrder& order, const ActionSeq& as,
-                  XfddId d, const Context& ctx) {
-  // A dropped packet never reaches d; the sequence's state writes stand.
-  if (as.is_drop()) return s.leaf(ActionSet::of({as}));
-  // No blanket refine here: the context describes the *input* packet and
-  // pre-state, while d's tests see the post-`as` packet and state. Each test
-  // kind below consults the context only after establishing it is safe
-  // (field not modified, state writes accounted for).
-  if (s.is_leaf(d)) {
-    const ActionSet& next_set = s.leaf_actions(d);
-    if (next_set.is_drop()) {
-      // The downstream diagram drops the packet; `as`'s state writes stand.
-      return s.leaf(ActionSet::of({as.then(ActionSeq::make_drop())}));
-    }
-    std::vector<ActionSeq> out;
-    for (const ActionSeq& next : next_set.seqs()) {
-      out.push_back(as.then(next));
-    }
-    ActionSet set = ActionSet::of(std::move(out));
-    check_leaf_races(set);
-    return s.leaf(std::move(set));
-  }
-
-  const BranchNode root = s.branch_node(d);  // copy: the store may grow
-  const auto& fmap = as.mods();
-
-  if (const auto* fv = std::get_if<TestFV>(&root.test)) {
-    // Did the sequence assign this field?
-    auto it = std::find_if(fmap.begin(), fmap.end(),
-                           [&](const auto& e) { return e.first == fv->field; });
-    if (it != fmap.end()) {
-      bool holds = value_in_prefix(it->second, fv->value, fv->prefix_len);
-      return seq_action(s, order, as, holds ? root.hi : root.lo, ctx);
-    }
-    if (auto known = ctx.implies(root.test)) {
-      return seq_action(s, order, as, *known ? root.hi : root.lo, ctx);
-    }
-    XfddId hi = seq_action(s, order, as, root.hi, ctx.with(root.test, true));
-    XfddId lo = seq_action(s, order, as, root.lo, ctx.with(root.test, false));
-    return ordered_branch(s, order, root.test, hi, lo, ctx);
-  }
-
-  if (const auto* ff = std::get_if<TestFF>(&root.test)) {
-    // Resolve each side to a constant or an input-packet field.
-    auto resolve = [&](FieldId f) -> Atom {
-      auto it = std::find_if(fmap.begin(), fmap.end(),
-                             [&](const auto& e) { return e.first == f; });
-      if (it != fmap.end()) return Atom{it->second};
-      if (auto v = ctx.field_value(f)) return Atom{*v};
-      return Atom{f};
-    };
-    Atom a = resolve(ff->f1);
-    Atom b = resolve(ff->f2);
-    EqOutcome o = atom_equal(a, b, ctx);
-    if (o.kind != EqOutcome::kUnknown) {
-      return seq_action(s, order, as,
-                        o.kind == EqOutcome::kYes ? root.hi : root.lo, ctx);
-    }
-    XfddId hi = seq_action(s, order, as, root.hi, ctx.with(o.test, true));
-    XfddId lo = seq_action(s, order, as, root.lo, ctx.with(o.test, false));
-    return ordered_branch(s, order, o.test, hi, lo, ctx);
-  }
-
-  return seq_action_state(s, order, as, d, ctx,
-                          std::get<TestState>(root.test), fmap);
-}
-
-XfddId seq_rec(XfddStore& s, const TestOrder& order, XfddId a, XfddId b,
-               const Context& ctx) {
-  a = refine(s, ctx, a);
-  if (s.is_leaf(a)) {
-    const ActionSet set = s.leaf_actions(a);  // copy: the store may grow
-    if (set.is_drop()) return s.drop_leaf();
-    XfddId acc = s.drop_leaf();
-    for (const ActionSeq& as : set.seqs()) {
-      acc = xfdd_par(s, order, acc, seq_action(s, order, as, b, ctx), ctx);
-    }
-    return acc;
-  }
-  const BranchNode root = s.branch_node(a);  // copy
-  XfddId hi = seq_rec(s, order, root.hi, b, ctx.with(root.test, true));
-  XfddId lo = seq_rec(s, order, root.lo, b, ctx.with(root.test, false));
-  return ordered_branch(s, order, root.test, hi, lo, ctx);
-}
-
-}  // namespace
-
-XfddId xfdd_restrict(XfddStore& s, const TestOrder& order, XfddId d,
-                     const Test& t, bool polarity) {
-  if (s.is_leaf(d)) {
-    return polarity ? s.branch(t, d, s.drop_leaf())
-                    : s.branch(t, s.drop_leaf(), d);
-  }
-  const BranchNode root = s.branch_node(d);  // copy
-  if (root.test == t) {
-    return polarity ? s.branch(t, root.hi, s.drop_leaf())
-                    : s.branch(t, s.drop_leaf(), root.lo);
-  }
-  if (order.before(t, root.test)) {
-    return polarity ? s.branch(t, d, s.drop_leaf())
-                    : s.branch(t, s.drop_leaf(), d);
-  }
-  return s.branch(root.test, xfdd_restrict(s, order, root.hi, t, polarity),
-                  xfdd_restrict(s, order, root.lo, t, polarity));
-}
-
-XfddId ordered_branch(XfddStore& s, const TestOrder& order, const Test& t,
-                      XfddId hi, XfddId lo, const Context& ctx) {
-  if (hi == lo) return hi;
-  // A well-formed diagram's root is its minimum test, so when t precedes
-  // both roots the plain branch is already ordered — the common case (the
-  // composition walks tests in increasing order). Only tests discovered
-  // out of order (field-field and shifted state tests synthesized by ⊙)
-  // need the restrict-and-merge graft.
-  auto t_before_root = [&](XfddId d) {
-    return s.is_leaf(d) || order.before(t, s.branch_node(d).test);
-  };
-  if (t_before_root(hi) && t_before_root(lo)) {
-    return s.branch(t, hi, lo);
-  }
-  return xfdd_par(s, order, xfdd_restrict(s, order, hi, t, true),
-                  xfdd_restrict(s, order, lo, t, false), ctx);
-}
+// The free-function surface is kept for existing callers (tests, benches,
+// eval tooling); each call runs on an ephemeral engine borrowing the caller's
+// store. Within one call the computed tables still collapse shared-subtree
+// re-expansion; cross-call reuse needs a caller-owned XfddEngine (the
+// compiler Session keeps one).
 
 XfddId xfdd_par(XfddStore& s, const TestOrder& order, XfddId a, XfddId b,
                 const Context& ctx) {
-  a = refine(s, ctx, a);
-  b = refine(s, ctx, b);
-  if (a == b) return a;
-  if (s.is_leaf(a) && s.is_leaf(b)) {
-    return s.leaf(s.leaf_actions(a).unite(s.leaf_actions(b)));
-  }
-  if (s.is_leaf(a)) std::swap(a, b);
-  const BranchNode na = s.branch_node(a);  // copy
-  if (s.is_leaf(b)) {
-    XfddId hi = xfdd_par(s, order, na.hi, b, ctx.with(na.test, true));
-    XfddId lo = xfdd_par(s, order, na.lo, b, ctx.with(na.test, false));
-    return s.branch(na.test, hi, lo);
-  }
-  const BranchNode nb = s.branch_node(b);  // copy
-  if (na.test == nb.test) {
-    XfddId hi = xfdd_par(s, order, na.hi, nb.hi, ctx.with(na.test, true));
-    XfddId lo = xfdd_par(s, order, na.lo, nb.lo, ctx.with(na.test, false));
-    return s.branch(na.test, hi, lo);
-  }
-  if (order.before(na.test, nb.test)) {
-    XfddId hi = xfdd_par(s, order, na.hi, b, ctx.with(na.test, true));
-    XfddId lo = xfdd_par(s, order, na.lo, b, ctx.with(na.test, false));
-    return s.branch(na.test, hi, lo);
-  }
-  XfddId hi = xfdd_par(s, order, a, nb.hi, ctx.with(nb.test, true));
-  XfddId lo = xfdd_par(s, order, a, nb.lo, ctx.with(nb.test, false));
-  return s.branch(nb.test, hi, lo);
+  XfddEngine e(s, order);
+  return e.par(a, b, ctx);
 }
 
 XfddId xfdd_neg(XfddStore& s, XfddId d) {
-  if (s.is_leaf(d)) {
-    const ActionSet& as = s.leaf_actions(d);
-    if (as.is_drop()) return s.id_leaf();
-    if (as.is_id()) return s.drop_leaf();
-    throw CompileError("negation applied to a non-predicate diagram");
-  }
-  const BranchNode root = s.branch_node(d);  // copy
-  XfddId hi = xfdd_neg(s, root.hi);
-  XfddId lo = xfdd_neg(s, root.lo);
-  return s.branch(root.test, hi, lo);
+  XfddEngine e(s, TestOrder{});  // ⊖ never consults the order
+  return e.neg(d);
 }
 
 XfddId xfdd_seq(XfddStore& s, const TestOrder& order, XfddId a, XfddId b,
                 const Context& ctx) {
-  return seq_rec(s, order, a, b, ctx);
+  XfddEngine e(s, order);
+  return e.seq(a, b, ctx);
+}
+
+XfddId xfdd_restrict(XfddStore& s, const TestOrder& order, XfddId d,
+                     const Test& t, bool polarity) {
+  XfddEngine e(s, order);
+  return e.restrict(d, t, polarity);
+}
+
+XfddId ordered_branch(XfddStore& s, const TestOrder& order, const Test& t,
+                      XfddId hi, XfddId lo, const Context& ctx) {
+  XfddEngine e(s, order);
+  return e.ordered_branch(t, hi, lo, ctx);
 }
 
 XfddId pred_to_xfdd(XfddStore& s, const TestOrder& order, const PredPtr& x) {
-  SNAP_CHECK(x != nullptr, "null predicate");
-  return std::visit(
-      [&](const auto& n) -> XfddId {
-        using T = std::decay_t<decltype(n)>;
-        if constexpr (std::is_same_v<T, PredId>) {
-          return s.id_leaf();
-        } else if constexpr (std::is_same_v<T, PredDrop>) {
-          return s.drop_leaf();
-        } else if constexpr (std::is_same_v<T, PredTest>) {
-          return s.branch(TestFV{n.field, n.value, n.prefix_len}, s.id_leaf(),
-                          s.drop_leaf());
-        } else if constexpr (std::is_same_v<T, PredNot>) {
-          return xfdd_neg(s, pred_to_xfdd(s, order, n.x));
-        } else if constexpr (std::is_same_v<T, PredOr>) {
-          return xfdd_par(s, order, pred_to_xfdd(s, order, n.x),
-                          pred_to_xfdd(s, order, n.y));
-        } else if constexpr (std::is_same_v<T, PredAnd>) {
-          return xfdd_seq(s, order, pred_to_xfdd(s, order, n.x),
-                          pred_to_xfdd(s, order, n.y));
-        } else {
-          static_assert(std::is_same_v<T, PredStateTest>);
-          return s.branch(TestState{n.var, n.index, n.value}, s.id_leaf(),
-                          s.drop_leaf());
-        }
-      },
-      x->node);
+  XfddEngine e(s, order);
+  return e.pred(x);
+}
+
+XfddId to_xfdd(XfddStore& s, const TestOrder& order, const PolPtr& p) {
+  XfddEngine e(s, order);
+  return e.policy(p);
 }
 
 namespace {
@@ -447,22 +72,26 @@ XfddId import_rec(XfddStore& dst, const XfddStore& src, XfddId d,
   return out;
 }
 
-// A policy subtree's diagram, built in a private store by one pool task.
+// A policy subtree's diagram, built by one pool task on a private engine
+// (store + computed tables). The caches die with the engine at import — the
+// canonical-import numbering, not cache state, is what downstream phases
+// see, so dropping them cannot affect output.
 struct SubDiagram {
-  std::unique_ptr<XfddStore> store;
+  std::unique_ptr<XfddEngine> engine;
   XfddId root = 0;
+  EngineStats stats;
 };
 
 SubDiagram build_sub(const TestOrder& order, const PolPtr& p,
                      ThreadPool& pool, int depth);
 
 // Forks the right-hand policy onto the pool, builds the left inline, then
-// imports left-before-right into a fresh store and hands both local roots
+// imports left-before-right into a fresh engine and hands both local roots
 // to `combine`. The fixed import order keeps node numbering independent of
 // which task finishes first.
 SubDiagram fork_join(const TestOrder& order, const PolPtr& left,
                      const PolPtr& right, ThreadPool& pool, int depth,
-                     const std::function<XfddId(XfddStore&, XfddId, XfddId)>&
+                     const std::function<XfddId(XfddEngine&, XfddId, XfddId)>&
                          combine) {
   std::future<SubDiagram> rhs = pool.submit(
       [&order, &right, &pool, depth] {
@@ -481,10 +110,14 @@ SubDiagram fork_join(const TestOrder& order, const PolPtr& left,
     throw;
   }
   SubDiagram rhs_done = pool.wait(rhs);
-  SubDiagram out{std::make_unique<XfddStore>(), 0};
-  XfddId a = xfdd_import(*out.store, *lhs.store, lhs.root);
-  XfddId b = xfdd_import(*out.store, *rhs_done.store, rhs_done.root);
-  out.root = combine(*out.store, a, b);
+  SubDiagram out{std::make_unique<XfddEngine>(order), 0, {}};
+  XfddId a = xfdd_import(out.engine->store(), lhs.engine->store(), lhs.root);
+  XfddId b = xfdd_import(out.engine->store(), rhs_done.engine->store(),
+                         rhs_done.root);
+  out.root = combine(*out.engine, a, b);
+  out.stats = out.engine->stats();
+  out.stats += lhs.stats;
+  out.stats += rhs_done.stats;
   return out;
 }
 
@@ -494,37 +127,38 @@ SubDiagram build_sub(const TestOrder& order, const PolPtr& p,
   if (depth > 0) {
     if (const auto* seq = std::get_if<PolSeq>(&p->node)) {
       return fork_join(order, seq->p, seq->q, pool, depth,
-                       [&order](XfddStore& s, XfddId a, XfddId b) {
-                         return xfdd_seq(s, order, a, b);
+                       [](XfddEngine& e, XfddId a, XfddId b) {
+                         return e.seq(a, b);
                        });
     }
     if (const auto* par = std::get_if<PolPar>(&p->node)) {
       check_par_races(par->p, par->q);
       return fork_join(order, par->p, par->q, pool, depth,
-                       [&order](XfddStore& s, XfddId a, XfddId b) {
-                         return xfdd_par(s, order, a, b);
+                       [](XfddEngine& e, XfddId a, XfddId b) {
+                         return e.par(a, b);
                        });
     }
     if (const auto* pif = std::get_if<PolIf>(&p->node)) {
       // Both arms in parallel; the (typically small) condition diagram is
-      // rebuilt in the combining store, where hash-consing makes the
+      // rebuilt in the combining engine, where hash-consing makes the
       // duplicate construction structurally irrelevant.
       const PredPtr& cond = pif->cond;
       return fork_join(
           order, pif->then_p, pif->else_p, pool, depth,
-          [&order, &cond](XfddStore& s, XfddId a, XfddId b) {
-            XfddId cond_d = pred_to_xfdd(s, order, cond);
-            XfddId then_d = xfdd_seq(s, order, cond_d, a);
-            XfddId else_d = xfdd_seq(s, order, xfdd_neg(s, cond_d), b);
-            return xfdd_par(s, order, then_d, else_d);
+          [&cond](XfddEngine& e, XfddId a, XfddId b) {
+            XfddId cond_d = e.pred(cond);
+            XfddId then_d = e.seq(cond_d, a);
+            XfddId else_d = e.seq(e.neg(cond_d), b);
+            return e.par(then_d, else_d);
           });
     }
     if (const auto* atomic = std::get_if<PolAtomic>(&p->node)) {
       return build_sub(order, atomic->p, pool, depth);
     }
   }
-  SubDiagram out{std::make_unique<XfddStore>(), 0};
-  out.root = to_xfdd(*out.store, order, p);
+  SubDiagram out{std::make_unique<XfddEngine>(order), 0, {}};
+  out.root = out.engine->policy(p);
+  out.stats = out.engine->stats();
   return out;
 }
 
@@ -536,50 +170,10 @@ XfddId xfdd_import(XfddStore& dst, const XfddStore& src, XfddId d) {
 }
 
 XfddId to_xfdd_parallel(XfddStore& s, const TestOrder& order, const PolPtr& p,
-                        ThreadPool& pool, int fork_depth) {
+                        ThreadPool& pool, int fork_depth, EngineStats* stats) {
   SubDiagram sub = build_sub(order, p, pool, fork_depth);
-  return xfdd_import(s, *sub.store, sub.root);
-}
-
-XfddId to_xfdd(XfddStore& s, const TestOrder& order, const PolPtr& p) {
-  SNAP_CHECK(p != nullptr, "null policy");
-  return std::visit(
-      [&](const auto& n) -> XfddId {
-        using T = std::decay_t<decltype(n)>;
-        if constexpr (std::is_same_v<T, PolFilter>) {
-          return pred_to_xfdd(s, order, n.pred);
-        } else if constexpr (std::is_same_v<T, PolMod>) {
-          return s.leaf(ActionSet::of(
-              {ActionSeq::of({ActMod{n.field, n.value}})}));
-        } else if constexpr (std::is_same_v<T, PolStateSet>) {
-          return s.leaf(ActionSet::of(
-              {ActionSeq::of({ActStateSet{n.var, n.index, n.value}})}));
-        } else if constexpr (std::is_same_v<T, PolStateInc>) {
-          return s.leaf(
-              ActionSet::of({ActionSeq::of({ActStateInc{n.var, n.index}})}));
-        } else if constexpr (std::is_same_v<T, PolStateDec>) {
-          return s.leaf(
-              ActionSet::of({ActionSeq::of({ActStateDec{n.var, n.index}})}));
-        } else if constexpr (std::is_same_v<T, PolSeq>) {
-          return xfdd_seq(s, order, to_xfdd(s, order, n.p),
-                          to_xfdd(s, order, n.q));
-        } else if constexpr (std::is_same_v<T, PolPar>) {
-          check_par_races(n.p, n.q);
-          return xfdd_par(s, order, to_xfdd(s, order, n.p),
-                          to_xfdd(s, order, n.q));
-        } else if constexpr (std::is_same_v<T, PolIf>) {
-          XfddId cond = pred_to_xfdd(s, order, n.cond);
-          XfddId then_d =
-              xfdd_seq(s, order, cond, to_xfdd(s, order, n.then_p));
-          XfddId else_d = xfdd_seq(s, order, xfdd_neg(s, cond),
-                                   to_xfdd(s, order, n.else_p));
-          return xfdd_par(s, order, then_d, else_d);
-        } else {
-          static_assert(std::is_same_v<T, PolAtomic>);
-          return to_xfdd(s, order, n.p);
-        }
-      },
-      p->node);
+  if (stats) *stats += sub.stats;
+  return xfdd_import(s, sub.engine->store(), sub.root);
 }
 
 }  // namespace snap

@@ -15,6 +15,13 @@
 // becomes a pre-state test susp-client[dstip] = k-1). Figure 3 of the paper
 // shows exactly this shape for DNS-tunnel-detect. Non-constant comparisons
 // against an incremented variable are rejected with CompileError.
+//
+// All of the functions below are thin shims over xfdd/engine.h's
+// XfddEngine, which owns the recursion logic plus the computed tables
+// (BDD-style memo caches) that keep shared subtrees from being re-expanded
+// as trees. Each shim call runs on an ephemeral engine borrowing the given
+// store; callers that compose repeatedly (the compiler Session) hold a
+// long-lived engine instead and get warm caches across calls.
 #pragma once
 
 #include "lang/ast.h"
@@ -23,6 +30,8 @@
 #include "xfdd/xfdd.h"
 
 namespace snap {
+
+struct EngineStats;
 
 // d1 ⊕ d2 (Figure 8). Throws CompileError on leaf-level state races.
 XfddId xfdd_par(XfddStore& s, const TestOrder& order, XfddId a, XfddId b,
@@ -68,7 +77,15 @@ XfddId xfdd_import(XfddStore& dst, const XfddStore& src, XfddId d);
 // result is structurally identical to the serial to_xfdd — the import
 // order (not task completion order) fixes the numbering, keeping the
 // output deterministic for any pool size.
+// How many levels of +/;/if operands fork onto the pool before falling
+// back to a serial build (past this depth tasks are too small to pay for a
+// private store + import).
+inline constexpr int kDefaultForkDepth = 6;
+
+// When `stats` is non-null the per-worker engines' cache counters are
+// accumulated into it (the caches themselves are dropped at import).
 XfddId to_xfdd_parallel(XfddStore& s, const TestOrder& order, const PolPtr& p,
-                        ThreadPool& pool, int fork_depth = 6);
+                        ThreadPool& pool, int fork_depth = kDefaultForkDepth,
+                        EngineStats* stats = nullptr);
 
 }  // namespace snap

@@ -40,6 +40,31 @@ bool prefix_disjoint(Value v1, int l1, Value v2, int l2) {
          (static_cast<std::uint32_t>(v2) & m);
 }
 
+void Context::collect_mentions(std::vector<std::uint32_t>& out) const {
+  auto field = [&](FieldId f) {
+    out.push_back(static_cast<std::uint32_t>(f) << 1);
+  };
+  auto expr = [&](const Expr& e) {
+    for (const Atom& a : e.atoms()) {
+      if (a.is_field()) field(a.field());
+    }
+  };
+  for (const auto& ff : fields_) field(ff.field);
+  for (const auto& [a, b] : equal_) {
+    field(a);
+    field(b);
+  }
+  for (const auto& [a, b] : not_equal_) {
+    field(a);
+    field(b);
+  }
+  for (const StateFact& f : state_) {
+    out.push_back((static_cast<std::uint32_t>(f.test.var) << 1) | 1u);
+    expr(f.test.index);
+    expr(f.test.value);
+  }
+}
+
 Context::FieldFacts* Context::facts_for(FieldId f) {
   for (auto& ff : fields_) {
     if (ff.field == f) return &ff;

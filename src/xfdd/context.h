@@ -12,6 +12,7 @@
 //   * recorded outcomes of state tests (structural, after normalization).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -22,6 +23,18 @@ namespace snap {
 class Context {
  public:
   Context() = default;
+
+  // True when the context holds no facts at all (implies() is always
+  // undecided). The engine's computed tables key the empty context as 0.
+  bool empty() const {
+    return fields_.empty() && equal_.empty() && not_equal_.empty() &&
+           state_.empty();
+  }
+
+  // Appends an encoded key for every field (f << 1) and state variable
+  // (v << 1 | 1) any fact mentions; the engine intersects this with node
+  // supports to prune irrelevant contexts. The output is not deduplicated.
+  void collect_mentions(std::vector<std::uint32_t>& out) const;
 
   // Extends the context with "test t evaluated to `holds`". The caller must
   // only add tests that are not already decided the other way (checked).

@@ -1,14 +1,20 @@
 #include "xfdd/dot.h"
 
-#include <set>
 #include <sstream>
+#include <unordered_set>
+#include <vector>
 
 namespace snap {
 
 std::string xfdd_to_dot(const XfddStore& store, XfddId root) {
   std::ostringstream os;
   os << "digraph xfdd {\n  node [fontname=\"monospace\"];\n";
-  std::set<XfddId> seen;
+  // Each distinct node is emitted exactly once, keyed by node id, in
+  // first-visit DFS order (hi before lo — the same canonical order
+  // XfddStore::to_string and xfdd_import use). Shared subgraphs therefore
+  // appear once with multiple in-edges, and the output stays linear in the
+  // diagram's node count even when its path count is exponential.
+  std::unordered_set<XfddId> seen;
   std::vector<XfddId> stack{root};
   while (!stack.empty()) {
     XfddId id = stack.back();
@@ -23,8 +29,8 @@ std::string xfdd_to_dot(const XfddStore& store, XfddId root) {
          << "\"];\n";
       os << "  n" << id << " -> n" << b.hi << " [style=solid];\n";
       os << "  n" << id << " -> n" << b.lo << " [style=dashed];\n";
-      stack.push_back(b.hi);
       stack.push_back(b.lo);
+      stack.push_back(b.hi);
     }
   }
   os << "}\n";

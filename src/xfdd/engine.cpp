@@ -1,0 +1,970 @@
+#include "xfdd/engine.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace snap {
+
+EngineStats EngineStats::since(const EngineStats& before) const {
+  EngineStats d = *this;
+  d.par_hits -= before.par_hits;
+  d.par_misses -= before.par_misses;
+  d.seq_hits -= before.seq_hits;
+  d.seq_misses -= before.seq_misses;
+  d.neg_hits -= before.neg_hits;
+  d.neg_misses -= before.neg_misses;
+  d.restrict_hits -= before.restrict_hits;
+  d.restrict_misses -= before.restrict_misses;
+  d.expansions -= before.expansions;
+  d.ctx_prunes -= before.ctx_prunes;
+  return d;
+}
+
+EngineStats& EngineStats::operator+=(const EngineStats& o) {
+  nodes = std::max(nodes, o.nodes);
+  par_hits += o.par_hits;
+  par_misses += o.par_misses;
+  seq_hits += o.seq_hits;
+  seq_misses += o.seq_misses;
+  neg_hits += o.neg_hits;
+  neg_misses += o.neg_misses;
+  restrict_hits += o.restrict_hits;
+  restrict_misses += o.restrict_misses;
+  expansions += o.expansions;
+  ctx_prunes += o.ctx_prunes;
+  cache_entries += o.cache_entries;
+  peak_cache_entries = std::max(peak_cache_entries, o.peak_cache_entries);
+  contexts += o.contexts;
+  return *this;
+}
+
+void check_par_races(const PolPtr& p, const PolPtr& q) {
+  auto wp = state_writes(p);
+  auto wq = state_writes(q);
+  auto rp = state_reads(p);
+  auto rq = state_reads(q);
+  for (StateVarId v : wp) {
+    if (rq.count(v)) {
+      throw CompileError("parallel composition races on state variable '" +
+                         state_var_name(v) +
+                         "': one side writes it, the other reads it");
+    }
+  }
+  for (StateVarId v : wq) {
+    if (rp.count(v)) {
+      throw CompileError("parallel composition races on state variable '" +
+                         state_var_name(v) +
+                         "': one side writes it, the other reads it");
+    }
+  }
+}
+
+namespace {
+
+// ------------------------------------------------------------ Figure 15 ⊙
+//
+// Helpers mirroring Algorithms 2-4 of the appendix (shared with the old
+// compose.cpp recursions, now hosted here). ActionSeq's normal form already
+// performs Algorithm 2/3's progressive field substitution, so the field map
+// is simply as.mods() and state-op expressions are input-relative.
+
+// A write to the state variable of interest, expressions input-relative and
+// normalized against the path context.
+struct StateWrite {
+  enum Kind { kSet, kInc, kDec } kind;
+  Expr index;
+  Expr value;  // only for kSet
+};
+
+// filter (Algorithm 3): collects the sequence's writes to `var`.
+std::vector<StateWrite> filter_writes(const ActionSeq& as, StateVarId var,
+                                      const Context& ctx) {
+  std::vector<StateWrite> out;
+  for (const Action& a : as.state_ops()) {
+    std::visit(
+        [&](const auto& x) {
+          using T = std::decay_t<decltype(x)>;
+          if constexpr (std::is_same_v<T, ActStateSet>) {
+            if (x.var == var) {
+              out.push_back({StateWrite::kSet, ctx.normalize(x.index),
+                             ctx.normalize(x.value)});
+            }
+          } else if constexpr (std::is_same_v<T, ActStateInc>) {
+            if (x.var == var) {
+              out.push_back({StateWrite::kInc, ctx.normalize(x.index), Expr()});
+            }
+          } else if constexpr (std::is_same_v<T, ActStateDec>) {
+            if (x.var == var) {
+              out.push_back({StateWrite::kDec, ctx.normalize(x.index), Expr()});
+            }
+          }
+        },
+        a);
+  }
+  return out;
+}
+
+// eequal (Algorithm 4) outcome for a pair of expressions.
+struct EqOutcome {
+  enum Kind { kYes, kNo, kUnknown } kind;
+  Test test;  // the disambiguating test when kUnknown
+};
+
+// Compares two atoms already normalized against the context.
+EqOutcome atom_equal(const Atom& a, const Atom& b, const Context& ctx) {
+  if (a.is_value() && b.is_value()) {
+    return {a.value() == b.value() ? EqOutcome::kYes : EqOutcome::kNo, {}};
+  }
+  if (a.is_field() && b.is_field()) {
+    if (a.field() == b.field()) return {EqOutcome::kYes, {}};
+    Test t = make_ff(a.field(), b.field());
+    if (auto known = ctx.implies(t)) {
+      return {*known ? EqOutcome::kYes : EqOutcome::kNo, {}};
+    }
+    return {EqOutcome::kUnknown, t};
+  }
+  FieldId f = a.is_field() ? a.field() : b.field();
+  Value v = a.is_value() ? a.value() : b.value();
+  Test t = TestFV{f, v, kExactMatch};
+  if (auto known = ctx.implies(t)) {
+    return {*known ? EqOutcome::kYes : EqOutcome::kNo, {}};
+  }
+  return {EqOutcome::kUnknown, t};
+}
+
+EqOutcome expr_equal(const Expr& e1, const Expr& e2, const Context& ctx) {
+  if (e1.size() != e2.size()) return {EqOutcome::kNo, {}};
+  for (std::size_t i = 0; i < e1.size(); ++i) {
+    EqOutcome o = atom_equal(e1.atoms()[i], e2.atoms()[i], ctx);
+    if (o.kind != EqOutcome::kYes) return o;
+  }
+  return {EqOutcome::kYes, {}};
+}
+
+// Mention keys: a field f and a state variable v live in disjoint ranges of
+// one sorted vector, so support sets and context mentions merge cheaply.
+inline std::uint32_t field_key(FieldId f) {
+  return static_cast<std::uint32_t>(f) << 1;
+}
+inline std::uint32_t var_key(StateVarId v) {
+  return (static_cast<std::uint32_t>(v) << 1) | 1u;
+}
+
+void add_expr_mentions(const Expr& e, std::vector<std::uint32_t>& out) {
+  for (const Atom& a : e.atoms()) {
+    if (a.is_field()) out.push_back(field_key(a.field()));
+  }
+}
+
+void add_test_mentions(const Test& t, std::vector<std::uint32_t>& out) {
+  std::visit(
+      [&](const auto& x) {
+        using T = std::decay_t<decltype(x)>;
+        if constexpr (std::is_same_v<T, TestFV>) {
+          out.push_back(field_key(x.field));
+        } else if constexpr (std::is_same_v<T, TestFF>) {
+          out.push_back(field_key(x.f1));
+          out.push_back(field_key(x.f2));
+        } else {
+          out.push_back(var_key(x.var));
+          add_expr_mentions(x.index, out);
+          add_expr_mentions(x.value, out);
+        }
+      },
+      t);
+}
+
+void add_leaf_mentions(const ActionSet& set, std::vector<std::uint32_t>& out) {
+  for (const ActionSeq& seq : set.seqs()) {
+    for (const auto& [f, v] : seq.mods()) {
+      (void)v;
+      out.push_back(field_key(f));
+    }
+    for (const Action& a : seq.state_ops()) {
+      std::visit(
+          [&](const auto& x) {
+            using T = std::decay_t<decltype(x)>;
+            if constexpr (std::is_same_v<T, ActMod>) {
+              out.push_back(field_key(x.field));  // not expected in state_ops
+            } else {
+              out.push_back(var_key(x.var));
+              add_expr_mentions(x.index, out);
+              if constexpr (std::is_same_v<T, ActStateSet>) {
+                add_expr_mentions(x.value, out);
+              }
+            }
+          },
+          a);
+    }
+  }
+}
+
+void sort_unique(std::vector<std::uint32_t>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+bool disjoint(const std::vector<std::uint32_t>& a,
+              const std::vector<std::uint32_t>& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia < *ib) {
+      ++ia;
+    } else if (*ib < *ia) {
+      ++ib;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t mix_hash(std::size_t h, std::size_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- the impl
+
+struct XfddEngine::Impl {
+  using TestId = std::uint32_t;
+  using CtxId = std::uint32_t;
+  static constexpr TestId kLeafTid = 0xffffffffu;
+  static constexpr CtxId kEmptyCtx = 0;
+
+  XfddStore& s;
+  const TestOrder* order;
+  Options opts;
+  EngineStats st;
+
+  // ---- ordinal test index: dense rank per interned test.
+  struct TestHasher {
+    std::size_t operator()(const Test& t) const { return hash_value(t); }
+  };
+  std::unordered_map<Test, TestId, TestHasher> test_ids;
+  std::deque<Test> tests;        // by TestId
+  std::vector<int> rank;         // by TestId, renumbered on insert
+  std::vector<TestId> sorted;    // TestIds in increasing test order
+  std::vector<TestId> node_tid;  // by XfddId; kLeafTid for leaves
+
+  // ---- node supports (fields/vars in tests and leaf actions), by XfddId.
+  std::vector<std::vector<std::uint32_t>> supp;
+  std::vector<char> supp_done;
+
+  // ---- interned context chains. ctx id 0 is the empty context; children
+  // are deduped on (parent, test, holds), so equal chains share an id.
+  std::deque<Context> ctx_vals;
+  std::vector<std::vector<std::uint32_t>> ctx_mentions;
+  struct CtxChildKey {
+    CtxId parent;
+    bool holds;
+    Test test;
+    bool operator==(const CtxChildKey& o) const {
+      return parent == o.parent && holds == o.holds && test == o.test;
+    }
+  };
+  struct CtxChildHasher {
+    std::size_t operator()(const CtxChildKey& k) const {
+      return mix_hash(mix_hash(k.parent, k.holds), hash_value(k.test));
+    }
+  };
+  std::unordered_map<CtxChildKey, CtxId, CtxChildHasher> ctx_children;
+
+  // ---- computed tables.
+  struct Key3 {
+    XfddId a, b;
+    CtxId c;
+    bool operator==(const Key3& o) const {
+      return a == o.a && b == o.b && c == o.c;
+    }
+  };
+  struct Key3Hasher {
+    std::size_t operator()(const Key3& k) const {
+      return mix_hash(mix_hash(k.a, k.b), k.c);
+    }
+  };
+  struct RKey {
+    XfddId d;
+    TestId t;
+    bool pol;
+    bool operator==(const RKey& o) const {
+      return d == o.d && t == o.t && pol == o.pol;
+    }
+  };
+  struct RKeyHasher {
+    std::size_t operator()(const RKey& k) const {
+      return mix_hash(mix_hash(k.d, k.t), k.pol);
+    }
+  };
+  std::unordered_map<Key3, XfddId, Key3Hasher> par_cache;
+  std::unordered_map<Key3, XfddId, Key3Hasher> seq_cache;
+  std::unordered_map<Key3, XfddId, Key3Hasher> seqact_cache;
+  std::unordered_map<XfddId, XfddId> neg_cache;
+  std::unordered_map<RKey, XfddId, RKeyHasher> restrict_cache;
+
+  Impl(XfddStore& store, const TestOrder* ord, Options o)
+      : s(store), order(ord), opts(o) {
+    ctx_vals.emplace_back();
+    ctx_mentions.emplace_back();
+    st.contexts = 1;
+  }
+
+  void note_insert() {
+    ++st.cache_entries;
+    st.peak_cache_entries = std::max(st.peak_cache_entries, st.cache_entries);
+  }
+
+  // ------------------------------------------------------------ test index
+  TestId intern_test(const Test& t) {
+    auto it = test_ids.find(t);
+    if (it != test_ids.end()) return it->second;
+    auto id = static_cast<TestId>(tests.size());
+    tests.push_back(t);
+    test_ids.emplace(tests.back(), id);
+    // Binary search for the ordered position, then renumber the suffix.
+    auto pos = std::lower_bound(sorted.begin(), sorted.end(), t,
+                                [&](TestId a, const Test& b) {
+                                  return order->before(tests[a], b);
+                                });
+    pos = sorted.insert(pos, id);
+    rank.resize(tests.size());
+    for (auto i = static_cast<std::size_t>(pos - sorted.begin());
+         i < sorted.size(); ++i) {
+      rank[sorted[i]] = static_cast<int>(i);
+    }
+    return id;
+  }
+
+  TestId tid_of(XfddId d) {
+    if (node_tid.size() <= d) node_tid.resize(d + 1, kLeafTid - 1);
+    TestId t = node_tid[d];
+    if (t == kLeafTid - 1) {
+      t = s.is_leaf(d) ? kLeafTid : intern_test(s.branch_node(d).test);
+      node_tid[d] = t;
+    }
+    return t;
+  }
+
+  bool tid_before(TestId a, TestId b) const { return rank[a] < rank[b]; }
+
+  // t strictly precedes d's root test (leaves have no test and never win).
+  bool before_root(TestId tid, XfddId d) {
+    TestId rt = tid_of(d);
+    return rt == kLeafTid || tid_before(tid, rt);
+  }
+
+  // -------------------------------------------------------------- supports
+  const std::vector<std::uint32_t>& support(XfddId root) {
+    if (supp_done.size() <= root) {
+      supp_done.resize(root + 1, 0);
+      supp.resize(root + 1);
+    }
+    if (supp_done[root]) return supp[root];
+    // Iterative post-order so deep chains cannot overflow the stack.
+    std::vector<XfddId> stack{root};
+    while (!stack.empty()) {
+      XfddId d = stack.back();
+      if (supp_done.size() <= d) {
+        supp_done.resize(d + 1, 0);
+        supp.resize(d + 1);
+      }
+      if (supp_done[d]) {
+        stack.pop_back();
+        continue;
+      }
+      if (s.is_leaf(d)) {
+        std::vector<std::uint32_t> m;
+        add_leaf_mentions(s.leaf_actions(d), m);
+        sort_unique(m);
+        supp[d] = std::move(m);
+        supp_done[d] = 1;
+        stack.pop_back();
+        continue;
+      }
+      const BranchNode& b = s.branch_node(d);
+      bool hi_done = supp_done.size() > b.hi && supp_done[b.hi];
+      bool lo_done = supp_done.size() > b.lo && supp_done[b.lo];
+      if (!hi_done) {
+        stack.push_back(b.hi);
+        continue;
+      }
+      if (!lo_done) {
+        stack.push_back(b.lo);
+        continue;
+      }
+      std::vector<std::uint32_t> m = supp[b.hi];
+      m.insert(m.end(), supp[b.lo].begin(), supp[b.lo].end());
+      add_test_mentions(b.test, m);
+      sort_unique(m);
+      supp[d] = std::move(m);
+      supp_done[d] = 1;
+      stack.pop_back();
+    }
+    return supp[root];
+  }
+
+  // -------------------------------------------------------------- contexts
+  const Context& ctx(CtxId c) const { return ctx_vals[c]; }
+
+  CtxId ctx_child(CtxId parent, const Test& t, bool holds) {
+    CtxChildKey key{parent, holds, t};
+    auto it = ctx_children.find(key);
+    if (it != ctx_children.end()) return it->second;
+    auto id = static_cast<CtxId>(ctx_vals.size());
+    ctx_vals.push_back(ctx_vals[parent].with(t, holds));
+    std::vector<std::uint32_t> m = ctx_mentions[parent];
+    add_test_mentions(t, m);
+    sort_unique(m);
+    ctx_mentions.push_back(std::move(m));
+    ctx_children.emplace(std::move(key), id);
+    st.contexts = ctx_vals.size();
+    return id;
+  }
+
+  // Wraps a caller-provided context. Non-empty external contexts get a
+  // fresh, never-deduped id: sound (the id never aliases other content) at
+  // the cost of cold cache keys for that call tree's roots.
+  CtxId ctx_external(const Context& c) {
+    if (c.empty()) return kEmptyCtx;
+    auto id = static_cast<CtxId>(ctx_vals.size());
+    ctx_vals.push_back(c);
+    std::vector<std::uint32_t> m;
+    c.collect_mentions(m);
+    sort_unique(m);
+    ctx_mentions.push_back(std::move(m));
+    st.contexts = ctx_vals.size();
+    return id;
+  }
+
+  // Support-based pruning: when the context mentions nothing that occurs in
+  // either operand, no implies() query this subcomputation can ever make —
+  // nor any made under its own extensions, which only add facts about the
+  // operands' fields/vars — consults those facts, so the recursion proceeds
+  // (and is keyed) under the empty context.
+  CtxId prune(CtxId c, XfddId a, XfddId b) {
+    if (c == kEmptyCtx || !opts.prune_contexts) return c;
+    const auto& m = ctx_mentions[c];
+    if (disjoint(m, support(a)) && disjoint(m, support(b))) {
+      ++st.ctx_prunes;
+      return kEmptyCtx;
+    }
+    return c;
+  }
+
+  // Follows branches whose outcome the context already knows (Figure 8's
+  // refine). The empty context implies nothing.
+  XfddId refine(CtxId c, XfddId d) {
+    if (c == kEmptyCtx) return d;
+    const Context& cx = ctx(c);
+    while (!s.is_leaf(d)) {
+      const BranchNode& b = s.branch_node(d);
+      auto known = cx.implies(b.test);
+      if (!known) break;
+      d = *known ? b.hi : b.lo;
+    }
+    return d;
+  }
+
+  // --------------------------------------------------------------------- ⊕
+  XfddId par_rec(XfddId a, XfddId b, CtxId c) {
+    a = refine(c, a);
+    b = refine(c, b);
+    if (a == b) return a;
+    if (s.is_leaf(a) && s.is_leaf(b)) {
+      ++st.expansions;
+      return s.leaf(s.leaf_actions(a).unite(s.leaf_actions(b)));
+    }
+    if (s.is_leaf(a)) std::swap(a, b);
+    c = prune(c, a, b);
+    Key3 key{a, b, c};
+    if (opts.memoize) {
+      auto it = par_cache.find(key);
+      if (it != par_cache.end()) {
+        ++st.par_hits;
+        return it->second;
+      }
+    }
+    ++st.par_misses;
+    ++st.expansions;
+    const BranchNode na = s.branch_node(a);  // copy: the store may grow
+    XfddId r;
+    if (s.is_leaf(b)) {
+      XfddId hi = par_rec(na.hi, b, ctx_child(c, na.test, true));
+      XfddId lo = par_rec(na.lo, b, ctx_child(c, na.test, false));
+      r = s.branch(na.test, hi, lo);
+    } else {
+      const BranchNode nb = s.branch_node(b);  // copy
+      TestId ta = tid_of(a);
+      TestId tb = tid_of(b);
+      if (ta == tb) {
+        XfddId hi = par_rec(na.hi, nb.hi, ctx_child(c, na.test, true));
+        XfddId lo = par_rec(na.lo, nb.lo, ctx_child(c, na.test, false));
+        r = s.branch(na.test, hi, lo);
+      } else if (tid_before(ta, tb)) {
+        XfddId hi = par_rec(na.hi, b, ctx_child(c, na.test, true));
+        XfddId lo = par_rec(na.lo, b, ctx_child(c, na.test, false));
+        r = s.branch(na.test, hi, lo);
+      } else {
+        XfddId hi = par_rec(a, nb.hi, ctx_child(c, nb.test, true));
+        XfddId lo = par_rec(a, nb.lo, ctx_child(c, nb.test, false));
+        r = s.branch(nb.test, hi, lo);
+      }
+    }
+    if (opts.memoize) {
+      par_cache.emplace(key, r);
+      note_insert();
+    }
+    return r;
+  }
+
+  // --------------------------------------------------------------------- ⊖
+  XfddId neg_rec(XfddId d) {
+    if (s.is_leaf(d)) {
+      const ActionSet& as = s.leaf_actions(d);
+      if (as.is_drop()) return s.id_leaf();
+      if (as.is_id()) return s.drop_leaf();
+      throw CompileError("negation applied to a non-predicate diagram");
+    }
+    if (opts.memoize) {
+      auto it = neg_cache.find(d);
+      if (it != neg_cache.end()) {
+        ++st.neg_hits;
+        return it->second;
+      }
+    }
+    ++st.neg_misses;
+    ++st.expansions;
+    const BranchNode root = s.branch_node(d);  // copy
+    XfddId hi = neg_rec(root.hi);
+    XfddId lo = neg_rec(root.lo);
+    XfddId r = s.branch(root.test, hi, lo);
+    if (opts.memoize) {
+      neg_cache.emplace(d, r);
+      note_insert();
+    }
+    return r;
+  }
+
+  // -------------------------------------------------------------------- |t
+  XfddId restrict_rec(XfddId d, TestId tid, const Test& t, bool pol) {
+    if (s.is_leaf(d)) {
+      return pol ? s.branch(t, d, s.drop_leaf())
+                 : s.branch(t, s.drop_leaf(), d);
+    }
+    TestId rt = tid_of(d);
+    const BranchNode root = s.branch_node(d);  // copy
+    if (rt == tid) {
+      return pol ? s.branch(t, root.hi, s.drop_leaf())
+                 : s.branch(t, s.drop_leaf(), root.lo);
+    }
+    if (tid_before(tid, rt)) {
+      return pol ? s.branch(t, d, s.drop_leaf())
+                 : s.branch(t, s.drop_leaf(), d);
+    }
+    RKey key{d, tid, pol};
+    if (opts.memoize) {
+      auto it = restrict_cache.find(key);
+      if (it != restrict_cache.end()) {
+        ++st.restrict_hits;
+        return it->second;
+      }
+    }
+    ++st.restrict_misses;
+    ++st.expansions;
+    XfddId r = s.branch(root.test, restrict_rec(root.hi, tid, t, pol),
+                        restrict_rec(root.lo, tid, t, pol));
+    if (opts.memoize) {
+      restrict_cache.emplace(key, r);
+      note_insert();
+    }
+    return r;
+  }
+
+  XfddId ordered_branch(const Test& t, XfddId hi, XfddId lo, CtxId c) {
+    if (hi == lo) return hi;
+    TestId tid = intern_test(t);
+    // A well-formed diagram's root is its minimum test, so when t precedes
+    // both roots the plain branch is already ordered — the common case (the
+    // composition walks tests in increasing order). Only tests discovered
+    // out of order (field-field and shifted state tests synthesized by ⊙)
+    // need the restrict-and-merge graft.
+    if (before_root(tid, hi) && before_root(tid, lo)) {
+      return s.branch(t, hi, lo);
+    }
+    return par_rec(restrict_rec(hi, tid, t, true),
+                   restrict_rec(lo, tid, t, false), c);
+  }
+
+  // --------------------------------------------------------------------- ⊙
+  //
+  // as ⊙ d (Algorithm 1 / Figure 15). `as_key` is the interned singleton
+  // leaf for `as` — the exact structural key for the computed table (two
+  // distinct sequences can never intern to the same leaf).
+  XfddId seq_action(XfddId as_key, const ActionSeq& as, XfddId d, CtxId c) {
+    // A dropped packet never reaches d; the sequence's state writes stand.
+    if (as.is_drop()) return s.leaf(ActionSet::of({as}));
+    // No blanket refine here: the context describes the *input* packet and
+    // pre-state, while d's tests see the post-`as` packet and state. Each
+    // test kind below consults the context only after establishing it is
+    // safe (field not modified, state writes accounted for).
+    c = prune(c, as_key, d);
+    Key3 key{as_key, d, c};
+    if (opts.memoize) {
+      auto it = seqact_cache.find(key);
+      if (it != seqact_cache.end()) {
+        ++st.seq_hits;
+        return it->second;
+      }
+    }
+    ++st.seq_misses;
+    ++st.expansions;
+    XfddId r = seq_action_uncached(as_key, as, d, c);
+    if (opts.memoize) {
+      seqact_cache.emplace(key, r);
+      note_insert();
+    }
+    return r;
+  }
+
+  XfddId seq_action_uncached(XfddId as_key, const ActionSeq& as, XfddId d,
+                             CtxId c) {
+    if (s.is_leaf(d)) {
+      const ActionSet& next_set = s.leaf_actions(d);
+      if (next_set.is_drop()) {
+        // The downstream diagram drops the packet; `as`'s state writes
+        // stand.
+        return s.leaf(ActionSet::of({as.then(ActionSeq::make_drop())}));
+      }
+      std::vector<ActionSeq> out;
+      for (const ActionSeq& next : next_set.seqs()) {
+        out.push_back(as.then(next));
+      }
+      ActionSet set = ActionSet::of(std::move(out));
+      check_leaf_races(set);
+      return s.leaf(std::move(set));
+    }
+
+    const BranchNode root = s.branch_node(d);  // copy: the store may grow
+    const auto& fmap = as.mods();
+
+    if (const auto* fv = std::get_if<TestFV>(&root.test)) {
+      // Did the sequence assign this field?
+      auto it =
+          std::find_if(fmap.begin(), fmap.end(),
+                       [&](const auto& e) { return e.first == fv->field; });
+      if (it != fmap.end()) {
+        bool holds = value_in_prefix(it->second, fv->value, fv->prefix_len);
+        return seq_action(as_key, as, holds ? root.hi : root.lo, c);
+      }
+      if (auto known = ctx(c).implies(root.test)) {
+        return seq_action(as_key, as, *known ? root.hi : root.lo, c);
+      }
+      XfddId hi =
+          seq_action(as_key, as, root.hi, ctx_child(c, root.test, true));
+      XfddId lo =
+          seq_action(as_key, as, root.lo, ctx_child(c, root.test, false));
+      return ordered_branch(root.test, hi, lo, c);
+    }
+
+    if (const auto* ff = std::get_if<TestFF>(&root.test)) {
+      // Resolve each side to a constant or an input-packet field.
+      auto resolve = [&](FieldId f) -> Atom {
+        auto it = std::find_if(fmap.begin(), fmap.end(),
+                               [&](const auto& e) { return e.first == f; });
+        if (it != fmap.end()) return Atom{it->second};
+        if (auto v = ctx(c).field_value(f)) return Atom{*v};
+        return Atom{f};
+      };
+      Atom a = resolve(ff->f1);
+      Atom b = resolve(ff->f2);
+      EqOutcome o = atom_equal(a, b, ctx(c));
+      if (o.kind != EqOutcome::kUnknown) {
+        return seq_action(as_key, as,
+                          o.kind == EqOutcome::kYes ? root.hi : root.lo, c);
+      }
+      XfddId hi = seq_action(as_key, as, root.hi, ctx_child(c, o.test, true));
+      XfddId lo = seq_action(as_key, as, root.lo, ctx_child(c, o.test, false));
+      return ordered_branch(o.test, hi, lo, c);
+    }
+
+    return seq_action_state(as_key, as, d, c, std::get<TestState>(root.test),
+                            fmap);
+  }
+
+  // Resolves a state test in `d`'s root against the writes `as` performs
+  // (Algorithm 1's state case, extended with increment deltas).
+  XfddId seq_action_state(XfddId as_key, const ActionSeq& as, XfddId d,
+                          CtxId c, const TestState& t,
+                          const std::vector<std::pair<FieldId, Value>>& fmap) {
+    const BranchNode root = s.branch_node(d);  // copy: the store may grow
+    // The test's expressions refer to the post-`as` packet: substitute final
+    // field values, then context knowledge.
+    Expr index = ctx(c).normalize(t.index.substituted(fmap));
+    Expr value = ctx(c).normalize(t.value.substituted(fmap));
+
+    // For a test that is *not yet known* to the context and whose outcome
+    // re-derives the whole composition (index disambiguation).
+    auto branch_on = [&](const Test& bt) {
+      XfddId hi = seq_action(as_key, as, d, ctx_child(c, bt, true));
+      XfddId lo = seq_action(as_key, as, d, ctx_child(c, bt, false));
+      return ordered_branch(bt, hi, lo, c);
+    };
+
+    // For a test that fully decides the state test's outcome (value
+    // comparison against the decisive write): consult the context first —
+    // re-deriving under a context that already knows the answer would loop.
+    auto decide_on = [&](const Test& bt) {
+      if (auto known = ctx(c).implies(bt)) {
+        return seq_action(as_key, as, *known ? root.hi : root.lo, c);
+      }
+      XfddId hi = seq_action(as_key, as, root.hi, ctx_child(c, bt, true));
+      XfddId lo = seq_action(as_key, as, root.lo, ctx_child(c, bt, false));
+      return ordered_branch(bt, hi, lo, c);
+    };
+
+    std::vector<StateWrite> writes = filter_writes(as, t.var, ctx(c));
+    long long delta = 0;  // increments applied after the decisive write
+    for (auto it = writes.rbegin(); it != writes.rend(); ++it) {
+      EqOutcome idx_eq = expr_equal(index, it->index, ctx(c));
+      if (idx_eq.kind == EqOutcome::kUnknown) return branch_on(idx_eq.test);
+      if (idx_eq.kind == EqOutcome::kNo) continue;
+      if (it->kind == StateWrite::kInc) {
+        ++delta;
+        continue;
+      }
+      if (it->kind == StateWrite::kDec) {
+        --delta;
+        continue;
+      }
+      // Decisive assignment: the post-state value is (written value + delta).
+      const Expr& wv = it->value;
+      SNAP_CHECK(wv.size() == 1 && value.size() == 1,
+                 "state values must be scalars");
+      const Atom& w = wv.atoms()[0];
+      const Atom& q = value.atoms()[0];
+      if (w.is_value() && q.is_value()) {
+        bool holds = w.value() + delta == q.value();
+        return seq_action(as_key, as, holds ? root.hi : root.lo, c);
+      }
+      if (w.is_field() && q.is_value()) {
+        return decide_on(TestFV{w.field(), q.value() - delta, kExactMatch});
+      }
+      if (w.is_value() && q.is_field()) {
+        return decide_on(TestFV{q.field(), w.value() + delta, kExactMatch});
+      }
+      if (w.field() == q.field() && delta == 0) {
+        return seq_action(as_key, as, root.hi, c);
+      }
+      if (delta == 0) return decide_on(make_ff(w.field(), q.field()));
+      throw CompileError(
+          "cannot compose an increment of '" + state_var_name(t.var) +
+          "' with a test comparing it to field '" + field_name(q.field()) +
+          "'");
+    }
+
+    // No decisive write: the test reads the pre-`as` state, shifted by any
+    // increments that definitely hit the same index.
+    TestState pre{t.var, index, value};
+    if (delta != 0) {
+      const Atom& q = value.atoms()[0];
+      if (!q.is_value()) {
+        throw CompileError(
+            "cannot compose an increment of '" + state_var_name(t.var) +
+            "' with a test comparing it to field '" + field_name(q.field()) +
+            "'");
+      }
+      pre.value = Expr::of_value(q.value() - delta);
+    }
+    Test pre_test{pre};
+    if (auto known = ctx(c).implies(pre_test)) {
+      return seq_action(as_key, as, *known ? root.hi : root.lo, c);
+    }
+    XfddId hi = seq_action(as_key, as, root.hi, ctx_child(c, pre_test, true));
+    XfddId lo = seq_action(as_key, as, root.lo, ctx_child(c, pre_test, false));
+    return ordered_branch(pre_test, hi, lo, c);
+  }
+
+  XfddId seq_rec(XfddId a, XfddId b, CtxId c) {
+    a = refine(c, a);
+    c = prune(c, a, b);
+    bool a_leaf = s.is_leaf(a);
+    if (a_leaf && s.leaf_actions(a).is_drop()) return s.drop_leaf();
+    Key3 key{a, b, c};
+    if (opts.memoize) {
+      auto it = seq_cache.find(key);
+      if (it != seq_cache.end()) {
+        ++st.seq_hits;
+        return it->second;
+      }
+    }
+    ++st.seq_misses;
+    ++st.expansions;
+    XfddId r;
+    if (a_leaf) {
+      const ActionSet set = s.leaf_actions(a);  // copy: the store may grow
+      XfddId acc = s.drop_leaf();
+      for (const ActionSeq& as : set.seqs()) {
+        XfddId as_key = s.leaf(ActionSet::of({as}));
+        acc = par_rec(acc, seq_action(as_key, as, b, c), c);
+      }
+      r = acc;
+    } else {
+      const BranchNode root = s.branch_node(a);  // copy
+      XfddId hi = seq_rec(root.hi, b, ctx_child(c, root.test, true));
+      XfddId lo = seq_rec(root.lo, b, ctx_child(c, root.test, false));
+      r = ordered_branch(root.test, hi, lo, c);
+    }
+    if (opts.memoize) {
+      seq_cache.emplace(key, r);
+      note_insert();
+    }
+    return r;
+  }
+
+  // ------------------------------------------------------------- to-xfdd
+  XfddId pred_rec(const PredPtr& x) {
+    SNAP_CHECK(x != nullptr, "null predicate");
+    return std::visit(
+        [&](const auto& n) -> XfddId {
+          using T = std::decay_t<decltype(n)>;
+          if constexpr (std::is_same_v<T, PredId>) {
+            return s.id_leaf();
+          } else if constexpr (std::is_same_v<T, PredDrop>) {
+            return s.drop_leaf();
+          } else if constexpr (std::is_same_v<T, PredTest>) {
+            return s.branch(TestFV{n.field, n.value, n.prefix_len},
+                            s.id_leaf(), s.drop_leaf());
+          } else if constexpr (std::is_same_v<T, PredNot>) {
+            return neg_rec(pred_rec(n.x));
+          } else if constexpr (std::is_same_v<T, PredOr>) {
+            return par_rec(pred_rec(n.x), pred_rec(n.y), kEmptyCtx);
+          } else if constexpr (std::is_same_v<T, PredAnd>) {
+            return seq_rec(pred_rec(n.x), pred_rec(n.y), kEmptyCtx);
+          } else {
+            static_assert(std::is_same_v<T, PredStateTest>);
+            return s.branch(TestState{n.var, n.index, n.value}, s.id_leaf(),
+                            s.drop_leaf());
+          }
+        },
+        x->node);
+  }
+
+  XfddId policy_rec(const PolPtr& p) {
+    SNAP_CHECK(p != nullptr, "null policy");
+    return std::visit(
+        [&](const auto& n) -> XfddId {
+          using T = std::decay_t<decltype(n)>;
+          if constexpr (std::is_same_v<T, PolFilter>) {
+            return pred_rec(n.pred);
+          } else if constexpr (std::is_same_v<T, PolMod>) {
+            return s.leaf(
+                ActionSet::of({ActionSeq::of({ActMod{n.field, n.value}})}));
+          } else if constexpr (std::is_same_v<T, PolStateSet>) {
+            return s.leaf(ActionSet::of(
+                {ActionSeq::of({ActStateSet{n.var, n.index, n.value}})}));
+          } else if constexpr (std::is_same_v<T, PolStateInc>) {
+            return s.leaf(
+                ActionSet::of({ActionSeq::of({ActStateInc{n.var, n.index}})}));
+          } else if constexpr (std::is_same_v<T, PolStateDec>) {
+            return s.leaf(
+                ActionSet::of({ActionSeq::of({ActStateDec{n.var, n.index}})}));
+          } else if constexpr (std::is_same_v<T, PolSeq>) {
+            return seq_rec(policy_rec(n.p), policy_rec(n.q), kEmptyCtx);
+          } else if constexpr (std::is_same_v<T, PolPar>) {
+            check_par_races(n.p, n.q);
+            return par_rec(policy_rec(n.p), policy_rec(n.q), kEmptyCtx);
+          } else if constexpr (std::is_same_v<T, PolIf>) {
+            XfddId cond = pred_rec(n.cond);
+            XfddId then_d = seq_rec(cond, policy_rec(n.then_p), kEmptyCtx);
+            XfddId else_d =
+                seq_rec(neg_rec(cond), policy_rec(n.else_p), kEmptyCtx);
+            return par_rec(then_d, else_d, kEmptyCtx);
+          } else {
+            static_assert(std::is_same_v<T, PolAtomic>);
+            return policy_rec(n.p);
+          }
+        },
+        p->node);
+  }
+
+  void clear_op_caches() {
+    par_cache.clear();
+    seq_cache.clear();
+    seqact_cache.clear();
+    neg_cache.clear();
+    restrict_cache.clear();
+    ctx_children.clear();
+    ctx_vals.clear();
+    ctx_mentions.clear();
+    ctx_vals.emplace_back();
+    ctx_mentions.emplace_back();
+    st.cache_entries = 0;
+    st.contexts = 1;
+  }
+
+  void clear_test_index() {
+    test_ids.clear();
+    tests.clear();
+    rank.clear();
+    sorted.clear();
+    node_tid.clear();
+  }
+};
+
+// ------------------------------------------------------------ public face
+
+XfddEngine::XfddEngine(TestOrder order, Options opts)
+    : owned_(std::make_unique<XfddStore>()), order_(std::move(order)) {
+  store_ = owned_.get();
+  impl_ = std::make_unique<Impl>(*store_, &order_, opts);
+}
+
+XfddEngine::XfddEngine(XfddStore& store, TestOrder order, Options opts)
+    : store_(&store), order_(std::move(order)) {
+  impl_ = std::make_unique<Impl>(*store_, &order_, opts);
+}
+
+XfddEngine::~XfddEngine() = default;
+
+void XfddEngine::set_order(const TestOrder& order) {
+  if (order_.same_ranks(order)) return;
+  order_ = order;
+  impl_->clear_op_caches();
+  impl_->clear_test_index();
+}
+
+XfddId XfddEngine::par(XfddId a, XfddId b, const Context& ctx) {
+  return impl_->par_rec(a, b, impl_->ctx_external(ctx));
+}
+
+XfddId XfddEngine::seq(XfddId a, XfddId b, const Context& ctx) {
+  return impl_->seq_rec(a, b, impl_->ctx_external(ctx));
+}
+
+XfddId XfddEngine::neg(XfddId d) { return impl_->neg_rec(d); }
+
+XfddId XfddEngine::restrict(XfddId d, const Test& t, bool polarity) {
+  return impl_->restrict_rec(d, impl_->intern_test(t), t, polarity);
+}
+
+XfddId XfddEngine::ordered_branch(const Test& t, XfddId hi, XfddId lo,
+                                  const Context& ctx) {
+  return impl_->ordered_branch(t, hi, lo, impl_->ctx_external(ctx));
+}
+
+XfddId XfddEngine::pred(const PredPtr& x) { return impl_->pred_rec(x); }
+
+XfddId XfddEngine::policy(const PolPtr& p) { return impl_->policy_rec(p); }
+
+EngineStats XfddEngine::stats() const {
+  EngineStats out = impl_->st;
+  out.nodes = store_->size();
+  return out;
+}
+
+void XfddEngine::clear_caches() { impl_->clear_op_caches(); }
+
+}  // namespace snap

@@ -1,0 +1,143 @@
+// The memoized xFDD apply engine.
+//
+// The composition algorithms of xfdd/compose.h are recursions over
+// hash-consed DAGs, but without computed tables every shared subtree is
+// re-expanded as a tree — worst-case exponential in diagram depth. The
+// engine wraps an XfddStore with BDD-style per-operation caches so each
+// distinct subproblem is expanded once:
+//
+//   neg       keyed by d                      (pure function of the node)
+//   restrict  keyed by (d, test, polarity)    (pure function)
+//   par, seq  keyed by (a, b, ctx)            (context-dependent: the path
+//                                              context refines operands)
+//
+// Context keys. Unlike a plain BDD apply, ⊕/⊙ consult the accumulated path
+// context (Figure 8's refine), so (a, b) alone is not a sound key. Contexts
+// are interned — the chain (parent, test, holds) gets a small dense id — and
+// the id participates in the key. On its own that would still re-expand
+// diamonds (two paths reaching the same node pair carry different context
+// chains), so the engine prunes: when the facts a context mentions are
+// disjoint from the *support* of both operands (every field and state
+// variable occurring in their tests and leaf actions), no implies() query or
+// future extension can ever consult those facts, and the recursion is keyed
+// and continued under the empty context instead. Per-level-distinct-field
+// diagrams — the common shape for header-match policies — then collapse to
+// one expansion per node pair.
+//
+// Ordinal tests. Every Test the engine sees is interned into a dense rank
+// (TestOrder consulted once, on first sight), so the pairwise order
+// comparisons done on every ordered_branch / par / restrict step become
+// integer compares; branch nodes cache their test's rank by node id.
+//
+// Determinism. A cache hit returns exactly the id the recursion would have
+// recomputed (hash-consing makes the structure→id map history-free), so
+// memoized, cache-disabled, and engine-per-worker parallel runs produce
+// byte-identical diagrams after canonical import (tests/test_determinism,
+// tests/test_xfdd_property).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "lang/ast.h"
+#include "xfdd/context.h"
+#include "xfdd/order.h"
+#include "xfdd/xfdd.h"
+
+namespace snap {
+
+// Cache-effectiveness counters, exported per compile event (EventResult) and
+// by snapc --json. `expansions` counts recursion bodies actually executed —
+// the ablation benchmark's workload measure, immune to the 1-core container
+// problem wall-clock comparisons have.
+struct EngineStats {
+  std::size_t nodes = 0;  // size of the engine's store
+  std::uint64_t par_hits = 0, par_misses = 0;
+  std::uint64_t seq_hits = 0, seq_misses = 0;
+  std::uint64_t neg_hits = 0, neg_misses = 0;
+  std::uint64_t restrict_hits = 0, restrict_misses = 0;
+  std::uint64_t expansions = 0;
+  std::uint64_t ctx_prunes = 0;  // contexts dropped via support disjointness
+  std::size_t cache_entries = 0;
+  std::size_t peak_cache_entries = 0;
+  std::size_t contexts = 0;  // interned context chains
+
+  std::uint64_t hits() const {
+    return par_hits + seq_hits + neg_hits + restrict_hits;
+  }
+  std::uint64_t misses() const {
+    return par_misses + seq_misses + neg_misses + restrict_misses;
+  }
+
+  // Counter deltas since `before`; sizes (nodes, cache, contexts) stay
+  // absolute. Used by Session to report per-event work on a warm engine.
+  EngineStats since(const EngineStats& before) const;
+
+  // Counter sums; sizes take the max. Used to merge per-worker engines.
+  EngineStats& operator+=(const EngineStats& o);
+};
+
+struct XfddEngineOptions {
+  bool memoize = true;         // computed tables (ablation switch)
+  bool prune_contexts = true;  // support-based context pruning
+};
+
+class XfddEngine {
+ public:
+  using Options = XfddEngineOptions;
+
+  // Owns a fresh store.
+  explicit XfddEngine(TestOrder order, Options opts = {});
+  // Borrows `store` (must outlive the engine); used by the compose.h shims.
+  XfddEngine(XfddStore& store, TestOrder order, Options opts = {});
+  ~XfddEngine();
+
+  XfddEngine(const XfddEngine&) = delete;
+  XfddEngine& operator=(const XfddEngine&) = delete;
+
+  XfddStore& store() { return *store_; }
+  const XfddStore& store() const { return *store_; }
+  const TestOrder& order() const { return order_; }
+
+  // Adopts a new test order. If the state ranks differ from the current
+  // order the computed tables and ordinal index are invalidated (cached
+  // results embed order decisions); otherwise caches stay warm — this is
+  // what lets a Session-retained engine warm-start set_policy events.
+  void set_order(const TestOrder& order);
+
+  // d1 ⊕ d2 (Figure 8). Throws CompileError on leaf-level state races.
+  XfddId par(XfddId a, XfddId b, const Context& ctx = {});
+  // d1 ⊙ d2 (Figure 7 + Figure 15).
+  XfddId seq(XfddId a, XfddId b, const Context& ctx = {});
+  // ⊖d: complement of a predicate diagram ({id}/{drop} leaves).
+  XfddId neg(XfddId d);
+  // d|t: restrict d to the paths where t has the given outcome.
+  XfddId restrict(XfddId d, const Test& t, bool polarity);
+  // (t ? hi : lo) preserving the global test order.
+  XfddId ordered_branch(const Test& t, XfddId hi, XfddId lo,
+                        const Context& ctx);
+
+  // to-xfdd (Figure 6) into this engine's store.
+  XfddId pred(const PredPtr& x);
+  XfddId policy(const PolPtr& p);
+
+  EngineStats stats() const;
+  void clear_caches();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  XfddStore* store_;
+  std::unique_ptr<XfddStore> owned_;
+  TestOrder order_;
+};
+
+// Static read/write race rejection for parallel composition (§3): one side
+// writing a state variable the other reads is ambiguous. Shared by the
+// serial translation and the fork/join parallel builder.
+void check_par_races(const PolPtr& p, const PolPtr& q);
+
+}  // namespace snap

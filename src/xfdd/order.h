@@ -34,6 +34,13 @@ class TestOrder {
 
   bool equal(const Test& a, const Test& b) const { return a == b; }
 
+  // Two orders with the same state ranks order every test identically; the
+  // engine uses this to decide whether its computed tables survive a
+  // set_order (caches embed order decisions).
+  bool same_ranks(const TestOrder& o) const {
+    return state_ranks_ == o.state_ranks_;
+  }
+
  private:
   std::vector<int> state_ranks_;
 };

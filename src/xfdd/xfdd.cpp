@@ -34,7 +34,17 @@ XfddStore::XfddStore() {
   id_leaf_ = leaf(ActionSet::make_id());
 }
 
+XfddStore::XfddStore(DegradedHashTag) : degrade_hash_(true) {
+  drop_leaf_ = leaf(ActionSet::make_drop());
+  id_leaf_ = leaf(ActionSet::make_id());
+}
+
+XfddStore XfddStore::with_degraded_hash_for_testing() {
+  return XfddStore(DegradedHashTag{});
+}
+
 XfddId XfddStore::intern(XfddNode node, std::size_t hash) {
+  if (degrade_hash_) hash = 42;  // every insertion lands in one bucket
   auto [lo, hi] = dedup_.equal_range(hash);
   for (auto it = lo; it != hi; ++it) {
     if (node_equal(nodes_[it->second], node)) return it->second;
@@ -93,26 +103,32 @@ std::size_t XfddStore::reachable_size(XfddId root) const {
 }
 
 std::string XfddStore::to_string(XfddId root) const {
-  std::ostringstream os;
-  // Depth-first textual rendering with indentation.
-  struct Frame {
-    XfddId id;
-    int depth;
-    char tag;
-  };
-  std::vector<Frame> stack{{root, 0, '*'}};
+  // Number distinct nodes in first-visit DFS order (hi before lo), then
+  // emit one line per node. Shared subgraphs print once; re-walking the
+  // DAG as a tree would be exponential on diamond-heavy diagrams.
+  std::unordered_map<XfddId, std::size_t> num;
+  std::vector<XfddId> visit;
+  std::vector<XfddId> stack{root};
   while (!stack.empty()) {
-    Frame f = stack.back();
+    XfddId id = stack.back();
     stack.pop_back();
-    for (int i = 0; i < f.depth; ++i) os << "  ";
-    os << f.tag << ' ';
-    if (is_leaf(f.id)) {
-      os << leaf_actions(f.id).to_string() << '\n';
+    if (!num.emplace(id, visit.size()).second) continue;
+    visit.push_back(id);
+    if (!is_leaf(id)) {
+      const auto& b = branch_node(id);
+      stack.push_back(b.lo);  // popped after hi: hi subtree numbers first
+      stack.push_back(b.hi);
+    }
+  }
+  std::ostringstream os;
+  for (std::size_t i = 0; i < visit.size(); ++i) {
+    os << i << ": ";
+    if (is_leaf(visit[i])) {
+      os << leaf_actions(visit[i]).to_string() << '\n';
     } else {
-      const auto& b = branch_node(f.id);
-      os << snap::to_string(b.test) << " ?\n";
-      stack.push_back({b.lo, f.depth + 1, 'F'});
-      stack.push_back({b.hi, f.depth + 1, 'T'});
+      const auto& b = branch_node(visit[i]);
+      os << snap::to_string(b.test) << " ? " << num[b.hi] << " : "
+         << num[b.lo] << '\n';
     }
   }
   return os.str();

@@ -51,7 +51,18 @@ class XfddStore {
   // Number of nodes reachable from `root` (distinct subtrees).
   std::size_t reachable_size(XfddId root) const;
 
+  // Structural serialization: one line per *distinct* reachable node,
+  // numbered in first-visit DFS order (hi before lo), children referenced
+  // by number. Shared subgraphs are emitted once, so the output is linear
+  // in reachable_size(root) — never in the (possibly exponential) path
+  // count — and identical for structurally equal diagrams regardless of
+  // the store history that produced them. Used as the determinism digest.
   std::string to_string(XfddId root) const;
+
+  // Testing hook: a store whose intern table sees one constant hash for
+  // every node, so every insertion collides and correctness rests entirely
+  // on the full node-equality comparison (hash-equal ≠ node-equal).
+  static XfddStore with_degraded_hash_for_testing();
 
  private:
   struct NodeKey {
@@ -59,10 +70,14 @@ class XfddStore {
     XfddId id;  // index of an equal existing node, used during lookup
   };
 
+  struct DegradedHashTag {};
+  explicit XfddStore(DegradedHashTag);
+
   std::vector<XfddNode> nodes_;
   std::unordered_multimap<std::size_t, XfddId> dedup_;
   XfddId id_leaf_;
   XfddId drop_leaf_;
+  bool degrade_hash_ = false;
 
   XfddId intern(XfddNode node, std::size_t hash);
 };

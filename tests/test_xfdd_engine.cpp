@@ -1,0 +1,240 @@
+// The memoized xFDD apply engine (xfdd/engine.h): computed tables must
+// collapse shared-subtree re-expansion without changing a single output
+// byte, the intern table must survive hash collisions by full node
+// equality, the exporters must emit shared subgraphs once, and the Session
+// must expose per-event EngineStats with a warm-started retained engine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/apps.h"
+#include "compiler/session.h"
+#include "topo/gen.h"
+#include "topo/traffic.h"
+#include "util/status.h"
+#include "xfdd/compose.h"
+#include "xfdd/dot.h"
+#include "xfdd/engine.h"
+
+namespace snap {
+namespace {
+
+using namespace snap::dsl;
+
+// and_{i<depth} (xf<i> = 0 | xf<i> = 1): a diamond-chain diagram with
+// ~2*depth+2 nodes but 2^depth accepting paths — the shape that is
+// exponential to walk as a tree and linear with computed tables.
+PredPtr diamond_pred(int depth, const std::string& stem = "df") {
+  PredPtr p;
+  for (int i = 0; i < depth; ++i) {
+    std::string f = stem + std::to_string(i);
+    PredPtr level = lor(test(f, 0), test(f, 1));
+    p = p ? land(p, level) : level;
+  }
+  return p;
+}
+
+std::string canonical_digest(const XfddStore& s, XfddId root) {
+  XfddStore canon;
+  XfddId r = xfdd_import(canon, s, root);
+  return std::to_string(r) + "\n" + canon.to_string(r);
+}
+
+// ---- intern collisions -----------------------------------------------------
+
+TEST(XfddStoreIntern, CollisionsResolvedByFullNodeEquality) {
+  // Every node hashes into one bucket: correctness now rests entirely on
+  // the full equality comparison (hash-equal != node-equal).
+  XfddStore s = XfddStore::with_degraded_hash_for_testing();
+  FieldId f = field_id("coll_f");
+  std::vector<XfddId> ids;
+  for (Value v = 0; v < 24; ++v) {
+    ids.push_back(
+        s.branch(TestFV{f, v, kExactMatch}, s.id_leaf(), s.drop_leaf()));
+  }
+  // Two distinct nodes forced into one bucket must never share an id.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      EXPECT_NE(ids[i], ids[j]) << i << " vs " << j;
+    }
+  }
+  // Re-interning an equal node must find the original through the crowded
+  // bucket, not allocate a duplicate.
+  std::size_t before = s.size();
+  for (Value v = 0; v < 24; ++v) {
+    EXPECT_EQ(s.branch(TestFV{f, v, kExactMatch}, s.id_leaf(), s.drop_leaf()),
+              ids[static_cast<std::size_t>(v)]);
+  }
+  EXPECT_EQ(s.size(), before);
+  EXPECT_EQ(s.leaf(ActionSet::make_id()), s.id_leaf());
+  EXPECT_EQ(s.leaf(ActionSet::make_drop()), s.drop_leaf());
+}
+
+TEST(XfddStoreIntern, DegradedHashCompilesPolicyIdentically) {
+  PolPtr p = apps::dns_tunnel_detect("collide", "10.0.1.0/24", 4);
+  TestOrder order = DependencyGraph::build(p).test_order();
+  XfddStore normal;
+  XfddId rn = to_xfdd(normal, order, p);
+  XfddStore degraded = XfddStore::with_degraded_hash_for_testing();
+  XfddId rd = to_xfdd(degraded, order, p);
+  EXPECT_EQ(canonical_digest(normal, rn), canonical_digest(degraded, rd));
+}
+
+// ---- exporters stay linear on shared DAGs ----------------------------------
+
+TEST(XfddExport, SharedSubgraphsEmittedOnce) {
+  PolPtr p = ite(diamond_pred(10), mod("outport", 1), mod("outport", 2));
+  TestOrder order = DependencyGraph::build(p).test_order();
+  XfddEngine e(order);
+  XfddId root = e.policy(p);
+  std::size_t nodes = e.store().reachable_size(root);
+  ASSERT_LT(nodes, 50u);  // the DAG is small; only its path count explodes
+
+  std::string text = e.store().to_string(root);
+  std::size_t lines = std::count(text.begin(), text.end(), '\n');
+  EXPECT_EQ(lines, nodes);  // one line per distinct node
+
+  std::string dot = xfdd_to_dot(e.store(), root);
+  std::size_t decls = 0;
+  for (std::size_t at = dot.find("label="); at != std::string::npos;
+       at = dot.find("label=", at + 1)) {
+    ++decls;
+  }
+  EXPECT_EQ(decls, nodes);  // one labelled declaration per distinct node
+}
+
+// ---- computed tables -------------------------------------------------------
+
+TEST(XfddEngine, MemoizationCollapsesDiamondsByteIdentically) {
+  PolPtr p = ite(diamond_pred(11), mod("outport", 1), mod("outport", 2));
+  TestOrder order = DependencyGraph::build(p).test_order();
+
+  XfddEngine memo(order, {.memoize = true});
+  XfddId r_memo = memo.policy(p);
+  XfddEngine naive(order, {.memoize = false});
+  XfddId r_naive = naive.policy(p);
+
+  EXPECT_EQ(canonical_digest(memo.store(), r_memo),
+            canonical_digest(naive.store(), r_naive));
+  EXPECT_EQ(naive.stats().hits(), 0u);
+  EXPECT_GT(memo.stats().hits(), 0u);
+  EXPECT_GT(memo.stats().neg_hits, 0u);  // ! of the diamond condition
+  // The acceptance bar: at least 5x fewer node expansions than naive.
+  EXPECT_GE(naive.stats().expansions, 5 * memo.stats().expansions);
+}
+
+TEST(XfddEngine, RestrictAndNegCachesHitOnSharedSubtrees) {
+  TestOrder order;
+  XfddEngine e(order);
+  XfddId d = e.pred(diamond_pred(10));
+  EngineStats before = e.stats();
+  // A test ordered after the whole chain recurses through every node; the
+  // diamond forces revisits that must come from the restrict table.
+  snap::Test late = TestFV{field_id("zz_late"), 1, kExactMatch};
+  XfddId r = e.restrict(d, late, true);
+  EngineStats after = e.stats().since(before);
+  EXPECT_GT(after.restrict_hits, 0u);
+  EXPECT_NE(r, d);
+
+  XfddEngine naive(order, {.memoize = false});
+  XfddId dn = naive.pred(diamond_pred(10));
+  XfddId rn = naive.restrict(dn, late, true);
+  EXPECT_EQ(canonical_digest(e.store(), r), canonical_digest(naive.store(), rn));
+
+  // Involution through the neg table: ⊖⊖d re-interns to d itself.
+  EXPECT_EQ(e.neg(e.neg(d)), d);
+}
+
+TEST(XfddEngine, WarmRecompileIsAllCacheHits) {
+  PolPtr p = apps::dns_tunnel_detect("warm", "10.0.1.0/24", 4);
+  TestOrder order = DependencyGraph::build(p).test_order();
+  XfddEngine e(order);
+  XfddId first = e.policy(p);
+  EngineStats cold = e.stats();
+  XfddId second = e.policy(p);
+  EngineStats warm = e.stats().since(cold);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(warm.expansions, 0u);  // every op answered from the tables
+  EXPECT_GT(warm.hits(), 0u);
+}
+
+TEST(XfddEngine, SetOrderKeepsOrDropsCachesByRanks) {
+  PolPtr p = apps::stateful_firewall("ord", "10.0.1.0/24");
+  DependencyGraph deps = DependencyGraph::build(p);
+  TestOrder order = deps.test_order();
+  XfddEngine e(order);
+  XfddId r1 = e.policy(p);
+  EngineStats cold = e.stats();
+
+  e.set_order(order);  // identical ranks: tables survive
+  EXPECT_EQ(e.policy(p), r1);
+  EXPECT_EQ(e.stats().since(cold).expansions, 0u);
+
+  // A genuinely different rank vector invalidates; the rebuilt result must
+  // still match a fresh engine under the new order.
+  std::vector<int> flipped;
+  for (std::size_t i = 0; i < 8; ++i) {
+    flipped.push_back(static_cast<int>(8 - i));
+  }
+  TestOrder other(flipped);
+  e.set_order(other);
+  XfddId r2 = e.policy(p);
+  XfddEngine fresh(other);
+  EXPECT_EQ(canonical_digest(e.store(), r2),
+            canonical_digest(fresh.store(), fresh.policy(p)));
+}
+
+// ---- Session integration ---------------------------------------------------
+
+PolPtr session_program(const std::string& prefix) {
+  std::vector<std::pair<std::string, PortId>> subnets;
+  for (int i = 1; i <= 6; ++i) {
+    subnets.emplace_back("10.0." + std::to_string(i) + ".0/24", i);
+  }
+  return apps::dns_tunnel_detect(prefix, "10.0.6.0/24", 2) >>
+         apps::assign_egress(subnets);
+}
+
+TEST(SessionEngine, EventResultExposesStatsAndWarmStarts) {
+  Session s(make_figure2_campus(),
+            gravity_traffic(make_figure2_campus(), 20.0, 1));
+  EventResult cold = s.full_compile(session_program("es1"));
+  EXPECT_GT(cold.engine.expansions, 0u);
+  EXPECT_GT(cold.engine.nodes, 0u);
+  std::string cold_digest = canonical_digest(*s.result().store,
+                                             s.result().root);
+
+  // Same program again: P1 recomputes the same ranks, so the retained
+  // engine keeps its tables and P2 is answered from them.
+  EventResult warm = s.set_policy(session_program("es1"));
+  EXPECT_TRUE(warm.ran(PhaseId::kP2Xfdd));
+  EXPECT_GT(warm.engine.hits(), 0u);
+  EXPECT_LT(warm.engine.expansions, cold.engine.expansions);
+  EXPECT_EQ(canonical_digest(*s.result().store, s.result().root),
+            cold_digest);
+
+  // Events that skip P2 report zeroed engine counters.
+  EventResult te = s.set_traffic(
+      gravity_traffic(make_figure2_campus(), 20.0, 5));
+  EXPECT_FALSE(te.ran(PhaseId::kP2Xfdd));
+  EXPECT_EQ(te.engine.expansions, 0u);
+  EXPECT_EQ(te.engine.hits(), 0u);
+}
+
+TEST(SessionEngine, ParallelP2ReportsWorkerStatsAndMatchesSerial) {
+  CompilerOptions par_opts;
+  par_opts.threads = 2;
+  Session par(make_figure2_campus(),
+              gravity_traffic(make_figure2_campus(), 20.0, 1), par_opts);
+  EventResult ev = par.full_compile(session_program("es2"));
+  EXPECT_GT(ev.engine.expansions, 0u);
+
+  Session ser(make_figure2_campus(),
+              gravity_traffic(make_figure2_campus(), 20.0, 1));
+  ser.full_compile(session_program("es2"));
+  EXPECT_EQ(canonical_digest(*par.result().store, par.result().root),
+            canonical_digest(*ser.result().store, ser.result().root));
+}
+
+}  // namespace
+}  // namespace snap

@@ -9,6 +9,7 @@
 #include "util/rng.h"
 #include "util/status.h"
 #include "xfdd/compose.h"
+#include "xfdd/engine.h"
 #include "xfdd/xfdd.h"
 
 namespace snap {
@@ -171,6 +172,174 @@ TEST_P(XfddPropertyTest, XfddAgreesWithEvalOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, XfddPropertyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---- engine differential: memoized == cache-disabled, byte for byte -------
+
+std::string canonical_digest(const XfddStore& s, XfddId root) {
+  XfddStore canon;
+  XfddId r = xfdd_import(canon, s, root);
+  return std::to_string(r) + "\n" + canon.to_string(r);
+}
+
+// The paper's well-formedness: along every root-to-leaf path tests strictly
+// increase in the global order, and no test's outcome is already implied by
+// (or contradicts) its ancestors' outcomes.
+void check_well_formed(const XfddStore& s, XfddId d, const TestOrder& order,
+                       const Context& ctx, const char* what) {
+  if (s.is_leaf(d)) return;
+  const BranchNode& b = s.branch_node(d);
+  ASSERT_FALSE(ctx.implies(b.test).has_value())
+      << what << ": test '" << to_string(b.test)
+      << "' is decided by its ancestors\n" << s.to_string(d);
+  for (XfddId child : {b.hi, b.lo}) {
+    if (!s.is_leaf(child)) {
+      ASSERT_TRUE(order.before(b.test, s.branch_node(child).test))
+          << what << ": child test '"
+          << to_string(s.branch_node(child).test)
+          << "' not strictly after parent '" << to_string(b.test) << "'";
+    }
+  }
+  check_well_formed(s, b.hi, order, ctx.with(b.test, true), what);
+  check_well_formed(s, b.lo, order, ctx.with(b.test, false), what);
+}
+
+TEST_P(XfddPropertyTest, MemoizedNaiveAndUnprunedEnginesAgree) {
+  Rng rng(GetParam() * 7919 + 17);
+  const XfddEngineOptions kConfigs[] = {
+      {.memoize = true, .prune_contexts = true},    // the default engine
+      {.memoize = false, .prune_contexts = true},   // naive (ablation path)
+      {.memoize = true, .prune_contexts = false},   // full contexts
+      {.memoize = false, .prune_contexts = false},  // the PR-2 baseline
+  };
+  int compared = 0;
+  for (int iter = 0; iter < 80; ++iter) {
+    PolPtr p = random_pol(rng, static_cast<int>(rng.uniform(1, 4)));
+    TestOrder order;
+    std::vector<std::unique_ptr<XfddEngine>> engines;
+    std::vector<XfddId> roots;
+    bool rejected = false;
+    for (std::size_t i = 0; i < 4; ++i) {
+      auto e = std::make_unique<XfddEngine>(order, kConfigs[i]);
+      try {
+        roots.push_back(e->policy(p));
+      } catch (const CompileError&) {
+        // Deterministic recursions must reject identically: a cache can
+        // only replay results of subproblems that previously *succeeded*.
+        EXPECT_TRUE(i == 0 || rejected)
+            << "config " << i << " accepted what config 0 rejected:\n"
+            << snap::to_string(p);
+        rejected = true;
+        continue;
+      }
+      EXPECT_FALSE(rejected)
+          << "config " << i << " rejected what earlier configs accepted:\n"
+          << snap::to_string(p);
+      engines.push_back(std::move(e));
+    }
+    if (rejected) continue;
+    std::string base =
+        canonical_digest(engines[0]->store(), roots[0]);
+    for (std::size_t i = 1; i < engines.size(); ++i) {
+      ASSERT_EQ(canonical_digest(engines[i]->store(), roots[i]), base)
+          << "config " << i << " diverged, seed=" << GetParam()
+          << " iter=" << iter << "\nprogram:\n" << snap::to_string(p);
+    }
+    check_well_formed(engines[0]->store(), roots[0], order, Context{},
+                      "memoized engine output");
+    // The diagrams are structurally identical; spot-check behavior too.
+    for (int probe = 0; probe < 4; ++probe) {
+      Packet pkt = random_packet(rng);
+      Store st = random_store(rng);
+      EvalResult a = eval_xfdd(engines[0]->store(), roots[0], st, pkt);
+      EvalResult b = eval_xfdd(engines[1]->store(), roots[1], st, pkt);
+      ASSERT_EQ(a.packets, b.packets);
+      ASSERT_TRUE(a.store == b.store);
+    }
+    ++compared;
+  }
+  EXPECT_GT(compared, 20);
+}
+
+// ---- explicit ⊖ / |t edge cases --------------------------------------------
+
+TEST(XfddEdgeCases, NegOnPredicateLeaves) {
+  XfddStore s;
+  EXPECT_EQ(xfdd_neg(s, s.id_leaf()), s.drop_leaf());
+  EXPECT_EQ(xfdd_neg(s, s.drop_leaf()), s.id_leaf());
+  XfddId action = s.leaf(ActionSet::of({ActionSeq::of(
+      {ActMod{field_id("nf"), 1}})}));
+  EXPECT_THROW(xfdd_neg(s, action), CompileError);
+}
+
+TEST(XfddEdgeCases, NegDeepChainIsAnInvolution) {
+  using namespace snap::dsl;
+  TestOrder order;
+  XfddStore s;
+  PredPtr chain;
+  for (int i = 0; i < 24; ++i) {
+    PredPtr t = test("cf" + std::to_string(i), 1);
+    chain = chain ? land(chain, t) : t;
+  }
+  XfddId d = pred_to_xfdd(s, order, chain);
+  XfddId nd = xfdd_neg(s, d);
+  EXPECT_NE(nd, d);
+  EXPECT_EQ(xfdd_neg(s, nd), d);  // hash-consing makes ⊖⊖ the identity
+  EXPECT_EQ(s.reachable_size(nd), s.reachable_size(d));
+}
+
+TEST(XfddEdgeCases, RestrictOnLeavesGraftsTheTest) {
+  TestOrder order;
+  XfddStore s;
+  snap::Test t = TestFV{field_id("rf"), 3, kExactMatch};
+  EXPECT_EQ(xfdd_restrict(s, order, s.id_leaf(), t, true),
+            s.branch(t, s.id_leaf(), s.drop_leaf()));
+  EXPECT_EQ(xfdd_restrict(s, order, s.id_leaf(), t, false),
+            s.branch(t, s.drop_leaf(), s.id_leaf()));
+  // Restricting {drop} is {drop} on both sides of the graft; the branch
+  // constructor collapses (t ? drop : drop).
+  EXPECT_EQ(xfdd_restrict(s, order, s.drop_leaf(), t, true), s.drop_leaf());
+}
+
+TEST(XfddEdgeCases, RestrictDeepChainAgreesWithEval) {
+  using namespace snap::dsl;
+  TestOrder order;
+  XfddStore s;
+  PredPtr chain;
+  for (int i = 0; i < 6; ++i) {
+    PredPtr t = test("rc" + std::to_string(i), 1);
+    chain = chain ? land(chain, t) : t;
+  }
+  XfddId d = pred_to_xfdd(s, order, chain);
+  // Graft each chain test and a fresh one, both polarities, and check the
+  // restricted diagram behaves as (t == polarity) ? d : drop.
+  std::vector<snap::Test> grafts;
+  for (int i = 0; i < 6; ++i) {
+    grafts.push_back(TestFV{field_id("rc" + std::to_string(i)), 1,
+                            kExactMatch});
+  }
+  grafts.push_back(TestFV{field_id("zz_new"), 1, kExactMatch});
+  Rng rng(99);
+  for (const snap::Test& t : grafts) {
+    for (bool pol : {true, false}) {
+      XfddId r = xfdd_restrict(s, order, d, t, pol);
+      for (int probe = 0; probe < 16; ++probe) {
+        Packet pkt;
+        for (int i = 0; i < 6; ++i) {
+          pkt.set("rc" + std::to_string(i),
+                  static_cast<Value>(rng.uniform(0, 1)));
+        }
+        pkt.set("zz_new", static_cast<Value>(rng.uniform(0, 1)));
+        Store st;
+        EvalResult want = eval_test(t, st, pkt) == pol
+                              ? eval_xfdd(s, d, st, pkt)
+                              : eval_xfdd(s, s.drop_leaf(), st, pkt);
+        EvalResult got = eval_xfdd(s, r, st, pkt);
+        ASSERT_EQ(want.packets, got.packets)
+            << "graft " << to_string(t) << " pol=" << pol;
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace snap

@@ -35,6 +35,14 @@ fi
 echo "== scenario bench (event latency < cold start) =="
 "${BUILD_DIR}/bench_table4_scenarios" --switches 24 --reps 2
 
+echo "== xfdd cache effectiveness (memoized vs naive, counter-based) =="
+# Gates: (a) memoized P2 needs >= 5x fewer node expansions than the
+# cache-disabled engine on the diamond stress policy, with byte-identical
+# digests across memoized/naive and serial/parallel; (b) the 11-policy
+# corpus shows a nonzero cache hit rate and warm recompiles come entirely
+# from the tables. Counter-based, so it holds on a 1-core container.
+"${BUILD_DIR}/bench_ablation_xfdd" --depth 12 --check
+
 if [[ "${CI_SANITIZE:-0}" == "1" ]]; then
   SAN_DIR="${BUILD_DIR}-asan"
   echo "== sanitize configure (${SAN_DIR}, ASan+UBSan) =="

@@ -106,11 +106,32 @@ std::string phases_json(const EventResult& ev) {
   return os.str();
 }
 
+// The xFDD engine's computed-table counters for the event's P2 work (all
+// zeros when the event skipped P2). `expansions` is the number of recursion
+// bodies actually executed — the cache-effectiveness measure the ablation
+// benchmark gates on.
+std::string engine_json(const EngineStats& e) {
+  std::ostringstream os;
+  os << "{\"nodes\":" << e.nodes
+     << ",\"par_hits\":" << e.par_hits << ",\"par_misses\":" << e.par_misses
+     << ",\"seq_hits\":" << e.seq_hits << ",\"seq_misses\":" << e.seq_misses
+     << ",\"neg_hits\":" << e.neg_hits << ",\"neg_misses\":" << e.neg_misses
+     << ",\"restrict_hits\":" << e.restrict_hits
+     << ",\"restrict_misses\":" << e.restrict_misses
+     << ",\"expansions\":" << e.expansions
+     << ",\"ctx_prunes\":" << e.ctx_prunes
+     << ",\"cache_entries\":" << e.cache_entries
+     << ",\"peak_cache_entries\":" << e.peak_cache_entries
+     << ",\"contexts\":" << e.contexts << "}";
+  return os.str();
+}
+
 std::string row_json(const EventRow& row) {
   std::ostringstream os;
   os << "{\"event\":\"" << json_escape(row.event) << "\"";
   if (!row.arg.empty()) os << ",\"arg\":\"" << json_escape(row.arg) << "\"";
-  os << ",\"phases\":" << phases_json(row.ev) << ",\"phases_run\":[";
+  os << ",\"phases\":" << phases_json(row.ev)
+     << ",\"engine\":" << engine_json(row.ev.engine) << ",\"phases_run\":[";
   for (std::size_t i = 0; i < row.ev.phases_run.size(); ++i) {
     os << (i ? "," : "") << "\"" << to_string(row.ev.phases_run[i]) << "\"";
   }
@@ -151,6 +172,23 @@ void print_event_human(const EventRow& row) {
       d.added.size(), d.removed.size(), d.changed.size(),
       d.unchanged.size(), d.path_rules_before, d.path_rules_after,
       d.routing_changed ? " (routing changed)" : "");
+  const EngineStats& e = row.ev.engine;
+  if (row.ev.ran(PhaseId::kP2Xfdd)) {
+    std::printf(
+        "  engine: %llu expansions, %llu cache hits / %llu misses"
+        " (par %llu/%llu, seq %llu/%llu, neg %llu/%llu, restrict %llu/%llu)\n",
+        static_cast<unsigned long long>(e.expansions),
+        static_cast<unsigned long long>(e.hits()),
+        static_cast<unsigned long long>(e.misses()),
+        static_cast<unsigned long long>(e.par_hits),
+        static_cast<unsigned long long>(e.par_misses),
+        static_cast<unsigned long long>(e.seq_hits),
+        static_cast<unsigned long long>(e.seq_misses),
+        static_cast<unsigned long long>(e.neg_hits),
+        static_cast<unsigned long long>(e.neg_misses),
+        static_cast<unsigned long long>(e.restrict_hits),
+        static_cast<unsigned long long>(e.restrict_misses));
+  }
 }
 
 struct ScriptEvent {
@@ -366,6 +404,11 @@ int run(int argc, char** argv) {
     std::printf("xFDD: %zu nodes; solver: %s; objective: %.4f\n",
                 r.xfdd_nodes, r.used_exact_milp ? "exact MILP" : "scalable",
                 r.pr.routing.objective);
+    const EngineStats& e0 = rows[0].ev.engine;
+    std::printf("engine: %llu expansions, %llu cache hits, %llu misses\n",
+                static_cast<unsigned long long>(e0.expansions),
+                static_cast<unsigned long long>(e0.hits()),
+                static_cast<unsigned long long>(e0.misses()));
     for (std::size_t i = 1; i < rows.size(); ++i) print_event_human(rows[i]);
 
     std::printf("\nstate placement:\n");
