@@ -1,0 +1,207 @@
+// End-to-end data-plane throughput: the sharded traffic engine vs the
+// serial per-packet path (the §6/Figure-11 "real traffic" axis the earlier
+// benches never measured — they time the compiler, this times the packets).
+//
+// Two phases:
+//   1. Corpus equivalence: every Appendix-F corpus policy
+//      (apps::evaluation_corpus, egress included) is driven by its
+//      app-keyed workload scenario; the deterministic sharded engine's
+//      deliveries and final merged state must be byte-identical to
+//      Network::inject_batch on a fresh deployment of the same delta.
+//   2. Throughput: a Figure-11-style composite policy under the "mixed"
+//      scenario at >= 100k packets, timed through the serial path, the
+//      deterministic engine, and the free-running engine; pps for each.
+//
+// --check turns the invariants into a gate (used by tools/ci.sh):
+//   corpus + composite equivalence, >= 100k packets end-to-end, nonzero
+//   state churn, nonzero deliveries. --json FILE emits the measured
+//   numbers (BENCH_throughput.json in CI) so later PRs have a perf
+//   trajectory to regress against.
+#include <cstring>
+#include <fstream>
+
+#include "bench_common.h"
+#include "compiler/session.h"
+#include "dataplane/network.h"
+#include "sim/engine.h"
+#include "sim/workload.h"
+#include "util/timer.h"
+
+namespace snap {
+namespace {
+
+std::size_t state_entries(const Store& st) {
+  std::size_t n = 0;
+  for (StateVarId v : st.var_ids()) n += st.table(v).entries().size();
+  return n;
+}
+
+struct Args {
+  std::size_t packets = 120000;
+  std::size_t corpus_packets = 1500;
+  int workers = 2;
+  bool check = false;
+  std::string json_file;
+};
+
+}  // namespace
+
+int run(const Args& args) {
+  bench::print_header(
+      "Data-plane throughput: sharded traffic engine vs serial path",
+      "the Table 3 / Figure 11 traffic experiments");
+
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = bench::default_traffic(topo, 1);
+  auto subnets = apps::default_subnets(topo.ports());
+  bool all_equivalent = true;
+
+  // Phase 1: serial-vs-sharded equivalence over the policy corpus.
+  std::printf("\n-- corpus equivalence (%zu packets each, %d workers,"
+              " deterministic) --\n",
+              args.corpus_packets, args.workers);
+  std::printf("%-28s %10s %12s %10s  %s\n", "policy", "deliveries",
+              "state-rows", "forwards", "verdict");
+  std::size_t corpus_checked = 0;
+  for (const auto& c : apps::evaluation_corpus("bt", subnets)) {
+    Session session(topo, tm);
+    EventResult ev = session.full_compile(c.policy);
+    sim::WorkloadGen gen(topo, tm, 42);
+    sim::Workload wl =
+        gen.generate(sim::scenario_for_app(c.name), args.corpus_packets);
+
+    Network serial(ev.delta);
+    auto serial_out = serial.inject_batch(sim::as_injection_batch(wl));
+
+    sim::EngineOptions opts;
+    opts.workers = args.workers;
+    opts.deterministic = true;
+    sim::TrafficEngine engine(ev.delta, opts);
+    auto engine_out = engine.run(wl);
+
+    bool ok = serial_out == engine_out &&
+              serial.merged_state() == engine.network().merged_state();
+    all_equivalent = all_equivalent && ok;
+    ++corpus_checked;
+    std::printf("%-28s %10zu %12zu %10llu  %s\n", c.name.c_str(),
+                engine_out.size(),
+                state_entries(engine.network().merged_state()),
+                static_cast<unsigned long long>(engine.stats().forwards),
+                ok ? "OK" : "MISMATCH");
+  }
+
+  // Phase 2: throughput on a Figure-11-style composite.
+  PolPtr composite = apps::heavy_hitter("bt-chh", 3) >>
+                     (apps::udp_flood("bt-cuf", 3) >>
+                      (apps::stateful_firewall("bt-cfw", "10.0.6.0/24") >>
+                       (apps::dns_tunnel_detect("bt-cdt", "10.0.6.0/24", 3) >>
+                        apps::assign_egress(subnets))));
+  Session session(topo, tm);
+  EventResult ev = session.full_compile(composite);
+  sim::WorkloadGen gen(topo, tm, 7);
+  const sim::Scenario* mixed = sim::find_scenario("mixed");
+  sim::Workload wl = gen.generate(*mixed, args.packets);
+  auto batch = sim::as_injection_batch(wl);  // built outside the timed run
+
+  std::printf("\n-- throughput (composite policy, mixed scenario, %zu"
+              " packets) --\n", args.packets);
+
+  Network serial(ev.delta);
+  Timer t;
+  auto serial_out = serial.inject_batch(batch);
+  double serial_s = t.seconds();
+  double serial_pps = static_cast<double>(args.packets) / serial_s;
+  std::printf("%-28s %12.0f pps  (%.3fs, %zu deliveries)\n",
+              "serial inject_batch", serial_pps, serial_s,
+              serial_out.size());
+
+  sim::EngineOptions det;
+  det.workers = args.workers;
+  det.deterministic = true;
+  sim::TrafficEngine det_engine(ev.delta, det);
+  auto det_out = det_engine.run(wl);
+  const double det_pps = det_engine.stats().pps;
+  std::printf("%-28s %12.0f pps  (%.3fs, %llu cross-shard forwards)\n",
+              "engine (deterministic)", det_pps,
+              det_engine.stats().seconds,
+              static_cast<unsigned long long>(det_engine.stats().forwards));
+
+  sim::EngineOptions fr;
+  fr.workers = args.workers;
+  fr.deterministic = false;
+  sim::TrafficEngine fr_engine(ev.delta, fr);
+  auto fr_out = fr_engine.run(wl);
+  const double fr_pps = fr_engine.stats().pps;
+  std::printf("%-28s %12.0f pps  (%.3fs, %zu deliveries)\n",
+              "engine (free-running)", fr_pps, fr_engine.stats().seconds,
+              fr_out.size());
+
+  bool big_equivalent =
+      serial_out == det_out &&
+      serial.merged_state() == det_engine.network().merged_state();
+  all_equivalent = all_equivalent && big_equivalent;
+  std::size_t churn = state_entries(det_engine.network().merged_state());
+  std::printf("\nserial vs deterministic engine: %s; state rows: %zu\n",
+              big_equivalent ? "byte-identical" : "MISMATCH", churn);
+
+  if (!args.json_file.empty()) {
+    std::ofstream out(args.json_file);
+    out << "{\"packets\":" << args.packets
+        << ",\"workers\":" << args.workers
+        << ",\"pps\":{\"serial\":" << serial_pps
+        << ",\"deterministic\":" << det_pps
+        << ",\"free_running\":" << fr_pps << "}"
+        << ",\"deliveries\":" << det_out.size()
+        << ",\"state_entries\":" << churn
+        << ",\"corpus_policies_checked\":" << corpus_checked
+        << ",\"equivalent\":" << (all_equivalent ? "true" : "false")
+        << ",\"stats\":" << det_engine.stats().to_json() << "}\n";
+    std::printf("wrote %s\n", args.json_file.c_str());
+  }
+
+  if (args.check) {
+    bool pass = all_equivalent && args.packets >= 100000 && churn > 0 &&
+                !det_out.empty() && corpus_checked == 11;
+    std::printf("\nCHECK %s (equivalent=%d packets=%zu churn=%zu"
+                " deliveries=%zu corpus=%zu)\n",
+                pass ? "PASS" : "FAIL", all_equivalent ? 1 : 0,
+                args.packets, churn, det_out.size(), corpus_checked);
+    return pass ? 0 : 1;
+  }
+  return 0;
+}
+
+}  // namespace snap
+
+int main(int argc, char** argv) {
+  snap::Args args;
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing argument for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--packets")) {
+      args.packets = static_cast<std::size_t>(
+          std::strtoull(need("--packets"), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--corpus-packets")) {
+      args.corpus_packets = static_cast<std::size_t>(
+          std::strtoull(need("--corpus-packets"), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--workers")) {
+      args.workers = std::atoi(need("--workers"));
+    } else if (!std::strcmp(argv[i], "--check")) {
+      args.check = true;
+    } else if (!std::strcmp(argv[i], "--json")) {
+      args.json_file = need("--json");
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_throughput [--packets N]"
+                   " [--corpus-packets N] [--workers W] [--check]"
+                   " [--json FILE]\n");
+      return 2;
+    }
+  }
+  return snap::run(args);
+}

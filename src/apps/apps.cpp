@@ -413,57 +413,84 @@ PolPtr per_port_counter(const std::string& prefix) {
   return sinc(var(prefix, "count"), idx("inport"));
 }
 
+std::vector<CorpusApp> evaluation_corpus(
+    const std::string& prefix,
+    const std::vector<std::pair<std::string, PortId>>& subnet_ports) {
+  PolPtr egress = assign_egress(subnet_ports);
+  auto we = [&](PolPtr p) { return std::move(p) >> egress; };
+  auto pre = [&](const char* tag) { return prefix + "-" + tag; };
+  return {
+      {"dns-tunnel-detect",
+       we(dns_tunnel_detect(pre("dt"), "10.0.6.0/24", 2))},
+      {"stateful-firewall",
+       we(stateful_firewall(pre("fw"), "10.0.6.0/24"))},
+      {"heavy-hitter", we(heavy_hitter(pre("hh"), 2))},
+      {"super-spreader", we(super_spreader(pre("ss"), 2))},
+      {"dns-amplification", we(dns_amplification(pre("amp")))},
+      {"udp-flood", we(udp_flood(pre("uf"), 2))},
+      {"ftp-monitoring", we(ftp_monitoring(pre("ftp")))},
+      {"selective-packet-dropping",
+       we(selective_packet_dropping(pre("sel")))},
+      {"many-ip-domains", we(many_ip_domains(pre("mid"), 2))},
+      {"sidejack-detect", we(sidejack_detect(pre("sj"), "10.0.6.10/32"))},
+      {"spam-detect", we(spam_detect(pre("sp"), 2))},
+  };
+}
+
 const std::vector<AppSpec>& registry() {
   static const std::vector<AppSpec> apps = [] {
     std::vector<AppSpec> v;
     auto add = [&](std::string name, std::string source,
+                   std::string workload,
                    std::function<PolPtr(const std::string&)> build) {
-      v.push_back({std::move(name), std::move(source), std::move(build)});
+      v.push_back({std::move(name), std::move(source), std::move(workload),
+                   std::move(build)});
     };
-    add("many-ip-domains", "Chimera",
+    add("many-ip-domains", "Chimera", "dns-flux",
         [](const std::string& p) { return many_ip_domains(p, 10); });
-    add("many-domain-ips", "Chimera",
+    add("many-domain-ips", "Chimera", "dns-flux",
         [](const std::string& p) { return many_domain_ips(p, 10); });
-    add("dns-ttl-change", "Chimera",
+    add("dns-ttl-change", "Chimera", "dns-flux",
         [](const std::string& p) { return dns_ttl_change(p, 10); });
-    add("dns-tunnel-detect", "Chimera", [](const std::string& p) {
-      return dns_tunnel_detect(p, "10.0.6.0/24", 10);
-    });
-    add("sidejack-detect", "Chimera", [](const std::string& p) {
+    add("dns-tunnel-detect", "Chimera", "dns-tunnel",
+        [](const std::string& p) {
+          return dns_tunnel_detect(p, "10.0.6.0/24", 10);
+        });
+    add("sidejack-detect", "Chimera", "sidejack", [](const std::string& p) {
       return sidejack_detect(p, "10.0.6.10/32");
     });
-    add("spam-detect", "Chimera",
+    add("spam-detect", "Chimera", "spam",
         [](const std::string& p) { return spam_detect(p, 20); });
-    add("stateful-firewall", "FAST", [](const std::string& p) {
+    add("stateful-firewall", "FAST", "firewall", [](const std::string& p) {
       return stateful_firewall(p, "10.0.6.0/24");
     });
-    add("ftp-monitoring", "FAST",
+    add("ftp-monitoring", "FAST", "ftp",
         [](const std::string& p) { return ftp_monitoring(p); });
-    add("heavy-hitter", "FAST",
+    add("heavy-hitter", "FAST", "heavy-hitter",
         [](const std::string& p) { return heavy_hitter(p, 10); });
-    add("super-spreader", "FAST",
+    add("super-spreader", "FAST", "scan-sweep",
         [](const std::string& p) { return super_spreader(p, 10); });
-    add("sampling-by-flow-size", "FAST",
+    add("sampling-by-flow-size", "FAST", "uniform",
         [](const std::string& p) { return sampling_by_flow_size(p); });
-    add("selective-packet-dropping", "FAST",
+    add("selective-packet-dropping", "FAST", "mpeg",
         [](const std::string& p) { return selective_packet_dropping(p); });
-    add("connection-affinity", "FAST", [](const std::string& p) {
+    add("connection-affinity", "FAST", "uniform", [](const std::string& p) {
       return connection_affinity(p, dsl::mod("outport", 1));
     });
-    add("syn-flood-detect", "Bohatei",
+    add("syn-flood-detect", "Bohatei", "heavy-hitter",
         [](const std::string& p) { return syn_flood_detect(p, 10); });
-    add("dns-amplification", "Bohatei",
+    add("dns-amplification", "Bohatei", "dns-amplification",
         [](const std::string& p) { return dns_amplification(p); });
-    add("udp-flood", "Bohatei",
+    add("udp-flood", "Bohatei", "udp-flood",
         [](const std::string& p) { return udp_flood(p, 10); });
-    add("elephant-flows", "Bohatei",
+    add("elephant-flows", "Bohatei", "uniform",
         [](const std::string& p) { return elephant_flows(p); });
-    add("snort-flowbits", "Others", [](const std::string& p) {
+    add("snort-flowbits", "Others", "uniform", [](const std::string& p) {
       return snort_flowbits(p, "10.0.0.0/8", "128.0.0.0/8", 7);
     });
-    add("per-port-counter", "Others",
+    add("per-port-counter", "Others", "uniform",
         [](const std::string& p) { return per_port_counter(p); });
-    add("tcp-state-machine", "Others",
+    add("tcp-state-machine", "Others", "uniform",
         [](const std::string& p) { return tcp_state_machine(p); });
     return v;
   }();

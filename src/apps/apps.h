@@ -76,12 +76,30 @@ PolPtr per_port_counter(const std::string& prefix);  // §2.1 monitoring
 struct AppSpec {
   std::string name;
   std::string source;  // Chimera / FAST / Bohatei / Others
+  // The sim/workload catalogue scenario that exercises this app's state
+  // (sim::scenario_for_app resolves it).
+  std::string workload;
   // Builds the app with a given prefix (threshold fixed per app).
   std::function<PolPtr(const std::string& prefix)> build;
 };
 
 // All Table-3 applications in the paper's order.
 const std::vector<AppSpec>& registry();
+
+// The 11 textual-corpus applications (the policies/*.snap twins) built
+// with low thresholds — state machines reach their terminal branches
+// within short traces — and composed with assign-egress over
+// `subnet_ports` so packets actually leave the network. `name` is the
+// registry name (keys sim::scenario_for_app); `prefix` isolates state
+// variables per caller. Shared by the traffic-engine equivalence gates
+// (tests/test_sim.cpp, bench_throughput).
+struct CorpusApp {
+  std::string name;
+  PolPtr policy;
+};
+std::vector<CorpusApp> evaluation_corpus(
+    const std::string& prefix,
+    const std::vector<std::pair<std::string, PortId>>& subnet_ports);
 
 }  // namespace apps
 }  // namespace snap

@@ -91,6 +91,25 @@ const CompileResult& Session::result() const {
   return cache_;
 }
 
+RuleDelta Session::deployment() const {
+  require_compiled("deployment()");
+  RuleDelta d;
+  d.store = cache_.store;
+  d.root = cache_.root;
+  d.topo = *topo_;
+  d.placement = cache_.pr.placement;
+  d.routing = cache_.pr.routing;
+  d.order = cache_.order;
+  d.path_rules_before = 0;
+  d.path_rules_after = cache_.path_rules;
+  d.routing_changed = true;
+  for (const auto& [sw, prog] : deployed_) {
+    d.added.push_back(sw);
+    d.programs.emplace(sw, prog);
+  }
+  return d;
+}
+
 bool Session::choose_exact(const Topology& topo, const TrafficMatrix& tm,
                            const PacketStateMap& psmap) const {
   if (opts_.solver == SolverKind::kExact) return true;

@@ -194,6 +194,13 @@ class Session {
     return deployed_;
   }
 
+  // The full current deployment as a cold-start RuleDelta (every deployed
+  // program marked added, context from the cached artifacts). Hands the
+  // session's compiled state straight to a fresh dataplane::Network or
+  // sim::TrafficEngine at any point — after any number of events — without
+  // replaying the per-event deltas.
+  RuleDelta deployment() const;
+
  private:
   struct PhaseRecorder;
 

@@ -16,8 +16,8 @@ Network::Network(const Topology& topo, const XfddStore& store, XfddId root,
       placement_(std::move(placement)),
       routing_(routing),
       tables_(RoutingTables::build(topo, routing)),
-      order_(order),
-      link_packets_(topo.links().size(), 0) {
+      order_(order) {
+  reset_link_counters(topo.links().size());
   for (int sw = 0; sw < topo.num_switches(); ++sw) {
     switches_.push_back(std::make_unique<SoftwareSwitch>(
         sw, netasm::assemble(store, root, placement_, sw)));
@@ -32,14 +32,30 @@ Network::Network(const RuleDelta& delta)
       placement_(delta.placement),
       routing_(delta.routing),
       tables_(RoutingTables::build(delta.topo, delta.routing)),
-      order_(delta.order),
-      link_packets_(delta.topo.links().size(), 0) {
+      order_(delta.order) {
   SNAP_CHECK(store_ != nullptr, "delta carries no xFDD store");
+  reset_link_counters(delta.topo.links().size());
   for (int sw = 0; sw < topo_.num_switches(); ++sw) {
     auto it = delta.programs.find(sw);
     switches_.push_back(std::make_unique<SoftwareSwitch>(
         sw, it != delta.programs.end() ? it->second : netasm::Program{}));
   }
+}
+
+void Network::reset_link_counters(std::size_t n) {
+  num_links_ = n;
+  link_packets_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    link_packets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<std::uint64_t> Network::link_packets() const {
+  std::vector<std::uint64_t> out(num_links_);
+  for (std::size_t i = 0; i < num_links_; ++i) {
+    out[i] = link_packets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 void Network::prune_foreign_state() {
@@ -60,8 +76,8 @@ void Network::apply(const RuleDelta& delta) {
   routing_ = delta.routing;
   tables_ = RoutingTables::build(topo_, routing_);
   order_ = delta.order;
-  if (link_packets_.size() != topo_.links().size()) {
-    link_packets_.assign(topo_.links().size(), 0);
+  if (num_links_ != topo_.links().size()) {
+    reset_link_counters(topo_.links().size());
   }
   // Events never renumber switches, but a delta for a larger topology
   // (e.g. applied to a network built before ports were attached) may
@@ -74,16 +90,19 @@ void Network::apply(const RuleDelta& delta) {
     // The switch died: program gone, state lost (§7.3).
     switch_at(sw).install(netasm::Program{});
     switch_at(sw).state().clear();
+    switch_at(sw).reset_stats();
   }
   for (int sw : delta.added) {
     // Restored or newly deployed: fresh program, fresh state.
     switch_at(sw).install(delta.programs.at(sw));
     switch_at(sw).state().clear();
+    switch_at(sw).reset_stats();
   }
   for (int sw : delta.changed) {
     // Updated in place; local tables survive unless re-placed away (the
-    // prune below).
+    // prune below). Instruction stats restart with the new program.
     switch_at(sw).install(delta.programs.at(sw));
+    switch_at(sw).reset_stats();
   }
   prune_foreign_state();
 }
@@ -100,11 +119,11 @@ const SoftwareSwitch& Network::switch_at(int sw) const {
   return *switches_[sw];
 }
 
-void Network::hop(int from, int to) {
+void Network::count_hop(int from, int to) {
   int l = topo_.link_index(from, to);
   SNAP_CHECK(l >= 0, "forwarding over a missing link");
-  ++hops_;
-  ++link_packets_[l];
+  hops_.fetch_add(1, std::memory_order_relaxed);
+  link_packets_[l].fetch_add(1, std::memory_order_relaxed);
 }
 
 int Network::next_hop(int sw, int target, PortId u,
@@ -143,7 +162,7 @@ std::vector<Network::Delivery> Network::inject(PortId inport,
     SNAP_CHECK(target >= 0, "stuck on an unplaced state variable");
     while (sw != target) {
       int nxt = next_hop(sw, target, inport, std::nullopt);
-      hop(sw, nxt);
+      count_hop(sw, nxt);
       sw = nxt;
       SNAP_CHECK(--guard > 0, "packet walked too long while resolving state");
     }
@@ -167,7 +186,7 @@ std::vector<Network::Delivery> Network::inject(PortId inport,
     if (applied.count(owner)) continue;  // its run() applied all local vars
     while (sw != owner) {
       int nxt = next_hop(sw, owner, inport, std::nullopt);
-      hop(sw, nxt);
+      count_hop(sw, nxt);
       sw = nxt;
       SNAP_CHECK(--guard > 0, "packet walked too long while writing state");
     }
@@ -198,11 +217,22 @@ std::vector<Network::Delivery> Network::inject(PortId inport,
     int copy_guard = topo_.num_switches() * 4 + 16;
     while (cur != esw) {
       int nxt = next_hop(cur, esw, inport, egress);
-      hop(cur, nxt);
+      count_hop(cur, nxt);
       cur = nxt;
       SNAP_CHECK(--copy_guard > 0, "packet walked too long to egress");
     }
     out.push_back({egress, std::move(copy)});
+  }
+  return out;
+}
+
+std::vector<Network::Delivery> Network::inject_batch(
+    const std::vector<std::pair<PortId, Packet>>& batch) {
+  std::vector<Delivery> out;
+  for (const auto& [inport, pkt] : batch) {
+    auto one = inject(inport, pkt);
+    out.insert(out.end(), std::make_move_iterator(one.begin()),
+               std::make_move_iterator(one.end()));
   }
   return out;
 }

@@ -16,8 +16,12 @@
 //
 // The network also records per-link packet counts and hop totals so tests
 // and benchmarks can verify that traffic follows the optimizer's paths.
+// Those counters are atomic: the sim engine (src/sim) drives the same
+// switches from several worker threads at once, and hop accounting is the
+// only state they share.
 #pragma once
 
+#include <atomic>
 #include <memory>
 
 #include "dataplane/switch.h"
@@ -45,21 +49,29 @@ class Network {
 
   // Patches the live data plane in place from a Session event's RuleDelta:
   // switches with an unchanged program are untouched (their state tables
-  // survive), changed/added switches get the new program installed, removed
-  // (failed) switches lose program and state (§7.3: failure loses state),
-  // and every switch drops the tables of variables the new placement moved
-  // elsewhere. Routing tables and the diagram context are swapped to the
-  // delta's. No switch object is reconstructed.
+  // survive), changed/added switches get the new program installed (and
+  // their instruction counters reset — stats restart with the new program),
+  // removed (failed) switches lose program and state (§7.3: failure loses
+  // state), and every switch drops the tables of variables the new
+  // placement moved elsewhere. Routing tables and the diagram context are
+  // swapped to the delta's. No switch object is reconstructed.
   void apply(const RuleDelta& delta);
 
   struct Delivery {
     PortId outport;
     Packet packet;
+    bool operator==(const Delivery&) const = default;
   };
 
   // Processes one packet entering at `inport`; updates distributed state
   // and returns the packets emitted at OBS ports.
   std::vector<Delivery> inject(PortId inport, const Packet& pkt);
+
+  // Batch entry point: injects every (inport, packet) in order and returns
+  // the concatenated deliveries. This is the serial per-packet reference
+  // path the sharded sim engine is checked against.
+  std::vector<Delivery> inject_batch(
+      const std::vector<std::pair<PortId, Packet>>& batch);
 
   // Union of all switches' state (placement makes variables disjoint).
   Store merged_state() const;
@@ -67,17 +79,29 @@ class Network {
   SoftwareSwitch& switch_at(int sw);
   const SoftwareSwitch& switch_at(int sw) const;
 
-  std::uint64_t total_hops() const { return hops_; }
-  const std::vector<std::uint64_t>& link_packets() const {
-    return link_packets_;
+  std::uint64_t total_hops() const {
+    return hops_.load(std::memory_order_relaxed);
   }
+  // Snapshot of the per-link packet counters.
+  std::vector<std::uint64_t> link_packets() const;
 
- private:
+  // Deployment context, shared read-only with the sim engine's workers.
+  const Topology& topo() const { return topo_; }
+  const XfddStore& store() const { return *store_; }
+  XfddId root() const { return root_; }
+  const Placement& placement() const { return placement_; }
+  const TestOrder& order() const { return order_; }
+
   // One forwarding step toward `target`; prefers the (u,v) path when the
-  // current switch lies on it with `target` downstream.
+  // current switch lies on it with `target` downstream. Read-only over the
+  // routing tables, so safe to call from several threads.
   int next_hop(int sw, int target, PortId u, std::optional<PortId> v) const;
 
-  void hop(int from, int to);
+  // Thread-safe hop accounting for one traversal of the link from->to.
+  void count_hop(int from, int to);
+
+ private:
+  void reset_link_counters(std::size_t n);
 
   // Drops every switch's tables for variables the placement locates
   // elsewhere (stale after a re-placement; their owners start fresh).
@@ -96,8 +120,11 @@ class Network {
   RoutingTables tables_;
   TestOrder order_;
   std::vector<std::unique_ptr<SoftwareSwitch>> switches_;
-  std::uint64_t hops_ = 0;
-  std::vector<std::uint64_t> link_packets_;
+  std::atomic<std::uint64_t> hops_{0};
+  // Atomic per-link counters (vector<atomic> is neither movable nor
+  // assignable, so a plain array + size).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> link_packets_;
+  std::size_t num_links_ = 0;
 };
 
 }  // namespace snap

@@ -10,8 +10,16 @@ SoftwareSwitch::Outcome SoftwareSwitch::run(XfddId node, const Packet& pkt) {
   for (;;) {
     SNAP_CHECK(pc >= 0 && pc < static_cast<netasm::Pc>(code.size()),
                "program counter out of range");
-    ++executed_;
     const netasm::Instr& instr = code[pc];
+    // Atomic-region markers are annotations for hardware targets, not
+    // work: skip them uncounted so instruction stats stay in the same
+    // units as the decoded fast path (netasm/decoded.h folds them out).
+    if (std::holds_alternative<netasm::IAtomBegin>(instr) ||
+        std::holds_alternative<netasm::IAtomEnd>(instr)) {
+      ++pc;
+      continue;
+    }
+    ++executed_;
     std::optional<Outcome> done;
     std::visit(
         [&](const auto& i) {

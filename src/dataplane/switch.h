@@ -38,8 +38,18 @@ class SoftwareSwitch {
   Store& state() { return state_; }
   const Store& state() const { return state_; }
 
-  // Number of instructions executed since construction (statistics).
+  // Number of instructions executed since construction or the last
+  // reset_stats() (statistics).
   std::uint64_t instructions_executed() const { return executed_; }
+
+  // Zeroes the instruction counter. Network::apply calls this for switches
+  // whose program a rule delta replaced, so per-event instruction stats are
+  // not skewed by work done under the previous program.
+  void reset_stats() { executed_ = 0; }
+
+  // Folds externally-counted instructions (the sim engine's decoded
+  // fast-path bypasses run()) into the counter.
+  void add_executed(std::uint64_t n) { executed_ += n; }
 
  private:
   int id_;

@@ -1,0 +1,227 @@
+#include "netasm/decoded.h"
+
+#include <algorithm>
+#include <map>
+
+#include "lang/ast.h"  // kExactMatch
+#include "util/status.h"
+
+namespace snap {
+namespace netasm {
+
+std::int32_t DecodedProgram::intern_expr(const Expr& e) {
+  // Decode-time only; linear-ish via a local cache kept across calls would
+  // need state — instead dedupe structurally against what's already there.
+  // Programs have few distinct operands, so the scan is cheap and runs once
+  // per deployment, never per packet.
+  DecodedExpr d;
+  d.prefill.assign(e.size(), 0);
+  std::uint16_t slot = 0;
+  for (const Atom& a : e.atoms()) {
+    if (a.is_value()) {
+      d.prefill[slot] = a.value();
+    } else {
+      d.fields.emplace_back(slot, a.field());
+    }
+    ++slot;
+  }
+  for (std::size_t i = 0; i < exprs_.size(); ++i) {
+    if (exprs_[i].prefill == d.prefill && exprs_[i].fields == d.fields) {
+      return static_cast<std::int32_t>(i);
+    }
+  }
+  exprs_.push_back(std::move(d));
+  return static_cast<std::int32_t>(exprs_.size()) - 1;
+}
+
+DecodedProgram DecodedProgram::decode(const Program& p) {
+  DecodedProgram out;
+  const std::size_t n = p.code.size();
+
+  // Pass 1: map every original pc to its compacted pc. Atomic markers are
+  // dropped; they forward to the next retained instruction (the assembler
+  // never ends a program with a marker — ILeafDone always follows).
+  std::vector<Pc> new_pc(n, 0);
+  std::vector<bool> retained(n, false);
+  Pc next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    retained[i] = !std::holds_alternative<IAtomBegin>(p.code[i]) &&
+                  !std::holds_alternative<IAtomEnd>(p.code[i]);
+    if (retained[i]) new_pc[i] = next++;
+  }
+  // A marker's pc resolves to the first retained instruction after it.
+  for (std::size_t i = n; i-- > 0;) {
+    if (!retained[i]) {
+      new_pc[i] = (i + 1 < n) ? new_pc[i + 1] : next;
+    }
+  }
+
+  // Pass 2: emit compacted instructions with remapped targets.
+  out.code_.reserve(static_cast<std::size_t>(next));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!retained[i]) continue;
+    DInstr d{};
+    std::visit(
+        [&](const auto& ins) {
+          using T = std::decay_t<decltype(ins)>;
+          if constexpr (std::is_same_v<T, IBranchFieldValue>) {
+            d.f1 = ins.field;
+            d.on_true = new_pc[static_cast<std::size_t>(ins.on_true)];
+            d.on_false = new_pc[static_cast<std::size_t>(ins.on_false)];
+            if (ins.prefix_len == kExactMatch) {
+              d.op = Op::kBranchFVExact;
+              d.value = ins.value;
+            } else if (ins.prefix_len == 0) {
+              d.op = Op::kBranchFVAny;
+            } else {
+              d.op = Op::kBranchFVMask;
+              d.mask = ins.prefix_len >= 32
+                           ? 0xffffffffu
+                           : ~((1u << (32 - ins.prefix_len)) - 1u);
+              d.value = static_cast<Value>(
+                  static_cast<std::uint32_t>(ins.value) & d.mask);
+            }
+          } else if constexpr (std::is_same_v<T, IBranchFieldField>) {
+            d.op = Op::kBranchFF;
+            d.f1 = ins.f1;
+            d.f2 = ins.f2;
+            d.on_true = new_pc[static_cast<std::size_t>(ins.on_true)];
+            d.on_false = new_pc[static_cast<std::size_t>(ins.on_false)];
+          } else if constexpr (std::is_same_v<T, IBranchState>) {
+            d.op = Op::kBranchState;
+            d.var = ins.var;
+            d.index = out.intern_expr(ins.index);
+            d.vexpr = out.intern_expr(ins.value);
+            d.on_true = new_pc[static_cast<std::size_t>(ins.on_true)];
+            d.on_false = new_pc[static_cast<std::size_t>(ins.on_false)];
+          } else if constexpr (std::is_same_v<T, IEscape>) {
+            d.op = Op::kEscape;
+            d.node = ins.node;
+            d.var = ins.var;
+          } else if constexpr (std::is_same_v<T, IStateSet>) {
+            d.op = Op::kStateSet;
+            d.var = ins.var;
+            d.index = out.intern_expr(ins.index);
+            d.vexpr = out.intern_expr(ins.value);
+          } else if constexpr (std::is_same_v<T, IStateInc>) {
+            d.op = Op::kStateInc;
+            d.var = ins.var;
+            d.index = out.intern_expr(ins.index);
+          } else if constexpr (std::is_same_v<T, IStateDec>) {
+            d.op = Op::kStateDec;
+            d.var = ins.var;
+            d.index = out.intern_expr(ins.index);
+          } else if constexpr (std::is_same_v<T, ILeafDone>) {
+            d.op = Op::kLeafDone;
+            d.node = ins.leaf;
+          } else {
+            static_assert(std::is_same_v<T, IAtomBegin> ||
+                          std::is_same_v<T, IAtomEnd>);
+          }
+        },
+        p.code[i]);
+    out.code_.push_back(d);
+  }
+
+  out.entries_.reserve(p.entry.size());
+  for (const auto& [node, pc] : p.entry) {
+    out.entries_.emplace_back(node,
+                              new_pc[static_cast<std::size_t>(pc)]);
+  }
+  std::sort(out.entries_.begin(), out.entries_.end());
+  return out;
+}
+
+Pc DecodedProgram::entry_for(XfddId node) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), node,
+      [](const std::pair<XfddId, Pc>& e, XfddId n) { return e.first < n; });
+  SNAP_CHECK(it != entries_.end() && it->first == node,
+             "no program entry for xFDD node");
+  return it->second;
+}
+
+DecodedProgram::Outcome DecodedProgram::run(XfddId node, const Packet& pkt,
+                                            Store& state, Scratch& scratch,
+                                            std::uint64_t* executed) const {
+  Pc pc = entry_for(node);
+  std::uint64_t count = 0;
+  const DInstr* code = code_.data();
+  for (;;) {
+    SNAP_CHECK(pc >= 0 && pc < static_cast<Pc>(code_.size()),
+               "program counter out of range");
+    const DInstr& i = code[static_cast<std::size_t>(pc)];
+    ++count;
+    switch (i.op) {
+      case Op::kBranchFVExact: {
+        auto v = pkt.get(i.f1);
+        pc = (v && *v == i.value) ? i.on_true : i.on_false;
+        break;
+      }
+      case Op::kBranchFVMask: {
+        auto v = pkt.get(i.f1);
+        pc = (v && (static_cast<std::uint32_t>(*v) & i.mask) ==
+                       static_cast<std::uint32_t>(i.value))
+                 ? i.on_true
+                 : i.on_false;
+        break;
+      }
+      case Op::kBranchFVAny: {
+        pc = pkt.has(i.f1) ? i.on_true : i.on_false;
+        break;
+      }
+      case Op::kBranchFF: {
+        auto v1 = pkt.get(i.f1);
+        auto v2 = pkt.get(i.f2);
+        pc = (v1 && v2 && *v1 == *v2) ? i.on_true : i.on_false;
+        break;
+      }
+      case Op::kBranchState: {
+        bool pass =
+            exprs_[static_cast<std::size_t>(i.index)].eval_into(
+                pkt, scratch.index) &&
+            exprs_[static_cast<std::size_t>(i.vexpr)].eval_into(
+                pkt, scratch.value) &&
+            scratch.value.size() == 1 &&
+            state.get(i.var, scratch.index) == scratch.value[0];
+        pc = pass ? i.on_true : i.on_false;
+        break;
+      }
+      case Op::kEscape:
+        if (executed) *executed += count;
+        return {Outcome::kStuck, i.node, i.var};
+      case Op::kStateSet: {
+        if (!exprs_[static_cast<std::size_t>(i.index)].eval_into(
+                pkt, scratch.index) ||
+            !exprs_[static_cast<std::size_t>(i.vexpr)].eval_into(
+                pkt, scratch.value) ||
+            scratch.value.size() != 1) {
+          throw CompileError("state update on " + state_var_name(i.var) +
+                             " references an absent field");
+        }
+        state.set(i.var, scratch.index, scratch.value[0]);
+        ++pc;
+        break;
+      }
+      case Op::kStateInc:
+      case Op::kStateDec: {
+        if (!exprs_[static_cast<std::size_t>(i.index)].eval_into(
+                pkt, scratch.index)) {
+          throw CompileError("state increment on " + state_var_name(i.var) +
+                             " references an absent field");
+        }
+        Value cur = state.get(i.var, scratch.index);
+        state.set(i.var, scratch.index,
+                  i.op == Op::kStateInc ? cur + 1 : cur - 1);
+        ++pc;
+        break;
+      }
+      case Op::kLeafDone:
+        if (executed) *executed += count;
+        return {Outcome::kLeaf, i.node, 0};
+    }
+  }
+}
+
+}  // namespace netasm
+}  // namespace snap

@@ -1,0 +1,116 @@
+// Flat, pre-decoded form of a netasm::Program — the sim engine's fast path.
+//
+// The variant-based Program is the compiler's currency: easy to diff, easy
+// to disassemble. Interpreting it per packet pays a std::visit dispatch, a
+// map lookup per entry point, and an Expr::eval allocation walk per state
+// operand. Decoding resolves all of that once per deployment:
+//
+//   - instructions become a dense struct tagged by a small enum, so the
+//     inner loop is a tight switch over instruction tags;
+//   - atomic-region markers are folded out (they are annotations for
+//     hardware targets; the single-threaded-per-shard engine is trivially
+//     atomic) and every branch PC is remapped to the compacted code;
+//   - the per-node entry map becomes a sorted flat vector (binary search);
+//   - field-value tests pre-compute their prefix mask and pre-masked
+//     compare value;
+//   - state operands (index/value expressions) are interned once into
+//     DecodedExpr slots whose constant atoms are pre-evaluated — per packet
+//     only the field atoms are fetched, into a caller-provided scratch
+//     buffer, so the hot loop does no allocation for repeated operands.
+//
+// Semantics are bit-for-bit those of SoftwareSwitch::run (the sim tests
+// gate the two interpreters against each other across the policy corpus).
+#pragma once
+
+#include <cstdint>
+
+#include "lang/eval.h"
+#include "netasm/isa.h"
+
+namespace snap {
+namespace netasm {
+
+// A state operand with constants pre-evaluated: `prefill` holds the literal
+// atoms in place; `fields` lists the (slot, field) pairs still to fetch.
+struct DecodedExpr {
+  ValueVec prefill;
+  std::vector<std::pair<std::uint16_t, FieldId>> fields;
+
+  // Evaluates into `out` (resized/overwritten). Returns false if the packet
+  // lacks a referenced field — the same nullopt condition as Expr::eval.
+  bool eval_into(const Packet& pkt, ValueVec& out) const {
+    out = prefill;
+    for (const auto& [slot, f] : fields) {
+      auto v = pkt.get(f);
+      if (!v) return false;
+      out[slot] = *v;
+    }
+    return true;
+  }
+};
+
+class DecodedProgram {
+ public:
+  enum class Op : std::uint8_t {
+    kBranchFVExact,  // whole-64-bit compare (prefix_len == kExactMatch)
+    kBranchFVMask,   // 32-bit prefix compare against a pre-masked value
+    kBranchFVAny,    // prefix_len == 0: passes iff the field is present
+    kBranchFF,
+    kBranchState,
+    kEscape,
+    kStateSet,
+    kStateInc,
+    kStateDec,
+    kLeafDone,
+  };
+
+  struct DInstr {
+    Op op;
+    FieldId f1 = 0, f2 = 0;
+    std::uint32_t mask = 0;  // kBranchFVMask
+    Value value = 0;         // compare value (pre-masked for kBranchFVMask)
+    Pc on_true = 0, on_false = 0;
+    StateVarId var = 0;
+    std::int32_t index = -1, vexpr = -1;  // DecodedExpr ids
+    XfddId node = 0;                      // escape node / leaf id
+  };
+
+  // Mirrors SoftwareSwitch::Outcome so engine code can treat the two
+  // interpreters interchangeably.
+  struct Outcome {
+    enum Kind { kStuck, kLeaf } kind;
+    XfddId node = 0;
+    StateVarId stuck_var = 0;
+  };
+
+  // Reusable per-thread evaluation buffers (no allocation in the steady
+  // state of the hot loop).
+  struct Scratch {
+    ValueVec index;
+    ValueVec value;
+  };
+
+  static DecodedProgram decode(const Program& p);
+
+  // Resumes at the entry for `node`, reading/writing `state`, bumping
+  // *executed once per retained instruction. Throws the same CompileError
+  // as the reference interpreter when a state update references an absent
+  // field.
+  Outcome run(XfddId node, const Packet& pkt, Store& state,
+              Scratch& scratch, std::uint64_t* executed) const;
+
+  Pc entry_for(XfddId node) const;
+
+  std::size_t size() const { return code_.size(); }
+  bool empty() const { return code_.empty(); }
+
+ private:
+  std::int32_t intern_expr(const Expr& e);
+
+  std::vector<DInstr> code_;
+  std::vector<DecodedExpr> exprs_;
+  std::vector<std::pair<XfddId, Pc>> entries_;  // sorted by node id
+};
+
+}  // namespace netasm
+}  // namespace snap

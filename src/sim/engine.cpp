@@ -1,0 +1,591 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "lang/eval.h"  // field_test_passes
+#include "netasm/decoded.h"
+#include "sim/spsc.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace snap {
+namespace sim {
+
+namespace {
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Switches a packet has already applied leaf writes on (mirrors the
+// serial path's `applied` set). Fixed 256-bit: the engine checks the
+// switch-count bound at construction.
+struct SwitchSet {
+  std::uint64_t bits[4] = {0, 0, 0, 0};
+
+  void set(int i) { bits[i >> 6] |= (1ull << (i & 63)); }
+  bool test(int i) const { return bits[i >> 6] & (1ull << (i & 63)); }
+};
+
+}  // namespace
+
+std::string SimStats::to_json() const {
+  std::ostringstream os;
+  os << "{\"packets\":" << packets << ",\"deliveries\":" << deliveries
+     << ",\"forwards\":" << forwards << ",\"instructions\":" << instructions
+     << ",\"hops\":" << hops << ",\"seconds\":" << seconds
+     << ",\"pps\":" << pps << ",\"workers\":" << workers
+     << ",\"deterministic\":" << (deterministic ? "true" : "false");
+  auto arr = [&os](const char* name, const std::vector<std::uint64_t>& v) {
+    os << ",\"" << name << "\":[";
+    for (std::size_t i = 0; i < v.size(); ++i) os << (i ? "," : "") << v[i];
+    os << "]";
+  };
+  arr("per_switch_instructions", per_switch_instructions);
+  arr("per_switch_events", per_switch_events);
+  arr("hop_histogram", hop_histogram);
+  arr("latency_us_log2_histogram", latency_histogram);
+  os << "}";
+  return os.str();
+}
+
+struct TrafficEngine::Impl {
+  // A packet's cursor through the distributed walk, sent between shards.
+  struct Task {
+    enum class Phase : std::uint8_t { kResolve, kWrite };
+    Phase phase = Phase::kResolve;
+    std::uint32_t seq = 0;
+    std::uint32_t hops = 0;
+    int sw = 0;
+    XfddId node = 0;
+    int guard = 0;
+    PortId inport = 0;
+    std::uint64_t t_dispatch_ns = 0;
+    SwitchSet applied;
+    Packet pkt;
+  };
+
+  struct Completion {
+    std::uint32_t seq = 0;
+    std::uint32_t hops = 0;
+    std::uint32_t latency_us = 0;
+  };
+
+  struct TaggedDelivery {
+    std::uint32_t seq;
+    std::uint32_t copy;
+    PortId outport;
+    Packet packet;
+  };
+
+  struct WorkerCtx {
+    std::vector<TaggedDelivery> deliveries;
+    std::vector<std::uint64_t> instr;   // per switch
+    std::vector<std::uint64_t> events;  // per switch
+    std::uint64_t forwards = 0;
+    netasm::DecodedProgram::Scratch scratch;
+    // Per-leaf write plan: (var, owner) in (state-rank, id) order.
+    std::unordered_map<XfddId, std::vector<std::pair<StateVarId, int>>>
+        plans;
+    // Messages that found a full ring (capacity is sized so this stays
+    // empty; kept as a correctness backstop).
+    std::deque<std::pair<int, Task>> overflow;
+    std::deque<Completion> comp_overflow;
+  };
+
+  Network* net;
+  std::unique_ptr<Network> owned;
+  EngineOptions opts;
+  int W = 1;
+  SimStats stats;
+
+  std::vector<netasm::DecodedProgram> decoded;       // per switch
+  std::vector<std::unique_ptr<WorkerCtx>> ctxs;      // per worker
+  std::vector<std::unique_ptr<SpscRing<Task>>> rings;  // (W+1) x W
+  std::vector<std::unique_ptr<SpscRing<Completion>>> comps;  // per worker
+  std::atomic<bool> stop{false};
+  std::atomic<bool> abort{false};
+  std::mutex err_mu;
+  std::exception_ptr err;
+
+  // Scheduler-side caches for the conflict walk.
+  std::vector<std::uint32_t> visited;  // per xFDD node, epoch-stamped
+  std::uint32_t epoch = 0;
+  std::unordered_map<XfddId, std::vector<StateVarId>> leaf_vars;
+
+  explicit Impl(Network& n, EngineOptions o) : net(&n), opts(o) {
+    SNAP_CHECK(net->topo().num_switches() <= 256,
+               "traffic engine shards at most 256 switches");
+    W = opts.workers;
+    if (W <= 0) {
+      W = static_cast<int>(std::thread::hardware_concurrency());
+      if (W < 1) W = 1;
+    }
+    W = std::min(W, std::max(1, net->topo().num_switches()));
+    if (opts.window < 16) opts.window = 16;
+  }
+
+  int worker_of(int sw) const { return sw % W; }
+
+  SpscRing<Task>& ring(int producer, int consumer) {
+    return *rings[static_cast<std::size_t>(producer) *
+                      static_cast<std::size_t>(W) +
+                  static_cast<std::size_t>(consumer)];
+  }
+
+  Store& state_of(int sw) { return net->switch_at(sw).state(); }
+
+  // ---- worker side --------------------------------------------------------
+
+  void send(int me, Task&& t) {
+    int dest = worker_of(t.sw);
+    ctxs[static_cast<std::size_t>(me)]->forwards++;
+    if (!ring(me, dest).try_push(std::move(t))) {
+      ctxs[static_cast<std::size_t>(me)]->overflow.emplace_back(
+          dest, std::move(t));
+    }
+  }
+
+  void complete(int me, const Task& t) {
+    auto us = (now_ns() - t.t_dispatch_ns) / 1000;
+    Completion c{t.seq, t.hops,
+                 static_cast<std::uint32_t>(
+                     std::min<std::uint64_t>(us, 0xffffffffu))};
+    if (!comps[static_cast<std::size_t>(me)]->try_push(std::move(c))) {
+      ctxs[static_cast<std::size_t>(me)]->comp_overflow.push_back(c);
+    }
+  }
+
+  // One forwarding walk toward `target`, mirroring the serial path's hop
+  // and guard accounting exactly.
+  void walk(Task& t, int target, const char* what) {
+    while (t.sw != target) {
+      int nxt = net->next_hop(t.sw, target, t.inport, std::nullopt);
+      net->count_hop(t.sw, nxt);
+      ++t.hops;
+      t.sw = nxt;
+      SNAP_CHECK(--t.guard > 0, what);
+    }
+  }
+
+  const std::vector<std::pair<StateVarId, int>>& write_plan(WorkerCtx& ctx,
+                                                            XfddId leaf) {
+    auto it = ctx.plans.find(leaf);
+    if (it != ctx.plans.end()) return it->second;
+    std::vector<std::pair<StateVarId, int>> plan;
+    for (const auto& [var, ops] :
+         net->store().leaf_actions(leaf).state_programs()) {
+      int owner = net->placement().at(var);
+      SNAP_CHECK(owner >= 0, "leaf writes an unplaced state variable");
+      plan.emplace_back(var, owner);
+    }
+    const TestOrder& order = net->order();
+    std::sort(plan.begin(), plan.end(), [&](const auto& a, const auto& b) {
+      int ra = order.state_rank(a.first), rb = order.state_rank(b.first);
+      return ra != rb ? ra < rb : a.first < b.first;
+    });
+    return ctx.plans.emplace(leaf, std::move(plan)).first->second;
+  }
+
+  // Phase 3: apply field mods per surviving copy, walk to egress, record
+  // the delivery (serial inject's last loop, with atomic hop counters).
+  void egress_and_complete(int me, Task& t) {
+    WorkerCtx& ctx = *ctxs[static_cast<std::size_t>(me)];
+    const ActionSet& actions = net->store().leaf_actions(t.node);
+    const FieldId outport_f = fields::outport();
+    std::uint32_t copy_idx = 0;
+    for (const ActionSeq& seq : actions.seqs()) {
+      const std::uint32_t my_copy = copy_idx++;
+      if (seq.is_drop()) continue;
+      Packet copy = t.pkt;
+      for (const auto& [f, val] : seq.mods()) copy.set(f, val);
+      auto v = copy.get(outport_f);
+      if (!v) continue;  // no egress assigned: dropped at the edge
+      auto egress = static_cast<PortId>(*v);
+      int esw;
+      try {
+        esw = net->topo().port_switch(egress);
+      } catch (const InternalError&) {
+        continue;  // egress port does not exist: dropped
+      }
+      int cur = t.sw;
+      int copy_guard = net->topo().num_switches() * 4 + 16;
+      while (cur != esw) {
+        int nxt = net->next_hop(cur, esw, t.inport, egress);
+        net->count_hop(cur, nxt);
+        ++t.hops;
+        cur = nxt;
+        SNAP_CHECK(--copy_guard > 0, "packet walked too long to egress");
+      }
+      ctx.deliveries.push_back({t.seq, my_copy, egress, std::move(copy)});
+    }
+    complete(me, t);
+  }
+
+  // Runs a task as far as it can on this shard, then forwards or completes.
+  void process(int me, Task& t) {
+    WorkerCtx& ctx = *ctxs[static_cast<std::size_t>(me)];
+    for (;;) {
+      const std::size_t swi = static_cast<std::size_t>(t.sw);
+      if (t.phase == Task::Phase::kResolve) {
+        auto oc = decoded[swi].run(t.node, t.pkt, state_of(t.sw),
+                                   ctx.scratch, &ctx.instr[swi]);
+        ++ctx.events[swi];
+        if (oc.kind == netasm::DecodedProgram::Outcome::kStuck) {
+          SNAP_CHECK(--t.guard > 0,
+                     "packet walked too long while resolving state");
+          int target = net->placement().at(oc.stuck_var);
+          SNAP_CHECK(target >= 0, "stuck on an unplaced state variable");
+          t.node = oc.node;
+          walk(t, target, "packet walked too long while resolving state");
+          if (worker_of(t.sw) == me) continue;
+          send(me, std::move(t));
+          return;
+        }
+        // Leaf resolved: this shard's switch applied its local writes
+        // during run(); enter the distributed-write phase.
+        t.phase = Task::Phase::kWrite;
+        t.node = oc.node;
+        t.applied.set(t.sw);
+      } else {
+        // Arrived at a write owner: apply its local leaf writes.
+        auto oc = decoded[swi].run(t.node, t.pkt, state_of(t.sw),
+                                   ctx.scratch, &ctx.instr[swi]);
+        ++ctx.events[swi];
+        SNAP_CHECK(oc.kind == netasm::DecodedProgram::Outcome::kLeaf &&
+                       oc.node == t.node,
+                   "leaf resume diverged");
+        t.applied.set(t.sw);
+      }
+      // Next unvisited owner in dependency order (serial phase 2).
+      int next_owner = -1;
+      for (const auto& [var, owner] : write_plan(ctx, t.node)) {
+        if (!t.applied.test(owner)) {
+          next_owner = owner;
+          break;
+        }
+      }
+      if (next_owner < 0) {
+        egress_and_complete(me, t);
+        return;
+      }
+      walk(t, next_owner, "packet walked too long while writing state");
+      if (worker_of(t.sw) != me) {
+        send(me, std::move(t));
+        return;
+      }
+      // Stays on this shard: loop into the kWrite arm.
+    }
+  }
+
+  void flush_overflow(int me) {
+    WorkerCtx& ctx = *ctxs[static_cast<std::size_t>(me)];
+    while (!ctx.overflow.empty()) {
+      auto& [dest, task] = ctx.overflow.front();
+      if (!ring(me, dest).try_push(std::move(task))) return;
+      ctx.overflow.pop_front();
+    }
+    while (!ctx.comp_overflow.empty()) {
+      Completion c = ctx.comp_overflow.front();
+      if (!comps[static_cast<std::size_t>(me)]->try_push(std::move(c))) {
+        return;
+      }
+      ctx.comp_overflow.pop_front();
+    }
+  }
+
+  void worker_loop(int me) {
+    try {
+      for (;;) {
+        if (abort.load(std::memory_order_relaxed)) return;
+        flush_overflow(me);
+        bool did = false;
+        for (int p = 0; p <= W; ++p) {
+          Task t;
+          while (ring(p, me).try_pop(t)) {
+            did = true;
+            process(me, t);
+            if (abort.load(std::memory_order_relaxed)) return;
+          }
+        }
+        if (!did) {
+          if (stop.load(std::memory_order_acquire)) return;
+          std::this_thread::yield();
+        }
+      }
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!err) err = std::current_exception();
+      }
+      abort.store(true, std::memory_order_release);
+    }
+  }
+
+  // ---- scheduler side -----------------------------------------------------
+
+  // Field-consistent over-approximation of the state variables `pkt` could
+  // touch: field tests are decided by the packet, both branches of state
+  // tests are explored, and every reachable leaf contributes its write set.
+  void touched_vars(const Packet& pkt, std::vector<StateVarId>& out) {
+    out.clear();
+    ++epoch;
+    std::vector<XfddId> stack{net->root()};
+    const XfddStore& store = net->store();
+    while (!stack.empty()) {
+      XfddId id = stack.back();
+      stack.pop_back();
+      if (visited[id] == epoch) continue;
+      visited[id] = epoch;
+      if (store.is_leaf(id)) {
+        auto it = leaf_vars.find(id);
+        if (it == leaf_vars.end()) {
+          std::vector<StateVarId> vars;
+          for (const auto& [var, ops] :
+               store.leaf_actions(id).state_programs()) {
+            vars.push_back(var);
+          }
+          it = leaf_vars.emplace(id, std::move(vars)).first;
+        }
+        out.insert(out.end(), it->second.begin(), it->second.end());
+        continue;
+      }
+      const BranchNode& b = store.branch_node(id);
+      if (const auto* fv = std::get_if<TestFV>(&b.test)) {
+        stack.push_back(
+            field_test_passes(pkt, fv->field, fv->value, fv->prefix_len)
+                ? b.hi
+                : b.lo);
+      } else if (const auto* ff = std::get_if<TestFF>(&b.test)) {
+        auto v1 = pkt.get(ff->f1);
+        auto v2 = pkt.get(ff->f2);
+        stack.push_back((v1 && v2 && *v1 == *v2) ? b.hi : b.lo);
+      } else {
+        out.push_back(std::get<TestState>(b.test).var);
+        stack.push_back(b.hi);
+        stack.push_back(b.lo);
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+
+  std::vector<Network::Delivery> run(const Workload& wl) {
+    const std::size_t N = wl.packets.size();
+    const int num_sw = net->topo().num_switches();
+    stats = SimStats{};
+    stats.packets = N;
+    stats.workers = W;
+    stats.deterministic = opts.deterministic;
+    stats.per_switch_instructions.assign(
+        static_cast<std::size_t>(num_sw), 0);
+    stats.per_switch_events.assign(static_cast<std::size_t>(num_sw), 0);
+    stats.hop_histogram.assign(65, 0);
+    stats.latency_histogram.assign(32, 0);
+    if (N == 0) return {};
+    SNAP_CHECK(N < (1ull << 32), "workload exceeds 32-bit sequence space");
+
+    // Decode every switch's program once per run (apply() may have patched
+    // programs since the last run).
+    decoded.clear();
+    decoded.reserve(static_cast<std::size_t>(num_sw));
+    for (int sw = 0; sw < num_sw; ++sw) {
+      decoded.push_back(
+          netasm::DecodedProgram::decode(net->switch_at(sw).program()));
+    }
+    visited.assign(net->store().size(), 0);
+    epoch = 0;
+    leaf_vars.clear();
+
+    // Fresh rings and worker contexts. Capacity == window: at most
+    // `window` packets are in flight and each owns at most one message.
+    rings.clear();
+    for (int p = 0; p <= W; ++p) {
+      for (int c = 0; c < W; ++c) {
+        (void)p;
+        (void)c;
+        rings.push_back(std::make_unique<SpscRing<Task>>(opts.window));
+      }
+    }
+    comps.clear();
+    ctxs.clear();
+    for (int w = 0; w < W; ++w) {
+      comps.push_back(std::make_unique<SpscRing<Completion>>(opts.window));
+      auto ctx = std::make_unique<WorkerCtx>();
+      ctx->instr.assign(static_cast<std::size_t>(num_sw), 0);
+      ctx->events.assign(static_cast<std::size_t>(num_sw), 0);
+      ctxs.push_back(std::move(ctx));
+    }
+    stop.store(false);
+    abort.store(false);
+    err = nullptr;
+
+    // The workers live on a thread pool; each loop occupies one pool
+    // thread until the scheduler raises `stop`.
+    ThreadPool pool(W);
+    std::vector<std::future<void>> loops;
+    loops.reserve(static_cast<std::size_t>(W));
+    for (int w = 0; w < W; ++w) {
+      loops.push_back(pool.submit([this, w] { worker_loop(w); }));
+    }
+
+    // Conflict bookkeeping (deterministic mode): how many in-flight
+    // packets touch each state variable.
+    std::vector<std::uint32_t> active;
+    if (opts.deterministic) active.assign(state_var_count(), 0);
+    std::unordered_map<std::uint32_t, std::vector<StateVarId>> inflight_vars;
+
+    Timer timer;
+    std::size_t next = 0, completed = 0, inflight = 0;
+    std::vector<StateVarId> head_vars;
+    bool head_valid = false;
+    // A scheduler-side throw (e.g. a workload inport the deployed topology
+    // does not attach) must release the worker loops before unwinding —
+    // ThreadPool's destructor joins them, and they only exit on stop/abort.
+    try {
+    while (completed < N && !abort.load(std::memory_order_acquire)) {
+      bool progress = false;
+      while (next < N && inflight < opts.window) {
+        const SimPacket& sp = wl.packets[next];
+        if (opts.deterministic) {
+          if (!head_valid) {
+            touched_vars(sp.pkt, head_vars);
+            head_valid = true;
+          }
+          bool blocked = false;
+          for (StateVarId v : head_vars) {
+            if (v < active.size() && active[v] > 0) {
+              blocked = true;
+              break;
+            }
+          }
+          if (blocked) break;  // strict sequence order: wait for conflicts
+          for (StateVarId v : head_vars) {
+            if (v < active.size()) ++active[v];
+          }
+          if (!head_vars.empty()) {
+            inflight_vars.emplace(static_cast<std::uint32_t>(next),
+                                  head_vars);
+          }
+        }
+        Task t;
+        t.phase = Task::Phase::kResolve;
+        t.seq = static_cast<std::uint32_t>(next);
+        t.sw = net->topo().port_switch(sp.inport);
+        t.node = net->root();
+        t.guard = num_sw * 4 + 16;
+        t.inport = sp.inport;
+        t.t_dispatch_ns = now_ns();
+        t.pkt = sp.pkt;
+        int dest = worker_of(t.sw);
+        while (!ring(W, dest).try_push(std::move(t))) {
+          std::this_thread::yield();  // unreachable with capacity==window
+        }
+        head_valid = false;
+        ++next;
+        ++inflight;
+        progress = true;
+      }
+      Completion c;
+      for (int w = 0; w < W; ++w) {
+        while (comps[static_cast<std::size_t>(w)]->try_pop(c)) {
+          ++completed;
+          --inflight;
+          progress = true;
+          stats.hops += c.hops;
+          ++stats.hop_histogram[std::min<std::uint32_t>(c.hops, 64)];
+          std::uint32_t bucket = 0;
+          while ((1u << bucket) <= c.latency_us && bucket < 31) ++bucket;
+          ++stats.latency_histogram[bucket];
+          if (opts.deterministic) {
+            auto it = inflight_vars.find(c.seq);
+            if (it != inflight_vars.end()) {
+              for (StateVarId v : it->second) {
+                if (v < active.size()) --active[v];
+              }
+              inflight_vars.erase(it);
+            }
+          }
+        }
+      }
+      if (!progress) std::this_thread::yield();
+    }
+    } catch (...) {
+      abort.store(true, std::memory_order_release);
+      stop.store(true, std::memory_order_release);
+      for (auto& f : loops) f.wait();
+      throw;
+    }
+    stop.store(true, std::memory_order_release);
+    for (auto& f : loops) f.wait();
+    stats.seconds = timer.seconds();
+    if (err) std::rethrow_exception(err);
+
+    // Merge worker-local stats and deliveries.
+    stats.pps = stats.seconds > 0 ? static_cast<double>(N) / stats.seconds
+                                  : 0;
+    std::vector<TaggedDelivery> all;
+    for (int w = 0; w < W; ++w) {
+      WorkerCtx& ctx = *ctxs[static_cast<std::size_t>(w)];
+      stats.forwards += ctx.forwards;
+      for (int sw = 0; sw < num_sw; ++sw) {
+        const std::size_t i = static_cast<std::size_t>(sw);
+        stats.per_switch_instructions[i] += ctx.instr[i];
+        stats.per_switch_events[i] += ctx.events[i];
+        stats.instructions += ctx.instr[i];
+      }
+      all.insert(all.end(), std::make_move_iterator(ctx.deliveries.begin()),
+                 std::make_move_iterator(ctx.deliveries.end()));
+    }
+    // Fold the decoded fast-path's instruction counts into the switches'
+    // own counters so instructions_executed() stays meaningful.
+    for (int sw = 0; sw < num_sw; ++sw) {
+      net->switch_at(sw).add_executed(
+          stats.per_switch_instructions[static_cast<std::size_t>(sw)]);
+    }
+    // Ordered merge: global sequence, then the leaf's action-sequence
+    // order — exactly the serial inject_batch concatenation.
+    std::sort(all.begin(), all.end(),
+              [](const TaggedDelivery& a, const TaggedDelivery& b) {
+                return a.seq != b.seq ? a.seq < b.seq : a.copy < b.copy;
+              });
+    stats.deliveries = all.size();
+    std::vector<Network::Delivery> out;
+    out.reserve(all.size());
+    for (auto& d : all) {
+      out.push_back({d.outport, std::move(d.packet)});
+    }
+    return out;
+  }
+};
+
+TrafficEngine::TrafficEngine(Network& net, EngineOptions opts)
+    : impl_(std::make_unique<Impl>(net, opts)) {}
+
+TrafficEngine::TrafficEngine(const RuleDelta& delta, EngineOptions opts) {
+  auto owned = std::make_unique<Network>(delta);
+  impl_ = std::make_unique<Impl>(*owned, opts);
+  impl_->owned = std::move(owned);
+}
+
+TrafficEngine::~TrafficEngine() = default;
+
+std::vector<Network::Delivery> TrafficEngine::run(const Workload& wl) {
+  return impl_->run(wl);
+}
+
+const SimStats& TrafficEngine::stats() const { return impl_->stats; }
+
+Network& TrafficEngine::network() { return *impl_->net; }
+
+}  // namespace sim
+}  // namespace snap

@@ -1,0 +1,101 @@
+// The sharded traffic engine: driving a deployed data plane at batch rates.
+//
+// SNAP's placement argument is an execution model: the MILP partitions
+// state variables across switches, so a switch's tables have exactly one
+// writer — the switch itself. The engine exploits that by sharding switches
+// over single-threaded workers (worker = sw % W, the NetASM per-switch
+// execution model of Shahbaz & Feamster [32]): each worker runs the decoded
+// programs (netasm/decoded.h) of its switches against their worker-local
+// Store tables, so no lock ever guards state. Packets move between shards
+// as messages over SPSC rings (sim/spsc.h): a stuck packet becomes a
+// kResolve message to the owning variable's shard, a distributed leaf write
+// becomes a kWrite visit chain, and egress walks complete inline on the
+// final shard (they only touch the Network's atomic hop counters).
+//
+// Determinism. In deterministic mode (the default) the scheduler replays
+// the workload's global sequence order under a conflict window: packet k is
+// dispatched only once every incomplete earlier packet it shares a state
+// variable with has completed. The shared-variable over-approximation is a
+// field-consistent walk of the xFDD (field tests decided by the packet,
+// both branches of state tests taken, leaf write-sets unioned), so any
+// variable the packet *could* read or write is covered. Conflicting packets
+// therefore execute in exactly the serial order, disjoint packets commute,
+// and deliveries are merge-sorted by (sequence, copy) — the result is
+// byte-identical to Network::inject_batch over the same workload, which
+// tests/test_sim.cpp and bench_throughput --check enforce across the policy
+// corpus. Throughput mode drops the conflict gate (workers free-run over
+// their inboxes) for peak-pps measurements where cross-packet state
+// ordering may differ from serial.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataplane/network.h"
+#include "sim/workload.h"
+
+namespace snap {
+namespace sim {
+
+struct EngineOptions {
+  // 0 = one worker per hardware thread, clamped to the switch count.
+  int workers = 0;
+  // Deterministic (serial-equivalent) scheduling vs free-running shards.
+  bool deterministic = true;
+  // Maximum packets in flight (also sizes the rings).
+  std::size_t window = 512;
+};
+
+struct SimStats {
+  std::uint64_t packets = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t forwards = 0;  // cross-shard messages (stuck + write visits)
+  std::uint64_t instructions = 0;
+  std::uint64_t hops = 0;
+  std::vector<std::uint64_t> per_switch_instructions;
+  std::vector<std::uint64_t> per_switch_events;  // program runs per switch
+  std::vector<std::uint64_t> hop_histogram;      // per-packet hops, clamped
+  std::vector<std::uint64_t> latency_histogram;  // log2(us) buckets
+  double seconds = 0;
+  double pps = 0;
+  int workers = 1;
+  bool deterministic = true;
+
+  std::string to_json() const;
+};
+
+class TrafficEngine {
+ public:
+  // Drives an existing network; `net` must outlive the engine.
+  explicit TrafficEngine(Network& net, EngineOptions opts = {});
+
+  // Convenience for handing a compiled event straight to the engine: builds
+  // and owns a Network cold-started from the delta (Session::deployment()
+  // or a full_compile event's delta).
+  explicit TrafficEngine(const RuleDelta& delta, EngineOptions opts = {});
+
+  ~TrafficEngine();
+
+  TrafficEngine(const TrafficEngine&) = delete;
+  TrafficEngine& operator=(const TrafficEngine&) = delete;
+
+  // Processes the whole workload; returns deliveries in serial order
+  // (workload sequence, then action-sequence order within one packet).
+  // Worker exceptions (e.g. a policy referencing an absent field) are
+  // rethrown here.
+  std::vector<Network::Delivery> run(const Workload& wl);
+
+  // Statistics of the last run().
+  const SimStats& stats() const;
+
+  Network& network();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sim
+}  // namespace snap

@@ -1,0 +1,70 @@
+// A bounded single-producer / single-consumer ring buffer.
+//
+// The traffic engine wires its workers with one ring per (producer,
+// consumer) pair — worker-to-worker for stuck-packet forwarding and
+// distributed leaf writes, scheduler-to-worker for injections, and
+// worker-to-scheduler for completions. With exactly one thread on each
+// end, two atomic cursors with acquire/release ordering are all the
+// synchronization needed: the producer owns tail_, the consumer owns
+// head_, and each reads the other's cursor only to check fullness or
+// emptiness. State tables never travel through rings — packets do — so
+// the switch shards themselves stay lock-free and single-writer.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace snap {
+namespace sim {
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity is rounded up to a power of two (one slot is kept empty to
+  // distinguish full from empty).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity + 1) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Producer side. Returns false when full.
+  bool try_push(T&& v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t next = (tail + 1) & mask_;
+    if (next == head_.load(std::memory_order_acquire)) return false;
+    slots_[tail] = std::move(v);
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[head]);
+    head_.store((head + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer-side emptiness probe (exact for the consumer; a racy hint for
+  // anyone else).
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace sim
+}  // namespace snap

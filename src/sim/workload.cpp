@@ -1,0 +1,348 @@
+#include "sim/workload.h"
+
+#include <algorithm>
+
+#include "apps/apps.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace snap {
+namespace sim {
+
+namespace {
+
+constexpr Value kSyn = 2, kAck = 16, kFin = 1;
+constexpr Value kTcp = 6, kUdp = 17;
+
+// Base address of port p's OBS subnet, 10.{p/256}.{p%256}.0/24 (the
+// apps::default_subnets convention).
+Value subnet_base(PortId p) {
+  return (Value{10} << 24) | (Value{p / 256} << 16) | (Value{p % 256} << 8);
+}
+
+// One concrete flow: endpoints, a shape, and a script position. Each
+// emitted packet advances `pos`; the shape decides direction and fields
+// from it.
+struct Flow {
+  Shape shape;
+  PortId u = 0, v = 0;  // forward direction enters at u, reverse at v
+  Value srcip = 0, dstip = 0;
+  Value srcport = 0, dstport = 0;
+  Value aux = 0;  // ftp.PORT / sid / MTA id / qname base, per shape
+  double weight = 1.0;
+  std::uint32_t pos = 0;
+};
+
+void base_fields(Packet& p, Value srcip, Value dstip, Value srcport,
+                 Value dstport, Value proto, PortId inport) {
+  p.set(fields::srcip(), srcip);
+  p.set(fields::dstip(), dstip);
+  p.set(fields::srcport(), srcport);
+  p.set(fields::dstport(), dstport);
+  p.set(fields::proto(), proto);
+  p.set(fields::inport(), static_cast<Value>(inport));
+  // sid participates in the sidejack guard (lnot(sid = 0)); 0 marks
+  // "no session cookie" so arbitrary traffic never trips the sset on an
+  // absent field.
+  p.set("sid", 0);
+}
+
+// Emits the next packet of `f`. Returns the entering port.
+SimPacket emit(Flow& f, const Scenario& sc, Rng& rng) {
+  const std::uint32_t pos = f.pos++;
+  SimPacket out;
+  out.inport = f.u;
+  Packet& p = out.pkt;
+  switch (f.shape) {
+    case Shape::kTcpFlow: {
+      base_fields(p, f.srcip, f.dstip, f.srcport, f.dstport, kTcp, f.u);
+      const std::uint32_t ph = pos % 8;
+      p.set("tcp.flags", ph == 0 ? kSyn : ph == 7 ? kFin : kAck);
+      break;
+    }
+    case Shape::kHeavyHitter: {
+      // SYN after SYN from the same source; the per-source SYN counters
+      // (heavy-hitter, syn-flood) climb to their thresholds.
+      base_fields(p, f.srcip, f.dstip, f.srcport + pos % 7, f.dstport, kTcp,
+                  f.u);
+      p.set("tcp.flags", kSyn);
+      break;
+    }
+    case Shape::kScanSweep: {
+      // One source fanning out over addresses and ports, never closing:
+      // super-spreader's SYN-up/FIN-down counter only goes up.
+      base_fields(p, f.srcip, subnet_base(f.v) + 1 + pos % 254,
+                  f.srcport, 1024 + pos % 64, kTcp, f.u);
+      p.set("tcp.flags", kSyn);
+      break;
+    }
+    case Shape::kDnsPair: {
+      const std::uint32_t round = pos / 3;
+      const Value qname = f.aux + round % 5;
+      const Value rdata = subnet_base(f.v) + 1 + (f.aux + round) % 200;
+      switch (pos % 3) {
+        case 0:  // request: client -> resolver
+          base_fields(p, f.srcip, f.dstip, f.srcport, 53, kUdp, f.u);
+          p.set("dns.qname", qname);
+          break;
+        case 1:  // response: resolver -> client, advertising rdata
+          out.inport = f.v;
+          base_fields(p, f.dstip, f.srcip, 53, f.srcport, kUdp, f.v);
+          p.set("dns.qname", qname);
+          p.set("dns.rdata", rdata);
+          p.set("dns.ttl", 60 + static_cast<Value>(round % 3) * 60);
+          break;
+        default: {  // follow-up connection to the advertised address...
+          Value target = rdata;
+          if (rng.uniform01() < sc.mismatch) {
+            // ...or not: the orphan stays, the client looks like a tunnel.
+            target = subnet_base(f.v) + 1 + (rdata + 7) % 200;
+          }
+          base_fields(p, f.srcip, target, f.srcport + 1, 80, kTcp, f.u);
+          p.set("tcp.flags", pos % 6 == 2 ? kSyn : kAck);
+          break;
+        }
+      }
+      break;
+    }
+    case Shape::kDnsUnsolicited: {
+      switch (pos % 3) {
+        case 0:  // legitimate request (marks benign-request)
+          base_fields(p, f.srcip, f.dstip, f.srcport, 53, kUdp, f.u);
+          p.set("dns.qname", f.aux + pos / 3 % 4);
+          break;
+        case 1:  // its response
+          out.inport = f.v;
+          base_fields(p, f.dstip, f.srcip, 53, f.srcport, kUdp, f.v);
+          p.set("dns.qname", f.aux + pos / 3 % 4);
+          p.set("dns.rdata", subnet_base(f.u) + 9);
+          p.set("dns.ttl", 60);
+          break;
+        default:  // reflected response to a victim that never asked
+          out.inport = f.v;
+          base_fields(p, f.dstip, subnet_base(f.u) + 2 + pos % 200, 53,
+                      2000 + pos % 100, kUdp, f.v);
+          p.set("dns.qname", f.aux);
+          p.set("dns.rdata", subnet_base(f.v) + 13);
+          p.set("dns.ttl", 60);
+          break;
+      }
+      break;
+    }
+    case Shape::kUdpBurst: {
+      base_fields(p, f.srcip, f.dstip, f.srcport, 9000 + pos % 16, kUdp,
+                  f.u);
+      break;
+    }
+    case Shape::kFtpPair: {
+      if (pos % 2 == 0) {
+        // Control channel: announce the data port.
+        base_fields(p, f.srcip, f.dstip, f.srcport, 21, kTcp, f.u);
+        p.set("tcp.flags", kAck);
+        p.set("ftp.PORT", f.aux + pos / 2 % 8);
+      } else {
+        // Data connection back from the server's port 20.
+        out.inport = f.v;
+        base_fields(p, f.dstip, f.srcip, 20, f.aux + pos / 2 % 8, kTcp,
+                    f.v);
+        p.set("tcp.flags", kAck);
+        p.set("ftp.PORT", f.aux + pos / 2 % 8);
+      }
+      break;
+    }
+    case Shape::kSidSession: {
+      // Cookie'd sessions against the sidejack-watched server — host .10
+      // of the destination port's subnet, the corpus policy's
+      // "10.0.6.10/32" when the flow targets port 6.
+      const bool hijacked = rng.uniform01() < sc.hijack && pos % 4 == 3;
+      const Value client = hijacked ? f.srcip + 1 : f.srcip;
+      base_fields(p, client, subnet_base(f.v) + 10, f.srcport, 80, kTcp,
+                  f.u);
+      p.set("tcp.flags", kAck);
+      p.set("sid", f.aux);
+      p.set("http.user-agent", hijacked ? f.aux + 100 : f.aux % 7);
+      break;
+    }
+    case Shape::kSmtpBurst: {
+      base_fields(p, f.srcip, f.dstip, f.srcport, 25, kTcp, f.u);
+      p.set("tcp.flags", kAck);
+      p.set("smtp.MTA", f.aux + pos / 24 % 3);
+      break;
+    }
+    case Shape::kMpegSeq: {
+      base_fields(p, f.srcip, f.dstip, f.srcport, f.dstport, kTcp, f.u);
+      p.set("tcp.flags", kAck);
+      p.set("mpeg.frame-type", pos % 12 == 0 ? 1 : 2);
+      break;
+    }
+  }
+  return out;
+}
+
+// FNV-1a over the scenario name: std::hash is implementation-defined and
+// would break the cross-machine byte-identical trace guarantee.
+std::uint64_t scenario_hash(const std::string& name) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Shape draw_shape(const Scenario& sc, Rng& rng, double total_weight) {
+  double r = rng.uniform01() * total_weight;
+  for (const auto& [shape, w] : sc.mix) {
+    if (r < w) return shape;
+    r -= w;
+  }
+  return sc.mix.back().shape;
+}
+
+}  // namespace
+
+std::vector<std::pair<PortId, Packet>> as_injection_batch(
+    const Workload& wl) {
+  std::vector<std::pair<PortId, Packet>> out;
+  out.reserve(wl.packets.size());
+  for (const auto& sp : wl.packets) out.emplace_back(sp.inport, sp.pkt);
+  return out;
+}
+
+const std::vector<Scenario>& scenario_catalogue() {
+  static const std::vector<Scenario> cat = {
+      {"uniform", "baseline 5-tuple flows (samplers, counters, TCP machine)",
+       {{Shape::kTcpFlow, 1.0}}},
+      {"heavy-hitter", "SYN skew for heavy-hitter / syn-flood-detect",
+       {{Shape::kHeavyHitter, 0.7}, {Shape::kTcpFlow, 0.3}}},
+      {"scan-sweep", "address/port sweeps for super-spreader",
+       {{Shape::kScanSweep, 0.6}, {Shape::kTcpFlow, 0.4}}},
+      {"dns-tunnel", "request/response/follow-up with orphan mismatches "
+                     "(dns-tunnel-detect)",
+       {{Shape::kDnsPair, 0.7}, {Shape::kTcpFlow, 0.3}}},
+      {"dns-flux", "qname/rdata churn for many-ip-domains / many-domain-ips "
+                   "/ dns-ttl-change",
+       {{Shape::kDnsPair, 0.8}, {Shape::kDnsUnsolicited, 0.2}}},
+      {"dns-amplification", "unsolicited responses (dns-amplification)",
+       {{Shape::kDnsUnsolicited, 0.7}, {Shape::kDnsPair, 0.3}}},
+      {"udp-flood", "UDP bursts from flooders (udp-flood)",
+       {{Shape::kUdpBurst, 0.7}, {Shape::kTcpFlow, 0.3}}},
+      {"ftp", "control/data pairs (ftp-monitoring)",
+       {{Shape::kFtpPair, 0.8}, {Shape::kTcpFlow, 0.2}}},
+      {"sidejack", "cookie'd sessions with hijacks (sidejack-detect)",
+       {{Shape::kSidSession, 0.8}, {Shape::kTcpFlow, 0.2}}},
+      {"spam", "bursts from new MTAs (spam-detect)",
+       {{Shape::kSmtpBurst, 0.8}, {Shape::kTcpFlow, 0.2}}},
+      {"firewall", "inside-out flows plus outside probes "
+                   "(stateful-firewall)",
+       {{Shape::kTcpFlow, 0.6}, {Shape::kUdpBurst, 0.2},
+        {Shape::kScanSweep, 0.2}}},
+      {"mpeg", "frame trains (selective-packet-dropping)",
+       {{Shape::kMpegSeq, 0.8}, {Shape::kTcpFlow, 0.2}}},
+      {"mixed", "weighted blend of every shape (Figure-11-style composites)",
+       {{Shape::kTcpFlow, 0.30}, {Shape::kHeavyHitter, 0.12},
+        {Shape::kScanSweep, 0.08}, {Shape::kDnsPair, 0.15},
+        {Shape::kDnsUnsolicited, 0.05}, {Shape::kUdpBurst, 0.10},
+        {Shape::kFtpPair, 0.05}, {Shape::kSidSession, 0.05},
+        {Shape::kSmtpBurst, 0.05}, {Shape::kMpegSeq, 0.05}}},
+  };
+  return cat;
+}
+
+const Scenario* find_scenario(const std::string& name) {
+  for (const Scenario& sc : scenario_catalogue()) {
+    if (sc.name == name) return &sc;
+  }
+  return nullptr;
+}
+
+const Scenario& scenario_for_app(const std::string& app_name) {
+  for (const auto& app : apps::registry()) {
+    if (app.name == app_name) {
+      const Scenario* sc = find_scenario(app.workload);
+      SNAP_CHECK(sc != nullptr, "app names an unknown workload scenario");
+      return *sc;
+    }
+  }
+  throw Error("no Table-3 application named '" + app_name + "'");
+}
+
+WorkloadGen::WorkloadGen(const Topology& topo, const TrafficMatrix& tm,
+                         std::uint64_t seed)
+    : topo_(topo), tm_(tm), seed_(seed) {}
+
+Workload WorkloadGen::generate(const Scenario& sc,
+                               std::size_t packets) const {
+  SNAP_CHECK(!sc.mix.empty(), "scenario has an empty shape mix");
+  Rng rng(seed_ ^ scenario_hash(sc.name));
+
+  double mix_weight = 0;
+  for (const auto& [shape, w] : sc.mix) mix_weight += w;
+
+  // Flow expansion: per-pair counts proportional to demand. The demand
+  // sweep is the hot loop the flat TrafficMatrix layout exists for.
+  const double total = tm_.total();
+  SNAP_CHECK(total > 0, "workload needs a nonempty traffic matrix");
+  const double target_flows =
+      std::max<double>(64, std::min<double>(4096, packets / 16.0));
+  std::vector<Flow> flows;
+  for (const auto& [uv, demand] : tm_.demands()) {
+    if (demand <= 0) continue;
+    const auto [u, v] = uv;
+    // Fail at synthesis time — not mid-injection — if the matrix names a
+    // port the topology does not attach.
+    topo_.port_switch(u);
+    topo_.port_switch(v);
+    int count = std::max(1, static_cast<int>(demand / total * target_flows));
+    count = std::min(count, 8);
+    for (int k = 0; k < count; ++k) {
+      Flow f;
+      f.shape = draw_shape(sc, rng, mix_weight);
+      f.u = u;
+      f.v = v;
+      f.srcip = subnet_base(u) + 1 + rng.uniform(0, 199);
+      f.dstip = subnet_base(v) + 1 + rng.uniform(0, 199);
+      f.srcport = 2000 + rng.uniform(0, 999) * 2;
+      f.dstport = 8000 + rng.uniform(0, 63);
+      f.aux = 1 + rng.uniform(0, 500);
+      f.weight = demand;
+      // Skewed shapes: a few hot flows sharing one source per ingress
+      // carry most of the packets (§6's heavy-hitter experiments).
+      if (f.shape == Shape::kHeavyHitter || f.shape == Shape::kUdpBurst ||
+          f.shape == Shape::kScanSweep) {
+        if (rng.uniform01() < sc.skew) {
+          f.weight *= 16;
+          f.srcip = subnet_base(u) + 7;  // the port's heavy source
+        } else {
+          f.weight *= 0.5;
+        }
+      }
+      flows.push_back(f);
+    }
+  }
+  SNAP_CHECK(!flows.empty(), "traffic matrix expanded to no flows");
+
+  // Cumulative weights for O(log F) sampling.
+  std::vector<double> cum(flows.size());
+  double acc = 0;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    acc += flows[i].weight;
+    cum[i] = acc;
+  }
+
+  Workload wl;
+  wl.scenario = sc.name;
+  wl.seed = seed_;
+  wl.packets.reserve(packets);
+  for (std::size_t i = 0; i < packets; ++i) {
+    double r = rng.uniform01() * acc;
+    auto it = std::lower_bound(cum.begin(), cum.end(), r);
+    std::size_t fi = static_cast<std::size_t>(it - cum.begin());
+    if (fi >= flows.size()) fi = flows.size() - 1;
+    wl.packets.push_back(emit(flows[fi], sc, rng));
+  }
+  return wl;
+}
+
+}  // namespace sim
+}  // namespace snap

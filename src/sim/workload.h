@@ -1,0 +1,112 @@
+// Workload synthesis: turning a TrafficMatrix into packet streams (§6's
+// evaluation driver).
+//
+// A WorkloadGen expands the matrix into concrete flows — per-(src,dst) flow
+// counts proportional to demand, endpoints drawn from the ports' OBS
+// subnets (the 10.x.y.0/24 convention of apps::default_subnets) — and then
+// emits a packet trace by weighted sampling over those flows. Every flow
+// follows a *shape*: a scripted field pattern (TCP flag sequences, DNS
+// request/response/follow-up triples, FTP control+data pairs, MPEG frame
+// trains, ...) chosen so the Appendix-F applications actually exercise
+// their state tables instead of seeing uniform noise. A Scenario is a named
+// weighted blend of shapes plus knobs (DNS-tunnel mismatch ratio, sidejack
+// hijack ratio, heavy-source skew); the catalogue maps one scenario to each
+// Table-3 app (apps::AppSpec::workload).
+//
+// Generation is deterministic: the same (topology, matrix, seed, scenario,
+// count) produce a byte-identical trace under a given standard library
+// (the scenario hash is a fixed FNV-1a, but util/rng.h draws through std
+// distributions, whose mapping from the mt19937_64 stream is
+// implementation-defined — traces are reproducible per platform, not
+// across stdlibs). Serial and sharded executions of one trace see the
+// same packets in the same global order; the trace index is the packet's
+// sequence number, and the engine's deterministic mode replays exactly
+// this order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lang/packet.h"
+#include "topo/graph.h"
+#include "topo/traffic.h"
+
+namespace snap {
+namespace sim {
+
+struct SimPacket {
+  PortId inport;
+  Packet pkt;
+};
+
+struct Workload {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  // Index == global sequence number (the serial injection order).
+  std::vector<SimPacket> packets;
+};
+
+// The workload as a Network::inject_batch argument (the serial reference
+// path the engine is checked against).
+std::vector<std::pair<PortId, Packet>> as_injection_batch(
+    const Workload& wl);
+
+// The traffic shapes flows can follow.
+enum class Shape {
+  kTcpFlow,        // SYN, ACKs, data, FIN — generic 5-tuple flow
+  kHeavyHitter,    // SYN bursts concentrated on a few hot sources
+  kScanSweep,      // one source sweeping many (dstip, dstport), SYN-only
+  kDnsPair,        // request / response / follow-up triples; a `mismatch`
+                   // fraction of follow-ups go to an unadvertised address
+  kDnsUnsolicited, // responses nobody asked for (amplification)
+  kUdpBurst,       // UDP floods from a few flooder sources
+  kFtpPair,        // control-channel announce + matching data connection
+  kSidSession,     // cookie'd web sessions, a `hijack` fraction stolen
+  kSmtpBurst,      // mail bursts from newly-seen MTAs
+  kMpegSeq,        // an I-frame followed by dependent frames
+};
+
+struct ShapeWeight {
+  Shape shape;
+  double weight;
+};
+
+struct Scenario {
+  std::string name;
+  std::string note;  // which applications this exercises
+  std::vector<ShapeWeight> mix;
+  double mismatch = 0.35;  // DNS follow-ups to unadvertised addresses
+  double hijack = 0.25;    // sidejack sessions reused by a second client
+  double skew = 0.35;      // probability a skewed flow becomes "hot"
+};
+
+// The named scenario catalogue (one entry per Appendix-F traffic pattern,
+// plus "uniform" and the "mixed" blend).
+const std::vector<Scenario>& scenario_catalogue();
+
+// nullptr when `name` is not in the catalogue.
+const Scenario* find_scenario(const std::string& name);
+
+// The catalogue scenario registered for a Table-3 application
+// (apps::AppSpec::workload). Throws Error for unknown apps.
+const Scenario& scenario_for_app(const std::string& app_name);
+
+class WorkloadGen {
+ public:
+  // Both references must outlive the generator. The topology validates
+  // that every demand endpoint is an attached OBS port (generate throws
+  // at synthesis time, not mid-injection).
+  WorkloadGen(const Topology& topo, const TrafficMatrix& tm,
+              std::uint64_t seed);
+
+  Workload generate(const Scenario& sc, std::size_t packets) const;
+
+ private:
+  const Topology& topo_;
+  const TrafficMatrix& tm_;
+  std::uint64_t seed_;
+};
+
+}  // namespace sim
+}  // namespace snap

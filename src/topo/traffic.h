@@ -3,10 +3,19 @@
 // distribution, and the demand between ports u != v is proportional to
 // w_u * w_v, scaled so the total offered load is a chosen fraction of the
 // network's edge capacity.
+//
+// Demands are stored as a flat vector sorted by (src, dst) port pair.
+// Iteration — the hot loop of workload expansion (sim/workload) and of the
+// MILP's commodity sweep — is a linear scan over contiguous memory, and
+// point lookups are a binary search. set_demand stays correct (not
+// amortized-fast) for out-of-order insertion; gravity_traffic and the
+// matrix-editing events all insert in sorted order, which is O(1) amortized.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
+#include <utility>
+#include <vector>
 
 #include "topo/graph.h"
 
@@ -14,21 +23,42 @@ namespace snap {
 
 class TrafficMatrix {
  public:
+  using Demand = std::pair<std::pair<PortId, PortId>, double>;
+
   double demand(PortId u, PortId v) const {
-    auto it = demands_.find({u, v});
-    return it == demands_.end() ? 0.0 : it->second;
+    auto it = lower_bound(u, v);
+    return (it != demands_.end() && it->first == std::pair(u, v))
+               ? it->second
+               : 0.0;
   }
 
-  void set_demand(PortId u, PortId v, double d) { demands_[{u, v}] = d; }
-
-  const std::map<std::pair<PortId, PortId>, double>& demands() const {
-    return demands_;
+  void set_demand(PortId u, PortId v, double d) {
+    auto it = lower_bound(u, v);
+    if (it != demands_.end() && it->first == std::pair(u, v)) {
+      it->second = d;
+    } else {
+      demands_.insert(it, {{u, v}, d});
+    }
   }
+
+  const std::vector<Demand>& demands() const { return demands_; }
 
   double total() const;
 
  private:
-  std::map<std::pair<PortId, PortId>, double> demands_;
+  std::vector<Demand>::const_iterator lower_bound(PortId u, PortId v) const {
+    return std::lower_bound(
+        demands_.begin(), demands_.end(), std::pair(u, v),
+        [](const Demand& e, const std::pair<PortId, PortId>& uv) {
+          return e.first < uv;
+        });
+  }
+  std::vector<Demand>::iterator lower_bound(PortId u, PortId v) {
+    return demands_.begin() +
+           (std::as_const(*this).lower_bound(u, v) - demands_.cbegin());
+  }
+
+  std::vector<Demand> demands_;  // sorted by (src, dst)
 };
 
 // `total_load` is the sum of all demands (e.g. a fraction of aggregate edge

@@ -1,0 +1,296 @@
+// The traffic engine (src/sim): workload determinism, serial-vs-sharded
+// byte equivalence across the policy corpus and worker counts, forced
+// cross-worker forwarding, the flat TrafficMatrix, and the per-delta
+// instruction-stat reset.
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "compiler/session.h"
+#include "dataplane/network.h"
+#include "sim/engine.h"
+#include "sim/workload.h"
+#include "topo/gen.h"
+#include "util/status.h"
+
+namespace snap {
+namespace {
+
+using namespace snap::dsl;
+
+void expect_same_deliveries(const std::vector<Network::Delivery>& a,
+                            const std::vector<Network::Delivery>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].outport, b[i].outport) << "delivery " << i;
+    ASSERT_TRUE(a[i].packet == b[i].packet)
+        << "delivery " << i << ": " << a[i].packet.to_string() << " vs "
+        << b[i].packet.to_string();
+  }
+}
+
+// The shared 11-policy evaluation corpus (thresholds low so terminal
+// branches trigger, egress included so deliveries are nonempty).
+std::vector<apps::CorpusApp> corpus(const Topology& topo) {
+  return apps::evaluation_corpus("sim",
+                                 apps::default_subnets(topo.ports()));
+}
+
+TEST(TrafficMatrixFlat, SortedVectorSemantics) {
+  TrafficMatrix tm;
+  tm.set_demand(5, 1, 2.0);
+  tm.set_demand(1, 5, 1.0);
+  tm.set_demand(3, 2, 4.0);
+  tm.set_demand(5, 1, 2.5);  // overwrite, not duplicate
+  EXPECT_DOUBLE_EQ(tm.demand(1, 5), 1.0);
+  EXPECT_DOUBLE_EQ(tm.demand(5, 1), 2.5);
+  EXPECT_DOUBLE_EQ(tm.demand(3, 2), 4.0);
+  EXPECT_DOUBLE_EQ(tm.demand(2, 3), 0.0);
+  EXPECT_DOUBLE_EQ(tm.total(), 7.5);
+  ASSERT_EQ(tm.demands().size(), 3u);
+  EXPECT_TRUE(std::is_sorted(tm.demands().begin(), tm.demands().end(),
+                             [](const auto& a, const auto& b) {
+                               return a.first < b.first;
+                             }));
+}
+
+TEST(Workload, DeterministicBySeed) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 10.0, 3);
+  const sim::Scenario* mixed = sim::find_scenario("mixed");
+  ASSERT_NE(mixed, nullptr);
+  sim::Workload a = sim::WorkloadGen(topo, tm, 11).generate(*mixed, 400);
+  sim::Workload b = sim::WorkloadGen(topo, tm, 11).generate(*mixed, 400);
+  ASSERT_EQ(a.packets.size(), 400u);
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  for (std::size_t i = 0; i < a.packets.size(); ++i) {
+    ASSERT_EQ(a.packets[i].inport, b.packets[i].inport) << i;
+    ASSERT_TRUE(a.packets[i].pkt == b.packets[i].pkt) << i;
+  }
+  sim::Workload c = sim::WorkloadGen(topo, tm, 12).generate(*mixed, 400);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < c.packets.size(); ++i) {
+    any_diff |= !(a.packets[i].pkt == c.packets[i].pkt) ||
+                a.packets[i].inport != c.packets[i].inport;
+  }
+  EXPECT_TRUE(any_diff) << "different seeds produced identical traces";
+}
+
+TEST(Workload, EveryAppHasACataloguedScenario) {
+  for (const auto& app : apps::registry()) {
+    const sim::Scenario* sc = sim::find_scenario(app.workload);
+    ASSERT_NE(sc, nullptr) << app.name << " -> " << app.workload;
+    EXPECT_EQ(sim::scenario_for_app(app.name).name, sc->name);
+  }
+  EXPECT_THROW(sim::scenario_for_app("no-such-app"), Error);
+}
+
+TEST(Workload, PacketsCarryConsistentBaseFields) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 10.0, 3);
+  for (const sim::Scenario& sc : sim::scenario_catalogue()) {
+    sim::Workload wl = sim::WorkloadGen(topo, tm, 9).generate(sc, 200);
+    ASSERT_EQ(wl.packets.size(), 200u) << sc.name;
+    for (const auto& sp : wl.packets) {
+      // Every packet enters at a real OBS port and carries the 5-tuple the
+      // corpus policies index on.
+      EXPECT_NO_THROW(topo.port_switch(sp.inport)) << sc.name;
+      for (const char* f :
+           {"srcip", "dstip", "srcport", "dstport", "proto", "inport",
+            "sid"}) {
+        EXPECT_TRUE(sp.pkt.get(f).has_value()) << sc.name << " lacks " << f;
+      }
+      EXPECT_EQ(sp.pkt.get("inport"), static_cast<Value>(sp.inport));
+    }
+  }
+}
+
+class SimCorpus : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimCorpus, ShardedMatchesSerialAcrossWorkerCounts) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 10.0, 1);
+  auto c = corpus(topo)[static_cast<std::size_t>(GetParam())];
+
+  Session session(topo, tm);
+  EventResult ev = session.full_compile(c.policy);
+  sim::Workload wl = sim::WorkloadGen(topo, tm, 42).generate(
+      sim::scenario_for_app(c.name), 400);
+
+  Network serial(ev.delta);
+  auto serial_out = serial.inject_batch(sim::as_injection_batch(wl));
+  Store serial_state = serial.merged_state();
+
+  for (int workers : {1, 2, 8}) {
+    sim::EngineOptions opts;
+    opts.workers = workers;
+    opts.deterministic = true;
+    sim::TrafficEngine engine(ev.delta, opts);
+    auto engine_out = engine.run(wl);
+    ASSERT_NO_FATAL_FAILURE(expect_same_deliveries(serial_out, engine_out))
+        << c.name << " at " << workers << " workers";
+    ASSERT_TRUE(serial_state == engine.network().merged_state())
+        << c.name << " state diverged at " << workers << " workers\n"
+        << "serial:\n" << serial_state.to_string() << "engine:\n"
+        << engine.network().merged_state().to_string();
+    // Faithful replication extends to hop accounting and to per-switch
+    // instruction counts (the decoded fast path and the reference
+    // interpreter count in the same units: atomic markers excluded).
+    EXPECT_EQ(serial.total_hops(), engine.network().total_hops())
+        << c.name << " at " << workers << " workers";
+    EXPECT_EQ(engine.stats().packets, wl.packets.size());
+    for (int sw = 0; sw < topo.num_switches(); ++sw) {
+      EXPECT_EQ(serial.switch_at(sw).instructions_executed(),
+                engine.stats()
+                    .per_switch_instructions[static_cast<std::size_t>(sw)])
+          << c.name << " switch " << sw << " at " << workers << " workers";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, SimCorpus, ::testing::Range(0, 11),
+                         [](const auto& info) {
+                           std::string n =
+                               corpus(make_figure2_campus())
+                                   [static_cast<std::size_t>(info.param)]
+                                       .name;
+                           for (char& ch : n) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return n;
+                         });
+
+TEST(Engine, StuckPacketHeavyScenarioForcesCrossWorkerForwarding) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 10.0, 2);
+  // Two always-written variables plus a state test at the root: capacity 1
+  // spreads them over two switches, so nearly every packet escapes at its
+  // ingress and then visits both owners to write.
+  auto egress = apps::assign_egress(apps::default_subnets(topo.ports()));
+  PolPtr p = ite(stest("sim-walk-a", idx("inport"), lit(999999)),
+                 filter(drop()),
+                 sinc("sim-walk-a", idx("inport")) >>
+                     (sinc("sim-walk-b", idx("srcip")) >> egress));
+  CompilerOptions copts;
+  copts.state_capacity = 1;
+  Session session(topo, tm, copts);
+  EventResult ev = session.full_compile(p);
+  ASSERT_NE(ev.delta.placement.at(state_var_id("sim-walk-a")),
+            ev.delta.placement.at(state_var_id("sim-walk-b")));
+
+  sim::Workload wl = sim::WorkloadGen(topo, tm, 5).generate(
+      *sim::find_scenario("uniform"), 500);
+  Network serial(ev.delta);
+  auto serial_out = serial.inject_batch(sim::as_injection_batch(wl));
+
+  sim::EngineOptions opts;
+  opts.workers = 2;
+  sim::TrafficEngine engine(ev.delta, opts);
+  auto engine_out = engine.run(wl);
+  expect_same_deliveries(serial_out, engine_out);
+  ASSERT_TRUE(serial.merged_state() == engine.network().merged_state());
+  EXPECT_GT(engine.stats().forwards, 0u)
+      << "expected stuck/write packets to cross worker shards";
+  EXPECT_GT(engine.stats().hops, 0u);
+}
+
+TEST(Engine, FreeRunningModeProcessesTheWholeWorkload) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 10.0, 2);
+  auto c = corpus(topo)[2];  // heavy-hitter
+  Session session(topo, tm);
+  EventResult ev = session.full_compile(c.policy);
+  sim::Workload wl = sim::WorkloadGen(topo, tm, 8).generate(
+      sim::scenario_for_app(c.name), 600);
+  sim::EngineOptions opts;
+  opts.workers = 2;
+  opts.deterministic = false;
+  sim::TrafficEngine engine(ev.delta, opts);
+  auto out = engine.run(wl);
+  EXPECT_EQ(engine.stats().packets, 600u);
+  EXPECT_GT(engine.stats().instructions, 0u);
+  EXPECT_GT(engine.stats().pps, 0.0);
+  EXPECT_FALSE(engine.stats().deterministic);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(Engine, SchedulerThrowReleasesWorkersInsteadOfHanging) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 10.0, 2);
+  auto c = corpus(topo)[2];  // heavy-hitter
+  Session session(topo, tm);
+  EventResult ev = session.full_compile(c.policy);
+  // A workload naming an inport the deployed topology does not attach:
+  // dispatch throws on the scheduler side; the engine must propagate the
+  // error (not deadlock joining its worker loops).
+  sim::Workload wl;
+  wl.packets.push_back({static_cast<PortId>(9999), Packet{{"srcip", 1}}});
+  sim::EngineOptions opts;
+  opts.workers = 2;
+  sim::TrafficEngine engine(ev.delta, opts);
+  EXPECT_THROW(engine.run(wl), InternalError);
+}
+
+TEST(Engine, SessionDeploymentDrivesAFreshNetwork) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 10.0, 4);
+  auto c = corpus(topo)[1];  // stateful-firewall
+  Session session(topo, tm);
+  session.full_compile(c.policy);
+  // deployment() after an event sequence must equal the live deployment.
+  session.set_traffic(gravity_traffic(topo, 10.0, 9));
+  RuleDelta full = session.deployment();
+  EXPECT_EQ(full.programs.size(),
+            session.deployed_programs().size());
+  sim::Workload wl = sim::WorkloadGen(topo, session.traffic(), 3)
+                         .generate(sim::scenario_for_app(c.name), 300);
+  Network serial(full);
+  auto serial_out = serial.inject_batch(sim::as_injection_batch(wl));
+  sim::TrafficEngine engine(full, {});
+  auto engine_out = engine.run(wl);
+  expect_same_deliveries(serial_out, engine_out);
+  ASSERT_TRUE(serial.merged_state() == engine.network().merged_state());
+}
+
+TEST(Dataplane, ApplyResetsInstructionStatsForChangedSwitches) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 10.0, 1);
+  auto reg = corpus(topo);
+  Session session(topo, tm);
+  EventResult cold = session.full_compile(reg[2].policy);  // heavy-hitter
+  Network net(cold.delta);
+  sim::Workload wl = sim::WorkloadGen(topo, tm, 2).generate(
+      sim::scenario_for_app(reg[2].name), 200);
+  net.inject_batch(sim::as_injection_batch(wl));
+  std::uint64_t before = 0;
+  for (int sw = 0; sw < topo.num_switches(); ++sw) {
+    before += net.switch_at(sw).instructions_executed();
+  }
+  ASSERT_GT(before, 0u);
+
+  std::vector<std::uint64_t> per_switch(
+      static_cast<std::size_t>(topo.num_switches()));
+  for (int sw = 0; sw < topo.num_switches(); ++sw) {
+    per_switch[static_cast<std::size_t>(sw)] =
+        net.switch_at(sw).instructions_executed();
+  }
+
+  EventResult ev = session.set_policy(reg[5].policy);  // udp-flood
+  ASSERT_FALSE(ev.delta.changed.empty() && ev.delta.added.empty());
+  net.apply(ev.delta);
+  for (int sw : ev.delta.changed) {
+    EXPECT_EQ(net.switch_at(sw).instructions_executed(), 0u) << sw;
+  }
+  for (int sw : ev.delta.added) {
+    EXPECT_EQ(net.switch_at(sw).instructions_executed(), 0u) << sw;
+  }
+  // Unchanged switches keep their counters (stats only reset where the
+  // program actually moved).
+  for (int sw : ev.delta.unchanged) {
+    EXPECT_EQ(net.switch_at(sw).instructions_executed(),
+              per_switch[static_cast<std::size_t>(sw)])
+        << sw;
+  }
+}
+
+}  // namespace
+}  // namespace snap

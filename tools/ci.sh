@@ -43,6 +43,15 @@ echo "== xfdd cache effectiveness (memoized vs naive, counter-based) =="
 # from the tables. Counter-based, so it holds on a 1-core container.
 "${BUILD_DIR}/bench_ablation_xfdd" --depth 12 --check
 
+echo "== data-plane throughput (sharded engine vs serial, equivalence gate) =="
+# Gates: the deterministic sharded engine's deliveries and final state are
+# byte-identical to the serial per-packet path across the 11-policy corpus
+# and a >=100k-packet composite run, with nonzero state churn and
+# deliveries. Emits BENCH_throughput.json (pps per execution mode, packets,
+# workers) — the perf trajectory subsequent PRs regress against.
+"${BUILD_DIR}/bench_throughput" --check --workers 2 \
+  --json "${BUILD_DIR}/BENCH_throughput.json"
+
 if [[ "${CI_SANITIZE:-0}" == "1" ]]; then
   SAN_DIR="${BUILD_DIR}-asan"
   echo "== sanitize configure (${SAN_DIR}, ASan+UBSan) =="

@@ -18,8 +18,16 @@
 //                        fail SW            degraded re-solve (P3-P6)
 //                        restore SW
 //                      '#' starts a comment; blank lines are skipped
+//   --simulate N       after all events, synthesize an N-packet workload
+//                      and drive the deployed data plane through the
+//                      sharded traffic engine (src/sim); prints packets,
+//                      deliveries, pps and per-switch instruction counts
+//   --scenario NAME    workload scenario (see sim/workload.h catalogue;
+//                      default mixed)
+//   --workers W        traffic-engine worker shards (0 = one per core)
 //   --json             machine-readable output: phase times, phases run,
-//                      slice stats and rule-delta sizes per event
+//                      slice stats, rule-delta sizes per event and the
+//                      simulation stats
 //   --dot FILE         write the policy xFDD as Graphviz
 //   --rules            print per-switch NetASM programs
 //   --quiet            only placement and timing summary
@@ -36,6 +44,8 @@
 
 #include "apps/apps.h"
 #include "compiler/session.h"
+#include "sim/engine.h"
+#include "sim/workload.h"
 #include "topo/parse.h"
 #include "util/status.h"
 #include "xfdd/dot.h"
@@ -59,7 +69,8 @@ void usage() {
                "usage: snapc --policy FILE --topology FILE"
                " [--const NAME=VAL]... [--traffic SEED] [--load GBPS]"
                " [--solver auto|exact|scalable] [--threads N]"
-               " [--script FILE] [--json] [--dot FILE] [--rules]"
+               " [--script FILE] [--simulate N] [--scenario NAME]"
+               " [--workers W] [--json] [--dot FILE] [--rules]"
                " [--quiet]\n");
 }
 
@@ -266,7 +277,10 @@ int run(int argc, char** argv) {
   std::uint64_t seed = 1;
   double load = -1;
   bool print_rules = false, quiet = false, json = false;
+  long long simulate = 0;
+  std::string scenario_name = "mixed";
   CompilerOptions opts;
+  sim::EngineOptions sim_opts;
 
   for (int i = 1; i < argc; ++i) {
     auto need = [&](const char* flag) -> const char* {
@@ -308,6 +322,26 @@ int run(int argc, char** argv) {
         return 2;
       }
       opts.threads = static_cast<int>(n);
+    } else if (!std::strcmp(argv[i], "--simulate")) {
+      const char* arg = need("--simulate");
+      char* end = nullptr;
+      long long n = std::strtoll(arg, &end, 10);
+      if (end == arg || *end != '\0' || n < 1 || n >= (1ll << 32)) {
+        std::fprintf(stderr, "bad --simulate '%s' (want 1..2^32-1)\n", arg);
+        return 2;
+      }
+      simulate = n;
+    } else if (!std::strcmp(argv[i], "--scenario")) {
+      scenario_name = need("--scenario");
+    } else if (!std::strcmp(argv[i], "--workers")) {
+      const char* arg = need("--workers");
+      char* end = nullptr;
+      long n = std::strtol(arg, &end, 10);
+      if (end == arg || *end != '\0' || n < 0 || n > 4096) {
+        std::fprintf(stderr, "bad --workers '%s' (want 0..4096)\n", arg);
+        return 2;
+      }
+      sim_opts.workers = static_cast<int>(n);
     } else if (!std::strcmp(argv[i], "--script")) {
       script_file = need("--script");
     } else if (!std::strcmp(argv[i], "--json")) {
@@ -326,6 +360,15 @@ int run(int argc, char** argv) {
   }
   if (policy_file.empty() || topo_file.empty()) {
     usage();
+    return 2;
+  }
+  // Validate the scenario before compiling — a typo should not cost a
+  // full cold start plus script replay.
+  const sim::Scenario* scenario =
+      simulate > 0 ? sim::find_scenario(scenario_name) : nullptr;
+  if (simulate > 0 && scenario == nullptr) {
+    std::fprintf(stderr, "unknown scenario '%s' (see sim/workload.h)\n",
+                 scenario_name.c_str());
     return 2;
   }
 
@@ -364,6 +407,31 @@ int run(int argc, char** argv) {
     }
   }
 
+  // Drive the deployed data plane with a synthetic workload through the
+  // sharded traffic engine.
+  std::string sim_json, sim_human;
+  if (simulate > 0) {
+    sim::WorkloadGen gen(session.topology(), session.traffic(), seed);
+    sim::Workload wl =
+        gen.generate(*scenario, static_cast<std::size_t>(simulate));
+    sim::TrafficEngine engine(session.deployment(), sim_opts);
+    std::size_t delivered = engine.run(wl).size();
+    const sim::SimStats& st = engine.stats();
+    sim_json = st.to_json();
+    if (!json) {
+      char buf[256];
+      std::snprintf(
+          buf, sizeof buf,
+          "\nsimulation (%s, %d workers): %llu packets, %zu deliveries,"
+          " %llu cross-shard forwards, %llu hops, %.0f pps\n",
+          wl.scenario.c_str(), st.workers,
+          static_cast<unsigned long long>(st.packets), delivered,
+          static_cast<unsigned long long>(st.forwards),
+          static_cast<unsigned long long>(st.hops), st.pps);
+      sim_human = buf;
+    }
+  }
+
   const CompileResult& r = session.result();
   if (json) {
     std::printf("{\"topology\":{\"name\":\"%s\",\"switches\":%d,"
@@ -375,7 +443,11 @@ int run(int argc, char** argv) {
     for (std::size_t i = 0; i < rows.size(); ++i) {
       std::printf("%s\n  %s", i ? "," : "", row_json(rows[i]).c_str());
     }
-    std::printf("],\n \"placement\":{");
+    std::printf("],\n");
+    if (!sim_json.empty()) {
+      std::printf(" \"simulation\":%s,\n", sim_json.c_str());
+    }
+    std::printf(" \"placement\":{");
     bool first = true;
     for (const auto& [var, sw] : r.pr.placement.switch_of) {
       std::printf("%s\"%s\":%d", first ? "" : ",",
@@ -410,6 +482,7 @@ int run(int argc, char** argv) {
                 static_cast<unsigned long long>(e0.hits()),
                 static_cast<unsigned long long>(e0.misses()));
     for (std::size_t i = 1; i < rows.size(); ++i) print_event_human(rows[i]);
+    if (!sim_human.empty()) std::printf("%s", sim_human.c_str());
 
     std::printf("\nstate placement:\n");
     for (const auto& [var, sw] : r.pr.placement.switch_of) {
