@@ -19,6 +19,8 @@
 //   trajectory to regress against.
 #include <cstring>
 #include <fstream>
+#include <iomanip>
+#include <limits>
 
 #include "bench_common.h"
 #include "compiler/session.h"
@@ -40,6 +42,7 @@ struct Args {
   std::size_t packets = 120000;
   std::size_t corpus_packets = 1500;
   int workers = 2;
+  int batch = 0;  // 0 = engine default
   bool check = false;
   std::string json_file;
 };
@@ -75,6 +78,7 @@ int run(const Args& args) {
 
     sim::EngineOptions opts;
     opts.workers = args.workers;
+    if (args.batch > 0) opts.batch = args.batch;
     opts.deterministic = true;
     sim::TrafficEngine engine(ev.delta, opts);
     auto engine_out = engine.run(wl);
@@ -117,17 +121,42 @@ int run(const Args& args) {
 
   sim::EngineOptions det;
   det.workers = args.workers;
+  if (args.batch > 0) det.batch = args.batch;
   det.deterministic = true;
   sim::TrafficEngine det_engine(ev.delta, det);
   auto det_out = det_engine.run(wl);
   const double det_pps = det_engine.stats().pps;
-  std::printf("%-28s %12.0f pps  (%.3fs, %llu cross-shard forwards)\n",
+  std::printf("%-28s %12.0f pps  (%.3fs, %llu cross-shard forwards,"
+              " batch %d, %llu/%llu mask-cache hits, %d direct switches)\n",
               "engine (deterministic)", det_pps,
               det_engine.stats().seconds,
-              static_cast<unsigned long long>(det_engine.stats().forwards));
+              static_cast<unsigned long long>(det_engine.stats().forwards),
+              det_engine.stats().batch,
+              static_cast<unsigned long long>(
+                  det_engine.stats().conflict_hits),
+              static_cast<unsigned long long>(
+                  det_engine.stats().conflict_hits +
+                  det_engine.stats().conflict_misses),
+              det_engine.stats().direct_switches);
+
+  // Deterministic again, but on a single worker: every packet is confined
+  // (ingress worker == every owner worker), so the conflict gate never
+  // blocks and the serial order pipelines through one ring gate-free —
+  // the honest deterministic ceiling on a 1-core box.
+  sim::EngineOptions det1;
+  det1.workers = 1;
+  if (args.batch > 0) det1.batch = args.batch;
+  det1.deterministic = true;
+  sim::TrafficEngine det1_engine(ev.delta, det1);
+  auto det1_out = det1_engine.run(wl);
+  const double det1_pps = det1_engine.stats().pps;
+  std::printf("%-28s %12.0f pps  (%.3fs, confined single-worker)\n",
+              "engine (det, 1 worker)", det1_pps,
+              det1_engine.stats().seconds);
 
   sim::EngineOptions fr;
   fr.workers = args.workers;
+  if (args.batch > 0) fr.batch = args.batch;
   fr.deterministic = false;
   sim::TrafficEngine fr_engine(ev.delta, fr);
   auto fr_out = fr_engine.run(wl);
@@ -137,25 +166,37 @@ int run(const Args& args) {
               fr_out.size());
 
   bool big_equivalent =
-      serial_out == det_out &&
-      serial.merged_state() == det_engine.network().merged_state();
+      serial_out == det_out && serial_out == det1_out &&
+      serial.merged_state() == det_engine.network().merged_state() &&
+      serial.merged_state() == det1_engine.network().merged_state();
   all_equivalent = all_equivalent && big_equivalent;
   std::size_t churn = state_entries(det_engine.network().merged_state());
   std::printf("\nserial vs deterministic engine: %s; state rows: %zu\n",
               big_equivalent ? "byte-identical" : "MISMATCH", churn);
 
   if (!args.json_file.empty()) {
+    // Full precision: this file is the perf trajectory later PRs regress
+    // against, so pps must round-trip exactly.
     std::ofstream out(args.json_file);
-    out << "{\"packets\":" << args.packets
+    out << std::setprecision(std::numeric_limits<double>::max_digits10)
+        << "{\"packets\":" << args.packets
         << ",\"workers\":" << args.workers
+        << ",\"batch\":" << det_engine.stats().batch
         << ",\"pps\":{\"serial\":" << serial_pps
         << ",\"deterministic\":" << det_pps
+        << ",\"deterministic_confined_w1\":" << det1_pps
         << ",\"free_running\":" << fr_pps << "}"
         << ",\"deliveries\":" << det_out.size()
         << ",\"state_entries\":" << churn
         << ",\"corpus_policies_checked\":" << corpus_checked
         << ",\"equivalent\":" << (all_equivalent ? "true" : "false")
         << ",\"stats\":" << det_engine.stats().to_json() << "}\n";
+    out.flush();
+    if (!out.good()) {
+      std::fprintf(stderr, "ERROR: failed to write %s\n",
+                   args.json_file.c_str());
+      return 1;
+    }
     std::printf("wrote %s\n", args.json_file.c_str());
   }
 
@@ -191,6 +232,17 @@ int main(int argc, char** argv) {
           std::strtoull(need("--corpus-packets"), nullptr, 10));
     } else if (!std::strcmp(argv[i], "--workers")) {
       args.workers = std::atoi(need("--workers"));
+    } else if (!std::strcmp(argv[i], "--batch")) {
+      const char* arg = need("--batch");
+      char* end = nullptr;
+      long n = std::strtol(arg, &end, 10);
+      if (end == arg || *end != '\0' || n < 1 ||
+          n > snap::sim::kMaxTaskBatch) {
+        std::fprintf(stderr, "bad --batch '%s' (want 1..%d)\n", arg,
+                     snap::sim::kMaxTaskBatch);
+        return 2;
+      }
+      args.batch = static_cast<int>(n);
     } else if (!std::strcmp(argv[i], "--check")) {
       args.check = true;
     } else if (!std::strcmp(argv[i], "--json")) {
@@ -198,8 +250,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_throughput [--packets N]"
-                   " [--corpus-packets N] [--workers W] [--check]"
-                   " [--json FILE]\n");
+                   " [--corpus-packets N] [--workers W] [--batch N]"
+                   " [--check] [--json FILE]\n");
       return 2;
     }
   }

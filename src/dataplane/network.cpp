@@ -184,11 +184,16 @@ std::vector<Network::Delivery> Network::inject(PortId inport,
     int owner = placement_.at(var);
     SNAP_CHECK(owner >= 0, "leaf writes an unplaced state variable");
     if (applied.count(owner)) continue;  // its run() applied all local vars
+    // Each owner walk gets a fresh budget (phase 3 already budgets per
+    // copy): a long multi-owner write plan must not exhaust whatever the
+    // resolve phase left and trip "walked too long" spuriously. The sim
+    // engine mirrors this per-walk budget exactly.
+    int wguard = topo_.num_switches() * 4 + 16;
     while (sw != owner) {
       int nxt = next_hop(sw, owner, inport, std::nullopt);
       count_hop(sw, nxt);
       sw = nxt;
-      SNAP_CHECK(--guard > 0, "packet walked too long while writing state");
+      SNAP_CHECK(--wguard > 0, "packet walked too long while writing state");
     }
     auto o = switch_at(sw).run(leaf, pkt);
     SNAP_CHECK(o.kind == SoftwareSwitch::Outcome::kLeaf &&

@@ -9,11 +9,14 @@
 namespace snap {
 namespace netasm {
 
-std::int32_t DecodedProgram::intern_expr(const Expr& e) {
-  // Decode-time only; linear-ish via a local cache kept across calls would
-  // need state — instead dedupe structurally against what's already there.
-  // Programs have few distinct operands, so the scan is cheap and runs once
-  // per deployment, never per packet.
+namespace {
+
+// Decode-time only; linear-ish via a local cache kept across calls would
+// need state — instead dedupe structurally against what's already there.
+// Programs have few distinct operands, so the scan is cheap and runs once
+// per deployment, never per packet. Shared by the program decoder and the
+// direct-xFDD builder.
+std::int32_t intern_expr(std::vector<DecodedExpr>& exprs, const Expr& e) {
   DecodedExpr d;
   d.prefill.assign(e.size(), 0);
   std::uint16_t slot = 0;
@@ -25,14 +28,16 @@ std::int32_t DecodedProgram::intern_expr(const Expr& e) {
     }
     ++slot;
   }
-  for (std::size_t i = 0; i < exprs_.size(); ++i) {
-    if (exprs_[i].prefill == d.prefill && exprs_[i].fields == d.fields) {
+  for (std::size_t i = 0; i < exprs.size(); ++i) {
+    if (exprs[i].prefill == d.prefill && exprs[i].fields == d.fields) {
       return static_cast<std::int32_t>(i);
     }
   }
-  exprs_.push_back(std::move(d));
-  return static_cast<std::int32_t>(exprs_.size()) - 1;
+  exprs.push_back(std::move(d));
+  return static_cast<std::int32_t>(exprs.size()) - 1;
 }
+
+}  // namespace
 
 DecodedProgram DecodedProgram::decode(const Program& p) {
   DecodedProgram out;
@@ -90,8 +95,8 @@ DecodedProgram DecodedProgram::decode(const Program& p) {
           } else if constexpr (std::is_same_v<T, IBranchState>) {
             d.op = Op::kBranchState;
             d.var = ins.var;
-            d.index = out.intern_expr(ins.index);
-            d.vexpr = out.intern_expr(ins.value);
+            d.index = intern_expr(out.exprs_, ins.index);
+            d.vexpr = intern_expr(out.exprs_, ins.value);
             d.on_true = new_pc[static_cast<std::size_t>(ins.on_true)];
             d.on_false = new_pc[static_cast<std::size_t>(ins.on_false)];
           } else if constexpr (std::is_same_v<T, IEscape>) {
@@ -101,16 +106,16 @@ DecodedProgram DecodedProgram::decode(const Program& p) {
           } else if constexpr (std::is_same_v<T, IStateSet>) {
             d.op = Op::kStateSet;
             d.var = ins.var;
-            d.index = out.intern_expr(ins.index);
-            d.vexpr = out.intern_expr(ins.value);
+            d.index = intern_expr(out.exprs_, ins.index);
+            d.vexpr = intern_expr(out.exprs_, ins.value);
           } else if constexpr (std::is_same_v<T, IStateInc>) {
             d.op = Op::kStateInc;
             d.var = ins.var;
-            d.index = out.intern_expr(ins.index);
+            d.index = intern_expr(out.exprs_, ins.index);
           } else if constexpr (std::is_same_v<T, IStateDec>) {
             d.op = Op::kStateDec;
             d.var = ins.var;
-            d.index = out.intern_expr(ins.index);
+            d.index = intern_expr(out.exprs_, ins.index);
           } else if constexpr (std::is_same_v<T, ILeafDone>) {
             d.op = Op::kLeafDone;
             d.node = ins.leaf;
@@ -219,6 +224,199 @@ DecodedProgram::Outcome DecodedProgram::run(XfddId node, const Packet& pkt,
       case Op::kLeafDone:
         if (executed) *executed += count;
         return {Outcome::kLeaf, i.node, 0};
+    }
+  }
+}
+
+DirectXfdd DirectXfdd::build(const XfddStore& store, XfddId root,
+                             const Placement& pl, int sw) {
+  DirectXfdd out;
+  // First pass over the reachable diagram: assign dense indices in
+  // first-visit DFS order and bail out on any foreign state test.
+  std::map<XfddId, std::int32_t> index;
+  std::vector<XfddId> order;
+  std::vector<XfddId> stack{root};
+  while (!stack.empty()) {
+    XfddId id = stack.back();
+    stack.pop_back();
+    if (index.count(id)) continue;
+    index.emplace(id, static_cast<std::int32_t>(order.size()));
+    order.push_back(id);
+    if (store.is_leaf(id)) continue;
+    const BranchNode& b = store.branch_node(id);
+    if (const auto* st = std::get_if<TestState>(&b.test)) {
+      if (pl.at(st->var) != sw) return out;  // ineligible: could get stuck
+    }
+    stack.push_back(b.lo);
+    stack.push_back(b.hi);
+  }
+  // Second pass: flatten. hi/lo become dense indices; leaf-local write
+  // programs flatten into the shared op pool in exactly the order the
+  // assembler emits them (state_programs() order), so instruction counts
+  // and store-mutation order match the program path bit-for-bit.
+  out.nodes_.reserve(order.size());
+  out.entries_.reserve(order.size());
+  for (XfddId id : order) {
+    DNode n{};
+    if (store.is_leaf(id)) {
+      n.kind = DNode::Kind::kLeaf;
+      n.leaf = id;
+      n.ops_begin = static_cast<std::uint32_t>(out.ops_.size());
+      for (const auto& [var, prog] :
+           store.leaf_actions(id).state_programs()) {
+        if (pl.at(var) != sw) continue;
+        for (const Action& op : prog) {
+          DOp d{};
+          std::visit(
+              [&](const auto& a) {
+                using T = std::decay_t<decltype(a)>;
+                if constexpr (std::is_same_v<T, ActStateSet>) {
+                  d.kind = DOp::Kind::kSet;
+                  d.var = a.var;
+                  d.index = intern_expr(out.exprs_, a.index);
+                  d.vexpr = intern_expr(out.exprs_, a.value);
+                } else if constexpr (std::is_same_v<T, ActStateInc>) {
+                  d.kind = DOp::Kind::kInc;
+                  d.var = a.var;
+                  d.index = intern_expr(out.exprs_, a.index);
+                } else if constexpr (std::is_same_v<T, ActStateDec>) {
+                  d.kind = DOp::Kind::kDec;
+                  d.var = a.var;
+                  d.index = intern_expr(out.exprs_, a.index);
+                } else {
+                  throw InternalError("field mod among state programs");
+                }
+              },
+              op);
+          out.ops_.push_back(d);
+        }
+      }
+      n.ops_end = static_cast<std::uint32_t>(out.ops_.size());
+    } else {
+      const BranchNode& b = store.branch_node(id);
+      n.hi = index.at(b.hi);
+      n.lo = index.at(b.lo);
+      if (const auto* fv = std::get_if<TestFV>(&b.test)) {
+        n.f1 = fv->field;
+        if (fv->prefix_len == kExactMatch) {
+          n.kind = DNode::Kind::kFVExact;
+          n.value = fv->value;
+        } else if (fv->prefix_len == 0) {
+          n.kind = DNode::Kind::kFVAny;
+        } else {
+          n.kind = DNode::Kind::kFVMask;
+          n.mask = fv->prefix_len >= 32
+                       ? 0xffffffffu
+                       : ~((1u << (32 - fv->prefix_len)) - 1u);
+          n.value = static_cast<Value>(
+              static_cast<std::uint32_t>(fv->value) & n.mask);
+        }
+      } else if (const auto* ff = std::get_if<TestFF>(&b.test)) {
+        n.kind = DNode::Kind::kFF;
+        n.f1 = ff->f1;
+        n.f2 = ff->f2;
+      } else {
+        const auto& st = std::get<TestState>(b.test);
+        n.kind = DNode::Kind::kState;
+        n.var = st.var;
+        n.index = intern_expr(out.exprs_, st.index);
+        n.vexpr = intern_expr(out.exprs_, st.value);
+      }
+    }
+    out.nodes_.push_back(n);
+  }
+  for (const auto& [id, dense] : index) out.entries_.emplace_back(id, dense);
+  out.eligible_ = true;
+  return out;
+}
+
+DecodedProgram::Outcome DirectXfdd::run(XfddId node, const Packet& pkt,
+                                        Store& state,
+                                        DecodedProgram::Scratch& scratch,
+                                        std::uint64_t* executed) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), node,
+      [](const std::pair<XfddId, std::int32_t>& e, XfddId n) {
+        return e.first < n;
+      });
+  SNAP_CHECK(it != entries_.end() && it->first == node,
+             "no program entry for xFDD node");
+  std::int32_t cur = it->second;
+  std::uint64_t count = 0;
+  const DNode* nodes = nodes_.data();
+  for (;;) {
+    const DNode& n = nodes[static_cast<std::size_t>(cur)];
+    switch (n.kind) {
+      case DNode::Kind::kFVExact: {
+        ++count;
+        auto v = pkt.get(n.f1);
+        cur = (v && *v == n.value) ? n.hi : n.lo;
+        break;
+      }
+      case DNode::Kind::kFVMask: {
+        ++count;
+        auto v = pkt.get(n.f1);
+        cur = (v && (static_cast<std::uint32_t>(*v) & n.mask) ==
+                        static_cast<std::uint32_t>(n.value))
+                  ? n.hi
+                  : n.lo;
+        break;
+      }
+      case DNode::Kind::kFVAny: {
+        ++count;
+        cur = pkt.has(n.f1) ? n.hi : n.lo;
+        break;
+      }
+      case DNode::Kind::kFF: {
+        ++count;
+        auto v1 = pkt.get(n.f1);
+        auto v2 = pkt.get(n.f2);
+        cur = (v1 && v2 && *v1 == *v2) ? n.hi : n.lo;
+        break;
+      }
+      case DNode::Kind::kState: {
+        ++count;
+        bool pass =
+            exprs_[static_cast<std::size_t>(n.index)].eval_into(
+                pkt, scratch.index) &&
+            exprs_[static_cast<std::size_t>(n.vexpr)].eval_into(
+                pkt, scratch.value) &&
+            scratch.value.size() == 1 &&
+            state.get(n.var, scratch.index) == scratch.value[0];
+        cur = pass ? n.hi : n.lo;
+        break;
+      }
+      case DNode::Kind::kLeaf: {
+        for (std::uint32_t o = n.ops_begin; o < n.ops_end; ++o) {
+          const DOp& op = ops_[o];
+          ++count;
+          if (op.kind == DOp::Kind::kSet) {
+            if (!exprs_[static_cast<std::size_t>(op.index)].eval_into(
+                    pkt, scratch.index) ||
+                !exprs_[static_cast<std::size_t>(op.vexpr)].eval_into(
+                    pkt, scratch.value) ||
+                scratch.value.size() != 1) {
+              throw CompileError("state update on " +
+                                 state_var_name(op.var) +
+                                 " references an absent field");
+            }
+            state.set(op.var, scratch.index, scratch.value[0]);
+          } else {
+            if (!exprs_[static_cast<std::size_t>(op.index)].eval_into(
+                    pkt, scratch.index)) {
+              throw CompileError("state increment on " +
+                                 state_var_name(op.var) +
+                                 " references an absent field");
+            }
+            Value v = state.get(op.var, scratch.index);
+            state.set(op.var, scratch.index,
+                      op.kind == DOp::Kind::kInc ? v + 1 : v - 1);
+          }
+        }
+        ++count;  // the implicit ILeafDone
+        if (executed) *executed += count;
+        return {DecodedProgram::Outcome::kLeaf, n.leaf, 0};
+      }
     }
   }
 }

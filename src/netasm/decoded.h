@@ -25,6 +25,7 @@
 #include <cstdint>
 
 #include "lang/eval.h"
+#include "milp/result.h"
 #include "netasm/isa.h"
 
 namespace snap {
@@ -105,11 +106,82 @@ class DecodedProgram {
   bool empty() const { return code_.empty(); }
 
  private:
-  std::int32_t intern_expr(const Expr& e);
-
   std::vector<DInstr> code_;
   std::vector<DecodedExpr> exprs_;
   std::vector<std::pair<XfddId, Pc>> entries_;  // sorted by node id
+};
+
+// Direct xFDD interpreter — the sim engine's fastest path.
+//
+// A switch whose per-switch program tests only locally-placed state can
+// never get stuck: its assembled program contains no IEscape, so every
+// run() from any reachable node walks straight to a leaf. For such
+// switches the NetASM layer adds nothing — the program is a 1:1 transcript
+// of the diagram — and the engine can evaluate the diagram walk itself:
+// each reachable node is flattened once into a dense DNode (hi/lo edges
+// resolved to dense indices, prefix masks pre-computed, state operands
+// interned DecodedExpr slots with constants pre-evaluated, leaf-local
+// write programs flattened into a contiguous op span), and run() chases
+// dense indices instead of program counters.
+//
+// Semantics and *instruction accounting* are bit-for-bit those of the
+// decoded program (and therefore of SoftwareSwitch::run): one counted unit
+// per branch node visited, one per applied local state op, one for the
+// implicit ILeafDone — the per-switch instruction-parity tests hold on
+// either path. Switches with reachable foreign state report
+// eligible() == false and the engine falls back to the decoded program.
+class DirectXfdd {
+ public:
+  // Flattens the diagram reachable from `root` for switch `sw`. When any
+  // reachable branch tests a state variable `pl` places elsewhere the
+  // result is ineligible (and otherwise empty).
+  static DirectXfdd build(const XfddStore& store, XfddId root,
+                          const Placement& pl, int sw);
+
+  DirectXfdd() = default;
+
+  bool eligible() const { return eligible_; }
+
+  // Drop-in for DecodedProgram::run on eligible switches: resumes at
+  // `node` (the root, an escape-resume branch, or a leaf re-entered for
+  // its local writes) and always resolves to a kLeaf outcome.
+  DecodedProgram::Outcome run(XfddId node, const Packet& pkt, Store& state,
+                              DecodedProgram::Scratch& scratch,
+                              std::uint64_t* executed) const;
+
+ private:
+  struct DOp {
+    enum class Kind : std::uint8_t { kSet, kInc, kDec };
+    Kind kind;
+    StateVarId var = 0;
+    std::int32_t index = -1, vexpr = -1;  // DecodedExpr ids
+  };
+
+  struct DNode {
+    enum class Kind : std::uint8_t {
+      kFVExact,
+      kFVMask,
+      kFVAny,
+      kFF,
+      kState,
+      kLeaf,
+    };
+    Kind kind;
+    FieldId f1 = 0, f2 = 0;
+    std::uint32_t mask = 0;  // kFVMask
+    Value value = 0;         // compare value (pre-masked for kFVMask)
+    std::int32_t hi = -1, lo = -1;        // dense successor indices
+    StateVarId var = 0;
+    std::int32_t index = -1, vexpr = -1;  // DecodedExpr ids (kState)
+    XfddId leaf = 0;                      // kLeaf: store id to report
+    std::uint32_t ops_begin = 0, ops_end = 0;  // kLeaf: local write span
+  };
+
+  bool eligible_ = false;
+  std::vector<DNode> nodes_;  // reachable nodes only, densely indexed
+  std::vector<DOp> ops_;      // flat pool of leaf-local write ops
+  std::vector<DecodedExpr> exprs_;
+  std::vector<std::pair<XfddId, std::int32_t>> entries_;  // sorted by id
 };
 
 }  // namespace netasm

@@ -1,0 +1,137 @@
+#include "sim/conflict.h"
+
+#include <algorithm>
+
+#include "lang/eval.h"  // field_test_passes
+
+namespace snap {
+namespace sim {
+
+ConflictCache::ConflictCache(const XfddStore& store, XfddId root)
+    : store_(&store), root_(root) {
+  visited_.assign(store.size(), 0);
+  // One full walk (both branches everywhere) collects the field-test set
+  // and the largest variable id a mask can ever contain.
+  std::vector<XfddId> stack{root};
+  ++epoch_;
+  while (!stack.empty()) {
+    XfddId id = stack.back();
+    stack.pop_back();
+    if (visited_[id] == epoch_) continue;
+    visited_[id] = epoch_;
+    if (store.is_leaf(id)) {
+      for (const auto& [var, ops] : store.leaf_actions(id).state_programs()) {
+        max_var_ = std::max(max_var_, var);
+      }
+      continue;
+    }
+    const BranchNode& b = store.branch_node(id);
+    if (const auto* fv = std::get_if<TestFV>(&b.test)) {
+      test_fields_.push_back(fv->field);
+    } else if (const auto* ff = std::get_if<TestFF>(&b.test)) {
+      test_fields_.push_back(ff->f1);
+      test_fields_.push_back(ff->f2);
+    } else {
+      max_var_ = std::max(max_var_, std::get<TestState>(b.test).var);
+    }
+    stack.push_back(b.hi);
+    stack.push_back(b.lo);
+  }
+  std::sort(test_fields_.begin(), test_fields_.end());
+  test_fields_.erase(std::unique(test_fields_.begin(), test_fields_.end()),
+                     test_fields_.end());
+}
+
+void ConflictCache::build_signature(const Packet& pkt,
+                                    std::vector<Value>& sig) const {
+  // Merge scan: both the packet record and the field-test set are sorted by
+  // FieldId. Each tested field contributes (present?, value); untested
+  // packet fields cannot influence the walk and are skipped.
+  sig.clear();
+  sig.reserve(test_fields_.size() * 2);
+  const auto& entries = pkt.entries();
+  std::size_t pi = 0;
+  for (FieldId f : test_fields_) {
+    while (pi < entries.size() && entries[pi].first < f) ++pi;
+    if (pi < entries.size() && entries[pi].first == f) {
+      sig.push_back(1);
+      sig.push_back(entries[pi].second);
+    } else {
+      sig.push_back(0);
+      sig.push_back(0);
+    }
+  }
+}
+
+std::uint32_t ConflictCache::mask_index(const Packet& pkt,
+                                        std::uint32_t flow) {
+  build_signature(pkt, sig_buf_);
+  FlowEntry& fe = by_flow_[flow];
+  if (!fe.sig.empty() && fe.sig == sig_buf_) {
+    ++hits_;
+    return fe.index;
+  }
+  auto it = by_sig_.find(sig_buf_);
+  if (it == by_sig_.end()) {
+    ++misses_;
+    std::vector<StateVarId> vars;
+    fresh_walk(pkt, vars);
+    masks_.push_back(std::move(vars));
+    it = by_sig_
+             .emplace(sig_buf_,
+                      static_cast<std::uint32_t>(masks_.size()) - 1)
+             .first;
+  } else {
+    ++hits_;
+  }
+  fe.sig = sig_buf_;
+  fe.index = it->second;
+  return it->second;
+}
+
+void ConflictCache::fresh_walk(const Packet& pkt,
+                               std::vector<StateVarId>& out) {
+  out.clear();
+  ++epoch_;
+  std::vector<XfddId> stack{root_};
+  const XfddStore& store = *store_;
+  while (!stack.empty()) {
+    XfddId id = stack.back();
+    stack.pop_back();
+    if (visited_[id] == epoch_) continue;
+    visited_[id] = epoch_;
+    if (store.is_leaf(id)) {
+      auto it = leaf_vars_.find(id);
+      if (it == leaf_vars_.end()) {
+        std::vector<StateVarId> vars;
+        for (const auto& [var, ops] :
+             store.leaf_actions(id).state_programs()) {
+          vars.push_back(var);
+        }
+        it = leaf_vars_.emplace(id, std::move(vars)).first;
+      }
+      out.insert(out.end(), it->second.begin(), it->second.end());
+      continue;
+    }
+    const BranchNode& b = store.branch_node(id);
+    if (const auto* fv = std::get_if<TestFV>(&b.test)) {
+      stack.push_back(
+          field_test_passes(pkt, fv->field, fv->value, fv->prefix_len)
+              ? b.hi
+              : b.lo);
+    } else if (const auto* ff = std::get_if<TestFF>(&b.test)) {
+      auto v1 = pkt.get(ff->f1);
+      auto v2 = pkt.get(ff->f2);
+      stack.push_back((v1 && v2 && *v1 == *v2) ? b.hi : b.lo);
+    } else {
+      out.push_back(std::get<TestState>(b.test).var);
+      stack.push_back(b.hi);
+      stack.push_back(b.lo);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+}  // namespace sim
+}  // namespace snap

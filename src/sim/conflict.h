@@ -1,0 +1,106 @@
+// Per-flow conflict-mask caching for the deterministic scheduler.
+//
+// The engine's conflict gate needs, per packet, the set of state variables
+// the packet *might* read or write — a field-consistent walk of the policy
+// xFDD (field tests decided by the packet, both branches of state tests
+// explored, leaf write-sets unioned). That walk is sound but costs
+// O(reachable diagram) per packet, and it is a pure function of the
+// packet's values on the fields the diagram actually tests: two packets
+// that agree on every tested field take identical field-decided branches
+// and therefore produce identical masks.
+//
+// ConflictCache exploits that. At construction it walks the diagram once to
+// collect the *field-test set* (every field named by a TestFV/TestFF branch)
+// and the maximum state-variable id any mask can contain. Per packet it
+// builds a compact signature — (present?, value) per tested field, extracted
+// with one merge scan over the packet's sorted field record — and resolves
+// the mask through two levels: a per-flow front cache (workload flows replay
+// a small set of signatures, so the previous packet of the same flow usually
+// matches without hashing) and a global signature-keyed table. Only a
+// never-seen signature pays the diagram walk. Masks are interned and
+// referred to by dense index, so the scheduler's acquire/release bookkeeping
+// can pass a 32-bit handle instead of copying variable lists.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "lang/packet.h"
+#include "xfdd/xfdd.h"
+
+namespace snap {
+namespace sim {
+
+class ConflictCache {
+ public:
+  // Walks the diagram reachable from `root` once: collects the field-test
+  // set and max_var_id(). `store` must outlive the cache.
+  ConflictCache(const XfddStore& store, XfddId root);
+
+  // Dense index of `pkt`'s conflict mask (stable for the cache's lifetime).
+  // `flow` is the workload's flow identity (SimPacket::flow) and is purely
+  // an acceleration hint — the result is independent of it.
+  std::uint32_t mask_index(const Packet& pkt, std::uint32_t flow);
+
+  const std::vector<StateVarId>& mask(std::uint32_t index) const {
+    return masks_[index];
+  }
+
+  // The uncached field-consistent walk (the reference the cache must agree
+  // with; tests/test_sim.cpp checks mask() against it packet by packet).
+  void fresh_walk(const Packet& pkt, std::vector<StateVarId>& out);
+
+  // Every field a TestFV/TestFF branch of the diagram names (sorted).
+  const std::vector<FieldId>& test_fields() const { return test_fields_; }
+
+  // Largest state-variable id any mask can contain (state tests and leaf
+  // write-sets included); 0 when the diagram is stateless. The scheduler
+  // sizes its acquire table from this so no id can silently fall outside.
+  StateVarId max_var_id() const { return max_var_; }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct SigHash {
+    std::size_t operator()(const std::vector<Value>& sig) const {
+      std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+      for (Value v : sig) {
+        auto u = static_cast<std::uint64_t>(v);
+        for (int i = 0; i < 8; ++i) {
+          h ^= (u >> (8 * i)) & 0xff;
+          h *= 1099511628211ull;
+        }
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  struct FlowEntry {
+    std::vector<Value> sig;
+    std::uint32_t index = 0;
+  };
+
+  void build_signature(const Packet& pkt, std::vector<Value>& sig) const;
+
+  const XfddStore* store_;
+  XfddId root_;
+  std::vector<FieldId> test_fields_;
+  StateVarId max_var_ = 0;
+
+  std::vector<std::vector<StateVarId>> masks_;
+  std::unordered_map<std::vector<Value>, std::uint32_t, SigHash> by_sig_;
+  std::unordered_map<std::uint32_t, FlowEntry> by_flow_;
+
+  // fresh_walk scratch (epoch-stamped visited set + leaf write-set cache).
+  std::vector<std::uint32_t> visited_;
+  std::uint32_t epoch_ = 0;
+  std::unordered_map<XfddId, std::vector<StateVarId>> leaf_vars_;
+  std::vector<Value> sig_buf_;
+
+  std::uint64_t hits_ = 0, misses_ = 0;
+};
+
+}  // namespace sim
+}  // namespace snap

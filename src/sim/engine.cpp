@@ -1,14 +1,17 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <deque>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <unordered_map>
 
-#include "lang/eval.h"  // field_test_passes
 #include "netasm/decoded.h"
+#include "sim/conflict.h"
 #include "sim/spsc.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -40,10 +43,17 @@ struct SwitchSet {
 
 std::string SimStats::to_json() const {
   std::ostringstream os;
+  // Full precision so the JSON perf trajectory (BENCH_throughput.json)
+  // round-trips seconds/pps exactly instead of losing digits to the
+  // default 6-significant-digit formatting.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
   os << "{\"packets\":" << packets << ",\"deliveries\":" << deliveries
      << ",\"forwards\":" << forwards << ",\"instructions\":" << instructions
-     << ",\"hops\":" << hops << ",\"seconds\":" << seconds
-     << ",\"pps\":" << pps << ",\"workers\":" << workers
+     << ",\"hops\":" << hops << ",\"conflict_hits\":" << conflict_hits
+     << ",\"conflict_misses\":" << conflict_misses
+     << ",\"seconds\":" << seconds << ",\"pps\":" << pps
+     << ",\"workers\":" << workers << ",\"batch\":" << batch
+     << ",\"direct_switches\":" << direct_switches
      << ",\"deterministic\":" << (deterministic ? "true" : "false");
   auto arr = [&os](const char* name, const std::vector<std::uint64_t>& v) {
     os << ",\"" << name << "\":[";
@@ -80,6 +90,19 @@ struct TrafficEngine::Impl {
     std::uint32_t latency_us = 0;
   };
 
+  // Fixed-size accumulation buffers: tasks/completions for one ring are
+  // gathered here and cross the ring as one batched cursor update
+  // (SpscRing::try_push_batch). Flushed when full, on conflict-window
+  // boundaries (scheduler) and on every sweep boundary (workers).
+  struct TaskBatch {
+    std::uint32_t n = 0;
+    std::array<Task, static_cast<std::size_t>(kMaxTaskBatch)> t;
+  };
+  struct CompletionBatch {
+    std::uint32_t n = 0;
+    std::array<Completion, static_cast<std::size_t>(kMaxTaskBatch)> c;
+  };
+
   struct TaggedDelivery {
     std::uint32_t seq;
     std::uint32_t copy;
@@ -96,6 +119,10 @@ struct TrafficEngine::Impl {
     // Per-leaf write plan: (var, owner) in (state-rank, id) order.
     std::unordered_map<XfddId, std::vector<std::pair<StateVarId, int>>>
         plans;
+    // Outgoing batches under accumulation, one per destination worker,
+    // plus the completion batch toward the scheduler.
+    std::vector<TaskBatch> out_pending;
+    CompletionBatch comp_pending;
     // Messages that found a full ring (capacity is sized so this stays
     // empty; kept as a correctness backstop).
     std::deque<std::pair<int, Task>> overflow;
@@ -106,21 +133,19 @@ struct TrafficEngine::Impl {
   std::unique_ptr<Network> owned;
   EngineOptions opts;
   int W = 1;
+  int B = 1;  // effective tasks per ring message
+  int guard_budget = 0;
   SimStats stats;
 
-  std::vector<netasm::DecodedProgram> decoded;       // per switch
-  std::vector<std::unique_ptr<WorkerCtx>> ctxs;      // per worker
+  std::vector<netasm::DecodedProgram> decoded;     // per switch
+  std::vector<netasm::DirectXfdd> direct;          // per switch (may be empty)
+  std::vector<std::unique_ptr<WorkerCtx>> ctxs;    // per worker
   std::vector<std::unique_ptr<SpscRing<Task>>> rings;  // (W+1) x W
   std::vector<std::unique_ptr<SpscRing<Completion>>> comps;  // per worker
   std::atomic<bool> stop{false};
   std::atomic<bool> abort{false};
   std::mutex err_mu;
   std::exception_ptr err;
-
-  // Scheduler-side caches for the conflict walk.
-  std::vector<std::uint32_t> visited;  // per xFDD node, epoch-stamped
-  std::uint32_t epoch = 0;
-  std::unordered_map<XfddId, std::vector<StateVarId>> leaf_vars;
 
   explicit Impl(Network& n, EngineOptions o) : net(&n), opts(o) {
     SNAP_CHECK(net->topo().num_switches() <= 256,
@@ -132,6 +157,7 @@ struct TrafficEngine::Impl {
     }
     W = std::min(W, std::max(1, net->topo().num_switches()));
     if (opts.window < 16) opts.window = 16;
+    B = std::clamp(opts.batch, 1, kMaxTaskBatch);
   }
 
   int worker_of(int sw) const { return sw % W; }
@@ -144,15 +170,57 @@ struct TrafficEngine::Impl {
 
   Store& state_of(int sw) { return net->switch_at(sw).state(); }
 
+  // Runs switch `sw`'s slice from `node`: the direct xFDD walk when the
+  // switch has no foreign state, the decoded NetASM program otherwise.
+  netasm::DecodedProgram::Outcome run_switch(int sw, XfddId node,
+                                             const Packet& pkt,
+                                             WorkerCtx& ctx) {
+    const std::size_t swi = static_cast<std::size_t>(sw);
+    if (!direct.empty() && direct[swi].eligible()) {
+      return direct[swi].run(node, pkt, state_of(sw), ctx.scratch,
+                             &ctx.instr[swi]);
+    }
+    return decoded[swi].run(node, pkt, state_of(sw), ctx.scratch,
+                            &ctx.instr[swi]);
+  }
+
   // ---- worker side --------------------------------------------------------
+
+  void flush_tasks(int me, int dest) {
+    WorkerCtx& ctx = *ctxs[static_cast<std::size_t>(me)];
+    TaskBatch& b = ctx.out_pending[static_cast<std::size_t>(dest)];
+    if (b.n == 0) return;
+    // Older overflow for this ring must drain first to keep per-ring FIFO.
+    if (!ctx.overflow.empty() ||
+        !ring(me, dest).try_push_batch(b.t.data(), b.n)) {
+      for (std::uint32_t i = 0; i < b.n; ++i) {
+        ctx.overflow.emplace_back(dest, std::move(b.t[i]));
+      }
+    }
+    b.n = 0;
+  }
+
+  void flush_completions(int me) {
+    WorkerCtx& ctx = *ctxs[static_cast<std::size_t>(me)];
+    CompletionBatch& b = ctx.comp_pending;
+    if (b.n == 0) return;
+    if (!ctx.comp_overflow.empty() ||
+        !comps[static_cast<std::size_t>(me)]->try_push_batch(b.c.data(),
+                                                             b.n)) {
+      for (std::uint32_t i = 0; i < b.n; ++i) {
+        ctx.comp_overflow.push_back(b.c[i]);
+      }
+    }
+    b.n = 0;
+  }
 
   void send(int me, Task&& t) {
     int dest = worker_of(t.sw);
-    ctxs[static_cast<std::size_t>(me)]->forwards++;
-    if (!ring(me, dest).try_push(std::move(t))) {
-      ctxs[static_cast<std::size_t>(me)]->overflow.emplace_back(
-          dest, std::move(t));
-    }
+    WorkerCtx& ctx = *ctxs[static_cast<std::size_t>(me)];
+    ctx.forwards++;
+    TaskBatch& b = ctx.out_pending[static_cast<std::size_t>(dest)];
+    b.t[b.n++] = std::move(t);
+    if (static_cast<int>(b.n) >= B) flush_tasks(me, dest);
   }
 
   void complete(int me, const Task& t) {
@@ -160,9 +228,10 @@ struct TrafficEngine::Impl {
     Completion c{t.seq, t.hops,
                  static_cast<std::uint32_t>(
                      std::min<std::uint64_t>(us, 0xffffffffu))};
-    if (!comps[static_cast<std::size_t>(me)]->try_push(std::move(c))) {
-      ctxs[static_cast<std::size_t>(me)]->comp_overflow.push_back(c);
-    }
+    WorkerCtx& ctx = *ctxs[static_cast<std::size_t>(me)];
+    CompletionBatch& b = ctx.comp_pending;
+    b.c[b.n++] = c;
+    if (static_cast<int>(b.n) >= B) flush_completions(me);
   }
 
   // One forwarding walk toward `target`, mirroring the serial path's hop
@@ -218,7 +287,7 @@ struct TrafficEngine::Impl {
         continue;  // egress port does not exist: dropped
       }
       int cur = t.sw;
-      int copy_guard = net->topo().num_switches() * 4 + 16;
+      int copy_guard = guard_budget;
       while (cur != esw) {
         int nxt = net->next_hop(cur, esw, t.inport, egress);
         net->count_hop(cur, nxt);
@@ -237,8 +306,7 @@ struct TrafficEngine::Impl {
     for (;;) {
       const std::size_t swi = static_cast<std::size_t>(t.sw);
       if (t.phase == Task::Phase::kResolve) {
-        auto oc = decoded[swi].run(t.node, t.pkt, state_of(t.sw),
-                                   ctx.scratch, &ctx.instr[swi]);
+        auto oc = run_switch(t.sw, t.node, t.pkt, ctx);
         ++ctx.events[swi];
         if (oc.kind == netasm::DecodedProgram::Outcome::kStuck) {
           SNAP_CHECK(--t.guard > 0,
@@ -258,8 +326,7 @@ struct TrafficEngine::Impl {
         t.applied.set(t.sw);
       } else {
         // Arrived at a write owner: apply its local leaf writes.
-        auto oc = decoded[swi].run(t.node, t.pkt, state_of(t.sw),
-                                   ctx.scratch, &ctx.instr[swi]);
+        auto oc = run_switch(t.sw, t.node, t.pkt, ctx);
         ++ctx.events[swi];
         SNAP_CHECK(oc.kind == netasm::DecodedProgram::Outcome::kLeaf &&
                        oc.node == t.node,
@@ -278,6 +345,10 @@ struct TrafficEngine::Impl {
         egress_and_complete(me, t);
         return;
       }
+      // Each owner walk gets a fresh budget — the serial path budgets its
+      // phase-2 walks per owner, so a long multi-owner write plan must not
+      // exhaust the resolve budget and trip "walked too long" spuriously.
+      t.guard = guard_budget;
       walk(t, next_owner, "packet walked too long while writing state");
       if (worker_of(t.sw) != me) {
         send(me, std::move(t));
@@ -305,18 +376,26 @@ struct TrafficEngine::Impl {
 
   void worker_loop(int me) {
     try {
+      std::array<Task, static_cast<std::size_t>(kMaxTaskBatch)> in;
       for (;;) {
         if (abort.load(std::memory_order_relaxed)) return;
         flush_overflow(me);
         bool did = false;
         for (int p = 0; p <= W; ++p) {
-          Task t;
-          while (ring(p, me).try_pop(t)) {
+          std::size_t k;
+          while ((k = ring(p, me).try_pop_batch(in.data(), in.size())) >
+                 0) {
             did = true;
-            process(me, t);
-            if (abort.load(std::memory_order_relaxed)) return;
+            for (std::size_t i = 0; i < k; ++i) {
+              process(me, in[i]);
+              if (abort.load(std::memory_order_relaxed)) return;
+            }
           }
         }
+        // Sweep boundary: partial batches must not strand in-flight
+        // packets (or completions the conflict gate is waiting on).
+        for (int d = 0; d < W; ++d) flush_tasks(me, d);
+        flush_completions(me);
         if (!did) {
           if (stop.load(std::memory_order_acquire)) return;
           std::this_thread::yield();
@@ -333,81 +412,51 @@ struct TrafficEngine::Impl {
 
   // ---- scheduler side -----------------------------------------------------
 
-  // Field-consistent over-approximation of the state variables `pkt` could
-  // touch: field tests are decided by the packet, both branches of state
-  // tests are explored, and every reachable leaf contributes its write set.
-  void touched_vars(const Packet& pkt, std::vector<StateVarId>& out) {
-    out.clear();
-    ++epoch;
-    std::vector<XfddId> stack{net->root()};
-    const XfddStore& store = net->store();
-    while (!stack.empty()) {
-      XfddId id = stack.back();
-      stack.pop_back();
-      if (visited[id] == epoch) continue;
-      visited[id] = epoch;
-      if (store.is_leaf(id)) {
-        auto it = leaf_vars.find(id);
-        if (it == leaf_vars.end()) {
-          std::vector<StateVarId> vars;
-          for (const auto& [var, ops] :
-               store.leaf_actions(id).state_programs()) {
-            vars.push_back(var);
-          }
-          it = leaf_vars.emplace(id, std::move(vars)).first;
-        }
-        out.insert(out.end(), it->second.begin(), it->second.end());
-        continue;
-      }
-      const BranchNode& b = store.branch_node(id);
-      if (const auto* fv = std::get_if<TestFV>(&b.test)) {
-        stack.push_back(
-            field_test_passes(pkt, fv->field, fv->value, fv->prefix_len)
-                ? b.hi
-                : b.lo);
-      } else if (const auto* ff = std::get_if<TestFF>(&b.test)) {
-        auto v1 = pkt.get(ff->f1);
-        auto v2 = pkt.get(ff->f2);
-        stack.push_back((v1 && v2 && *v1 == *v2) ? b.hi : b.lo);
-      } else {
-        out.push_back(std::get<TestState>(b.test).var);
-        stack.push_back(b.hi);
-        stack.push_back(b.lo);
-      }
-    }
-    std::sort(out.begin(), out.end());
-    out.erase(std::unique(out.begin(), out.end()), out.end());
-  }
-
   std::vector<Network::Delivery> run(const Workload& wl) {
     const std::size_t N = wl.packets.size();
     const int num_sw = net->topo().num_switches();
     stats = SimStats{};
     stats.packets = N;
     stats.workers = W;
+    stats.batch = B;
     stats.deterministic = opts.deterministic;
     stats.per_switch_instructions.assign(
         static_cast<std::size_t>(num_sw), 0);
     stats.per_switch_events.assign(static_cast<std::size_t>(num_sw), 0);
     stats.hop_histogram.assign(65, 0);
     stats.latency_histogram.assign(32, 0);
+    guard_budget = num_sw * 4 + 16;
     if (N == 0) return {};
     SNAP_CHECK(N < (1ull << 32), "workload exceeds 32-bit sequence space");
 
     // Decode every switch's program once per run (apply() may have patched
-    // programs since the last run).
+    // programs since the last run). Switches whose program tests only
+    // locally-placed state additionally get the direct xFDD interpreter.
     decoded.clear();
     decoded.reserve(static_cast<std::size_t>(num_sw));
+    direct.clear();
     for (int sw = 0; sw < num_sw; ++sw) {
       decoded.push_back(
           netasm::DecodedProgram::decode(net->switch_at(sw).program()));
     }
-    visited.assign(net->store().size(), 0);
-    epoch = 0;
-    leaf_vars.clear();
+    if (opts.xfdd_direct) {
+      direct.reserve(static_cast<std::size_t>(num_sw));
+      for (int sw = 0; sw < num_sw; ++sw) {
+        // A switch with no program must keep failing through the decoded
+        // path ("no program entry"), not silently interpret the diagram.
+        if (net->switch_at(sw).program().code.empty()) {
+          direct.emplace_back();
+        } else {
+          direct.push_back(netasm::DirectXfdd::build(
+              net->store(), net->root(), net->placement(), sw));
+        }
+        if (direct.back().eligible()) ++stats.direct_switches;
+      }
+    }
 
-    // Fresh rings and worker contexts. Capacity == window: at most
-    // `window` packets are in flight and each owns at most one message.
+    // Fresh rings and worker contexts. Task-ring capacity == window: at
+    // most `window` packets are in flight and each owns at most one slot,
+    // so batched pushes always find room.
     rings.clear();
     for (int p = 0; p <= W; ++p) {
       for (int c = 0; c < W; ++c) {
@@ -423,6 +472,7 @@ struct TrafficEngine::Impl {
       auto ctx = std::make_unique<WorkerCtx>();
       ctx->instr.assign(static_cast<std::size_t>(num_sw), 0);
       ctx->events.assign(static_cast<std::size_t>(num_sw), 0);
+      ctx->out_pending.assign(static_cast<std::size_t>(W), TaskBatch{});
       ctxs.push_back(std::move(ctx));
     }
     stop.store(false);
@@ -439,15 +489,81 @@ struct TrafficEngine::Impl {
     }
 
     // Conflict bookkeeping (deterministic mode): how many in-flight
-    // packets touch each state variable.
+    // packets touch each state variable. The mask cache keys the
+    // field-consistent walk by flow/field-signature, so the per-packet
+    // diagram walk is paid only for never-seen signatures; `active` is
+    // sized by the largest id any mask can contain (not just the intern
+    // count at run start), and out-of-range ids fail loudly instead of
+    // silently skipping the gate.
+    std::unique_ptr<ConflictCache> conflict;
     std::vector<std::uint32_t> active;
-    if (opts.deterministic) active.assign(state_var_count(), 0);
-    std::unordered_map<std::uint32_t, std::vector<StateVarId>> inflight_vars;
+    // Confinement worker of the packets currently holding each variable
+    // (valid while active[v] > 0; -1 = some holder is unconfined).
+    std::vector<int> conf;
+    if (opts.deterministic) {
+      conflict =
+          std::make_unique<ConflictCache>(net->store(), net->root());
+      const std::size_t nv = std::max<std::size_t>(
+          state_var_count(),
+          static_cast<std::size_t>(conflict->max_var_id()) + 1);
+      active.assign(nv, 0);
+      conf.assign(nv, -1);
+    }
+    // seq -> conflict-mask index of each in-flight packet with a
+    // nonempty mask.
+    std::unordered_map<std::uint32_t, std::uint32_t> inflight_masks;
+
+    // A packet whose ingress worker also owns every variable in its mask
+    // is *confined*: its whole walk (resolve targets, write owners, inline
+    // egress) happens on that one worker, so it can be dispatched behind a
+    // conflicting confined predecessor — the ring's FIFO already executes
+    // them in sequence order — instead of stalling the window for a full
+    // scheduler round-trip. With one worker every packet is confined and
+    // deterministic mode pipelines gate-free. mask_worker memoizes, per
+    // conflict-mask index, the single worker owning all of the mask's
+    // variables (-1 when they span workers or are unplaced, -2 unknown).
+    std::vector<int> mask_worker;
+    auto worker_of_mask = [&](std::uint32_t midx) {
+      if (midx >= mask_worker.size()) mask_worker.resize(midx + 1, -2);
+      int& mw = mask_worker[midx];
+      if (mw == -2) {
+        mw = -1;
+        bool first = true;
+        for (StateVarId v : conflict->mask(midx)) {
+          int owner = net->placement().at(v);
+          if (owner < 0) {
+            mw = -1;
+            break;
+          }
+          int w = worker_of(owner);
+          if (first) {
+            mw = w;
+            first = false;
+          } else if (mw != w) {
+            mw = -1;
+            break;
+          }
+        }
+      }
+      return mw;
+    };
+
+    // Scheduler-side dispatch batches, one per destination worker.
+    std::vector<TaskBatch> sched_pending(static_cast<std::size_t>(W));
+    auto sched_flush = [&](int dest) {
+      TaskBatch& b = sched_pending[static_cast<std::size_t>(dest)];
+      if (b.n == 0) return;
+      while (!ring(W, dest).try_push_batch(b.t.data(), b.n)) {
+        std::this_thread::yield();  // unreachable with capacity==window
+      }
+      b.n = 0;
+    };
 
     Timer timer;
     std::size_t next = 0, completed = 0, inflight = 0;
-    std::vector<StateVarId> head_vars;
+    std::uint32_t head_mask = 0;
     bool head_valid = false;
+    std::array<Completion, static_cast<std::size_t>(kMaxTaskBatch)> cbuf;
     // A scheduler-side throw (e.g. a workload inport the deployed topology
     // does not attach) must release the worker loops before unwinding —
     // ThreadPool's destructor joins them, and they only exit on stop/abort.
@@ -456,63 +572,80 @@ struct TrafficEngine::Impl {
       bool progress = false;
       while (next < N && inflight < opts.window) {
         const SimPacket& sp = wl.packets[next];
+        const int isw = net->topo().port_switch(sp.inport);
         if (opts.deterministic) {
           if (!head_valid) {
-            touched_vars(sp.pkt, head_vars);
+            head_mask = conflict->mask_index(sp.pkt, sp.flow);
             head_valid = true;
           }
-          bool blocked = false;
-          for (StateVarId v : head_vars) {
-            if (v < active.size() && active[v] > 0) {
-              blocked = true;
-              break;
+          const std::vector<StateVarId>& vars = conflict->mask(head_mask);
+          if (!vars.empty()) {
+            const int cw = worker_of(isw);
+            const bool confined = worker_of_mask(head_mask) == cw;
+            bool blocked = false;
+            for (StateVarId v : vars) {
+              SNAP_CHECK(v < active.size(),
+                         "conflict mask names a state variable outside the "
+                         "deterministic gate table");
+              // A conflict blocks unless both this packet and every
+              // current holder of the variable are confined to the same
+              // worker (then ring FIFO serializes them in sequence order).
+              if (active[v] > 0 && !(confined && conf[v] == cw)) {
+                blocked = true;
+                break;
+              }
             }
-          }
-          if (blocked) break;  // strict sequence order: wait for conflicts
-          for (StateVarId v : head_vars) {
-            if (v < active.size()) ++active[v];
-          }
-          if (!head_vars.empty()) {
-            inflight_vars.emplace(static_cast<std::uint32_t>(next),
-                                  head_vars);
+            if (blocked) break;  // strict sequence order: wait it out
+            for (StateVarId v : vars) {
+              if (active[v]++ == 0) conf[v] = confined ? cw : -1;
+            }
+            inflight_masks.emplace(static_cast<std::uint32_t>(next),
+                                   head_mask);
           }
         }
         Task t;
         t.phase = Task::Phase::kResolve;
         t.seq = static_cast<std::uint32_t>(next);
-        t.sw = net->topo().port_switch(sp.inport);
+        t.sw = isw;
         t.node = net->root();
-        t.guard = num_sw * 4 + 16;
+        t.guard = guard_budget;
         t.inport = sp.inport;
         t.t_dispatch_ns = now_ns();
         t.pkt = sp.pkt;
         int dest = worker_of(t.sw);
-        while (!ring(W, dest).try_push(std::move(t))) {
-          std::this_thread::yield();  // unreachable with capacity==window
-        }
+        TaskBatch& b = sched_pending[static_cast<std::size_t>(dest)];
+        b.t[b.n++] = std::move(t);
+        if (static_cast<int>(b.n) >= B) sched_flush(dest);
         head_valid = false;
         ++next;
         ++inflight;
         progress = true;
       }
-      Completion c;
+      // Conflict-window boundary (blocked head, full window, or drained
+      // workload): hand workers every partial batch before waiting.
+      for (int d = 0; d < W; ++d) sched_flush(d);
       for (int w = 0; w < W; ++w) {
-        while (comps[static_cast<std::size_t>(w)]->try_pop(c)) {
-          ++completed;
-          --inflight;
+        std::size_t k;
+        while ((k = comps[static_cast<std::size_t>(w)]->try_pop_batch(
+                    cbuf.data(), cbuf.size())) > 0) {
           progress = true;
-          stats.hops += c.hops;
-          ++stats.hop_histogram[std::min<std::uint32_t>(c.hops, 64)];
-          std::uint32_t bucket = 0;
-          while ((1u << bucket) <= c.latency_us && bucket < 31) ++bucket;
-          ++stats.latency_histogram[bucket];
-          if (opts.deterministic) {
-            auto it = inflight_vars.find(c.seq);
-            if (it != inflight_vars.end()) {
-              for (StateVarId v : it->second) {
-                if (v < active.size()) --active[v];
+          for (std::size_t i = 0; i < k; ++i) {
+            const Completion& c = cbuf[i];
+            ++completed;
+            --inflight;
+            stats.hops += c.hops;
+            ++stats.hop_histogram[std::min<std::uint32_t>(c.hops, 64)];
+            std::uint32_t bucket = 0;
+            while ((1u << bucket) <= c.latency_us && bucket < 31) ++bucket;
+            ++stats.latency_histogram[bucket];
+            if (opts.deterministic) {
+              auto it = inflight_masks.find(c.seq);
+              if (it != inflight_masks.end()) {
+                for (StateVarId v : conflict->mask(it->second)) {
+                  --active[v];
+                }
+                inflight_masks.erase(it);
               }
-              inflight_vars.erase(it);
             }
           }
         }
@@ -529,6 +662,10 @@ struct TrafficEngine::Impl {
     for (auto& f : loops) f.wait();
     stats.seconds = timer.seconds();
     if (err) std::rethrow_exception(err);
+    if (conflict) {
+      stats.conflict_hits = conflict->hits();
+      stats.conflict_misses = conflict->misses();
+    }
 
     // Merge worker-local stats and deliveries.
     stats.pps = stats.seconds > 0 ? static_cast<double>(N) / stats.seconds

@@ -12,6 +12,21 @@
 // becomes a kWrite visit chain, and egress walks complete inline on the
 // final shard (they only touch the Network's atomic hop counters).
 //
+// Three levers close the gap between the per-packet scheduler round-trip
+// and line rate:
+//   - Batched dispatch: tasks and completions cross every ring in
+//     fixed-size batches (EngineOptions::batch, up to kMaxTaskBatch per
+//     message) flushed on conflict-window boundaries and idle sweeps, so
+//     the SPSC cursor round-trip amortizes ~batch×.
+//   - Per-flow conflict caching (sim/conflict.h): the conflict mask is a
+//     function of the packet's values on the diagram's tested fields, so
+//     the scheduler keys it by that field signature (with a per-flow front
+//     cache) and re-walks the diagram only for never-seen signatures.
+//   - xFDD-direct interpretation (netasm::DirectXfdd): switches whose
+//     program tests only locally-placed state can never get stuck, so
+//     their walks evaluate the diagram directly and skip NetASM
+//     instruction dispatch — same semantics, same instruction accounting.
+//
 // Determinism. In deterministic mode (the default) the scheduler replays
 // the workload's global sequence order under a conflict window: packet k is
 // dispatched only once every incomplete earlier packet it shares a state
@@ -21,11 +36,12 @@
 // variable the packet *could* read or write is covered. Conflicting packets
 // therefore execute in exactly the serial order, disjoint packets commute,
 // and deliveries are merge-sorted by (sequence, copy) — the result is
-// byte-identical to Network::inject_batch over the same workload, which
-// tests/test_sim.cpp and bench_throughput --check enforce across the policy
-// corpus. Throughput mode drops the conflict gate (workers free-run over
-// their inboxes) for peak-pps measurements where cross-packet state
-// ordering may differ from serial.
+// byte-identical to Network::inject_batch over the same workload for every
+// worker count and batch size, which tests/test_sim.cpp and
+// bench_throughput --check enforce across the policy corpus. Throughput
+// mode drops the conflict gate (workers free-run over their inboxes) for
+// peak-pps measurements where cross-packet state ordering may differ from
+// serial.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +55,9 @@
 namespace snap {
 namespace sim {
 
+// Upper bound on EngineOptions::batch (tasks per ring message).
+inline constexpr int kMaxTaskBatch = 16;
+
 struct EngineOptions {
   // 0 = one worker per hardware thread, clamped to the switch count.
   int workers = 0;
@@ -46,6 +65,13 @@ struct EngineOptions {
   bool deterministic = true;
   // Maximum packets in flight (also sizes the rings).
   std::size_t window = 512;
+  // Tasks per ring message (clamped to [1, kMaxTaskBatch]). Batches are
+  // flushed early on conflict-window boundaries and idle sweeps, so small
+  // workloads never stall behind a partial batch.
+  int batch = 8;
+  // Use the direct xFDD interpreter on switches with no foreign state
+  // (false forces every switch through the decoded NetASM path).
+  bool xfdd_direct = true;
 };
 
 struct SimStats {
@@ -54,6 +80,10 @@ struct SimStats {
   std::uint64_t forwards = 0;  // cross-shard messages (stuck + write visits)
   std::uint64_t instructions = 0;
   std::uint64_t hops = 0;
+  // Conflict-mask cache effectiveness (deterministic mode): lookups served
+  // from the flow/signature cache vs full field-consistent diagram walks.
+  std::uint64_t conflict_hits = 0;
+  std::uint64_t conflict_misses = 0;
   std::vector<std::uint64_t> per_switch_instructions;
   std::vector<std::uint64_t> per_switch_events;  // program runs per switch
   std::vector<std::uint64_t> hop_histogram;      // per-packet hops, clamped
@@ -61,8 +91,12 @@ struct SimStats {
   double seconds = 0;
   double pps = 0;
   int workers = 1;
+  int batch = 1;            // effective tasks per ring message
+  int direct_switches = 0;  // switches served by the xFDD-direct path
   bool deterministic = true;
 
+  // Doubles (seconds, pps) are emitted at max_digits10 so the JSON perf
+  // trajectory round-trips without precision loss.
   std::string to_json() const;
 };
 

@@ -9,6 +9,11 @@
 // head_, and each reads the other's cursor only to check fullness or
 // emptiness. State tables never travel through rings — packets do — so
 // the switch shards themselves stay lock-free and single-writer.
+//
+// Batch transfers: try_push_batch / try_pop_batch move up to a whole
+// message batch per cursor update, so the acquire/release round-trip (and
+// the cache-line bounce it implies) amortizes over the batch instead of
+// being paid per element. The engine's TaskBatch dispatch rides on these.
 #pragma once
 
 #include <atomic>
@@ -34,12 +39,35 @@ class SpscRing {
   SpscRing& operator=(const SpscRing&) = delete;
 
   // Producer side. Returns false when full.
+  //
+  // CONTRACT: on failure the argument is NOT moved from — the fullness
+  // check happens before any element is touched, so `v` is still valid and
+  // the caller may retry or divert it (the engine's overflow deques rely on
+  // this to re-queue the same object; tests/test_spsc.cpp pins it with a
+  // move-sensitive payload). Only a `true` return consumes `v`.
   bool try_push(T&& v) {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     const std::size_t next = (tail + 1) & mask_;
     if (next == head_.load(std::memory_order_acquire)) return false;
     slots_[tail] = std::move(v);
     tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  // Bulk producer push: moves items[0..n) into the ring with a single
+  // release store. All-or-nothing — when fewer than n slots are free it
+  // returns false and (as with try_push) NO item has been moved from.
+  bool try_push_batch(T* items, std::size_t n) {
+    if (n == 0) return true;
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t used = (tail - head) & mask_;
+    // One slot stays empty, so `mask_` (== cap-1) is the usable capacity.
+    if (mask_ - used < n) return false;
+    for (std::size_t i = 0; i < n; ++i) {
+      slots_[(tail + i) & mask_] = std::move(items[i]);
+    }
+    tail_.store((tail + n) & mask_, std::memory_order_release);
     return true;
   }
 
@@ -50,6 +78,22 @@ class SpscRing {
     out = std::move(slots_[head]);
     head_.store((head + 1) & mask_, std::memory_order_release);
     return true;
+  }
+
+  // Bulk consumer pop: moves up to `max` items into out[0..) and returns
+  // how many, advancing the head cursor once for the whole batch.
+  std::size_t try_pop_batch(T* out, std::size_t max) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    std::size_t avail = (tail - head) & mask_;
+    if (avail > max) avail = max;
+    for (std::size_t i = 0; i < avail; ++i) {
+      out[i] = std::move(slots_[(head + i) & mask_]);
+    }
+    if (avail > 0) {
+      head_.store((head + avail) & mask_, std::memory_order_release);
+    }
+    return avail;
   }
 
   // Consumer-side emptiness probe (exact for the consumer; a racy hint for

@@ -340,6 +340,7 @@ Workload WorkloadGen::generate(const Scenario& sc,
     std::size_t fi = static_cast<std::size_t>(it - cum.begin());
     if (fi >= flows.size()) fi = flows.size() - 1;
     wl.packets.push_back(emit(flows[fi], sc, rng));
+    wl.packets.back().flow = static_cast<std::uint32_t>(fi);
   }
   return wl;
 }

@@ -38,6 +38,12 @@ namespace sim {
 struct SimPacket {
   PortId inport;
   Packet pkt;
+  // Identity of the flow that emitted this packet (index into the
+  // generator's expanded flow table; 0 for hand-built workloads). The
+  // engine's conflict-mask cache uses it as a front-cache key — flows
+  // replay a small set of tested-field signatures, so the previous packet
+  // of the same flow usually resolves the mask without hashing.
+  std::uint32_t flow = 0;
 };
 
 struct Workload {

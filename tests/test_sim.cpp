@@ -7,10 +7,13 @@
 #include "apps/apps.h"
 #include "compiler/session.h"
 #include "dataplane/network.h"
+#include "rulegen/delta.h"
+#include "sim/conflict.h"
 #include "sim/engine.h"
 #include "sim/workload.h"
 #include "topo/gen.h"
 #include "util/status.h"
+#include "xfdd/compose.h"
 
 namespace snap {
 namespace {
@@ -120,29 +123,40 @@ TEST_P(SimCorpus, ShardedMatchesSerialAcrossWorkerCounts) {
   auto serial_out = serial.inject_batch(sim::as_injection_batch(wl));
   Store serial_state = serial.merged_state();
 
+  // The determinism guarantee must hold for every (worker count, ring
+  // batch size) combination — partial batches, idle flushes and full
+  // kMaxTaskBatch messages all replay the serial order byte-identically.
   for (int workers : {1, 2, 8}) {
-    sim::EngineOptions opts;
-    opts.workers = workers;
-    opts.deterministic = true;
-    sim::TrafficEngine engine(ev.delta, opts);
-    auto engine_out = engine.run(wl);
-    ASSERT_NO_FATAL_FAILURE(expect_same_deliveries(serial_out, engine_out))
-        << c.name << " at " << workers << " workers";
-    ASSERT_TRUE(serial_state == engine.network().merged_state())
-        << c.name << " state diverged at " << workers << " workers\n"
-        << "serial:\n" << serial_state.to_string() << "engine:\n"
-        << engine.network().merged_state().to_string();
-    // Faithful replication extends to hop accounting and to per-switch
-    // instruction counts (the decoded fast path and the reference
-    // interpreter count in the same units: atomic markers excluded).
-    EXPECT_EQ(serial.total_hops(), engine.network().total_hops())
-        << c.name << " at " << workers << " workers";
-    EXPECT_EQ(engine.stats().packets, wl.packets.size());
-    for (int sw = 0; sw < topo.num_switches(); ++sw) {
-      EXPECT_EQ(serial.switch_at(sw).instructions_executed(),
-                engine.stats()
-                    .per_switch_instructions[static_cast<std::size_t>(sw)])
-          << c.name << " switch " << sw << " at " << workers << " workers";
+    for (int batch : {1, 4, 16}) {
+      sim::EngineOptions opts;
+      opts.workers = workers;
+      opts.batch = batch;
+      opts.deterministic = true;
+      sim::TrafficEngine engine(ev.delta, opts);
+      auto engine_out = engine.run(wl);
+      ASSERT_NO_FATAL_FAILURE(expect_same_deliveries(serial_out,
+                                                     engine_out))
+          << c.name << " at " << workers << " workers, batch " << batch;
+      ASSERT_TRUE(serial_state == engine.network().merged_state())
+          << c.name << " state diverged at " << workers << " workers, batch "
+          << batch << "\nserial:\n" << serial_state.to_string()
+          << "engine:\n" << engine.network().merged_state().to_string();
+      // Faithful replication extends to hop accounting and to per-switch
+      // instruction counts (the decoded/direct fast paths and the
+      // reference interpreter count in the same units: atomic markers
+      // excluded).
+      EXPECT_EQ(serial.total_hops(), engine.network().total_hops())
+          << c.name << " at " << workers << " workers, batch " << batch;
+      EXPECT_EQ(engine.stats().packets, wl.packets.size());
+      EXPECT_EQ(engine.stats().batch, batch);
+      for (int sw = 0; sw < topo.num_switches(); ++sw) {
+        EXPECT_EQ(serial.switch_at(sw).instructions_executed(),
+                  engine.stats()
+                      .per_switch_instructions[static_cast<std::size_t>(
+                          sw)])
+            << c.name << " switch " << sw << " at " << workers
+            << " workers, batch " << batch;
+      }
     }
   }
 }
@@ -289,6 +303,232 @@ TEST(Dataplane, ApplyResetsInstructionStatsForChangedSwitches) {
     EXPECT_EQ(net.switch_at(sw).instructions_executed(),
               per_switch[static_cast<std::size_t>(sw)])
         << sw;
+  }
+}
+
+TEST(ConflictCache, CachedMaskMatchesFreshWalkOnMixedTrace) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 10.0, 3);
+  auto subnets = apps::default_subnets(topo.ports());
+  // A composite with several state tables so masks actually differ by
+  // flavor of packet (pure field-routed packets get empty masks, SYNs hit
+  // the heavy-hitter tables, 10.0.6/24 traffic hits the firewall pair).
+  PolPtr composite =
+      apps::heavy_hitter("cc-hh", 3) >>
+      (apps::stateful_firewall("cc-fw", "10.0.6.0/24") >>
+       apps::assign_egress(subnets));
+  Session session(topo, tm);
+  EventResult ev = session.full_compile(composite);
+  Network net(ev.delta);
+
+  sim::Workload wl = sim::WorkloadGen(topo, tm, 21).generate(
+      *sim::find_scenario("mixed"), 2000);
+  sim::ConflictCache cache(net.store(), net.root());
+  sim::ConflictCache ref(net.store(), net.root());
+  EXPECT_FALSE(cache.test_fields().empty());
+
+  std::vector<StateVarId> fresh;
+  for (const auto& sp : wl.packets) {
+    std::uint32_t idx = cache.mask_index(sp.pkt, sp.flow);
+    ref.fresh_walk(sp.pkt, fresh);
+    ASSERT_EQ(cache.mask(idx), fresh)
+        << "cached conflict mask diverged from the fresh field-consistent "
+           "walk for packet "
+        << sp.pkt.to_string();
+    for (StateVarId v : fresh) EXPECT_LE(v, cache.max_var_id());
+  }
+  // Flows replay a small signature set: the trace must be served mostly
+  // from the cache, with exactly one walk per distinct signature.
+  EXPECT_EQ(cache.hits() + cache.misses(), wl.packets.size());
+  EXPECT_GT(cache.hits(), cache.misses());
+  EXPECT_GT(cache.misses(), 0u);
+}
+
+TEST(Engine, ConflictCacheStatsSurfaceThroughSimStats) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 10.0, 2);
+  auto c = corpus(topo)[2];  // heavy-hitter
+  Session session(topo, tm);
+  EventResult ev = session.full_compile(c.policy);
+  sim::Workload wl = sim::WorkloadGen(topo, tm, 4).generate(
+      sim::scenario_for_app(c.name), 400);
+  sim::EngineOptions opts;
+  opts.workers = 2;
+  sim::TrafficEngine engine(ev.delta, opts);
+  engine.run(wl);
+  EXPECT_EQ(engine.stats().conflict_hits + engine.stats().conflict_misses,
+            wl.packets.size());
+  EXPECT_GT(engine.stats().conflict_hits, 0u);
+  // The JSON view carries the new counters and full-precision doubles.
+  std::string js = engine.stats().to_json();
+  EXPECT_NE(js.find("\"conflict_hits\":"), std::string::npos);
+  EXPECT_NE(js.find("\"batch\":"), std::string::npos);
+  EXPECT_NE(js.find("\"direct_switches\":"), std::string::npos);
+}
+
+// A 16-switch line with 12 always-written variables placed zig-zag across
+// the ends: the phase-2 write chain walks ~114 hops, more than the old
+// single 4n+16 = 80 budget that was stretched across the whole resolve +
+// multi-owner chain. With per-owner walk budgets (matching phase 3's
+// per-copy budget) the chain completes, serial and sharded alike.
+TEST(Dataplane, LongWriteChainDoesNotTripTheWalkGuard) {
+  const int n = 16;
+  Topology topo("line16", n);
+  for (int i = 0; i + 1 < n; ++i) topo.add_duplex(i, i + 1, 1000.0);
+  topo.attach_port(1, 0);
+  topo.attach_port(2, n - 1);
+
+  const int k = 12;
+  std::vector<StateVarId> vars;
+  for (int i = 0; i < k; ++i) {
+    vars.push_back(state_var_id("lw-" + std::to_string(i)));
+  }
+  PolPtr p = mod("outport", 2);
+  for (int i = k - 1; i >= 0; --i) {
+    p = sinc(vars[static_cast<std::size_t>(i)], idx("srcip")) >>
+        std::move(p);
+  }
+
+  // Hand-built deployment: the MILP would co-locate the chain, so place
+  // the owners adversarially by hand (distinct switches, alternating
+  // ends, in state-rank order = id order under the default TestOrder).
+  Placement pl;
+  for (int i = 0; i < k; ++i) {
+    pl.switch_of[vars[static_cast<std::size_t>(i)]] =
+        (i % 2 == 0) ? (n - 1 - i / 2) : (1 + i / 2);
+  }
+  auto store = std::make_shared<XfddStore>();
+  TestOrder order;
+  XfddId root = to_xfdd(*store, order, p);
+  RuleDelta delta;
+  delta.store = store;
+  delta.root = root;
+  delta.topo = topo;
+  delta.placement = pl;
+  delta.order = order;
+  delta.programs = assemble_programs(*store, root, pl, n);
+
+  sim::Workload wl;
+  for (int i = 0; i < 40; ++i) {
+    Packet pk{{"srcip", static_cast<Value>(100 + i % 4)}};
+    wl.packets.push_back({1, pk});
+  }
+
+  Network serial(delta);
+  std::vector<Network::Delivery> serial_out;
+  ASSERT_NO_THROW(serial_out =
+                      serial.inject_batch(sim::as_injection_batch(wl)));
+  ASSERT_EQ(serial_out.size(), wl.packets.size());
+
+  sim::EngineOptions opts;
+  opts.workers = 2;
+  sim::TrafficEngine engine(delta, opts);
+  std::vector<Network::Delivery> engine_out;
+  ASSERT_NO_THROW(engine_out = engine.run(wl));
+  expect_same_deliveries(serial_out, engine_out);
+  ASSERT_TRUE(serial.merged_state() == engine.network().merged_state());
+  EXPECT_EQ(serial.total_hops(), engine.network().total_hops());
+  // The chain really did cross shards (the scenario is the whole point).
+  EXPECT_GT(engine.stats().forwards, 0u);
+}
+
+TEST(Engine, XfddDirectPathMatchesDecodedPath) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 10.0, 1);
+  auto c = corpus(topo)[2];  // heavy-hitter (stateful)
+  Session session(topo, tm);
+  EventResult ev = session.full_compile(c.policy);
+  sim::Workload wl = sim::WorkloadGen(topo, tm, 13).generate(
+      sim::scenario_for_app(c.name), 500);
+  Network serial(ev.delta);
+  auto serial_out = serial.inject_batch(sim::as_injection_batch(wl));
+
+  for (bool direct : {false, true}) {
+    sim::EngineOptions opts;
+    opts.workers = 2;
+    opts.xfdd_direct = direct;
+    sim::TrafficEngine engine(ev.delta, opts);
+    auto out = engine.run(wl);
+    ASSERT_NO_FATAL_FAILURE(expect_same_deliveries(serial_out, out))
+        << "xfdd_direct=" << direct;
+    ASSERT_TRUE(serial.merged_state() == engine.network().merged_state())
+        << "xfdd_direct=" << direct;
+    if (!direct) EXPECT_EQ(engine.stats().direct_switches, 0);
+    // Instruction accounting is identical on either path.
+    for (int sw = 0; sw < topo.num_switches(); ++sw) {
+      EXPECT_EQ(serial.switch_at(sw).instructions_executed(),
+                engine.stats()
+                    .per_switch_instructions[static_cast<std::size_t>(sw)])
+          << "switch " << sw << " xfdd_direct=" << direct;
+    }
+  }
+}
+
+TEST(Engine, StatelessPolicyRunsEverySwitchOnTheDirectPath) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 10.0, 1);
+  // No state tests anywhere: no switch can ever get stuck, so every
+  // deployed switch qualifies for the direct xFDD walk.
+  PolPtr p = apps::assign_egress(apps::default_subnets(topo.ports()));
+  Session session(topo, tm);
+  EventResult ev = session.full_compile(p);
+  sim::Workload wl = sim::WorkloadGen(topo, tm, 6).generate(
+      *sim::find_scenario("uniform"), 300);
+  Network serial(ev.delta);
+  auto serial_out = serial.inject_batch(sim::as_injection_batch(wl));
+
+  sim::EngineOptions opts;
+  opts.workers = 2;
+  sim::TrafficEngine engine(ev.delta, opts);
+  auto out = engine.run(wl);
+  expect_same_deliveries(serial_out, out);
+  EXPECT_EQ(engine.stats().direct_switches, topo.num_switches());
+  for (int sw = 0; sw < topo.num_switches(); ++sw) {
+    EXPECT_EQ(serial.switch_at(sw).instructions_executed(),
+              engine.stats()
+                  .per_switch_instructions[static_cast<std::size_t>(sw)])
+        << sw;
+  }
+}
+
+TEST(Engine, SparseHighStateVarIdsStayGatedDeterministically) {
+  // Regression for the determinism hole: the gate table used to be sized
+  // by state_var_count() at run start and *silently skipped* any id
+  // beyond it — a sparse or stale id would let conflicting packets run
+  // unserialized. The gate is now sized by the largest id the diagram can
+  // put in a mask, and an out-of-range id fails loudly (SNAP_CHECK)
+  // instead of skipping. Interning a pad block first pushes this policy's
+  // ids far above the dense early range the old sizing assumed.
+  for (int i = 0; i < 64; ++i) {
+    state_var_id("sparse-pad-" + std::to_string(i));
+  }
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 10.0, 2);
+  auto subnets = apps::default_subnets(topo.ports());
+  PolPtr p = ite(stest("sparse-hi", idx("srcip"), lit(3)),
+                 filter(drop()),
+                 sinc("sparse-hi", idx("srcip")) >>
+                     apps::assign_egress(subnets));
+  Session session(topo, tm);
+  EventResult ev = session.full_compile(p);
+
+  Network net(ev.delta);
+  sim::ConflictCache cache(net.store(), net.root());
+  EXPECT_GE(cache.max_var_id(), state_var_id("sparse-hi"));
+
+  sim::Workload wl = sim::WorkloadGen(topo, tm, 17).generate(
+      *sim::find_scenario("uniform"), 400);
+  Network serial(ev.delta);
+  auto serial_out = serial.inject_batch(sim::as_injection_batch(wl));
+  for (int workers : {1, 2}) {
+    sim::EngineOptions opts;
+    opts.workers = workers;
+    sim::TrafficEngine engine(ev.delta, opts);
+    auto out = engine.run(wl);
+    ASSERT_NO_FATAL_FAILURE(expect_same_deliveries(serial_out, out))
+        << workers << " workers";
+    ASSERT_TRUE(serial.merged_state() == engine.network().merged_state())
+        << workers << " workers";
   }
 }
 

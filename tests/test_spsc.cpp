@@ -1,0 +1,101 @@
+// The engine's SPSC ring: the documented no-move-on-failure contract of
+// try_push (the overflow deques re-queue the same object after a failed
+// push, so a refactor that moves before the fullness check would corrupt
+// in-flight packets), plus the batched transfer paths the TaskBatch
+// dispatch rides on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "sim/spsc.h"
+
+namespace snap {
+namespace sim {
+namespace {
+
+// Move-sensitive payload: a moved-from probe visibly loses its value.
+struct MoveProbe {
+  std::unique_ptr<int> v;
+  MoveProbe() = default;
+  explicit MoveProbe(int x) : v(std::make_unique<int>(x)) {}
+  int value() const { return v ? *v : -1; }
+};
+
+TEST(SpscRing, FailedPushDoesNotMoveFromItsArgument) {
+  SpscRing<MoveProbe> ring(2);  // rounds up to 4 slots, 3 usable
+  int pushed = 0;
+  for (;; ++pushed) {
+    MoveProbe p(pushed);
+    if (!ring.try_push(std::move(p))) {
+      // The contract under test: a failed push must leave `p` intact so
+      // the caller can divert the same object (engine overflow path).
+      EXPECT_EQ(p.value(), pushed);
+      break;
+    }
+    EXPECT_EQ(p.value(), -1) << "successful push must consume the argument";
+  }
+  EXPECT_EQ(pushed, 3);
+
+  // After making room the same (still-valid) object pushes fine.
+  MoveProbe out;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out.value(), 0);
+  MoveProbe retry(99);
+  ASSERT_TRUE(ring.try_push(std::move(retry)));
+  EXPECT_EQ(retry.value(), -1);
+}
+
+TEST(SpscRing, BatchPushIsAllOrNothingAndPreservesPayloads) {
+  SpscRing<MoveProbe> ring(4);  // rounds up to 8 slots, 7 usable
+  MoveProbe fill[5];
+  for (int i = 0; i < 5; ++i) fill[i] = MoveProbe(i);
+  ASSERT_TRUE(ring.try_push_batch(fill, 5));
+
+  // Two free slots left: a batch of three must fail without consuming
+  // anything...
+  MoveProbe over[3] = {MoveProbe(10), MoveProbe(11), MoveProbe(12)};
+  ASSERT_FALSE(ring.try_push_batch(over, 3));
+  EXPECT_EQ(over[0].value(), 10);
+  EXPECT_EQ(over[1].value(), 11);
+  EXPECT_EQ(over[2].value(), 12);
+
+  // ...while a batch of two fits exactly.
+  ASSERT_TRUE(ring.try_push_batch(over, 2));
+  EXPECT_EQ(over[0].value(), -1);
+  EXPECT_EQ(over[1].value(), -1);
+  EXPECT_EQ(over[2].value(), 12);
+}
+
+TEST(SpscRing, BatchPopDrainsInFifoOrder) {
+  SpscRing<MoveProbe> ring(16);
+  for (int round = 0; round < 3; ++round) {  // exercise index wrap-around
+    for (int i = 0; i < 11; ++i) {
+      MoveProbe p(round * 100 + i);
+      ASSERT_TRUE(ring.try_push(std::move(p)));
+    }
+    MoveProbe out[4];
+    int seen = 0;
+    std::size_t k;
+    while ((k = ring.try_pop_batch(out, 4)) > 0) {
+      for (std::size_t i = 0; i < k; ++i) {
+        EXPECT_EQ(out[i].value(), round * 100 + seen) << "round " << round;
+        ++seen;
+      }
+    }
+    EXPECT_EQ(seen, 11);
+    EXPECT_TRUE(ring.empty());
+  }
+}
+
+TEST(SpscRing, EmptyBatchOperationsAreNoOps) {
+  SpscRing<MoveProbe> ring(4);
+  EXPECT_TRUE(ring.try_push_batch(nullptr, 0));
+  MoveProbe out[2];
+  EXPECT_EQ(ring.try_pop_batch(out, 2), 0u);
+  EXPECT_TRUE(ring.empty());
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace snap

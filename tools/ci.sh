@@ -47,10 +47,22 @@ echo "== data-plane throughput (sharded engine vs serial, equivalence gate) =="
 # Gates: the deterministic sharded engine's deliveries and final state are
 # byte-identical to the serial per-packet path across the 11-policy corpus
 # and a >=100k-packet composite run, with nonzero state churn and
-# deliveries. Emits BENCH_throughput.json (pps per execution mode, packets,
-# workers) — the perf trajectory subsequent PRs regress against.
+# deliveries. Emits BENCH_throughput.json at the REPO ROOT (pps per
+# execution mode, packets, workers, batch) — the perf trajectory the
+# collector reads and subsequent PRs regress against. An empty or missing
+# file is a hard failure: a silent non-emission is how the trajectory
+# stayed [] for a whole PR cycle.
 "${BUILD_DIR}/bench_throughput" --check --workers 2 \
-  --json "${BUILD_DIR}/BENCH_throughput.json"
+  --json BENCH_throughput.json
+if [[ ! -s BENCH_throughput.json ]]; then
+  echo "ERROR: bench_throughput emitted no BENCH_throughput.json at the" \
+       "repo root" >&2
+  exit 1
+fi
+grep -q '"pps"' BENCH_throughput.json || {
+  echo "ERROR: BENCH_throughput.json is malformed (no pps block)" >&2
+  exit 1
+}
 
 if [[ "${CI_SANITIZE:-0}" == "1" ]]; then
   SAN_DIR="${BUILD_DIR}-asan"

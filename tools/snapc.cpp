@@ -25,6 +25,9 @@
 //   --scenario NAME    workload scenario (see sim/workload.h catalogue;
 //                      default mixed)
 //   --workers W        traffic-engine worker shards (0 = one per core)
+//   --batch N          tasks per traffic-engine ring message (1..16,
+//                      default 8; batches amortize the scheduler's SPSC
+//                      round-trip in deterministic mode)
 //   --json             machine-readable output: phase times, phases run,
 //                      slice stats, rule-delta sizes per event and the
 //                      simulation stats
@@ -70,7 +73,8 @@ void usage() {
                " [--const NAME=VAL]... [--traffic SEED] [--load GBPS]"
                " [--solver auto|exact|scalable] [--threads N]"
                " [--script FILE] [--simulate N] [--scenario NAME]"
-               " [--workers W] [--json] [--dot FILE] [--rules]"
+               " [--workers W] [--batch N] [--json] [--dot FILE]"
+               " [--rules]"
                " [--quiet]\n");
 }
 
@@ -342,6 +346,16 @@ int run(int argc, char** argv) {
         return 2;
       }
       sim_opts.workers = static_cast<int>(n);
+    } else if (!std::strcmp(argv[i], "--batch")) {
+      const char* arg = need("--batch");
+      char* end = nullptr;
+      long n = std::strtol(arg, &end, 10);
+      if (end == arg || *end != '\0' || n < 1 || n > sim::kMaxTaskBatch) {
+        std::fprintf(stderr, "bad --batch '%s' (want 1..%d)\n", arg,
+                     sim::kMaxTaskBatch);
+        return 2;
+      }
+      sim_opts.batch = static_cast<int>(n);
     } else if (!std::strcmp(argv[i], "--script")) {
       script_file = need("--script");
     } else if (!std::strcmp(argv[i], "--json")) {
