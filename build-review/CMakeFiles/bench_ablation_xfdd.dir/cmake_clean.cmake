@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_xfdd.dir/bench/bench_ablation_xfdd.cpp.o"
+  "CMakeFiles/bench_ablation_xfdd.dir/bench/bench_ablation_xfdd.cpp.o.d"
+  "bench_ablation_xfdd"
+  "bench_ablation_xfdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_xfdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_scenarios.dir/bench/bench_table4_scenarios.cpp.o"
+  "CMakeFiles/bench_table4_scenarios.dir/bench/bench_table4_scenarios.cpp.o.d"
+  "bench_table4_scenarios"
+  "bench_table4_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_topos.dir/bench/bench_table5_topos.cpp.o"
+  "CMakeFiles/bench_table5_topos.dir/bench/bench_table5_topos.cpp.o.d"
+  "bench_table5_topos"
+  "bench_table5_topos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_topos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_phases.dir/bench/bench_table6_phases.cpp.o"
+  "CMakeFiles/bench_table6_phases.dir/bench/bench_table6_phases.cpp.o.d"
+  "bench_table6_phases"
+  "bench_table6_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_monitoring.dir/examples/campus_monitoring.cpp.o"
+  "CMakeFiles/campus_monitoring.dir/examples/campus_monitoring.cpp.o.d"
+  "campus_monitoring"
+  "campus_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_tunnel_detect.dir/examples/dns_tunnel_detect.cpp.o"
+  "CMakeFiles/dns_tunnel_detect.dir/examples/dns_tunnel_detect.cpp.o.d"
+  "dns_tunnel_detect"
+  "dns_tunnel_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_tunnel_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_controller.dir/examples/live_controller.cpp.o"
+  "CMakeFiles/live_controller.dir/examples/live_controller.cpp.o.d"
+  "live_controller"
+  "live_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/depgraph.cpp" "CMakeFiles/snap.dir/src/analysis/depgraph.cpp.o" "gcc" "CMakeFiles/snap.dir/src/analysis/depgraph.cpp.o.d"
+  "/root/repo/src/analysis/psmap.cpp" "CMakeFiles/snap.dir/src/analysis/psmap.cpp.o" "gcc" "CMakeFiles/snap.dir/src/analysis/psmap.cpp.o.d"
+  "/root/repo/src/apps/apps.cpp" "CMakeFiles/snap.dir/src/apps/apps.cpp.o" "gcc" "CMakeFiles/snap.dir/src/apps/apps.cpp.o.d"
+  "/root/repo/src/compiler/pipeline.cpp" "CMakeFiles/snap.dir/src/compiler/pipeline.cpp.o" "gcc" "CMakeFiles/snap.dir/src/compiler/pipeline.cpp.o.d"
+  "/root/repo/src/compiler/session.cpp" "CMakeFiles/snap.dir/src/compiler/session.cpp.o" "gcc" "CMakeFiles/snap.dir/src/compiler/session.cpp.o.d"
+  "/root/repo/src/compiler/sharding.cpp" "CMakeFiles/snap.dir/src/compiler/sharding.cpp.o" "gcc" "CMakeFiles/snap.dir/src/compiler/sharding.cpp.o.d"
+  "/root/repo/src/dataplane/network.cpp" "CMakeFiles/snap.dir/src/dataplane/network.cpp.o" "gcc" "CMakeFiles/snap.dir/src/dataplane/network.cpp.o.d"
+  "/root/repo/src/dataplane/switch.cpp" "CMakeFiles/snap.dir/src/dataplane/switch.cpp.o" "gcc" "CMakeFiles/snap.dir/src/dataplane/switch.cpp.o.d"
+  "/root/repo/src/lang/ast.cpp" "CMakeFiles/snap.dir/src/lang/ast.cpp.o" "gcc" "CMakeFiles/snap.dir/src/lang/ast.cpp.o.d"
+  "/root/repo/src/lang/eval.cpp" "CMakeFiles/snap.dir/src/lang/eval.cpp.o" "gcc" "CMakeFiles/snap.dir/src/lang/eval.cpp.o.d"
+  "/root/repo/src/lang/expr.cpp" "CMakeFiles/snap.dir/src/lang/expr.cpp.o" "gcc" "CMakeFiles/snap.dir/src/lang/expr.cpp.o.d"
+  "/root/repo/src/lang/field.cpp" "CMakeFiles/snap.dir/src/lang/field.cpp.o" "gcc" "CMakeFiles/snap.dir/src/lang/field.cpp.o.d"
+  "/root/repo/src/lang/packet.cpp" "CMakeFiles/snap.dir/src/lang/packet.cpp.o" "gcc" "CMakeFiles/snap.dir/src/lang/packet.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "CMakeFiles/snap.dir/src/lang/parser.cpp.o" "gcc" "CMakeFiles/snap.dir/src/lang/parser.cpp.o.d"
+  "/root/repo/src/lang/printer.cpp" "CMakeFiles/snap.dir/src/lang/printer.cpp.o" "gcc" "CMakeFiles/snap.dir/src/lang/printer.cpp.o.d"
+  "/root/repo/src/milp/bnb.cpp" "CMakeFiles/snap.dir/src/milp/bnb.cpp.o" "gcc" "CMakeFiles/snap.dir/src/milp/bnb.cpp.o.d"
+  "/root/repo/src/milp/lp.cpp" "CMakeFiles/snap.dir/src/milp/lp.cpp.o" "gcc" "CMakeFiles/snap.dir/src/milp/lp.cpp.o.d"
+  "/root/repo/src/milp/scalable.cpp" "CMakeFiles/snap.dir/src/milp/scalable.cpp.o" "gcc" "CMakeFiles/snap.dir/src/milp/scalable.cpp.o.d"
+  "/root/repo/src/milp/simplex.cpp" "CMakeFiles/snap.dir/src/milp/simplex.cpp.o" "gcc" "CMakeFiles/snap.dir/src/milp/simplex.cpp.o.d"
+  "/root/repo/src/milp/stmodel.cpp" "CMakeFiles/snap.dir/src/milp/stmodel.cpp.o" "gcc" "CMakeFiles/snap.dir/src/milp/stmodel.cpp.o.d"
+  "/root/repo/src/netasm/assembler.cpp" "CMakeFiles/snap.dir/src/netasm/assembler.cpp.o" "gcc" "CMakeFiles/snap.dir/src/netasm/assembler.cpp.o.d"
+  "/root/repo/src/netasm/decoded.cpp" "CMakeFiles/snap.dir/src/netasm/decoded.cpp.o" "gcc" "CMakeFiles/snap.dir/src/netasm/decoded.cpp.o.d"
+  "/root/repo/src/netasm/isa.cpp" "CMakeFiles/snap.dir/src/netasm/isa.cpp.o" "gcc" "CMakeFiles/snap.dir/src/netasm/isa.cpp.o.d"
+  "/root/repo/src/rulegen/delta.cpp" "CMakeFiles/snap.dir/src/rulegen/delta.cpp.o" "gcc" "CMakeFiles/snap.dir/src/rulegen/delta.cpp.o.d"
+  "/root/repo/src/rulegen/rules.cpp" "CMakeFiles/snap.dir/src/rulegen/rules.cpp.o" "gcc" "CMakeFiles/snap.dir/src/rulegen/rules.cpp.o.d"
+  "/root/repo/src/rulegen/split.cpp" "CMakeFiles/snap.dir/src/rulegen/split.cpp.o" "gcc" "CMakeFiles/snap.dir/src/rulegen/split.cpp.o.d"
+  "/root/repo/src/sim/conflict.cpp" "CMakeFiles/snap.dir/src/sim/conflict.cpp.o" "gcc" "CMakeFiles/snap.dir/src/sim/conflict.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "CMakeFiles/snap.dir/src/sim/engine.cpp.o" "gcc" "CMakeFiles/snap.dir/src/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "CMakeFiles/snap.dir/src/sim/workload.cpp.o" "gcc" "CMakeFiles/snap.dir/src/sim/workload.cpp.o.d"
+  "/root/repo/src/topo/gen.cpp" "CMakeFiles/snap.dir/src/topo/gen.cpp.o" "gcc" "CMakeFiles/snap.dir/src/topo/gen.cpp.o.d"
+  "/root/repo/src/topo/graph.cpp" "CMakeFiles/snap.dir/src/topo/graph.cpp.o" "gcc" "CMakeFiles/snap.dir/src/topo/graph.cpp.o.d"
+  "/root/repo/src/topo/parse.cpp" "CMakeFiles/snap.dir/src/topo/parse.cpp.o" "gcc" "CMakeFiles/snap.dir/src/topo/parse.cpp.o.d"
+  "/root/repo/src/topo/traffic.cpp" "CMakeFiles/snap.dir/src/topo/traffic.cpp.o" "gcc" "CMakeFiles/snap.dir/src/topo/traffic.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "CMakeFiles/snap.dir/src/util/strings.cpp.o" "gcc" "CMakeFiles/snap.dir/src/util/strings.cpp.o.d"
+  "/root/repo/src/xfdd/action.cpp" "CMakeFiles/snap.dir/src/xfdd/action.cpp.o" "gcc" "CMakeFiles/snap.dir/src/xfdd/action.cpp.o.d"
+  "/root/repo/src/xfdd/compose.cpp" "CMakeFiles/snap.dir/src/xfdd/compose.cpp.o" "gcc" "CMakeFiles/snap.dir/src/xfdd/compose.cpp.o.d"
+  "/root/repo/src/xfdd/context.cpp" "CMakeFiles/snap.dir/src/xfdd/context.cpp.o" "gcc" "CMakeFiles/snap.dir/src/xfdd/context.cpp.o.d"
+  "/root/repo/src/xfdd/dot.cpp" "CMakeFiles/snap.dir/src/xfdd/dot.cpp.o" "gcc" "CMakeFiles/snap.dir/src/xfdd/dot.cpp.o.d"
+  "/root/repo/src/xfdd/engine.cpp" "CMakeFiles/snap.dir/src/xfdd/engine.cpp.o" "gcc" "CMakeFiles/snap.dir/src/xfdd/engine.cpp.o.d"
+  "/root/repo/src/xfdd/order.cpp" "CMakeFiles/snap.dir/src/xfdd/order.cpp.o" "gcc" "CMakeFiles/snap.dir/src/xfdd/order.cpp.o.d"
+  "/root/repo/src/xfdd/test.cpp" "CMakeFiles/snap.dir/src/xfdd/test.cpp.o" "gcc" "CMakeFiles/snap.dir/src/xfdd/test.cpp.o.d"
+  "/root/repo/src/xfdd/xfdd.cpp" "CMakeFiles/snap.dir/src/xfdd/xfdd.cpp.o" "gcc" "CMakeFiles/snap.dir/src/xfdd/xfdd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapc.dir/tools/snapc.cpp.o"
+  "CMakeFiles/snapc.dir/tools/snapc.cpp.o.d"
+  "snapc"
+  "snapc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

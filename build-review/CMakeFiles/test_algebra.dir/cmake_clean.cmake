@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algebra.dir/tests/test_algebra.cpp.o"
+  "CMakeFiles/test_algebra.dir/tests/test_algebra.cpp.o.d"
+  "test_algebra"
+  "test_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

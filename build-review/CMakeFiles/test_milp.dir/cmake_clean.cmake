@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_milp.dir/tests/test_milp.cpp.o"
+  "CMakeFiles/test_milp.dir/tests/test_milp.cpp.o.d"
+  "test_milp"
+  "test_milp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_milp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_sweep.dir/tests/test_pipeline_sweep.cpp.o"
+  "CMakeFiles/test_pipeline_sweep.dir/tests/test_pipeline_sweep.cpp.o.d"
+  "test_pipeline_sweep"
+  "test_pipeline_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_corpus.dir/tests/test_policy_corpus.cpp.o"
+  "CMakeFiles/test_policy_corpus.dir/tests/test_policy_corpus.cpp.o.d"
+  "test_policy_corpus"
+  "test_policy_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

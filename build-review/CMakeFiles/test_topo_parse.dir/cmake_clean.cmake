@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topo_parse.dir/tests/test_topo_parse.cpp.o"
+  "CMakeFiles/test_topo_parse.dir/tests/test_topo_parse.cpp.o.d"
+  "test_topo_parse"
+  "test_topo_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topo_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

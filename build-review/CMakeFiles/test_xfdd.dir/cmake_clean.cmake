@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xfdd.dir/tests/test_xfdd.cpp.o"
+  "CMakeFiles/test_xfdd.dir/tests/test_xfdd.cpp.o.d"
+  "test_xfdd"
+  "test_xfdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xfdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xfdd_engine.dir/tests/test_xfdd_engine.cpp.o"
+  "CMakeFiles/test_xfdd_engine.dir/tests/test_xfdd_engine.cpp.o.d"
+  "test_xfdd_engine"
+  "test_xfdd_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xfdd_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

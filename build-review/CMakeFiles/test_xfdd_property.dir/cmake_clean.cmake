@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xfdd_property.dir/tests/test_xfdd_property.cpp.o"
+  "CMakeFiles/test_xfdd_property.dir/tests/test_xfdd_property.cpp.o.d"
+  "test_xfdd_property"
+  "test_xfdd_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xfdd_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xfdd_seq.dir/tests/test_xfdd_seq.cpp.o"
+  "CMakeFiles/test_xfdd_seq.dir/tests/test_xfdd_seq.cpp.o.d"
+  "test_xfdd_seq"
+  "test_xfdd_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xfdd_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
