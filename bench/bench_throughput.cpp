@@ -2,7 +2,7 @@
 // serial per-packet path (the §6/Figure-11 "real traffic" axis the earlier
 // benches never measured — they time the compiler, this times the packets).
 //
-// Two phases:
+// Three phases:
 //   1. Corpus equivalence: every Appendix-F corpus policy
 //      (apps::evaluation_corpus, egress included) is driven by its
 //      app-keyed workload scenario; the deterministic sharded engine's
@@ -11,12 +11,19 @@
 //   2. Throughput: a Figure-11-style composite policy under the "mixed"
 //      scenario at >= 100k packets, timed through the serial path, the
 //      deterministic engine, and the free-running engine; pps for each.
+//   3. Event under load: the same composite stream with a mid-run policy
+//      change and a switch failure adopted live (run_live's epoch swap);
+//      per event the swap and first-packet-on-new-rules latencies, vs the
+//      cold-start alternative (full recompile + fresh deployment). The
+//      live run must stay byte-identical to the quiesced reference
+//      (drain -> Network::apply -> resume).
 //
 // --check turns the invariants into a gate (used by tools/ci.sh):
-//   corpus + composite equivalence, >= 100k packets end-to-end, nonzero
-//   state churn, nonzero deliveries. --json FILE emits the measured
-//   numbers (BENCH_throughput.json in CI) so later PRs have a perf
-//   trajectory to regress against.
+//   corpus + composite + live equivalence, >= 100k packets end-to-end,
+//   nonzero state churn, nonzero deliveries, every live event adopted
+//   mid-stream. --json FILE emits the measured numbers
+//   (BENCH_throughput.json in CI, including the event_latency block) so
+//   later PRs have a perf trajectory to regress against.
 #include <cstring>
 #include <fstream>
 #include <iomanip>
@@ -174,6 +181,87 @@ int run(const Args& args) {
   std::printf("\nserial vs deterministic engine: %s; state rows: %zu\n",
               big_equivalent ? "byte-identical" : "MISMATCH", churn);
 
+  // Phase 3: event under load. The same composite stream, with a policy
+  // change (the apps re-chained in a different order — same state, new
+  // diagram and placement) and a core-switch failure adopted live via
+  // run_live's epoch swap. The latencies reported are engine-side: due ->
+  // rules swapped, and due -> first packet completed on the new rules
+  // (snapc --serve measures the end-to-end path including the recompile).
+  std::printf("\n-- live update (events under load, %zu packets, %d"
+              " workers) --\n",
+              args.packets, args.workers);
+  PolPtr composite2 =
+      apps::udp_flood("bt-cuf", 3) >>
+      (apps::heavy_hitter("bt-chh", 3) >>
+       (apps::dns_tunnel_detect("bt-cdt", "10.0.6.0/24", 3) >>
+        (apps::stateful_firewall("bt-cfw", "10.0.6.0/24") >>
+         apps::assign_egress(subnets))));
+  std::vector<sim::LiveEvent> schedule;
+  schedule.push_back(
+      {args.packets / 3, session.set_policy(composite2).delta,
+       "set_policy"});
+  schedule.push_back(
+      {2 * args.packets / 3, session.fail_switch(8).delta, "fail_switch"});
+
+  // Quiesced reference for the equivalence gate: drain, apply, resume.
+  Network ref(ev.delta);
+  std::vector<Network::Delivery> ref_out;
+  {
+    std::size_t at = 0;
+    for (const sim::LiveEvent& e : schedule) {
+      for (; at < e.at_seq && at < batch.size(); ++at) {
+        auto out = ref.inject(batch[at].first, batch[at].second);
+        ref_out.insert(ref_out.end(), out.begin(), out.end());
+      }
+      ref.apply(e.delta);
+    }
+    for (; at < batch.size(); ++at) {
+      auto out = ref.inject(batch[at].first, batch[at].second);
+      ref_out.insert(ref_out.end(), out.begin(), out.end());
+    }
+  }
+
+  sim::TrafficEngine live_engine(ev.delta, det);
+  auto live_out = live_engine.run_live(wl, schedule);
+  const sim::SimStats& lst = live_engine.stats();
+  bool live_equivalent =
+      ref_out == live_out &&
+      ref.merged_state() == live_engine.network().merged_state() &&
+      lst.events.size() == schedule.size();
+  for (const sim::LiveEventStats& es : lst.events) {
+    live_equivalent = live_equivalent && es.first_packet_seconds >= 0;
+    std::printf("%-28s swap %8.3f ms   first packet %8.3f ms"
+                "   (%llu switches / %llu vars migrated)\n",
+                es.label.c_str(), es.swap_seconds * 1e3,
+                es.first_packet_seconds * 1e3,
+                static_cast<unsigned long long>(es.migrated_switches),
+                static_cast<unsigned long long>(es.migrated_vars));
+  }
+  all_equivalent = all_equivalent && live_equivalent;
+  std::printf("%-28s %12.0f pps  (%.3fs, %u epochs, %s)\n",
+              "engine (live, deterministic)", lst.pps, lst.seconds,
+              lst.epochs,
+              live_equivalent ? "byte-identical to quiesced reference"
+                              : "MISMATCH");
+
+  // The cold-start alternative a controller without live swap pays for
+  // the same policy change: a from-scratch compile plus a fresh
+  // deployment — while the data plane serves nothing.
+  double cold_compile_s, cold_deploy_s;
+  {
+    Timer tc;
+    Session cold_session(topo, tm);
+    cold_session.full_compile(composite2);
+    cold_compile_s = tc.seconds();
+    Timer td;
+    Network cold_net(cold_session.deployment());
+    cold_deploy_s = td.seconds();
+  }
+  std::printf("%-28s compile %.3f ms + deploy %.3f ms (data plane down"
+              " throughout)\n",
+              "cold-start alternative", cold_compile_s * 1e3,
+              cold_deploy_s * 1e3);
+
   if (!args.json_file.empty()) {
     // Full precision: this file is the perf trajectory later PRs regress
     // against, so pps must round-trip exactly.
@@ -190,6 +278,21 @@ int run(const Args& args) {
         << ",\"state_entries\":" << churn
         << ",\"corpus_policies_checked\":" << corpus_checked
         << ",\"equivalent\":" << (all_equivalent ? "true" : "false")
+        << ",\"event_latency\":{\"live_pps\":" << lst.pps
+        << ",\"epochs\":" << lst.epochs
+        << ",\"cold_start_compile_seconds\":" << cold_compile_s
+        << ",\"cold_start_deploy_seconds\":" << cold_deploy_s
+        << ",\"events\":[";
+    for (std::size_t i = 0; i < lst.events.size(); ++i) {
+      const sim::LiveEventStats& es = lst.events[i];
+      out << (i ? "," : "") << "{\"label\":\"" << es.label
+          << "\",\"at_seq\":" << es.at_seq
+          << ",\"swap_seconds\":" << es.swap_seconds
+          << ",\"first_packet_seconds\":" << es.first_packet_seconds
+          << ",\"migrated_switches\":" << es.migrated_switches
+          << ",\"migrated_vars\":" << es.migrated_vars << "}";
+    }
+    out << "]}"
         << ",\"stats\":" << det_engine.stats().to_json() << "}\n";
     out.flush();
     if (!out.good()) {
@@ -202,11 +305,13 @@ int run(const Args& args) {
 
   if (args.check) {
     bool pass = all_equivalent && args.packets >= 100000 && churn > 0 &&
-                !det_out.empty() && corpus_checked == 11;
+                !det_out.empty() && corpus_checked == 11 &&
+                live_equivalent;
     std::printf("\nCHECK %s (equivalent=%d packets=%zu churn=%zu"
-                " deliveries=%zu corpus=%zu)\n",
+                " deliveries=%zu corpus=%zu live=%d)\n",
                 pass ? "PASS" : "FAIL", all_equivalent ? 1 : 0,
-                args.packets, churn, det_out.size(), corpus_checked);
+                args.packets, churn, det_out.size(), corpus_checked,
+                live_equivalent ? 1 : 0);
     return pass ? 0 : 1;
   }
   return 0;

@@ -290,6 +290,7 @@ EventResult Session::full_compile(const PolPtr& program) {
   deployed_ = std::move(fresh);
   compiled_ = true;
   ev.delta = std::move(delta);
+  if (sink_) sink_("full_compile", ev.delta);
   return ev;
 }
 
@@ -327,6 +328,7 @@ EventResult Session::set_policy(const PolPtr& program) {
   cache_ = std::move(out);
   deployed_ = std::move(p6.second);
   ev.delta = std::move(p6.first);
+  if (sink_) sink_("set_policy", ev.delta);
   return ev;
 }
 
@@ -374,6 +376,7 @@ EventResult Session::set_traffic(TrafficMatrix tm) {
   out.times = ev.times;
   cache_ = std::move(out);
   ev.delta = std::move(delta);
+  if (sink_) sink_("set_traffic", ev.delta);
   return ev;
 }
 
@@ -388,7 +391,9 @@ EventResult Session::fail_switch(int sw) {
   }
   std::set<int> failed = failed_;
   failed.insert(sw);
-  return recompile_for_failures(std::move(failed));
+  EventResult ev = recompile_for_failures(std::move(failed));
+  if (sink_) sink_("fail_switch", ev.delta);
+  return ev;
 }
 
 EventResult Session::restore_switch(int sw) {
@@ -399,7 +404,9 @@ EventResult Session::restore_switch(int sw) {
   }
   std::set<int> failed = failed_;
   failed.erase(sw);
-  return recompile_for_failures(std::move(failed));
+  EventResult ev = recompile_for_failures(std::move(failed));
+  if (sink_) sink_("restore_switch", ev.delta);
+  return ev;
 }
 
 EventResult Session::recompile_for_failures(std::set<int> failed) {

@@ -27,9 +27,11 @@
 // records what actually executed, and tests assert the subsets above.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <set>
+#include <string>
 
 #include "analysis/depgraph.h"
 #include "analysis/psmap.h"
@@ -201,6 +203,14 @@ class Session {
   // replaying the per-event deltas.
   RuleDelta deployment() const;
 
+  // Live handoff: `sink` is invoked with every committed event's label
+  // ("full_compile", "set_policy", ...) and RuleDelta, after the session
+  // state is updated and before the event method returns. snapd connects
+  // this to TrafficEngine::apply_async so a running engine adopts each
+  // recompile at its next dispatch boundary. Pass nullptr to disconnect.
+  using DeltaSink = std::function<void(const std::string&, const RuleDelta&)>;
+  void on_delta(DeltaSink sink) { sink_ = std::move(sink); }
+
  private:
   struct PhaseRecorder;
 
@@ -271,6 +281,9 @@ class Session {
   // Lazily-built worker pool for the parallel P2/P6 paths (null when
   // opts_.threads == 1).
   std::unique_ptr<ThreadPool> pool_;
+
+  // Live-engine delta handoff (on_delta).
+  DeltaSink sink_;
 
   // The retained serial-P2 engine (see analyze). Reset when the policy's
   // test order changes ranks or the accumulated store crosses the memory

@@ -66,7 +66,7 @@ void Network::prune_foreign_state() {
   }
 }
 
-void Network::apply(const RuleDelta& delta) {
+void Network::apply_rules(const RuleDelta& delta) {
   SNAP_CHECK(delta.store != nullptr, "delta carries no xFDD store");
   topo_ = delta.topo;
   owned_store_ = delta.store;
@@ -87,23 +87,43 @@ void Network::apply(const RuleDelta& delta) {
         static_cast<int>(switches_.size()), netasm::Program{}));
   }
   for (int sw : delta.removed) {
-    // The switch died: program gone, state lost (§7.3).
+    // The switch died: program gone (§7.3). Its state is migrated by the
+    // owner's thread (migrate_switch_state / apply()).
     switch_at(sw).install(netasm::Program{});
-    switch_at(sw).state().clear();
     switch_at(sw).reset_stats();
   }
   for (int sw : delta.added) {
-    // Restored or newly deployed: fresh program, fresh state.
+    // Restored or newly deployed: fresh program (state cleared by the
+    // migration half).
     switch_at(sw).install(delta.programs.at(sw));
-    switch_at(sw).state().clear();
     switch_at(sw).reset_stats();
   }
   for (int sw : delta.changed) {
     // Updated in place; local tables survive unless re-placed away (the
-    // prune below). Instruction stats restart with the new program.
+    // migration prune). Instruction stats restart with the new program.
     switch_at(sw).install(delta.programs.at(sw));
     switch_at(sw).reset_stats();
   }
+}
+
+void Network::migrate_switch_state(int sw, const Placement& placement,
+                                   bool clear_all) {
+  Store& st = switch_at(sw).state();
+  if (clear_all) {
+    // Removed (state lost with the switch, §7.3) or freshly added
+    // (restored switches start empty — their pre-failure tables are gone).
+    st.clear();
+    return;
+  }
+  for (StateVarId var : st.var_ids()) {
+    if (placement.at(var) != sw) st.erase_table(var);
+  }
+}
+
+void Network::apply(const RuleDelta& delta) {
+  apply_rules(delta);
+  for (int sw : delta.removed) migrate_switch_state(sw, placement_, true);
+  for (int sw : delta.added) migrate_switch_state(sw, placement_, true);
   prune_foreign_state();
 }
 
@@ -126,16 +146,17 @@ void Network::count_hop(int from, int to) {
   link_packets_[l].fetch_add(1, std::memory_order_relaxed);
 }
 
-int Network::next_hop(int sw, int target, PortId u,
-                      std::optional<PortId> v) const {
+int Network::next_hop_in(const RoutingTables& tables, const Routing& routing,
+                         int sw, int target, PortId u,
+                         std::optional<PortId> v) {
   if (v) {
     // Prefer the optimizer's (u,v) path when it applies here and still
     // leads to the target.
-    int nxt = tables_.path_next(sw, u, *v);
+    int nxt = tables.path_next(sw, u, *v);
     if (nxt >= 0) {
       // Check the target is downstream on this path.
-      auto it = routing_.paths.find({u, *v});
-      if (it != routing_.paths.end()) {
+      auto it = routing.paths.find({u, *v});
+      if (it != routing.paths.end()) {
         const auto& p = it->second;
         auto here = std::find(p.begin(), p.end(), sw);
         auto there = std::find(p.begin(), p.end(), target);
@@ -143,9 +164,21 @@ int Network::next_hop(int sw, int target, PortId u,
       }
     }
   }
-  int nxt = tables_.dest_next(sw, target);
+  int nxt = tables.dest_next(sw, target);
   SNAP_CHECK(nxt >= 0, "no route toward state switch");
   return nxt;
+}
+
+int Network::next_hop(int sw, int target, PortId u,
+                      std::optional<PortId> v) const {
+  return next_hop_in(tables_, routing_, sw, target, u, v);
+}
+
+bool Network::add_link_packets(int from, int to, std::uint64_t n) {
+  int l = topo_.link_index(from, to);
+  if (l < 0) return false;
+  link_packets_[l].fetch_add(n, std::memory_order_relaxed);
+  return true;
 }
 
 std::vector<Network::Delivery> Network::inject(PortId inport,

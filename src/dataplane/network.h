@@ -55,7 +55,28 @@ class Network {
   // state), and every switch drops the tables of variables the new
   // placement moved elsewhere. Routing tables and the diagram context are
   // swapped to the delta's. No switch object is reconstructed.
+  //
+  // apply() == apply_rules() + serial state migration. The traffic
+  // engine's live-update mode splits the two: the scheduler swaps the
+  // rules/context (apply_rules) while each worker migrates the state of
+  // its own switches (migrate_switch_state) under the epoch discipline —
+  // state tables are worker-local and must never be touched off-thread.
   void apply(const RuleDelta& delta);
+
+  // The context/program half of apply(): topology, routing tables, diagram
+  // context and per-switch programs are swapped, instruction counters of
+  // touched switches reset. State tables are NOT migrated — the caller
+  // must follow up with migrate_switch_state (per switch) or rely on
+  // apply() for the serial combination.
+  void apply_rules(const RuleDelta& delta);
+
+  // The state half of apply() for one switch: when `clear_all` (the switch
+  // was removed or freshly added by the delta) the whole store is dropped;
+  // otherwise only tables of variables `placement` locates elsewhere (a
+  // re-placement prunes the old owner's copy). Thread-contract: call only
+  // from whichever thread owns this switch's state.
+  void migrate_switch_state(int sw, const Placement& placement,
+                            bool clear_all);
 
   struct Delivery {
     PortId outport;
@@ -88,8 +109,16 @@ class Network {
   // Deployment context, shared read-only with the sim engine's workers.
   const Topology& topo() const { return topo_; }
   const XfddStore& store() const { return *store_; }
+  // Shared ownership of the current store (null when the legacy
+  // constructor's caller owns it — that caller guarantees lifetime). The
+  // live engine's epoch snapshots keep superseded stores alive through
+  // this while apply_rules swaps in the next one.
+  std::shared_ptr<const XfddStore> shared_store() const {
+    return owned_store_;
+  }
   XfddId root() const { return root_; }
   const Placement& placement() const { return placement_; }
+  const Routing& routing() const { return routing_; }
   const TestOrder& order() const { return order_; }
 
   // One forwarding step toward `target`; prefers the (u,v) path when the
@@ -97,8 +126,25 @@ class Network {
   // routing tables, so safe to call from several threads.
   int next_hop(int sw, int target, PortId u, std::optional<PortId> v) const;
 
+  // The same forwarding step over an explicit routing context. The live
+  // engine's per-epoch contexts route with the epoch's own tables (the
+  // network's may already belong to a later epoch) and share this logic.
+  static int next_hop_in(const RoutingTables& tables, const Routing& routing,
+                         int sw, int target, PortId u,
+                         std::optional<PortId> v);
+
   // Thread-safe hop accounting for one traversal of the link from->to.
   void count_hop(int from, int to);
+
+  // Bulk counter fold-in for the live engine: epochs count hops against
+  // their own topology snapshot and merge here at retirement.
+  void add_hops(std::uint64_t n) {
+    hops_.fetch_add(n, std::memory_order_relaxed);
+  }
+  // Adds `n` traversals of from->to if that link exists in the current
+  // topology; returns false (drops the count) when it does not — an epoch
+  // may retire after a failure removed the link it counted against.
+  bool add_link_packets(int from, int to, std::uint64_t n);
 
  private:
   void reset_link_counters(std::size_t n);

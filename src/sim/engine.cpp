@@ -6,6 +6,7 @@
 #include <deque>
 #include <iomanip>
 #include <limits>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <unordered_map>
@@ -64,21 +65,85 @@ std::string SimStats::to_json() const {
   arr("per_switch_events", per_switch_events);
   arr("hop_histogram", hop_histogram);
   arr("latency_us_log2_histogram", latency_histogram);
-  os << "}";
+  os << ",\"epochs\":" << epochs << ",\"events\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const LiveEventStats& e = events[i];
+    os << (i ? "," : "") << "{\"label\":\"" << e.label
+       << "\",\"at_seq\":" << e.at_seq << ",\"epoch\":" << e.epoch
+       << ",\"migrated_switches\":" << e.migrated_switches
+       << ",\"migrated_vars\":" << e.migrated_vars
+       << ",\"swap_seconds\":" << e.swap_seconds
+       << ",\"first_packet_seconds\":" << e.first_packet_seconds << "}";
+  }
+  os << "]}";
   return os.str();
 }
 
+// Epoch-context machinery for live updates (see engine.h header comment).
+// Sequence numbers with this bit set tag control (migration) tasks, so
+// workloads are bounded to 31-bit sequence space.
+inline constexpr std::uint32_t kCtrlSeq = 0x80000000u;
+// Concurrently-live epoch bound: a slot is reused only after every packet
+// of its previous occupant completed.
+inline constexpr std::uint32_t kEpochSlots = 8;
+
 struct TrafficEngine::Impl {
+  // Everything a packet resolves its walk through, snapshotted at the
+  // epoch's swap and immutable afterwards. Workers reach it via the task's
+  // epoch id; the only shared-with-other-epochs data a task touches is the
+  // per-switch state tables, which stay worker-local.
+  struct EpochCtx {
+    std::uint32_t id = 0;
+    // Shares ownership of the diagram store (null only for an epoch built
+    // from a legacy caller-owned-store Network, whose caller guarantees
+    // lifetime).
+    std::shared_ptr<const XfddStore> store_owner;
+    const XfddStore* store = nullptr;
+    XfddId root = 0;
+    Topology topo;
+    Placement placement;
+    Routing routing;
+    RoutingTables tables;
+    TestOrder order;
+    std::vector<netasm::DecodedProgram> decoded;  // per switch
+    std::vector<netasm::DirectXfdd> direct;       // per switch (may be empty)
+    int direct_switches = 0;
+    // Deterministic mode only: this epoch's conflict-mask cache and the
+    // scheduler's per-mask confinement memo (mask indices are
+    // epoch-relative).
+    std::unique_ptr<ConflictCache> conflict;
+    std::vector<int> mask_worker;
+    // Hop accounting against this epoch's topology, folded into the
+    // Network at retirement (workers must not touch the Network's own
+    // topology/counters — the scheduler repatches them mid-run).
+    std::atomic<std::uint64_t> hops{0};
+    std::unique_ptr<std::atomic<std::uint64_t>[]> link_packets;
+    std::size_t num_links = 0;
+
+    void count_hop(int from, int to) {
+      int l = topo.link_index(from, to);
+      SNAP_CHECK(l >= 0, "forwarding over a missing link");
+      hops.fetch_add(1, std::memory_order_relaxed);
+      link_packets[static_cast<std::size_t>(l)].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  };
+
   // A packet's cursor through the distributed walk, sent between shards.
+  // kMigrate tasks are the scheduler's state-migration barriers: one per
+  // affected switch, riding the same rings so per-worker FIFO places them
+  // after every old-epoch dispatch and before every new-epoch one.
   struct Task {
-    enum class Phase : std::uint8_t { kResolve, kWrite };
+    enum class Phase : std::uint8_t { kResolve, kWrite, kMigrate };
     Phase phase = Phase::kResolve;
     std::uint32_t seq = 0;
+    std::uint32_t epoch = 0;
     std::uint32_t hops = 0;
     int sw = 0;
     XfddId node = 0;
     int guard = 0;
     PortId inport = 0;
+    bool migrate_clear = false;  // kMigrate: clear all state vs prune
     std::uint64_t t_dispatch_ns = 0;
     SwitchSet applied;
     Packet pkt;
@@ -86,6 +151,7 @@ struct TrafficEngine::Impl {
 
   struct Completion {
     std::uint32_t seq = 0;
+    std::uint32_t epoch = 0;
     std::uint32_t hops = 0;
     std::uint32_t latency_us = 0;
   };
@@ -116,9 +182,13 @@ struct TrafficEngine::Impl {
     std::vector<std::uint64_t> events;  // per switch
     std::uint64_t forwards = 0;
     netasm::DecodedProgram::Scratch scratch;
-    // Per-leaf write plan: (var, owner) in (state-rank, id) order.
-    std::unordered_map<XfddId, std::vector<std::pair<StateVarId, int>>>
+    // Per-leaf write plan: (var, owner) in (state-rank, id) order. Keyed
+    // by (epoch << 32 | leaf): leaf ids collide across epochs' stores.
+    std::unordered_map<std::uint64_t,
+                       std::vector<std::pair<StateVarId, int>>>
         plans;
+    // (seq, epoch) per program run when EngineOptions::record_epochs.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> epoch_marks;
     // Outgoing batches under accumulation, one per destination worker,
     // plus the completion batch toward the scheduler.
     std::vector<TaskBatch> out_pending;
@@ -137,8 +207,12 @@ struct TrafficEngine::Impl {
   int guard_budget = 0;
   SimStats stats;
 
-  std::vector<netasm::DecodedProgram> decoded;     // per switch
-  std::vector<netasm::DirectXfdd> direct;          // per switch (may be empty)
+  // Live-epoch slots (slot = id % kEpochSlots). The scheduler writes a
+  // slot strictly before pushing any task of that epoch; the ring's
+  // release/acquire pair publishes the pointer, and the drain-before-reuse
+  // rule keeps a slot stable for as long as any task can read it.
+  std::array<std::unique_ptr<EpochCtx>, kEpochSlots> epochs;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> marks;  // merged
   std::vector<std::unique_ptr<WorkerCtx>> ctxs;    // per worker
   std::vector<std::unique_ptr<SpscRing<Task>>> rings;  // (W+1) x W
   std::vector<std::unique_ptr<SpscRing<Completion>>> comps;  // per worker
@@ -146,6 +220,20 @@ struct TrafficEngine::Impl {
   std::atomic<bool> abort{false};
   std::mutex err_mu;
   std::exception_ptr err;
+
+  // apply_async queue (snapd's serve loop feeds this from another thread);
+  // drained into the schedule at dispatch boundaries.
+  std::mutex async_mu;
+  std::vector<LiveEvent> async_events;
+  std::atomic<bool> async_pending{false};
+
+  // LiveProgress source, maintained by the scheduler with relaxed stores.
+  std::atomic<std::uint64_t> live_completed{0}, live_packets{0},
+      live_events{0};
+  std::atomic<std::uint32_t> live_epoch{0};
+  std::atomic<std::uint64_t> live_started_ns{0};
+  std::atomic<std::int64_t> live_last_latency_ns{-1};
+  std::atomic<bool> live_running{false};
 
   explicit Impl(Network& n, EngineOptions o) : net(&n), opts(o) {
     SNAP_CHECK(net->topo().num_switches() <= 256,
@@ -170,18 +258,23 @@ struct TrafficEngine::Impl {
 
   Store& state_of(int sw) { return net->switch_at(sw).state(); }
 
-  // Runs switch `sw`'s slice from `node`: the direct xFDD walk when the
-  // switch has no foreign state, the decoded NetASM program otherwise.
-  netasm::DecodedProgram::Outcome run_switch(int sw, XfddId node,
-                                             const Packet& pkt,
+  EpochCtx& epoch_of(std::uint32_t id) {
+    return *epochs[id % kEpochSlots];
+  }
+
+  // Runs switch `sw`'s slice from `node` under epoch `e`: the direct xFDD
+  // walk when the switch has no foreign state, the decoded NetASM program
+  // otherwise.
+  netasm::DecodedProgram::Outcome run_switch(EpochCtx& e, int sw,
+                                             XfddId node, const Packet& pkt,
                                              WorkerCtx& ctx) {
     const std::size_t swi = static_cast<std::size_t>(sw);
-    if (!direct.empty() && direct[swi].eligible()) {
-      return direct[swi].run(node, pkt, state_of(sw), ctx.scratch,
-                             &ctx.instr[swi]);
+    if (!e.direct.empty() && e.direct[swi].eligible()) {
+      return e.direct[swi].run(node, pkt, state_of(sw), ctx.scratch,
+                               &ctx.instr[swi]);
     }
-    return decoded[swi].run(node, pkt, state_of(sw), ctx.scratch,
-                            &ctx.instr[swi]);
+    return e.decoded[swi].run(node, pkt, state_of(sw), ctx.scratch,
+                              &ctx.instr[swi]);
   }
 
   // ---- worker side --------------------------------------------------------
@@ -225,7 +318,7 @@ struct TrafficEngine::Impl {
 
   void complete(int me, const Task& t) {
     auto us = (now_ns() - t.t_dispatch_ns) / 1000;
-    Completion c{t.seq, t.hops,
+    Completion c{t.seq, t.epoch, t.hops,
                  static_cast<std::uint32_t>(
                      std::min<std::uint64_t>(us, 0xffffffffu))};
     WorkerCtx& ctx = *ctxs[static_cast<std::size_t>(me)];
@@ -235,11 +328,12 @@ struct TrafficEngine::Impl {
   }
 
   // One forwarding walk toward `target`, mirroring the serial path's hop
-  // and guard accounting exactly.
-  void walk(Task& t, int target, const char* what) {
+  // and guard accounting exactly — against the task's epoch context.
+  void walk(EpochCtx& e, Task& t, int target, const char* what) {
     while (t.sw != target) {
-      int nxt = net->next_hop(t.sw, target, t.inport, std::nullopt);
-      net->count_hop(t.sw, nxt);
+      int nxt = Network::next_hop_in(e.tables, e.routing, t.sw, target,
+                                     t.inport, std::nullopt);
+      e.count_hop(t.sw, nxt);
       ++t.hops;
       t.sw = nxt;
       SNAP_CHECK(--t.guard > 0, what);
@@ -247,29 +341,32 @@ struct TrafficEngine::Impl {
   }
 
   const std::vector<std::pair<StateVarId, int>>& write_plan(WorkerCtx& ctx,
+                                                            EpochCtx& e,
                                                             XfddId leaf) {
-    auto it = ctx.plans.find(leaf);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(e.id) << 32) | leaf;
+    auto it = ctx.plans.find(key);
     if (it != ctx.plans.end()) return it->second;
     std::vector<std::pair<StateVarId, int>> plan;
     for (const auto& [var, ops] :
-         net->store().leaf_actions(leaf).state_programs()) {
-      int owner = net->placement().at(var);
+         e.store->leaf_actions(leaf).state_programs()) {
+      int owner = e.placement.at(var);
       SNAP_CHECK(owner >= 0, "leaf writes an unplaced state variable");
       plan.emplace_back(var, owner);
     }
-    const TestOrder& order = net->order();
+    const TestOrder& order = e.order;
     std::sort(plan.begin(), plan.end(), [&](const auto& a, const auto& b) {
       int ra = order.state_rank(a.first), rb = order.state_rank(b.first);
       return ra != rb ? ra < rb : a.first < b.first;
     });
-    return ctx.plans.emplace(leaf, std::move(plan)).first->second;
+    return ctx.plans.emplace(key, std::move(plan)).first->second;
   }
 
   // Phase 3: apply field mods per surviving copy, walk to egress, record
-  // the delivery (serial inject's last loop, with atomic hop counters).
-  void egress_and_complete(int me, Task& t) {
+  // the delivery (serial inject's last loop, with epoch-local counters).
+  void egress_and_complete(int me, EpochCtx& e, Task& t) {
     WorkerCtx& ctx = *ctxs[static_cast<std::size_t>(me)];
-    const ActionSet& actions = net->store().leaf_actions(t.node);
+    const ActionSet& actions = e.store->leaf_actions(t.node);
     const FieldId outport_f = fields::outport();
     std::uint32_t copy_idx = 0;
     for (const ActionSeq& seq : actions.seqs()) {
@@ -282,15 +379,16 @@ struct TrafficEngine::Impl {
       auto egress = static_cast<PortId>(*v);
       int esw;
       try {
-        esw = net->topo().port_switch(egress);
+        esw = e.topo.port_switch(egress);
       } catch (const InternalError&) {
         continue;  // egress port does not exist: dropped
       }
       int cur = t.sw;
       int copy_guard = guard_budget;
       while (cur != esw) {
-        int nxt = net->next_hop(cur, esw, t.inport, egress);
-        net->count_hop(cur, nxt);
+        int nxt = Network::next_hop_in(e.tables, e.routing, cur, esw,
+                                       t.inport, egress);
+        e.count_hop(cur, nxt);
         ++t.hops;
         cur = nxt;
         SNAP_CHECK(--copy_guard > 0, "packet walked too long to egress");
@@ -303,18 +401,30 @@ struct TrafficEngine::Impl {
   // Runs a task as far as it can on this shard, then forwards or completes.
   void process(int me, Task& t) {
     WorkerCtx& ctx = *ctxs[static_cast<std::size_t>(me)];
+    EpochCtx& e = epoch_of(t.epoch);
+    if (t.phase == Task::Phase::kMigrate) {
+      // Scheduler-ordered state-migration barrier: prune/clear this
+      // switch's tables for the new epoch's placement. Ring FIFO put this
+      // after every old-epoch dispatch to this worker; the deterministic
+      // scheduler additionally drained M-conflicting in-flight packets
+      // before sending it.
+      net->migrate_switch_state(t.sw, e.placement, t.migrate_clear);
+      complete(me, t);
+      return;
+    }
     for (;;) {
       const std::size_t swi = static_cast<std::size_t>(t.sw);
+      if (opts.record_epochs) ctx.epoch_marks.emplace_back(t.seq, e.id);
       if (t.phase == Task::Phase::kResolve) {
-        auto oc = run_switch(t.sw, t.node, t.pkt, ctx);
+        auto oc = run_switch(e, t.sw, t.node, t.pkt, ctx);
         ++ctx.events[swi];
         if (oc.kind == netasm::DecodedProgram::Outcome::kStuck) {
           SNAP_CHECK(--t.guard > 0,
                      "packet walked too long while resolving state");
-          int target = net->placement().at(oc.stuck_var);
+          int target = e.placement.at(oc.stuck_var);
           SNAP_CHECK(target >= 0, "stuck on an unplaced state variable");
           t.node = oc.node;
-          walk(t, target, "packet walked too long while resolving state");
+          walk(e, t, target, "packet walked too long while resolving state");
           if (worker_of(t.sw) == me) continue;
           send(me, std::move(t));
           return;
@@ -326,7 +436,7 @@ struct TrafficEngine::Impl {
         t.applied.set(t.sw);
       } else {
         // Arrived at a write owner: apply its local leaf writes.
-        auto oc = run_switch(t.sw, t.node, t.pkt, ctx);
+        auto oc = run_switch(e, t.sw, t.node, t.pkt, ctx);
         ++ctx.events[swi];
         SNAP_CHECK(oc.kind == netasm::DecodedProgram::Outcome::kLeaf &&
                        oc.node == t.node,
@@ -335,21 +445,21 @@ struct TrafficEngine::Impl {
       }
       // Next unvisited owner in dependency order (serial phase 2).
       int next_owner = -1;
-      for (const auto& [var, owner] : write_plan(ctx, t.node)) {
+      for (const auto& [var, owner] : write_plan(ctx, e, t.node)) {
         if (!t.applied.test(owner)) {
           next_owner = owner;
           break;
         }
       }
       if (next_owner < 0) {
-        egress_and_complete(me, t);
+        egress_and_complete(me, e, t);
         return;
       }
       // Each owner walk gets a fresh budget — the serial path budgets its
       // phase-2 walks per owner, so a long multi-owner write plan must not
       // exhaust the resolve budget and trip "walked too long" spuriously.
       t.guard = guard_budget;
-      walk(t, next_owner, "packet walked too long while writing state");
+      walk(e, t, next_owner, "packet walked too long while writing state");
       if (worker_of(t.sw) != me) {
         send(me, std::move(t));
         return;
@@ -412,9 +522,79 @@ struct TrafficEngine::Impl {
 
   // ---- scheduler side -----------------------------------------------------
 
-  std::vector<Network::Delivery> run(const Workload& wl) {
+  // Snapshots one epoch's full deployment context. Per-switch programs are
+  // read from the Network (apply_rules already installed the delta's), so
+  // the caller must finish patching the Network first.
+  std::unique_ptr<EpochCtx> build_epoch(
+      std::uint32_t id, std::shared_ptr<const XfddStore> owner,
+      const XfddStore* store, XfddId root, const Topology& topo,
+      const Placement& pl, const Routing& routing, const TestOrder& order) {
+    auto e = std::make_unique<EpochCtx>();
+    e->id = id;
+    e->store_owner = std::move(owner);
+    e->store = store;
+    e->root = root;
+    e->topo = topo;
+    e->placement = pl;
+    e->routing = routing;
+    e->tables = RoutingTables::build(topo, routing);
+    e->order = order;
+    const int num_sw = net->topo().num_switches();
+    e->decoded.reserve(static_cast<std::size_t>(num_sw));
+    for (int sw = 0; sw < num_sw; ++sw) {
+      e->decoded.push_back(
+          netasm::DecodedProgram::decode(net->switch_at(sw).program()));
+    }
+    if (opts.xfdd_direct) {
+      e->direct.reserve(static_cast<std::size_t>(num_sw));
+      for (int sw = 0; sw < num_sw; ++sw) {
+        // A switch with no program must keep failing through the decoded
+        // path ("no program entry"), not silently interpret the diagram.
+        if (net->switch_at(sw).program().code.empty()) {
+          e->direct.emplace_back();
+        } else {
+          e->direct.push_back(netasm::DirectXfdd::build(
+              *e->store, e->root, e->placement, sw));
+        }
+        if (e->direct.back().eligible()) ++e->direct_switches;
+      }
+    }
+    if (opts.deterministic) {
+      e->conflict = std::make_unique<ConflictCache>(*e->store, e->root);
+    }
+    e->num_links = topo.links().size();
+    e->link_packets =
+        std::make_unique<std::atomic<std::uint64_t>[]>(e->num_links);
+    for (std::size_t i = 0; i < e->num_links; ++i) {
+      e->link_packets[i].store(0, std::memory_order_relaxed);
+    }
+    return e;
+  }
+
+  // Folds an epoch's counters into the Network before its slot is reused
+  // (or at run end). Link counts are exact when the link survived into the
+  // current topology and dropped otherwise (a failure removed it).
+  void retire_epoch(EpochCtx& e) {
+    net->add_hops(e.hops.load(std::memory_order_relaxed));
+    const auto& links = e.topo.links();
+    for (std::size_t i = 0; i < e.num_links; ++i) {
+      auto c = e.link_packets[i].load(std::memory_order_relaxed);
+      if (c) net->add_link_packets(links[i].src, links[i].dst, c);
+    }
+    if (e.conflict) {
+      stats.conflict_hits += e.conflict->hits();
+      stats.conflict_misses += e.conflict->misses();
+    }
+  }
+
+  std::vector<Network::Delivery> run_live(const Workload& wl,
+                                          std::vector<LiveEvent> schedule) {
     const std::size_t N = wl.packets.size();
     const int num_sw = net->topo().num_switches();
+    std::stable_sort(schedule.begin(), schedule.end(),
+                     [](const LiveEvent& a, const LiveEvent& b) {
+                       return a.at_seq < b.at_seq;
+                     });
     stats = SimStats{};
     stats.packets = N;
     stats.workers = W;
@@ -426,49 +606,58 @@ struct TrafficEngine::Impl {
     stats.hop_histogram.assign(65, 0);
     stats.latency_histogram.assign(32, 0);
     guard_budget = num_sw * 4 + 16;
-    if (N == 0) return {};
-    SNAP_CHECK(N < (1ull << 32), "workload exceeds 32-bit sequence space");
-
-    // Decode every switch's program once per run (apply() may have patched
-    // programs since the last run). Switches whose program tests only
-    // locally-placed state additionally get the direct xFDD interpreter.
-    decoded.clear();
-    decoded.reserve(static_cast<std::size_t>(num_sw));
-    direct.clear();
-    for (int sw = 0; sw < num_sw; ++sw) {
-      decoded.push_back(
-          netasm::DecodedProgram::decode(net->switch_at(sw).program()));
-    }
-    if (opts.xfdd_direct) {
-      direct.reserve(static_cast<std::size_t>(num_sw));
-      for (int sw = 0; sw < num_sw; ++sw) {
-        // A switch with no program must keep failing through the decoded
-        // path ("no program entry"), not silently interpret the diagram.
-        if (net->switch_at(sw).program().code.empty()) {
-          direct.emplace_back();
-        } else {
-          direct.push_back(netasm::DirectXfdd::build(
-              net->store(), net->root(), net->placement(), sw));
-        }
-        if (direct.back().eligible()) ++stats.direct_switches;
+    marks.clear();
+    live_packets.store(N, std::memory_order_relaxed);
+    live_completed.store(0, std::memory_order_relaxed);
+    live_events.store(0, std::memory_order_relaxed);
+    live_epoch.store(0, std::memory_order_relaxed);
+    live_last_latency_ns.store(-1, std::memory_order_relaxed);
+    live_started_ns.store(now_ns(), std::memory_order_relaxed);
+    live_running.store(true, std::memory_order_relaxed);
+    if (N == 0) {
+      // Nothing in flight: apply the schedule quiesced.
+      for (LiveEvent& ev : schedule) {
+        net->apply(ev.delta);
+        LiveEventStats es;
+        es.label = ev.label;
+        es.at_seq = ev.at_seq;
+        es.epoch = ++stats.epochs - 1;
+        stats.events.push_back(std::move(es));
       }
+      live_running.store(false, std::memory_order_relaxed);
+      return {};
     }
+    SNAP_CHECK(N < (1ull << 31),
+               "workload exceeds 31-bit sequence space (the top bit tags "
+               "control tasks)");
 
-    // Fresh rings and worker contexts. Task-ring capacity == window: at
-    // most `window` packets are in flight and each owns at most one slot,
-    // so batched pushes always find room.
+    // Epoch 0 snapshots the network as deployed.
+    for (auto& s : epochs) s.reset();
+    epochs[0] =
+        build_epoch(0, net->shared_store(), &net->store(), net->root(),
+                    net->topo(), net->placement(), net->routing(),
+                    net->order());
+    EpochCtx* cur = epochs[0].get();
+    stats.direct_switches = cur->direct_switches;
+
+    // Fresh rings and worker contexts. Task-ring capacity is the window
+    // (at most `window` packets in flight, each owning at most one slot)
+    // plus headroom for one wave of migration barriers (one per switch,
+    // bounded by the 256-switch shard limit), so batched pushes always
+    // find room.
+    const std::size_t ring_cap = opts.window + 256;
     rings.clear();
     for (int p = 0; p <= W; ++p) {
       for (int c = 0; c < W; ++c) {
         (void)p;
         (void)c;
-        rings.push_back(std::make_unique<SpscRing<Task>>(opts.window));
+        rings.push_back(std::make_unique<SpscRing<Task>>(ring_cap));
       }
     }
     comps.clear();
     ctxs.clear();
     for (int w = 0; w < W; ++w) {
-      comps.push_back(std::make_unique<SpscRing<Completion>>(opts.window));
+      comps.push_back(std::make_unique<SpscRing<Completion>>(ring_cap));
       auto ctx = std::make_unique<WorkerCtx>();
       ctx->instr.assign(static_cast<std::size_t>(num_sw), 0);
       ctx->events.assign(static_cast<std::size_t>(num_sw), 0);
@@ -489,29 +678,32 @@ struct TrafficEngine::Impl {
     }
 
     // Conflict bookkeeping (deterministic mode): how many in-flight
-    // packets touch each state variable. The mask cache keys the
-    // field-consistent walk by flow/field-signature, so the per-packet
-    // diagram walk is paid only for never-seen signatures; `active` is
-    // sized by the largest id any mask can contain (not just the intern
-    // count at run start), and out-of-range ids fail loudly instead of
-    // silently skipping the gate.
-    std::unique_ptr<ConflictCache> conflict;
+    // packets touch each state variable. The gate table spans epochs —
+    // variable ids are global — so cross-epoch conflicts (and the
+    // migration hold below) serialize in sequence order exactly like
+    // same-epoch ones. Grown, never shrunk, as epochs introduce larger
+    // ids; out-of-range ids fail loudly instead of silently skipping the
+    // gate.
     std::vector<std::uint32_t> active;
     // Confinement worker of the packets currently holding each variable
     // (valid while active[v] > 0; -1 = some holder is unconfined).
     std::vector<int> conf;
+    auto grow_gate = [&](std::size_t nv) {
+      if (nv > active.size()) {
+        active.resize(nv, 0);
+        conf.resize(nv, -1);
+      }
+    };
     if (opts.deterministic) {
-      conflict =
-          std::make_unique<ConflictCache>(net->store(), net->root());
-      const std::size_t nv = std::max<std::size_t>(
+      grow_gate(std::max<std::size_t>(
           state_var_count(),
-          static_cast<std::size_t>(conflict->max_var_id()) + 1);
-      active.assign(nv, 0);
-      conf.assign(nv, -1);
+          static_cast<std::size_t>(cur->conflict->max_var_id()) + 1));
     }
-    // seq -> conflict-mask index of each in-flight packet with a
-    // nonempty mask.
-    std::unordered_map<std::uint32_t, std::uint32_t> inflight_masks;
+    // seq -> (epoch, conflict-mask index) of each in-flight packet with a
+    // nonempty mask (mask indices are epoch-relative).
+    std::unordered_map<std::uint32_t,
+                       std::pair<std::uint32_t, std::uint32_t>>
+        inflight_masks;
 
     // A packet whose ingress worker also owns every variable in its mask
     // is *confined*: its whole walk (resolve targets, write owners, inline
@@ -519,18 +711,20 @@ struct TrafficEngine::Impl {
     // conflicting confined predecessor — the ring's FIFO already executes
     // them in sequence order — instead of stalling the window for a full
     // scheduler round-trip. With one worker every packet is confined and
-    // deterministic mode pipelines gate-free. mask_worker memoizes, per
-    // conflict-mask index, the single worker owning all of the mask's
-    // variables (-1 when they span workers or are unplaced, -2 unknown).
-    std::vector<int> mask_worker;
-    auto worker_of_mask = [&](std::uint32_t midx) {
-      if (midx >= mask_worker.size()) mask_worker.resize(midx + 1, -2);
-      int& mw = mask_worker[midx];
+    // deterministic mode pipelines gate-free. EpochCtx::mask_worker
+    // memoizes, per conflict-mask index, the single worker owning all of
+    // the mask's variables (-1 when they span workers or are unplaced,
+    // -2 unknown). Cross-epoch sharing of conf[v] is sound: a variable
+    // whose owner changed is in the migration set, so its old holders
+    // drained before the swap.
+    auto worker_of_mask = [&](EpochCtx& e, std::uint32_t midx) {
+      if (midx >= e.mask_worker.size()) e.mask_worker.resize(midx + 1, -2);
+      int& mw = e.mask_worker[midx];
       if (mw == -2) {
         mw = -1;
         bool first = true;
-        for (StateVarId v : conflict->mask(midx)) {
-          int owner = net->placement().at(v);
+        for (StateVarId v : e.conflict->mask(midx)) {
+          int owner = e.placement.at(v);
           if (owner < 0) {
             mw = -1;
             break;
@@ -554,34 +748,248 @@ struct TrafficEngine::Impl {
       TaskBatch& b = sched_pending[static_cast<std::size_t>(dest)];
       if (b.n == 0) return;
       while (!ring(W, dest).try_push_batch(b.t.data(), b.n)) {
-        std::this_thread::yield();  // unreachable with capacity==window
+        std::this_thread::yield();  // unreachable with the sized capacity
       }
       b.n = 0;
     };
+    auto sched_send = [&](Task&& t) {
+      int dest = worker_of(t.sw);
+      TaskBatch& b = sched_pending[static_cast<std::size_t>(dest)];
+      b.t[b.n++] = std::move(t);
+      if (static_cast<int>(b.n) >= B) sched_flush(dest);
+    };
+
+    // Live-event bookkeeping. inflight_slot counts in-flight packets per
+    // epoch slot (the drain-before-reuse rule); pending_migrations counts
+    // outstanding kMigrate barriers of the latest event, whose migration
+    // set is held in the gate via migration_hold until they all complete.
+    std::array<std::uint64_t, kEpochSlots> inflight_slot{};
+    std::size_t pending_migrations = 0;
+    std::vector<StateVarId> migration_hold;
+    std::uint32_t ctrl_seq = 0;
+    std::vector<double> event_due_s;  // aligned with stats.events
+    // Epochs whose first packet completion is still to be stamped.
+    std::unordered_map<std::uint32_t, std::size_t> awaiting_first;
 
     Timer timer;
     std::size_t next = 0, completed = 0, inflight = 0;
+    std::size_t ei = 0;
     std::uint32_t head_mask = 0;
     bool head_valid = false;
+    double due_s = -1;  // when the pending event's boundary was reached
     std::array<Completion, static_cast<std::size_t>(kMaxTaskBatch)> cbuf;
+
+    auto release_hold = [&] {
+      for (StateVarId v : migration_hold) --active[v];
+      migration_hold.clear();
+    };
+
+    auto drain_completions = [&]() -> bool {
+      bool progress = false;
+      for (int w = 0; w < W; ++w) {
+        std::size_t k;
+        while ((k = comps[static_cast<std::size_t>(w)]->try_pop_batch(
+                    cbuf.data(), cbuf.size())) > 0) {
+          progress = true;
+          for (std::size_t i = 0; i < k; ++i) {
+            const Completion& c = cbuf[i];
+            if (c.seq & kCtrlSeq) {
+              // A migration barrier finished on its owner's worker.
+              SNAP_CHECK(pending_migrations > 0,
+                         "unexpected control completion");
+              if (--pending_migrations == 0) release_hold();
+              continue;
+            }
+            ++completed;
+            --inflight;
+            --inflight_slot[c.epoch % kEpochSlots];
+            stats.hops += c.hops;
+            ++stats.hop_histogram[std::min<std::uint32_t>(c.hops, 64)];
+            std::uint32_t bucket = 0;
+            while ((1u << bucket) <= c.latency_us && bucket < 31) ++bucket;
+            ++stats.latency_histogram[bucket];
+            auto af = awaiting_first.find(c.epoch);
+            if (af != awaiting_first.end()) {
+              double lat = timer.seconds() - event_due_s[af->second];
+              stats.events[af->second].first_packet_seconds = lat;
+              live_last_latency_ns.store(
+                  static_cast<std::int64_t>(lat * 1e9),
+                  std::memory_order_relaxed);
+              awaiting_first.erase(af);
+            }
+            if (opts.deterministic) {
+              auto it = inflight_masks.find(c.seq);
+              if (it != inflight_masks.end()) {
+                EpochCtx& me = epoch_of(it->second.first);
+                for (StateVarId v : me.conflict->mask(it->second.second)) {
+                  --active[v];
+                }
+                inflight_masks.erase(it);
+              }
+            }
+          }
+        }
+      }
+      live_completed.store(completed, std::memory_order_relaxed);
+      return progress;
+    };
+
+    // Applies the pending event if its preconditions hold; returns false
+    // (with no side effects) while the caller must keep draining
+    // completions. The swap sequence: wait out the previous migration
+    // wave and the slot's former occupant, (deterministic) wait until no
+    // in-flight conflict mask intersects the migration set M, patch the
+    // Network's rules half, snapshot the new epoch, hold M, and emit one
+    // kMigrate barrier per affected switch — ring-FIFO after every
+    // old-epoch dispatch, before every new-epoch one.
+    auto try_apply_event = [&](LiveEvent& ev) -> bool {
+      if (pending_migrations > 0) return false;
+      const std::uint32_t id = cur->id + 1;
+      const std::uint32_t slot = id % kEpochSlots;
+      if (epochs[slot] && inflight_slot[slot] > 0) return false;
+      const RuleDelta& d = ev.delta;
+      SNAP_CHECK(d.store != nullptr, "live event carries no xFDD store");
+      SNAP_CHECK(d.topo.num_switches() == num_sw,
+                 "live events must not renumber or grow the switch set");
+      // Migration set M (placement-changed variables plus everything
+      // touching a removed/restored switch) and the affected switches.
+      std::set<int> clear_sw(d.removed.begin(), d.removed.end());
+      clear_sw.insert(d.added.begin(), d.added.end());
+      std::set<int> prune_sw;
+      std::set<StateVarId> mset;
+      for (const auto& [v, oldsw] : cur->placement.switch_of) {
+        int newsw = d.placement.at(v);
+        if (oldsw != newsw || clear_sw.count(oldsw)) {
+          mset.insert(v);
+          if (oldsw != newsw && oldsw >= 0 && !clear_sw.count(oldsw)) {
+            prune_sw.insert(oldsw);
+          }
+        }
+      }
+      for (const auto& [v, newsw] : d.placement.switch_of) {
+        if (cur->placement.at(v) != newsw ||
+            (newsw >= 0 && clear_sw.count(newsw))) {
+          mset.insert(v);
+        }
+      }
+      if (opts.deterministic) {
+        for (StateVarId v : mset) {
+          if (v < active.size() && active[v] > 0) return false;
+        }
+      }
+      // Point of no return: patch the Network's rules. Workers never read
+      // the fields this touches (their context is the epoch snapshot);
+      // the per-switch state tables are migrated by the barriers below.
+      net->apply_rules(d);
+      if (epochs[slot]) retire_epoch(*epochs[slot]);
+      auto e = build_epoch(id, d.store, d.store.get(), d.root, d.topo,
+                           d.placement, d.routing, d.order);
+      if (opts.deterministic) {
+        std::size_t nv =
+            static_cast<std::size_t>(e->conflict->max_var_id()) + 1;
+        for (StateVarId v : mset) {
+          nv = std::max(nv, static_cast<std::size_t>(v) + 1);
+        }
+        grow_gate(nv);
+        // Hold M like an unconfined pseudo-packet until every barrier
+        // completes: new-epoch packets that could observe migrated state
+        // queue behind the migration.
+        migration_hold.assign(mset.begin(), mset.end());
+        for (StateVarId v : migration_hold) {
+          ++active[v];
+          conf[v] = -1;
+        }
+      }
+      // Publish the slot before any task referencing the epoch exists;
+      // the ring push below is the release edge workers acquire.
+      epochs[slot] = std::move(e);
+      cur = epochs[slot].get();
+      std::size_t barriers = 0;
+      auto send_barrier = [&](int s, bool clear) {
+        Task t;
+        t.phase = Task::Phase::kMigrate;
+        t.seq = kCtrlSeq | ctrl_seq++;
+        t.epoch = id;
+        t.sw = s;
+        t.migrate_clear = clear;
+        t.t_dispatch_ns = now_ns();
+        ++pending_migrations;
+        ++barriers;
+        sched_send(std::move(t));
+      };
+      for (int s : clear_sw) send_barrier(s, true);
+      for (int s : prune_sw) send_barrier(s, false);
+      if (pending_migrations == 0) release_hold();
+      head_valid = false;
+      stats.epochs = id + 1;
+      LiveEventStats es;
+      es.label = ev.label;
+      es.at_seq = ev.at_seq;
+      es.epoch = id;
+      es.migrated_switches = barriers;
+      es.migrated_vars = mset.size();
+      es.swap_seconds = timer.seconds() - due_s;
+      event_due_s.push_back(due_s);
+      awaiting_first.emplace(id, stats.events.size());
+      stats.events.push_back(std::move(es));
+      live_events.store(stats.events.size(), std::memory_order_relaxed);
+      live_epoch.store(id, std::memory_order_relaxed);
+      return true;
+    };
+
+    // Adopt apply_async deltas at the next dispatch boundary.
+    auto merge_async = [&] {
+      if (!async_pending.load(std::memory_order_relaxed)) return;
+      std::vector<LiveEvent> got;
+      {
+        std::lock_guard<std::mutex> lk(async_mu);
+        got.swap(async_events);
+        async_pending.store(false, std::memory_order_relaxed);
+      }
+      for (LiveEvent& ev : got) {
+        ev.at_seq = next;
+        schedule.insert(
+            std::upper_bound(schedule.begin() +
+                                 static_cast<std::ptrdiff_t>(ei),
+                             schedule.end(), ev,
+                             [](const LiveEvent& a, const LiveEvent& b) {
+                               return a.at_seq < b.at_seq;
+                             }),
+            std::move(ev));
+      }
+    };
+
     // A scheduler-side throw (e.g. a workload inport the deployed topology
     // does not attach) must release the worker loops before unwinding —
     // ThreadPool's destructor joins them, and they only exit on stop/abort.
     try {
     while (completed < N && !abort.load(std::memory_order_acquire)) {
       bool progress = false;
+      merge_async();
       while (next < N && inflight < opts.window) {
+        // Every event due at this boundary swaps before the packet at its
+        // at_seq dispatches: a packet's epoch is exactly the number of
+        // events at or before its sequence number, in both modes.
+        if (ei < schedule.size() && schedule[ei].at_seq <= next) {
+          if (due_s < 0) due_s = timer.seconds();
+          if (!try_apply_event(schedule[ei])) break;  // drain first
+          ++ei;
+          due_s = -1;
+          progress = true;
+          continue;
+        }
         const SimPacket& sp = wl.packets[next];
-        const int isw = net->topo().port_switch(sp.inport);
+        const int isw = cur->topo.port_switch(sp.inport);
         if (opts.deterministic) {
           if (!head_valid) {
-            head_mask = conflict->mask_index(sp.pkt, sp.flow);
+            head_mask = cur->conflict->mask_index(sp.pkt, sp.flow);
             head_valid = true;
           }
-          const std::vector<StateVarId>& vars = conflict->mask(head_mask);
+          const std::vector<StateVarId>& vars =
+              cur->conflict->mask(head_mask);
           if (!vars.empty()) {
             const int cw = worker_of(isw);
-            const bool confined = worker_of_mask(head_mask) == cw;
+            const bool confined = worker_of_mask(*cur, head_mask) == cw;
             bool blocked = false;
             for (StateVarId v : vars) {
               SNAP_CHECK(v < active.size(),
@@ -599,72 +1007,81 @@ struct TrafficEngine::Impl {
             for (StateVarId v : vars) {
               if (active[v]++ == 0) conf[v] = confined ? cw : -1;
             }
-            inflight_masks.emplace(static_cast<std::uint32_t>(next),
-                                   head_mask);
+            inflight_masks.emplace(
+                static_cast<std::uint32_t>(next),
+                std::make_pair(cur->id, head_mask));
           }
         }
         Task t;
         t.phase = Task::Phase::kResolve;
         t.seq = static_cast<std::uint32_t>(next);
+        t.epoch = cur->id;
         t.sw = isw;
-        t.node = net->root();
+        t.node = cur->root;
         t.guard = guard_budget;
         t.inport = sp.inport;
         t.t_dispatch_ns = now_ns();
         t.pkt = sp.pkt;
-        int dest = worker_of(t.sw);
-        TaskBatch& b = sched_pending[static_cast<std::size_t>(dest)];
-        b.t[b.n++] = std::move(t);
-        if (static_cast<int>(b.n) >= B) sched_flush(dest);
+        ++inflight_slot[cur->id % kEpochSlots];
+        sched_send(std::move(t));
         head_valid = false;
         ++next;
         ++inflight;
         progress = true;
       }
+      // The stream is fully dispatched: trailing events (at_seq >= N)
+      // still swap, so the final rules/state match the reference replay.
+      if (next >= N) {
+        while (ei < schedule.size()) {
+          if (due_s < 0) due_s = timer.seconds();
+          if (!try_apply_event(schedule[ei])) break;
+          ++ei;
+          due_s = -1;
+          progress = true;
+        }
+      }
       // Conflict-window boundary (blocked head, full window, or drained
       // workload): hand workers every partial batch before waiting.
       for (int d = 0; d < W; ++d) sched_flush(d);
-      for (int w = 0; w < W; ++w) {
-        std::size_t k;
-        while ((k = comps[static_cast<std::size_t>(w)]->try_pop_batch(
-                    cbuf.data(), cbuf.size())) > 0) {
+      if (drain_completions()) progress = true;
+      if (!progress) std::this_thread::yield();
+    }
+    // Post-stream: apply any events still pending and wait out their
+    // migration barriers before stopping the workers.
+    merge_async();
+    while ((ei < schedule.size() || pending_migrations > 0) &&
+           !abort.load(std::memory_order_acquire)) {
+      bool progress = false;
+      if (ei < schedule.size() && pending_migrations == 0) {
+        if (due_s < 0) due_s = timer.seconds();
+        if (try_apply_event(schedule[ei])) {
+          ++ei;
+          due_s = -1;
           progress = true;
-          for (std::size_t i = 0; i < k; ++i) {
-            const Completion& c = cbuf[i];
-            ++completed;
-            --inflight;
-            stats.hops += c.hops;
-            ++stats.hop_histogram[std::min<std::uint32_t>(c.hops, 64)];
-            std::uint32_t bucket = 0;
-            while ((1u << bucket) <= c.latency_us && bucket < 31) ++bucket;
-            ++stats.latency_histogram[bucket];
-            if (opts.deterministic) {
-              auto it = inflight_masks.find(c.seq);
-              if (it != inflight_masks.end()) {
-                for (StateVarId v : conflict->mask(it->second)) {
-                  --active[v];
-                }
-                inflight_masks.erase(it);
-              }
-            }
-          }
         }
       }
+      for (int d = 0; d < W; ++d) sched_flush(d);
+      if (drain_completions()) progress = true;
       if (!progress) std::this_thread::yield();
     }
     } catch (...) {
       abort.store(true, std::memory_order_release);
       stop.store(true, std::memory_order_release);
       for (auto& f : loops) f.wait();
+      live_running.store(false, std::memory_order_relaxed);
       throw;
     }
     stop.store(true, std::memory_order_release);
     for (auto& f : loops) f.wait();
     stats.seconds = timer.seconds();
+    live_running.store(false, std::memory_order_relaxed);
     if (err) std::rethrow_exception(err);
-    if (conflict) {
-      stats.conflict_hits = conflict->hits();
-      stats.conflict_misses = conflict->misses();
+    // Fold every surviving epoch's counters into the Network.
+    for (auto& s : epochs) {
+      if (s) {
+        retire_epoch(*s);
+        s.reset();
+      }
     }
 
     // Merge worker-local stats and deliveries.
@@ -682,9 +1099,13 @@ struct TrafficEngine::Impl {
       }
       all.insert(all.end(), std::make_move_iterator(ctx.deliveries.begin()),
                  std::make_move_iterator(ctx.deliveries.end()));
+      marks.insert(marks.end(), ctx.epoch_marks.begin(),
+                   ctx.epoch_marks.end());
     }
     // Fold the decoded fast-path's instruction counts into the switches'
-    // own counters so instructions_executed() stays meaningful.
+    // own counters so instructions_executed() stays meaningful. (Across
+    // live events this folds the whole run into the final programs'
+    // counters — apply_rules reset them at each swap.)
     for (int sw = 0; sw < num_sw; ++sw) {
       net->switch_at(sw).add_executed(
           stats.per_switch_instructions[static_cast<std::size_t>(sw)]);
@@ -717,7 +1138,42 @@ TrafficEngine::TrafficEngine(const RuleDelta& delta, EngineOptions opts) {
 TrafficEngine::~TrafficEngine() = default;
 
 std::vector<Network::Delivery> TrafficEngine::run(const Workload& wl) {
-  return impl_->run(wl);
+  return impl_->run_live(wl, {});
+}
+
+std::vector<Network::Delivery> TrafficEngine::run_live(
+    const Workload& wl, std::vector<LiveEvent> schedule) {
+  return impl_->run_live(wl, std::move(schedule));
+}
+
+void TrafficEngine::apply_async(RuleDelta delta, std::string label) {
+  {
+    std::lock_guard<std::mutex> lk(impl_->async_mu);
+    impl_->async_events.push_back(
+        LiveEvent{0, std::move(delta), std::move(label)});
+  }
+  impl_->async_pending.store(true, std::memory_order_release);
+}
+
+LiveProgress TrafficEngine::live() const {
+  LiveProgress p;
+  p.completed = impl_->live_completed.load(std::memory_order_relaxed);
+  p.packets = impl_->live_packets.load(std::memory_order_relaxed);
+  p.events_applied = impl_->live_events.load(std::memory_order_relaxed);
+  p.epoch = impl_->live_epoch.load(std::memory_order_relaxed);
+  p.running = impl_->live_running.load(std::memory_order_relaxed);
+  auto start = impl_->live_started_ns.load(std::memory_order_relaxed);
+  p.seconds = p.running && start
+                  ? static_cast<double>(now_ns() - start) * 1e-9
+                  : impl_->stats.seconds;
+  auto ns = impl_->live_last_latency_ns.load(std::memory_order_relaxed);
+  p.last_event_latency_s = ns < 0 ? -1 : static_cast<double>(ns) * 1e-9;
+  return p;
+}
+
+const std::vector<std::pair<std::uint32_t, std::uint32_t>>&
+TrafficEngine::epoch_marks() const {
+  return impl_->marks;
 }
 
 const SimStats& TrafficEngine::stats() const { return impl_->stats; }

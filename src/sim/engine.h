@@ -42,6 +42,48 @@
 // mode drops the conflict gate (workers free-run over their inboxes) for
 // peak-pps measurements where cross-packet state ordering may differ from
 // serial.
+//
+// Live updates (epoch-based rule swap). run_live() interleaves Session
+// RuleDeltas into a running workload without draining it. Every deployment
+// context a packet can observe — diagram store + root, topology, routing
+// tables, placement, test order, decoded programs, DirectXfdd artifacts,
+// and (deterministic mode) the conflict cache — is snapshotted into an
+// immutable EpochCtx; each task carries the id of the epoch it was
+// dispatched under and resolves *all* context through it for its entire
+// walk. That is the consistency contract: a packet observes exactly one
+// policy epoch across all of its hops, in both scheduling modes, because
+// epoch assignment happens once at dispatch and nothing a worker touches
+// is shared across epochs except the per-switch state tables.
+//
+// State migration rides the same machinery. At a swap the scheduler
+// patches the Network's rules half (Network::apply_rules — programs,
+// routing, placement), then sends one kMigrate control task per affected
+// switch to the worker that owns it; the worker applies
+// Network::migrate_switch_state (clear for removed/restored switches,
+// prune of re-placed variables otherwise) in ring-FIFO position — after
+// every packet the scheduler dispatched under the old epoch, before any it
+// dispatches under the new one. In deterministic mode the scheduler
+// additionally (a) waits until no in-flight packet's conflict mask
+// intersects the migration set M (the variables whose placement changed
+// plus everything on removed/restored switches), and (b) holds M like an
+// unconfined pseudo-packet until every migrate completion returns, so
+// new-epoch packets that could observe migrated state are serialized
+// behind the migration. Under those two rules the live run's deliveries
+// and final merged state are byte-identical to the quiesced reference
+// (drain, Network::apply, resume) — packets with disjoint masks commute
+// and everything else executes in exact sequence order
+// (tests/test_live_update.cpp enforces this across the policy corpus).
+// Free-running mode keeps the single-epoch-per-packet contract and the
+// ring-FIFO migration position but makes no cross-epoch state-content
+// promise, mirroring its cross-packet stance.
+//
+// Epoch contexts live in a fixed ring of kEpochSlots slots; a slot is
+// reused only after every packet of its previous occupant has completed
+// (the ring push/pop release-acquire pair publishes the slot pointer to
+// workers), which bounds concurrently-live epochs without locking the hot
+// path. Per-epoch hop/link counters are folded into the Network when an
+// epoch retires — exact when the topology survived, best-effort for links
+// a failure removed.
 #pragma once
 
 #include <cstdint>
@@ -72,6 +114,47 @@ struct EngineOptions {
   // Use the direct xFDD interpreter on switches with no foreign state
   // (false forces every switch through the decoded NetASM path).
   bool xfdd_direct = true;
+  // Record a (sequence, epoch) mark for every program run a packet
+  // performs (epoch_marks()); the live-update contract tests read these.
+  bool record_epochs = false;
+};
+
+// One entry of a run_live schedule: apply `delta` before dispatching the
+// packet with sequence number `at_seq` (packets >= at_seq run on the new
+// rules; at_seq >= workload size applies after the stream drains).
+struct LiveEvent {
+  std::size_t at_seq = 0;
+  RuleDelta delta;
+  std::string label;
+};
+
+// What one live event cost, measured from the moment its at_seq boundary
+// was reached (the event became *due* — the analogue of the controller
+// handing the delta to the data plane).
+struct LiveEventStats {
+  std::string label;
+  std::uint64_t at_seq = 0;
+  std::uint32_t epoch = 0;           // the epoch the event created
+  std::uint64_t migrated_switches = 0;
+  std::uint64_t migrated_vars = 0;   // |M|: placement-changed + removed/added
+  // Due -> rules swapped (includes the deterministic drain of M-conflicting
+  // in-flight packets and the epoch-artifact build).
+  double swap_seconds = 0;
+  // Due -> first packet dispatched under the new epoch completed; -1 if no
+  // packet ever ran on the new rules (event applied at stream end).
+  double first_packet_seconds = -1;
+};
+
+// Snapshot of a run_live in progress (thread-safe; snapd polls this from
+// outside the engine thread).
+struct LiveProgress {
+  std::uint64_t completed = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t events_applied = 0;
+  std::uint32_t epoch = 0;
+  double seconds = 0;
+  double last_event_latency_s = -1;  // first_packet_seconds of last event
+  bool running = false;
 };
 
 struct SimStats {
@@ -94,6 +177,8 @@ struct SimStats {
   int batch = 1;            // effective tasks per ring message
   int direct_switches = 0;  // switches served by the xFDD-direct path
   bool deterministic = true;
+  std::uint32_t epochs = 1;           // policy epochs the run spanned
+  std::vector<LiveEventStats> events; // one per applied live event
 
   // Doubles (seconds, pps) are emitted at max_digits10 so the JSON perf
   // trajectory round-trips without precision loss.
@@ -118,8 +203,33 @@ class TrafficEngine {
   // Processes the whole workload; returns deliveries in serial order
   // (workload sequence, then action-sequence order within one packet).
   // Worker exceptions (e.g. a policy referencing an absent field) are
-  // rethrown here.
+  // rethrown here. Equivalent to run_live with an empty schedule — the
+  // whole run is one epoch.
   std::vector<Network::Delivery> run(const Workload& wl);
+
+  // Live-update mode: processes the workload while applying each schedule
+  // entry's RuleDelta at its at_seq dispatch boundary (see the header
+  // comment for the epoch/consistency contract). Deltas queued through
+  // apply_async while this runs are applied at the next boundary. The
+  // network ends up on the final epoch's rules with migrated state;
+  // stats().events records per-event swap and first-packet latencies.
+  std::vector<Network::Delivery> run_live(const Workload& wl,
+                                          std::vector<LiveEvent> schedule);
+
+  // Thread-safe: hands a delta to a run_live in progress (snapd's serve
+  // loop); it is adopted at the next dispatch boundary. Queued deltas
+  // survive until the next run_live if none is running.
+  void apply_async(RuleDelta delta, std::string label);
+
+  // Thread-safe progress snapshot of the current (or last) run_live.
+  LiveProgress live() const;
+
+  // (sequence, epoch) per program run recorded when
+  // EngineOptions::record_epochs — the raw material of the
+  // single-epoch-per-packet assertion. Valid after run()/run_live()
+  // returns; unordered across workers.
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>>& epoch_marks()
+      const;
 
   // Statistics of the last run().
   const SimStats& stats() const;

@@ -63,6 +63,13 @@ grep -q '"pps"' BENCH_throughput.json || {
   echo "ERROR: BENCH_throughput.json is malformed (no pps block)" >&2
   exit 1
 }
+# The live-update phase (events adopted under load via run_live's epoch
+# swap) must have run and reported its latencies.
+grep -q '"event_latency"' BENCH_throughput.json || {
+  echo "ERROR: BENCH_throughput.json is malformed (no event_latency" \
+       "block — the live-update bench phase did not run)" >&2
+  exit 1
+}
 
 if [[ "${CI_SANITIZE:-0}" == "1" ]]; then
   SAN_DIR="${BUILD_DIR}-asan"

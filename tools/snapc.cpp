@@ -22,6 +22,15 @@
 //                      and drive the deployed data plane through the
 //                      sharded traffic engine (src/sim); prints packets,
 //                      deliveries, pps and per-switch instruction counts
+//   --serve N          snapd mode: start the N-packet workload FIRST, then
+//                      replay the --script events against the live engine —
+//                      each recompile's RuleDelta is handed to the running
+//                      traffic engine (TrafficEngine::apply_async) and
+//                      adopted at the next dispatch boundary under the
+//                      epoch consistency contract (sim/engine.h). Reports
+//                      live pps while the stream runs and, per event, the
+//                      swap and first-packet-on-new-rules latencies.
+//                      Mutually exclusive with --simulate.
 //   --scenario NAME    workload scenario (see sim/workload.h catalogue;
 //                      default mixed)
 //   --workers W        traffic-engine worker shards (0 = one per core)
@@ -37,12 +46,15 @@
 //
 // Exit codes: 0 success; 2 usage or ParseError; 3 CompileError;
 // 4 InfeasibleError; 1 anything else (including internal errors).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <fstream>
 #include <limits>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "apps/apps.h"
@@ -72,7 +84,7 @@ void usage() {
                "usage: snapc --policy FILE --topology FILE"
                " [--const NAME=VAL]... [--traffic SEED] [--load GBPS]"
                " [--solver auto|exact|scalable] [--threads N]"
-               " [--script FILE] [--simulate N] [--scenario NAME]"
+               " [--script FILE] [--simulate N | --serve N] [--scenario NAME]"
                " [--workers W] [--batch N] [--json] [--dot FILE]"
                " [--rules]"
                " [--quiet]\n");
@@ -281,7 +293,7 @@ int run(int argc, char** argv) {
   std::uint64_t seed = 1;
   double load = -1;
   bool print_rules = false, quiet = false, json = false;
-  long long simulate = 0;
+  long long simulate = 0, serve = 0;
   std::string scenario_name = "mixed";
   CompilerOptions opts;
   sim::EngineOptions sim_opts;
@@ -335,6 +347,17 @@ int run(int argc, char** argv) {
         return 2;
       }
       simulate = n;
+    } else if (!std::strcmp(argv[i], "--serve")) {
+      const char* arg = need("--serve");
+      char* end = nullptr;
+      long long n = std::strtoll(arg, &end, 10);
+      // The live engine tags control tasks with the top sequence bit, so
+      // the stream is bounded at 2^31 packets (sim/engine.cpp).
+      if (end == arg || *end != '\0' || n < 1 || n >= (1ll << 31)) {
+        std::fprintf(stderr, "bad --serve '%s' (want 1..2^31-1)\n", arg);
+        return 2;
+      }
+      serve = n;
     } else if (!std::strcmp(argv[i], "--scenario")) {
       scenario_name = need("--scenario");
     } else if (!std::strcmp(argv[i], "--workers")) {
@@ -376,11 +399,15 @@ int run(int argc, char** argv) {
     usage();
     return 2;
   }
+  if (simulate > 0 && serve > 0) {
+    std::fprintf(stderr, "--simulate and --serve are mutually exclusive\n");
+    return 2;
+  }
   // Validate the scenario before compiling — a typo should not cost a
   // full cold start plus script replay.
   const sim::Scenario* scenario =
-      simulate > 0 ? sim::find_scenario(scenario_name) : nullptr;
-  if (simulate > 0 && scenario == nullptr) {
+      simulate > 0 || serve > 0 ? sim::find_scenario(scenario_name) : nullptr;
+  if ((simulate > 0 || serve > 0) && scenario == nullptr) {
     std::fprintf(stderr, "unknown scenario '%s' (see sim/workload.h)\n",
                  scenario_name.c_str());
     return 2;
@@ -403,7 +430,11 @@ int run(int argc, char** argv) {
   };
 
   record("cold_start", policy_file, session.full_compile(program));
-  for (const ScriptEvent& e : script) {
+
+  // One script event against the Session (shared by the serial replay and
+  // the live --serve loop; in serve mode the Session's on_delta sink feeds
+  // the resulting RuleDelta to the running engine as a side effect).
+  auto run_event = [&](const ScriptEvent& e) {
     if (e.kind == "policy") {
       record("policy", e.arg1,
              session.set_policy(parse_policy(slurp(e.arg1), consts)));
@@ -419,11 +450,129 @@ int run(int argc, char** argv) {
       record("restore", e.arg1,
              session.restore_switch(static_cast<int>(e.num)));
     }
+  };
+
+  std::string sim_json, sim_human;
+  std::size_t serve_queued = 0, serve_adopted = 0;
+  if (serve > 0) {
+    // snapd mode: the workload runs first; script events recompile against
+    // the live stream and are adopted epoch-by-epoch (sim/engine.h).
+    sim::WorkloadGen gen(session.topology(), session.traffic(), seed);
+    sim::Workload wl =
+        gen.generate(*scenario, static_cast<std::size_t>(serve));
+    sim::TrafficEngine engine(session.deployment(), sim_opts);
+    session.on_delta(
+        [&](const std::string& label, const RuleDelta& delta) {
+          engine.apply_async(delta, label);
+          ++serve_queued;
+        });
+
+    std::exception_ptr sim_err;
+    std::vector<Network::Delivery> deliveries;
+    std::thread runner([&] {
+      try {
+        deliveries = engine.run_live(wl, {});
+      } catch (...) {
+        sim_err = std::current_exception();
+      }
+    });
+
+    auto progress = [&](const sim::LiveProgress& p, const char* tag) {
+      if (json || quiet) return;
+      std::printf(
+          "serve: %s at %llu/%llu packets, epoch %u, %llu events, %.0f pps\n",
+          tag, static_cast<unsigned long long>(p.completed),
+          static_cast<unsigned long long>(p.packets), p.epoch,
+          static_cast<unsigned long long>(p.events_applied),
+          p.seconds > 0 ? static_cast<double>(p.completed) / p.seconds : 0.0);
+    };
+    // A Session throw (e.g. an infeasible fail) must not leak the runner —
+    // run_live finishes its stream regardless, so joining is bounded.
+    try {
+      for (const ScriptEvent& e : script) {
+        progress(engine.live(), ("event " + e.kind + " " + e.arg1).c_str());
+        run_event(e);
+        // Wait for the live adoption (or the stream draining first) so the
+        // per-event latency the engine records is attributable to THIS
+        // event before the next recompile starts.
+        for (;;) {
+          sim::LiveProgress p = engine.live();
+          if (p.events_applied >= serve_queued || !p.running) {
+            if (p.events_applied >= serve_queued) {
+              progress(p, "adopted");
+              if (!json && !quiet && p.last_event_latency_s >= 0) {
+                std::printf("serve: first packet on new rules after %.3f ms\n",
+                            p.last_event_latency_s * 1e3);
+              }
+            } else {
+              progress(p, "stream drained before adoption of");
+            }
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+    } catch (...) {
+      session.on_delta(nullptr);
+      runner.join();
+      throw;
+    }
+    // Let the stream drain, reporting live pps about once a second.
+    double last_print = 0;
+    for (;;) {
+      sim::LiveProgress p = engine.live();
+      if (!p.running) break;
+      if (p.seconds - last_print >= 1.0) {
+        progress(p, "running");
+        last_print = p.seconds;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    session.on_delta(nullptr);
+    runner.join();
+    if (sim_err) std::rethrow_exception(sim_err);
+
+    const sim::SimStats& st = engine.stats();
+    serve_adopted = st.events.size();
+    sim_json = st.to_json();
+    if (!json) {
+      std::ostringstream os;
+      char buf[512];
+      std::snprintf(
+          buf, sizeof buf,
+          "\nserve (%s, %d workers): %llu packets, %zu deliveries,"
+          " %u epoch%s, %zu/%zu events adopted live, %.0f pps\n",
+          wl.scenario.c_str(), st.workers,
+          static_cast<unsigned long long>(st.packets), deliveries.size(),
+          st.epochs, st.epochs == 1 ? "" : "s", serve_adopted, serve_queued,
+          st.pps);
+      os << buf;
+      for (const sim::LiveEventStats& ev : st.events) {
+        std::snprintf(
+            buf, sizeof buf,
+            "  live event %s -> epoch %u: %llu switches / %llu vars"
+            " migrated, swap %.3f ms, first packet %.3f ms\n",
+            ev.label.c_str(), ev.epoch,
+            static_cast<unsigned long long>(ev.migrated_switches),
+            static_cast<unsigned long long>(ev.migrated_vars),
+            ev.swap_seconds * 1e3,
+            ev.first_packet_seconds < 0 ? -1.0
+                                        : ev.first_packet_seconds * 1e3);
+        os << buf;
+      }
+      if (serve_adopted < serve_queued) {
+        os << "  (" << serve_queued - serve_adopted
+           << " event(s) arrived after the stream drained; the run never"
+              " executed on their rules)\n";
+      }
+      sim_human = os.str();
+    }
+  } else {
+    for (const ScriptEvent& e : script) run_event(e);
   }
 
   // Drive the deployed data plane with a synthetic workload through the
   // sharded traffic engine.
-  std::string sim_json, sim_human;
   if (simulate > 0) {
     sim::WorkloadGen gen(session.topology(), session.traffic(), seed);
     sim::Workload wl =
@@ -460,6 +609,11 @@ int run(int argc, char** argv) {
     std::printf("],\n");
     if (!sim_json.empty()) {
       std::printf(" \"simulation\":%s,\n", sim_json.c_str());
+    }
+    if (serve > 0) {
+      std::printf(" \"serve\":{\"packets\":%lld,\"events_queued\":%zu,"
+                  "\"events_adopted\":%zu},\n",
+                  serve, serve_queued, serve_adopted);
     }
     std::printf(" \"placement\":{");
     bool first = true;
