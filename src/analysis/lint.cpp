@@ -1,0 +1,516 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/status.h"
+#include "xfdd/context.h"
+
+namespace snap {
+
+const char* to_string(LintSeverity s) {
+  switch (s) {
+    case LintSeverity::kNote:
+      return "note";
+    case LintSeverity::kWarning:
+      return "warning";
+    case LintSeverity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+bool LintReport::clean() const {
+  return std::none_of(findings.begin(), findings.end(),
+                      [](const LintFinding& f) {
+                        return f.severity != LintSeverity::kNote;
+                      });
+}
+
+bool LintReport::has_errors() const {
+  return std::any_of(findings.begin(), findings.end(),
+                     [](const LintFinding& f) {
+                       return f.severity == LintSeverity::kError;
+                     });
+}
+
+std::size_t LintReport::count(const std::string& rule) const {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const LintFinding& f) { return f.rule == rule; }));
+}
+
+void LintReport::merge(LintReport other) {
+  findings.insert(findings.end(),
+                  std::make_move_iterator(other.findings.begin()),
+                  std::make_move_iterator(other.findings.end()));
+}
+
+void LintReport::sort() {
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const LintFinding& a, const LintFinding& b) {
+                     if (a.severity != b.severity) {
+                       return static_cast<int>(a.severity) >
+                              static_cast<int>(b.severity);
+                     }
+                     return std::tie(a.rule, a.line, a.subject) <
+                            std::tie(b.rule, b.line, b.subject);
+                   });
+}
+
+std::string LintReport::to_string() const {
+  std::ostringstream os;
+  for (const LintFinding& f : findings) {
+    os << snap::to_string(f.severity) << ' ' << f.rule;
+    if (f.line >= 0) os << " (line " << f.line << ")";
+    os << ' ' << f.subject << ": " << f.message << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string LintReport::to_json() const {
+  std::size_t errors = 0, warnings = 0, notes = 0;
+  std::ostringstream os;
+  os << "{\"findings\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const LintFinding& f = findings[i];
+    switch (f.severity) {
+      case LintSeverity::kError:
+        ++errors;
+        break;
+      case LintSeverity::kWarning:
+        ++warnings;
+        break;
+      case LintSeverity::kNote:
+        ++notes;
+        break;
+    }
+    os << (i ? "," : "") << "{\"rule\":\"" << f.rule << "\",\"severity\":\""
+       << snap::to_string(f.severity) << "\",\"subject\":\""
+       << json_escape(f.subject) << "\",\"line\":" << f.line
+       << ",\"message\":\"" << json_escape(f.message) << "\"}";
+  }
+  os << "],\"errors\":" << errors << ",\"warnings\":" << warnings
+     << ",\"notes\":" << notes << "}";
+  return os.str();
+}
+
+// ------------------------------------------------------------ lint_policy
+
+namespace {
+
+// A guard environment: the header fields the enclosing predicates bound to
+// at most ~2^16 values (exact tests, >= /16 CIDR prefixes, or a field
+// assignment). Used by SL300 to tell bounded from unbounded table keys.
+using BoundEnv = std::set<FieldId>;
+
+class PolicyScan {
+ public:
+  std::vector<LintFinding> run(const PolPtr& program) {
+    scan(program, BoundEnv{});
+    // SL200/SL201: compare the syntactic read and write sets (Appendix B's
+    // r/w machinery, here per-occurrence so findings carry source lines).
+    for (const auto& [var, line] : write_line_) {
+      if (!read_line_.count(var)) {
+        emit("SL200", LintSeverity::kNote, state_var_name(var), line,
+             "state variable '" + state_var_name(var) +
+                 "' is written but never read; its value never affects "
+                 "forwarding (monitoring state, or dead state)");
+      }
+    }
+    for (const auto& [var, line] : read_line_) {
+      if (!write_line_.count(var)) {
+        emit("SL201", LintSeverity::kWarning, state_var_name(var), line,
+             "state variable '" + state_var_name(var) +
+                 "' is read but never written; every test against it "
+                 "observes only the zero default");
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void emit(const char* rule, LintSeverity sev, std::string subject, int line,
+            std::string message) {
+    if (!seen_.insert(std::tuple(std::string(rule), subject, line)).second) {
+      return;
+    }
+    out_.push_back({rule, sev, std::move(subject), std::move(message), line});
+  }
+
+  void record(std::map<StateVarId, int>& table, StateVarId var, int line) {
+    auto [it, inserted] = table.emplace(var, line);
+    // Prefer a real source line over a DSL-built node's -1.
+    if (!inserted && it->second < 0 && line >= 0) it->second = line;
+  }
+
+  // The fields `x` bounds when it holds. Conjunction unions; disjunction
+  // keeps only fields bounded on both sides; negation and state tests
+  // contribute nothing (conservative).
+  BoundEnv pred_facts(const PredPtr& x) {
+    return std::visit(
+        [&](const auto& n) -> BoundEnv {
+          using T = std::decay_t<decltype(n)>;
+          if constexpr (std::is_same_v<T, PredTest>) {
+            if (n.prefix_len == kExactMatch || n.prefix_len >= 16) {
+              return {n.field};
+            }
+            return {};
+          } else if constexpr (std::is_same_v<T, PredAnd>) {
+            BoundEnv a = pred_facts(n.x);
+            BoundEnv b = pred_facts(n.y);
+            a.insert(b.begin(), b.end());
+            return a;
+          } else if constexpr (std::is_same_v<T, PredOr>) {
+            BoundEnv a = pred_facts(n.x);
+            BoundEnv b = pred_facts(n.y);
+            BoundEnv both;
+            for (FieldId f : a) {
+              if (b.count(f)) both.insert(f);
+            }
+            return both;
+          } else {
+            return {};
+          }
+        },
+        x->node);
+  }
+
+  // Records every state-test read (with its source line) inside `x`.
+  void note_reads(const PredPtr& x) {
+    std::visit(
+        [&](const auto& n) {
+          using T = std::decay_t<decltype(n)>;
+          if constexpr (std::is_same_v<T, PredStateTest>) {
+            record(read_line_, n.var, x->line);
+          } else if constexpr (std::is_same_v<T, PredNot>) {
+            note_reads(n.x);
+          } else if constexpr (std::is_same_v<T, PredOr> ||
+                               std::is_same_v<T, PredAnd>) {
+            note_reads(n.x);
+            note_reads(n.y);
+          }
+        },
+        x->node);
+  }
+
+  void check_index(StateVarId var, const Expr& index, const BoundEnv& env,
+                   int line) {
+    std::string unbounded;
+    for (const Atom& a : index.atoms()) {
+      if (a.is_field() && !env.count(a.field())) {
+        if (!unbounded.empty()) unbounded += ", ";
+        unbounded += field_name(a.field());
+      }
+    }
+    if (unbounded.empty()) return;
+    emit("SL300", LintSeverity::kWarning, state_var_name(var), line,
+         "state table '" + state_var_name(var) +
+             "' is keyed by unbounded field(s) " + unbounded +
+             " with no bounding predicate; it grows by one entry per "
+             "distinct on-wire value");
+  }
+
+  // Walks the policy threading the guard environment: a sequential
+  // successor sees the filters/mods before it; an if's then-branch sees the
+  // condition's facts. Returns the environment holding after `p`.
+  BoundEnv scan(const PolPtr& p, BoundEnv env) {
+    return std::visit(
+        [&](const auto& n) -> BoundEnv {
+          using T = std::decay_t<decltype(n)>;
+          if constexpr (std::is_same_v<T, PolFilter>) {
+            note_reads(n.pred);
+            BoundEnv facts = pred_facts(n.pred);
+            env.insert(facts.begin(), facts.end());
+            return env;
+          } else if constexpr (std::is_same_v<T, PolMod>) {
+            env.insert(n.field);
+            return env;
+          } else if constexpr (std::is_same_v<T, PolSeq>) {
+            return scan(n.q, scan(n.p, env));
+          } else if constexpr (std::is_same_v<T, PolPar>) {
+            // SL400: the paper's + runs both sides on copies of the packet
+            // and merges their logs; two writes to the same variable make
+            // the merged log ambiguous (§3) and P2 rejects the program.
+            std::set<StateVarId> wl = state_writes(n.p);
+            std::set<StateVarId> wr = state_writes(n.q);
+            for (StateVarId v : wl) {
+              if (wr.count(v)) {
+                emit("SL400", LintSeverity::kError, state_var_name(v),
+                     p->line,
+                     "both sides of a parallel composition write state "
+                     "variable '" +
+                         state_var_name(v) +
+                         "'; the + semantics makes the merged update "
+                         "ambiguous (compile-time race)");
+              }
+            }
+            scan(n.p, env);
+            scan(n.q, env);
+            return env;
+          } else if constexpr (std::is_same_v<T, PolIf>) {
+            note_reads(n.cond);
+            BoundEnv then_env = env;
+            BoundEnv facts = pred_facts(n.cond);
+            then_env.insert(facts.begin(), facts.end());
+            scan(n.then_p, std::move(then_env));
+            scan(n.else_p, env);
+            return env;
+          } else if constexpr (std::is_same_v<T, PolAtomic>) {
+            return scan(n.p, std::move(env));
+          } else if constexpr (std::is_same_v<T, PolStateSet>) {
+            record(write_line_, n.var, p->line);
+            check_index(n.var, n.index, env, p->line);
+            return env;
+          } else if constexpr (std::is_same_v<T, PolStateInc>) {
+            record(write_line_, n.var, p->line);
+            check_index(n.var, n.index, env, p->line);
+            return env;
+          } else {
+            static_assert(std::is_same_v<T, PolStateDec>,
+                          "unhandled policy node");
+            record(write_line_, n.var, p->line);
+            check_index(n.var, n.index, env, p->line);
+            return env;
+          }
+        },
+        p->node);
+  }
+
+  std::map<StateVarId, int> read_line_, write_line_;
+  std::set<std::tuple<std::string, std::string, int>> seen_;
+  std::vector<LintFinding> out_;
+};
+
+}  // namespace
+
+LintReport lint_policy(const PolPtr& program) {
+  SNAP_CHECK(program != nullptr, "lint_policy needs a policy");
+  LintReport report;
+  report.findings = PolicyScan{}.run(program);
+  report.sort();
+  return report;
+}
+
+// -------------------------------------------------------------- lint_xfdd
+
+namespace {
+
+// Satisfiable-path walk with bottom-up saturation. A node is *saturated*
+// once some path reached it with its test undecided and both subtrees are
+// saturated — nothing a further visit could learn. Clean diagrams (the
+// composer's Context pruning means no test is ever path-decided) saturate
+// in one linear pass; only diagrams that actually contain dominated tests
+// re-expand, bounded by `budget`.
+class XfddScan {
+ public:
+  XfddScan(const XfddStore& store, std::size_t budget)
+      : store_(store), budget_(budget) {}
+
+  void run(XfddId root) { dfs(root, Context{}); }
+
+  bool exhausted() const { return exhausted_; }
+  // 1 = reached with the test undecided, 2 = reached at all.
+  const std::unordered_map<XfddId, std::uint8_t>& flags() const {
+    return flags_;
+  }
+  const std::unordered_set<XfddId>& live_leaves() const { return live_; }
+
+ private:
+  bool dfs(XfddId id, const Context& ctx) {
+    auto s = sat_.find(id);
+    if (s != sat_.end()) return true;
+    if (budget_ == 0) {
+      exhausted_ = true;
+      return false;
+    }
+    --budget_;
+    if (store_.is_leaf(id)) {
+      live_.insert(id);
+      sat_.emplace(id, true);
+      return true;
+    }
+    const BranchNode& b = store_.branch_node(id);
+    std::uint8_t& fl = flags_[id];
+    fl |= 2;
+    std::optional<bool> decided = ctx.implies(b.test);
+    if (decided) {
+      // The path already fixes this test: only one branch is satisfiable,
+      // and the node cannot count as saturated through this visit.
+      dfs(*decided ? b.hi : b.lo, ctx);
+      return false;
+    }
+    fl |= 1;
+    bool hi_sat = dfs(b.hi, ctx.with(b.test, true));
+    bool lo_sat = dfs(b.lo, ctx.with(b.test, false));
+    if (hi_sat && lo_sat) {
+      sat_.emplace(id, true);
+      return true;
+    }
+    return false;
+  }
+
+  const XfddStore& store_;
+  std::size_t budget_;
+  bool exhausted_ = false;
+  std::unordered_map<XfddId, std::uint8_t> flags_;
+  std::unordered_map<XfddId, bool> sat_;
+  std::unordered_set<XfddId> live_;
+};
+
+// Plain graph reachability (both branches, no satisfiability).
+void graph_reachable(const XfddStore& store, XfddId root,
+                     std::vector<XfddId>& out) {
+  std::unordered_set<XfddId> seen;
+  std::vector<XfddId> stack{root};
+  while (!stack.empty()) {
+    XfddId id = stack.back();
+    stack.pop_back();
+    if (!seen.insert(id).second) continue;
+    out.push_back(id);
+    if (store.is_leaf(id)) continue;
+    const BranchNode& b = store.branch_node(id);
+    stack.push_back(b.hi);
+    stack.push_back(b.lo);
+  }
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace
+
+LintReport lint_xfdd(const XfddStore& store, XfddId root,
+                     std::size_t path_budget) {
+  LintReport report;
+  XfddScan scan(store, path_budget);
+  scan.run(root);
+  if (scan.exhausted()) {
+    // Partial flags would produce false positives; report only the budget.
+    report.findings.push_back(
+        {"SL190", LintSeverity::kNote, "diagram",
+         "path analysis exhausted its budget on this diagram; "
+         "unreachable-branch rules (SL100/SL101) were skipped",
+         -1});
+    return report;
+  }
+  std::vector<XfddId> nodes;
+  graph_reachable(store, root, nodes);
+  const auto& flags = scan.flags();
+  for (XfddId id : nodes) {
+    if (store.is_leaf(id)) {
+      if (!scan.live_leaves().count(id)) {
+        report.findings.push_back(
+            {"SL101", LintSeverity::kNote, "leaf " + std::to_string(id),
+             "leaf {" + store.leaf_actions(id).to_string() +
+                 "} has zero satisfiable incoming paths (dead outcome)",
+             -1});
+      }
+      continue;
+    }
+    auto fl = flags.find(id);
+    if (fl == flags.end()) continue;  // dead region under a dominated test
+    if ((fl->second & 2) && !(fl->second & 1)) {
+      report.findings.push_back(
+          {"SL100", LintSeverity::kWarning, "node " + std::to_string(id),
+           "test '" + to_string(store.branch_node(id).test) +
+               "' is decided by every path that reaches it (dominated by "
+               "earlier tests); the branch never actually branches",
+           -1});
+    }
+  }
+  report.sort();
+  return report;
+}
+
+// --------------------------------------------------- lint_mask_soundness
+
+std::set<StateVarId> diagram_state_vars(const XfddStore& store, XfddId root) {
+  std::set<StateVarId> out;
+  std::unordered_set<XfddId> seen;
+  std::vector<XfddId> stack{root};
+  while (!stack.empty()) {
+    XfddId id = stack.back();
+    stack.pop_back();
+    if (!seen.insert(id).second) continue;
+    if (store.is_leaf(id)) {
+      for (StateVarId v : store.leaf_actions(id).written_vars()) {
+        out.insert(v);
+      }
+      continue;
+    }
+    const BranchNode& b = store.branch_node(id);
+    if (const auto* st = std::get_if<TestState>(&b.test)) out.insert(st->var);
+    stack.push_back(b.hi);
+    stack.push_back(b.lo);
+  }
+  return out;
+}
+
+LintReport lint_mask_soundness(
+    const XfddStore& store, XfddId root,
+    const std::map<int, netasm::Program>& programs) {
+  LintReport report;
+  const std::set<StateVarId> covered = diagram_state_vars(store, root);
+  std::set<std::pair<int, StateVarId>> flagged;
+  for (const auto& [sw, prog] : programs) {
+    for (const netasm::Instr& instr : prog.code) {
+      StateVarId var = 0;
+      bool touches = false;
+      std::visit(
+          [&](const auto& ins) {
+            using T = std::decay_t<decltype(ins)>;
+            if constexpr (std::is_same_v<T, netasm::IBranchState> ||
+                          std::is_same_v<T, netasm::IEscape> ||
+                          std::is_same_v<T, netasm::IStateSet> ||
+                          std::is_same_v<T, netasm::IStateInc> ||
+                          std::is_same_v<T, netasm::IStateDec>) {
+              var = ins.var;
+              touches = true;
+            }
+          },
+          instr);
+      if (!touches || covered.count(var)) continue;
+      if (!flagged.emplace(sw, var).second) continue;
+      report.findings.push_back(
+          {"SL500", LintSeverity::kError, state_var_name(var),
+           "switch " + std::to_string(sw) +
+               "'s program touches state variable '" + state_var_name(var) +
+               "' which the policy diagram cannot name; no conflict mask "
+               "covers the access, so deterministic scheduling cannot "
+               "serialize it",
+           -1});
+    }
+  }
+  report.sort();
+  return report;
+}
+
+}  // namespace snap

@@ -1,0 +1,106 @@
+// snap-lint: static diagnostics over SNAP policies and their compiled
+// artifacts.
+//
+// SNAP's compiler already reasons statically about stateful policies — the
+// dependency graph (P1), the xFDD (P2), the packet-state map (P3) and the
+// per-switch NetASM programs (P6) are all static over-approximations of what
+// packets can do. This header turns those artifacts into a user-facing
+// analysis surface: structured findings with stable rule ids, severities and
+// policy-source spans, reported by `snapc --lint` and `Session::lint()`.
+//
+// Rule catalogue
+//   SL100  error-free diagram hygiene: a branch test decided by *every*
+//          satisfiable path that reaches it (dominated by earlier tests on
+//          the same field) — the node never actually branches.    [warning]
+//   SL101  dead leaf: graph-reachable from the root but with zero
+//          satisfiable incoming paths (its outcome can never fire). [note]
+//   SL190  the path analysis behind SL100/SL101 exhausted its budget on a
+//          pathological diagram; those two rules were skipped.      [note]
+//   SL200  state variable written but never read — its value never affects
+//          forwarding (a monitoring variable, or dead state).       [note]
+//   SL201  state variable read but never written — every test against it
+//          observes only the zero default.                       [warning]
+//   SL300  unbounded state: a state write indexed by a header field no
+//          enclosing predicate bounds (exact test, >= /16 prefix, or field
+//          assignment); the table grows with the number of distinct values
+//          the field takes on the wire.                          [warning]
+//   SL400  write-write race under parallel composition: both sides of a `+`
+//          write the same state variable (the paper's §3 compile-time
+//          rejection, surfaced before P2 throws).                  [error]
+//   SL500  conflict-mask unsoundness: a deployed per-switch program touches
+//          a state variable the policy diagram cannot name, so no conflict
+//          mask produced by sim::ConflictCache (a field-consistent walk of
+//          that diagram) can cover the access and deterministic scheduling
+//          would be wrong. The engine's debug-mode dynamic cross-check
+//          (sim/soundness.h) is the runtime half of this rule.     [error]
+//
+// SL2xx/SL3xx/SL4xx run on the bare AST (lint_policy) so they also fire on
+// programs P2 rejects; SL1xx/SL5xx need compiled artifacts.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+#include "netasm/isa.h"
+#include "xfdd/xfdd.h"
+
+namespace snap {
+
+enum class LintSeverity { kNote, kWarning, kError };
+
+const char* to_string(LintSeverity s);
+
+struct LintFinding {
+  std::string rule;  // "SL100" ... "SL500"
+  LintSeverity severity = LintSeverity::kNote;
+  // What the finding is about: a state-variable/field name, or "node N"
+  // for diagram findings, or "switch N" for program findings.
+  std::string subject;
+  std::string message;
+  // 1-based policy-source line (parser-built ASTs); -1 when unknown.
+  int line = -1;
+};
+
+struct LintReport {
+  std::vector<LintFinding> findings;
+
+  // No warnings and no errors (notes allowed).
+  bool clean() const;
+  bool has_errors() const;
+  std::size_t count(const std::string& rule) const;
+
+  void merge(LintReport other);
+  // Canonical order: severity (errors first), then rule id, line, subject.
+  void sort();
+
+  // One finding per line: "error SL400 (line 3) s: message".
+  std::string to_string() const;
+  // {"findings":[{...}],"errors":N,"warnings":N,"notes":N} — embedded by
+  // snapc --json as the "lint" block.
+  std::string to_json() const;
+};
+
+// AST-level rules (SL200, SL201, SL300, SL400). Works on any policy,
+// including ones the compiler rejects.
+LintReport lint_policy(const PolPtr& program);
+
+// Diagram-level rules (SL100, SL101; SL190 when the budget trips). The
+// walk carries the composition Context along every satisfiable path, with
+// bottom-up saturation so clean diagrams cost one linear pass.
+LintReport lint_xfdd(const XfddStore& store, XfddId root,
+                     std::size_t path_budget = 1u << 20);
+
+// Every state variable the diagram reachable from `root` can name — state
+// tests plus leaf write-sets, i.e. the union of every conflict mask the
+// field-consistent walk (sim::ConflictCache) can ever produce.
+std::set<StateVarId> diagram_state_vars(const XfddStore& store, XfddId root);
+
+// SL500: every state id a deployed per-switch program can touch must be in
+// diagram_state_vars(store, root).
+LintReport lint_mask_soundness(const XfddStore& store, XfddId root,
+                               const std::map<int, netasm::Program>& programs);
+
+}  // namespace snap

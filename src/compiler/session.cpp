@@ -91,6 +91,15 @@ const CompileResult& Session::result() const {
   return cache_;
 }
 
+LintReport Session::lint() const {
+  require_compiled("lint()");
+  LintReport r = lint_policy(program_);
+  r.merge(lint_xfdd(*cache_.store, cache_.root));
+  r.merge(lint_mask_soundness(*cache_.store, cache_.root, deployed_));
+  r.sort();
+  return r;
+}
+
 RuleDelta Session::deployment() const {
   require_compiled("deployment()");
   RuleDelta d;

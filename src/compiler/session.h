@@ -34,6 +34,7 @@
 #include <string>
 
 #include "analysis/depgraph.h"
+#include "analysis/lint.h"
 #include "analysis/psmap.h"
 #include "milp/scalable.h"
 #include "milp/stmodel.h"
@@ -195,6 +196,12 @@ class Session {
   const std::map<int, netasm::Program>& deployed_programs() const {
     return deployed_;
   }
+
+  // Static analysis over the compiled session (analysis/lint.h): AST rules
+  // (SL2xx/SL3xx/SL4xx) on the current policy, diagram hygiene (SL1xx) on
+  // the compiled xFDD, and conflict-mask soundness (SL500) of every
+  // deployed per-switch program against that diagram. Sorted canonically.
+  LintReport lint() const;
 
   // The full current deployment as a cold-start RuleDelta (every deployed
   // program marked added, context from the cached artifacts). Hands the

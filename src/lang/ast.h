@@ -62,6 +62,10 @@ struct Pred {
   std::variant<PredId, PredDrop, PredTest, PredNot, PredOr, PredAnd,
                PredStateTest>
       node;
+  // 1-based source line when the node came from parse_policy; -1 for nodes
+  // built through the C++ DSL. Diagnostics (analysis/lint.h) report it as
+  // the policy-source span.
+  int line = -1;
 };
 
 // ------------------------------------------------------------------ policies
@@ -104,6 +108,8 @@ struct Pol {
   std::variant<PolFilter, PolMod, PolSeq, PolPar, PolStateSet, PolStateInc,
                PolStateDec, PolIf, PolAtomic>
       node;
+  // Source line, as in Pred (-1 when DSL-built).
+  int line = -1;
 };
 
 // ------------------------------------------------------------------- builder

@@ -234,20 +234,34 @@ class Parser {
     }
   }
 
+  // Stamps a freshly-built node with its source line (diagnostics report
+  // these as policy spans). The parser uniquely owns the node it just
+  // built — dsl allocates non-const objects — so the const_cast is sound.
+  static PolPtr at(int line, PolPtr p) {
+    const_cast<Pol*>(p.get())->line = line;
+    return p;
+  }
+  static PredPtr at(int line, PredPtr x) {
+    const_cast<Pred*>(x.get())->line = line;
+    return x;
+  }
+
   // policy := par ( ';' par )*
   PolPtr policy() {
+    int ln = peek().line;
     PolPtr p = par_policy();
     while (accept(Tok::kSemi)) {
-      p = dsl::seq(std::move(p), par_policy());
+      p = at(ln, dsl::seq(std::move(p), par_policy()));
     }
     return p;
   }
 
   // par := primary ( '+' primary )*
   PolPtr par_policy() {
+    int ln = peek().line;
     PolPtr p = primary_policy();
     while (accept(Tok::kPlus)) {
-      p = dsl::par(std::move(p), primary_policy());
+      p = at(ln, dsl::par(std::move(p), primary_policy()));
     }
     return p;
   }
@@ -283,13 +297,15 @@ class Parser {
       }
       pos_ = save;
     }
+    const int ln = peek().line;
     if (accept_keyword("if")) {
       PredPtr cond = pred();
       expect_keyword("then");
       PolPtr then_p = policy();  // extends to the matching 'else'
       expect_keyword("else");
       PolPtr else_p = par_policy();  // parenthesize for a sequential else
-      return dsl::ite(std::move(cond), std::move(then_p), std::move(else_p));
+      return at(ln,
+                dsl::ite(std::move(cond), std::move(then_p), std::move(else_p)));
     }
     if (accept_keyword("atomic")) {
       expect(Tok::kLParen, "'('");
@@ -324,24 +340,26 @@ class Parser {
   // Disambiguates: state ops (ident '['), field mods (ident '<-') and field
   // tests (ident '=').
   PolPtr ident_policy() {
+    const int ln = peek().line;
     std::string name = advance().text;
     if (peek().kind == Tok::kLBracket) {
       Expr index = bracketed_indices();
       if (accept(Tok::kArrow)) {
-        return dsl::sset(name, std::move(index), value_expr());
+        return at(ln, dsl::sset(name, std::move(index), value_expr()));
       }
       if (accept(Tok::kInc)) {
-        return dsl::sinc(name, std::move(index));
+        return at(ln, dsl::sinc(name, std::move(index)));
       }
       if (accept(Tok::kDec)) {
-        return dsl::sdec(name, std::move(index));
+        return at(ln, dsl::sdec(name, std::move(index)));
       }
       if (accept(Tok::kEq)) {
-        return dsl::filter(dsl::stest(name, std::move(index), value_expr()));
+        return at(ln, dsl::filter(at(ln, dsl::stest(name, std::move(index),
+                                                    value_expr()))));
       }
       // Bare state reference is boolean sugar: s[e] means s[e] = True.
-      return dsl::filter(
-          dsl::stest(name, std::move(index), Expr::of_value(kTrue)));
+      return at(ln, dsl::filter(at(ln, dsl::stest(name, std::move(index),
+                                                  Expr::of_value(kTrue)))));
     }
     if (accept(Tok::kArrow)) {
       Expr v = value_expr();
@@ -351,10 +369,10 @@ class Parser {
         throw ParseError("field modification must assign a constant",
                          peek().line);
       }
-      return dsl::mod(name, a.value());
+      return at(ln, dsl::mod(name, a.value()));
     }
     if (accept(Tok::kEq)) {
-      return dsl::filter(field_test(name));
+      return at(ln, dsl::filter(at(ln, field_test(name))));
     }
     throw ParseError("cannot parse statement starting with '" + name + "'",
                      peek().line);
@@ -399,16 +417,17 @@ class Parser {
       throw ParseError("expected a predicate, found '" + peek().text + "'",
                        peek().line);
     }
+    const int ln = peek().line;
     std::string name = advance().text;
     if (peek().kind == Tok::kLBracket) {
       Expr index = bracketed_indices();
       if (accept(Tok::kEq)) {
-        return dsl::stest(name, std::move(index), value_expr());
+        return at(ln, dsl::stest(name, std::move(index), value_expr()));
       }
-      return dsl::stest(name, std::move(index), Expr::of_value(kTrue));
+      return at(ln, dsl::stest(name, std::move(index), Expr::of_value(kTrue)));
     }
     expect(Tok::kEq, "'=' in field test");
-    return field_test(name);
+    return at(ln, field_test(name));
   }
 
   // Having consumed `name =`, parses the right-hand side of a field test.

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "lang/ast.h"  // kExactMatch
+#include "sim/soundness.h"  // pure observer hooks (see its layering note)
 #include "util/status.h"
 
 namespace snap {
@@ -153,8 +154,10 @@ DecodedProgram::Outcome DecodedProgram::run(XfddId node, const Packet& pkt,
   std::uint64_t count = 0;
   const DInstr* code = code_.data();
   for (;;) {
-    SNAP_CHECK(pc >= 0 && pc < static_cast<Pc>(code_.size()),
-               "program counter out of range");
+    // Per-instruction, so debug-only; jump targets are validated once at
+    // decode time (they come from the assembler's own pc map).
+    SNAP_DCHECK(pc >= 0 && pc < static_cast<Pc>(code_.size()),
+                "program counter out of range");
     const DInstr& i = code[static_cast<std::size_t>(pc)];
     ++count;
     switch (i.op) {
@@ -182,6 +185,7 @@ DecodedProgram::Outcome DecodedProgram::run(XfddId node, const Packet& pkt,
         break;
       }
       case Op::kBranchState: {
+        sim::note_state_access(i.var);
         bool pass =
             exprs_[static_cast<std::size_t>(i.index)].eval_into(
                 pkt, scratch.index) &&
@@ -196,6 +200,7 @@ DecodedProgram::Outcome DecodedProgram::run(XfddId node, const Packet& pkt,
         if (executed) *executed += count;
         return {Outcome::kStuck, i.node, i.var};
       case Op::kStateSet: {
+        sim::note_state_access(i.var);
         if (!exprs_[static_cast<std::size_t>(i.index)].eval_into(
                 pkt, scratch.index) ||
             !exprs_[static_cast<std::size_t>(i.vexpr)].eval_into(
@@ -210,6 +215,7 @@ DecodedProgram::Outcome DecodedProgram::run(XfddId node, const Packet& pkt,
       }
       case Op::kStateInc:
       case Op::kStateDec: {
+        sim::note_state_access(i.var);
         if (!exprs_[static_cast<std::size_t>(i.index)].eval_into(
                 pkt, scratch.index)) {
           throw CompileError("state increment on " + state_var_name(i.var) +
@@ -376,6 +382,7 @@ DecodedProgram::Outcome DirectXfdd::run(XfddId node, const Packet& pkt,
       }
       case DNode::Kind::kState: {
         ++count;
+        sim::note_state_access(n.var);
         bool pass =
             exprs_[static_cast<std::size_t>(n.index)].eval_into(
                 pkt, scratch.index) &&
@@ -390,6 +397,7 @@ DecodedProgram::Outcome DirectXfdd::run(XfddId node, const Packet& pkt,
         for (std::uint32_t o = n.ops_begin; o < n.ops_end; ++o) {
           const DOp& op = ops_[o];
           ++count;
+          sim::note_state_access(op.var);
           if (op.kind == DOp::Kind::kSet) {
             if (!exprs_[static_cast<std::size_t>(op.index)].eval_into(
                     pkt, scratch.index) ||

@@ -6,6 +6,7 @@
 #include <deque>
 #include <iomanip>
 #include <limits>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -13,6 +14,7 @@
 
 #include "netasm/decoded.h"
 #include "sim/conflict.h"
+#include "sim/soundness.h"
 #include "sim/spsc.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -145,6 +147,14 @@ struct TrafficEngine::Impl {
     PortId inport = 0;
     bool migrate_clear = false;  // kMigrate: clear all state vs prune
     std::uint64_t t_dispatch_ns = 0;
+    // Soundness cross-check (EngineOptions::check_soundness): the sorted
+    // conflict mask this packet was dispatched under, viewed into the
+    // epoch's interned mask storage. Stable across the walk: interned mask
+    // entries are never mutated, and vector reallocation of the outer
+    // table moves the inner vectors without touching their heap buffers.
+    const StateVarId* mask_vars = nullptr;
+    std::uint32_t mask_n = 0;
+    bool soundness = false;
     SwitchSet applied;
     Packet pkt;
   };
@@ -227,12 +237,23 @@ struct TrafficEngine::Impl {
   std::vector<LiveEvent> async_events;
   std::atomic<bool> async_pending{false};
 
+  // Corrupted-mask arena for the corrupt_soundness_var test hook: one
+  // entry per dispatched packet, allocated by the scheduler before the
+  // ring push publishes the pointer (deque keeps element addresses stable
+  // under push_back, so workers can read earlier entries race-free).
+  std::deque<std::vector<StateVarId>> corrupt_masks;
+
   // LiveProgress source, maintained by the scheduler with relaxed stores.
   std::atomic<std::uint64_t> live_completed{0}, live_packets{0},
       live_events{0};
   std::atomic<std::uint32_t> live_epoch{0};
   std::atomic<std::uint64_t> live_started_ns{0};
   std::atomic<std::int64_t> live_last_latency_ns{-1};
+  // Duration of the last finished run, for live() after live_running drops.
+  // Kept atomic (instead of reading stats.seconds) because live() races
+  // run_live's stats writes from another thread — the exact class of data
+  // race the CI_TSAN lane exists to catch.
+  std::atomic<std::uint64_t> live_seconds_ns{0};
   std::atomic<bool> live_running{false};
 
   explicit Impl(Network& n, EngineOptions o) : net(&n), opts(o) {
@@ -412,6 +433,12 @@ struct TrafficEngine::Impl {
       complete(me, t);
       return;
     }
+    // Arm the conflict-mask soundness cross-check for this walk segment:
+    // every state access run_switch performs below must lie inside the
+    // mask the scheduler dispatched this packet under. Re-armed on every
+    // shard the walk visits (the task carries the mask view).
+    std::optional<SoundnessScope> sound;
+    if (t.soundness) sound.emplace(t.mask_vars, t.mask_n, t.seq);
     for (;;) {
       const std::size_t swi = static_cast<std::size_t>(t.sw);
       if (opts.record_epochs) ctx.epoch_marks.emplace_back(t.seq, e.id);
@@ -438,9 +465,12 @@ struct TrafficEngine::Impl {
         // Arrived at a write owner: apply its local leaf writes.
         auto oc = run_switch(e, t.sw, t.node, t.pkt, ctx);
         ++ctx.events[swi];
-        SNAP_CHECK(oc.kind == netasm::DecodedProgram::Outcome::kLeaf &&
-                       oc.node == t.node,
-                   "leaf resume diverged");
+        // Per write visit (hot): debug-only — a divergence here produces a
+        // wrong leaf id, not an out-of-bounds access.
+        SNAP_DCHECK(oc.kind == netasm::DecodedProgram::Outcome::kLeaf &&
+                        oc.node == t.node,
+                    "leaf resume diverged");
+        (void)oc;
         t.applied.set(t.sw);
       }
       // Next unvisited owner in dependency order (serial phase 2).
@@ -607,6 +637,7 @@ struct TrafficEngine::Impl {
     stats.latency_histogram.assign(32, 0);
     guard_budget = num_sw * 4 + 16;
     marks.clear();
+    corrupt_masks.clear();
     live_packets.store(N, std::memory_order_relaxed);
     live_completed.store(0, std::memory_order_relaxed);
     live_events.store(0, std::memory_order_relaxed);
@@ -624,7 +655,8 @@ struct TrafficEngine::Impl {
         es.epoch = ++stats.epochs - 1;
         stats.events.push_back(std::move(es));
       }
-      live_running.store(false, std::memory_order_relaxed);
+      live_seconds_ns.store(0, std::memory_order_relaxed);
+      live_running.store(false, std::memory_order_release);
       return {};
     }
     SNAP_CHECK(N < (1ull << 31),
@@ -1021,6 +1053,26 @@ struct TrafficEngine::Impl {
         t.guard = guard_budget;
         t.inport = sp.inport;
         t.t_dispatch_ns = now_ns();
+        if (opts.check_soundness && opts.deterministic) {
+          // head_mask is valid here: deterministic dispatch always resolved
+          // it above. The interned mask entry outlives the walk (see Task).
+          const std::vector<StateVarId>& mv = cur->conflict->mask(head_mask);
+          t.soundness = true;
+          if (opts.corrupt_soundness_var >= 0) {
+            corrupt_masks.emplace_back();
+            std::vector<StateVarId>& bad = corrupt_masks.back();
+            for (StateVarId v : mv) {
+              if (static_cast<int>(v) != opts.corrupt_soundness_var) {
+                bad.push_back(v);
+              }
+            }
+            t.mask_vars = bad.data();
+            t.mask_n = static_cast<std::uint32_t>(bad.size());
+          } else {
+            t.mask_vars = mv.data();
+            t.mask_n = static_cast<std::uint32_t>(mv.size());
+          }
+        }
         t.pkt = sp.pkt;
         ++inflight_slot[cur->id % kEpochSlots];
         sched_send(std::move(t));
@@ -1068,13 +1120,18 @@ struct TrafficEngine::Impl {
       abort.store(true, std::memory_order_release);
       stop.store(true, std::memory_order_release);
       for (auto& f : loops) f.wait();
-      live_running.store(false, std::memory_order_relaxed);
+      live_seconds_ns.store(
+          static_cast<std::uint64_t>(timer.seconds() * 1e9),
+          std::memory_order_relaxed);
+      live_running.store(false, std::memory_order_release);
       throw;
     }
     stop.store(true, std::memory_order_release);
     for (auto& f : loops) f.wait();
     stats.seconds = timer.seconds();
-    live_running.store(false, std::memory_order_relaxed);
+    live_seconds_ns.store(static_cast<std::uint64_t>(stats.seconds * 1e9),
+                          std::memory_order_relaxed);
+    live_running.store(false, std::memory_order_release);
     if (err) std::rethrow_exception(err);
     // Fold every surviving epoch's counters into the Network.
     for (auto& s : epochs) {
@@ -1163,9 +1220,12 @@ LiveProgress TrafficEngine::live() const {
   p.epoch = impl_->live_epoch.load(std::memory_order_relaxed);
   p.running = impl_->live_running.load(std::memory_order_relaxed);
   auto start = impl_->live_started_ns.load(std::memory_order_relaxed);
-  p.seconds = p.running && start
-                  ? static_cast<double>(now_ns() - start) * 1e-9
-                  : impl_->stats.seconds;
+  p.seconds =
+      p.running && start
+          ? static_cast<double>(now_ns() - start) * 1e-9
+          : static_cast<double>(impl_->live_seconds_ns.load(
+                std::memory_order_relaxed)) *
+                1e-9;
   auto ns = impl_->live_last_latency_ns.load(std::memory_order_relaxed);
   p.last_event_latency_s = ns < 0 ? -1 : static_cast<double>(ns) * 1e-9;
   return p;

@@ -100,6 +100,14 @@ namespace sim {
 // Upper bound on EngineOptions::batch (tasks per ring message).
 inline constexpr int kMaxTaskBatch = 16;
 
+// Default for EngineOptions::check_soundness: armed wherever SNAP_DCHECK is
+// (debug and sanitizer builds), off in release.
+#ifdef NDEBUG
+inline constexpr bool kSoundnessCheckDefault = false;
+#else
+inline constexpr bool kSoundnessCheckDefault = true;
+#endif
+
 struct EngineOptions {
   // 0 = one worker per hardware thread, clamped to the switch count.
   int workers = 0;
@@ -117,6 +125,19 @@ struct EngineOptions {
   // Record a (sequence, epoch) mark for every program run a packet
   // performs (epoch_marks()); the live-update contract tests read these.
   bool record_epochs = false;
+  // Dynamic conflict-mask soundness cross-check (sim/soundness.h, the
+  // runtime half of lint rule SL500): every Store access a worker performs
+  // for a packet is asserted to lie inside the conflict mask the scheduler
+  // dispatched it under; a violation throws InternalError through the
+  // worker error channel. Deterministic mode only (free-running builds no
+  // masks). Costs one thread-local pointer load per state instruction when
+  // armed.
+  bool check_soundness = kSoundnessCheckDefault;
+  // TESTING ONLY: drop this state-variable id from every dispatched
+  // soundness mask, simulating a mask-computation hole (the PR-5
+  // sparse-state-id bug class) so tests can prove the cross-check fires.
+  // Negative = off.
+  int corrupt_soundness_var = -1;
 };
 
 // One entry of a run_live schedule: apply `delta` before dispatching the

@@ -1,0 +1,33 @@
+#include "sim/soundness.h"
+
+#include <string>
+
+#include "util/status.h"
+
+namespace snap {
+namespace sim {
+namespace soundness_detail {
+
+thread_local const MaskView* tl_mask = nullptr;
+
+[[noreturn]] void fail(StateVarId var) {
+  const MaskView* m = tl_mask;
+  std::string mask = "{";
+  for (std::size_t i = 0; m && i < m->n; ++i) {
+    if (i) mask += ", ";
+    mask += state_var_name(m->vars[i]);
+  }
+  mask += "}";
+  // Disarm before throwing: the worker's unwind may run more interpreter
+  // code (destructors do not, but be safe against nested reporting).
+  tl_mask = nullptr;
+  throw InternalError(
+      "conflict-mask soundness violated: packet " +
+      std::to_string(m ? m->seq : 0) + " accessed state variable '" +
+      state_var_name(var) + "' outside its dispatched conflict mask " + mask +
+      " — the deterministic schedule may not be serial-equivalent");
+}
+
+}  // namespace soundness_detail
+}  // namespace sim
+}  // namespace snap

@@ -1,0 +1,88 @@
+// Dynamic conflict-mask soundness cross-check (the runtime half of lint
+// rule SL500, analysis/lint.h).
+//
+// The deterministic scheduler's entire correctness argument rests on one
+// over-approximation: a packet's conflict mask (sim/conflict.h, a
+// field-consistent walk of the policy xFDD) contains every state variable
+// the packet *might* read or write. If any actual Store access falls
+// outside the dispatched mask, two conflicting packets can run
+// concurrently and the serial-equivalence guarantee silently breaks — the
+// exact shape of the PR-5 sparse-state-id bug, which was only caught by a
+// corpus regression. This module catches that class structurally: while a
+// worker executes a packet's walk, a thread-local scope holds the mask the
+// scheduler dispatched the packet under, and the two interpreters
+// (netasm/decoded.cpp) report every state access through
+// note_state_access(); an access outside the mask throws InternalError
+// through the engine's worker error channel.
+//
+// Cost when disarmed (the scope is installed only when
+// EngineOptions::check_soundness is on, default !NDEBUG): one thread-local
+// pointer load and a predictable branch per state instruction; nothing on
+// field branches. The serial paths (eval oracle, Network::inject) never
+// install a scope, so they are unaffected.
+//
+// Layering note: this lives in sim/ because the mask being checked is the
+// engine's, but it is a pure observer — netasm depends on nothing of sim
+// beyond these two inline hooks.
+#pragma once
+
+#include <cstddef>
+
+#include "lang/field.h"
+
+namespace snap {
+namespace sim {
+
+namespace soundness_detail {
+
+struct MaskView {
+  const StateVarId* vars = nullptr;  // sorted ascending
+  std::size_t n = 0;
+  std::uint32_t seq = 0;  // packet sequence, for the error message
+};
+
+extern thread_local const MaskView* tl_mask;
+
+// Out-of-line slow path: throws InternalError naming the variable, the
+// packet and the dispatched mask.
+[[noreturn]] void fail(StateVarId var);
+
+}  // namespace soundness_detail
+
+// Called by the interpreters on every state read/write. No-op unless a
+// SoundnessScope is installed on this thread.
+inline void note_state_access(StateVarId var) {
+  const soundness_detail::MaskView* m = soundness_detail::tl_mask;
+  if (m == nullptr) return;
+  // Masks are small (a handful of variables); linear scan over the sorted
+  // view beats binary search at these sizes.
+  for (std::size_t i = 0; i < m->n; ++i) {
+    if (m->vars[i] == var) return;
+    if (m->vars[i] > var) break;
+  }
+  soundness_detail::fail(var);
+}
+
+// RAII: arms the check for the current thread with the conflict mask the
+// scheduler dispatched this packet under. An empty mask asserts the packet
+// touches no state at all. Scopes do not nest (the engine installs exactly
+// one around each task's walk).
+class SoundnessScope {
+ public:
+  SoundnessScope(const StateVarId* vars, std::size_t n, std::uint32_t seq) {
+    view_.vars = vars;
+    view_.n = n;
+    view_.seq = seq;
+    soundness_detail::tl_mask = &view_;
+  }
+  ~SoundnessScope() { soundness_detail::tl_mask = nullptr; }
+
+  SoundnessScope(const SoundnessScope&) = delete;
+  SoundnessScope& operator=(const SoundnessScope&) = delete;
+
+ private:
+  soundness_detail::MaskView view_;
+};
+
+}  // namespace sim
+}  // namespace snap

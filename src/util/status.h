@@ -57,4 +57,18 @@ class InternalError : public Error {
         std::string(msg) + " (" #cond ")");   \
   } while (0)
 
+// Debug-only invariant check for per-instruction / per-hop hot paths: full
+// SNAP_CHECK in debug and sanitizer builds (where the soundness cross-checks
+// run), compiled out entirely under NDEBUG so release throughput is
+// unaffected. Only use it where the release-mode consequence of a violated
+// condition is a wrong answer, not out-of-bounds memory — bounds that guard
+// an index must stay SNAP_CHECK.
+#ifdef NDEBUG
+#define SNAP_DCHECK(cond, msg) \
+  do {                         \
+  } while (0)
+#else
+#define SNAP_DCHECK(cond, msg) SNAP_CHECK(cond, msg)
+#endif
+
 }  // namespace snap

@@ -1,0 +1,342 @@
+// snap-lint (analysis/lint.h) and the conflict-mask soundness cross-check
+// (sim/soundness.h): one hand-built failing fixture per diagnostic class,
+// the corpus sweep the CI lint gate mirrors, and the engine's dynamic
+// soundness assert proven to catch a reintroduced mask-computation hole.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "analysis/lint.h"
+#include "apps/apps.h"
+#include "compiler/session.h"
+#include "netasm/isa.h"
+#include "sim/engine.h"
+#include "sim/workload.h"
+#include "topo/gen.h"
+#include "util/status.h"
+#include "xfdd/action.h"
+#include "xfdd/xfdd.h"
+
+namespace snap {
+namespace {
+
+using namespace snap::dsl;
+
+// ----------------------------------------------------------- SL100 / SL101
+
+// root: (dstip=1 ? inner : drop), inner: (dstip=1 ? id : fwd7). Every path
+// reaching `inner` has already decided dstip=1, so inner never branches
+// (SL100) and the fwd7 leaf has zero satisfiable incoming paths (SL101).
+TEST(LintXfdd, DominatedTestAndDeadLeaf) {
+  XfddStore store;
+  snap::Test t{TestFV{field_id("dstip"), 1, kExactMatch}};
+  XfddId fwd7 = store.leaf(ActionSet::of(
+      {ActionSeq::of({Action{ActMod{field_id("outport"), 7}}})}));
+  XfddId inner = store.branch(t, store.id_leaf(), fwd7);
+  XfddId root = store.branch(t, inner, store.drop_leaf());
+
+  LintReport r = lint_xfdd(store, root);
+  EXPECT_EQ(r.count("SL100"), 1u) << r.to_string();
+  EXPECT_EQ(r.count("SL101"), 1u) << r.to_string();
+  EXPECT_EQ(r.count("SL190"), 0u) << r.to_string();
+  EXPECT_FALSE(r.clean());   // SL100 is a warning
+  EXPECT_FALSE(r.has_errors());
+}
+
+TEST(LintXfdd, CleanDiagramHasNoFindings) {
+  XfddStore store;
+  snap::Test t1{TestFV{field_id("dstip"), 1, kExactMatch}};
+  snap::Test t2{TestFV{field_id("srcport"), 53, kExactMatch}};
+  XfddId inner = store.branch(t2, store.id_leaf(), store.drop_leaf());
+  XfddId root = store.branch(t1, inner, store.drop_leaf());
+
+  LintReport r = lint_xfdd(store, root);
+  EXPECT_TRUE(r.findings.empty()) << r.to_string();
+  EXPECT_TRUE(r.clean());
+}
+
+// A value test on the same field also decides later tests: dstip=1 held
+// implies dstip=2 fails, so the inner node is dominated even though the
+// tests differ.
+TEST(LintXfdd, SameFieldDifferentValueDominates) {
+  XfddStore store;
+  snap::Test t1{TestFV{field_id("dstip"), 1, kExactMatch}};
+  snap::Test t2{TestFV{field_id("dstip"), 2, kExactMatch}};
+  XfddId fwd7 = store.leaf(ActionSet::of(
+      {ActionSeq::of({Action{ActMod{field_id("outport"), 7}}})}));
+  XfddId inner = store.branch(t2, fwd7, store.id_leaf());
+  XfddId root = store.branch(t1, inner, store.drop_leaf());
+
+  LintReport r = lint_xfdd(store, root);
+  EXPECT_EQ(r.count("SL100"), 1u) << r.to_string();
+  EXPECT_EQ(r.count("SL101"), 1u) << r.to_string();  // fwd7 is dead
+}
+
+TEST(LintXfdd, BudgetExhaustionReportsOnlySL190) {
+  XfddStore store;
+  snap::Test t{TestFV{field_id("dstip"), 1, kExactMatch}};
+  XfddId inner = store.branch(t, store.id_leaf(), store.drop_leaf());
+  XfddId root = store.branch(t, inner, store.drop_leaf());
+
+  LintReport r = lint_xfdd(store, root, /*path_budget=*/1);
+  EXPECT_EQ(r.count("SL190"), 1u) << r.to_string();
+  EXPECT_EQ(r.findings.size(), 1u) << r.to_string();
+  EXPECT_TRUE(r.clean());  // a note, not a warning
+}
+
+// ----------------------------------------------------------- SL200 / SL201
+
+TEST(LintPolicy, WrittenNeverRead) {
+  // Guarded so SL300 stays quiet and the report isolates the dead write.
+  PolPtr p = ite(test_cidr("srcip", "10.0.6.0/24"),
+                 sinc("lint-wnr", idx("srcip")), filter(id())) >>
+             mod("outport", 1);
+  LintReport r = lint_policy(p);
+  EXPECT_EQ(r.count("SL200"), 1u) << r.to_string();
+  EXPECT_EQ(r.count("SL201"), 0u) << r.to_string();
+  EXPECT_TRUE(r.clean());  // monitoring state is a note, not a warning
+}
+
+TEST(LintPolicy, ReadNeverWritten) {
+  PolPtr p = ite(stest("lint-rnw", idx("srcip"), lit(1)), filter(drop()),
+                 mod("outport", 1));
+  LintReport r = lint_policy(p);
+  EXPECT_EQ(r.count("SL201"), 1u) << r.to_string();
+  EXPECT_EQ(r.count("SL200"), 0u) << r.to_string();
+  EXPECT_FALSE(r.clean());
+  EXPECT_FALSE(r.has_errors());
+}
+
+TEST(LintPolicy, ReadAndWrittenIsClean) {
+  PolPtr p = ite(stest("lint-rw", idx("srcip"), lit(3)), filter(drop()),
+                 sinc("lint-rw", idx("srcip")));
+  LintReport r = lint_policy(p);
+  EXPECT_EQ(r.count("SL200"), 0u) << r.to_string();
+  EXPECT_EQ(r.count("SL201"), 0u) << r.to_string();
+}
+
+// ------------------------------------------------------------------- SL300
+
+TEST(LintPolicy, UnboundedIndexWarns) {
+  PolPtr p = sinc("lint-tab", idx("srcip")) >>
+             filter(stest("lint-tab", idx("srcip"), lit(0)));
+  LintReport r = lint_policy(p);
+  ASSERT_EQ(r.count("SL300"), 1u) << r.to_string();
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(LintPolicy, BoundingPredicateSuppressesSL300) {
+  // The write only executes when srcip is pinned to a /24 (256 values), via
+  // an if-guard or an upstream sequential filter; either bounds the table.
+  PolPtr read = filter(stest("lint-bnd", idx("srcip"), lit(0)));
+  PolPtr guarded = ite(test_cidr("srcip", "10.0.6.0/24"),
+                       sinc("lint-bnd", idx("srcip")), filter(id())) >>
+                   read;
+  EXPECT_EQ(lint_policy(guarded).count("SL300"), 0u);
+
+  PolPtr seq_guarded = filter(test_cidr("srcip", "10.0.6.0/24")) >>
+                       (sinc("lint-bnd", idx("srcip")) >> read);
+  EXPECT_EQ(lint_policy(seq_guarded).count("SL300"), 0u);
+
+  // A /8 admits 2^24 values — not a bound.
+  PolPtr weak = ite(test_cidr("srcip", "10.0.0.0/8"),
+                    sinc("lint-bnd", idx("srcip")), filter(id())) >>
+                read;
+  EXPECT_EQ(lint_policy(weak).count("SL300"), 1u);
+
+  // The guard must cover the indexing field, not some other field.
+  PolPtr wrong_field = ite(test_cidr("dstip", "10.0.6.0/24"),
+                           sinc("lint-bnd", idx("srcip")), filter(id())) >>
+                       read;
+  EXPECT_EQ(lint_policy(wrong_field).count("SL300"), 1u);
+}
+
+TEST(LintPolicy, MultiFieldIndexNamesOnlyUnboundedFields) {
+  PolPtr p = ite(test_cidr("dstip", "10.0.6.0/24"),
+                 sset("lint-mf", idx("dstip", "dns.rdata"), lit(1)),
+                 filter(id())) >>
+             filter(stest("lint-mf", idx("dstip", "dns.rdata"), lit(1)));
+  LintReport r = lint_policy(p);
+  ASSERT_EQ(r.count("SL300"), 1u) << r.to_string();
+  for (const LintFinding& f : r.findings) {
+    if (f.rule != "SL300") continue;
+    EXPECT_NE(f.message.find("dns.rdata"), std::string::npos) << f.message;
+    EXPECT_EQ(f.message.find("dstip,"), std::string::npos) << f.message;
+  }
+}
+
+// ------------------------------------------------------------------- SL400
+
+TEST(LintPolicy, ParallelWriteWriteRace) {
+  // P2 rejects this program outright; the linter reports it on the bare
+  // AST with the offending variable and the + node's source span.
+  PolPtr p = par(sinc("lint-race", idx("srcip")),
+                 sset("lint-race", idx("srcip"), lit(1)));
+  LintReport r = lint_policy(p);
+  ASSERT_EQ(r.count("SL400"), 1u) << r.to_string();
+  EXPECT_TRUE(r.has_errors());
+  EXPECT_EQ(r.findings[0].rule, "SL400");  // errors sort first
+  EXPECT_EQ(r.findings[0].subject, state_var_name(state_var_id("lint-race")));
+}
+
+TEST(LintPolicy, DisjointParallelWritesAreClean) {
+  PolPtr p = par(sinc("lint-pa", idx("srcip")),
+                 sinc("lint-pb", idx("srcip")));
+  EXPECT_EQ(lint_policy(p).count("SL400"), 0u);
+}
+
+// ------------------------------------------------------------------- SL500
+
+TEST(LintMaskSoundness, ProgramVarOutsideDiagramIsAnError) {
+  XfddStore store;
+  StateVarId known = state_var_id("lint-known");
+  StateVarId rogue = state_var_id("lint-rogue");
+  snap::Test st{TestState{known, idx("srcip"), Expr::of_value(1)}};
+  XfddId root = store.branch(st, store.id_leaf(), store.drop_leaf());
+
+  std::map<int, netasm::Program> programs;
+  netasm::Program good;
+  good.code.push_back(netasm::IStateInc{known, idx("srcip")});
+  programs.emplace(0, good);
+  EXPECT_FALSE(lint_mask_soundness(store, root, programs).has_errors());
+
+  netasm::Program bad;
+  bad.code.push_back(netasm::IStateInc{rogue, idx("srcip")});
+  programs.emplace(1, bad);
+  LintReport r = lint_mask_soundness(store, root, programs);
+  ASSERT_EQ(r.count("SL500"), 1u) << r.to_string();
+  EXPECT_TRUE(r.has_errors());
+  EXPECT_EQ(r.findings[0].subject, state_var_name(rogue));
+}
+
+TEST(LintMaskSoundness, DiagramVarsUnionTestsAndLeafWrites) {
+  XfddStore store;
+  StateVarId tested = state_var_id("lint-dsv-t");
+  StateVarId written = state_var_id("lint-dsv-w");
+  XfddId wleaf = store.leaf(ActionSet::of(
+      {ActionSeq::of({Action{ActStateInc{written, idx("srcip")}}})}));
+  snap::Test st{TestState{tested, idx("srcip"), Expr::of_value(1)}};
+  XfddId root = store.branch(st, wleaf, store.drop_leaf());
+
+  std::set<StateVarId> vars = diagram_state_vars(store, root);
+  EXPECT_TRUE(vars.count(tested));
+  EXPECT_TRUE(vars.count(written));
+  EXPECT_EQ(vars.size(), 2u);
+}
+
+// ----------------------------------------------- dynamic soundness check
+
+// The runtime half of SL500: a hole punched into the dispatched conflict
+// mask (the corrupt_soundness_var test hook reproduces the PR-5
+// sparse-state-id bug class) must trip the engine's debug cross-check; the
+// same run with intact masks must pass with the check armed.
+TEST(SoundnessCheck, CorruptedMaskTripsTheCrossCheck) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 10.0, 1);
+  PolPtr p = (sinc("lint-snd", idx("srcip")) >>
+              filter(stest("lint-snd", idx("srcip"), lit(999999)))) >>
+             apps::assign_egress(apps::default_subnets(topo.ports())) +
+                 filter(id());
+  Session session(topo, tm);
+  EventResult ev = session.full_compile(p);
+  sim::Workload wl = sim::WorkloadGen(topo, tm, 7).generate(
+      *sim::find_scenario("uniform"), 200);
+
+  sim::EngineOptions opts;
+  opts.workers = 2;
+  opts.deterministic = true;
+  opts.check_soundness = true;  // explicit: armed even in Release builds
+  {
+    sim::TrafficEngine engine(ev.delta, opts);
+    EXPECT_NO_THROW(engine.run(wl));
+  }
+  opts.corrupt_soundness_var = static_cast<int>(state_var_id("lint-snd"));
+  {
+    sim::TrafficEngine engine(ev.delta, opts);
+    EXPECT_THROW(engine.run(wl), InternalError);
+  }
+}
+
+// -------------------------------------------------------- session + corpus
+
+TEST(SessionLint, RequiresACompiledSession) {
+  Topology topo = make_figure2_campus();
+  Session session(topo, gravity_traffic(topo, 10.0, 1));
+  EXPECT_THROW(session.lint(), Error);
+}
+
+TEST(SessionLint, CombinesPolicyDiagramAndProgramRules) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 10.0, 1);
+  // Unguarded per-srcip table: SL300 from the AST pass; the deployed
+  // programs are generated from the same diagram, so SL500 stays silent.
+  PolPtr p = (sinc("lint-sess", idx("srcip")) >>
+              filter(stest("lint-sess", idx("srcip"), lit(999999)))) >>
+             apps::assign_egress(apps::default_subnets(topo.ports()));
+  Session session(topo, tm);
+  session.full_compile(p);
+  LintReport r = session.lint();
+  EXPECT_GE(r.count("SL300"), 1u) << r.to_string();
+  EXPECT_EQ(r.count("SL500"), 0u) << r.to_string();
+  EXPECT_FALSE(r.has_errors()) << r.to_string();
+}
+
+// The 11-policy evaluation corpus must lint clean — no errors, no dominated
+// tests, no read-never-written state — except the known unbounded-state
+// warnings (every corpus policy keys at least one table by an unguarded
+// header field; the paper's §7 state-size discussion accepts this and the
+// ISSUE names four exemplars). Everything else allowed through is a note.
+TEST(SessionLint, CorpusCleanExceptKnownUnboundedState) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 10.0, 1);
+  std::set<std::string> warned_sl300;
+  for (const apps::CorpusApp& app :
+       apps::evaluation_corpus("lintc", apps::default_subnets(topo.ports()))) {
+    Session session(topo, tm);
+    session.full_compile(app.policy);
+    LintReport r = session.lint();
+    EXPECT_FALSE(r.has_errors()) << app.name << ":\n" << r.to_string();
+    EXPECT_EQ(r.count("SL100"), 0u) << app.name << ":\n" << r.to_string();
+    EXPECT_EQ(r.count("SL201"), 0u) << app.name << ":\n" << r.to_string();
+    EXPECT_EQ(r.count("SL190"), 0u) << app.name << ":\n" << r.to_string();
+    for (const LintFinding& f : r.findings) {
+      EXPECT_TRUE(f.rule == "SL300" || f.severity == LintSeverity::kNote)
+          << app.name << ": unexpected " << f.rule << "\n" << r.to_string();
+    }
+    if (r.count("SL300") > 0) warned_sl300.insert(app.name);
+  }
+  for (const char* name : {"super-spreader", "heavy-hitter",
+                           "stateful-firewall", "sidejack-detect"}) {
+    EXPECT_TRUE(warned_sl300.count(name))
+        << name << " lost its expected unbounded-state warning";
+  }
+}
+
+// ------------------------------------------------------------ report shape
+
+TEST(LintReport, SortAndSerialization) {
+  LintReport r;
+  r.findings.push_back({"SL200", LintSeverity::kNote, "b", "written", 4});
+  r.findings.push_back({"SL400", LintSeverity::kError, "a", "race", 2});
+  r.findings.push_back({"SL300", LintSeverity::kWarning, "c", "unbounded",
+                        -1});
+  r.sort();
+  EXPECT_EQ(r.findings[0].rule, "SL400");
+  EXPECT_EQ(r.findings[1].rule, "SL300");
+  EXPECT_EQ(r.findings[2].rule, "SL200");
+
+  std::string text = r.to_string();
+  EXPECT_NE(text.find("error SL400 (line 2) a: race"), std::string::npos)
+      << text;
+
+  std::string json = r.to_json();
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"warnings\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"notes\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rule\":\"SL400\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"line\":-1"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace snap

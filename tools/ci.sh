@@ -7,6 +7,11 @@
 # CI_SANITIZE=1 appends a second configure/build/ctest pass with ASan+UBSan
 # (catches lifetime bugs like the pre-Session dangling-topology hazard).
 #
+# CI_TSAN=1 appends a ThreadSanitizer pass over the threaded subsystem's
+# tests (test_sim, test_live_update, test_lint's soundness checks) at 2 and
+# 8 workers — the race-detection lane for the sharded engine. Benign-race
+# suppressions, if ever needed, live in tsan.supp with justifications.
+#
 # Exits non-zero on the first failing step.
 set -euo pipefail
 
@@ -70,6 +75,81 @@ grep -q '"event_latency"' BENCH_throughput.json || {
        "block — the live-update bench phase did not run)" >&2
   exit 1
 }
+
+echo "== snap-lint corpus gate (snapc --lint --json on every policy file) =="
+# Every Appendix-F policy must lint with zero error-severity findings
+# (snapc exits 5 otherwise), and the four known unbounded-state exemplars
+# must keep their SL300 warning — losing one silently would mean the
+# analysis stopped seeing through their guard structure.
+LINT_DIR="${BUILD_DIR}/lint-gate"
+mkdir -p "${LINT_DIR}"
+cat > "${LINT_DIR}/net.topo" <<'EOF'
+switches 4
+link 0 1 10
+link 1 2 10
+link 2 3 10
+port 1 0
+port 2 1
+port 3 2
+port 4 3
+name lint-gate-line
+EOF
+for pol in policies/*.snap; do
+  name="$(basename "${pol}" .snap)"
+  out="${LINT_DIR}/${name}.json"
+  "${BUILD_DIR}/snapc" --policy "${pol}" --topology "${LINT_DIR}/net.topo" \
+      --const threshold=10 --lint --json --quiet > "${out}"
+  grep -q '"errors":0' "${out}" || {
+    echo "ERROR: lint reported error findings for ${name}" >&2
+    exit 1
+  }
+done
+for name in super_spreader heavy_hitter stateful_firewall sidejacking; do
+  grep -q '"rule":"SL300"' "${LINT_DIR}/${name}.json" || {
+    echo "ERROR: ${name} lost its expected SL300 unbounded-state warning" >&2
+    exit 1
+  }
+done
+
+echo "== conflict-mask soundness gate (corrupted mask must trip the check) =="
+# The engine's dynamic cross-check (sim/soundness.h) must fire when a
+# variable is punched out of the dispatched masks (the PR-5 bug class,
+# reintroduced via EngineOptions::corrupt_soundness_var) and stay silent on
+# intact masks; the static SL500 half is exercised alongside.
+"${BUILD_DIR}/test_lint" \
+  --gtest_filter='SoundnessCheck.*:LintMaskSoundness.*'
+
+echo "== clang-tidy (advisory) =="
+# bugprone-*/concurrency-*/performance-* per .clang-tidy, against the
+# compile_commands.json the configure step exported. Advisory: findings are
+# printed but never fail the gate.
+if command -v clang-tidy >/dev/null 2>&1; then
+  find src tools -name '*.cpp' -print0 |
+    xargs -0 -P "${JOBS}" -n 8 clang-tidy -p "${BUILD_DIR}" --quiet ||
+    echo "clang-tidy reported findings (advisory, not gating)"
+else
+  echo "clang-tidy not installed; skipping (advisory step)"
+fi
+
+if [[ "${CI_TSAN:-0}" == "1" ]]; then
+  TSAN_DIR="${BUILD_DIR}-tsan"
+  echo "== tsan configure (${TSAN_DIR}, ThreadSanitizer) =="
+  cmake -B "${TSAN_DIR}" -S . -DSNAP_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  echo "== tsan build =="
+  cmake --build "${TSAN_DIR}" -j "${JOBS}" \
+    --target test_sim test_live_update test_lint
+  echo "== tsan race lane (sharded engine at 1/2/8 workers) =="
+  # test_sim and test_live_update sweep the deterministic engine across
+  # worker counts {1,2,8} and live-update epoch swaps; test_lint's
+  # soundness suite adds the mask cross-check under threads. halt_on_error
+  # turns any report into a failing exit; suppressions (each justified)
+  # come from tsan.supp.
+  export TSAN_OPTIONS="halt_on_error=1 suppressions=$(pwd)/tsan.supp"
+  "${TSAN_DIR}/test_sim"
+  "${TSAN_DIR}/test_live_update"
+  "${TSAN_DIR}/test_lint" --gtest_filter='SoundnessCheck.*'
+  unset TSAN_OPTIONS
+fi
 
 if [[ "${CI_SANITIZE:-0}" == "1" ]]; then
   SAN_DIR="${BUILD_DIR}-asan"

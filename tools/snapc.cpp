@@ -37,6 +37,13 @@
 //   --batch N          tasks per traffic-engine ring message (1..16,
 //                      default 8; batches amortize the scheduler's SPSC
 //                      round-trip in deterministic mode)
+//   --lint             run snap-lint (analysis/lint.h) over the final
+//                      compiled session: AST rules (dead state, unbounded
+//                      state, parallel write-write races), diagram hygiene
+//                      (dominated tests, dead leaves) and conflict-mask
+//                      soundness of the deployed programs. Findings print
+//                      one per line (or as the "lint" JSON block with
+//                      --json); error-severity findings set exit code 5
 //   --json             machine-readable output: phase times, phases run,
 //                      slice stats, rule-delta sizes per event and the
 //                      simulation stats
@@ -45,7 +52,8 @@
 //   --quiet            only placement and timing summary
 //
 // Exit codes: 0 success; 2 usage or ParseError; 3 CompileError;
-// 4 InfeasibleError; 1 anything else (including internal errors).
+// 4 InfeasibleError; 5 --lint found error-severity diagnostics;
+// 1 anything else (including internal errors).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -85,7 +93,7 @@ void usage() {
                " [--const NAME=VAL]... [--traffic SEED] [--load GBPS]"
                " [--solver auto|exact|scalable] [--threads N]"
                " [--script FILE] [--simulate N | --serve N] [--scenario NAME]"
-               " [--workers W] [--batch N] [--json] [--dot FILE]"
+               " [--workers W] [--batch N] [--lint] [--json] [--dot FILE]"
                " [--rules]"
                " [--quiet]\n");
 }
@@ -292,7 +300,7 @@ int run(int argc, char** argv) {
   ConstTable consts = apps::protocol_constants();
   std::uint64_t seed = 1;
   double load = -1;
-  bool print_rules = false, quiet = false, json = false;
+  bool print_rules = false, quiet = false, json = false, lint = false;
   long long simulate = 0, serve = 0;
   std::string scenario_name = "mixed";
   CompilerOptions opts;
@@ -381,6 +389,8 @@ int run(int argc, char** argv) {
       sim_opts.batch = static_cast<int>(n);
     } else if (!std::strcmp(argv[i], "--script")) {
       script_file = need("--script");
+    } else if (!std::strcmp(argv[i], "--lint")) {
+      lint = true;
     } else if (!std::strcmp(argv[i], "--json")) {
       json = true;
     } else if (!std::strcmp(argv[i], "--dot")) {
@@ -595,6 +605,11 @@ int run(int argc, char** argv) {
     }
   }
 
+  // Lint the final session state (after every script event), so the report
+  // covers the policy and programs actually deployed.
+  LintReport lint_report;
+  if (lint) lint_report = session.lint();
+
   const CompileResult& r = session.result();
   if (json) {
     std::printf("{\"topology\":{\"name\":\"%s\",\"switches\":%d,"
@@ -614,6 +629,9 @@ int run(int argc, char** argv) {
       std::printf(" \"serve\":{\"packets\":%lld,\"events_queued\":%zu,"
                   "\"events_adopted\":%zu},\n",
                   serve, serve_queued, serve_adopted);
+    }
+    if (lint) {
+      std::printf(" \"lint\":%s,\n", lint_report.to_json().c_str());
     }
     std::printf(" \"placement\":{");
     bool first = true;
@@ -651,6 +669,19 @@ int run(int argc, char** argv) {
                 static_cast<unsigned long long>(e0.misses()));
     for (std::size_t i = 1; i < rows.size(); ++i) print_event_human(rows[i]);
     if (!sim_human.empty()) std::printf("%s", sim_human.c_str());
+    if (lint) {
+      std::size_t errors = 0, warnings = 0, notes = 0;
+      for (const LintFinding& f : lint_report.findings) {
+        if (f.severity == LintSeverity::kError) ++errors;
+        else if (f.severity == LintSeverity::kWarning) ++warnings;
+        else ++notes;
+      }
+      std::printf("\nlint: %zu error(s), %zu warning(s), %zu note(s)\n",
+                  errors, warnings, notes);
+      if (!lint_report.findings.empty()) {
+        std::printf("%s", lint_report.to_string().c_str());
+      }
+    }
 
     std::printf("\nstate placement:\n");
     for (const auto& [var, sw] : r.pr.placement.switch_of) {
@@ -677,6 +708,7 @@ int run(int argc, char** argv) {
                   prog.code.size(), prog.disassemble().c_str());
     }
   }
+  if (lint && lint_report.has_errors()) return 5;
   return 0;
 }
 
