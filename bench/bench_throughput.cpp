@@ -9,8 +9,15 @@
 //      deliveries and final merged state must be byte-identical to
 //      Network::inject_batch on a fresh deployment of the same delta.
 //   2. Throughput: a Figure-11-style composite policy under the "mixed"
-//      scenario at >= 100k packets, timed through the serial path, the
-//      deterministic engine, and the free-running engine; pps for each.
+//      scenario at >= 100k packets, timed through the burst-oriented
+//      serial datapath (sim::BurstPipeline — SoA bursts, vectorized
+//      classification; this is pps.serial), the scalar per-packet
+//      reference (inject_batch, pps.serial_scalar), the deterministic
+//      engine, and the free-running engine. --repeat N reruns each timed
+//      phase on a fresh deployment and reports the median. Per-mode heap
+//      allocation counts come from a global operator-new counter in this
+//      TU; the burst path's steady state (warmed pipeline, second run)
+//      must report zero growth events.
 //   3. Event under load: the same composite stream with a mid-run policy
 //      change and a switch failure adopted live (run_live's epoch swap);
 //      per event the swap and first-packet-on-new-rules latencies, vs the
@@ -19,22 +26,65 @@
 //      (drain -> Network::apply -> resume).
 //
 // --check turns the invariants into a gate (used by tools/ci.sh):
-//   corpus + composite + live equivalence, >= 100k packets end-to-end,
-//   nonzero state churn, nonzero deliveries, every live event adopted
-//   mid-stream. --json FILE emits the measured numbers
-//   (BENCH_throughput.json in CI, including the event_latency block) so
-//   later PRs have a perf trajectory to regress against.
+//   corpus + composite + burst + live equivalence, >= 100k packets
+//   end-to-end, nonzero state churn, nonzero deliveries, zero
+//   steady-state burst allocations, every live event adopted mid-stream.
+//   --json FILE emits the measured numbers (BENCH_throughput.json in CI,
+//   including cores/burst/allocs and the event_latency block) so later
+//   PRs have a perf trajectory to regress against.
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <limits>
+#include <new>
+#include <thread>
 
 #include "bench_common.h"
 #include "compiler/session.h"
 #include "dataplane/network.h"
+#include "sim/burst.h"
 #include "sim/engine.h"
 #include "sim/workload.h"
 #include "util/timer.h"
+
+// Global allocation counter: every operator-new call in the process is
+// counted, so a phase's delta is its true heap traffic (worker threads
+// included — the counter is relaxed-atomic). Frees are uncounted; the
+// bench reports allocation pressure, not live bytes.
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t al) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t a = static_cast<std::size_t>(al);
+  if (void* p = std::aligned_alloc(a, (n + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t al) {
+  return ::operator new(n, al);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace snap {
 namespace {
@@ -45,11 +95,17 @@ std::size_t state_entries(const Store& st) {
   return n;
 }
 
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
 struct Args {
   std::size_t packets = 120000;
   std::size_t corpus_packets = 1500;
   int workers = 2;
-  int batch = 0;  // 0 = engine default
+  int burst = 0;   // 0 = engine/trace defaults
+  int repeat = 1;  // timed phases: median of N runs
   bool check = false;
   std::string json_file;
 };
@@ -65,6 +121,7 @@ int run(const Args& args) {
   TrafficMatrix tm = bench::default_traffic(topo, 1);
   auto subnets = apps::default_subnets(topo.ports());
   bool all_equivalent = true;
+  const int repeat = std::max(1, args.repeat);
 
   // Phase 1: serial-vs-sharded equivalence over the policy corpus.
   std::printf("\n-- corpus equivalence (%zu packets each, %d workers,"
@@ -85,7 +142,7 @@ int run(const Args& args) {
 
     sim::EngineOptions opts;
     opts.workers = args.workers;
-    if (args.batch > 0) opts.batch = args.batch;
+    if (args.burst > 0) opts.burst = args.burst;
     opts.deterministic = true;
     sim::TrafficEngine engine(ev.delta, opts);
     auto engine_out = engine.run(wl);
@@ -113,71 +170,164 @@ int run(const Args& args) {
   const sim::Scenario* mixed = sim::find_scenario("mixed");
   sim::Workload wl = gen.generate(*mixed, args.packets);
   auto batch = sim::as_injection_batch(wl);  // built outside the timed run
+  const int trace_burst = args.burst > 0 ? args.burst : sim::kMaxBurst;
+  sim::BurstTrace bt = sim::make_bursts(wl, trace_burst);
 
   std::printf("\n-- throughput (composite policy, mixed scenario, %zu"
-              " packets) --\n", args.packets);
+              " packets, median of %d) --\n",
+              args.packets, repeat);
 
-  Network serial(ev.delta);
-  Timer t;
-  auto serial_out = serial.inject_batch(batch);
-  double serial_s = t.seconds();
-  double serial_pps = static_cast<double>(args.packets) / serial_s;
-  std::printf("%-28s %12.0f pps  (%.3fs, %zu deliveries)\n",
-              "serial inject_batch", serial_pps, serial_s,
-              serial_out.size());
+  // Scalar per-packet reference (the committed baseline's serial path).
+  std::vector<double> scalar_pps_runs;
+  std::vector<Network::Delivery> serial_out;
+  Store serial_state;
+  std::uint64_t scalar_allocs = 0;
+  for (int r = 0; r < repeat; ++r) {
+    Network serial(ev.delta);
+    const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+    Timer t;
+    auto out = serial.inject_batch(batch);
+    double s = t.seconds();
+    scalar_pps_runs.push_back(static_cast<double>(args.packets) / s);
+    if (r == 0) {
+      scalar_allocs = g_allocs.load(std::memory_order_relaxed) - a0;
+      serial_out = std::move(out);
+      serial_state = serial.merged_state();
+    }
+  }
+  const double scalar_pps = median(scalar_pps_runs);
+  std::printf("%-28s %12.0f pps  (%zu deliveries, %llu allocs)\n",
+              "serial scalar inject_batch", scalar_pps, serial_out.size(),
+              static_cast<unsigned long long>(scalar_allocs));
 
-  sim::EngineOptions det;
-  det.workers = args.workers;
-  if (args.batch > 0) det.batch = args.batch;
-  det.deterministic = true;
-  sim::TrafficEngine det_engine(ev.delta, det);
-  auto det_out = det_engine.run(wl);
-  const double det_pps = det_engine.stats().pps;
-  std::printf("%-28s %12.0f pps  (%.3fs, %llu cross-shard forwards,"
-              " batch %d, %llu/%llu mask-cache hits, %d direct switches)\n",
+  // Burst-oriented serial datapath: SoA bursts through the vectorized
+  // classifier; deliveries staged, materialized outside the timed region.
+  std::vector<double> burst_pps_runs;
+  std::vector<Network::Delivery> burst_out;
+  Store burst_state;
+  for (int r = 0; r < repeat; ++r) {
+    Network bnet(ev.delta);
+    sim::BurstPipeline pipe(bnet);
+    Timer t;
+    pipe.run(bt);
+    double s = t.seconds();
+    burst_pps_runs.push_back(static_cast<double>(args.packets) / s);
+    if (r == 0) {
+      burst_out = pipe.take_deliveries();
+      burst_state = bnet.merged_state();
+    } else {
+      pipe.discard_staged();
+    }
+  }
+  const double burst_pps = median(burst_pps_runs);
+  // Steady-state allocation proof: a warmed pipeline's second run over the
+  // same trace must report zero heap-growth events (the state it doubles
+  // is thrown away with this network).
+  std::uint64_t burst_steady_allocs = 0;
+  {
+    Network n2(ev.delta);
+    sim::BurstPipeline p2(n2);
+    p2.run(bt);
+    p2.discard_staged();
+    p2.run(bt);
+    burst_steady_allocs = p2.last_run_allocs();
+    p2.discard_staged();
+  }
+  bool burst_equivalent =
+      serial_out == burst_out && serial_state == burst_state;
+  all_equivalent = all_equivalent && burst_equivalent;
+  std::printf("%-28s %12.0f pps  (burst %d, %zu deliveries,"
+              " %llu steady allocs, %s)\n",
+              "serial burst pipeline", burst_pps, bt.burst,
+              burst_out.size(),
+              static_cast<unsigned long long>(burst_steady_allocs),
+              burst_equivalent ? "byte-identical" : "MISMATCH");
+
+  std::vector<double> det_pps_runs;
+  std::vector<Network::Delivery> det_out;
+  Store det_state;
+  sim::SimStats det_stats;
+  std::uint64_t det_allocs = 0;
+  for (int r = 0; r < repeat; ++r) {
+    sim::EngineOptions det;
+    det.workers = args.workers;
+    if (args.burst > 0) det.burst = args.burst;
+    det.deterministic = true;
+    sim::TrafficEngine det_engine(ev.delta, det);
+    const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+    auto out = det_engine.run(wl);
+    det_pps_runs.push_back(det_engine.stats().pps);
+    if (r == 0) {
+      det_allocs = g_allocs.load(std::memory_order_relaxed) - a0;
+      det_out = std::move(out);
+      det_state = det_engine.network().merged_state();
+      det_stats = det_engine.stats();
+    }
+  }
+  const double det_pps = median(det_pps_runs);
+  std::printf("%-28s %12.0f pps  (%llu cross-shard forwards, burst %d,"
+              " %llu/%llu mask-cache hits, %d direct switches,"
+              " %llu allocs)\n",
               "engine (deterministic)", det_pps,
-              det_engine.stats().seconds,
-              static_cast<unsigned long long>(det_engine.stats().forwards),
-              det_engine.stats().batch,
-              static_cast<unsigned long long>(
-                  det_engine.stats().conflict_hits),
-              static_cast<unsigned long long>(
-                  det_engine.stats().conflict_hits +
-                  det_engine.stats().conflict_misses),
-              det_engine.stats().direct_switches);
+              static_cast<unsigned long long>(det_stats.forwards),
+              det_stats.burst,
+              static_cast<unsigned long long>(det_stats.conflict_hits),
+              static_cast<unsigned long long>(det_stats.conflict_hits +
+                                              det_stats.conflict_misses),
+              det_stats.direct_switches,
+              static_cast<unsigned long long>(det_allocs));
 
   // Deterministic again, but on a single worker: every packet is confined
   // (ingress worker == every owner worker), so the conflict gate never
   // blocks and the serial order pipelines through one ring gate-free —
   // the honest deterministic ceiling on a 1-core box.
-  sim::EngineOptions det1;
-  det1.workers = 1;
-  if (args.batch > 0) det1.batch = args.batch;
-  det1.deterministic = true;
-  sim::TrafficEngine det1_engine(ev.delta, det1);
-  auto det1_out = det1_engine.run(wl);
-  const double det1_pps = det1_engine.stats().pps;
-  std::printf("%-28s %12.0f pps  (%.3fs, confined single-worker)\n",
-              "engine (det, 1 worker)", det1_pps,
-              det1_engine.stats().seconds);
+  std::vector<double> det1_pps_runs;
+  std::vector<Network::Delivery> det1_out;
+  Store det1_state;
+  for (int r = 0; r < repeat; ++r) {
+    sim::EngineOptions det1;
+    det1.workers = 1;
+    if (args.burst > 0) det1.burst = args.burst;
+    det1.deterministic = true;
+    sim::TrafficEngine det1_engine(ev.delta, det1);
+    auto out = det1_engine.run(wl);
+    det1_pps_runs.push_back(det1_engine.stats().pps);
+    if (r == 0) {
+      det1_out = std::move(out);
+      det1_state = det1_engine.network().merged_state();
+    }
+  }
+  const double det1_pps = median(det1_pps_runs);
+  std::printf("%-28s %12.0f pps  (confined single-worker)\n",
+              "engine (det, 1 worker)", det1_pps);
 
-  sim::EngineOptions fr;
-  fr.workers = args.workers;
-  if (args.batch > 0) fr.batch = args.batch;
-  fr.deterministic = false;
-  sim::TrafficEngine fr_engine(ev.delta, fr);
-  auto fr_out = fr_engine.run(wl);
-  const double fr_pps = fr_engine.stats().pps;
-  std::printf("%-28s %12.0f pps  (%.3fs, %zu deliveries)\n",
-              "engine (free-running)", fr_pps, fr_engine.stats().seconds,
-              fr_out.size());
+  std::vector<double> fr_pps_runs;
+  std::size_t fr_deliveries = 0;
+  std::uint64_t fr_allocs = 0;
+  for (int r = 0; r < repeat; ++r) {
+    sim::EngineOptions fr;
+    fr.workers = args.workers;
+    if (args.burst > 0) fr.burst = args.burst;
+    fr.deterministic = false;
+    sim::TrafficEngine fr_engine(ev.delta, fr);
+    const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+    auto out = fr_engine.run(wl);
+    fr_pps_runs.push_back(fr_engine.stats().pps);
+    if (r == 0) {
+      fr_allocs = g_allocs.load(std::memory_order_relaxed) - a0;
+      fr_deliveries = out.size();
+    }
+  }
+  const double fr_pps = median(fr_pps_runs);
+  std::printf("%-28s %12.0f pps  (%zu deliveries, %llu allocs)\n",
+              "engine (free-running)", fr_pps, fr_deliveries,
+              static_cast<unsigned long long>(fr_allocs));
 
-  bool big_equivalent =
-      serial_out == det_out && serial_out == det1_out &&
-      serial.merged_state() == det_engine.network().merged_state() &&
-      serial.merged_state() == det1_engine.network().merged_state();
+  bool big_equivalent = serial_out == det_out && serial_out == det1_out &&
+                        serial_state == det_state &&
+                        serial_state == det1_state;
   all_equivalent = all_equivalent && big_equivalent;
-  std::size_t churn = state_entries(det_engine.network().merged_state());
+  std::size_t churn = state_entries(det_state);
   std::printf("\nserial vs deterministic engine: %s; state rows: %zu\n",
               big_equivalent ? "byte-identical" : "MISMATCH", churn);
 
@@ -221,7 +371,11 @@ int run(const Args& args) {
     }
   }
 
-  sim::TrafficEngine live_engine(ev.delta, det);
+  sim::EngineOptions live_opts;
+  live_opts.workers = args.workers;
+  if (args.burst > 0) live_opts.burst = args.burst;
+  live_opts.deterministic = true;
+  sim::TrafficEngine live_engine(ev.delta, live_opts);
   auto live_out = live_engine.run_live(wl, schedule);
   const sim::SimStats& lst = live_engine.stats();
   bool live_equivalent =
@@ -269,11 +423,19 @@ int run(const Args& args) {
     out << std::setprecision(std::numeric_limits<double>::max_digits10)
         << "{\"packets\":" << args.packets
         << ",\"workers\":" << args.workers
-        << ",\"batch\":" << det_engine.stats().batch
-        << ",\"pps\":{\"serial\":" << serial_pps
+        << ",\"cores\":" << std::thread::hardware_concurrency()
+        << ",\"burst\":" << bt.burst
+        << ",\"repeat\":" << repeat
+        << ",\"pps\":{\"serial\":" << burst_pps
+        << ",\"serial_scalar\":" << scalar_pps
         << ",\"deterministic\":" << det_pps
         << ",\"deterministic_confined_w1\":" << det1_pps
         << ",\"free_running\":" << fr_pps << "}"
+        << ",\"allocs\":{\"serial_steady\":" << burst_steady_allocs
+        << ",\"serial_scalar\":" << scalar_allocs
+        << ",\"deterministic\":" << det_allocs
+        << ",\"deterministic_steady\":" << det_stats.steady_allocs
+        << ",\"free_running\":" << fr_allocs << "}"
         << ",\"deliveries\":" << det_out.size()
         << ",\"state_entries\":" << churn
         << ",\"corpus_policies_checked\":" << corpus_checked
@@ -293,7 +455,7 @@ int run(const Args& args) {
           << ",\"migrated_vars\":" << es.migrated_vars << "}";
     }
     out << "]}"
-        << ",\"stats\":" << det_engine.stats().to_json() << "}\n";
+        << ",\"stats\":" << det_stats.to_json() << "}\n";
     out.flush();
     if (!out.good()) {
       std::fprintf(stderr, "ERROR: failed to write %s\n",
@@ -306,12 +468,13 @@ int run(const Args& args) {
   if (args.check) {
     bool pass = all_equivalent && args.packets >= 100000 && churn > 0 &&
                 !det_out.empty() && corpus_checked == 11 &&
-                live_equivalent;
+                live_equivalent && burst_steady_allocs == 0;
     std::printf("\nCHECK %s (equivalent=%d packets=%zu churn=%zu"
-                " deliveries=%zu corpus=%zu live=%d)\n",
+                " deliveries=%zu corpus=%zu live=%d steady_allocs=%llu)\n",
                 pass ? "PASS" : "FAIL", all_equivalent ? 1 : 0,
                 args.packets, churn, det_out.size(), corpus_checked,
-                live_equivalent ? 1 : 0);
+                live_equivalent ? 1 : 0,
+                static_cast<unsigned long long>(burst_steady_allocs));
     return pass ? 0 : 1;
   }
   return 0;
@@ -337,17 +500,25 @@ int main(int argc, char** argv) {
           std::strtoull(need("--corpus-packets"), nullptr, 10));
     } else if (!std::strcmp(argv[i], "--workers")) {
       args.workers = std::atoi(need("--workers"));
-    } else if (!std::strcmp(argv[i], "--batch")) {
-      const char* arg = need("--batch");
+    } else if (!std::strcmp(argv[i], "--burst") ||
+               !std::strcmp(argv[i], "--batch")) {
+      const char* flag = argv[i];
+      const char* arg = need(flag);
       char* end = nullptr;
       long n = std::strtol(arg, &end, 10);
       if (end == arg || *end != '\0' || n < 1 ||
-          n > snap::sim::kMaxTaskBatch) {
-        std::fprintf(stderr, "bad --batch '%s' (want 1..%d)\n", arg,
-                     snap::sim::kMaxTaskBatch);
+          n > snap::sim::kMaxTaskBurst) {
+        std::fprintf(stderr, "bad %s '%s' (want 1..%d)\n", flag, arg,
+                     snap::sim::kMaxTaskBurst);
         return 2;
       }
-      args.batch = static_cast<int>(n);
+      args.burst = static_cast<int>(n);
+    } else if (!std::strcmp(argv[i], "--repeat")) {
+      args.repeat = std::atoi(need("--repeat"));
+      if (args.repeat < 1 || args.repeat > 99) {
+        std::fprintf(stderr, "bad --repeat (want 1..99)\n");
+        return 2;
+      }
     } else if (!std::strcmp(argv[i], "--check")) {
       args.check = true;
     } else if (!std::strcmp(argv[i], "--json")) {
@@ -355,8 +526,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_throughput [--packets N]"
-                   " [--corpus-packets N] [--workers W] [--batch N]"
-                   " [--check] [--json FILE]\n");
+                   " [--corpus-packets N] [--workers W] [--burst N]"
+                   " [--repeat N] [--check] [--json FILE]\n");
       return 2;
     }
   }

@@ -26,6 +26,15 @@ class Packet {
     for (const auto& [name, v] : fields) set(field_id(name), v);
   }
 
+  // Adopts an entry vector that is already sorted by FieldId with unique
+  // keys (unchecked). The burst datapath materializes TX packets straight
+  // from its sorted SoA columns through this instead of N set() searches.
+  static Packet from_sorted(std::vector<std::pair<FieldId, Value>> entries) {
+    Packet p;
+    p.fields_ = std::move(entries);
+    return p;
+  }
+
   std::optional<Value> get(FieldId f) const {
     auto it = lower_bound(f);
     if (it != fields_.end() && it->first == f) return it->second;

@@ -1,0 +1,175 @@
+// Batch (whole-burst) classification over the field-only xFDD prefix.
+//
+// Kept in its own translation unit on purpose: the column kernels below are
+// the code the vectorizer must handle at plain -O2 — no intrinsics, fixed
+// kLaneStride trip counts, __restrict pointers, uniform-width arithmetic
+// (presence is a full Value column, so pass = present & (cmp result) is one
+// lane-wise expression). tools/ci.sh compiles exactly this file with
+// -fopt-info-vec-optimized and requires the report to show vectorized
+// loops; keeping other code out of the TU keeps that gate precise.
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "netasm/decoded.h"
+#include "util/status.h"
+
+namespace snap {
+namespace netasm {
+
+namespace {
+
+// 64-bit lane equality as or/negate/shift: for x != 0, x | -x has the sign
+// bit set, so ((x | -x) >> 63) ^ 1 is the equality flag. A direct
+// `v[i] == cmp` needs a 64-bit vector compare the baseline x86-64 ISA
+// lacks (pcmpeqq is SSE4.1), which blocks vectorization at plain -O2;
+// this form uses only baseline vector ops.
+inline std::uint64_t eq_flag(std::uint64_t x) {
+  return ((x | (0ull - x)) >> 63) ^ 1ull;
+}
+
+void kernel_exact(const Value* __restrict v, const Value* __restrict p,
+                  Value cmp, Value* __restrict out) {
+  const auto c = static_cast<std::uint64_t>(cmp);
+  for (int i = 0; i < kLaneStride; ++i) {
+    out[i] = p[i] &
+             static_cast<Value>(eq_flag(static_cast<std::uint64_t>(v[i]) ^ c));
+  }
+}
+
+void kernel_mask(const Value* __restrict v, const Value* __restrict p,
+                 std::uint32_t mask, std::uint32_t cmp,
+                 Value* __restrict out) {
+  for (int i = 0; i < kLaneStride; ++i) {
+    out[i] =
+        p[i] & static_cast<Value>((static_cast<std::uint32_t>(v[i]) & mask) ==
+                                  cmp);
+  }
+}
+
+void kernel_any(const Value* __restrict p, Value* __restrict out) {
+  for (int i = 0; i < kLaneStride; ++i) out[i] = p[i];
+}
+
+void kernel_ff(const Value* __restrict v1, const Value* __restrict p1,
+               const Value* __restrict v2, const Value* __restrict p2,
+               Value* __restrict out) {
+  for (int i = 0; i < kLaneStride; ++i) {
+    out[i] = p1[i] & p2[i] &
+             static_cast<Value>(eq_flag(static_cast<std::uint64_t>(v1[i]) ^
+                                        static_cast<std::uint64_t>(v2[i])));
+  }
+}
+
+}  // namespace
+
+DirectXfdd::ClassifyPlan DirectXfdd::prepare_classify(
+    const std::vector<FieldId>& universe) const {
+  auto col_of = [&](FieldId f) -> std::int32_t {
+    auto it = std::lower_bound(universe.begin(), universe.end(), f);
+    if (it == universe.end() || *it != f) return -1;
+    return static_cast<std::int32_t>(it - universe.begin());
+  };
+  ClassifyPlan plan;
+  plan.col1.resize(steps_.size(), -1);
+  plan.col2.resize(steps_.size(), -1);
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    const DNode& n = nodes_[steps_[i].node];
+    plan.col1[i] = col_of(n.f1);
+    if (n.kind == DNode::Kind::kFF) plan.col2[i] = col_of(n.f2);
+  }
+  return plan;
+}
+
+void DirectXfdd::classify_burst(const ClassifyPlan& plan,
+                                const BurstCols& cols, std::uint64_t active,
+                                std::int32_t* terminal, std::uint16_t* instr,
+                                ClassifyScratch& scratch) const {
+  std::memset(instr, 0, sizeof(std::uint16_t) * kLaneStride);
+  if (steps_.empty()) {
+    // Root is already a terminal (state test or leaf) — no field prefix.
+    for (std::uint64_t m = active; m; m &= m - 1) {
+      terminal[std::countr_zero(m)] = root_dense_;
+    }
+    return;
+  }
+  // `pending` is self-cleaning: each slot is read then zeroed, and the
+  // topological step order guarantees writes only land on later slots, so
+  // the vector is all-zero again on exit and survives across calls.
+  if (scratch.pending.size() != steps_.size()) {
+    scratch.pending.assign(steps_.size(), 0);
+  }
+  Value* pass = scratch.pass;
+  auto route = [&](std::uint64_t lanes, std::int32_t tgt) {
+    if (!lanes) return;
+    if (tgt >= 0) {
+      scratch.pending[static_cast<std::size_t>(tgt)] |= lanes;
+    } else {
+      std::int32_t dense = -tgt - 1;
+      for (std::uint64_t m = lanes; m; m &= m - 1) {
+        terminal[std::countr_zero(m)] = dense;
+      }
+    }
+  };
+  scratch.pending[0] = active;
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    std::uint64_t m = scratch.pending[i];
+    scratch.pending[i] = 0;
+    if (!m) continue;
+    const FieldStep& s = steps_[i];
+    const DNode& n = nodes_[s.node];
+    std::int32_t c1 = plan.col1[i];
+    // One dense-column test for every surviving lane of this node.
+    switch (n.kind) {
+      case DNode::Kind::kFVExact:
+        if (c1 < 0) {
+          std::memset(pass, 0, sizeof(Value) * kLaneStride);
+        } else {
+          kernel_exact(cols.vals + c1 * kLaneStride,
+                       cols.present + c1 * kLaneStride, n.value, pass);
+        }
+        break;
+      case DNode::Kind::kFVMask:
+        if (c1 < 0) {
+          std::memset(pass, 0, sizeof(Value) * kLaneStride);
+        } else {
+          kernel_mask(cols.vals + c1 * kLaneStride,
+                      cols.present + c1 * kLaneStride, n.mask,
+                      static_cast<std::uint32_t>(n.value), pass);
+        }
+        break;
+      case DNode::Kind::kFVAny:
+        if (c1 < 0) {
+          std::memset(pass, 0, sizeof(Value) * kLaneStride);
+        } else {
+          kernel_any(cols.present + c1 * kLaneStride, pass);
+        }
+        break;
+      case DNode::Kind::kFF: {
+        std::int32_t c2 = plan.col2[i];
+        if (c1 < 0 || c2 < 0) {
+          std::memset(pass, 0, sizeof(Value) * kLaneStride);
+        } else {
+          kernel_ff(cols.vals + c1 * kLaneStride,
+                    cols.present + c1 * kLaneStride,
+                    cols.vals + c2 * kLaneStride,
+                    cols.present + c2 * kLaneStride, pass);
+        }
+        break;
+      }
+      default:
+        throw InternalError("non-field node in the classification schedule");
+    }
+    std::uint64_t hi = 0;
+    for (std::uint64_t mm = m; mm; mm &= mm - 1) {
+      int lane = std::countr_zero(mm);
+      ++instr[lane];  // one counted unit per branch node visited
+      hi |= static_cast<std::uint64_t>(pass[lane] != 0) << lane;
+    }
+    route(hi, s.hi_step);
+    route(m & ~hi, s.lo_step);
+  }
+}
+
+}  // namespace netasm
+}  // namespace snap

@@ -234,11 +234,12 @@ DecodedProgram::Outcome DecodedProgram::run(XfddId node, const Packet& pkt,
   }
 }
 
-DirectXfdd DirectXfdd::build(const XfddStore& store, XfddId root,
-                             const Placement& pl, int sw) {
-  DirectXfdd out;
+bool DirectXfdd::flatten(const XfddStore& store, XfddId root,
+                         const Placement* pl, int sw, DirectXfdd& out) {
   // First pass over the reachable diagram: assign dense indices in
-  // first-visit DFS order and bail out on any foreign state test.
+  // first-visit DFS order. With a placement filter, bail out on any
+  // foreign state test (the per-switch eligibility rule); without one
+  // (network mode) every reachable node is retained.
   std::map<XfddId, std::int32_t> index;
   std::vector<XfddId> order;
   std::vector<XfddId> stack{root};
@@ -251,15 +252,17 @@ DirectXfdd DirectXfdd::build(const XfddStore& store, XfddId root,
     if (store.is_leaf(id)) continue;
     const BranchNode& b = store.branch_node(id);
     if (const auto* st = std::get_if<TestState>(&b.test)) {
-      if (pl.at(st->var) != sw) return out;  // ineligible: could get stuck
+      if (pl && pl->at(st->var) != sw) {
+        return false;  // ineligible: could get stuck
+      }
     }
     stack.push_back(b.lo);
     stack.push_back(b.hi);
   }
-  // Second pass: flatten. hi/lo become dense indices; leaf-local write
-  // programs flatten into the shared op pool in exactly the order the
-  // assembler emits them (state_programs() order), so instruction counts
-  // and store-mutation order match the program path bit-for-bit.
+  // Second pass: flatten. hi/lo become dense indices; leaf write programs
+  // flatten into the shared op pool in exactly the order the assembler
+  // emits them (state_programs() order), so instruction counts and
+  // store-mutation order match the program path bit-for-bit.
   out.nodes_.reserve(order.size());
   out.entries_.reserve(order.size());
   for (XfddId id : order) {
@@ -270,7 +273,7 @@ DirectXfdd DirectXfdd::build(const XfddStore& store, XfddId root,
       n.ops_begin = static_cast<std::uint32_t>(out.ops_.size());
       for (const auto& [var, prog] :
            store.leaf_actions(id).state_programs()) {
-        if (pl.at(var) != sw) continue;
+        if (pl && pl->at(var) != sw) continue;
         for (const Action& op : prog) {
           DOp d{};
           std::visit(
@@ -332,8 +335,76 @@ DirectXfdd DirectXfdd::build(const XfddStore& store, XfddId root,
     out.nodes_.push_back(n);
   }
   for (const auto& [id, dense] : index) out.entries_.emplace_back(id, dense);
+  out.root_dense_ = index.at(root);
   out.eligible_ = true;
+  return true;
+}
+
+DirectXfdd DirectXfdd::build(const XfddStore& store, XfddId root,
+                             const Placement& pl, int sw) {
+  DirectXfdd out;
+  if (!flatten(store, root, &pl, sw, out)) return DirectXfdd{};
   return out;
+}
+
+DirectXfdd DirectXfdd::build_network(const XfddStore& store, XfddId root) {
+  DirectXfdd out;
+  flatten(store, root, /*pl=*/nullptr, /*sw=*/0, out);
+  out.build_field_steps();
+  return out;
+}
+
+void DirectXfdd::build_field_steps() {
+  steps_.clear();
+  if (root_dense_ < 0 || nodes_.empty()) return;
+  auto is_field = [&](std::int32_t dense) {
+    DNode::Kind k = nodes_[dense].kind;
+    return k == DNode::Kind::kFVExact || k == DNode::Kind::kFVMask ||
+           k == DNode::Kind::kFVAny || k == DNode::Kind::kFF;
+  };
+  if (!is_field(root_dense_)) return;  // empty schedule: root is terminal
+  // Reverse post-order DFS over the field-only prefix: for any field edge
+  // n -> m the traversal finishes m before n, so reversing the post list
+  // places every node before its field successors — the topological order
+  // classify_burst() sweeps.
+  std::vector<std::uint8_t> visited(nodes_.size(), 0);
+  std::vector<std::int32_t> post;
+  std::vector<std::pair<std::int32_t, int>> stack;  // (node, next child)
+  stack.emplace_back(root_dense_, 0);
+  visited[root_dense_] = 1;
+  while (!stack.empty()) {
+    auto& [cur, child] = stack.back();
+    const DNode& n = nodes_[cur];
+    std::int32_t next = -1;
+    while (child < 2) {
+      std::int32_t c = child == 0 ? n.hi : n.lo;
+      ++child;
+      if (is_field(c) && !visited[c]) {
+        next = c;
+        break;
+      }
+    }
+    if (next >= 0) {
+      visited[next] = 1;
+      stack.emplace_back(next, 0);
+    } else {
+      post.push_back(cur);
+      stack.pop_back();
+    }
+  }
+  std::vector<std::int32_t> step_of(nodes_.size(), -1);
+  steps_.resize(post.size());
+  for (std::size_t i = 0; i < post.size(); ++i) {
+    step_of[post[post.size() - 1 - i]] = static_cast<std::int32_t>(i);
+  }
+  for (std::size_t i = 0; i < post.size(); ++i) {
+    std::int32_t dense = post[post.size() - 1 - i];
+    const DNode& n = nodes_[dense];
+    FieldStep& s = steps_[i];
+    s.node = dense;
+    s.hi_step = is_field(n.hi) ? step_of[n.hi] : -(n.hi + 1);
+    s.lo_step = is_field(n.lo) ? step_of[n.lo] : -(n.lo + 1);
+  }
 }
 
 DecodedProgram::Outcome DirectXfdd::run(XfddId node, const Packet& pkt,

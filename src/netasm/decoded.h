@@ -39,7 +39,11 @@ struct DecodedExpr {
 
   // Evaluates into `out` (resized/overwritten). Returns false if the packet
   // lacks a referenced field — the same nullopt condition as Expr::eval.
-  bool eval_into(const Packet& pkt, ValueVec& out) const {
+  // Templated over the record type so the burst pipeline's SoA lane views
+  // (anything with Packet's get(FieldId) shape) evaluate through the same
+  // pre-filled slots.
+  template <typename PktT>
+  bool eval_into_t(const PktT& pkt, ValueVec& out) const {
     out = prefill;
     for (const auto& [slot, f] : fields) {
       auto v = pkt.get(f);
@@ -48,7 +52,16 @@ struct DecodedExpr {
     }
     return true;
   }
+
+  bool eval_into(const Packet& pkt, ValueVec& out) const {
+    return eval_into_t(pkt, out);
+  }
 };
+
+// The SoA lane stride classification kernels are written against. Matches
+// sim::kMaxBurst (static_asserted where the two layers meet) without making
+// netasm depend on sim headers.
+inline constexpr int kLaneStride = 64;
 
 class DecodedProgram {
  public:
@@ -132,24 +145,6 @@ class DecodedProgram {
 // eligible() == false and the engine falls back to the decoded program.
 class DirectXfdd {
  public:
-  // Flattens the diagram reachable from `root` for switch `sw`. When any
-  // reachable branch tests a state variable `pl` places elsewhere the
-  // result is ineligible (and otherwise empty).
-  static DirectXfdd build(const XfddStore& store, XfddId root,
-                          const Placement& pl, int sw);
-
-  DirectXfdd() = default;
-
-  bool eligible() const { return eligible_; }
-
-  // Drop-in for DecodedProgram::run on eligible switches: resumes at
-  // `node` (the root, an escape-resume branch, or a leaf re-entered for
-  // its local writes) and always resolves to a kLeaf outcome.
-  DecodedProgram::Outcome run(XfddId node, const Packet& pkt, Store& state,
-                              DecodedProgram::Scratch& scratch,
-                              std::uint64_t* executed) const;
-
- private:
   struct DOp {
     enum class Kind : std::uint8_t { kSet, kInc, kDec };
     Kind kind;
@@ -177,11 +172,99 @@ class DirectXfdd {
     std::uint32_t ops_begin = 0, ops_end = 0;  // kLeaf: local write span
   };
 
+  // Flattens the diagram reachable from `root` for switch `sw`. When any
+  // reachable branch tests a state variable `pl` places elsewhere the
+  // result is ineligible (and otherwise empty).
+  static DirectXfdd build(const XfddStore& store, XfddId root,
+                          const Placement& pl, int sw);
+
+  // Network-mode flattening for the burst pipeline: no per-switch
+  // placement filter (state tests of any owner are retained as kState
+  // nodes, leaf write spans carry every variable's ops in
+  // state_programs() order), plus the field-prefix step schedule
+  // classify_burst() walks. run() is not meant for network-mode objects —
+  // the pipeline interprets nodes()/ops() itself with owner attribution.
+  static DirectXfdd build_network(const XfddStore& store, XfddId root);
+
+  DirectXfdd() = default;
+
+  bool eligible() const { return eligible_; }
+
+  // Drop-in for DecodedProgram::run on eligible switches: resumes at
+  // `node` (the root, an escape-resume branch, or a leaf re-entered for
+  // its local writes) and always resolves to a kLeaf outcome.
+  DecodedProgram::Outcome run(XfddId node, const Packet& pkt, Store& state,
+                              DecodedProgram::Scratch& scratch,
+                              std::uint64_t* executed) const;
+
+  // ---- Batch classification over SoA bursts (network mode only) ----
+  //
+  // The field-only prefix of every path is switch- and state-independent
+  // (the TestOrder invariant puts all field tests before any state test),
+  // so a whole burst is classified per diagram level: each field node is
+  // tested once for all its surviving lanes with a dense column kernel
+  // (auto-vectorizable at plain -O2 — tools/ci.sh greps the compiler's
+  // vectorization report for this TU), and the lane set partitions into
+  // hi/lo survivors. Per lane the walk yields the first non-field node
+  // (state test or leaf) and the number of field nodes visited — the
+  // per-switch instruction contribution of the prefix.
+
+  // SoA columns of one burst: lane-major [field][kLaneStride] values and
+  // 0/1 presence, matching sim::PacketBurst's layout.
+  struct BurstCols {
+    const Value* vals = nullptr;
+    const Value* present = nullptr;
+  };
+
+  // Column indices of every classification step's fields under a concrete
+  // trace universe (-1 = field absent from the universe: the test fails
+  // for every lane). Build once per (classifier, trace) pair.
+  struct ClassifyPlan {
+    std::vector<std::int32_t> col1, col2;
+  };
+
+  // Reusable per-run scratch; sized lazily to the step schedule.
+  struct ClassifyScratch {
+    std::vector<std::uint64_t> pending;
+    alignas(64) Value pass[kLaneStride] = {};
+  };
+
+  ClassifyPlan prepare_classify(const std::vector<FieldId>& universe) const;
+
+  // Classifies the lanes of `active` (bitmask): writes terminal[lane] =
+  // dense index of the first non-field node on the lane's path and
+  // instr[lane] = field nodes visited. Lanes outside `active` are left
+  // untouched (instr is zeroed for all kLaneStride lanes).
+  void classify_burst(const ClassifyPlan& plan, const BurstCols& cols,
+                      std::uint64_t active, std::int32_t* terminal,
+                      std::uint16_t* instr, ClassifyScratch& scratch) const;
+
+  // Read-only structure access for the burst pipeline's suffix walk.
+  const std::vector<DNode>& nodes() const { return nodes_; }
+  const std::vector<DOp>& ops() const { return ops_; }
+  const std::vector<DecodedExpr>& exprs() const { return exprs_; }
+  std::int32_t dense_root() const { return root_dense_; }
+
+ private:
+  // One field node in classification (topological) order: successors
+  // resolve either to a later step (>= 0) or to a terminal encoded as
+  // -(dense + 1).
+  struct FieldStep {
+    std::int32_t node = -1;  // dense index
+    std::int32_t hi_step = -1, lo_step = -1;
+  };
+
+  static bool flatten(const XfddStore& store, XfddId root,
+                      const Placement* pl, int sw, DirectXfdd& out);
+  void build_field_steps();
+
   bool eligible_ = false;
   std::vector<DNode> nodes_;  // reachable nodes only, densely indexed
   std::vector<DOp> ops_;      // flat pool of leaf-local write ops
   std::vector<DecodedExpr> exprs_;
   std::vector<std::pair<XfddId, std::int32_t>> entries_;  // sorted by id
+  std::vector<FieldStep> steps_;  // network mode: field-prefix schedule
+  std::int32_t root_dense_ = -1;
 };
 
 }  // namespace netasm

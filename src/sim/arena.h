@@ -1,0 +1,126 @@
+// Chunked bump allocation for the burst datapath.
+//
+// The burst pipeline's working memory — SoA packet columns, classification
+// scratch, staged TX records — is either alive for a whole trace or for a
+// whole burst, never per packet. A bump arena matches that lifetime
+// exactly: allocation is a pointer add inside the current chunk, freeing is
+// resetting the cursor, and the only time the heap is touched is when a
+// chunk fills (a refill). The refill counter is the proof obligation the
+// ISSUE's zero-allocation claim rides on: after the pipeline has sized its
+// buffers, a steady-state run performs zero refills, and SimStats /
+// BurstPipeline::steady_allocs() surface the count so tests and the bench
+// can assert it stays zero instead of trusting the code path by eye.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace snap {
+namespace sim {
+
+class Arena {
+ public:
+  // `chunk_bytes` is the granularity of refills; allocations larger than a
+  // chunk get a dedicated chunk of their own size.
+  explicit Arena(std::size_t chunk_bytes = 1 << 20)
+      : chunk_bytes_(chunk_bytes) {}
+
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Uninitialized storage for `n` objects of T, aligned for T. T must be
+  // trivially destructible — the arena never runs destructors.
+  template <typename T>
+  T* alloc(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without destructors");
+    return static_cast<T*>(alloc_bytes(n * sizeof(T), alignof(T)));
+  }
+
+  void* alloc_bytes(std::size_t bytes, std::size_t align) {
+    std::uintptr_t p = reinterpret_cast<std::uintptr_t>(cursor_);
+    std::uintptr_t aligned = (p + (align - 1)) & ~(align - 1);
+    if (aligned + bytes > reinterpret_cast<std::uintptr_t>(end_)) {
+      refill(bytes + align);
+      p = reinterpret_cast<std::uintptr_t>(cursor_);
+      aligned = (p + (align - 1)) & ~(align - 1);
+    }
+    cursor_ = reinterpret_cast<std::byte*>(aligned + bytes);
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  // Rewinds to empty but keeps every chunk, so a reset+refill cycle over
+  // the same working set never touches the heap. Only the first chunk is
+  // reused directly; reset() is meant for arenas whose first chunk was
+  // sized to the steady-state working set (use reserve()).
+  void reset() {
+    chunk_ = 0;
+    if (!chunks_.empty()) {
+      cursor_ = chunks_[0].data.get();
+      end_ = cursor_ + chunks_[0].size;
+    }
+  }
+
+  // Pre-sizes the arena so the next `bytes` of allocation cause no refill.
+  void reserve(std::size_t bytes) {
+    if (chunks_.empty() && bytes > 0) {
+      chunks_.push_back(make_chunk(bytes));
+      cursor_ = chunks_[0].data.get();
+      end_ = cursor_ + bytes;
+    }
+  }
+
+  // Heap trips taken after construction/reserve: the steady-state
+  // allocation counter. reserve()'s initial chunk is not counted.
+  std::uint64_t refills() const { return refills_; }
+
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const auto& c : chunks_) total += c.size;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  static Chunk make_chunk(std::size_t size) {
+    return Chunk{std::make_unique<std::byte[]>(size), size};
+  }
+
+  void refill(std::size_t at_least) {
+    std::size_t size = at_least > chunk_bytes_ ? at_least : chunk_bytes_;
+    // Advance into an existing spare chunk if one is large enough
+    // (reset() parked us at chunk 0); that path never touches the heap and
+    // is not a refill for counting purposes.
+    while (chunk_ + 1 < chunks_.size()) {
+      ++chunk_;
+      if (chunks_[chunk_].size >= at_least) {
+        cursor_ = chunks_[chunk_].data.get();
+        end_ = cursor_ + chunks_[chunk_].size;
+        return;
+      }
+    }
+    ++refills_;
+    chunks_.push_back(make_chunk(size));
+    chunk_ = chunks_.size() - 1;
+    cursor_ = chunks_[chunk_].data.get();
+    end_ = cursor_ + size;
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_ = 0;
+  std::byte* cursor_ = nullptr;
+  std::byte* end_ = nullptr;
+  std::uint64_t refills_ = 0;
+};
+
+}  // namespace sim
+}  // namespace snap

@@ -1,0 +1,396 @@
+#include "sim/burst.h"
+
+#include <algorithm>
+
+#include "lang/field.h"
+#include "util/status.h"
+
+namespace snap {
+namespace sim {
+
+using DNode = netasm::DirectXfdd::DNode;
+using DOp = netasm::DirectXfdd::DOp;
+
+std::optional<Value> BurstPipeline::LaneView::get(FieldId f) const {
+  auto it = std::lower_bound(fields->begin(), fields->end(), f);
+  if (it == fields->end() || *it != f) return std::nullopt;
+  int col = static_cast<int>(it - fields->begin());
+  if (!b->col_present(col)[lane]) return std::nullopt;
+  return b->col_vals(col)[lane];
+}
+
+BurstPipeline::BurstPipeline(Network& net)
+    : net_(net),
+      cls_(netasm::DirectXfdd::build_network(net.store(), net.root())) {
+  nsw_ = net.topo().num_switches();
+  guard_budget_ = nsw_ * 4 + 16;
+  exec_local_.assign(static_cast<std::size_t>(nsw_), 0);
+  link_local_.assign(net.topo().links().size(), 0);
+  applied_stamp_.assign(static_cast<std::size_t>(nsw_), 0);
+
+  for (const auto& [var, sw] : net.placement().switch_of) {
+    if (var >= owner_.size()) owner_.resize(var + 1, -1);
+    owner_[var] = sw;
+  }
+  for (PortId p : net.topo().ports()) {
+    if (p < 0) continue;
+    if (static_cast<std::size_t>(p) >= port_sw_.size()) {
+      port_sw_.resize(static_cast<std::size_t>(p) + 1, -1);
+    }
+    port_sw_[static_cast<std::size_t>(p)] = net.topo().port_switch(p);
+  }
+
+  const FieldId outport_f = fields::outport();
+  const auto& nodes = cls_.nodes();
+  leaf_info_.resize(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].kind != DNode::Kind::kLeaf) continue;
+    LeafInfo& li = leaf_info_[i];
+    const ActionSet& as = net.store().leaf_actions(nodes[i].leaf);
+    for (const auto& [var, ops] : as.state_programs()) {
+      li.write_vars.emplace_back(var, owner_of(var));
+    }
+    std::sort(li.write_vars.begin(), li.write_vars.end(),
+              [&](const auto& a, const auto& b) {
+                int ra = net.order().state_rank(a.first);
+                int rb = net.order().state_rank(b.first);
+                return ra != rb ? ra < rb : a.first < b.first;
+              });
+    for (const ActionSeq& seq : as.seqs()) {
+      if (seq.is_drop()) continue;
+      SeqInfo si;
+      si.mods = seq.mods();
+      for (std::size_t m = 0; m < si.mods.size(); ++m) {
+        if (si.mods[m].first == outport_f) {
+          si.outport_mod = static_cast<std::int32_t>(m);
+        }
+      }
+      li.seqs.push_back(std::move(si));
+    }
+  }
+
+  build_dest_chains();
+}
+
+BurstPipeline::Chain BurstPipeline::build_chain(
+    int from, int target, PortId inport,
+    std::optional<PortId> egress) const {
+  Chain c;
+  int sw = from;
+  // Replay decrements one guard per link; any guard starts at
+  // guard_budget_, so a chain this long always throws mid-walk before the
+  // replay can run off its end (a routing cycle cannot spin forever here).
+  const int cap = guard_budget_ + 1;
+  while (sw != target) {
+    int nxt;
+    try {
+      nxt = net_.next_hop(sw, target, inport, egress);
+    } catch (const InternalError&) {
+      c.status = Chain::Status::kNoRoute;
+      return c;
+    }
+    int l = net_.topo().link_index(sw, nxt);
+    if (l < 0) {
+      c.status = Chain::Status::kMissingLink;
+      return c;
+    }
+    c.links.push_back(l);
+    sw = nxt;
+    if (static_cast<int>(c.links.size()) >= cap) break;
+  }
+  return c;
+}
+
+void BurstPipeline::build_dest_chains() {
+  // Stuck-packet and write walks route purely over the destination tables
+  // (the (u,v) path preference needs an egress, which those walks lack),
+  // so one chain per (source, target) pair covers every lane. Built
+  // eagerly: the datapath then never allocates for routing.
+  dest_chains_.resize(static_cast<std::size_t>(nsw_) * nsw_);
+  for (int from = 0; from < nsw_; ++from) {
+    for (int to = 0; to < nsw_; ++to) {
+      if (from == to) continue;
+      dest_chains_[static_cast<std::size_t>(from) * nsw_ + to] =
+          build_chain(from, to, /*inport=*/0, std::nullopt);
+    }
+  }
+}
+
+const BurstPipeline::Chain& BurstPipeline::egress_chain(int from, int esw,
+                                                        PortId inport,
+                                                        PortId egress) {
+  auto key = std::make_tuple(from, inport, egress);
+  auto it = egress_chains_.find(key);
+  if (it == egress_chains_.end()) {
+    it = egress_chains_.emplace(key, build_chain(from, esw, inport, egress))
+             .first;
+  }
+  return it->second;
+}
+
+void BurstPipeline::throw_guard(GuardKind kind) {
+  // Byte-identical to the serial SNAP_CHECK sites (the macro stringifies
+  // each phase's guard variable into the message).
+  switch (kind) {
+    case GuardKind::kResolve:
+      throw InternalError(
+          "packet walked too long while resolving state (--guard > 0)");
+    case GuardKind::kWrite:
+      throw InternalError(
+          "packet walked too long while writing state (--wguard > 0)");
+    case GuardKind::kEgress:
+      throw InternalError("packet walked too long to egress (--copy_guard > 0)");
+  }
+  throw InternalError("unknown guard kind");
+}
+
+void BurstPipeline::walk_chain(const Chain& c, int& guard, GuardKind kind) {
+  for (std::int32_t l : c.links) {
+    ++hops_local_;
+    ++link_local_[static_cast<std::size_t>(l)];
+    if (--guard <= 0) throw_guard(kind);
+  }
+  if (c.status == Chain::Status::kNoRoute) {
+    int nxt = -1;
+    SNAP_CHECK(nxt >= 0, "no route toward state switch");
+  } else if (c.status == Chain::Status::kMissingLink) {
+    int l = -1;
+    SNAP_CHECK(l >= 0, "forwarding over a missing link");
+  }
+}
+
+void BurstPipeline::exec_leaf_local(const DNode& n, int sw,
+                                    const LaneView& pkt) {
+  const auto& xops = cls_.ops();
+  const auto& exprs = cls_.exprs();
+  std::uint64_t cnt = 0;
+  Store* st = nullptr;
+  for (std::uint32_t o = n.ops_begin; o < n.ops_end; ++o) {
+    const DOp& op = xops[o];
+    if (owner_of(op.var) != sw) continue;  // foreign var: not in sw's program
+    ++cnt;
+    if (!st) st = &net_.switch_at(sw).state();
+    if (op.kind == DOp::Kind::kSet) {
+      if (!exprs[static_cast<std::size_t>(op.index)].eval_into_t(
+              pkt, scratch_.index) ||
+          !exprs[static_cast<std::size_t>(op.vexpr)].eval_into_t(
+              pkt, scratch_.value) ||
+          scratch_.value.size() != 1) {
+        throw CompileError("state update on " + state_var_name(op.var) +
+                           " references an absent field");
+      }
+      st->set(op.var, scratch_.index, scratch_.value[0]);
+    } else {
+      if (!exprs[static_cast<std::size_t>(op.index)].eval_into_t(
+              pkt, scratch_.index)) {
+        throw CompileError("state increment on " + state_var_name(op.var) +
+                           " references an absent field");
+      }
+      Value v = st->get(op.var, scratch_.index);
+      st->set(op.var, scratch_.index,
+              op.kind == DOp::Kind::kInc ? v + 1 : v - 1);
+    }
+  }
+  ++cnt;  // the implicit ILeafDone
+  exec_local_[static_cast<std::size_t>(sw)] += cnt;
+}
+
+void BurstPipeline::run_lane(const PacketBurst& b, int lane) {
+  LaneView pkt{&trace_->fields, &b, lane};
+  const PortId inport = b.inport[lane];
+  int sw = port_switch_or(inport, -1);
+  if (sw < 0) sw = net_.topo().port_switch(inport);  // throws, serial text
+
+  // Phase 1: resolve the diagram. The field prefix was classified for the
+  // whole burst; its instructions belong to the ingress switch.
+  exec_local_[static_cast<std::size_t>(sw)] += instr_[lane];
+  std::int32_t cur = terminal_[lane];
+  int guard = guard_budget_;
+  const auto& nodes = cls_.nodes();
+  const auto& exprs = cls_.exprs();
+  for (;;) {
+    const DNode& n = nodes[static_cast<std::size_t>(cur)];
+    if (n.kind == DNode::Kind::kLeaf) break;
+    if (n.kind == DNode::Kind::kState) {
+      int target = owner_of(n.var);
+      if (target == sw) {
+        ++exec_local_[static_cast<std::size_t>(sw)];
+        bool pass =
+            exprs[static_cast<std::size_t>(n.index)].eval_into_t(
+                pkt, scratch_.index) &&
+            exprs[static_cast<std::size_t>(n.vexpr)].eval_into_t(
+                pkt, scratch_.value) &&
+            scratch_.value.size() == 1 &&
+            net_.switch_at(sw).state().get(n.var, scratch_.index) ==
+                scratch_.value[0];
+        cur = pass ? n.hi : n.lo;
+      } else {
+        // The per-switch program holds an IEscape here: one instruction at
+        // the current switch, then the stuck walk toward the owner.
+        ++exec_local_[static_cast<std::size_t>(sw)];
+        SNAP_CHECK(--guard > 0,
+                   "packet walked too long while resolving state");
+        SNAP_CHECK(target >= 0, "stuck on an unplaced state variable");
+        walk_chain(dest_chains_[static_cast<std::size_t>(sw) * nsw_ + target],
+                   guard, GuardKind::kResolve);
+        sw = target;  // resume: the test re-executes, now local
+      }
+    } else {
+      // Field node past the classified prefix — TestOrder forbids this,
+      // but evaluate scalar rather than assume.
+      ++exec_local_[static_cast<std::size_t>(sw)];
+      bool pass = false;
+      switch (n.kind) {
+        case DNode::Kind::kFVExact: {
+          auto v = pkt.get(n.f1);
+          pass = v && *v == n.value;
+          break;
+        }
+        case DNode::Kind::kFVMask: {
+          auto v = pkt.get(n.f1);
+          pass = v && (static_cast<std::uint32_t>(*v) & n.mask) ==
+                          static_cast<std::uint32_t>(n.value);
+          break;
+        }
+        case DNode::Kind::kFVAny:
+          pass = pkt.has(n.f1);
+          break;
+        default: {
+          auto v1 = pkt.get(n.f1);
+          auto v2 = pkt.get(n.f2);
+          pass = v1 && v2 && *v1 == *v2;
+          break;
+        }
+      }
+      cur = pass ? n.hi : n.lo;
+    }
+  }
+
+  // The resolving switch applies its own leaf writes as part of run().
+  const DNode& leaf = nodes[static_cast<std::size_t>(cur)];
+  exec_leaf_local(leaf, sw, pkt);
+
+  // Phase 2: remaining owners apply their writes in dependency order.
+  const LeafInfo& li = leaf_info_[static_cast<std::size_t>(cur)];
+  ++stamp_;
+  applied_stamp_[static_cast<std::size_t>(sw)] = stamp_;
+  for (const auto& [var, owner] : li.write_vars) {
+    SNAP_CHECK(owner >= 0, "leaf writes an unplaced state variable");
+    if (applied_stamp_[static_cast<std::size_t>(owner)] == stamp_) continue;
+    // Fresh per-walk budget, exactly like the serial phase 2.
+    int wguard = guard_budget_;
+    walk_chain(dest_chains_[static_cast<std::size_t>(sw) * nsw_ + owner],
+               wguard, GuardKind::kWrite);
+    sw = owner;
+    exec_leaf_local(leaf, sw, pkt);
+    applied_stamp_[static_cast<std::size_t>(owner)] = stamp_;
+  }
+
+  // Phase 3: forward each surviving copy to its egress port.
+  for (const SeqInfo& seq : li.seqs) {
+    std::optional<Value> v;
+    if (seq.outport_mod >= 0) {
+      v = seq.mods[static_cast<std::size_t>(seq.outport_mod)].second;
+    } else if (outport_col_ >= 0 &&
+               b.col_present(outport_col_)[lane]) {
+      v = b.col_vals(outport_col_)[lane];
+    }
+    if (!v) continue;  // no egress assigned: dropped at the edge
+    auto egress = static_cast<PortId>(*v);
+    int esw = port_switch_or(egress, -1);
+    if (esw < 0) continue;  // egress port does not exist: dropped
+    int copy_guard = guard_budget_;
+    walk_chain(egress_chain(sw, esw, inport, egress), copy_guard,
+               GuardKind::kEgress);
+    staged_.push_back(
+        {egress, &b, static_cast<std::uint16_t>(lane), &seq});
+  }
+}
+
+void BurstPipeline::run_burst(const PacketBurst& b) {
+  std::uint64_t active =
+      b.n >= 64 ? ~0ull : ((1ull << b.n) - 1);
+  cls_.classify_burst(plan_, {b.vals, b.present}, active, terminal_, instr_,
+                      cscratch_);
+  for (int lane = 0; lane < b.n; ++lane) run_lane(b, lane);
+}
+
+void BurstPipeline::run(const BurstTrace& trace) {
+  trace_ = &trace;
+  std::uint64_t allocs = 0;
+  if (plan_universe_ != trace.fields) {
+    plan_universe_ = trace.fields;
+    plan_ = cls_.prepare_classify(plan_universe_);
+    ++allocs;
+  }
+  {
+    const FieldId outport_f = fields::outport();
+    auto it = std::lower_bound(trace.fields.begin(), trace.fields.end(),
+                               outport_f);
+    outport_col_ = (it != trace.fields.end() && *it == outport_f)
+                       ? static_cast<std::int32_t>(it - trace.fields.begin())
+                       : -1;
+  }
+  const std::size_t staged_cap = staged_.capacity();
+  const std::size_t chains = egress_chains_.size();
+  try {
+    for (const PacketBurst& b : trace.bursts) run_burst(b);
+  } catch (...) {
+    flush_counters();  // partial counts, like the serial path's eager ones
+    throw;
+  }
+  flush_counters();
+  if (staged_.capacity() != staged_cap) ++allocs;
+  allocs += egress_chains_.size() - chains;
+  last_run_allocs_ = allocs;
+}
+
+void BurstPipeline::flush_counters() {
+  for (int sw = 0; sw < nsw_; ++sw) {
+    std::uint64_t& n = exec_local_[static_cast<std::size_t>(sw)];
+    if (!n) continue;
+    net_.switch_at(sw).add_executed(n);
+    n = 0;
+  }
+  if (hops_local_) {
+    net_.add_hops(hops_local_);
+    hops_local_ = 0;
+  }
+  const auto& links = net_.topo().links();
+  for (std::size_t l = 0; l < link_local_.size(); ++l) {
+    if (!link_local_[l]) continue;
+    net_.add_link_packets(links[l].src, links[l].dst, link_local_[l]);
+    link_local_[l] = 0;
+  }
+}
+
+std::vector<Network::Delivery> BurstPipeline::take_deliveries() {
+  std::vector<Network::Delivery> out;
+  out.reserve(staged_.size());
+  const auto& fields = trace_->fields;
+  for (const Staged& s : staged_) {
+    const auto& mods = s.seq->mods;
+    std::vector<std::pair<FieldId, Value>> entries;
+    entries.reserve(fields.size() + mods.size());
+    std::size_t mi = 0;
+    for (std::size_t col = 0; col < fields.size(); ++col) {
+      FieldId f = fields[col];
+      while (mi < mods.size() && mods[mi].first < f) {
+        entries.push_back(mods[mi++]);
+      }
+      if (mi < mods.size() && mods[mi].first == f) {
+        entries.push_back(mods[mi++]);  // the mod overrides the lane value
+      } else if (s.burst->col_present(static_cast<int>(col))[s.lane]) {
+        entries.emplace_back(
+            f, s.burst->col_vals(static_cast<int>(col))[s.lane]);
+      }
+    }
+    while (mi < mods.size()) entries.push_back(mods[mi++]);
+    out.push_back({s.outport, Packet::from_sorted(std::move(entries))});
+  }
+  staged_.clear();
+  return out;
+}
+
+}  // namespace sim
+}  // namespace snap

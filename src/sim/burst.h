@@ -1,0 +1,176 @@
+// The burst-oriented serial datapath: whole SoA bursts through
+// classify -> state -> write -> egress with zero per-packet heap traffic.
+//
+// BurstPipeline replays Network::inject_batch semantics bit-for-bit — same
+// deliveries in the same order, same merged state, same hop/link/per-switch
+// instruction counters, same exceptions with the same messages (the parity
+// tests sweep the policy corpus over it) — but restructured around bursts:
+//
+//   - the field-only xFDD prefix of every lane is resolved by
+//     DirectXfdd::classify_burst, one dense-column test per diagram level
+//     for the whole burst (the auto-vectorized kernels in
+//     batch_classify.cpp) instead of a pointer-chasing walk per packet;
+//   - the state suffix (the paper's stuck-packet walks, dependency-ordered
+//     write application, per-copy egress forwarding) runs per lane over the
+//     flat network-mode diagram, with stuck-walk and egress chains resolved
+//     once per (switch, target) / (switch, inport, egress) pair and then
+//     replayed as precomputed link lists with exact guard accounting;
+//   - hop, link and per-switch instruction counters accumulate in local
+//     arrays and fold into the Network once per run() (also on the
+//     exception path, so partial counts match the serial reference);
+//   - deliveries are staged as (outport, burst, lane, seq) references;
+//     materialization into Packets (the only allocating step) happens in
+//     take_deliveries(), outside the datapath. After a warm-up run the
+//     steady state performs no heap allocation — last_run_allocs() reports
+//     the growth events of the most recent run() and the bench/tests
+//     assert it reaches zero.
+//
+// A pipeline binds to one deployment: rebuild it after Network::apply().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <vector>
+
+#include "dataplane/network.h"
+#include "netasm/decoded.h"
+#include "sim/workload.h"
+
+namespace snap {
+namespace sim {
+
+// The classification kernels and the burst layout must agree on the lane
+// stride; this is where the two layers meet.
+static_assert(kMaxBurst == netasm::kLaneStride,
+              "sim::kMaxBurst must equal netasm::kLaneStride");
+
+class BurstPipeline {
+ public:
+  explicit BurstPipeline(Network& net);
+
+  // Processes the whole trace: state effects and counters are applied to
+  // the network, deliveries are staged (not materialized). Exceptions
+  // propagate exactly like the serial path, with counters folded first.
+  void run(const BurstTrace& trace);
+
+  // Materializes and returns the staged deliveries of prior run() calls,
+  // in serial (inject_batch) order, and clears the stage.
+  std::vector<Network::Delivery> take_deliveries();
+
+  // Drops staged deliveries without materializing (bench repeat loops).
+  void discard_staged() { staged_.clear(); }
+
+  std::size_t deliveries_staged() const { return staged_.size(); }
+
+  // Heap-growth events observed during the most recent run(): staging
+  // regrowth, classify-plan rebuilds, egress-chain cache misses. Zero in
+  // the steady state (after a warm-up run over the same trace shape).
+  // Store mutations are excluded by design: state tables are the policy's
+  // semantic content, not datapath overhead.
+  std::uint64_t last_run_allocs() const { return last_run_allocs_; }
+
+ private:
+  // One precomputed forwarding chain: the link indices walked from a source
+  // switch to a target. `status` records how chain construction ended; on
+  // replay the stored links are counted first (with guard accounting),
+  // then a non-Ok status throws the same error the serial walk would.
+  struct Chain {
+    enum class Status : std::uint8_t { kOk, kNoRoute, kMissingLink };
+    std::vector<std::int32_t> links;
+    Status status = Status::kOk;
+  };
+
+  enum class GuardKind : std::uint8_t { kResolve, kWrite, kEgress };
+
+  // Lane-indexed read view over one burst's columns; the shape
+  // DecodedExpr::eval_into_t needs (Packet::get/has).
+  struct LaneView {
+    const std::vector<FieldId>* fields;
+    const PacketBurst* b;
+    int lane;
+
+    std::optional<Value> get(FieldId f) const;
+    bool has(FieldId f) const { return get(f).has_value(); }
+  };
+
+  struct SeqInfo {
+    std::vector<std::pair<FieldId, Value>> mods;  // sorted by field
+    std::int32_t outport_mod = -1;  // index into mods, -1 = none
+  };
+
+  struct LeafInfo {
+    // Written variables with their owners, sorted by (state_rank, var) —
+    // the serial phase-2 application order.
+    std::vector<std::pair<StateVarId, int>> write_vars;
+    std::vector<SeqInfo> seqs;  // non-drop sequences, seqs() order
+  };
+
+  struct Staged {
+    PortId outport;
+    const PacketBurst* burst;
+    std::uint16_t lane;
+    const SeqInfo* seq;
+  };
+
+  void build_dest_chains();
+  Chain build_chain(int from, int target, PortId inport,
+                    std::optional<PortId> egress) const;
+  const Chain& egress_chain(int from, int esw, PortId inport, PortId egress);
+
+  void run_burst(const PacketBurst& b);
+  void run_lane(const PacketBurst& b, int lane);
+  // Executes the leaf's sw-local write ops (+ the implicit LeafDone) at
+  // `sw`, mirroring a per-switch program's leaf entry.
+  void exec_leaf_local(const netasm::DirectXfdd::DNode& n, int sw,
+                       const LaneView& lane);
+  void walk_chain(const Chain& c, int& guard, GuardKind kind);
+  [[noreturn]] static void throw_guard(GuardKind kind);
+  void flush_counters();
+
+  int owner_of(StateVarId var) const {
+    return var < owner_.size() ? owner_[var] : -1;
+  }
+  int port_switch_or(PortId p, int fallback) const {
+    return p >= 0 && static_cast<std::size_t>(p) < port_sw_.size()
+               ? port_sw_[p]
+               : fallback;
+  }
+
+  Network& net_;
+  netasm::DirectXfdd cls_;  // network-mode flat diagram + step schedule
+  int nsw_ = 0;
+  int guard_budget_ = 0;  // num_switches * 4 + 16, the serial constant
+
+  std::vector<int> owner_;    // StateVarId -> switch (-1 unplaced)
+  std::vector<int> port_sw_;  // PortId -> switch (-1 unattached)
+  std::vector<LeafInfo> leaf_info_;  // parallel to cls_.nodes()
+  std::vector<Chain> dest_chains_;   // [from * nsw_ + target]
+  std::map<std::tuple<int, PortId, PortId>, Chain> egress_chains_;
+
+  // Per-run classification plan, cached against the trace universe.
+  std::vector<FieldId> plan_universe_;
+  netasm::DirectXfdd::ClassifyPlan plan_;
+  netasm::DirectXfdd::ClassifyScratch cscratch_;
+  std::int32_t outport_col_ = -1;
+
+  // Per-lane scratch.
+  alignas(64) std::int32_t terminal_[kMaxBurst] = {};
+  alignas(64) std::uint16_t instr_[kMaxBurst] = {};
+  netasm::DecodedProgram::Scratch scratch_;
+  std::vector<std::uint32_t> applied_stamp_;  // phase-2 owner set, stamped
+  std::uint32_t stamp_ = 0;
+
+  // Local counter accumulation, folded by flush_counters().
+  std::vector<std::uint64_t> exec_local_;  // per switch
+  std::vector<std::uint64_t> link_local_;  // per link index
+  std::uint64_t hops_local_ = 0;
+
+  const BurstTrace* trace_ = nullptr;
+  std::vector<Staged> staged_;
+  std::uint64_t last_run_allocs_ = 0;
+};
+
+}  // namespace sim
+}  // namespace snap

@@ -89,6 +89,13 @@ std::uint32_t ConflictCache::mask_index(const Packet& pkt,
   return it->second;
 }
 
+void ConflictCache::mask_indices(const SimPacket* pkts, std::size_t n,
+                                 std::uint32_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = mask_index(pkts[i].pkt, pkts[i].flow);
+  }
+}
+
 void ConflictCache::fresh_walk(const Packet& pkt,
                                std::vector<StateVarId>& out) {
   out.clear();

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "lang/packet.h"
+#include "sim/workload.h"
 #include "xfdd/xfdd.h"
 
 namespace snap {
@@ -42,6 +43,13 @@ class ConflictCache {
   // `flow` is the workload's flow identity (SimPacket::flow) and is purely
   // an acceleration hint — the result is independent of it.
   std::uint32_t mask_index(const Packet& pkt, std::uint32_t flow);
+
+  // Bulk variant over a contiguous workload slice: out[i] =
+  // mask_index(pkts[i].pkt, pkts[i].flow). The engine's burst dispatch
+  // resolves a whole burst's masks ahead with one call, keeping the flow
+  // front-cache and signature scratch hot across the burst.
+  void mask_indices(const SimPacket* pkts, std::size_t n,
+                    std::uint32_t* out);
 
   const std::vector<StateVarId>& mask(std::uint32_t index) const {
     return masks_[index];

@@ -55,7 +55,8 @@ std::string SimStats::to_json() const {
      << ",\"hops\":" << hops << ",\"conflict_hits\":" << conflict_hits
      << ",\"conflict_misses\":" << conflict_misses
      << ",\"seconds\":" << seconds << ",\"pps\":" << pps
-     << ",\"workers\":" << workers << ",\"batch\":" << batch
+     << ",\"workers\":" << workers << ",\"burst\":" << burst
+     << ",\"steady_allocs\":" << steady_allocs
      << ",\"direct_switches\":" << direct_switches
      << ",\"deterministic\":" << (deterministic ? "true" : "false");
   auto arr = [&os](const char* name, const std::vector<std::uint64_t>& v) {
@@ -85,6 +86,9 @@ std::string SimStats::to_json() const {
 // Sequence numbers with this bit set tag control (migration) tasks, so
 // workloads are bounded to 31-bit sequence space.
 inline constexpr std::uint32_t kCtrlSeq = 0x80000000u;
+// Task/Completion mask handle for "no conflict mask held" (free-running
+// mode, empty masks, control tasks).
+inline constexpr std::uint32_t kNoMask = 0xffffffffu;
 // Concurrently-live epoch bound: a slot is reused only after every packet
 // of its previous occupant completed.
 inline constexpr std::uint32_t kEpochSlots = 8;
@@ -147,6 +151,11 @@ struct TrafficEngine::Impl {
     PortId inport = 0;
     bool migrate_clear = false;  // kMigrate: clear all state vs prune
     std::uint64_t t_dispatch_ns = 0;
+    // Conflict-mask handle (epoch-relative) this packet holds in the
+    // deterministic gate, or kNoMask. Riding in the task — and echoed in
+    // its completion — removes the scheduler's per-packet in-flight map,
+    // the last per-packet heap traffic on the dispatch/completion path.
+    std::uint32_t mask_idx = kNoMask;
     // Soundness cross-check (EngineOptions::check_soundness): the sorted
     // conflict mask this packet was dispatched under, viewed into the
     // epoch's interned mask storage. Stable across the walk: interned mask
@@ -164,19 +173,22 @@ struct TrafficEngine::Impl {
     std::uint32_t epoch = 0;
     std::uint32_t hops = 0;
     std::uint32_t latency_us = 0;
+    std::uint32_t mask_idx = kNoMask;  // echoed from the task
   };
 
   // Fixed-size accumulation buffers: tasks/completions for one ring are
   // gathered here and cross the ring as one batched cursor update
   // (SpscRing::try_push_batch). Flushed when full, on conflict-window
-  // boundaries (scheduler) and on every sweep boundary (workers).
+  // boundaries (scheduler) and on every sweep boundary (workers). The
+  // rings themselves hold individual tasks (capacity = window + barrier
+  // headroom), so the burst cap only sizes these stack buffers.
   struct TaskBatch {
     std::uint32_t n = 0;
-    std::array<Task, static_cast<std::size_t>(kMaxTaskBatch)> t;
+    std::array<Task, static_cast<std::size_t>(kMaxTaskBurst)> t;
   };
   struct CompletionBatch {
     std::uint32_t n = 0;
-    std::array<Completion, static_cast<std::size_t>(kMaxTaskBatch)> c;
+    std::array<Completion, static_cast<std::size_t>(kMaxTaskBurst)> c;
   };
 
   struct TaggedDelivery {
@@ -207,6 +219,10 @@ struct TrafficEngine::Impl {
     // empty; kept as a correctness backstop).
     std::deque<std::pair<int, Task>> overflow;
     std::deque<Completion> comp_overflow;
+    // Ring-overflow spill events (per task/completion spilled): the only
+    // per-packet heap traffic a worker's dispatch path can cause, folded
+    // into SimStats::steady_allocs.
+    std::uint64_t spill_events = 0;
   };
 
   Network* net;
@@ -266,7 +282,7 @@ struct TrafficEngine::Impl {
     }
     W = std::min(W, std::max(1, net->topo().num_switches()));
     if (opts.window < 16) opts.window = 16;
-    B = std::clamp(opts.batch, 1, kMaxTaskBatch);
+    B = std::clamp(opts.burst, 1, kMaxTaskBurst);
   }
 
   int worker_of(int sw) const { return sw % W; }
@@ -307,6 +323,7 @@ struct TrafficEngine::Impl {
     // Older overflow for this ring must drain first to keep per-ring FIFO.
     if (!ctx.overflow.empty() ||
         !ring(me, dest).try_push_batch(b.t.data(), b.n)) {
+      ctx.spill_events += b.n;
       for (std::uint32_t i = 0; i < b.n; ++i) {
         ctx.overflow.emplace_back(dest, std::move(b.t[i]));
       }
@@ -321,6 +338,7 @@ struct TrafficEngine::Impl {
     if (!ctx.comp_overflow.empty() ||
         !comps[static_cast<std::size_t>(me)]->try_push_batch(b.c.data(),
                                                              b.n)) {
+      ctx.spill_events += b.n;
       for (std::uint32_t i = 0; i < b.n; ++i) {
         ctx.comp_overflow.push_back(b.c[i]);
       }
@@ -341,7 +359,8 @@ struct TrafficEngine::Impl {
     auto us = (now_ns() - t.t_dispatch_ns) / 1000;
     Completion c{t.seq, t.epoch, t.hops,
                  static_cast<std::uint32_t>(
-                     std::min<std::uint64_t>(us, 0xffffffffu))};
+                     std::min<std::uint64_t>(us, 0xffffffffu)),
+                 t.mask_idx};
     WorkerCtx& ctx = *ctxs[static_cast<std::size_t>(me)];
     CompletionBatch& b = ctx.comp_pending;
     b.c[b.n++] = c;
@@ -516,7 +535,7 @@ struct TrafficEngine::Impl {
 
   void worker_loop(int me) {
     try {
-      std::array<Task, static_cast<std::size_t>(kMaxTaskBatch)> in;
+      std::array<Task, static_cast<std::size_t>(kMaxTaskBurst)> in;
       for (;;) {
         if (abort.load(std::memory_order_relaxed)) return;
         flush_overflow(me);
@@ -628,7 +647,7 @@ struct TrafficEngine::Impl {
     stats = SimStats{};
     stats.packets = N;
     stats.workers = W;
-    stats.batch = B;
+    stats.burst = B;
     stats.deterministic = opts.deterministic;
     stats.per_switch_instructions.assign(
         static_cast<std::size_t>(num_sw), 0);
@@ -731,11 +750,8 @@ struct TrafficEngine::Impl {
           state_var_count(),
           static_cast<std::size_t>(cur->conflict->max_var_id()) + 1));
     }
-    // seq -> (epoch, conflict-mask index) of each in-flight packet with a
-    // nonempty mask (mask indices are epoch-relative).
-    std::unordered_map<std::uint32_t,
-                       std::pair<std::uint32_t, std::uint32_t>>
-        inflight_masks;
+    // In-flight mask handles ride in the tasks themselves (Task::mask_idx,
+    // echoed by Completion) — no scheduler-side per-packet map.
 
     // A packet whose ingress worker also owns every variable in its mask
     // is *confined*: its whole walk (resolve targets, write owners, inline
@@ -806,10 +822,16 @@ struct TrafficEngine::Impl {
     Timer timer;
     std::size_t next = 0, completed = 0, inflight = 0;
     std::size_t ei = 0;
+    // Burst lookahead (deterministic mode): conflict-mask handles for the
+    // next up-to-B packets of the sequence, resolved in one bulk call so
+    // the flow front-cache stays hot across the burst. Epoch-relative, so
+    // an applied event invalidates the range.
     std::uint32_t head_mask = 0;
-    bool head_valid = false;
+    std::array<std::uint32_t, static_cast<std::size_t>(kMaxTaskBurst)>
+        mask_ahead;
+    std::size_t ahead_begin = 0, ahead_end = 0;
     double due_s = -1;  // when the pending event's boundary was reached
-    std::array<Completion, static_cast<std::size_t>(kMaxTaskBatch)> cbuf;
+    std::array<Completion, static_cast<std::size_t>(kMaxTaskBurst)> cbuf;
 
     auto release_hold = [&] {
       for (StateVarId v : migration_hold) --active[v];
@@ -849,14 +871,10 @@ struct TrafficEngine::Impl {
                   std::memory_order_relaxed);
               awaiting_first.erase(af);
             }
-            if (opts.deterministic) {
-              auto it = inflight_masks.find(c.seq);
-              if (it != inflight_masks.end()) {
-                EpochCtx& me = epoch_of(it->second.first);
-                for (StateVarId v : me.conflict->mask(it->second.second)) {
-                  --active[v];
-                }
-                inflight_masks.erase(it);
+            if (opts.deterministic && c.mask_idx != kNoMask) {
+              EpochCtx& me = epoch_of(c.epoch);
+              for (StateVarId v : me.conflict->mask(c.mask_idx)) {
+                --active[v];
               }
             }
           }
@@ -952,7 +970,7 @@ struct TrafficEngine::Impl {
       for (int s : clear_sw) send_barrier(s, true);
       for (int s : prune_sw) send_barrier(s, false);
       if (pending_migrations == 0) release_hold();
-      head_valid = false;
+      ahead_begin = ahead_end = 0;  // mask handles are epoch-relative
       stats.epochs = id + 1;
       LiveEventStats es;
       es.label = ev.label;
@@ -1012,11 +1030,16 @@ struct TrafficEngine::Impl {
         }
         const SimPacket& sp = wl.packets[next];
         const int isw = cur->topo.port_switch(sp.inport);
+        std::uint32_t hold_mask = kNoMask;
         if (opts.deterministic) {
-          if (!head_valid) {
-            head_mask = cur->conflict->mask_index(sp.pkt, sp.flow);
-            head_valid = true;
+          if (next >= ahead_end || next < ahead_begin) {
+            ahead_begin = next;
+            ahead_end = std::min(N, next + static_cast<std::size_t>(B));
+            cur->conflict->mask_indices(&wl.packets[ahead_begin],
+                                        ahead_end - ahead_begin,
+                                        mask_ahead.data());
           }
+          head_mask = mask_ahead[next - ahead_begin];
           const std::vector<StateVarId>& vars =
               cur->conflict->mask(head_mask);
           if (!vars.empty()) {
@@ -1039,12 +1062,11 @@ struct TrafficEngine::Impl {
             for (StateVarId v : vars) {
               if (active[v]++ == 0) conf[v] = confined ? cw : -1;
             }
-            inflight_masks.emplace(
-                static_cast<std::uint32_t>(next),
-                std::make_pair(cur->id, head_mask));
+            hold_mask = head_mask;  // released when the completion echoes it
           }
         }
         Task t;
+        t.mask_idx = hold_mask;
         t.phase = Task::Phase::kResolve;
         t.seq = static_cast<std::uint32_t>(next);
         t.epoch = cur->id;
@@ -1076,7 +1098,6 @@ struct TrafficEngine::Impl {
         t.pkt = sp.pkt;
         ++inflight_slot[cur->id % kEpochSlots];
         sched_send(std::move(t));
-        head_valid = false;
         ++next;
         ++inflight;
         progress = true;
@@ -1145,9 +1166,11 @@ struct TrafficEngine::Impl {
     stats.pps = stats.seconds > 0 ? static_cast<double>(N) / stats.seconds
                                   : 0;
     std::vector<TaggedDelivery> all;
+    stats.steady_allocs += corrupt_masks.size();  // test hook only
     for (int w = 0; w < W; ++w) {
       WorkerCtx& ctx = *ctxs[static_cast<std::size_t>(w)];
       stats.forwards += ctx.forwards;
+      stats.steady_allocs += ctx.spill_events;
       for (int sw = 0; sw < num_sw; ++sw) {
         const std::size_t i = static_cast<std::size_t>(sw);
         stats.per_switch_instructions[i] += ctx.instr[i];

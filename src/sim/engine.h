@@ -14,10 +14,13 @@
 //
 // Three levers close the gap between the per-packet scheduler round-trip
 // and line rate:
-//   - Batched dispatch: tasks and completions cross every ring in
-//     fixed-size batches (EngineOptions::batch, up to kMaxTaskBatch per
+//   - Burst dispatch: tasks and completions cross every ring in
+//     fixed-size bursts (EngineOptions::burst, up to kMaxTaskBurst per
 //     message) flushed on conflict-window boundaries and idle sweeps, so
-//     the SPSC cursor round-trip amortizes ~batch×.
+//     the SPSC cursor round-trip amortizes ~burst×. Conflict masks for the
+//     next burst of the sequence are resolved in one bulk lookup, and each
+//     dispatched task carries its mask index so completions release the
+//     conflict window without any per-packet bookkeeping allocation.
 //   - Per-flow conflict caching (sim/conflict.h): the conflict mask is a
 //     function of the packet's values on the diagram's tested fields, so
 //     the scheduler keys it by that field signature (with a per-flow front
@@ -97,8 +100,10 @@
 namespace snap {
 namespace sim {
 
-// Upper bound on EngineOptions::batch (tasks per ring message).
-inline constexpr int kMaxTaskBatch = 16;
+// Upper bound on EngineOptions::burst (tasks per ring message). Shared
+// with the SoA burst layout: one trace burst maps onto one ring message at
+// the maximum setting.
+inline constexpr int kMaxTaskBurst = kMaxBurst;
 
 // Default for EngineOptions::check_soundness: armed wherever SNAP_DCHECK is
 // (debug and sanitizer builds), off in release.
@@ -115,10 +120,10 @@ struct EngineOptions {
   bool deterministic = true;
   // Maximum packets in flight (also sizes the rings).
   std::size_t window = 512;
-  // Tasks per ring message (clamped to [1, kMaxTaskBatch]). Batches are
+  // Tasks per ring message (clamped to [1, kMaxTaskBurst]). Bursts are
   // flushed early on conflict-window boundaries and idle sweeps, so small
-  // workloads never stall behind a partial batch.
-  int batch = 8;
+  // workloads never stall behind a partial burst.
+  int burst = 32;
   // Use the direct xFDD interpreter on switches with no foreign state
   // (false forces every switch through the decoded NetASM path).
   bool xfdd_direct = true;
@@ -195,8 +200,13 @@ struct SimStats {
   double seconds = 0;
   double pps = 0;
   int workers = 1;
-  int batch = 1;            // effective tasks per ring message
+  int burst = 1;            // effective tasks per ring message
   int direct_switches = 0;  // switches served by the xFDD-direct path
+  // Scheduler-side per-packet heap events in the dispatch/completion loop
+  // (ring-overflow spills and test-only mask corruption). Zero in the
+  // steady state: masks ride in the tasks themselves and the rings are
+  // sized to the window.
+  std::uint64_t steady_allocs = 0;
   bool deterministic = true;
   std::uint32_t epochs = 1;           // policy epochs the run spanned
   std::vector<LiveEventStats> events; // one per applied live event

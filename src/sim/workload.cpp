@@ -209,6 +209,78 @@ std::vector<std::pair<PortId, Packet>> as_injection_batch(
   return out;
 }
 
+Packet BurstTrace::packet_at(std::size_t seq) const {
+  SNAP_CHECK(burst > 0 && seq < packets, "burst trace sequence out of range");
+  const PacketBurst& b = bursts[seq / static_cast<std::size_t>(burst)];
+  const int lane = static_cast<int>(seq % static_cast<std::size_t>(burst));
+  std::vector<std::pair<FieldId, Value>> entries;
+  entries.reserve(fields.size());
+  for (std::size_t c = 0; c < fields.size(); ++c) {
+    if (b.col_present(static_cast<int>(c))[lane]) {
+      entries.emplace_back(fields[c], b.col_vals(static_cast<int>(c))[lane]);
+    }
+  }
+  return Packet::from_sorted(std::move(entries));
+}
+
+BurstTrace make_bursts(const Workload& wl, int burst) {
+  BurstTrace out;
+  out.burst = std::max(1, std::min(burst, kMaxBurst));
+  out.packets = wl.packets.size();
+
+  // Field universe: the sorted union of every packet's fields.
+  for (const auto& sp : wl.packets) {
+    for (const auto& [f, v] : sp.pkt.entries()) out.fields.push_back(f);
+  }
+  std::sort(out.fields.begin(), out.fields.end());
+  out.fields.erase(std::unique(out.fields.begin(), out.fields.end()),
+                   out.fields.end());
+  const std::size_t nf = out.fields.size();
+
+  const std::size_t nb =
+      (out.packets + static_cast<std::size_t>(out.burst) - 1) /
+      static_cast<std::size_t>(out.burst);
+  // One arena chunk for the whole trace: per burst, the inport/flow lanes
+  // plus two Value columns (values, presence) per universe field.
+  const std::size_t per_burst = sizeof(PortId) * kMaxBurst +
+                                sizeof(std::uint32_t) * kMaxBurst +
+                                2 * nf * sizeof(Value) * kMaxBurst + 64;
+  out.arena.reserve(nb * per_burst + 64);
+
+  out.bursts.reserve(nb);
+  for (std::size_t bi = 0; bi < nb; ++bi) {
+    PacketBurst b;
+    b.base_seq = bi * static_cast<std::size_t>(out.burst);
+    b.n = static_cast<int>(
+        std::min<std::size_t>(out.burst, out.packets - b.base_seq));
+    b.inport = out.arena.alloc<PortId>(kMaxBurst);
+    b.flow = out.arena.alloc<std::uint32_t>(kMaxBurst);
+    b.vals = out.arena.alloc<Value>(nf * kMaxBurst);
+    b.present = out.arena.alloc<Value>(nf * kMaxBurst);
+    std::fill_n(b.inport, kMaxBurst, PortId{0});
+    std::fill_n(b.flow, kMaxBurst, 0u);
+    std::fill_n(b.vals, nf * kMaxBurst, Value{0});
+    std::fill_n(b.present, nf * kMaxBurst, Value{0});
+    for (int lane = 0; lane < b.n; ++lane) {
+      const SimPacket& sp = wl.packets[b.base_seq +
+                                       static_cast<std::size_t>(lane)];
+      b.inport[lane] = sp.inport;
+      b.flow[lane] = sp.flow;
+      // Merge scan: the packet record and the universe are both sorted.
+      std::size_t c = 0;
+      for (const auto& [f, v] : sp.pkt.entries()) {
+        while (c < nf && out.fields[c] < f) ++c;
+        SNAP_CHECK(c < nf && out.fields[c] == f,
+                   "packet field missing from the burst universe");
+        b.vals[c * kMaxBurst + static_cast<std::size_t>(lane)] = v;
+        b.present[c * kMaxBurst + static_cast<std::size_t>(lane)] = 1;
+      }
+    }
+    out.bursts.push_back(b);
+  }
+  return out;
+}
+
 const std::vector<Scenario>& scenario_catalogue() {
   static const std::vector<Scenario> cat = {
       {"uniform", "baseline 5-tuple flows (samplers, counters, TCP machine)",
@@ -343,6 +415,12 @@ Workload WorkloadGen::generate(const Scenario& sc,
     wl.packets.back().flow = static_cast<std::uint32_t>(fi);
   }
   return wl;
+}
+
+BurstTrace WorkloadGen::generate_bursts(const Scenario& sc,
+                                        std::size_t packets,
+                                        int burst) const {
+  return make_bursts(generate(sc, packets), burst);
 }
 
 }  // namespace sim

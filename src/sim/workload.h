@@ -29,11 +29,17 @@
 #include <vector>
 
 #include "lang/packet.h"
+#include "sim/arena.h"
 #include "topo/graph.h"
 #include "topo/traffic.h"
 
 namespace snap {
 namespace sim {
+
+// Lanes per burst: the fixed SoA stride of the burst datapath. Burst sizes
+// are clamped to [1, kMaxBurst]; column storage is always laid out at this
+// stride so classification kernels see a constant trip count.
+inline constexpr int kMaxBurst = 64;
 
 struct SimPacket {
   PortId inport;
@@ -57,6 +63,45 @@ struct Workload {
 // path the engine is checked against).
 std::vector<std::pair<PortId, Packet>> as_injection_batch(
     const Workload& wl);
+
+// One struct-of-arrays burst: parallel lanes over a shared field universe.
+// All columns are kMaxBurst-stride arrays into the owning BurstTrace's
+// arena; lanes [n, kMaxBurst) are zero (absent everywhere) and excluded by
+// the classification lane mask. `present` is a full Value (0/1) column —
+// not a packed bitset — so classification kernels combine presence and
+// comparison in one uniform-width, auto-vectorizable expression.
+struct PacketBurst {
+  int n = 0;                      // live lanes
+  std::uint64_t base_seq = 0;     // workload sequence of lane 0
+  PortId* inport = nullptr;       // [kMaxBurst]
+  std::uint32_t* flow = nullptr;  // [kMaxBurst]
+  Value* vals = nullptr;          // [field][kMaxBurst], lane-major
+  Value* present = nullptr;       // [field][kMaxBurst], 1 iff carried
+
+  const Value* col_vals(int col) const { return vals + col * kMaxBurst; }
+  const Value* col_present(int col) const {
+    return present + col * kMaxBurst;
+  }
+};
+
+// A whole trace re-laid as bursts. The field universe is the sorted union
+// of every packet's fields; the packing is lossless — packet_at()
+// reconstructs each original Packet byte-identically (same sorted entry
+// vector), which the burst-vs-scalar parity tests lean on.
+struct BurstTrace {
+  std::vector<FieldId> fields;  // sorted universe
+  int burst = 0;                // lanes per burst (clamped to kMaxBurst)
+  std::size_t packets = 0;
+  std::vector<PacketBurst> bursts;
+  Arena arena;  // owns all column storage
+
+  // The original packet of global sequence `seq` (for parity checks).
+  Packet packet_at(std::size_t seq) const;
+};
+
+// Packs an AoS workload into SoA bursts of `burst` lanes (clamped to
+// [1, kMaxBurst]). Runs at trace-expansion time, outside the datapath.
+BurstTrace make_bursts(const Workload& wl, int burst);
 
 // The traffic shapes flows can follow.
 enum class Shape {
@@ -107,6 +152,11 @@ class WorkloadGen {
               std::uint64_t seed);
 
   Workload generate(const Scenario& sc, std::size_t packets) const;
+
+  // Trace expansion straight into the SoA burst layout (generate +
+  // make_bursts); the burst pipeline's native input.
+  BurstTrace generate_bursts(const Scenario& sc, std::size_t packets,
+                             int burst) const;
 
  private:
   const Topology& topo_;

@@ -1,0 +1,181 @@
+// The burst datapath (src/sim/burst.*): SoA packing losslessness and exact
+// BurstPipeline-vs-serial equivalence across the policy corpus — same
+// deliveries, merged state, hop/link counters and per-switch instruction
+// counts at every burst size — plus the zero-allocation steady state.
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "compiler/session.h"
+#include "dataplane/network.h"
+#include "sim/burst.h"
+#include "sim/workload.h"
+#include "topo/gen.h"
+#include "util/status.h"
+
+namespace snap {
+namespace {
+
+void expect_same_deliveries(const std::vector<Network::Delivery>& a,
+                            const std::vector<Network::Delivery>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].outport, b[i].outport) << "delivery " << i;
+    ASSERT_TRUE(a[i].packet == b[i].packet)
+        << "delivery " << i << ": " << a[i].packet.to_string() << " vs "
+        << b[i].packet.to_string();
+  }
+}
+
+TEST(BurstTrace, PackingIsLossless) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 10.0, 3);
+  const sim::Scenario* mixed = sim::find_scenario("mixed");
+  ASSERT_NE(mixed, nullptr);
+  sim::Workload wl = sim::WorkloadGen(topo, tm, 7).generate(*mixed, 300);
+  for (int burst : {1, 8, 64}) {
+    sim::BurstTrace bt = sim::make_bursts(wl, burst);
+    ASSERT_EQ(bt.packets, wl.packets.size()) << "burst " << burst;
+    EXPECT_TRUE(std::is_sorted(bt.fields.begin(), bt.fields.end()));
+    for (const sim::PacketBurst& b : bt.bursts) {
+      EXPECT_LE(b.n, burst);
+      for (int lane = 0; lane < b.n; ++lane) {
+        std::size_t seq = b.base_seq + static_cast<std::size_t>(lane);
+        EXPECT_EQ(b.inport[lane], wl.packets[seq].inport);
+        EXPECT_EQ(b.flow[lane], wl.packets[seq].flow);
+      }
+    }
+    for (std::size_t seq = 0; seq < wl.packets.size(); ++seq) {
+      ASSERT_TRUE(bt.packet_at(seq) == wl.packets[seq].pkt)
+          << "burst " << burst << " seq " << seq;
+    }
+  }
+}
+
+TEST(BurstTrace, ClampsAndEmptyTrace) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 10.0, 3);
+  sim::Workload wl =
+      sim::WorkloadGen(topo, tm, 7).generate(*sim::find_scenario("mixed"), 10);
+  EXPECT_EQ(sim::make_bursts(wl, 0).burst, 1);
+  EXPECT_EQ(sim::make_bursts(wl, 1000).burst, sim::kMaxBurst);
+  sim::Workload empty;
+  sim::BurstTrace bt = sim::make_bursts(empty, 32);
+  EXPECT_EQ(bt.packets, 0u);
+  EXPECT_TRUE(bt.bursts.empty());
+}
+
+class BurstCorpus : public ::testing::TestWithParam<int> {};
+
+TEST_P(BurstCorpus, PipelineMatchesSerialAcrossBurstSizes) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 10.0, 1);
+  auto c = apps::evaluation_corpus(
+      "sim", apps::default_subnets(topo.ports()))[static_cast<std::size_t>(
+      GetParam())];
+
+  Session session(topo, tm);
+  EventResult ev = session.full_compile(c.policy);
+  sim::Workload wl = sim::WorkloadGen(topo, tm, 42).generate(
+      sim::scenario_for_app(c.name), 400);
+
+  Network serial(ev.delta);
+  auto serial_out = serial.inject_batch(sim::as_injection_batch(wl));
+  Store serial_state = serial.merged_state();
+
+  for (int burst : {1, 8, 64}) {
+    sim::BurstTrace bt = sim::make_bursts(wl, burst);
+    Network net(ev.delta);
+    sim::BurstPipeline pipe(net);
+    pipe.run(bt);
+    auto out = pipe.take_deliveries();
+    ASSERT_NO_FATAL_FAILURE(expect_same_deliveries(serial_out, out))
+        << c.name << " burst " << burst;
+    ASSERT_TRUE(serial_state == net.merged_state())
+        << c.name << " state diverged at burst " << burst << "\nserial:\n"
+        << serial_state.to_string() << "pipeline:\n"
+        << net.merged_state().to_string();
+    EXPECT_EQ(serial.total_hops(), net.total_hops())
+        << c.name << " burst " << burst;
+    EXPECT_EQ(serial.link_packets(), net.link_packets())
+        << c.name << " burst " << burst;
+    for (int sw = 0; sw < topo.num_switches(); ++sw) {
+      EXPECT_EQ(serial.switch_at(sw).instructions_executed(),
+                net.switch_at(sw).instructions_executed())
+          << c.name << " switch " << sw << " burst " << burst;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, BurstCorpus, ::testing::Range(0, 11),
+                         [](const auto& info) {
+                           std::string n =
+                               apps::evaluation_corpus(
+                                   "sim", apps::default_subnets(
+                                              make_figure2_campus().ports()))
+                                   [static_cast<std::size_t>(info.param)]
+                                       .name;
+                           for (char& ch : n) {
+                             if (!std::isalnum(static_cast<unsigned char>(ch)))
+                               ch = '_';
+                           }
+                           return n;
+                         });
+
+TEST(BurstPipeline, SteadyStateDoesNotAllocate) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 10.0, 1);
+  auto c = apps::evaluation_corpus("sim",
+                                   apps::default_subnets(topo.ports()))[0];
+  Session session(topo, tm);
+  EventResult ev = session.full_compile(c.policy);
+  sim::BurstTrace bt =
+      sim::WorkloadGen(topo, tm, 42).generate_bursts(
+          sim::scenario_for_app(c.name), 1000, 32);
+
+  Network net(ev.delta);
+  sim::BurstPipeline pipe(net);
+  pipe.run(bt);  // warm-up: plan build, chain cache, staging high-water mark
+  pipe.discard_staged();
+  pipe.run(bt);
+  EXPECT_EQ(pipe.last_run_allocs(), 0u)
+      << "burst datapath allocated in the steady state";
+  pipe.discard_staged();
+}
+
+TEST(BurstPipeline, ThrowsLikeSerialOnBadIngress) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 10.0, 1);
+  auto c = apps::evaluation_corpus("sim",
+                                   apps::default_subnets(topo.ports()))[0];
+  Session session(topo, tm);
+  EventResult ev = session.full_compile(c.policy);
+
+  sim::Workload wl;
+  sim::SimPacket sp;
+  sp.inport = 999999;  // not an attached port
+  sp.pkt = Packet{{"srcip", 1}, {"dstip", 2}};
+  wl.packets.push_back(sp);
+  sim::BurstTrace bt = sim::make_bursts(wl, 8);
+
+  Network serial(ev.delta);
+  std::string serial_msg;
+  try {
+    serial.inject(sp.inport, sp.pkt);
+  } catch (const InternalError& e) {
+    serial_msg = e.what();
+  }
+  ASSERT_FALSE(serial_msg.empty());
+
+  Network net(ev.delta);
+  sim::BurstPipeline pipe(net);
+  std::string pipe_msg;
+  try {
+    pipe.run(bt);
+  } catch (const InternalError& e) {
+    pipe_msg = e.what();
+  }
+  EXPECT_EQ(serial_msg, pipe_msg);
+}
+
+}  // namespace
+}  // namespace snap

@@ -124,38 +124,42 @@ TEST_P(SimCorpus, ShardedMatchesSerialAcrossWorkerCounts) {
   Store serial_state = serial.merged_state();
 
   // The determinism guarantee must hold for every (worker count, ring
-  // batch size) combination — partial batches, idle flushes and full
-  // kMaxTaskBatch messages all replay the serial order byte-identically.
+  // burst size) combination — partial bursts, idle flushes and full
+  // kMaxTaskBurst messages all replay the serial order byte-identically.
   for (int workers : {1, 2, 8}) {
-    for (int batch : {1, 4, 16}) {
+    for (int burst : {1, 8, 64}) {
       sim::EngineOptions opts;
       opts.workers = workers;
-      opts.batch = batch;
+      opts.burst = burst;
       opts.deterministic = true;
       sim::TrafficEngine engine(ev.delta, opts);
       auto engine_out = engine.run(wl);
       ASSERT_NO_FATAL_FAILURE(expect_same_deliveries(serial_out,
                                                      engine_out))
-          << c.name << " at " << workers << " workers, batch " << batch;
+          << c.name << " at " << workers << " workers, burst " << burst;
       ASSERT_TRUE(serial_state == engine.network().merged_state())
-          << c.name << " state diverged at " << workers << " workers, batch "
-          << batch << "\nserial:\n" << serial_state.to_string()
+          << c.name << " state diverged at " << workers << " workers, burst "
+          << burst << "\nserial:\n" << serial_state.to_string()
           << "engine:\n" << engine.network().merged_state().to_string();
       // Faithful replication extends to hop accounting and to per-switch
       // instruction counts (the decoded/direct fast paths and the
       // reference interpreter count in the same units: atomic markers
       // excluded).
       EXPECT_EQ(serial.total_hops(), engine.network().total_hops())
-          << c.name << " at " << workers << " workers, batch " << batch;
+          << c.name << " at " << workers << " workers, burst " << burst;
       EXPECT_EQ(engine.stats().packets, wl.packets.size());
-      EXPECT_EQ(engine.stats().batch, batch);
+      EXPECT_EQ(engine.stats().burst, burst);
+      // Masks ride in tasks and the rings are sized to the window, so the
+      // dispatch/completion loop must not touch the heap per packet.
+      EXPECT_EQ(engine.stats().steady_allocs, 0u)
+          << c.name << " at " << workers << " workers, burst " << burst;
       for (int sw = 0; sw < topo.num_switches(); ++sw) {
         EXPECT_EQ(serial.switch_at(sw).instructions_executed(),
                   engine.stats()
                       .per_switch_instructions[static_cast<std::size_t>(
                           sw)])
             << c.name << " switch " << sw << " at " << workers
-            << " workers, batch " << batch;
+            << " workers, burst " << burst;
       }
     }
   }
@@ -362,7 +366,8 @@ TEST(Engine, ConflictCacheStatsSurfaceThroughSimStats) {
   // The JSON view carries the new counters and full-precision doubles.
   std::string js = engine.stats().to_json();
   EXPECT_NE(js.find("\"conflict_hits\":"), std::string::npos);
-  EXPECT_NE(js.find("\"batch\":"), std::string::npos);
+  EXPECT_NE(js.find("\"burst\":"), std::string::npos);
+  EXPECT_NE(js.find("\"steady_allocs\":"), std::string::npos);
   EXPECT_NE(js.find("\"direct_switches\":"), std::string::npos);
 }
 

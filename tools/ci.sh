@@ -48,16 +48,41 @@ echo "== xfdd cache effectiveness (memoized vs naive, counter-based) =="
 # from the tables. Counter-based, so it holds on a 1-core container.
 "${BUILD_DIR}/bench_ablation_xfdd" --depth 12 --check
 
+echo "== burst-classifier vectorization gate (batch_classify.cpp at -O2) =="
+# The burst datapath's column kernels must auto-vectorize at plain -O2 with
+# no intrinsics (the TU is kept free of other code so this report is
+# precise). Requires at least the exact/mask/ff kernels — 3 "loop
+# vectorized" lines; a baseline-ISA regression (e.g. reintroducing a
+# 64-bit vector compare) drops below that.
+VEC_LINES="$(g++ -O2 -std=c++20 -Isrc -fopt-info-vec-optimized \
+  -c src/netasm/batch_classify.cpp -o /dev/null 2>&1 |
+  grep -c 'loop vectorized' || true)"
+if [[ "${VEC_LINES}" -lt 3 ]]; then
+  echo "ERROR: batch_classify.cpp only reports ${VEC_LINES} vectorized" \
+       "loops at -O2 (want >= 3) — the burst kernels regressed to scalar" >&2
+  exit 1
+fi
+echo "vectorizer reports ${VEC_LINES} vectorized loops"
+
 echo "== data-plane throughput (sharded engine vs serial, equivalence gate) =="
 # Gates: the deterministic sharded engine's deliveries and final state are
 # byte-identical to the serial per-packet path across the 11-policy corpus
 # and a >=100k-packet composite run, with nonzero state churn and
-# deliveries. Emits BENCH_throughput.json at the REPO ROOT (pps per
-# execution mode, packets, workers, batch) — the perf trajectory the
-# collector reads and subsequent PRs regress against. An empty or missing
-# file is a hard failure: a silent non-emission is how the trajectory
-# stayed [] for a whole PR cycle.
-"${BUILD_DIR}/bench_throughput" --check --workers 2 \
+# deliveries, and the burst pipeline's steady state performs zero heap
+# allocation. Emits BENCH_throughput.json at the REPO ROOT (pps per
+# execution mode, packets, workers, cores, burst, per-mode allocs) — the
+# perf trajectory the collector reads and subsequent PRs regress against.
+# An empty or missing file is a hard failure: a silent non-emission is how
+# the trajectory stayed [] for a whole PR cycle.
+#
+# Perf floor: read the committed file's serial pps BEFORE the bench
+# overwrites it; a fresh run on the same core count must reach >= 80% of
+# it (median of 3), so a serial-datapath regression fails the gate instead
+# of silently rewriting the trajectory. Skipped when the committed file
+# predates the `cores` field or the core count differs (cross-machine
+# numbers are not comparable).
+COMMITTED_JSON="$(git show HEAD:BENCH_throughput.json 2>/dev/null || true)"
+"${BUILD_DIR}/bench_throughput" --check --workers 2 --repeat 3 \
   --json BENCH_throughput.json
 if [[ ! -s BENCH_throughput.json ]]; then
   echo "ERROR: bench_throughput emitted no BENCH_throughput.json at the" \
@@ -68,6 +93,13 @@ grep -q '"pps"' BENCH_throughput.json || {
   echo "ERROR: BENCH_throughput.json is malformed (no pps block)" >&2
   exit 1
 }
+# The schema additions of the burst datapath must be present.
+for field in '"cores"' '"burst"' '"allocs"'; do
+  grep -q "${field}" BENCH_throughput.json || {
+    echo "ERROR: BENCH_throughput.json lacks the ${field} field" >&2
+    exit 1
+  }
+done
 # The live-update phase (events adopted under load via run_live's epoch
 # swap) must have run and reported its latencies.
 grep -q '"event_latency"' BENCH_throughput.json || {
@@ -75,6 +107,31 @@ grep -q '"event_latency"' BENCH_throughput.json || {
        "block — the live-update bench phase did not run)" >&2
   exit 1
 }
+json_num() {  # json_num <json-string> <key> — first numeric value of key
+  # "|| true": under pipefail a missing key (grep exit 1) must yield an
+  # empty string, not kill the gate — the committed file legitimately lacks
+  # new schema fields the first time they are introduced.
+  printf '%s' "$1" | grep -o "\"$2\":[0-9.]*" | head -1 | cut -d: -f2 || true
+}
+OLD_CORES="$(json_num "${COMMITTED_JSON}" cores)"
+NEW_CORES="$(json_num "$(cat BENCH_throughput.json)" cores)"
+if [[ -n "${OLD_CORES}" && "${OLD_CORES}" == "${NEW_CORES}" ]]; then
+  OLD_SERIAL="$(json_num "${COMMITTED_JSON}" serial)"
+  NEW_SERIAL="$(json_num "$(cat BENCH_throughput.json)" serial)"
+  if [[ -n "${OLD_SERIAL}" && -n "${NEW_SERIAL}" ]]; then
+    if awk -v n="${NEW_SERIAL}" -v o="${OLD_SERIAL}" \
+         'BEGIN { exit !(n < 0.8 * o) }'; then
+      echo "ERROR: serial datapath regressed: ${NEW_SERIAL} pps <" \
+           "80% of committed ${OLD_SERIAL} pps (same ${NEW_CORES}-core" \
+           "machine)" >&2
+      exit 1
+    fi
+    echo "perf floor ok: serial ${NEW_SERIAL} vs committed ${OLD_SERIAL} pps"
+  fi
+else
+  echo "perf floor skipped (committed cores='${OLD_CORES}'," \
+       "current cores='${NEW_CORES}')"
+fi
 
 echo "== snap-lint corpus gate (snapc --lint --json on every policy file) =="
 # Every Appendix-F policy must lint with zero error-severity findings

@@ -34,9 +34,10 @@
 //   --scenario NAME    workload scenario (see sim/workload.h catalogue;
 //                      default mixed)
 //   --workers W        traffic-engine worker shards (0 = one per core)
-//   --batch N          tasks per traffic-engine ring message (1..16,
-//                      default 8; batches amortize the scheduler's SPSC
-//                      round-trip in deterministic mode)
+//   --burst N          tasks per traffic-engine ring message (1..64,
+//                      default 32; bursts amortize the scheduler's SPSC
+//                      round-trip in deterministic mode). --batch is an
+//                      accepted alias.
 //   --lint             run snap-lint (analysis/lint.h) over the final
 //                      compiled session: AST rules (dead state, unbounded
 //                      state, parallel write-write races), diagram hygiene
@@ -93,7 +94,7 @@ void usage() {
                " [--const NAME=VAL]... [--traffic SEED] [--load GBPS]"
                " [--solver auto|exact|scalable] [--threads N]"
                " [--script FILE] [--simulate N | --serve N] [--scenario NAME]"
-               " [--workers W] [--batch N] [--lint] [--json] [--dot FILE]"
+               " [--workers W] [--burst N] [--lint] [--json] [--dot FILE]"
                " [--rules]"
                " [--quiet]\n");
 }
@@ -377,16 +378,17 @@ int run(int argc, char** argv) {
         return 2;
       }
       sim_opts.workers = static_cast<int>(n);
-    } else if (!std::strcmp(argv[i], "--batch")) {
-      const char* arg = need("--batch");
+    } else if (!std::strcmp(argv[i], "--burst") ||
+               !std::strcmp(argv[i], "--batch")) {
+      const char* arg = need(argv[i]);
       char* end = nullptr;
       long n = std::strtol(arg, &end, 10);
-      if (end == arg || *end != '\0' || n < 1 || n > sim::kMaxTaskBatch) {
-        std::fprintf(stderr, "bad --batch '%s' (want 1..%d)\n", arg,
-                     sim::kMaxTaskBatch);
+      if (end == arg || *end != '\0' || n < 1 || n > sim::kMaxTaskBurst) {
+        std::fprintf(stderr, "bad %s '%s' (want 1..%d)\n", argv[i - 1], arg,
+                     sim::kMaxTaskBurst);
         return 2;
       }
-      sim_opts.batch = static_cast<int>(n);
+      sim_opts.burst = static_cast<int>(n);
     } else if (!std::strcmp(argv[i], "--script")) {
       script_file = need("--script");
     } else if (!std::strcmp(argv[i], "--lint")) {
