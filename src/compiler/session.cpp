@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -28,15 +30,45 @@ bool EventResult::ran(PhaseId p) const {
   return false;
 }
 
-// Times one phase and records it in the event's execution log.
+namespace {
+
+// The compiler phases share the engine's telemetry vocabulary; both P5
+// halves land in the single kP5Solve bucket.
+obs::Cat cat_for_phase(PhaseId phase) {
+  switch (phase) {
+    case PhaseId::kP1Dependency: return obs::Cat::kP1Dependency;
+    case PhaseId::kP2Xfdd: return obs::Cat::kP2Xfdd;
+    case PhaseId::kP3Psmap: return obs::Cat::kP3StateMap;
+    case PhaseId::kP4Model: return obs::Cat::kP4MilpModel;
+    case PhaseId::kP5SolveSt:
+    case PhaseId::kP5SolveTe: return obs::Cat::kP5Solve;
+    case PhaseId::kP6Rulegen: return obs::Cat::kP6Rulegen;
+  }
+  return obs::Cat::kP1Dependency;
+}
+
+}  // namespace
+
+// Times one phase and records it in the event's execution log, a span in
+// the bound telemetry ring (snapc --trace renders compile phases on the
+// compiler track), and a per-phase gauge in the metrics registry.
 struct Session::PhaseRecorder {
   EventResult& ev;
   Timer t;
+  std::uint64_t t0_ns = 0;
 
-  void start() { t.reset(); }
+  void start() {
+    t.reset();
+    t0_ns = obs::tick_ns();
+  }
   void finish(PhaseId phase, double& slot) {
     slot = t.seconds();
     ev.phases_run.push_back(phase);
+    obs::record(cat_for_phase(phase), t0_ns, obs::tick_ns());
+    obs::Registry::global().set_gauge(
+        std::string("snap_compile_phase_seconds{phase=\"") +
+            to_string(phase) + "\"}",
+        slot, "wall seconds of the last run of each compiler phase");
   }
 };
 

@@ -147,9 +147,10 @@ Pc DecodedProgram::entry_for(XfddId node) const {
   return it->second;
 }
 
-DecodedProgram::Outcome DecodedProgram::run(XfddId node, const Packet& pkt,
-                                            Store& state, Scratch& scratch,
-                                            std::uint64_t* executed) const {
+template <bool Sound>
+DecodedProgram::Outcome DecodedProgram::run_impl(
+    XfddId node, const Packet& pkt, Store& state, Scratch& scratch,
+    std::uint64_t* executed) const {
   Pc pc = entry_for(node);
   std::uint64_t count = 0;
   const DInstr* code = code_.data();
@@ -185,7 +186,7 @@ DecodedProgram::Outcome DecodedProgram::run(XfddId node, const Packet& pkt,
         break;
       }
       case Op::kBranchState: {
-        sim::note_state_access(i.var);
+        if constexpr (Sound) sim::note_state_access(i.var);
         bool pass =
             exprs_[static_cast<std::size_t>(i.index)].eval_into(
                 pkt, scratch.index) &&
@@ -200,7 +201,7 @@ DecodedProgram::Outcome DecodedProgram::run(XfddId node, const Packet& pkt,
         if (executed) *executed += count;
         return {Outcome::kStuck, i.node, i.var};
       case Op::kStateSet: {
-        sim::note_state_access(i.var);
+        if constexpr (Sound) sim::note_state_access(i.var);
         if (!exprs_[static_cast<std::size_t>(i.index)].eval_into(
                 pkt, scratch.index) ||
             !exprs_[static_cast<std::size_t>(i.vexpr)].eval_into(
@@ -215,7 +216,7 @@ DecodedProgram::Outcome DecodedProgram::run(XfddId node, const Packet& pkt,
       }
       case Op::kStateInc:
       case Op::kStateDec: {
-        sim::note_state_access(i.var);
+        if constexpr (Sound) sim::note_state_access(i.var);
         if (!exprs_[static_cast<std::size_t>(i.index)].eval_into(
                 pkt, scratch.index)) {
           throw CompileError("state increment on " + state_var_name(i.var) +
@@ -233,6 +234,13 @@ DecodedProgram::Outcome DecodedProgram::run(XfddId node, const Packet& pkt,
     }
   }
 }
+
+// Both soundness instantiations: armed (the historical behavior, one TLS
+// load per state instruction) and compiled-out (release hot path).
+template DecodedProgram::Outcome DecodedProgram::run_impl<true>(
+    XfddId, const Packet&, Store&, Scratch&, std::uint64_t*) const;
+template DecodedProgram::Outcome DecodedProgram::run_impl<false>(
+    XfddId, const Packet&, Store&, Scratch&, std::uint64_t*) const;
 
 bool DirectXfdd::flatten(const XfddStore& store, XfddId root,
                          const Placement* pl, int sw, DirectXfdd& out) {
@@ -407,10 +415,10 @@ void DirectXfdd::build_field_steps() {
   }
 }
 
-DecodedProgram::Outcome DirectXfdd::run(XfddId node, const Packet& pkt,
-                                        Store& state,
-                                        DecodedProgram::Scratch& scratch,
-                                        std::uint64_t* executed) const {
+template <bool Sound>
+DecodedProgram::Outcome DirectXfdd::run_impl(
+    XfddId node, const Packet& pkt, Store& state,
+    DecodedProgram::Scratch& scratch, std::uint64_t* executed) const {
   auto it = std::lower_bound(
       entries_.begin(), entries_.end(), node,
       [](const std::pair<XfddId, std::int32_t>& e, XfddId n) {
@@ -453,7 +461,7 @@ DecodedProgram::Outcome DirectXfdd::run(XfddId node, const Packet& pkt,
       }
       case DNode::Kind::kState: {
         ++count;
-        sim::note_state_access(n.var);
+        if constexpr (Sound) sim::note_state_access(n.var);
         bool pass =
             exprs_[static_cast<std::size_t>(n.index)].eval_into(
                 pkt, scratch.index) &&
@@ -468,7 +476,7 @@ DecodedProgram::Outcome DirectXfdd::run(XfddId node, const Packet& pkt,
         for (std::uint32_t o = n.ops_begin; o < n.ops_end; ++o) {
           const DOp& op = ops_[o];
           ++count;
-          sim::note_state_access(op.var);
+          if constexpr (Sound) sim::note_state_access(op.var);
           if (op.kind == DOp::Kind::kSet) {
             if (!exprs_[static_cast<std::size_t>(op.index)].eval_into(
                     pkt, scratch.index) ||
@@ -499,6 +507,13 @@ DecodedProgram::Outcome DirectXfdd::run(XfddId node, const Packet& pkt,
     }
   }
 }
+
+template DecodedProgram::Outcome DirectXfdd::run_impl<true>(
+    XfddId, const Packet&, Store&, DecodedProgram::Scratch&,
+    std::uint64_t*) const;
+template DecodedProgram::Outcome DirectXfdd::run_impl<false>(
+    XfddId, const Packet&, Store&, DecodedProgram::Scratch&,
+    std::uint64_t*) const;
 
 }  // namespace netasm
 }  // namespace snap

@@ -111,7 +111,21 @@ class DecodedProgram {
   // as the reference interpreter when a state update references an absent
   // field.
   Outcome run(XfddId node, const Packet& pkt, Store& state,
-              Scratch& scratch, std::uint64_t* executed) const;
+              Scratch& scratch, std::uint64_t* executed) const {
+    return run_impl<true>(node, pkt, state, scratch, executed);
+  }
+
+  // Soundness-dispatched run: `sound` selects between two instantiations
+  // of the same loop, one with the per-state-instruction mask cross-check
+  // hook (sim::note_state_access — a TLS load per state op) and one with
+  // that hook compiled out entirely. The engine passes
+  // EngineOptions::check_soundness so release-mode runs pay nothing for
+  // the check's existence while the CI soundness gate can still arm it.
+  Outcome run(XfddId node, const Packet& pkt, Store& state,
+              Scratch& scratch, std::uint64_t* executed, bool sound) const {
+    return sound ? run_impl<true>(node, pkt, state, scratch, executed)
+                 : run_impl<false>(node, pkt, state, scratch, executed);
+  }
 
   Pc entry_for(XfddId node) const;
 
@@ -119,6 +133,10 @@ class DecodedProgram {
   bool empty() const { return code_.empty(); }
 
  private:
+  template <bool Sound>
+  Outcome run_impl(XfddId node, const Packet& pkt, Store& state,
+                   Scratch& scratch, std::uint64_t* executed) const;
+
   std::vector<DInstr> code_;
   std::vector<DecodedExpr> exprs_;
   std::vector<std::pair<XfddId, Pc>> entries_;  // sorted by node id
@@ -195,7 +213,17 @@ class DirectXfdd {
   // its local writes) and always resolves to a kLeaf outcome.
   DecodedProgram::Outcome run(XfddId node, const Packet& pkt, Store& state,
                               DecodedProgram::Scratch& scratch,
-                              std::uint64_t* executed) const;
+                              std::uint64_t* executed) const {
+    return run_impl<true>(node, pkt, state, scratch, executed);
+  }
+
+  // Soundness-dispatched run (see DecodedProgram::run overload).
+  DecodedProgram::Outcome run(XfddId node, const Packet& pkt, Store& state,
+                              DecodedProgram::Scratch& scratch,
+                              std::uint64_t* executed, bool sound) const {
+    return sound ? run_impl<true>(node, pkt, state, scratch, executed)
+                 : run_impl<false>(node, pkt, state, scratch, executed);
+  }
 
   // ---- Batch classification over SoA bursts (network mode only) ----
   //
@@ -246,6 +274,12 @@ class DirectXfdd {
   std::int32_t dense_root() const { return root_dense_; }
 
  private:
+  template <bool Sound>
+  DecodedProgram::Outcome run_impl(XfddId node, const Packet& pkt,
+                                   Store& state,
+                                   DecodedProgram::Scratch& scratch,
+                                   std::uint64_t* executed) const;
+
   // One field node in classification (topological) order: successors
   // resolve either to a later step (>= 0) or to a terminal encoded as
   // -(dense + 1).

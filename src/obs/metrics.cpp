@@ -1,0 +1,185 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace snap {
+namespace obs {
+
+namespace {
+
+// Family = series name stripped of its inline {labels}.
+std::string family_of(const std::string& name) {
+  auto brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+void emit_number(std::ostream& os, double v) {
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 9e15) {
+    os << static_cast<long long>(v);
+  } else {
+    auto old = os.precision(std::numeric_limits<double>::max_digits10);
+    os << v;
+    os.precision(old);
+  }
+}
+
+// A series name with labels, re-labelled: inserts `extra` into the label
+// set (creating one if the name is bare).
+std::string with_label(const std::string& name, const std::string& extra) {
+  auto brace = name.find('{');
+  if (brace == std::string::npos) return name + "{" + extra + "}";
+  std::string out = name;
+  out.insert(name.size() - 1, "," + extra);
+  return out;
+}
+
+// JSON keys must be bare: fold {k="v"} into _k_v.
+std::string json_key(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  bool last_us = false;
+  for (char c : name) {
+    char mapped;
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9') || c == '_') {
+      mapped = c;
+    } else if (c == '}' || c == '"') {
+      continue;
+    } else {
+      mapped = '_';
+    }
+    if (mapped == '_' && last_us) continue;
+    out.push_back(mapped);
+    last_us = mapped == '_';
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+}  // namespace
+
+Registry& Registry::global() {
+  static Registry* r = new Registry();  // leaked: outlives all threads
+  return *r;
+}
+
+Registry::Metric& Registry::upsert(const std::string& name, Kind kind,
+                                   const std::string& help) {
+  for (auto& m : metrics_) {
+    if (m.name == name) {
+      m.kind = kind;
+      if (!help.empty()) m.help = help;
+      return m;
+    }
+  }
+  metrics_.push_back({});
+  Metric& m = metrics_.back();
+  m.name = name;
+  m.kind = kind;
+  m.help = help;
+  return m;
+}
+
+void Registry::set_counter(const std::string& name, double v,
+                           const std::string& help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  upsert(name, Kind::kCounter, help).value = v;
+}
+
+void Registry::add_counter(const std::string& name, double v,
+                           const std::string& help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  upsert(name, Kind::kCounter, help).value += v;
+}
+
+void Registry::set_gauge(const std::string& name, double v,
+                         const std::string& help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  upsert(name, Kind::kGauge, help).value = v;
+}
+
+void Registry::set_histogram(const std::string& name,
+                             const std::vector<double>& bounds,
+                             const std::vector<std::uint64_t>& counts,
+                             const std::string& help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Metric& m = upsert(name, Kind::kHistogram, help);
+  m.bounds = bounds;
+  m.counts = counts;
+}
+
+std::string Registry::prometheus() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  std::string last_family;
+  for (const auto& m : metrics_) {
+    std::string fam = family_of(m.name);
+    if (fam != last_family) {
+      last_family = fam;
+      if (!m.help.empty()) os << "# HELP " << fam << " " << m.help << "\n";
+      os << "# TYPE " << fam << " "
+         << (m.kind == Kind::kCounter
+                 ? "counter"
+                 : m.kind == Kind::kGauge ? "gauge" : "histogram")
+         << "\n";
+    }
+    if (m.kind != Kind::kHistogram) {
+      os << m.name << " ";
+      emit_number(os, m.value);
+      os << "\n";
+      continue;
+    }
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < m.bounds.size(); ++i) {
+      cum += i < m.counts.size() ? m.counts[i] : 0;
+      std::ostringstream le;
+      emit_number(le, m.bounds[i]);
+      os << with_label(fam + "_bucket", "le=\"" + le.str() + "\"") << " "
+         << cum << "\n";
+    }
+    for (std::size_t i = m.bounds.size(); i < m.counts.size(); ++i)
+      cum += m.counts[i];
+    os << with_label(fam + "_bucket", "le=\"+Inf\"") << " " << cum << "\n";
+    os << fam << "_count " << cum << "\n";
+  }
+  return os.str();
+}
+
+std::string Registry::json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  auto emit = [&](const std::string& key, double v) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << key << "\":";
+    emit_number(os, v);
+  };
+  for (const auto& m : metrics_) {
+    if (m.kind != Kind::kHistogram) {
+      emit(json_key(m.name), m.value);
+      continue;
+    }
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < m.counts.size(); ++i) {
+      total += m.counts[i];
+      emit(json_key(m.name) + "_bucket_" + std::to_string(i),
+           static_cast<double>(m.counts[i]));
+    }
+    emit(json_key(m.name) + "_count", static_cast<double>(total));
+  }
+  os << "}";
+  return os.str();
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  metrics_.clear();
+}
+
+}  // namespace obs
+}  // namespace snap

@@ -1,0 +1,72 @@
+// A small process-wide metrics registry: counters, gauges, and
+// pre-bucketed histograms with Prometheus text exposition and a JSON
+// form. Engine and compiler populate it on their control paths (never
+// per packet — hot-path telemetry goes through obs.h); `snapc --serve`
+// prints it periodically and `--metrics <file>` dumps it at exit.
+//
+// Names follow Prometheus conventions and may carry inline labels:
+//   registry.set_gauge("snap_ring_occupancy_hwm{ring=\"w0\"}", 17);
+// The text form groups series by family (the name before '{') and emits
+// one HELP/TYPE header per family. Insertion order is preserved so the
+// exposition (and the golden tests over it) is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace snap {
+namespace obs {
+
+class Registry {
+ public:
+  // The process-wide instance (snapc / tests). Separate instances can be
+  // constructed for isolation.
+  static Registry& global();
+
+  Registry() = default;
+
+  // Counters are monotonically increasing totals; set_counter overwrites
+  // (the engine re-populates after every run), add_counter accumulates.
+  void set_counter(const std::string& name, double v,
+                   const std::string& help = "");
+  void add_counter(const std::string& name, double v,
+                   const std::string& help = "");
+  void set_gauge(const std::string& name, double v,
+                 const std::string& help = "");
+  // A pre-aggregated histogram: `bounds` are upper bucket bounds (the
+  // implicit +Inf bucket is appended), `counts` per-bucket occupancy
+  // (same length as bounds, plus one overflow entry allowed).
+  void set_histogram(const std::string& name,
+                     const std::vector<double>& bounds,
+                     const std::vector<std::uint64_t>& counts,
+                     const std::string& help = "");
+
+  // Prometheus text exposition format (0.0.4).
+  std::string prometheus() const;
+  // One flat JSON object {"name":value,...}; histograms expand to
+  // name_bucket_i / name_count / name_sum-style keys.
+  std::string json() const;
+
+  void clear();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Metric {
+    std::string name;  // full series name, possibly with {labels}
+    Kind kind = Kind::kGauge;
+    std::string help;
+    double value = 0;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;
+  };
+
+  Metric& upsert(const std::string& name, Kind kind, const std::string& help);
+
+  mutable std::mutex mu_;
+  std::vector<Metric> metrics_;  // insertion order
+};
+
+}  // namespace obs
+}  // namespace snap

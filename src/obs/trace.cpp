@@ -1,0 +1,125 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <limits>
+
+namespace snap {
+namespace obs {
+
+namespace {
+
+// One flattened trace event pending emission.
+struct Ev {
+  std::uint64_t ts = 0;  // ns, rebased
+  char ph = 'B';         // 'B' / 'E' / 'i'
+  Cat cat = Cat::kExec;
+  std::uint32_t tid = 0;
+  std::uint64_t a[4] = {0, 0, 0, 0};
+  bool has_args = false;
+};
+
+void emit_ts(std::ostream& os, std::uint64_t ns) {
+  // Chrome's unit is microseconds; keep the nanosecond fraction.
+  os << ns / 1000 << '.';
+  std::uint64_t frac = ns % 1000;
+  os << static_cast<char>('0' + frac / 100)
+     << static_cast<char>('0' + (frac / 10) % 10)
+     << static_cast<char>('0' + frac % 10);
+}
+
+void emit_event(std::ostream& os, const Ev& e, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "{\"name\":\"" << cat_name(e.cat) << "\",\"cat\":\"snap\",\"ph\":\""
+     << e.ph << "\",\"ts\":";
+  emit_ts(os, e.ts);
+  os << ",\"pid\":1,\"tid\":" << e.tid;
+  if (e.ph == 'i') os << ",\"s\":\"t\"";
+  if (e.has_args && e.ph != 'E') {
+    os << ",\"args\":{\"seq\":" << e.a[0] << ",\"sw\":" << e.a[1]
+       << ",\"epoch\":" << e.a[2] << ",\"instr\":" << e.a[3] << "}";
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void write_chrome_trace(const TraceData& data, std::ostream& os) {
+  // Rebase to the earliest record so the viewer opens near t=0.
+  std::uint64_t origin = std::numeric_limits<std::uint64_t>::max();
+  for (const auto& t : data.threads)
+    for (const auto& r : t.recs) origin = std::min(origin, r.t0);
+  if (origin == std::numeric_limits<std::uint64_t>::max()) origin = 0;
+
+  std::vector<Ev> events;
+  for (const auto& th : data.threads) {
+    // (t0 asc, t1 desc) is pre-order for properly nested spans.
+    std::vector<SpanRec> recs = th.recs;
+    std::stable_sort(recs.begin(), recs.end(),
+                     [](const SpanRec& a, const SpanRec& b) {
+                       if (a.t0 != b.t0) return a.t0 < b.t0;
+                       return a.t1 > b.t1;
+                     });
+    std::vector<const SpanRec*> stack;
+    auto close_until = [&](std::uint64_t ts) {
+      while (!stack.empty() && stack.back()->t1 <= ts) {
+        const SpanRec* top = stack.back();
+        stack.pop_back();
+        events.push_back(
+            {top->t1 - origin, 'E', top->cat, th.tid, {0, 0, 0, 0}, false});
+      }
+    };
+    for (const auto& r : recs) {
+      close_until(r.t0);
+      bool args = r.a0 || r.a1 || r.a2 || r.a3;
+      if (r.t0 == r.t1) {
+        events.push_back({r.t0 - origin,
+                          'i',
+                          r.cat,
+                          th.tid,
+                          {r.a0, r.a1, r.a2, r.a3},
+                          args});
+      } else {
+        events.push_back({r.t0 - origin,
+                          'B',
+                          r.cat,
+                          th.tid,
+                          {r.a0, r.a1, r.a2, r.a3},
+                          args});
+        stack.push_back(&r);
+      }
+    }
+    close_until(std::numeric_limits<std::uint64_t>::max());
+  }
+
+  // Per-thread streams are time-ordered; a stable sort by timestamp
+  // keeps them so while making the whole file monotonic.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Ev& a, const Ev& b) { return a.ts < b.ts; });
+
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  // Thread metadata first (ts-less, ignored by the sort requirements).
+  if (!first) os << ",\n";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\""
+     << data.process << "\"}}";
+  first = false;
+  for (const auto& th : data.threads) {
+    os << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << th.tid << ",\"args\":{\"name\":\"" << th.name << "\"}}";
+  }
+  for (const auto& e : events) emit_event(os, e, first);
+  os << "\n]}\n";
+}
+
+bool write_chrome_trace_file(const TraceData& data, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_chrome_trace(data, os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace obs
+}  // namespace snap

@@ -1,0 +1,56 @@
+// Chrome trace-event JSON export of drained span rings — the file
+// `snapc --simulate --trace out.json` writes, loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Records live in per-thread rings ordered by span *end* (a span is
+// pushed when its scope closes), so a naive dump neither orders begins
+// nor nests pairs. The writer rebuilds a well-formed B/E stream per
+// thread by stack simulation: sort records by (t0 asc, t1 desc) —
+// pre-order for properly nested spans — then walk that order, closing
+// (emitting E for) every open span whose end precedes the next begin.
+// RAII spans are properly nested per thread, so this always yields
+// matched B/E pairs with non-decreasing timestamps; the per-thread
+// streams are then merged by timestamp so the whole file is monotonic
+// (the well-formedness test in tests/test_obs.cpp pins all three
+// properties).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace snap {
+namespace obs {
+
+// One thread's drained telemetry, plus identity for the trace viewer.
+struct TraceThread {
+  std::string name;          // e.g. "scheduler", "worker0"
+  std::uint32_t tid = 0;
+  std::vector<SpanRec> recs;  // ThreadBuf::drain() order (by span end)
+  std::uint64_t dropped = 0;  // ring-overwritten records (flight recorder)
+};
+
+struct TraceData {
+  std::string process = "snap";
+  std::vector<TraceThread> threads;
+
+  bool empty() const {
+    for (const auto& t : threads)
+      if (!t.recs.empty()) return false;
+    return true;
+  }
+};
+
+// Writes the trace-event JSON array form: {"traceEvents":[...]}.
+// Timestamps are microseconds (Chrome's unit) with nanosecond fraction,
+// rebased to the earliest record so traces start near t=0.
+void write_chrome_trace(const TraceData& data, std::ostream& os);
+
+// Convenience: write_chrome_trace to `path`; returns false on I/O error.
+bool write_chrome_trace_file(const TraceData& data, const std::string& path);
+
+}  // namespace obs
+}  // namespace snap

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "lang/field.h"
+#include "obs/obs.h"
 #include "util/status.h"
 
 namespace snap {
@@ -308,11 +309,17 @@ void BurstPipeline::run_lane(const PacketBurst& b, int lane) {
 }
 
 void BurstPipeline::run_burst(const PacketBurst& b) {
+  // Telemetry at burst granularity only: one span + two stage marks per
+  // up-to-64-packet burst keeps the armed cost off the per-packet path
+  // (and the disarmed cost at a TLS-load-and-branch).
+  SNAP_SPAN(obs::Cat::kExec);
   std::uint64_t active =
       b.n >= 64 ? ~0ull : ((1ull << b.n) - 1);
   cls_.classify_burst(plan_, {b.vals, b.present}, active, terminal_, instr_,
                       cscratch_);
+  obs::stage_mark(obs::Cat::kClassify);
   for (int lane = 0; lane < b.n; ++lane) run_lane(b, lane);
+  obs::stage_mark(obs::Cat::kStateSuffix);
 }
 
 void BurstPipeline::run(const BurstTrace& trace) {

@@ -13,6 +13,8 @@
 #include <unordered_map>
 
 #include "netasm/decoded.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "sim/conflict.h"
 #include "sim/soundness.h"
 #include "sim/spsc.h"
@@ -68,7 +70,30 @@ std::string SimStats::to_json() const {
   arr("per_switch_events", per_switch_events);
   arr("hop_histogram", hop_histogram);
   arr("latency_us_log2_histogram", latency_histogram);
-  os << ",\"epochs\":" << epochs << ",\"events\":[";
+  os << ",\"epoch_slot_hwm\":" << epoch_slot_hwm
+     << ",\"epoch_stall_slot\":" << epoch_stall_slot
+     << ",\"epoch_stall_mask\":" << epoch_stall_mask
+     << ",\"epoch_stall_migration\":" << epoch_stall_migration
+     << ",\"trace_records\":" << trace_records
+     << ",\"trace_dropped\":" << trace_dropped;
+  arr("ring_hwm", ring_hwm);
+  arr("comp_ring_hwm", comp_ring_hwm);
+  // The cycle-accounting table (profile mode): one row per engine
+  // thread, wall time partitioned into obs::Cat buckets. Keys are the
+  // stable obs::cat_name strings suffixed _ns; the golden-schema test
+  // pins them.
+  os << ",\"cycles\":[";
+  for (std::size_t i = 0; i < cycles.size(); ++i) {
+    const CycleRow& r = cycles[i];
+    os << (i ? "," : "") << "{\"name\":\"" << r.name
+       << "\",\"wall_ns\":" << r.wall_ns;
+    for (std::size_t c = 0; c < r.cat_ns.size(); ++c) {
+      os << ",\"" << obs::cat_name(static_cast<obs::Cat>(c))
+         << "_ns\":" << r.cat_ns[c];
+    }
+    os << "}";
+  }
+  os << "],\"epochs\":" << epochs << ",\"events\":[";
   for (std::size_t i = 0; i < events.size(); ++i) {
     const LiveEventStats& e = events[i];
     os << (i ? "," : "") << "{\"label\":\"" << e.label
@@ -150,6 +175,10 @@ struct TrafficEngine::Impl {
     int guard = 0;
     PortId inport = 0;
     bool migrate_clear = false;  // kMigrate: clear all state vs prune
+    // Sampled packet tracing (EngineOptions::trace_sample): workers emit
+    // per-hop span records for this packet. Pure telemetry — never read
+    // by scheduling decisions, so determinism is unaffected.
+    bool traced = false;
     std::uint64_t t_dispatch_ns = 0;
     // Conflict-mask handle (epoch-relative) this packet holds in the
     // deterministic gate, or kNoMask. Riding in the task — and echoed in
@@ -253,6 +282,15 @@ struct TrafficEngine::Impl {
   std::vector<LiveEvent> async_events;
   std::atomic<bool> async_pending{false};
 
+  // Per-thread telemetry buffers (profile / trace_sample modes):
+  // obs_bufs[w] belongs to worker w (trace tid w+1), obs_bufs[W] to the
+  // scheduler (tid 0). Created and armed on the control path before the
+  // pool starts; empty when telemetry is off, so every hook reduces to a
+  // null thread-local check.
+  std::vector<std::unique_ptr<obs::ThreadBuf>> obs_bufs;
+  // Drained span rings of the last run, ready for Chrome trace export.
+  obs::TraceData trace_data;
+
   // Corrupted-mask arena for the corrupt_soundness_var test hook: one
   // entry per dispatched packet, allocated by the scheduler before the
   // ring push publishes the pointer (deque keeps element addresses stable
@@ -306,12 +344,15 @@ struct TrafficEngine::Impl {
                                              XfddId node, const Packet& pkt,
                                              WorkerCtx& ctx) {
     const std::size_t swi = static_cast<std::size_t>(sw);
+    // Soundness-dispatched interpreters: with the cross-check off the
+    // per-state-instruction TLS hook is compiled out of the selected
+    // instantiation, not just short-circuited.
     if (!e.direct.empty() && e.direct[swi].eligible()) {
       return e.direct[swi].run(node, pkt, state_of(sw), ctx.scratch,
-                               &ctx.instr[swi]);
+                               &ctx.instr[swi], opts.check_soundness);
     }
     return e.decoded[swi].run(node, pkt, state_of(sw), ctx.scratch,
-                              &ctx.instr[swi]);
+                              &ctx.instr[swi], opts.check_soundness);
   }
 
   // ---- worker side --------------------------------------------------------
@@ -350,6 +391,7 @@ struct TrafficEngine::Impl {
     int dest = worker_of(t.sw);
     WorkerCtx& ctx = *ctxs[static_cast<std::size_t>(me)];
     ctx.forwards++;
+    if (t.traced) obs::instant(obs::Cat::kPktRingHop, t.seq, t.sw, t.epoch);
     TaskBatch& b = ctx.out_pending[static_cast<std::size_t>(dest)];
     b.t[b.n++] = std::move(t);
     if (static_cast<int>(b.n) >= B) flush_tasks(me, dest);
@@ -405,6 +447,8 @@ struct TrafficEngine::Impl {
   // Phase 3: apply field mods per surviving copy, walk to egress, record
   // the delivery (serial inject's last loop, with epoch-local counters).
   void egress_and_complete(int me, EpochCtx& e, Task& t) {
+    // Stage clock: everything since the last mark was the program walk.
+    obs::stage_mark(obs::Cat::kExec);
     WorkerCtx& ctx = *ctxs[static_cast<std::size_t>(me)];
     const ActionSet& actions = e.store->leaf_actions(t.node);
     const FieldId outport_f = fields::outport();
@@ -436,6 +480,7 @@ struct TrafficEngine::Impl {
       ctx.deliveries.push_back({t.seq, my_copy, egress, std::move(copy)});
     }
     complete(me, t);
+    obs::stage_mark(obs::Cat::kEgress);
   }
 
   // Runs a task as far as it can on this shard, then forwards or completes.
@@ -449,9 +494,22 @@ struct TrafficEngine::Impl {
       // scheduler additionally drained M-conflicting in-flight packets
       // before sending it.
       net->migrate_switch_state(t.sw, e.placement, t.migrate_clear);
+      obs::stage_mark(obs::Cat::kEpochSwap);
       complete(me, t);
       return;
     }
+    // Sampled packet tracing: one kPktSegment span per (worker, visit) of
+    // a traced packet's walk, closed just before the task leaves this
+    // shard (forward or completion).
+    const bool traced = t.traced && obs::tracing();
+    const std::uint64_t seg_t0 = traced ? obs::tick_ns() : 0;
+    const std::uint64_t seg_sw = static_cast<std::uint64_t>(t.sw);
+    auto seg_end = [&](const Task& tt) {
+      if (traced) {
+        obs::record(obs::Cat::kPktSegment, seg_t0, obs::tick_ns(), tt.seq,
+                    seg_sw, tt.epoch, tt.hops);
+      }
+    };
     // Arm the conflict-mask soundness cross-check for this walk segment:
     // every state access run_switch performs below must lie inside the
     // mask the scheduler dispatched this packet under. Re-armed on every
@@ -472,6 +530,7 @@ struct TrafficEngine::Impl {
           t.node = oc.node;
           walk(e, t, target, "packet walked too long while resolving state");
           if (worker_of(t.sw) == me) continue;
+          seg_end(t);
           send(me, std::move(t));
           return;
         }
@@ -502,6 +561,7 @@ struct TrafficEngine::Impl {
       }
       if (next_owner < 0) {
         egress_and_complete(me, e, t);
+        seg_end(t);
         return;
       }
       // Each owner walk gets a fresh budget — the serial path budgets its
@@ -510,6 +570,7 @@ struct TrafficEngine::Impl {
       t.guard = guard_budget;
       walk(e, t, next_owner, "packet walked too long while writing state");
       if (worker_of(t.sw) != me) {
+        seg_end(t);
         send(me, std::move(t));
         return;
       }
@@ -534,6 +595,18 @@ struct TrafficEngine::Impl {
   }
 
   void worker_loop(int me) {
+    // Bind this worker's telemetry buffer (null = every hook disarmed)
+    // for exactly the loop's lifetime, and stamp its wall clock on exit
+    // so the cycle table sees the full loop duration.
+    obs::ThreadBuf* buf = me < static_cast<int>(obs_bufs.size())
+                              ? obs_bufs[static_cast<std::size_t>(me)].get()
+                              : nullptr;
+    obs::BindThread bind(buf);
+    worker_body(me);
+    if (buf) buf->finish();
+  }
+
+  void worker_body(int me) {
     try {
       std::array<Task, static_cast<std::size_t>(kMaxTaskBurst)> in;
       for (;;) {
@@ -545,19 +618,27 @@ struct TrafficEngine::Impl {
           while ((k = ring(p, me).try_pop_batch(in.data(), in.size())) >
                  0) {
             did = true;
+            // Stage clock: polling + the successful batched pop.
+            obs::stage_mark(obs::Cat::kRingPop);
             for (std::size_t i = 0; i < k; ++i) {
               process(me, in[i]);
               if (abort.load(std::memory_order_relaxed)) return;
             }
+            // Whatever process() did not attribute itself (forwarded
+            // walks, batching) is execution.
+            obs::stage_mark(obs::Cat::kExec);
           }
         }
         // Sweep boundary: partial batches must not strand in-flight
         // packets (or completions the conflict gate is waiting on).
         for (int d = 0; d < W; ++d) flush_tasks(me, d);
         flush_completions(me);
-        if (!did) {
+        if (did) {
+          obs::stage_mark(obs::Cat::kRingPush);
+        } else {
           if (stop.load(std::memory_order_acquire)) return;
           std::this_thread::yield();
+          obs::stage_mark(obs::Cat::kIdle);
         }
       }
     } catch (...) {
@@ -654,6 +735,8 @@ struct TrafficEngine::Impl {
     stats.per_switch_events.assign(static_cast<std::size_t>(num_sw), 0);
     stats.hop_histogram.assign(65, 0);
     stats.latency_histogram.assign(32, 0);
+    stats.ring_hwm.assign(static_cast<std::size_t>(W), 0);
+    stats.comp_ring_hwm.assign(static_cast<std::size_t>(W), 0);
     guard_budget = num_sw * 4 + 16;
     marks.clear();
     corrupt_masks.clear();
@@ -690,6 +773,7 @@ struct TrafficEngine::Impl {
                     net->order());
     EpochCtx* cur = epochs[0].get();
     stats.direct_switches = cur->direct_switches;
+    stats.epoch_slot_hwm = 1;
 
     // Fresh rings and worker contexts. Task-ring capacity is the window
     // (at most `window` packets in flight, each owning at most one slot)
@@ -718,6 +802,27 @@ struct TrafficEngine::Impl {
     stop.store(false);
     abort.store(false);
     err = nullptr;
+
+    // Telemetry buffers (one per worker + the scheduler), created and
+    // armed before any engine thread runs. The single ring allocation per
+    // thread happens here, on the control path, so the hot path stays
+    // allocation-free with telemetry on.
+    const std::uint32_t tsample = opts.trace_sample;
+    const bool obs_on = opts.profile || tsample > 0;
+    obs_bufs.clear();
+    trace_data = obs::TraceData{};
+    if (obs_on) {
+      for (int w = 0; w < W; ++w) {
+        obs_bufs.push_back(std::make_unique<obs::ThreadBuf>(
+            "worker" + std::to_string(w),
+            static_cast<std::uint32_t>(w) + 1));
+      }
+      obs_bufs.push_back(std::make_unique<obs::ThreadBuf>("scheduler", 0));
+      for (auto& b : obs_bufs) b->arm(tsample > 0, opts.profile);
+    }
+    obs::ThreadBuf* sched_buf =
+        obs_on ? obs_bufs[static_cast<std::size_t>(W)].get() : nullptr;
+    obs::BindThread sched_bind(sched_buf);
 
     // The workers live on a thread pool; each loop occupies one pool
     // thread until the scheduler raises `stop`.
@@ -795,9 +900,19 @@ struct TrafficEngine::Impl {
     auto sched_flush = [&](int dest) {
       TaskBatch& b = sched_pending[static_cast<std::size_t>(dest)];
       if (b.n == 0) return;
+      if (opts.profile) {
+        // Ring-occupancy high-water mark, sampled at flush boundaries
+        // (size() is the producer's own conservative view).
+        std::uint64_t occ = ring(W, dest).size();
+        std::uint64_t& hwm = stats.ring_hwm[static_cast<std::size_t>(dest)];
+        if (occ > hwm) hwm = occ;
+      }
+      bool was_full = false;
       while (!ring(W, dest).try_push_batch(b.t.data(), b.n)) {
+        was_full = true;
         std::this_thread::yield();  // unreachable with the sized capacity
       }
+      if (was_full) obs::stage_mark(obs::Cat::kRingFull);
       b.n = 0;
     };
     auto sched_send = [&](Task&& t) {
@@ -832,6 +947,13 @@ struct TrafficEngine::Impl {
     std::size_t ahead_begin = 0, ahead_end = 0;
     double due_s = -1;  // when the pending event's boundary was reached
     std::array<Completion, static_cast<std::size_t>(kMaxTaskBurst)> cbuf;
+    // Stall attribution: why did the last dispatch sweep stop? Drives the
+    // scheduler's kGateWait-vs-kDrain stage split, and (packet tracing)
+    // the kPktGateWait record stamped when a sampled blocked head is
+    // finally dispatched.
+    bool head_blocked = false;
+    std::uint64_t blocked_seq = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t blocked_t0 = 0;
 
     auto release_hold = [&] {
       for (StateVarId v : migration_hold) --active[v];
@@ -841,6 +963,12 @@ struct TrafficEngine::Impl {
     auto drain_completions = [&]() -> bool {
       bool progress = false;
       for (int w = 0; w < W; ++w) {
+        if (opts.profile) {
+          std::uint64_t occ = comps[static_cast<std::size_t>(w)]->size();
+          std::uint64_t& hwm =
+              stats.comp_ring_hwm[static_cast<std::size_t>(w)];
+          if (occ > hwm) hwm = occ;
+        }
         std::size_t k;
         while ((k = comps[static_cast<std::size_t>(w)]->try_pop_batch(
                     cbuf.data(), cbuf.size())) > 0) {
@@ -857,6 +985,10 @@ struct TrafficEngine::Impl {
             ++completed;
             --inflight;
             --inflight_slot[c.epoch % kEpochSlots];
+            if (tsample && c.seq % tsample == 0) {
+              obs::instant(obs::Cat::kPktComplete, c.seq, 0, c.epoch,
+                           c.hops);
+            }
             stats.hops += c.hops;
             ++stats.hop_histogram[std::min<std::uint32_t>(c.hops, 64)];
             std::uint32_t bucket = 0;
@@ -893,10 +1025,16 @@ struct TrafficEngine::Impl {
     // kMigrate barrier per affected switch — ring-FIFO after every
     // old-epoch dispatch, before every new-epoch one.
     auto try_apply_event = [&](LiveEvent& ev) -> bool {
-      if (pending_migrations > 0) return false;
+      if (pending_migrations > 0) {
+        ++stats.epoch_stall_migration;
+        return false;
+      }
       const std::uint32_t id = cur->id + 1;
       const std::uint32_t slot = id % kEpochSlots;
-      if (epochs[slot] && inflight_slot[slot] > 0) return false;
+      if (epochs[slot] && inflight_slot[slot] > 0) {
+        ++stats.epoch_stall_slot;
+        return false;
+      }
       const RuleDelta& d = ev.delta;
       SNAP_CHECK(d.store != nullptr, "live event carries no xFDD store");
       SNAP_CHECK(d.topo.num_switches() == num_sw,
@@ -924,7 +1062,10 @@ struct TrafficEngine::Impl {
       }
       if (opts.deterministic) {
         for (StateVarId v : mset) {
-          if (v < active.size() && active[v] > 0) return false;
+          if (v < active.size() && active[v] > 0) {
+            ++stats.epoch_stall_mask;
+            return false;
+          }
         }
       }
       // Point of no return: patch the Network's rules. Workers never read
@@ -954,6 +1095,13 @@ struct TrafficEngine::Impl {
       // the ring push below is the release edge workers acquire.
       epochs[slot] = std::move(e);
       cur = epochs[slot].get();
+      std::uint32_t live_slots = 0;
+      for (const auto& s : epochs) {
+        if (s) ++live_slots;
+      }
+      if (live_slots > stats.epoch_slot_hwm) {
+        stats.epoch_slot_hwm = live_slots;
+      }
       std::size_t barriers = 0;
       auto send_barrier = [&](int s, bool clear) {
         Task t;
@@ -1016,13 +1164,18 @@ struct TrafficEngine::Impl {
     while (completed < N && !abort.load(std::memory_order_acquire)) {
       bool progress = false;
       merge_async();
+      head_blocked = false;
       while (next < N && inflight < opts.window) {
         // Every event due at this boundary swaps before the packet at its
         // at_seq dispatches: a packet's epoch is exactly the number of
         // events at or before its sequence number, in both modes.
         if (ei < schedule.size() && schedule[ei].at_seq <= next) {
           if (due_s < 0) due_s = timer.seconds();
-          if (!try_apply_event(schedule[ei])) break;  // drain first
+          bool applied = try_apply_event(schedule[ei]);
+          // Everything the event machinery just did (polled preconditions
+          // or built the whole epoch snapshot) is epoch-swap time.
+          obs::stage_mark(obs::Cat::kEpochSwap);
+          if (!applied) break;  // drain first
           ++ei;
           due_s = -1;
           progress = true;
@@ -1058,7 +1211,14 @@ struct TrafficEngine::Impl {
                 break;
               }
             }
-            if (blocked) break;  // strict sequence order: wait it out
+            if (blocked) {
+              head_blocked = true;
+              if (tsample && next % tsample == 0 && blocked_seq != next) {
+                blocked_seq = next;
+                blocked_t0 = obs::tick_ns();
+              }
+              break;  // strict sequence order: wait it out
+            }
             for (StateVarId v : vars) {
               if (active[v]++ == 0) conf[v] = confined ? cw : -1;
             }
@@ -1075,6 +1235,18 @@ struct TrafficEngine::Impl {
         t.guard = guard_budget;
         t.inport = sp.inport;
         t.t_dispatch_ns = now_ns();
+        if (tsample && next % tsample == 0) {
+          t.traced = true;
+          if (blocked_seq == next) {
+            // The sampled head waited in the conflict gate from
+            // blocked_t0 until now.
+            obs::record(obs::Cat::kPktGateWait, blocked_t0, obs::tick_ns(),
+                        next, static_cast<std::uint64_t>(isw), cur->id);
+            blocked_seq = std::numeric_limits<std::uint64_t>::max();
+          }
+          obs::instant(obs::Cat::kPktDispatch, next,
+                       static_cast<std::uint64_t>(isw), cur->id);
+        }
         if (opts.check_soundness && opts.deterministic) {
           // head_mask is valid here: deterministic dispatch always resolved
           // it above. The interned mask entry outlives the walk (see Task).
@@ -1102,12 +1274,17 @@ struct TrafficEngine::Impl {
         ++inflight;
         progress = true;
       }
+      // Stage clock: the dispatch sweep (mask lookups, gate checks, burst
+      // assembly) ends here.
+      obs::stage_mark(obs::Cat::kDispatch);
       // The stream is fully dispatched: trailing events (at_seq >= N)
       // still swap, so the final rules/state match the reference replay.
       if (next >= N) {
         while (ei < schedule.size()) {
           if (due_s < 0) due_s = timer.seconds();
-          if (!try_apply_event(schedule[ei])) break;
+          bool applied = try_apply_event(schedule[ei]);
+          obs::stage_mark(obs::Cat::kEpochSwap);
+          if (!applied) break;
           ++ei;
           due_s = -1;
           progress = true;
@@ -1116,8 +1293,23 @@ struct TrafficEngine::Impl {
       // Conflict-window boundary (blocked head, full window, or drained
       // workload): hand workers every partial batch before waiting.
       for (int d = 0; d < W; ++d) sched_flush(d);
+      obs::stage_mark(obs::Cat::kRingPush);
       if (drain_completions()) progress = true;
-      if (!progress) std::this_thread::yield();
+      // Attribute the wait: an undispatchable head means the completions
+      // we just polled for are what the conflict gate is blocked on; a
+      // pending event means the epoch barrier is draining; otherwise this
+      // was ordinary completion draining.
+      if (due_s >= 0) {
+        obs::stage_mark(obs::Cat::kEpochSwap);
+      } else if (head_blocked) {
+        obs::stage_mark(obs::Cat::kGateWait);
+      } else {
+        obs::stage_mark(obs::Cat::kDrain);
+      }
+      if (!progress) {
+        std::this_thread::yield();
+        obs::stage_mark(obs::Cat::kIdle);
+      }
     }
     // Post-stream: apply any events still pending and wait out their
     // migration barriers before stopping the workers.
@@ -1132,10 +1324,15 @@ struct TrafficEngine::Impl {
           due_s = -1;
           progress = true;
         }
+        obs::stage_mark(obs::Cat::kEpochSwap);
       }
       for (int d = 0; d < W; ++d) sched_flush(d);
       if (drain_completions()) progress = true;
-      if (!progress) std::this_thread::yield();
+      obs::stage_mark(obs::Cat::kDrain);
+      if (!progress) {
+        std::this_thread::yield();
+        obs::stage_mark(obs::Cat::kIdle);
+      }
     }
     } catch (...) {
       abort.store(true, std::memory_order_release);
@@ -1149,6 +1346,7 @@ struct TrafficEngine::Impl {
     }
     stop.store(true, std::memory_order_release);
     for (auto& f : loops) f.wait();
+    if (sched_buf) sched_buf->finish();
     stats.seconds = timer.seconds();
     live_seconds_ns.store(static_cast<std::uint64_t>(stats.seconds * 1e9),
                           std::memory_order_relaxed);
@@ -1197,6 +1395,88 @@ struct TrafficEngine::Impl {
                 return a.seq != b.seq ? a.seq < b.seq : a.copy < b.copy;
               });
     stats.deliveries = all.size();
+
+    // Telemetry collection (control path, clocks stopped): fold the
+    // per-thread stage clocks into the cycle-accounting table and drain
+    // the span rings for trace export.
+    if (obs_on) {
+      for (auto& b : obs_bufs) {
+        if (opts.profile) {
+          SimStats::CycleRow row;
+          row.name = b->name();
+          row.wall_ns = b->wall_ns();
+          const auto& cn = b->cat_ns();
+          row.cat_ns.assign(cn.begin(),
+                            cn.begin() + static_cast<std::ptrdiff_t>(
+                                             obs::kAcctCatCount));
+          stats.cycles.push_back(std::move(row));
+        }
+        if (tsample > 0) {
+          obs::TraceThread th;
+          th.name = b->name();
+          th.tid = b->tid();
+          th.recs = b->drain();
+          th.dropped = b->dropped();
+          stats.trace_records += th.recs.size();
+          stats.trace_dropped += th.dropped;
+          trace_data.threads.push_back(std::move(th));
+        }
+      }
+      obs_bufs.clear();
+    }
+
+    // Metrics registry (obs/metrics.h): the occupancy / stall / cache
+    // figures `snapc --serve` exposes and `--metrics` dumps.
+    {
+      auto& reg = obs::Registry::global();
+      reg.set_gauge("snap_engine_workers", W, "engine worker threads");
+      reg.set_counter("snap_engine_packets_total",
+                      static_cast<double>(stats.packets),
+                      "packets processed by the last run");
+      reg.set_counter("snap_engine_deliveries_total",
+                      static_cast<double>(stats.deliveries),
+                      "deliveries produced by the last run");
+      reg.set_gauge("snap_engine_pps", stats.pps,
+                    "packets per second of the last run");
+      reg.set_counter("snap_conflict_cache_hits_total",
+                      static_cast<double>(stats.conflict_hits),
+                      "conflict-mask lookups served from cache");
+      reg.set_counter("snap_conflict_cache_misses_total",
+                      static_cast<double>(stats.conflict_misses),
+                      "conflict-mask lookups that walked the diagram");
+      reg.set_gauge("snap_epoch_slot_hwm", stats.epoch_slot_hwm,
+                    "concurrently-live epoch slots high-water mark");
+      reg.set_counter("snap_epoch_stall_total{cause=\"slot\"}",
+                      static_cast<double>(stats.epoch_stall_slot),
+                      "epoch-swap polls stalled, by cause");
+      reg.set_counter("snap_epoch_stall_total{cause=\"mask\"}",
+                      static_cast<double>(stats.epoch_stall_mask));
+      reg.set_counter("snap_epoch_stall_total{cause=\"migration\"}",
+                      static_cast<double>(stats.epoch_stall_migration));
+      for (int w = 0; w < W; ++w) {
+        const std::string lw = "w" + std::to_string(w);
+        reg.set_gauge(
+            "snap_ring_occupancy_hwm{ring=\"task_" + lw + "\"}",
+            static_cast<double>(
+                stats.ring_hwm[static_cast<std::size_t>(w)]),
+            "SPSC ring occupancy high-water marks (profile mode)");
+        reg.set_gauge(
+            "snap_ring_occupancy_hwm{ring=\"comp_" + lw + "\"}",
+            static_cast<double>(
+                stats.comp_ring_hwm[static_cast<std::size_t>(w)]));
+      }
+      std::uint64_t entries = 0;
+      for (int sw = 0; sw < num_sw; ++sw) {
+        const Store& st = net->switch_at(sw).state();
+        for (StateVarId v : st.var_ids()) {
+          entries += st.table(v).entries().size();
+        }
+      }
+      reg.set_gauge("snap_state_table_entries",
+                    static_cast<double>(entries),
+                    "state-table entries across all switches");
+    }
+
     std::vector<Network::Delivery> out;
     out.reserve(all.size());
     for (auto& d : all) {
@@ -1260,6 +1540,10 @@ TrafficEngine::epoch_marks() const {
 }
 
 const SimStats& TrafficEngine::stats() const { return impl_->stats; }
+
+const obs::TraceData& TrafficEngine::trace() const {
+  return impl_->trace_data;
+}
 
 Network& TrafficEngine::network() { return *impl_->net; }
 

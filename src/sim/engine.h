@@ -95,6 +95,7 @@
 #include <vector>
 
 #include "dataplane/network.h"
+#include "obs/trace.h"
 #include "sim/workload.h"
 
 namespace snap {
@@ -143,6 +144,15 @@ struct EngineOptions {
   // sparse-state-id bug class) so tests can prove the cross-check fires.
   // Negative = off.
   int corrupt_soundness_var = -1;
+  // Stall-attribution profiling: arm the per-thread stage clocks and
+  // collect the per-worker cycle-accounting table into SimStats::cycles.
+  // Costs a few steady-clock reads per task burst; off by default.
+  bool profile = false;
+  // Sampled packet tracing: 0 = off, N = trace every packet whose
+  // sequence is a multiple of N (deterministic in the workload, not the
+  // schedule). Traced records are exported via trace() as Chrome
+  // trace-event JSON. Implies span recording on every engine thread.
+  std::uint32_t trace_sample = 0;
 };
 
 // One entry of a run_live schedule: apply `delta` before dispatching the
@@ -211,6 +221,33 @@ struct SimStats {
   std::uint32_t epochs = 1;           // policy epochs the run spanned
   std::vector<LiveEventStats> events; // one per applied live event
 
+  // One row of the per-thread cycle-accounting table (profile mode):
+  // wall time of the thread's loop partitioned into obs::Cat buckets
+  // (exec / ring / gate-wait / idle / ...). Whatever the stage clock
+  // did not attribute is the residual (instrumentation + untracked).
+  struct CycleRow {
+    std::string name;  // "scheduler", "worker0", ...
+    std::uint64_t wall_ns = 0;
+    std::vector<std::uint64_t> cat_ns;  // obs::kAcctCatCount entries
+  };
+  std::vector<CycleRow> cycles;  // empty unless EngineOptions::profile
+
+  // Ring-occupancy high-water marks sampled on scheduler flush boundaries
+  // (profile mode): task inbox and completion ring per worker.
+  std::vector<std::uint64_t> ring_hwm;
+  std::vector<std::uint64_t> comp_ring_hwm;
+
+  // Epoch machinery occupancy/stall counters (always on — control path).
+  // Stalls count try_apply_event polls that bailed, by cause.
+  std::uint32_t epoch_slot_hwm = 0;
+  std::uint64_t epoch_stall_slot = 0;       // all kEpochSlots occupied
+  std::uint64_t epoch_stall_mask = 0;       // M-conflicting packets in flight
+  std::uint64_t epoch_stall_migration = 0;  // prior migration not drained
+  // Sampled packet tracing (trace_sample mode): records retained across
+  // all thread rings, and flight-recorder overwrites.
+  std::uint64_t trace_records = 0;
+  std::uint64_t trace_dropped = 0;
+
   // Doubles (seconds, pps) are emitted at max_digits10 so the JSON perf
   // trajectory round-trips without precision loss.
   std::string to_json() const;
@@ -264,6 +301,10 @@ class TrafficEngine {
 
   // Statistics of the last run().
   const SimStats& stats() const;
+
+  // Drained span rings of the last run (profile or trace_sample mode):
+  // one TraceThread per engine thread, ready for obs::write_chrome_trace.
+  const obs::TraceData& trace() const;
 
   Network& network();
 

@@ -103,6 +103,15 @@ class SpscRing {
            tail_.load(std::memory_order_acquire);
   }
 
+  // Occupancy probe — exact only for a thread that owns one of the
+  // cursors (producer sees at-least, consumer at-most); the telemetry
+  // layer samples ring high-water marks through this.
+  std::size_t size() const {
+    return (tail_.load(std::memory_order_acquire) -
+            head_.load(std::memory_order_acquire)) &
+           mask_;
+  }
+
  private:
   std::vector<T> slots_;
   std::size_t mask_ = 0;

@@ -38,6 +38,25 @@
 //                      default 32; bursts amortize the scheduler's SPSC
 //                      round-trip in deterministic mode). --batch is an
 //                      accepted alias.
+//   --profile          arm stall-attribution profiling: per-thread stage
+//                      clocks partition each engine thread's wall time into
+//                      named causes (exec / ring / gate-wait / idle / ...),
+//                      reported as the cycle-accounting table ("cycles" in
+//                      the simulation JSON, a per-worker table in human
+//                      output)
+//   --trace FILE       sampled packet tracing: write a Chrome trace-event
+//                      JSON file (loadable in Perfetto / chrome://tracing)
+//                      with compiler phase spans, engine stage spans, and
+//                      per-hop records of every sampled packet
+//   --trace-sample N   trace 1-in-N packets by sequence number (default 1
+//                      = every packet; implies nothing without --trace)
+//   --metrics FILE     dump the metrics registry at exit — Prometheus text
+//                      exposition, or a flat JSON object when FILE ends in
+//                      .json (ring high-water marks, epoch stalls,
+//                      conflict-cache hit rates, state-table entries,
+//                      compile phase times). In --serve mode the registry
+//                      is also printed about once a second while the
+//                      stream runs
 //   --lint             run snap-lint (analysis/lint.h) over the final
 //                      compiled session: AST rules (dead state, unbounded
 //                      state, parallel write-write races), diagram hygiene
@@ -68,6 +87,9 @@
 
 #include "apps/apps.h"
 #include "compiler/session.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "sim/workload.h"
 #include "topo/parse.h"
@@ -94,7 +116,9 @@ void usage() {
                " [--const NAME=VAL]... [--traffic SEED] [--load GBPS]"
                " [--solver auto|exact|scalable] [--threads N]"
                " [--script FILE] [--simulate N | --serve N] [--scenario NAME]"
-               " [--workers W] [--burst N] [--lint] [--json] [--dot FILE]"
+               " [--workers W] [--burst N] [--profile] [--trace FILE]"
+               " [--trace-sample N] [--metrics FILE]"
+               " [--lint] [--json] [--dot FILE]"
                " [--rules]"
                " [--quiet]\n");
 }
@@ -118,6 +142,39 @@ std::string json_escape(const std::string& s) {
     }
   }
   return out;
+}
+
+// Human form of the cycle-accounting table (--profile): one line per
+// engine thread, wall time split into the stage-clock buckets.
+std::string cycles_human(const sim::SimStats& st) {
+  if (st.cycles.empty()) return "";
+  std::ostringstream os;
+  os << "\ncycle accounting (% of each thread's wall time):\n";
+  for (const sim::SimStats::CycleRow& row : st.cycles) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "  %-10s %8.2f ms:", row.name.c_str(),
+                  static_cast<double>(row.wall_ns) * 1e-6);
+    os << buf;
+    std::uint64_t attributed = 0;
+    for (std::size_t c = 0; c < row.cat_ns.size(); ++c) {
+      attributed += row.cat_ns[c];
+      if (row.cat_ns[c] == 0 || row.wall_ns == 0) continue;
+      std::snprintf(buf, sizeof buf, " %s=%.1f%%",
+                    obs::cat_name(static_cast<obs::Cat>(c)),
+                    100.0 * static_cast<double>(row.cat_ns[c]) /
+                        static_cast<double>(row.wall_ns));
+      os << buf;
+    }
+    if (row.wall_ns > attributed) {
+      std::snprintf(buf, sizeof buf, " other=%.1f%%",
+                    100.0 *
+                        static_cast<double>(row.wall_ns - attributed) /
+                        static_cast<double>(row.wall_ns));
+      os << buf;
+    }
+    os << "\n";
+  }
+  return os.str();
 }
 
 // One executed event, remembered for the final report.
@@ -304,6 +361,9 @@ int run(int argc, char** argv) {
   bool print_rules = false, quiet = false, json = false, lint = false;
   long long simulate = 0, serve = 0;
   std::string scenario_name = "mixed";
+  std::string trace_file, metrics_file;
+  long long trace_sample = 0;
+  bool profile = false;
   CompilerOptions opts;
   sim::EngineOptions sim_opts;
 
@@ -391,6 +451,22 @@ int run(int argc, char** argv) {
       sim_opts.burst = static_cast<int>(n);
     } else if (!std::strcmp(argv[i], "--script")) {
       script_file = need("--script");
+    } else if (!std::strcmp(argv[i], "--profile")) {
+      profile = true;
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      trace_file = need("--trace");
+    } else if (!std::strcmp(argv[i], "--trace-sample")) {
+      const char* arg = need("--trace-sample");
+      char* end = nullptr;
+      long long n = std::strtoll(arg, &end, 10);
+      if (end == arg || *end != '\0' || n < 1 || n >= (1ll << 32)) {
+        std::fprintf(stderr, "bad --trace-sample '%s' (want 1..2^32-1)\n",
+                     arg);
+        return 2;
+      }
+      trace_sample = n;
+    } else if (!std::strcmp(argv[i], "--metrics")) {
+      metrics_file = need("--metrics");
     } else if (!std::strcmp(argv[i], "--lint")) {
       lint = true;
     } else if (!std::strcmp(argv[i], "--json")) {
@@ -415,6 +491,11 @@ int run(int argc, char** argv) {
     std::fprintf(stderr, "--simulate and --serve are mutually exclusive\n");
     return 2;
   }
+  if (!trace_file.empty() && trace_sample == 0) trace_sample = 1;
+  sim_opts.profile = profile;
+  sim_opts.trace_sample = trace_file.empty()
+                              ? 0
+                              : static_cast<std::uint32_t>(trace_sample);
   // Validate the scenario before compiling — a typo should not cost a
   // full cold start plus script replay.
   const sim::Scenario* scenario =
@@ -431,6 +512,13 @@ int run(int argc, char** argv) {
   TrafficMatrix tm = gravity_traffic(topo, load, seed);
   std::vector<ScriptEvent> script;
   if (!script_file.empty()) script = parse_script(slurp(script_file));
+
+  // Compiler telemetry: with --trace on, P1-P6 spans from this thread's
+  // Session calls land on the "compiler" track of the exported trace.
+  obs::ThreadBuf compiler_buf("compiler", 100);
+  const bool want_trace = !trace_file.empty();
+  if (want_trace) compiler_buf.arm(true, false);
+  obs::BindThread compiler_bind(want_trace ? &compiler_buf : nullptr);
 
   Session session(topo, std::move(tm), opts);
   std::vector<EventRow> rows;
@@ -465,6 +553,7 @@ int run(int argc, char** argv) {
   };
 
   std::string sim_json, sim_human;
+  obs::TraceData engine_trace;
   std::size_t serve_queued = 0, serve_adopted = 0;
   if (serve > 0) {
     // snapd mode: the workload runs first; script events recompile against
@@ -529,13 +618,28 @@ int run(int argc, char** argv) {
       runner.join();
       throw;
     }
-    // Let the stream drain, reporting live pps about once a second.
+    // Let the stream drain, reporting live pps (and, with --metrics, the
+    // current registry exposition) about once a second.
     double last_print = 0;
     for (;;) {
       sim::LiveProgress p = engine.live();
       if (!p.running) break;
       if (p.seconds - last_print >= 1.0) {
         progress(p, "running");
+        auto& reg = obs::Registry::global();
+        reg.set_gauge("snap_live_completed",
+                      static_cast<double>(p.completed),
+                      "packets completed by the running stream");
+        reg.set_gauge("snap_live_epoch", p.epoch,
+                      "current policy epoch of the running stream");
+        reg.set_gauge("snap_live_pps",
+                      p.seconds > 0
+                          ? static_cast<double>(p.completed) / p.seconds
+                          : 0.0,
+                      "live packets per second");
+        if (!metrics_file.empty() && !json && !quiet) {
+          std::printf("%s", reg.prometheus().c_str());
+        }
         last_print = p.seconds;
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -547,6 +651,7 @@ int run(int argc, char** argv) {
     const sim::SimStats& st = engine.stats();
     serve_adopted = st.events.size();
     sim_json = st.to_json();
+    engine_trace = engine.trace();
     if (!json) {
       std::ostringstream os;
       char buf[512];
@@ -577,6 +682,7 @@ int run(int argc, char** argv) {
            << " event(s) arrived after the stream drained; the run never"
               " executed on their rules)\n";
       }
+      os << cycles_human(st);
       sim_human = os.str();
     }
   } else {
@@ -593,6 +699,7 @@ int run(int argc, char** argv) {
     std::size_t delivered = engine.run(wl).size();
     const sim::SimStats& st = engine.stats();
     sim_json = st.to_json();
+    engine_trace = engine.trace();
     if (!json) {
       char buf[256];
       std::snprintf(
@@ -604,6 +711,7 @@ int run(int argc, char** argv) {
           static_cast<unsigned long long>(st.forwards),
           static_cast<unsigned long long>(st.hops), st.pps);
       sim_human = buf;
+      sim_human += cycles_human(st);
     }
   }
 
@@ -709,6 +817,33 @@ int run(int argc, char** argv) {
       std::printf("\n--- switch %d program (%zu instructions) ---\n%s", sw,
                   prog.code.size(), prog.disassemble().c_str());
     }
+  }
+  if (want_trace) {
+    compiler_buf.finish();
+    obs::TraceThread ct;
+    ct.name = "compiler";
+    ct.tid = compiler_buf.tid();
+    ct.recs = compiler_buf.drain();
+    ct.dropped = compiler_buf.dropped();
+    engine_trace.threads.push_back(std::move(ct));
+    if (!obs::write_chrome_trace_file(engine_trace, trace_file)) {
+      throw Error("cannot write trace to " + trace_file);
+    }
+    if (!json) {
+      std::printf("\nwrote Chrome trace-event JSON to %s (load in "
+                  "https://ui.perfetto.dev)\n",
+                  trace_file.c_str());
+    }
+  }
+  if (!metrics_file.empty()) {
+    std::ofstream os(metrics_file);
+    if (!os) throw Error("cannot write metrics to " + metrics_file);
+    const bool as_json =
+        metrics_file.size() >= 5 &&
+        metrics_file.compare(metrics_file.size() - 5, 5, ".json") == 0;
+    os << (as_json ? obs::Registry::global().json()
+                   : obs::Registry::global().prometheus());
+    if (!json) std::printf("wrote metrics to %s\n", metrics_file.c_str());
   }
   if (lint && lint_report.has_errors()) return 5;
   return 0;
