@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "sim/shardplan.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -148,6 +149,9 @@ RuleDelta Session::deployment() const {
     d.added.push_back(sw);
     d.programs.emplace(sw, prog);
   }
+  d.shard_hint = std::make_shared<const sim::ShardHint>(
+      sim::build_shard_hint(*cache_.store, cache_.root, *topo_,
+                            cache_.pr.placement, cache_.order, &cache_.psmap));
   return d;
 }
 
@@ -241,6 +245,9 @@ void Session::fill_delta_context(RuleDelta& delta, const Topology& topo,
   delta.path_rules_after = out.path_rules;
   delta.routing_changed =
       !compiled_ || cache_.pr.routing.paths != out.pr.routing.paths;
+  delta.shard_hint = std::make_shared<const sim::ShardHint>(
+      sim::build_shard_hint(*out.store, out.root, topo, out.pr.placement,
+                            out.order, &out.psmap));
 }
 
 std::pair<RuleDelta, std::map<int, netasm::Program>> Session::rulegen(

@@ -343,6 +343,7 @@ bool DirectXfdd::flatten(const XfddStore& store, XfddId root,
     out.nodes_.push_back(n);
   }
   for (const auto& [id, dense] : index) out.entries_.emplace_back(id, dense);
+  out.dense_orig_ = std::move(order);  // dense index -> store id
   out.root_dense_ = index.at(root);
   out.eligible_ = true;
   return true;

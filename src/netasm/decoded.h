@@ -273,6 +273,13 @@ class DirectXfdd {
   const std::vector<DecodedExpr>& exprs() const { return exprs_; }
   std::int32_t dense_root() const { return root_dense_; }
 
+  // Store id of a dense node — the inverse of the flatten index. The
+  // engine's RTC burst path resumes a per-switch interpreter at the
+  // classify terminal, which DNode does not carry for branch kinds.
+  XfddId orig_id(std::int32_t dense) const {
+    return dense_orig_[static_cast<std::size_t>(dense)];
+  }
+
  private:
   template <bool Sound>
   DecodedProgram::Outcome run_impl(XfddId node, const Packet& pkt,
@@ -297,6 +304,7 @@ class DirectXfdd {
   std::vector<DOp> ops_;      // flat pool of leaf-local write ops
   std::vector<DecodedExpr> exprs_;
   std::vector<std::pair<XfddId, std::int32_t>> entries_;  // sorted by id
+  std::vector<XfddId> dense_orig_;                        // dense -> store id
   std::vector<FieldStep> steps_;  // network mode: field-prefix schedule
   std::int32_t root_dense_ = -1;
 };

@@ -25,6 +25,12 @@ const char* cat_name(Cat c) {
       return "ring_full";
     case Cat::kDispatch:
       return "dispatch";
+    case Cat::kMaskResolve:
+      return "mask_resolve";
+    case Cat::kWindowAdmit:
+      return "window_admit";
+    case Cat::kBurstAssemble:
+      return "burst_assemble";
     case Cat::kGateWait:
       return "gate_wait";
     case Cat::kDrain:

@@ -58,8 +58,11 @@ enum class Cat : std::uint8_t {
   kRingPop,      // SPSC pop side (inbox sweeps that yielded work)
   kRingFull,     // full-ring backpressure (overflow spill / retry)
   // Scheduler stages.
-  kDispatch,   // mask lookup + burst assembly + send
-  kGateWait,   // conflict-window head blocked on an earlier packet
+  kDispatch,       // residual dispatch work (event checks, RTC descriptors)
+  kMaskResolve,    // bulk conflict-mask resolution (lookahead buffer refill)
+  kWindowAdmit,    // conflict-window admission sweep (gate checks, task fill)
+  kBurstAssemble,  // task-burst assembly + SPSC push
+  kGateWait,       // conflict-window head blocked on an earlier packet
   kDrain,      // completion draining
   kEpochSwap,  // live-update: epoch build / retire / migration hold
   // Cross-cutting.

@@ -26,6 +26,10 @@ namespace snap {
 
 class ThreadPool;
 
+namespace sim {
+struct ShardHint;
+}
+
 struct RuleDelta {
   // Context the new programs run against. The store is shared so the delta
   // (and any Network it is applied to) keeps the diagram alive after the
@@ -36,6 +40,12 @@ struct RuleDelta {
   Placement placement;
   Routing routing;
   TestOrder order;
+
+  // Conflict-locality sharding hint (sim/shardplan.h), computed once per
+  // compile by the Session so the engine's switch→worker plan reuses the
+  // psmap/placement analyses instead of re-deriving them. May be null —
+  // engines then build their own hint from the context above.
+  std::shared_ptr<const sim::ShardHint> shard_hint;
 
   // The program diff, as switch ids (each switch appears in exactly one).
   std::vector<int> added;      // had no program, now has one (restored)

@@ -60,7 +60,13 @@ std::string SimStats::to_json() const {
      << ",\"workers\":" << workers << ",\"burst\":" << burst
      << ",\"steady_allocs\":" << steady_allocs
      << ",\"direct_switches\":" << direct_switches
-     << ",\"deterministic\":" << (deterministic ? "true" : "false");
+     << ",\"deterministic\":" << (deterministic ? "true" : "false")
+     << ",\"shard_mode\":\"" << shard_mode << "\""
+     << ",\"shard_cross_edges\":" << shard_cross_edges
+     << ",\"shard_total_edges\":" << shard_total_edges
+     << ",\"shard_drift\":" << shard_drift
+     << ",\"lookahead_dispatches\":" << lookahead_dispatches
+     << ",\"rtc_bursts\":" << rtc_bursts;
   auto arr = [&os](const char* name, const std::vector<std::uint64_t>& v) {
     os << ",\"" << name << "\":[";
     for (std::size_t i = 0; i < v.size(); ++i) os << (i ? "," : "") << v[i];
@@ -144,6 +150,12 @@ struct TrafficEngine::Impl {
     // epoch-relative).
     std::unique_ptr<ConflictCache> conflict;
     std::vector<int> mask_worker;
+    // Free-running RTC (built only when the run dispatches SoA bursts):
+    // the network-mode flat diagram and the classify plan for the run's
+    // trace universe. Workers resume per-switch interpreters at the
+    // classify terminals.
+    netasm::DirectXfdd net_direct;
+    netasm::DirectXfdd::ClassifyPlan rtc_plan;
     // Hop accounting against this epoch's topology, folded into the
     // Network at retirement (workers must not touch the Network's own
     // topology/counters — the scheduler repatches them mid-run).
@@ -165,11 +177,15 @@ struct TrafficEngine::Impl {
   // affected switch, riding the same rings so per-worker FIFO places them
   // after every old-epoch dispatch and before every new-epoch one.
   struct Task {
-    enum class Phase : std::uint8_t { kResolve, kWrite, kMigrate };
+    // kBurst is the free-running RTC descriptor: "classify and drain your
+    // lanes of SoA burst `burst_idx`" — one per worker owning at least one
+    // lane's ingress switch, fanned out by the scheduler.
+    enum class Phase : std::uint8_t { kResolve, kWrite, kMigrate, kBurst };
     Phase phase = Phase::kResolve;
     std::uint32_t seq = 0;
     std::uint32_t epoch = 0;
     std::uint32_t hops = 0;
+    std::uint32_t burst_idx = 0;  // kBurst only
     int sw = 0;
     XfddId node = 0;
     int guard = 0;
@@ -233,6 +249,12 @@ struct TrafficEngine::Impl {
     std::vector<std::uint64_t> events;  // per switch
     std::uint64_t forwards = 0;
     netasm::DecodedProgram::Scratch scratch;
+    // Free-running RTC classification outputs for one burst's lanes.
+    netasm::DirectXfdd::ClassifyScratch cls_scratch;
+    std::array<std::int32_t, static_cast<std::size_t>(kMaxTaskBurst)>
+        cls_terminal{};
+    std::array<std::uint16_t, static_cast<std::size_t>(kMaxTaskBurst)>
+        cls_instr{};
     // Per-leaf write plan: (var, owner) in (state-rank, id) order. Keyed
     // by (epoch << 32 | leaf): leaf ids collide across epochs' stores.
     std::unordered_map<std::uint64_t,
@@ -261,6 +283,17 @@ struct TrafficEngine::Impl {
   int B = 1;  // effective tasks per ring message
   int guard_budget = 0;
   SimStats stats;
+
+  // The switch→worker plan (built at construction from the RuleDelta's
+  // compiler hint or a locally-derived one, frozen across epoch swaps)
+  // and the hint it was scored with.
+  std::shared_ptr<const ShardHint> hint;
+  ShardPlan splan;
+  // Free-running RTC burst trace for the current run (workers read it
+  // through kBurst descriptors). Packed on the control path, before the
+  // run's timer starts.
+  BurstTrace rtc_storage;
+  bool rtc_active = false;
 
   // Live-epoch slots (slot = id % kEpochSlots). The scheduler writes a
   // slot strictly before pushing any task of that epoch; the ring's
@@ -310,7 +343,9 @@ struct TrafficEngine::Impl {
   std::atomic<std::uint64_t> live_seconds_ns{0};
   std::atomic<bool> live_running{false};
 
-  explicit Impl(Network& n, EngineOptions o) : net(&n), opts(o) {
+  explicit Impl(Network& n, EngineOptions o,
+                std::shared_ptr<const ShardHint> h = nullptr)
+      : net(&n), opts(std::move(o)), hint(std::move(h)) {
     SNAP_CHECK(net->topo().num_switches() <= 256,
                "traffic engine shards at most 256 switches");
     W = opts.workers;
@@ -321,9 +356,59 @@ struct TrafficEngine::Impl {
     W = std::min(W, std::max(1, net->topo().num_switches()));
     if (opts.window < 16) opts.window = 16;
     B = std::clamp(opts.burst, 1, kMaxTaskBurst);
+    build_plan();
   }
 
-  int worker_of(int sw) const { return sw % W; }
+  void build_plan() {
+    const int num_sw = net->topo().num_switches();
+    if (!hint) {
+      // No compiler hint rode in (legacy Network& construction): derive
+      // one from the same inputs. Best-effort — a program psmap rejects
+      // still yields co-occurrence edges, and total failure degrades to
+      // an empty hint (the plan then spreads by weightless balance).
+      try {
+        hint = std::make_shared<const ShardHint>(
+            build_shard_hint(net->store(), net->root(), net->topo(),
+                             net->placement(), net->order()));
+      } catch (...) {
+        hint = std::make_shared<const ShardHint>();
+      }
+    }
+    switch (opts.shard) {
+      case ShardMode::kExplicit:
+        SNAP_CHECK(static_cast<int>(opts.shard_map.size()) == num_sw,
+                   "shard_map must hold one worker id per switch");
+        for (int wk : opts.shard_map) {
+          SNAP_CHECK(wk >= 0 && wk < W,
+                     "shard_map names a worker outside [0, workers)");
+        }
+        splan.worker = opts.shard_map;
+        splan.workers = W;
+        splan.mode = "explicit";
+        score_plan(*hint, splan);
+        break;
+      case ShardMode::kRoundRobin:
+        splan = plan_round_robin(num_sw, W);
+        score_plan(*hint, splan);
+        break;
+      case ShardMode::kLocality:
+        splan = plan_from_hint(*hint, W);
+        break;
+    }
+    // Degenerate hint (num_switches mismatch): cover the tail round-robin
+    // so worker_of stays total.
+    if (static_cast<int>(splan.worker.size()) < num_sw) {
+      std::size_t i = splan.worker.size();
+      splan.worker.resize(static_cast<std::size_t>(num_sw));
+      for (; i < splan.worker.size(); ++i) {
+        splan.worker[i] = static_cast<int>(i) % W;
+      }
+    }
+  }
+
+  int worker_of(int sw) const {
+    return splan.worker[static_cast<std::size_t>(sw)];
+  }
 
   SpscRing<Task>& ring(int producer, int consumer) {
     return *rings[static_cast<std::size_t>(producer) *
@@ -487,6 +572,10 @@ struct TrafficEngine::Impl {
   void process(int me, Task& t) {
     WorkerCtx& ctx = *ctxs[static_cast<std::size_t>(me)];
     EpochCtx& e = epoch_of(t.epoch);
+    if (t.phase == Task::Phase::kBurst) {
+      run_rtc_burst(me, t);
+      return;
+    }
     if (t.phase == Task::Phase::kMigrate) {
       // Scheduler-ordered state-migration barrier: prune/clear this
       // switch's tables for the new epoch's placement. Ring FIFO put this
@@ -575,6 +664,72 @@ struct TrafficEngine::Impl {
         return;
       }
       // Stays on this shard: loop into the kWrite arm.
+    }
+  }
+
+  // Free-running RTC: classify this worker's lanes of one SoA burst with
+  // the network-mode kernel, then drain each lane to completion through
+  // the normal per-switch walk. The kernel counts the field prefix
+  // (credited to the ingress switch) and yields the first non-field node;
+  // the walk resumes there — at a leaf, a locally-placed state test, or
+  // (foreign state) via the same escape-to-owner hop the per-packet stuck
+  // path takes.
+  void run_rtc_burst(int me, const Task& t) {
+    WorkerCtx& ctx = *ctxs[static_cast<std::size_t>(me)];
+    EpochCtx& e = epoch_of(t.epoch);
+    const PacketBurst& b =
+        rtc_storage.bursts[static_cast<std::size_t>(t.burst_idx)];
+    std::uint64_t lanes = 0;
+    std::array<int, static_cast<std::size_t>(kMaxTaskBurst)> isw{};
+    for (int l = 0; l < b.n; ++l) {
+      const int s = e.topo.port_switch(b.inport[l]);
+      isw[static_cast<std::size_t>(l)] = s;
+      if (worker_of(s) == me) lanes |= 1ull << l;
+    }
+    SNAP_DCHECK(lanes != 0, "burst descriptor sent to a laneless worker");
+    e.net_direct.classify_burst(e.rtc_plan, {b.vals, b.present}, lanes,
+                                ctx.cls_terminal.data(),
+                                ctx.cls_instr.data(), ctx.cls_scratch);
+    obs::stage_mark(obs::Cat::kClassify);
+    const std::uint32_t tsample = opts.trace_sample;
+    for (int l = 0; l < b.n; ++l) {
+      if (!(lanes >> l & 1)) continue;
+      const std::size_t li = static_cast<std::size_t>(l);
+      const std::size_t seq = static_cast<std::size_t>(b.base_seq) + li;
+      Task lt;
+      lt.phase = Task::Phase::kResolve;
+      lt.seq = static_cast<std::uint32_t>(seq);
+      lt.epoch = t.epoch;
+      lt.sw = isw[li];
+      lt.node = e.net_direct.orig_id(ctx.cls_terminal[li]);
+      lt.guard = t.guard;
+      lt.inport = b.inport[li];
+      lt.t_dispatch_ns = t.t_dispatch_ns;
+      lt.traced = tsample != 0 && seq % tsample == 0;
+      lt.pkt = rtc_storage.packet_at(seq);
+      ctx.instr[static_cast<std::size_t>(lt.sw)] += ctx.cls_instr[li];
+      const netasm::DirectXfdd::DNode& dn =
+          e.net_direct.nodes()[static_cast<std::size_t>(ctx.cls_terminal[li])];
+      if (dn.kind == netasm::DirectXfdd::DNode::Kind::kState) {
+        const int owner = e.placement.at(dn.var);
+        SNAP_CHECK(owner >= 0, "stuck on an unplaced state variable");
+        if (owner != lt.sw) {
+          // The classify prefix was this lane's ingress program run; it
+          // escapes to the variable's owner exactly as the per-packet
+          // stuck path would.
+          ++ctx.events[static_cast<std::size_t>(lt.sw)];
+          if (opts.record_epochs) ctx.epoch_marks.emplace_back(lt.seq, e.id);
+          SNAP_CHECK(--lt.guard > 0,
+                     "packet walked too long while resolving state");
+          walk(e, lt, owner, "packet walked too long while resolving state");
+          if (worker_of(lt.sw) != me) {
+            send(me, std::move(lt));
+            continue;  // crossed shards: normal task machinery takes over
+          }
+        }
+      }
+      process(me, lt);
+      if (abort.load(std::memory_order_relaxed)) return;
     }
   }
 
@@ -692,6 +847,10 @@ struct TrafficEngine::Impl {
     if (opts.deterministic) {
       e->conflict = std::make_unique<ConflictCache>(*e->store, e->root);
     }
+    if (rtc_active) {
+      e->net_direct = netasm::DirectXfdd::build_network(*e->store, e->root);
+      e->rtc_plan = e->net_direct.prepare_classify(rtc_storage.fields);
+    }
     e->num_links = topo.links().size();
     e->link_packets =
         std::make_unique<std::atomic<std::uint64_t>[]>(e->num_links);
@@ -730,6 +889,9 @@ struct TrafficEngine::Impl {
     stats.workers = W;
     stats.burst = B;
     stats.deterministic = opts.deterministic;
+    stats.shard_mode = splan.mode;
+    stats.shard_cross_edges = splan.cross_edges;
+    stats.shard_total_edges = splan.total_edges;
     stats.per_switch_instructions.assign(
         static_cast<std::size_t>(num_sw), 0);
     stats.per_switch_events.assign(static_cast<std::size_t>(num_sw), 0);
@@ -764,6 +926,20 @@ struct TrafficEngine::Impl {
     SNAP_CHECK(N < (1ull << 31),
                "workload exceeds 31-bit sequence space (the top bit tags "
                "control tasks)");
+
+    // Free-running run-to-completion mode: with no conflict gate and no
+    // live events pending at start, the scheduler pre-slices the workload
+    // into SoA bursts and hands each worker one burst *descriptor* per
+    // owned ingress switch — the worker classifies its lanes vectorized
+    // and walks each packet to completion locally. Async events still
+    // work: they merge at burst boundaries.
+    rtc_active = !opts.deterministic && opts.rtc && schedule.empty();
+    if (rtc_active) {
+      rtc_storage = make_bursts(
+          wl, std::min<int>(kMaxTaskBurst,
+                            static_cast<int>(std::min<std::size_t>(
+                                opts.window, kMaxTaskBurst))));
+    }
 
     // Epoch 0 snapshots the network as deployed.
     for (auto& s : epochs) s.reset();
@@ -844,10 +1020,18 @@ struct TrafficEngine::Impl {
     // Confinement worker of the packets currently holding each variable
     // (valid while active[v] > 0; -1 = some holder is unconfined).
     std::vector<int> conf;
+    // Lookahead skip set: variables touched by packets the current
+    // admission sweep skipped over (still pending). A later packet whose
+    // mask intersects this set must not dispatch ahead of them — that is
+    // the invariant that keeps out-of-order admission deterministic.
+    // Stamped per sweep instead of cleared (O(1) reset).
+    std::vector<std::uint64_t> skip_stamp;
+    std::uint64_t sweep_stamp = 0;
     auto grow_gate = [&](std::size_t nv) {
       if (nv > active.size()) {
         active.resize(nv, 0);
         conf.resize(nv, -1);
+        skip_stamp.resize(nv, 0);
       }
     };
     if (opts.deterministic) {
@@ -914,6 +1098,9 @@ struct TrafficEngine::Impl {
       }
       if (was_full) obs::stage_mark(obs::Cat::kRingFull);
       b.n = 0;
+      // Batch hand-off (copy into the SPSC ring) is burst-assembly time,
+      // split from the admission sweep it interrupts.
+      obs::stage_mark(obs::Cat::kBurstAssemble);
     };
     auto sched_send = [&](Task&& t) {
       int dest = worker_of(t.sw);
@@ -937,14 +1124,102 @@ struct TrafficEngine::Impl {
     Timer timer;
     std::size_t next = 0, completed = 0, inflight = 0;
     std::size_t ei = 0;
-    // Burst lookahead (deterministic mode): conflict-mask handles for the
-    // next up-to-B packets of the sequence, resolved in one bulk call so
-    // the flow front-cache stays hot across the burst. Epoch-relative, so
-    // an applied event invalidates the range.
-    std::uint32_t head_mask = 0;
-    std::array<std::uint32_t, static_cast<std::size_t>(kMaxTaskBurst)>
-        mask_ahead;
+    // Conflict-window lookahead depth (deterministic mode): how far past a
+    // blocked packet the admission sweep may scan for later packets whose
+    // masks are disjoint from everything pending. 1 = strict head-of-line
+    // (the historical behaviour, and what lookahead=0 requests).
+    const std::size_t L =
+        opts.deterministic
+            ? std::min<std::size_t>(
+                  std::max<std::size_t>(
+                      opts.lookahead > 0
+                          ? static_cast<std::size_t>(opts.lookahead)
+                          : 1,
+                      1),
+                  opts.window)
+            : 1;
+    // Mask lookahead buffer: conflict-mask handles for a sliding range of
+    // the sequence, resolved in bulk so the flow front-cache stays hot.
+    // Epoch-relative, so an applied event invalidates the range.
+    const std::size_t AH = std::max<std::size_t>(static_cast<std::size_t>(B), L);
+    std::vector<std::uint32_t> mask_ahead(AH);
     std::size_t ahead_begin = 0, ahead_end = 0;
+    // Retirement ring: completions may arrive for out-of-order dispatches,
+    // but stats/latency retire strictly in sequence order so the observable
+    // trajectory is identical to head-of-line dispatch. Sized so every
+    // live dispatched-or-done slot (window + lookahead + one RTC burst)
+    // is distinct modulo the ring.
+    std::size_t rs = 1;
+    while (rs < opts.window + L + static_cast<std::size_t>(kMaxTaskBurst) + 1)
+      rs <<= 1;
+    const std::size_t rmask = rs - 1;
+    struct RetireSlot {
+      std::uint32_t hops = 0;
+      std::uint32_t latency_us = 0;
+      std::uint8_t done = 0;
+    };
+    std::vector<RetireSlot> retire(rs);
+    // Dispatched-but-not-yet-sequence-retired bit per in-window sequence
+    // (set on out-of-order admission; next skips over set bits).
+    std::vector<std::uint8_t> lk_disp(rs, 0);
+    // Dispatch frontier: one past the highest sequence dispatched so far
+    // (>= next under lookahead). Async events must land at or beyond it.
+    std::size_t frontier = 0;
+    // RTC mode cursors: next burst to hand out, and the per-worker first
+    // owned ingress switch of the burst being assembled.
+    std::size_t bi = 0;
+    std::vector<int> rtc_owner_sw(static_cast<std::size_t>(W), -1);
+    // Gate-state generation: bumped whenever the conflict gate could have
+    // opened (completions drained, epoch swapped). An admission sweep that
+    // dispatched nothing records the generation it saw; re-scanning the
+    // same blocked window before the gate changes is pure waste, so the
+    // sweep skips until the generation moves.
+    std::uint64_t gate_change = 1, last_sweep_gate = 0;
+    // Resolve the conflict-mask handle of sequence s, refilling the bulk
+    // lookahead buffer as the sweep advances. Extension (the common case)
+    // keeps already-resolved handles; a rebase after an epoch swap or a
+    // window jump resolves from `next` forward.
+    auto mask_at = [&](std::size_t s) -> std::uint32_t {
+      if (s < ahead_begin || s >= ahead_end) {
+        obs::stage_mark(obs::Cat::kWindowAdmit);
+        if (ahead_end > ahead_begin && next >= ahead_begin &&
+            next < ahead_end && s >= ahead_begin) {
+          // Slide: drop handles before the window origin, keep the rest
+          // (each packet's mask resolves exactly once per epoch), then
+          // extend by at least a burst.
+          if (next > ahead_begin) {
+            std::copy(mask_ahead.begin() +
+                          static_cast<std::ptrdiff_t>(next - ahead_begin),
+                      mask_ahead.begin() +
+                          static_cast<std::ptrdiff_t>(ahead_end - ahead_begin),
+                      mask_ahead.begin());
+            ahead_begin = next;
+          }
+          std::size_t upto =
+              std::min({N, ahead_begin + AH,
+                        std::max(s + 1,
+                                 ahead_end + static_cast<std::size_t>(B))});
+          if (upto > ahead_end) {
+            cur->conflict->mask_indices(&wl.packets[ahead_end],
+                                        upto - ahead_end,
+                                        mask_ahead.data() +
+                                            (ahead_end - ahead_begin));
+            ahead_end = upto;
+          }
+        } else {
+          ahead_begin = next;
+          std::size_t upto =
+              std::min({N, ahead_begin + AH,
+                        std::max(s + 1,
+                                 ahead_begin + static_cast<std::size_t>(B))});
+          cur->conflict->mask_indices(&wl.packets[ahead_begin],
+                                      upto - ahead_begin, mask_ahead.data());
+          ahead_end = upto;
+        }
+        obs::stage_mark(obs::Cat::kMaskResolve);
+      }
+      return mask_ahead[s - ahead_begin];
+    };
     double due_s = -1;  // when the pending event's boundary was reached
     std::array<Completion, static_cast<std::size_t>(kMaxTaskBurst)> cbuf;
     // Stall attribution: why did the last dispatch sweep stop? Drives the
@@ -982,18 +1257,18 @@ struct TrafficEngine::Impl {
               if (--pending_migrations == 0) release_hold();
               continue;
             }
-            ++completed;
             --inflight;
             --inflight_slot[c.epoch % kEpochSlots];
             if (tsample && c.seq % tsample == 0) {
               obs::instant(obs::Cat::kPktComplete, c.seq, 0, c.epoch,
                            c.hops);
             }
-            stats.hops += c.hops;
-            ++stats.hop_histogram[std::min<std::uint32_t>(c.hops, 64)];
-            std::uint32_t bucket = 0;
-            while ((1u << bucket) <= c.latency_us && bucket < 31) ++bucket;
-            ++stats.latency_histogram[bucket];
+            // Stats retire in sequence order (below), not arrival order:
+            // lookahead dispatches may complete before earlier packets.
+            RetireSlot& sl = retire[c.seq & rmask];
+            sl.hops = c.hops;
+            sl.latency_us = c.latency_us;
+            sl.done = 1;
             auto af = awaiting_first.find(c.epoch);
             if (af != awaiting_first.end()) {
               double lat = timer.seconds() - event_due_s[af->second];
@@ -1012,7 +1287,21 @@ struct TrafficEngine::Impl {
           }
         }
       }
+      // Sequence-ordered retirement: fold stats for the contiguous done
+      // prefix. Identical trajectory to head-of-line dispatch regardless
+      // of the order completions arrived in.
+      while (completed < N && retire[completed & rmask].done) {
+        RetireSlot& r = retire[completed & rmask];
+        r.done = 0;
+        stats.hops += r.hops;
+        ++stats.hop_histogram[std::min<std::uint32_t>(r.hops, 64)];
+        std::uint32_t bucket = 0;
+        while ((1u << bucket) <= r.latency_us && bucket < 31) ++bucket;
+        ++stats.latency_histogram[bucket];
+        ++completed;
+      }
       live_completed.store(completed, std::memory_order_relaxed);
+      if (progress) ++gate_change;
       return progress;
     };
 
@@ -1075,6 +1364,27 @@ struct TrafficEngine::Impl {
       if (epochs[slot]) retire_epoch(*epochs[slot]);
       auto e = build_epoch(id, d.store, d.store.get(), d.root, d.topo,
                            d.placement, d.routing, d.order);
+      // The switch→worker plan is frozen for the run (workers own state
+      // tables), so re-validate it against the new epoch's conflict
+      // structure and account the drift: how many more cross-worker
+      // conflict edges the frozen plan cuts than a fresh locality plan
+      // would. Observability only — never throws, never re-shards.
+      if (splan.mode == "locality") {
+        try {
+          ShardHint nh = build_shard_hint(*e->store, e->root, e->topo,
+                                          e->placement, e->order);
+          ShardPlan frozen = splan;
+          score_plan(nh, frozen);
+          ShardPlan ideal = plan_from_hint(nh, W);
+          if (frozen.cross_edges > ideal.cross_edges) {
+            stats.shard_drift += frozen.cross_edges - ideal.cross_edges;
+          }
+          stats.shard_cross_edges = frozen.cross_edges;
+          stats.shard_total_edges = frozen.total_edges;
+        } catch (...) {
+          // Hint construction is best-effort under live updates.
+        }
+      }
       if (opts.deterministic) {
         std::size_t nv =
             static_cast<std::size_t>(e->conflict->max_var_id()) + 1;
@@ -1132,6 +1442,7 @@ struct TrafficEngine::Impl {
       stats.events.push_back(std::move(es));
       live_events.store(stats.events.size(), std::memory_order_relaxed);
       live_epoch.store(id, std::memory_order_relaxed);
+      ++gate_change;  // new conflict cache: re-scan the admission window
       return true;
     };
 
@@ -1145,7 +1456,10 @@ struct TrafficEngine::Impl {
         async_pending.store(false, std::memory_order_relaxed);
       }
       for (LiveEvent& ev : got) {
-        ev.at_seq = next;
+        // Land at the dispatch frontier, not `next`: lookahead may have
+        // dispatched packets past `next`, and those already belong to the
+        // current epoch.
+        ev.at_seq = std::max(next, frontier);
         schedule.insert(
             std::upper_bound(schedule.begin() +
                                  static_cast<std::ptrdiff_t>(ei),
@@ -1165,10 +1479,70 @@ struct TrafficEngine::Impl {
       bool progress = false;
       merge_async();
       head_blocked = false;
-      while (next < N && inflight < opts.window) {
+      if (rtc_active) {
+        // Free-running RTC dispatch: one burst descriptor per owning
+        // worker, no per-packet scheduler work. Async events merged above
+        // land at the frontier (a burst boundary) and swap here.
+        while (bi < rtc_storage.bursts.size()) {
+          if (ei < schedule.size() && schedule[ei].at_seq <= next) {
+            if (due_s < 0) due_s = timer.seconds();
+            bool applied = try_apply_event(schedule[ei]);
+            obs::stage_mark(obs::Cat::kEpochSwap);
+            if (!applied) break;  // drain first
+            ++ei;
+            due_s = -1;
+            progress = true;
+            continue;
+          }
+          const PacketBurst& b = rtc_storage.bursts[bi];
+          const std::size_t n = static_cast<std::size_t>(b.n);
+          if (inflight + n > opts.window) break;
+          if (next + n > completed + rs) break;  // retire-ring aliasing
+          std::fill(rtc_owner_sw.begin(), rtc_owner_sw.end(), -1);
+          for (std::size_t l = 0; l < n; ++l) {
+            const int isw = cur->topo.port_switch(b.inport[l]);
+            const std::size_t w =
+                static_cast<std::size_t>(worker_of(isw));
+            if (rtc_owner_sw[w] < 0) rtc_owner_sw[w] = isw;
+          }
+          obs::stage_mark(obs::Cat::kWindowAdmit);
+          const std::int64_t tns = now_ns();
+          for (int w = 0; w < W; ++w) {
+            if (rtc_owner_sw[static_cast<std::size_t>(w)] < 0) continue;
+            Task t;
+            t.phase = Task::Phase::kBurst;
+            t.seq = static_cast<std::uint32_t>(b.base_seq);
+            t.epoch = cur->id;
+            t.sw = rtc_owner_sw[static_cast<std::size_t>(w)];
+            t.guard = guard_budget;
+            t.t_dispatch_ns = tns;
+            t.burst_idx = static_cast<std::uint32_t>(bi);
+            sched_send(std::move(t));
+          }
+          inflight += n;
+          inflight_slot[cur->id % kEpochSlots] += n;
+          next += n;
+          frontier = next;
+          ++bi;
+          ++stats.rtc_bursts;
+          progress = true;
+          obs::stage_mark(obs::Cat::kBurstAssemble);
+        }
+      } else {
+      bool sweep_more = true;
+      while (sweep_more && inflight < opts.window) {
+        sweep_more = false;
+        // Advance the window origin over sequence slots the lookahead
+        // already dispatched.
+        while (next < N && lk_disp[next & rmask]) {
+          lk_disp[next & rmask] = 0;
+          ++next;
+        }
         // Every event due at this boundary swaps before the packet at its
         // at_seq dispatches: a packet's epoch is exactly the number of
-        // events at or before its sequence number, in both modes.
+        // events at or before its sequence number, in both modes. The
+        // admission scan below never crosses a pending at_seq, so the
+        // invariant holds under lookahead too.
         if (ei < schedule.size() && schedule[ei].at_seq <= next) {
           if (due_s < 0) due_s = timer.seconds();
           bool applied = try_apply_event(schedule[ei]);
@@ -1179,103 +1553,137 @@ struct TrafficEngine::Impl {
           ++ei;
           due_s = -1;
           progress = true;
+          sweep_more = true;
           continue;
         }
-        const SimPacket& sp = wl.packets[next];
-        const int isw = cur->topo.port_switch(sp.inport);
-        std::uint32_t hold_mask = kNoMask;
-        if (opts.deterministic) {
-          if (next >= ahead_end || next < ahead_begin) {
-            ahead_begin = next;
-            ahead_end = std::min(N, next + static_cast<std::size_t>(B));
-            cur->conflict->mask_indices(&wl.packets[ahead_begin],
-                                        ahead_end - ahead_begin,
-                                        mask_ahead.data());
-          }
-          head_mask = mask_ahead[next - ahead_begin];
-          const std::vector<StateVarId>& vars =
-              cur->conflict->mask(head_mask);
-          if (!vars.empty()) {
-            const int cw = worker_of(isw);
-            const bool confined = worker_of_mask(*cur, head_mask) == cw;
-            bool blocked = false;
-            for (StateVarId v : vars) {
-              SNAP_CHECK(v < active.size(),
-                         "conflict mask names a state variable outside the "
-                         "deterministic gate table");
-              // A conflict blocks unless both this packet and every
-              // current holder of the variable are confined to the same
-              // worker (then ring FIFO serializes them in sequence order).
-              if (active[v] > 0 && !(confined && conf[v] == cw)) {
-                blocked = true;
-                break;
-              }
-            }
-            if (blocked) {
-              head_blocked = true;
-              if (tsample && next % tsample == 0 && blocked_seq != next) {
-                blocked_seq = next;
-                blocked_t0 = obs::tick_ns();
-              }
-              break;  // strict sequence order: wait it out
-            }
-            for (StateVarId v : vars) {
-              if (active[v]++ == 0) conf[v] = confined ? cw : -1;
-            }
-            hold_mask = head_mask;  // released when the completion echoes it
-          }
+        if (next >= N) break;
+        if (gate_change == last_sweep_gate) break;  // nothing opened since
+        // Admission sweep: scan up to L sequences past the window origin.
+        // A blocked packet no longer stalls the window — later packets
+        // whose masks are disjoint from every pending (blocked or active)
+        // mask dispatch past it. Determinism: conflicting pairs always
+        // dispatch in sequence order (the skip set carries the blocked
+        // packets' variables), and stats retire in sequence order.
+        std::size_t scan_end = std::min(N, next + L);
+        if (ei < schedule.size() && schedule[ei].at_seq < scan_end) {
+          scan_end = schedule[ei].at_seq;
         }
-        Task t;
-        t.mask_idx = hold_mask;
-        t.phase = Task::Phase::kResolve;
-        t.seq = static_cast<std::uint32_t>(next);
-        t.epoch = cur->id;
-        t.sw = isw;
-        t.node = cur->root;
-        t.guard = guard_budget;
-        t.inport = sp.inport;
-        t.t_dispatch_ns = now_ns();
-        if (tsample && next % tsample == 0) {
-          t.traced = true;
-          if (blocked_seq == next) {
-            // The sampled head waited in the conflict gate from
-            // blocked_t0 until now.
-            obs::record(obs::Cat::kPktGateWait, blocked_t0, obs::tick_ns(),
-                        next, static_cast<std::uint64_t>(isw), cur->id);
-            blocked_seq = std::numeric_limits<std::uint64_t>::max();
-          }
-          obs::instant(obs::Cat::kPktDispatch, next,
-                       static_cast<std::uint64_t>(isw), cur->id);
-        }
-        if (opts.check_soundness && opts.deterministic) {
-          // head_mask is valid here: deterministic dispatch always resolved
-          // it above. The interned mask entry outlives the walk (see Task).
-          const std::vector<StateVarId>& mv = cur->conflict->mask(head_mask);
-          t.soundness = true;
-          if (opts.corrupt_soundness_var >= 0) {
-            corrupt_masks.emplace_back();
-            std::vector<StateVarId>& bad = corrupt_masks.back();
-            for (StateVarId v : mv) {
-              if (static_cast<int>(v) != opts.corrupt_soundness_var) {
-                bad.push_back(v);
+        if (completed + rs < scan_end) scan_end = completed + rs;
+        ++sweep_stamp;
+        bool earlier_pending = false;
+        bool scan_dispatched = false;
+        for (std::size_t s = next; s < scan_end && inflight < opts.window;
+             ++s) {
+          if (lk_disp[s & rmask]) continue;  // already in flight
+          const SimPacket& sp = wl.packets[s];
+          const int isw = cur->topo.port_switch(sp.inport);
+          std::uint32_t hold_mask = kNoMask;
+          std::uint32_t midx = 0;
+          if (opts.deterministic) {
+            midx = mask_at(s);
+            const std::vector<StateVarId>& vars = cur->conflict->mask(midx);
+            if (!vars.empty()) {
+              const int cw = worker_of(isw);
+              const bool confined = worker_of_mask(*cur, midx) == cw;
+              bool blocked = false;
+              for (StateVarId v : vars) {
+                SNAP_CHECK(v < active.size(),
+                           "conflict mask names a state variable outside "
+                           "the deterministic gate table");
+                // A conflict blocks unless both this packet and every
+                // current holder of the variable are confined to the same
+                // worker (then ring FIFO serializes them in sequence
+                // order). A variable in this sweep's skip set belongs to
+                // an earlier still-pending packet — sequence order again.
+                if (skip_stamp[v] == sweep_stamp ||
+                    (active[v] > 0 && !(confined && conf[v] == cw))) {
+                  blocked = true;
+                  break;
+                }
               }
+              if (blocked) {
+                for (StateVarId v : vars) skip_stamp[v] = sweep_stamp;
+                if (s == next) {
+                  head_blocked = true;
+                  if (tsample && next % tsample == 0 &&
+                      blocked_seq != next) {
+                    blocked_seq = next;
+                    blocked_t0 = obs::tick_ns();
+                  }
+                }
+                earlier_pending = true;
+                continue;  // lookahead: try the packets behind it
+              }
+              for (StateVarId v : vars) {
+                if (active[v]++ == 0) conf[v] = confined ? cw : -1;
+              }
+              hold_mask = midx;  // released when the completion echoes it
             }
-            t.mask_vars = bad.data();
-            t.mask_n = static_cast<std::uint32_t>(bad.size());
-          } else {
-            t.mask_vars = mv.data();
-            t.mask_n = static_cast<std::uint32_t>(mv.size());
           }
+          Task t;
+          t.mask_idx = hold_mask;
+          t.phase = Task::Phase::kResolve;
+          t.seq = static_cast<std::uint32_t>(s);
+          t.epoch = cur->id;
+          t.sw = isw;
+          t.node = cur->root;
+          t.guard = guard_budget;
+          t.inport = sp.inport;
+          t.t_dispatch_ns = now_ns();
+          if (tsample && s % tsample == 0) {
+            t.traced = true;
+            if (blocked_seq == s) {
+              // The sampled head waited in the conflict gate from
+              // blocked_t0 until now.
+              obs::record(obs::Cat::kPktGateWait, blocked_t0,
+                          obs::tick_ns(), s,
+                          static_cast<std::uint64_t>(isw), cur->id);
+              blocked_seq = std::numeric_limits<std::uint64_t>::max();
+            }
+            obs::instant(obs::Cat::kPktDispatch, s,
+                         static_cast<std::uint64_t>(isw), cur->id);
+          }
+          if (opts.check_soundness && opts.deterministic) {
+            // midx is valid here: deterministic dispatch always resolved
+            // it above. The interned mask entry outlives the walk (see
+            // Task).
+            const std::vector<StateVarId>& mv = cur->conflict->mask(midx);
+            t.soundness = true;
+            if (opts.corrupt_soundness_var >= 0) {
+              corrupt_masks.emplace_back();
+              std::vector<StateVarId>& bad = corrupt_masks.back();
+              for (StateVarId v : mv) {
+                if (static_cast<int>(v) != opts.corrupt_soundness_var) {
+                  bad.push_back(v);
+                }
+              }
+              t.mask_vars = bad.data();
+              t.mask_n = static_cast<std::uint32_t>(bad.size());
+            } else {
+              t.mask_vars = mv.data();
+              t.mask_n = static_cast<std::uint32_t>(mv.size());
+            }
+          }
+          t.pkt = sp.pkt;
+          if (earlier_pending) ++stats.lookahead_dispatches;
+          ++inflight_slot[cur->id % kEpochSlots];
+          sched_send(std::move(t));
+          lk_disp[s & rmask] = 1;
+          if (s + 1 > frontier) frontier = s + 1;
+          ++inflight;
+          progress = true;
+          sweep_more = true;
+          scan_dispatched = true;
         }
-        t.pkt = sp.pkt;
-        ++inflight_slot[cur->id % kEpochSlots];
-        sched_send(std::move(t));
-        ++next;
-        ++inflight;
-        progress = true;
+        // A scan that admitted nothing is a fixed point for this gate
+        // generation — skip further scans until the gate moves.
+        if (!scan_dispatched) last_sweep_gate = gate_change;
+        obs::stage_mark(obs::Cat::kWindowAdmit);
       }
-      // Stage clock: the dispatch sweep (mask lookups, gate checks, burst
-      // assembly) ends here.
+      }
+      // Stage clock: residual dispatch work (event checks, RTC
+      // descriptors) ends here; mask resolution and window admission were
+      // attributed inline above.
       obs::stage_mark(obs::Cat::kDispatch);
       // The stream is fully dispatched: trailing events (at_seq >= N)
       // still swap, so the final rules/state match the reference replay.
@@ -1491,7 +1899,7 @@ TrafficEngine::TrafficEngine(Network& net, EngineOptions opts)
 
 TrafficEngine::TrafficEngine(const RuleDelta& delta, EngineOptions opts) {
   auto owned = std::make_unique<Network>(delta);
-  impl_ = std::make_unique<Impl>(*owned, opts);
+  impl_ = std::make_unique<Impl>(*owned, opts, delta.shard_hint);
   impl_->owned = std::move(owned);
 }
 
@@ -1540,6 +1948,8 @@ TrafficEngine::epoch_marks() const {
 }
 
 const SimStats& TrafficEngine::stats() const { return impl_->stats; }
+
+const ShardPlan& TrafficEngine::shard_plan() const { return impl_->splan; }
 
 const obs::TraceData& TrafficEngine::trace() const {
   return impl_->trace_data;

@@ -3,8 +3,10 @@
 // SNAP's placement argument is an execution model: the MILP partitions
 // state variables across switches, so a switch's tables have exactly one
 // writer — the switch itself. The engine exploits that by sharding switches
-// over single-threaded workers (worker = sw % W, the NetASM per-switch
-// execution model of Shahbaz & Feamster [32]): each worker runs the decoded
+// over single-threaded workers (a ShardPlan switch→worker map, by default
+// the compiler's conflict-locality plan — sim/shardplan.h — with the
+// historical sw % W as a baseline mode; per-switch execution in the NetASM
+// model of Shahbaz & Feamster [32]): each worker runs the decoded
 // programs (netasm/decoded.h) of its switches against their worker-local
 // Store tables, so no lock ever guards state. Packets move between shards
 // as messages over SPSC rings (sim/spsc.h): a stuck packet becomes a
@@ -96,6 +98,7 @@
 
 #include "dataplane/network.h"
 #include "obs/trace.h"
+#include "sim/shardplan.h"
 #include "sim/workload.h"
 
 namespace snap {
@@ -114,9 +117,33 @@ inline constexpr bool kSoundnessCheckDefault = false;
 inline constexpr bool kSoundnessCheckDefault = true;
 #endif
 
+// How the engine maps switches onto workers (see sim/shardplan.h).
+enum class ShardMode {
+  kLocality,    // compiler conflict-locality plan (RuleDelta hint or derived)
+  kRoundRobin,  // historical sw % W baseline
+  kExplicit,    // EngineOptions::shard_map verbatim
+};
+
 struct EngineOptions {
   // 0 = one worker per hardware thread, clamped to the switch count.
   int workers = 0;
+  // Switch→worker assignment policy. kLocality uses the RuleDelta's
+  // compiler-computed ShardHint when present (deriving one from the
+  // network otherwise); kExplicit takes shard_map verbatim (must hold one
+  // worker id in [0, workers) per switch).
+  ShardMode shard = ShardMode::kLocality;
+  std::vector<int> shard_map;
+  // Deterministic mode: how many sequence positions past a blocked head
+  // the admission sweep may look for mask-disjoint packets to dispatch
+  // early (completions still retire in sequence order, so deliveries and
+  // state stay byte-identical to serial). 0 = strict head-of-line
+  // (pre-lookahead behavior); clamped to the window.
+  int lookahead = 256;
+  // Free-running mode: drain whole 64-packet bursts through per-worker
+  // run-to-completion loops (SoA classification at the ingress worker,
+  // then the normal per-switch walk), instead of per-packet dispatch.
+  // Engaged only when no live events are scheduled.
+  bool rtc = true;
   // Deterministic (serial-equivalent) scheduling vs free-running shards.
   bool deterministic = true;
   // Maximum packets in flight (also sizes the rings).
@@ -218,6 +245,22 @@ struct SimStats {
   // sized to the window.
   std::uint64_t steady_allocs = 0;
   bool deterministic = true;
+  // Shard-plan provenance and quality (scored against the run's hint):
+  // hint edges whose endpoints landed on different workers are potential
+  // scheduler round trips.
+  std::string shard_mode;  // "locality" | "round_robin" | "explicit"
+  std::uint64_t shard_cross_edges = 0;
+  std::uint64_t shard_total_edges = 0;
+  // Epoch swaps whose re-placement made the frozen plan cut more conflict
+  // edges than a fresh plan would (plans never change mid-run; this counts
+  // the divergence instead).
+  std::uint64_t shard_drift = 0;
+  // Deterministic lookahead: packets dispatched ahead of a blocked earlier
+  // packet (out of admission order, still retired in sequence order).
+  std::uint64_t lookahead_dispatches = 0;
+  // Free-running RTC: 64-packet bursts dispatched as per-worker
+  // run-to-completion descriptors.
+  std::uint64_t rtc_bursts = 0;
   std::uint32_t epochs = 1;           // policy epochs the run spanned
   std::vector<LiveEventStats> events; // one per applied live event
 
@@ -301,6 +344,10 @@ class TrafficEngine {
 
   // Statistics of the last run().
   const SimStats& stats() const;
+
+  // The switch→worker plan this engine runs with (built at construction;
+  // frozen across epoch swaps). snapc --shard-plan dumps this.
+  const ShardPlan& shard_plan() const;
 
   // Drained span rings of the last run (profile or trace_sample mode):
   // one TraceThread per engine thread, ready for obs::write_chrome_trace.

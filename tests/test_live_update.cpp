@@ -304,6 +304,10 @@ TEST(LiveUpdate, ApplyUnderFullRingOccupancyDropsNothing) {
     opts.workers = 2;
     opts.window = window;
     opts.record_epochs = true;
+    // The locality plan would co-locate both owners and the walk would
+    // never cross a worker boundary; round-robin keeps them apart so the
+    // event really migrates state between workers under ring pressure.
+    opts.shard = sim::ShardMode::kRoundRobin;
     sim::TrafficEngine engine(cold.delta, opts);
     auto out = engine.run_live(wl, schedule);
     std::string tag = "window=" + std::to_string(window);

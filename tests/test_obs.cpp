@@ -183,7 +183,9 @@ const char* const kStatsKeys[] = {
     "epoch_slot_hwm",  "epoch_stall_slot", "epoch_stall_mask",
     "epoch_stall_migration", "trace_records", "trace_dropped",
     "ring_hwm",        "comp_ring_hwm",    "cycles",
-    "epochs",          "events",
+    "epochs",          "events",          "shard_mode",
+    "shard_cross_edges", "shard_total_edges", "shard_drift",
+    "lookahead_dispatches", "rtc_bursts",
 };
 
 TEST(ObsGoldenSchema, SimStatsToJson) {
@@ -223,11 +225,12 @@ TEST(ObsGoldenSchema, CommittedBenchTrajectory) {
        {"packets", "workers", "cores", "burst", "repeat", "pps", "serial",
         "serial_scalar", "serial_profiled", "deterministic",
         "deterministic_confined_w1", "deterministic_traced",
-        "deterministic_soundness", "free_running", "overhead",
+        "deterministic_soundness", "deterministic_lookahead",
+        "free_running", "free_running_rtc", "overhead",
         "disarmed_over_serial", "profiled_over_serial",
-        "traced_over_deterministic", "allocs", "deliveries",
-        "state_entries", "corpus_policies_checked", "equivalent",
-        "event_latency", "stats"}) {
+        "traced_over_deterministic", "dispatch_share", "allocs",
+        "deliveries", "state_entries", "corpus_policies_checked",
+        "equivalent", "event_latency", "stats_last_run"}) {
     EXPECT_TRUE(has_key(js, key))
         << "BENCH_throughput.json lost key " << key;
   }

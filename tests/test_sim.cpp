@@ -165,6 +165,69 @@ TEST_P(SimCorpus, ShardedMatchesSerialAcrossWorkerCounts) {
   }
 }
 
+TEST_P(SimCorpus, ShardMapsPreserveSerialEquivalence) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 10.0, 1);
+  auto c = corpus(topo)[static_cast<std::size_t>(GetParam())];
+
+  Session session(topo, tm);
+  EventResult ev = session.full_compile(c.policy);
+  sim::Workload wl = sim::WorkloadGen(topo, tm, 42).generate(
+      sim::scenario_for_app(c.name), 400);
+
+  Network serial(ev.delta);
+  auto serial_out = serial.inject_batch(sim::as_injection_batch(wl));
+  Store serial_state = serial.merged_state();
+
+  // Determinism must be a property of the scheduler alone: any switch→worker
+  // map — the compiler's locality plan, the sw % W baseline, or a map built
+  // to scatter every conflict component across workers — replays the serial
+  // trajectory byte-identically. Only throughput may differ.
+  for (int workers : {1, 2, 8}) {
+    sim::EngineOptions lopts;
+    lopts.workers = workers;
+    lopts.deterministic = true;
+    lopts.shard = sim::ShardMode::kLocality;
+    sim::TrafficEngine locality(ev.delta, lopts);
+    ASSERT_EQ(locality.shard_plan().worker.size(),
+              static_cast<std::size_t>(topo.num_switches()));
+
+    // Adversarial map: rotate each locality assignment by the switch id so
+    // co-located conflict components are smeared over all workers.
+    std::vector<int> adversarial = locality.shard_plan().worker;
+    for (std::size_t sw = 0; sw < adversarial.size(); ++sw) {
+      adversarial[sw] =
+          (adversarial[sw] + static_cast<int>(sw)) % workers;
+    }
+
+    sim::EngineOptions ropts = lopts;
+    ropts.shard = sim::ShardMode::kRoundRobin;
+    sim::TrafficEngine round_robin(ev.delta, ropts);
+
+    sim::EngineOptions aopts = lopts;
+    aopts.shard = sim::ShardMode::kExplicit;
+    aopts.shard_map = adversarial;
+    sim::TrafficEngine scattered(ev.delta, aopts);
+
+    struct Case {
+      const char* label;
+      sim::TrafficEngine* engine;
+    } cases[] = {{"locality", &locality},
+                 {"round_robin", &round_robin},
+                 {"adversarial", &scattered}};
+    for (const Case& mc : cases) {
+      auto out = mc.engine->run(wl);
+      ASSERT_NO_FATAL_FAILURE(expect_same_deliveries(serial_out, out))
+          << c.name << " " << mc.label << " at " << workers << " workers";
+      ASSERT_TRUE(serial_state == mc.engine->network().merged_state())
+          << c.name << " state diverged under " << mc.label << " at "
+          << workers << " workers";
+      EXPECT_EQ(serial.total_hops(), mc.engine->network().total_hops())
+          << c.name << " " << mc.label << " at " << workers << " workers";
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllPolicies, SimCorpus, ::testing::Range(0, 11),
                          [](const auto& info) {
                            std::string n =
@@ -202,6 +265,9 @@ TEST(Engine, StuckPacketHeavyScenarioForcesCrossWorkerForwarding) {
 
   sim::EngineOptions opts;
   opts.workers = 2;
+  // The locality plan would co-locate both owners and defeat the point of
+  // this test; round-robin keeps them on different workers.
+  opts.shard = sim::ShardMode::kRoundRobin;
   sim::TrafficEngine engine(ev.delta, opts);
   auto engine_out = engine.run(wl);
   expect_same_deliveries(serial_out, engine_out);
@@ -427,6 +493,9 @@ TEST(Dataplane, LongWriteChainDoesNotTripTheWalkGuard) {
 
   sim::EngineOptions opts;
   opts.workers = 2;
+  // Round-robin sharding: the locality plan would co-locate the write
+  // chain's owners and the chain would never cross a worker boundary.
+  opts.shard = sim::ShardMode::kRoundRobin;
   sim::TrafficEngine engine(delta, opts);
   std::vector<Network::Delivery> engine_out;
   ASSERT_NO_THROW(engine_out = engine.run(wl));
@@ -535,6 +604,79 @@ TEST(Engine, SparseHighStateVarIdsStayGatedDeterministically) {
     ASSERT_TRUE(serial.merged_state() == engine.network().merged_state())
         << workers << " workers";
   }
+}
+
+TEST(Engine, LookaheadDispatchesPastBlockedHeadsByteIdentically) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 10.0, 2);
+  // Round-robin sharding keeps state owners spread across workers so
+  // unconfined masks really block at the window head (the locality plan
+  // confines every corpus policy and the lookahead never has to fire).
+  // Lookahead must then (a) visibly dispatch later disjoint-mask packets
+  // past the blocked head and (b) still retire in sequence order — the
+  // deliveries, merged state and hop counts stay byte-identical to the
+  // serial reference and to the lookahead=0 strict head-of-line run.
+  std::uint64_t dispatched_ahead = 0;
+  for (const auto& c : corpus(topo)) {
+    Session session(topo, tm);
+    EventResult ev = session.full_compile(c.policy);
+    sim::Workload wl = sim::WorkloadGen(topo, tm, 21).generate(
+        sim::scenario_for_app(c.name), 400);
+    Network serial(ev.delta);
+    auto serial_out = serial.inject_batch(sim::as_injection_batch(wl));
+
+    for (int lookahead : {0, 256}) {
+      sim::EngineOptions opts;
+      opts.workers = 2;
+      opts.deterministic = true;
+      opts.shard = sim::ShardMode::kRoundRobin;
+      opts.lookahead = lookahead;
+      sim::TrafficEngine engine(ev.delta, opts);
+      auto out = engine.run(wl);
+      ASSERT_NO_FATAL_FAILURE(expect_same_deliveries(serial_out, out))
+          << c.name << " lookahead=" << lookahead;
+      ASSERT_TRUE(serial.merged_state() == engine.network().merged_state())
+          << c.name << " lookahead=" << lookahead;
+      EXPECT_EQ(serial.total_hops(), engine.network().total_hops())
+          << c.name << " lookahead=" << lookahead;
+      if (lookahead == 0) {
+        EXPECT_EQ(engine.stats().lookahead_dispatches, 0u) << c.name;
+      } else {
+        dispatched_ahead += engine.stats().lookahead_dispatches;
+      }
+    }
+  }
+  EXPECT_GT(dispatched_ahead, 0u)
+      << "no corpus policy ever dispatched past a blocked head — the "
+         "lookahead path is dead";
+}
+
+TEST(Engine, FreeRunningRtcSingleWorkerMatchesSerial) {
+  Topology topo = make_figure2_campus();
+  TrafficMatrix tm = gravity_traffic(topo, 10.0, 2);
+  auto c = corpus(topo)[2];  // heavy-hitter (stateful)
+  Session session(topo, tm);
+  EventResult ev = session.full_compile(c.policy);
+  sim::Workload wl = sim::WorkloadGen(topo, tm, 8).generate(
+      sim::scenario_for_app(c.name), 600);
+  Network serial(ev.delta);
+  auto serial_out = serial.inject_batch(sim::as_injection_batch(wl));
+
+  // Free-running RTC races state at W > 1 by design, but with a single
+  // worker the burst loop consumes the workload in admission order: the
+  // batch-classified fast path must reproduce the serial trajectory
+  // exactly, and the pre-sized burst descriptors must not allocate.
+  sim::EngineOptions opts;
+  opts.workers = 1;
+  opts.deterministic = false;
+  opts.rtc = true;
+  sim::TrafficEngine engine(ev.delta, opts);
+  auto out = engine.run(wl);
+  ASSERT_NO_FATAL_FAILURE(expect_same_deliveries(serial_out, out));
+  ASSERT_TRUE(serial.merged_state() == engine.network().merged_state());
+  EXPECT_EQ(serial.total_hops(), engine.network().total_hops());
+  EXPECT_GT(engine.stats().rtc_bursts, 0u);
+  EXPECT_EQ(engine.stats().steady_allocs, 0u);
 }
 
 }  // namespace

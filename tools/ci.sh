@@ -95,7 +95,8 @@ grep -q '"pps"' BENCH_throughput.json || {
   exit 1
 }
 # The schema additions of the burst datapath must be present.
-for field in '"cores"' '"burst"' '"allocs"'; do
+for field in '"cores"' '"burst"' '"allocs"' '"dispatch_share"' \
+             '"stats_last_run"'; do
   grep -q "${field}" BENCH_throughput.json || {
     echo "ERROR: BENCH_throughput.json lacks the ${field} field" >&2
     exit 1
@@ -117,7 +118,8 @@ json_num() {  # json_num <json-string> <key> — first numeric value of key
 OLD_CORES="$(json_num "${COMMITTED_JSON}" cores)"
 NEW_CORES="$(json_num "$(cat BENCH_throughput.json)" cores)"
 if [[ -n "${OLD_CORES}" && "${OLD_CORES}" == "${NEW_CORES}" ]]; then
-  for key in serial deterministic free_running; do
+  for key in serial deterministic deterministic_confined_w1 \
+             free_running; do
     OLD_PPS="$(json_num "${COMMITTED_JSON}" "${key}")"
     NEW_PPS="$(json_num "$(cat BENCH_throughput.json)" "${key}")"
     if [[ -n "${OLD_PPS}" && -n "${NEW_PPS}" ]]; then

@@ -116,7 +116,8 @@ void usage() {
                " [--const NAME=VAL]... [--traffic SEED] [--load GBPS]"
                " [--solver auto|exact|scalable] [--threads N]"
                " [--script FILE] [--simulate N | --serve N] [--scenario NAME]"
-               " [--workers W] [--burst N] [--profile] [--trace FILE]"
+               " [--workers W] [--burst N] [--shard-plan]"
+               " [--profile] [--trace FILE]"
                " [--trace-sample N] [--metrics FILE]"
                " [--lint] [--json] [--dot FILE]"
                " [--rules]"
@@ -364,6 +365,7 @@ int run(int argc, char** argv) {
   std::string trace_file, metrics_file;
   long long trace_sample = 0;
   bool profile = false;
+  bool shard_plan_dump = false;
   CompilerOptions opts;
   sim::EngineOptions sim_opts;
 
@@ -451,6 +453,8 @@ int run(int argc, char** argv) {
       sim_opts.burst = static_cast<int>(n);
     } else if (!std::strcmp(argv[i], "--script")) {
       script_file = need("--script");
+    } else if (!std::strcmp(argv[i], "--shard-plan")) {
+      shard_plan_dump = true;
     } else if (!std::strcmp(argv[i], "--profile")) {
       profile = true;
     } else if (!std::strcmp(argv[i], "--trace")) {
@@ -715,6 +719,41 @@ int run(int argc, char** argv) {
     }
   }
 
+  // Dump the compiler-driven switch→worker shard plan for the deployed
+  // session state (after every script event): per-worker switch sets and
+  // load, plus how many conflict edges the partition cuts. The engine is
+  // built solely to resolve the plan — no traffic runs.
+  std::string shard_json, shard_human;
+  if (shard_plan_dump) {
+    sim::TrafficEngine plan_engine(session.deployment(), sim_opts);
+    const sim::ShardPlan& sp = plan_engine.shard_plan();
+    shard_json = sp.to_json();
+    if (!json) {
+      std::ostringstream os;
+      os << "\nshard plan (" << sp.mode << ", " << sp.workers
+         << " worker" << (sp.workers == 1 ? "" : "s") << "):\n";
+      for (int wk = 0; wk < sp.workers; ++wk) {
+        os << "  worker " << wk << " (load "
+           << (static_cast<std::size_t>(wk) < sp.load.size() ? sp.load[wk]
+                                                             : 0.0)
+           << "): switches";
+        bool any = false;
+        for (std::size_t sw = 0; sw < sp.worker.size(); ++sw) {
+          if (sp.worker[sw] == wk) {
+            os << ' ' << sw;
+            any = true;
+          }
+        }
+        if (!any) os << " (none)";
+        os << '\n';
+      }
+      os << "  conflict edges cut: " << sp.cross_edges << '/'
+         << sp.total_edges << " (weight " << sp.cross_weight << '/'
+         << sp.total_weight << ")\n";
+      shard_human = os.str();
+    }
+  }
+
   // Lint the final session state (after every script event), so the report
   // covers the policy and programs actually deployed.
   LintReport lint_report;
@@ -734,6 +773,9 @@ int run(int argc, char** argv) {
     std::printf("],\n");
     if (!sim_json.empty()) {
       std::printf(" \"simulation\":%s,\n", sim_json.c_str());
+    }
+    if (!shard_json.empty()) {
+      std::printf(" \"shard_plan\":%s,\n", shard_json.c_str());
     }
     if (serve > 0) {
       std::printf(" \"serve\":{\"packets\":%lld,\"events_queued\":%zu,"
@@ -779,6 +821,7 @@ int run(int argc, char** argv) {
                 static_cast<unsigned long long>(e0.misses()));
     for (std::size_t i = 1; i < rows.size(); ++i) print_event_human(rows[i]);
     if (!sim_human.empty()) std::printf("%s", sim_human.c_str());
+    if (!shard_human.empty()) std::printf("%s", shard_human.c_str());
     if (lint) {
       std::size_t errors = 0, warnings = 0, notes = 0;
       for (const LintFinding& f : lint_report.findings) {
